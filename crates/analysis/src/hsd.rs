@@ -1,0 +1,170 @@
+//! Per-stage Hot-Spot Degree computation.
+//!
+//! Paper Sec. II: given a topology, routing and traffic pattern, the
+//! **Hot-Spot Degree** (HSD) of a link is the number of flows sent through
+//! it. The paper computes HSD analytically with a tool built on `ibdm`;
+//! this module is that tool. A stage is congestion-free iff its maximum HSD
+//! over all links is 1 (each link serializes at most one flow).
+
+use serde::{Deserialize, Serialize};
+
+use ftree_topology::{Direction, RouteError, RoutingTable, Topology};
+
+/// Flow counts per directed channel for one communication stage.
+#[derive(Debug, Clone)]
+pub struct LinkLoads {
+    counts: Vec<u32>,
+}
+
+impl LinkLoads {
+    /// Routes every `(src_port, dst_port)` flow and accumulates per-channel
+    /// counts.
+    pub fn compute(
+        topo: &Topology,
+        rt: &RoutingTable,
+        flows: &[(u32, u32)],
+    ) -> Result<Self, RouteError> {
+        let mut counts = vec![0u32; topo.num_channels()];
+        for &(src, dst) in flows {
+            if src == dst {
+                continue;
+            }
+            let path = rt.trace(topo, src as usize, dst as usize)?;
+            for ch in path.channels {
+                counts[ch.index()] += 1;
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Flow count on one channel.
+    #[inline]
+    pub fn count(&self, channel: usize) -> u32 {
+        self.counts[channel]
+    }
+
+    /// All per-channel counts.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Summarizes into the stage metrics.
+    pub fn summarize(&self, topo: &Topology) -> StageHsd {
+        let mut max = 0u32;
+        let mut max_up = 0u32;
+        let mut max_down = 0u32;
+        let mut contended = 0usize;
+        let mut total_flow_hops = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > max {
+                max = c;
+            }
+            let dir = ftree_topology::ChannelId(i as u32).direction();
+            match dir {
+                Direction::Up => max_up = max_up.max(c),
+                Direction::Down => max_down = max_down.max(c),
+            }
+            if c > 1 {
+                contended += 1;
+            }
+            total_flow_hops += c as u64;
+        }
+        let _ = topo;
+        StageHsd {
+            max,
+            max_up,
+            max_down,
+            contended_channels: contended,
+            total_flow_hops,
+        }
+    }
+}
+
+/// Stage-level HSD summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageHsd {
+    /// Maximum flows on any directed channel — the paper's per-stage HSD.
+    pub max: u32,
+    /// Maximum over up-going channels only (Theorem 1 territory).
+    pub max_up: u32,
+    /// Maximum over down-going channels only (Theorem 2 territory).
+    pub max_down: u32,
+    /// Number of channels carrying more than one flow (hot spots).
+    pub contended_channels: usize,
+    /// Sum of flow counts over all channels (total hops consumed).
+    pub total_flow_hops: u64,
+}
+
+impl StageHsd {
+    /// Congestion-free per the paper's criterion.
+    #[inline]
+    pub fn is_congestion_free(&self) -> bool {
+        self.max <= 1
+    }
+}
+
+/// Convenience: route a stage's flows and summarize in one call.
+pub fn stage_hsd(
+    topo: &Topology,
+    rt: &RoutingTable,
+    flows: &[(u32, u32)],
+) -> Result<StageHsd, RouteError> {
+    Ok(LinkLoads::compute(topo, rt, flows)?.summarize(topo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn empty_stage_is_trivially_free() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let hsd = stage_hsd(&topo, &rt, &[]).unwrap();
+        assert_eq!(hsd.max, 0);
+        assert!(hsd.is_congestion_free());
+        assert_eq!(hsd.total_flow_hops, 0);
+    }
+
+    #[test]
+    fn self_flows_ignored() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let hsd = stage_hsd(&topo, &rt, &[(3, 3), (5, 5)]).unwrap();
+        assert_eq!(hsd.max, 0);
+    }
+
+    #[test]
+    fn two_flows_sharing_a_cable_counted() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        // Hosts 0 and 1 share leaf 0; both send to destinations with the
+        // same D-Mod-K up-port residue (dst mod 4): dst 4 and dst 8.
+        let hsd = stage_hsd(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
+        assert_eq!(hsd.max, 2, "both flows climb the same up-going cable");
+        assert_eq!(hsd.max_up, 2);
+        assert_eq!(hsd.max_down, 1);
+        assert_eq!(hsd.contended_channels, 1);
+    }
+
+    #[test]
+    fn disjoint_flows_are_free() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let hsd = stage_hsd(&topo, &rt, &[(0, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
+        assert!(hsd.is_congestion_free(), "{hsd:?}");
+    }
+
+    #[test]
+    fn flow_hops_accumulate() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        // intra-leaf = 2 hops, cross-leaf = 4 hops
+        let hsd = stage_hsd(&topo, &rt, &[(0, 1), (0, 15)]).unwrap();
+        assert_eq!(hsd.total_flow_hops, 2 + 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ftree-analysis — analytic hot-spot-degree model
+//!
+//! The `ibdm`-equivalent used by the paper's evaluation: given a topology,
+//! a routing and a traffic pattern, compute per-link flow counts (**Hot-Spot
+//! Degree**), per-stage maxima, sequence averages and multi-seed
+//! random-order sweeps. A configuration is *congestion-free* exactly when
+//! every stage's maximum HSD is 1 — the property Theorems 1–3 guarantee for
+//! D-Mod-K routing with topology-ordered ranks.
+//!
+//! ```
+//! use ftree_analysis::{sequence_hsd, SequenceOptions};
+//! use ftree_collectives::Cps;
+//! use ftree_core::Job;
+//! use ftree_topology::{rlft::catalog, Topology};
+//!
+//! let topo = Topology::build(catalog::fig4_pgft_16());
+//! let job = Job::contention_free(&topo);
+//! let r = sequence_hsd(&topo, &job.routing, &job.order, &Cps::Shift,
+//!                      SequenceOptions::default()).unwrap();
+//! assert!(r.congestion_free);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hsd;
+pub mod report;
+pub mod svg;
+pub mod sequence;
+
+pub use hsd::{stage_hsd, LinkLoads, StageHsd};
+pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
+pub use svg::{render_svg, SvgOptions};
+pub use sequence::{
+    parallel_map, random_order_sweep, sampled_stages, sequence_hsd, SequenceHsd,
+    SequenceOptions, SweepResult,
+};

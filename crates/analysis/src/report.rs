@@ -1,0 +1,175 @@
+//! Detailed contention reports: where the hot spots are, not just how hot.
+//!
+//! The paper's Figure 1 annotates individual links; operators debugging a
+//! live fabric need the same view at scale. [`DetailedReport`] breaks the
+//! per-channel loads down by tree level and direction, histograms them,
+//! and names the worst offenders.
+
+use serde::{Deserialize, Serialize};
+
+use ftree_topology::{ChannelId, Direction, Topology};
+
+use crate::hsd::LinkLoads;
+
+/// A contended channel, for operator reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorstLink {
+    /// Directed channel id.
+    pub channel: u32,
+    /// Flows crossing it.
+    pub load: u32,
+    /// Direction relative to the tree.
+    pub up: bool,
+    /// Tree level of the link (level of its upper endpoint).
+    pub level: u8,
+    /// Human-readable `source -> target` description.
+    pub description: String,
+}
+
+/// Level/direction breakdown of a stage's link loads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedReport {
+    /// Max load on up-going channels into each level (index 0 unused;
+    /// index `l` = links between levels `l-1` and `l`).
+    pub up_max_per_level: Vec<u32>,
+    /// Max load on down-going channels out of each level.
+    pub down_max_per_level: Vec<u32>,
+    /// `histogram[load]` = number of channels carrying exactly `load`
+    /// flows (loads above the last bucket are clamped into it).
+    pub histogram: Vec<usize>,
+    /// The `k` most loaded channels, descending.
+    pub worst: Vec<WorstLink>,
+}
+
+impl DetailedReport {
+    /// Builds the report from computed loads.
+    pub fn new(topo: &Topology, loads: &LinkLoads, top_k: usize) -> Self {
+        let h = topo.height();
+        let mut up_max = vec![0u32; h + 1];
+        let mut down_max = vec![0u32; h + 1];
+        let max_bucket = 16usize;
+        let mut histogram = vec![0usize; max_bucket + 1];
+
+        let mut indexed: Vec<(u32, u32)> = Vec::new(); // (load, channel)
+        for (i, &load) in loads.counts().iter().enumerate() {
+            let ch = ChannelId(i as u32);
+            let link = topo.link(ch.link());
+            let level = link.level as usize;
+            match ch.direction() {
+                Direction::Up => up_max[level] = up_max[level].max(load),
+                Direction::Down => down_max[level] = down_max[level].max(load),
+            }
+            histogram[(load as usize).min(max_bucket)] += 1;
+            if load > 0 {
+                indexed.push((load, i as u32));
+            }
+        }
+        indexed.sort_unstable_by(|a, b| b.cmp(a));
+        let worst = indexed
+            .into_iter()
+            .take(top_k)
+            .map(|(load, chid)| {
+                let ch = ChannelId(chid);
+                let link = topo.link(ch.link());
+                let (src, _) = topo.channel_source(ch);
+                let dst = topo.channel_target(ch);
+                WorstLink {
+                    channel: chid,
+                    load,
+                    up: ch.direction() == Direction::Up,
+                    level: link.level,
+                    description: format!("{} -> {}", topo.node_name(src), topo.node_name(dst)),
+                }
+            })
+            .collect();
+
+        Self {
+            up_max_per_level: up_max,
+            down_max_per_level: down_max,
+            histogram,
+            worst,
+        }
+    }
+
+    /// Number of idle channels.
+    pub fn idle_channels(&self) -> usize {
+        self.histogram[0]
+    }
+}
+
+/// Analytic stage-completion model: with `max_link_load` flows sharing the
+/// hottest link, a synchronized stage of `bytes`-sized messages completes
+/// in approximately
+///
+/// ```text
+/// max(bytes / host_bw, max_link_load * bytes / link_bw)
+/// ```
+///
+/// picoseconds (bandwidths in MB/s). This is the fluid-model limit; the
+/// root-level test `analysis_model` cross-validates it against the actual
+/// fluid simulation.
+pub fn predicted_stage_time_ps(
+    bytes: u64,
+    max_link_load: u32,
+    host_bw_mbps: u64,
+    link_bw_mbps: u64,
+) -> u64 {
+    let host = bytes * 1_000_000 / host_bw_mbps;
+    let link = bytes * 1_000_000 * u64::from(max_link_load.max(1)) / link_bw_mbps;
+    host.max(link)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hsd::LinkLoads;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    fn loads_for(flows: &[(u32, u32)]) -> (Topology, LinkLoads) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let loads = LinkLoads::compute(&topo, &rt, flows).unwrap();
+        (topo, loads)
+    }
+
+    #[test]
+    fn hot_link_identified_by_name_and_level() {
+        // Two flows funneled onto leaf 0's up-port 0.
+        let (topo, loads) = loads_for(&[(0, 4), (1, 8)]);
+        let report = DetailedReport::new(&topo, &loads, 3);
+        assert_eq!(report.up_max_per_level[2], 2, "hot link climbs to level 2");
+        assert_eq!(report.down_max_per_level[2], 1);
+        let top = &report.worst[0];
+        assert_eq!(top.load, 2);
+        assert!(top.up);
+        assert!(top.description.starts_with("S1[0,0]"), "{}", top.description);
+    }
+
+    #[test]
+    fn histogram_counts_every_channel() {
+        let (topo, loads) = loads_for(&[(0, 4)]);
+        let report = DetailedReport::new(&topo, &loads, 1);
+        let total: usize = report.histogram.iter().sum();
+        assert_eq!(total, topo.num_channels());
+        // One 4-hop path: 4 channels loaded, rest idle.
+        assert_eq!(report.idle_channels(), topo.num_channels() - 4);
+        assert_eq!(report.histogram[1], 4);
+    }
+
+    #[test]
+    fn predicted_time_host_bound_when_free() {
+        // HSD 1: the PCIe bound dominates (3250 < 4000).
+        let t = predicted_stage_time_ps(1 << 20, 1, 3250, 4000);
+        assert_eq!(t, (1u64 << 20) * 1_000_000 / 3250);
+    }
+
+    #[test]
+    fn predicted_time_link_bound_when_hot() {
+        let free = predicted_stage_time_ps(1 << 20, 1, 3250, 4000);
+        let hot = predicted_stage_time_ps(1 << 20, 18, 3250, 4000);
+        assert_eq!(hot, 18 * (1u64 << 20) * 1_000_000 / 4000);
+        assert!(hot > 10 * free);
+    }
+}

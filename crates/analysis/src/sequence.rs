@@ -1,0 +1,262 @@
+//! Sequence-level HSD metrics and multi-order sweeps (Figures 3, Table 3).
+//!
+//! The paper's headline statistic is the *average over all stages of the
+//! per-stage maximum HSD*, further averaged (with min/max error bars) over
+//! 25 random MPI-node-orders. [`sequence_hsd`] computes the per-sequence
+//! metric; [`random_order_sweep`] runs the 25-seed experiment in parallel.
+
+use serde::{Deserialize, Serialize};
+
+use ftree_collectives::PermutationSequence;
+use ftree_core::NodeOrder;
+use ftree_topology::{RouteError, RoutingTable, Topology};
+
+use crate::hsd::stage_hsd;
+
+/// HSD metrics over a whole permutation sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceHsd {
+    /// Per-stage maximum HSD (the worst link in each stage).
+    pub per_stage_max: Vec<u32>,
+    /// Mean of `per_stage_max` — the paper's Figure 3 / Table 3 metric.
+    pub avg_max: f64,
+    /// Worst HSD seen in any stage.
+    pub worst: u32,
+    /// True iff every stage had HSD <= 1.
+    pub congestion_free: bool,
+}
+
+impl SequenceHsd {
+    fn from_stage_maxima(per_stage_max: Vec<u32>) -> Self {
+        let worst = per_stage_max.iter().copied().max().unwrap_or(0);
+        let avg_max = if per_stage_max.is_empty() {
+            0.0
+        } else {
+            per_stage_max.iter().map(|&m| m as f64).sum::<f64>() / per_stage_max.len() as f64
+        };
+        Self {
+            congestion_free: worst <= 1,
+            per_stage_max,
+            avg_max,
+            worst,
+        }
+    }
+}
+
+/// Options controlling sequence evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceOptions {
+    /// Evaluate at most this many stages, evenly sampled across the
+    /// sequence (`usize::MAX` = all). Long sequences (full Shift on
+    /// thousands of ranks) are cyclic in structure, so sampling preserves
+    /// the statistic.
+    pub max_stages: usize,
+}
+
+impl Default for SequenceOptions {
+    fn default() -> Self {
+        Self {
+            max_stages: usize::MAX,
+        }
+    }
+}
+
+/// Indices of the stages evaluated under `opts`.
+pub fn sampled_stages(total: usize, opts: SequenceOptions) -> Vec<usize> {
+    if total <= opts.max_stages {
+        (0..total).collect()
+    } else {
+        let stride = total as f64 / opts.max_stages as f64;
+        (0..opts.max_stages)
+            .map(|i| ((i as f64 * stride) as usize).min(total - 1))
+            .collect()
+    }
+}
+
+/// Computes the sequence HSD metric for one (routing, order, CPS) triple.
+pub fn sequence_hsd(
+    topo: &Topology,
+    rt: &RoutingTable,
+    order: &NodeOrder,
+    seq: &dyn PermutationSequence,
+    opts: SequenceOptions,
+) -> Result<SequenceHsd, RouteError> {
+    let n = order.num_ranks() as u32;
+    let total = seq.num_stages(n);
+    let mut per_stage_max = Vec::new();
+    for s in sampled_stages(total, opts) {
+        let stage = seq.stage(n, s);
+        let flows = order.port_flows(&stage);
+        per_stage_max.push(stage_hsd(topo, rt, &flows)?.max);
+    }
+    Ok(SequenceHsd::from_stage_maxima(per_stage_max))
+}
+
+/// Aggregate of a multi-seed random-order sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// `avg_max` of each seed's sequence run.
+    pub per_seed_avg_max: Vec<f64>,
+    /// Mean of the per-seed averages (Figure 3's bar height).
+    pub mean: f64,
+    /// Minimum per-seed average (lower error bar).
+    pub min: f64,
+    /// Maximum per-seed average (upper error bar).
+    pub max: f64,
+}
+
+impl SweepResult {
+    fn from_runs(per_seed_avg_max: Vec<f64>) -> Self {
+        let mean = per_seed_avg_max.iter().sum::<f64>() / per_seed_avg_max.len().max(1) as f64;
+        let min = per_seed_avg_max.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_seed_avg_max.iter().copied().fold(0.0f64, f64::max);
+        Self {
+            per_seed_avg_max,
+            mean,
+            min,
+            max,
+        }
+    }
+}
+
+/// Runs `seeds` random node-orders over `seq` in parallel and aggregates
+/// (the paper's 25-random-order experiment).
+pub fn random_order_sweep(
+    topo: &Topology,
+    rt: &RoutingTable,
+    seq: &(dyn PermutationSequence + Sync),
+    seeds: &[u64],
+    opts: SequenceOptions,
+) -> Result<SweepResult, RouteError> {
+    let results: Vec<Result<f64, RouteError>> = parallel_map(seeds, |&seed| {
+        let order = NodeOrder::random(topo, seed);
+        sequence_hsd(topo, rt, &order, seq, opts).map(|r| r.avg_max)
+    });
+    let mut per_seed = Vec::with_capacity(results.len());
+    for r in results {
+        per_seed.push(r?);
+    }
+    Ok(SweepResult::from_runs(per_seed))
+}
+
+/// Simple fork-join map over items using scoped threads (one chunk per
+/// available core).
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_collectives::Cps;
+    use ftree_core::{route_dmodk, Job};
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn sampling_covers_short_sequences_fully() {
+        assert_eq!(
+            sampled_stages(5, SequenceOptions::default()),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn sampling_strides_long_sequences() {
+        let s = sampled_stages(1000, SequenceOptions { max_stages: 10 });
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(*s.last().unwrap() >= 900);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn theorem1_shift_is_congestion_free_on_128() {
+        // The headline result, at the smallest paper scale: full Shift CPS,
+        // D-Mod-K routing, topology order => HSD = 1 in every stage.
+        let topo = Topology::build(catalog::nodes_128());
+        let job = Job::contention_free(&topo);
+        let r = sequence_hsd(
+            &topo,
+            &job.routing,
+            &job.order,
+            &Cps::Shift,
+            SequenceOptions::default(),
+        )
+        .unwrap();
+        assert!(r.congestion_free, "worst = {}", r.worst);
+        assert_eq!(r.avg_max, 1.0);
+        assert_eq!(r.per_stage_max.len(), 127);
+    }
+
+    #[test]
+    fn random_order_congests_128() {
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = route_dmodk(&topo);
+        let sweep = random_order_sweep(
+            &topo,
+            &rt,
+            &Cps::Shift,
+            &[1, 2, 3, 4],
+            SequenceOptions { max_stages: 16 },
+        )
+        .unwrap();
+        assert!(sweep.mean > 1.5, "random order should congest: {sweep:?}");
+        assert!(sweep.min <= sweep.mean && sweep.mean <= sweep.max);
+        assert_eq!(sweep.per_seed_avg_max.len(), 4);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..103).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn empty_sequence_metrics() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let job = Job::contention_free(&topo);
+        // N = 1 job: no stages.
+        let order = ftree_core::NodeOrder::topology_subset(vec![0]);
+        let r = sequence_hsd(
+            &topo,
+            &job.routing,
+            &order,
+            &Cps::Shift,
+            SequenceOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.per_stage_max.len(), 0);
+        assert_eq!(r.avg_max, 0.0);
+        assert!(r.congestion_free);
+    }
+}

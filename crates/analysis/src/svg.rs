@@ -1,0 +1,215 @@
+//! SVG rendering of fat-trees with per-link load coloring — Figure 1 as an
+//! artifact.
+//!
+//! Draws hosts along the bottom, switch levels above, and every cable as a
+//! line whose color encodes its worst-direction flow count: grey = idle,
+//! black = one flow (congestion-free), red = hot spot. Intended for the
+//! paper-scale *examples* (tens of nodes); bigger fabrics render but stop
+//! being readable, exactly like real topology diagrams.
+
+use std::fmt::Write as _;
+
+use ftree_topology::{Direction, Topology};
+
+use crate::hsd::LinkLoads;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Horizontal pixel pitch between hosts.
+    pub host_pitch: f64,
+    /// Vertical pixel pitch between levels.
+    pub level_pitch: f64,
+    /// Annotate each up-going cable with its flow count.
+    pub annotate_loads: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            host_pitch: 48.0,
+            level_pitch: 110.0,
+            annotate_loads: true,
+        }
+    }
+}
+
+/// X-coordinate of a node: hosts by index, switches centered over the span
+/// of hosts beneath them (parallel spines of a subtree are fanned out).
+fn node_x(topo: &Topology, node: ftree_topology::NodeId, opts: &SvgOptions) -> f64 {
+    let n = topo.node(node);
+    if n.is_host() {
+        return n.index_in_level as f64 * opts.host_pitch;
+    }
+    let level = n.level as usize;
+    // Hosts beneath: those matching the m-digits at positions >= level.
+    let below: Vec<usize> = (0..topo.num_hosts())
+        .filter(|&h| topo.is_ancestor_of(node, h))
+        .collect();
+    let center = (below[0] + below[below.len() - 1]) as f64 / 2.0 * opts.host_pitch;
+    // Fan out parallel switches of the same subtree by their w-digits.
+    let copies: usize = (0..level)
+        .map(|j| topo.spec().digit_radix(level, j) as usize)
+        .product();
+    if copies <= 1 {
+        return center;
+    }
+    let copy_index: usize = {
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for j in 0..level {
+            idx += n.digits[j] as usize * stride;
+            stride *= topo.spec().digit_radix(level, j) as usize;
+        }
+        idx
+    };
+    let spread = (below.len() as f64 - 1.0) * opts.host_pitch * 0.8;
+    let offset = (copy_index as f64 + 0.5) / copies as f64 - 0.5;
+    center + offset * spread
+}
+
+fn load_color(load: u32) -> &'static str {
+    match load {
+        0 => "#c8c8c8",
+        1 => "#1a1a1a",
+        _ => "#d62718",
+    }
+}
+
+/// Renders the topology (optionally with loads from one traffic stage) as
+/// a standalone SVG document.
+pub fn render_svg(topo: &Topology, loads: Option<&LinkLoads>, opts: &SvgOptions) -> String {
+    let h = topo.height();
+    let width = (topo.num_hosts() as f64 + 1.0) * opts.host_pitch;
+    let height = (h as f64 + 1.5) * opts.level_pitch;
+    let y_of = |level: usize| height - opts.level_pitch * (level as f64 + 0.75);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="sans-serif" font-size="10">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="100%" height="100%" fill="white"/>"#
+    );
+
+    // Cables first (under the nodes).
+    for link in topo.links() {
+        let (x1, y1) = (
+            node_x(topo, link.child, opts) + opts.host_pitch / 2.0,
+            y_of(topo.node(link.child).level as usize),
+        );
+        let (x2, y2) = (
+            node_x(topo, link.parent, opts) + opts.host_pitch / 2.0,
+            y_of(link.level as usize),
+        );
+        let load = loads
+            .map(|l| {
+                let up = topo.channel(
+                    topo.node(link.child).up[link.child_port as usize].link,
+                    Direction::Up,
+                );
+                let down = topo.channel(up.link(), Direction::Down);
+                l.count(up.index()).max(l.count(down.index()))
+            })
+            .unwrap_or(1);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{}" stroke-width="{}"/>"#,
+            load_color(load),
+            if load > 1 { 2.5 } else { 1.2 }
+        );
+        if opts.annotate_loads && loads.is_some() && load > 0 && !topo.node(link.child).is_host()
+        {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" fill="{}">{load}</text>"#,
+                (x1 + x2) / 2.0 + 3.0,
+                (y1 + y2) / 2.0,
+                load_color(load)
+            );
+        }
+    }
+
+    // Nodes.
+    for (i, node) in topo.nodes().iter().enumerate() {
+        let id = ftree_topology::NodeId(i as u32);
+        let x = node_x(topo, id, opts) + opts.host_pitch / 2.0;
+        let y = y_of(node.level as usize);
+        if node.is_host() {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="7" fill="#4a6fa5"/><text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+                x,
+                y + 20.0,
+                node.index_in_level
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.1}" y="{:.1}" width="26" height="14" fill="#e8b84b" stroke="#1a1a1a"/><text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+                x - 13.0,
+                y - 7.0,
+                y - 12.0,
+                topo.node_name(id)
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let topo = Topology::build(catalog::fig1_16());
+        let svg = render_svg(&topo, None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One line per cable, one circle per host, one rect per switch.
+        assert_eq!(svg.matches("<line").count(), topo.num_links());
+        assert_eq!(svg.matches("<circle").count(), topo.num_hosts());
+        assert_eq!(
+            svg.matches("<rect ").count() - 1, // minus background
+            topo.num_nodes() - topo.num_hosts()
+        );
+    }
+
+    #[test]
+    fn hot_links_rendered_red() {
+        let topo = Topology::build(catalog::fig1_16());
+        let rt = route_dmodk(&topo);
+        // Funnel two flows onto one leaf up-link (dsts congruent mod 4).
+        let loads = LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
+        let svg = render_svg(&topo, Some(&loads), &SvgOptions::default());
+        assert!(svg.contains("#d62718"), "hot link must be colored red");
+        assert!(svg.contains("#c8c8c8"), "idle links must be grey");
+    }
+
+    #[test]
+    fn annotation_can_be_disabled() {
+        let topo = Topology::build(catalog::fig1_16());
+        let rt = route_dmodk(&topo);
+        let loads = LinkLoads::compute(&topo, &rt, &[(0, 4)]).unwrap();
+        let plain = render_svg(
+            &topo,
+            Some(&loads),
+            &SvgOptions {
+                annotate_loads: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert_eq!(
+            plain.matches("<text").count(),
+            topo.num_nodes(),
+            "only node labels, no load annotations"
+        );
+    }
+}

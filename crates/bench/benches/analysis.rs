@@ -1,0 +1,49 @@
+//! Hot-spot-degree analysis benchmarks: the ibdm-substitute throughput
+//! that makes the Figure 3 / Table 3 sweeps cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_analysis::{sequence_hsd, stage_hsd, SequenceOptions};
+use ftree_collectives::{Cps, PermutationSequence};
+use ftree_core::{route_dmodk, NodeOrder};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_stage_hsd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_hsd");
+    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let order = NodeOrder::random(&topo, 1);
+        let n = topo.num_hosts() as u32;
+        let flows = order.port_flows(&Cps::Shift.stage(n, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &flows, |b, f| {
+            b.iter(|| black_box(stage_hsd(&topo, &rt, f).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_hsd(c: &mut Criterion) {
+    let topo = Topology::build(catalog::nodes_324());
+    let rt = route_dmodk(&topo);
+    let order = NodeOrder::topology(&topo);
+    c.bench_function("sequence_hsd_shift324_sampled32", |b| {
+        b.iter(|| {
+            black_box(
+                sequence_hsd(
+                    &topo,
+                    &rt,
+                    &order,
+                    &Cps::Shift,
+                    SequenceOptions { max_stages: 32 },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_stage_hsd, bench_sequence_hsd);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! CPS generation and MPI-engine benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_collectives::{Cps, PermutationSequence, TopoAwareRd};
+use ftree_mpi::data::{allgather_world, alltoall_world};
+
+fn bench_stage_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cps_stage_1944");
+    for cps in [Cps::Shift, Cps::Dissemination, Cps::RecursiveDoubling] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cps.label()),
+            &cps,
+            |b, cps| {
+                let mut s = 0usize;
+                b.iter(|| {
+                    s = (s + 1) % cps.num_stages(1944);
+                    black_box(cps.stage(1944, s))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_topo_aware_schedule(c: &mut Criterion) {
+    let seq = TopoAwareRd::new(vec![18, 18, 6]);
+    c.bench_function("topo_aware_full_sequence_1944", |b| {
+        b.iter(|| {
+            for id in seq.schedule() {
+                black_box(seq.stage_for(id));
+            }
+        })
+    });
+}
+
+fn bench_collective_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_engine");
+    group.sample_size(20);
+    group.bench_function("ring_allgather_n128_b8", |b| {
+        b.iter(|| {
+            let mut w = allgather_world(128, 8);
+            ftree_mpi::allgather::ring_allgather(&mut w, 8);
+            black_box(w)
+        })
+    });
+    group.bench_function("pairwise_alltoall_n64_b8", |b| {
+        b.iter(|| {
+            let mut w = alltoall_world(64, 8);
+            ftree_mpi::alltoall::pairwise_alltoall(&mut w, 8);
+            black_box(w)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stage_generation,
+    bench_topo_aware_schedule,
+    bench_collective_execution
+);
+criterion_main!(benches);

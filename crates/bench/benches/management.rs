@@ -1,0 +1,58 @@
+//! Fabric-management benchmarks: fault-aware rerouting and job allocation
+//! — the operations a subnet manager performs online.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_core::{route_dmodk_ft, Allocator, Reachability};
+use ftree_topology::failures::LinkFailures;
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_fault_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_reroute");
+    group.sample_size(10);
+    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+        let topo = Topology::build(spec);
+        let mut failures = LinkFailures::none(&topo);
+        for i in 0..4u32 {
+            let leaf = topo.node_at(1, (i as usize * 5) % 18).unwrap();
+            failures.fail_up_port(&topo, leaf, (i * 7) % topo.spec().up_ports(1));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("reachability", name),
+            &failures,
+            |b, f| b.iter(|| black_box(Reachability::compute(&topo, f))),
+        );
+        group.bench_with_input(BenchmarkId::new("full_reroute", name), &failures, |b, f| {
+            b.iter(|| black_box(route_dmodk_ft(&topo, f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let topo = Topology::build(catalog::nodes_1944());
+    c.bench_function("allocator_churn_1944", |b| {
+        b.iter(|| {
+            let mut alloc = Allocator::new(&topo);
+            let mut ids = Vec::new();
+            // Fill with a mix, release half, refill.
+            for ranks in [540usize, 360, 180, 90, 36, 18, 7, 3] {
+                if let Ok(a) = alloc.allocate(ranks) {
+                    ids.push(a.id);
+                }
+            }
+            for id in ids.iter().step_by(2) {
+                alloc.release(*id).unwrap();
+            }
+            for ranks in [108usize, 54, 5] {
+                let _ = alloc.allocate(ranks);
+            }
+            black_box(alloc.free_ports())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fault_routing, bench_allocator);
+criterion_main!(benches);

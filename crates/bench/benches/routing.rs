@@ -1,0 +1,59 @@
+//! Routing-table construction benchmarks: the subnet-manager-side cost of
+//! D-Mod-K versus the baselines at the paper's cluster scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_core::{route_dmodk, route_minhop_greedy, route_random};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_build");
+    for (name, spec) in [
+        ("128", catalog::nodes_128()),
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+    ] {
+        let topo = Topology::build(spec);
+        group.bench_with_input(BenchmarkId::new("dmodk", name), &topo, |b, t| {
+            b.iter(|| black_box(route_dmodk(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("minhop", name), &topo, |b, t| {
+            b.iter(|| black_box(route_minhop_greedy(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", name), &topo, |b, t| {
+            b.iter(|| black_box(route_random(t, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    for (name, spec) in [
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+        ("11664", catalog::rlft3_full(18)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
+            b.iter(|| black_box(Topology::build(s.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_trace(c: &mut Criterion) {
+    let topo = Topology::build(catalog::nodes_1944());
+    let rt = route_dmodk(&topo);
+    c.bench_function("trace_1944_cross_tree", |b| {
+        let mut dst = 0usize;
+        b.iter(|| {
+            dst = (dst + 997) % 1944;
+            black_box(rt.trace(&topo, dst, (dst + 972) % 1944).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_topology_build, bench_path_trace);
+criterion_main!(benches);

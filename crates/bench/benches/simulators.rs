@@ -1,0 +1,55 @@
+//! Simulator throughput benchmarks: packet events per run and fluid
+//! max-min solve cost at evaluation scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_collectives::{Cps, PermutationSequence};
+use ftree_core::{route_dmodk, NodeOrder};
+use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = route_dmodk(&topo);
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("packet_sim_128");
+    group.sample_size(10);
+    for (name, order) in [
+        ("ordered", NodeOrder::topology(&topo)),
+        ("random", NodeOrder::random(&topo, 1)),
+    ] {
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Shift,
+            64 << 10,
+            Progression::Asynchronous,
+            8,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
+            b.iter(|| black_box(PacketSim::new(&topo, &rt, cfg, p).run()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fluid_sim(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("fluid_sim_ring");
+    group.sample_size(10);
+    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let order = NodeOrder::random(&topo, 1);
+        let n = topo.num_hosts() as u32;
+        let plan = TrafficPlan::uniform(vec![order.port_flows(&Cps::Ring.stage(n, 0))], 1 << 20, Progression::Synchronized);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
+            b.iter(|| black_box(run_fluid(&topo, &rt, cfg, p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_sim, bench_fluid_sim);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Graceful degradation under cable failures.
+//!
+//! The paper's guarantees assume a healthy fabric; an operator needs to
+//! know what one, five, or twenty dead cables cost. This experiment fails
+//! progressively more leaf↔spine cables of the 324-node RLFT, reroutes
+//! with fault-aware D-Mod-K, and reports: residual HSD for the
+//! (previously contention-free) Shift + topology order configuration, the
+//! number of perturbed LFT entries, and fluid-simulated bandwidth.
+//!
+//! Run: `cargo run --release -p ftree-bench --bin failures [--stages N]`
+
+use ftree_analysis::{sequence_hsd, SequenceOptions};
+use ftree_bench::{arg_num, TextTable};
+use ftree_collectives::{Cps, PermutationSequence};
+use ftree_core::{route_dmodk, route_dmodk_ft, NodeOrder};
+use ftree_sim::{run_fluid, Progression, SimConfig, TrafficPlan};
+use ftree_topology::failures::LinkFailures;
+use ftree_topology::rlft::catalog;
+use ftree_topology::{PortRef, Topology};
+
+fn main() {
+    let max_stages: usize = arg_num("--stages", 48);
+    let topo = Topology::build(catalog::nodes_324());
+    let order = NodeOrder::topology(&topo);
+    let baseline = route_dmodk(&topo);
+    let cfg = SimConfig::default();
+    let n = topo.num_hosts() as u32;
+
+    println!(
+        "Failure injection on {} ({} hosts, {} switch-to-switch cables)\n",
+        topo.spec(),
+        n,
+        topo.num_links() - topo.num_hosts()
+    );
+
+    let mut table = TextTable::new(vec![
+        "failed cables",
+        "Shift avg HSD",
+        "Shift worst HSD",
+        "perturbed LFT entries",
+        "Ring normalized BW",
+    ]);
+
+    for &failed_count in &[0usize, 1, 2, 5, 9, 18] {
+        // Fail cables spread across leaves (deterministic pattern).
+        let mut failures = LinkFailures::none(&topo);
+        for i in 0..failed_count {
+            let leaf = topo.node_at(1, (i * 5) % 18).unwrap();
+            failures.fail_up_port(&topo, leaf, ((i * 7) % 18) as u32);
+        }
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, 20_000).expect("fabric still connected");
+
+        // How many forwarding decisions changed?
+        let mut perturbed = 0usize;
+        for sw in topo.switches() {
+            for dst in 0..topo.num_hosts() {
+                let a: Option<PortRef> = baseline.egress(sw, dst);
+                let b: Option<PortRef> = rt.egress(sw, dst);
+                if a != b {
+                    perturbed += 1;
+                }
+            }
+        }
+
+        let hsd = sequence_hsd(
+            &topo,
+            &rt,
+            &order,
+            &Cps::Shift,
+            SequenceOptions { max_stages },
+        )
+        .unwrap();
+
+        let plan = TrafficPlan::uniform(vec![order.port_flows(&Cps::Ring.stage(n, 0))], 1 << 20, Progression::Synchronized);
+        let bw = run_fluid(&topo, &rt, cfg, &plan).normalized_bw;
+
+        table.row(vec![
+            format!("{failed_count}"),
+            format!("{:.3}", hsd.avg_max),
+            format!("{}", hsd.worst),
+            format!("{perturbed}"),
+            format!("{bw:.3}"),
+        ]);
+        eprintln!("  done {failed_count} failures");
+    }
+    table.print();
+    println!(
+        "\nEach failed cable perturbs only the destinations that crossed it \
+         (sibling parallel cables absorb the detour), so HSD and bandwidth \
+         degrade by small local increments rather than collapsing."
+    );
+}

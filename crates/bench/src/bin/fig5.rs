@@ -1,0 +1,51 @@
+//! Figure 5 — PGFT nodes, ports and their connection rule.
+//!
+//! Demonstrates the paper's port-numbering rule on a small 3-level PGFT
+//! with parallel ports: two nodes whose digit vectors agree everywhere but
+//! at the connecting level are cabled by `p` parallel links; the `k`-th
+//! link joins up-port `b + k*w` to down-port `a + k*m`.
+//!
+//! Run: `cargo run --release -p ftree-bench --bin fig5`
+
+use ftree_bench::TextTable;
+use ftree_topology::{io, PgftSpec, Topology};
+
+fn main() {
+    // A small PGFT with non-trivial w and p at the top level.
+    let spec = PgftSpec::from_slices(&[2, 2, 2], &[1, 2, 2], &[1, 1, 2]).unwrap();
+    let topo = Topology::build(spec);
+
+    println!("Figure 5 reproduction: connection rule of {}\n", topo.spec());
+
+    // Show the cabling between one level-2 node and its level-3 parents.
+    let child = topo.node_at(2, 0).unwrap();
+    let c = topo.node(child);
+    println!(
+        "level-2 node {} (digits {:?}) has {} up-going ports:",
+        topo.node_name(child),
+        c.digits,
+        c.up.len()
+    );
+    let mut table = TextTable::new(vec![
+        "up-port q",
+        "parent",
+        "parent digits",
+        "parent down-port r",
+        "parallel index k",
+    ]);
+    let w = topo.spec().w(2);
+    for (q, pp) in c.up.iter().enumerate() {
+        let parent = topo.node(pp.peer);
+        table.row(vec![
+            format!("{q}"),
+            topo.node_name(pp.peer),
+            format!("{:?}", parent.digits),
+            format!("{}", pp.peer_port),
+            format!("{}", q as u32 / w),
+        ]);
+    }
+    table.print();
+
+    println!("\nFull cable list ({} links):", topo.num_links());
+    print!("{}", io::write_text(&topo));
+}

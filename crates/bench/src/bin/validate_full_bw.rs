@@ -1,0 +1,99 @@
+//! Section VII validation — with D-Mod-K routing and topology node order,
+//! the Shift and (topology-aware) Recursive-Doubling sequences obtain full
+//! bandwidth and cut-through latency.
+//!
+//! Packet-level simulation on the 324-node RLFT plus fluid-model runs at
+//! the paper's 1944-node scale.
+//!
+//! Run: `cargo run --release -p ftree-bench --bin validate_full_bw`
+
+use ftree_bench::{arg_num, TextTable};
+use ftree_collectives::{Cps, PermutationSequence, TopoAwareRd};
+use ftree_core::{Job, NodeOrder};
+use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let bytes: u64 = arg_num("--bytes", 128 << 10);
+    let shift_stages: usize = arg_num("--shift-stages", 12);
+
+    println!("Section VII validation: ordered + D-Mod-K => full BW & cut-through latency\n");
+
+    // Packet-level at 324 nodes.
+    {
+        let topo = Topology::build(catalog::nodes_324());
+        let job = Job::contention_free(&topo);
+        let topo_rd = TopoAwareRd::new(topo.spec().ms().to_vec());
+        let mut table = TextTable::new(vec![
+            "sequence (324 nodes, packet sim)",
+            "normalized BW",
+            "stage efficiency",
+            "mean msg latency (us)",
+            "cut-through bound (us)",
+        ]);
+        // Shift runs asynchronously (every rank sends every stage, so
+        // aggregate normalized BW is the right metric); the topology-aware
+        // sequence runs synchronized and is judged per stage: with HSD = 1
+        // every barrier-to-barrier interval is one message time, so
+        // makespan ≈ stages * t_msg ("stage efficiency"). Remainder/proxy
+        // stages idle most ranks by construction, which is why aggregate
+        // normalized BW cannot reach 1.0 for it.
+        let cases: Vec<(&str, &dyn PermutationSequence, usize, Progression)> = vec![
+            ("Shift (sampled)", &Cps::Shift, shift_stages, Progression::Asynchronous),
+            ("TopoAware RecDbl", &topo_rd, usize::MAX, Progression::Synchronized),
+        ];
+        for (name, seq, max, mode) in cases {
+            let plan = TrafficPlan::from_cps(&job.order, seq, bytes, mode, max);
+            let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
+            let r = PacketSim::new(&topo, &job.routing, cfg, &plan).run();
+            let stage_eff =
+                (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
+            // Worst-case unloaded cut-through estimate: 6-hop path.
+            let bound = cfg.cut_through_latency(bytes, 6);
+            table.row(vec![
+                name.to_string(),
+                format!("{:.3}", r.normalized_bw),
+                format!("{:.3}", stage_eff),
+                format!("{:.1}", r.mean_latency / 1e6),
+                format!("{:.1}", bound as f64 / 1e6),
+            ]);
+            eprintln!("  done {name}");
+        }
+        table.print();
+    }
+
+    // Fluid model at 1944 nodes.
+    {
+        let topo = Topology::build(catalog::nodes_1944());
+        let job = Job::contention_free(&topo);
+        let order = NodeOrder::topology(&topo);
+        let topo_rd = TopoAwareRd::new(topo.spec().ms().to_vec());
+        let mut table = TextTable::new(vec![
+            "sequence (1944 nodes, fluid sim)",
+            "normalized BW",
+            "stage efficiency",
+        ]);
+        let cases: Vec<(&str, &dyn PermutationSequence, usize)> = vec![
+            ("Shift (sampled)", &Cps::Shift, shift_stages),
+            ("TopoAware RecDbl", &topo_rd, usize::MAX),
+        ];
+        for (name, seq, max) in cases {
+            let plan = TrafficPlan::from_cps(&order, seq, bytes, Progression::Synchronized, max);
+            let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
+            let r = run_fluid(&topo, &job.routing, cfg, &plan);
+            let stage_eff =
+                (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
+            table.row(vec![
+                name.to_string(),
+                format!("{:.3}", r.normalized_bw),
+                format!("{stage_eff:.3}"),
+            ]);
+            eprintln!("  done {name} (1944)");
+        }
+        table.print();
+    }
+
+    println!("\nPaper: both sequences reach the full PCIe-bound bandwidth (normalized 1.0).");
+}

@@ -1,0 +1,226 @@
+//! # ftree-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index) plus criterion micro-benchmarks. This library holds the shared
+//! plumbing: aligned table printing, the paper's topology roster, and tiny
+//! CLI-flag helpers (no external argument-parsing dependency).
+
+use ftree_topology::rlft::catalog;
+use ftree_topology::PgftSpec;
+
+/// Paper evaluation topologies by host count.
+pub fn paper_topologies() -> Vec<(&'static str, PgftSpec)> {
+    vec![
+        ("128 (2-level, K=8)", catalog::nodes_128()),
+        ("324 (2-level, K=18)", catalog::nodes_324()),
+        ("1728 (3-level, K=12)", catalog::nodes_1728()),
+        ("1944 (3-level, K=18)", catalog::nodes_1944()),
+    ]
+}
+
+/// The 25 random node-order seeds of the Figure 3 experiment.
+pub fn default_seeds() -> Vec<u64> {
+    (1..=25).collect()
+}
+
+/// True when `flag` (e.g. `--full`) was passed on the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Value of `--key value` arguments, if present.
+pub fn arg_value(key: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == key {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parsed numeric argument with default.
+pub fn arg_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A plain-text aligned table, in the spirit of the paper's tables.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (for piping into plotting tools).
+    pub fn render_csv(&self) -> String {
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints aligned text, or CSV when `--csv` was passed on the command
+    /// line (every experiment binary honors it).
+    pub fn print(&self) {
+        if has_flag("--csv") {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+/// Formats a byte count as the paper's axis labels (4K, 64K, 1M).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Deterministic "random" exclusion set of `count` ports out of `total`
+/// (hash-stride pattern; no RNG state needed for reproducibility).
+pub fn exclusion_set(seed: u64, count: usize, total: u32) -> Vec<u32> {
+    let mut excluded = std::collections::BTreeSet::new();
+    let mut k = 0u64;
+    while excluded.len() < count {
+        excluded.insert(((seed.wrapping_mul(97) + k.wrapping_mul(131)) % total as u64) as u32);
+        k += 1;
+    }
+    excluded.into_iter().collect()
+}
+
+/// The populated ports left after an exclusion.
+pub fn surviving_ports(excluded: &[u32], total: u32) -> Vec<u32> {
+    let set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
+    (0..total).filter(|p| !set.contains(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a        "));
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with, comma"]);
+        t.row(vec!["has \"quote\"", "x"]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with, comma\"");
+        assert_eq!(lines[2], "\"has \"\"quote\"\"\",x");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(4096), "4K");
+        assert_eq!(fmt_bytes(1 << 20), "1M");
+        assert_eq!(fmt_bytes(1000), "1000");
+    }
+
+    #[test]
+    fn exclusions_are_disjoint_and_sized() {
+        let e = exclusion_set(7, 18, 324);
+        assert_eq!(e.len(), 18);
+        let s = surviving_ports(&e, 324);
+        assert_eq!(s.len(), 324 - 18);
+        for p in &e {
+            assert!(!s.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn arg_helpers_defaults() {
+        // No such flags in the test runner's argv.
+        assert!(!has_flag("--definitely-not-passed"));
+        assert_eq!(arg_num("--missing", 42u32), 42);
+        assert_eq!(arg_value("--missing"), None);
+    }
+
+    #[test]
+    fn topology_roster_matches_paper_sizes() {
+        let sizes: Vec<usize> = paper_topologies()
+            .iter()
+            .map(|(_, s)| s.num_hosts())
+            .collect();
+        assert_eq!(sizes, vec![128, 324, 1728, 1944]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The eight closed-form Collective Permutation Sequences of paper Table 2.
+//!
+//! | CPS | definition |
+//! |---|---|
+//! | Dissemination | `n_i -> n_{(i+2^s) mod N}`, all `i`, `0 <= s < ceil(log2 N)` |
+//! | Tournament | `n_{i+2^s} -> n_i`, `i ≡ 0 (mod 2^{s+1})`, `i + 2^s < N` |
+//! | Shift | `n_i -> n_{(i+s) mod N}`, all `i`, `1 <= s <= N-1` |
+//! | Ring | `n_i -> n_{(i+1) mod N}`, all `i` (single stage) |
+//! | Binomial | `n_i -> n_{i+2^s}`, `i < 2^s`, `i + 2^s < N` |
+//! | Recursive-Doubling | `n_i <-> n_{i XOR 2^s}` ascending `s`, with pre/post proxy stages for non-power-of-2 `N` |
+//! | Recursive-Halving | the same stages with `s` descending |
+//! | Neighbor-Exchange | `n_{2k} <-> n_{2k+1}` / `n_{2k+1} <-> n_{2k+2 mod N}` alternating |
+//!
+//! Shift is a superset of all unidirectional CPS (paper Sec. III, third
+//! observation), which is why Theorem 1 about Shift covers them all.
+
+use serde::{Deserialize, Serialize};
+
+use crate::seq::{ceil_log2, floor_log2, PermutationSequence, Stage};
+
+/// The closed-form CPS kinds of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cps {
+    /// Every rank sends one hop to its successor; a single repeated stage.
+    Ring,
+    /// All cyclic displacements `1..N-1`, one stage each — the all-to-all
+    /// pattern and the superset of every unidirectional CPS.
+    Shift,
+    /// Power-of-two displacements with wraparound (Bruck-style algorithms).
+    Dissemination,
+    /// Loser-sends-to-winner elimination tree.
+    Tournament,
+    /// Classic binomial broadcast/gather tree.
+    Binomial,
+    /// XOR exchange, ascending distance (allgather/allreduce direction).
+    RecursiveDoubling,
+    /// XOR exchange, descending distance (reduce-scatter direction).
+    RecursiveHalving,
+    /// Even/odd neighbor pairing, alternating parity (OpenMPI allgather).
+    NeighborExchange,
+}
+
+impl Cps {
+    /// All eight kinds, in Table 2 ordering.
+    pub const ALL: [Cps; 8] = [
+        Cps::Dissemination,
+        Cps::Tournament,
+        Cps::Shift,
+        Cps::Ring,
+        Cps::Binomial,
+        Cps::RecursiveDoubling,
+        Cps::RecursiveHalving,
+        Cps::NeighborExchange,
+    ];
+
+    /// The paper's two-class taxonomy: bidirectional CPS include the reverse
+    /// of every pair in the same stage; the rest are unidirectional.
+    pub fn is_bidirectional(self) -> bool {
+        matches!(
+            self,
+            Cps::RecursiveDoubling | Cps::RecursiveHalving | Cps::NeighborExchange
+        )
+    }
+
+    /// Static display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cps::Ring => "Ring",
+            Cps::Shift => "Shift",
+            Cps::Dissemination => "Dissemination",
+            Cps::Tournament => "Tournament",
+            Cps::Binomial => "Binomial",
+            Cps::RecursiveDoubling => "Recursive-Doubling",
+            Cps::RecursiveHalving => "Recursive-Halving",
+            Cps::NeighborExchange => "Neighbor-Exchange",
+        }
+    }
+}
+
+/// Number of XOR stages of the recursive doubling/halving core.
+#[inline]
+fn rd_core_bits(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        floor_log2(n)
+    }
+}
+
+/// True when recursive doubling/halving needs pre/post proxy stages.
+#[inline]
+fn rd_has_proxy(n: u32) -> bool {
+    n > 1 && !n.is_power_of_two()
+}
+
+/// XOR exchange stage over the power-of-two core `0..2^bits`.
+fn xor_stage(bits: u32, s: u32) -> Stage {
+    let core = 1u32 << bits;
+    let d = 1u32 << s;
+    let pairs = (0..core).map(|i| (i, i ^ d)).collect();
+    Stage::new(pairs)
+}
+
+/// Pre proxy stage: ranks above the power-of-two core fold their data onto
+/// proxies `i - 2^L` (paper Sec. VI, eq. for the "pre" permutation).
+fn rd_pre_stage(n: u32) -> Stage {
+    let core = 1u32 << rd_core_bits(n);
+    Stage::new((core..n).map(|j| (j, j - core)).collect())
+}
+
+/// Post proxy stage: proxies return results to the folded ranks.
+fn rd_post_stage(n: u32) -> Stage {
+    let core = 1u32 << rd_core_bits(n);
+    Stage::new((core..n).map(|j| (j - core, j)).collect())
+}
+
+impl PermutationSequence for Cps {
+    fn name(&self) -> &str {
+        self.label()
+    }
+
+    fn num_stages(&self, n: u32) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            Cps::Ring => 1,
+            Cps::Shift => (n - 1) as usize,
+            Cps::Dissemination => ceil_log2(n) as usize,
+            Cps::Tournament | Cps::Binomial => ceil_log2(n) as usize,
+            Cps::RecursiveDoubling | Cps::RecursiveHalving => {
+                rd_core_bits(n) as usize + if rd_has_proxy(n) { 2 } else { 0 }
+            }
+            Cps::NeighborExchange => {
+                // N/2 stages cycle the full exchange for even N (OpenMPI
+                // neighbor-exchange allgather completes in N/2 rounds).
+                (n as usize) / 2
+            }
+        }
+    }
+
+    fn stage(&self, n: u32, s: usize) -> Stage {
+        debug_assert!(s < self.num_stages(n), "stage index out of range");
+        let s32 = s as u32;
+        match self {
+            Cps::Ring => Stage::new((0..n).map(|i| (i, (i + 1) % n)).collect()),
+            Cps::Shift => {
+                let d = s32 + 1;
+                Stage::new((0..n).map(|i| (i, (i + d) % n)).collect())
+            }
+            Cps::Dissemination => {
+                let d = 1u32 << s32;
+                Stage::new((0..n).map(|i| (i, (i + d) % n)).collect())
+            }
+            Cps::Tournament => {
+                let d = 1u32 << s32;
+                let step = d * 2;
+                Stage::new(
+                    (0..n)
+                        .step_by(step as usize)
+                        .filter(|&i| i + d < n)
+                        .map(|i| (i + d, i))
+                        .collect(),
+                )
+            }
+            Cps::Binomial => {
+                let d = 1u32 << s32;
+                Stage::new(
+                    (0..d.min(n))
+                        .filter(|&i| i + d < n)
+                        .map(|i| (i, i + d))
+                        .collect(),
+                )
+            }
+            Cps::RecursiveDoubling => {
+                let bits = rd_core_bits(n);
+                if rd_has_proxy(n) {
+                    if s == 0 {
+                        rd_pre_stage(n)
+                    } else if s32 == bits + 1 {
+                        rd_post_stage(n)
+                    } else {
+                        xor_stage(bits, s32 - 1)
+                    }
+                } else {
+                    xor_stage(bits, s32)
+                }
+            }
+            Cps::RecursiveHalving => {
+                let bits = rd_core_bits(n);
+                if rd_has_proxy(n) {
+                    if s == 0 {
+                        rd_pre_stage(n)
+                    } else if s32 == bits + 1 {
+                        rd_post_stage(n)
+                    } else {
+                        xor_stage(bits, bits - (s32 - 1) - 1)
+                    }
+                } else {
+                    xor_stage(bits, bits - s32 - 1)
+                }
+            }
+            Cps::NeighborExchange => {
+                debug_assert!(n.is_multiple_of(2), "neighbor exchange requires even N");
+                if s.is_multiple_of(2) {
+                    Stage::new(
+                        (0..n / 2)
+                            .flat_map(|k| [(2 * k, 2 * k + 1), (2 * k + 1, 2 * k)])
+                            .collect(),
+                    )
+                } else {
+                    Stage::new(
+                        (0..n / 2)
+                            .flat_map(|k| {
+                                let a = 2 * k + 1;
+                                let b = (2 * k + 2) % n;
+                                [(a, b), (b, a)]
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_binomial_example_1024() {
+        // Sec. III: "On the first stage, s=0, only node-0 is sending data to
+        // node-1. On the second stage node-0 sends to node-2 and node-1 to
+        // node-3. On the third stage node-0->4, 1->5, 2->6, 3->7."
+        let st0 = Cps::Binomial.stage(1024, 0);
+        assert_eq!(st0.pairs, vec![(0, 1)]);
+        let st1 = Cps::Binomial.stage(1024, 1);
+        assert_eq!(st1.pairs, vec![(0, 2), (1, 3)]);
+        let st2 = Cps::Binomial.stage(1024, 2);
+        assert_eq!(st2.pairs, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+        assert_eq!(Cps::Binomial.num_stages(1024), 10);
+    }
+
+    #[test]
+    fn binomial_covers_all_ranks() {
+        // After all stages every rank 1..N-1 has received exactly once
+        // (broadcast tree property), including non-powers of two.
+        for n in [2u32, 3, 7, 12, 100, 129] {
+            let mut received = vec![false; n as usize];
+            received[0] = true;
+            for st in Cps::Binomial.stages(n) {
+                for (s, d) in st.pairs {
+                    assert!(received[s as usize], "n={n}: rank {s} sends before receiving");
+                    assert!(!received[d as usize], "n={n}: rank {d} receives twice");
+                    received[d as usize] = true;
+                }
+            }
+            assert!(received.iter().all(|&r| r), "n={n}: not all ranks reached");
+        }
+    }
+
+    #[test]
+    fn shift_stage_count_and_contents() {
+        assert_eq!(Cps::Shift.num_stages(1944), 1943);
+        let st = Cps::Shift.stage(16, 3); // displacement 4
+        assert_eq!(st.constant_displacement(16), Some(4));
+        assert!(st.is_full_permutation(16));
+    }
+
+    #[test]
+    fn ring_is_shift_stage_zero() {
+        assert_eq!(Cps::Ring.stage(12, 0), Cps::Shift.stage(12, 0));
+    }
+
+    #[test]
+    fn dissemination_full_permutations() {
+        for n in [5u32, 8, 13] {
+            assert_eq!(Cps::Dissemination.num_stages(n), ceil_log2(n) as usize);
+            for st in Cps::Dissemination.stages(n) {
+                assert!(st.is_full_permutation(n));
+                assert!(st.constant_displacement(n).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_reduces_to_root() {
+        // Every rank except 0 sends exactly once over the whole sequence.
+        for n in [2u32, 6, 16, 19] {
+            let mut sent = vec![0u32; n as usize];
+            for st in Cps::Tournament.stages(n) {
+                assert!(st.constant_displacement(n).is_some() || st.is_empty());
+                for (s, d) in st.pairs {
+                    sent[s as usize] += 1;
+                    assert!(d < s, "tournament sends toward lower index");
+                }
+            }
+            assert_eq!(sent[0], 0);
+            assert!(sent[1..].iter().all(|&c| c == 1), "n={n}: {sent:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_power_of_two() {
+        let n = 16u32;
+        assert_eq!(Cps::RecursiveDoubling.num_stages(n), 4);
+        for (s, st) in Cps::RecursiveDoubling.stages(n).into_iter().enumerate() {
+            assert!(st.is_symmetric());
+            assert!(st.is_full_permutation(n));
+            for (a, b) in st.pairs {
+                assert_eq!(a ^ b, 1 << s);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_non_power_of_two_has_proxies() {
+        let n = 12u32; // core 8, remainder 4
+        let stages = Cps::RecursiveDoubling.stages(n);
+        assert_eq!(stages.len(), 3 + 2);
+        // pre: 8->0, 9->1, 10->2, 11->3
+        assert_eq!(stages[0].pairs, vec![(8, 0), (9, 1), (10, 2), (11, 3)]);
+        // post is the reverse
+        assert_eq!(stages[4].pairs, vec![(0, 8), (1, 9), (2, 10), (3, 11)]);
+        // core stages only touch 0..8
+        for st in &stages[1..4] {
+            assert!(st.pairs.iter().all(|&(a, b)| a < 8 && b < 8));
+            assert!(st.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn halving_is_doubling_reversed() {
+        let n = 32u32;
+        let up = Cps::RecursiveDoubling.stages(n);
+        let mut down = Cps::RecursiveHalving.stages(n);
+        down.reverse();
+        assert_eq!(up, down);
+    }
+
+    #[test]
+    fn halving_non_power_of_two_keeps_proxy_order() {
+        let n = 12u32;
+        let stages = Cps::RecursiveHalving.stages(n);
+        // pre first, post last, core distances descending 4,2,1.
+        assert_eq!(stages[0].pairs[0], (8, 0));
+        assert_eq!(stages[4].pairs[0], (0, 8));
+        let dists: Vec<u32> = stages[1..4]
+            .iter()
+            .map(|st| st.pairs[0].0 ^ st.pairs[0].1)
+            .collect();
+        assert_eq!(dists, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn neighbor_exchange_alternates() {
+        let n = 8u32;
+        let st0 = Cps::NeighborExchange.stage(n, 0);
+        assert!(st0.pairs.contains(&(0, 1)) && st0.pairs.contains(&(1, 0)));
+        let st1 = Cps::NeighborExchange.stage(n, 1);
+        assert!(st1.pairs.contains(&(1, 2)) && st1.pairs.contains(&(7, 0)));
+        for s in 0..Cps::NeighborExchange.num_stages(n) {
+            let st = Cps::NeighborExchange.stage(n, s);
+            assert!(st.is_symmetric());
+            assert!(st.is_full_permutation(n));
+        }
+    }
+
+    #[test]
+    fn directionality_classes() {
+        for cps in Cps::ALL {
+            assert_eq!(
+                !cps.is_unidirectional(12),
+                cps.is_bidirectional(),
+                "{}",
+                cps.label()
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        for cps in Cps::ALL {
+            assert_eq!(cps.num_stages(1), 0, "{}", cps.label());
+            if !matches!(cps, Cps::NeighborExchange) {
+                // every kind handles N=2 or N=3
+                for st in cps.stages(2) {
+                    assert!(st.pairs.iter().all(|&(a, b)| a < 2 && b < 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_is_superset_of_binomial_stages() {
+        // Paper Sec. III: the pairs of every Binomial stage are contained in
+        // one Shift stage (same constant displacement).
+        let n = 20u32;
+        for st in Cps::Binomial.stages(n) {
+            if st.is_empty() {
+                continue;
+            }
+            let d = st.constant_displacement(n).expect("binomial is constant-displacement");
+            let shift = Cps::Shift.stage(n, (d - 1) as usize);
+            for pair in &st.pairs {
+                assert!(shift.pairs.contains(pair));
+            }
+        }
+    }
+}

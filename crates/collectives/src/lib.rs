@@ -1,0 +1,38 @@
+//! # ftree-collectives — MPI collective permutation sequences
+//!
+//! Implements the Sec. III decomposition of MPI collective algorithms into
+//! **Collective Permutation Sequences** (CPS): the per-stage pattern of
+//! communicating rank pairs, independent of message content.
+//!
+//! * [`Cps`] — the eight closed-form Table 2 kinds (Ring, Shift,
+//!   Dissemination, Tournament, Binomial, Recursive-Doubling,
+//!   Recursive-Halving, Neighbor-Exchange), generated lazily per stage,
+//! * [`TopoAwareRd`] — the Sec. VI topology-aware bidirectional sequence
+//!   that keeps recursive doubling contention-free on fat-trees,
+//! * [`classify()`](classify::classify)/[`identify`] — the unidirectional/bidirectional taxonomy
+//!   and trace-to-CPS matching,
+//! * [`table1()`](table1::table1) — the MVAPICH/OpenMPI algorithm survey as data.
+//!
+//! ```
+//! use ftree_collectives::{Cps, PermutationSequence};
+//!
+//! // The Shift CPS is the superset of all unidirectional sequences.
+//! let stage = Cps::Shift.stage(16, 3); // displacement 4
+//! assert_eq!(stage.constant_displacement(16), Some(4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cps;
+pub mod seq;
+pub mod subset;
+pub mod table1;
+pub mod topo_aware;
+
+pub use classify::{classify, identify, SequenceClass};
+pub use cps::Cps;
+pub use seq::{ceil_log2, floor_log2, PermutationSequence, Stage};
+pub use subset::PortSpace;
+pub use table1::{table1, AlgorithmEntry, Collective, MessageClass, MpiLibrary};
+pub use topo_aware::{topo_aware_subset, ShapeError, TopoAwareRd, TopoStageId, TopoStageRole};

@@ -1,0 +1,197 @@
+//! Stage/permutation-sequence abstractions.
+//!
+//! Paper Sec. III decomposes every MPI collective algorithm into a
+//! **Collective Permutation Sequence** (CPS) — the per-stage pattern of
+//! source→destination rank pairs — and the *content* exchanged. This module
+//! defines the stage representation and the [`PermutationSequence`] trait
+//! that all CPS implementations (closed-form Table 2 kinds and the
+//! topology-aware Sec. VI sequence) satisfy.
+
+use serde::{Deserialize, Serialize};
+
+/// One communication stage: the set of directed `(src_rank, dst_rank)`
+/// messages that are in flight simultaneously.
+///
+/// Bidirectional CPS stages list both directions explicitly, so a stage is
+/// always a plain set of directed flows — which is exactly what contention
+/// analysis and simulation consume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Directed rank pairs; no rank may appear twice as a source.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl Stage {
+    /// Creates a stage, debug-asserting that sources are unique.
+    pub fn new(pairs: Vec<(u32, u32)>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut srcs: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            assert_eq!(srcs.len(), pairs.len(), "duplicate source rank in stage");
+        }
+        Self { pairs }
+    }
+
+    /// Number of flows in the stage.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the stage carries no traffic.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Constant displacement `(dst - src) mod n` shared by all pairs, if any
+    /// (the paper's first key observation about unidirectional CPS).
+    pub fn constant_displacement(&self, n: u32) -> Option<u32> {
+        let mut it = self.pairs.iter();
+        let &(s0, d0) = it.next()?;
+        let disp = (d0 + n - s0) % n;
+        for &(s, d) in it {
+            if (d + n - s) % n != disp {
+                return None;
+            }
+        }
+        Some(disp)
+    }
+
+    /// True when every `(i, j)` pair has its reverse `(j, i)` in the stage —
+    /// the paper's definition of a bidirectional stage.
+    pub fn is_symmetric(&self) -> bool {
+        if self.pairs.is_empty() {
+            return true;
+        }
+        let mut set: Vec<(u32, u32)> = self.pairs.clone();
+        set.sort_unstable();
+        self.pairs
+            .iter()
+            .all(|&(s, d)| set.binary_search(&(d, s)).is_ok())
+    }
+
+    /// True when each rank appears at most once as a source and at most once
+    /// as a destination (the stage is a partial permutation).
+    pub fn is_partial_permutation(&self) -> bool {
+        let mut srcs: Vec<u32> = self.pairs.iter().map(|&(s, _)| s).collect();
+        let mut dsts: Vec<u32> = self.pairs.iter().map(|&(_, d)| d).collect();
+        srcs.sort_unstable();
+        dsts.sort_unstable();
+        srcs.windows(2).all(|w| w[0] != w[1]) && dsts.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// True when the stage is a *full* permutation of `0..n` (every rank
+    /// sends exactly once and receives exactly once).
+    pub fn is_full_permutation(&self, n: u32) -> bool {
+        self.pairs.len() == n as usize && self.is_partial_permutation()
+    }
+}
+
+/// A CPS: an ordered sequence of communication stages over `n` ranks.
+///
+/// Implementations generate stages lazily by index, so the `N-1`-stage Shift
+/// sequence over thousands of ranks can be sampled without materializing
+/// millions of pairs.
+pub trait PermutationSequence {
+    /// Human-readable sequence name.
+    fn name(&self) -> &str;
+
+    /// Number of stages for a job of `n` ranks.
+    fn num_stages(&self, n: u32) -> usize;
+
+    /// Generates stage `s` (`0 <= s < num_stages(n)`).
+    fn stage(&self, n: u32, s: usize) -> Stage;
+
+    /// Materializes the full sequence.
+    fn stages(&self, n: u32) -> Vec<Stage> {
+        (0..self.num_stages(n)).map(|s| self.stage(n, s)).collect()
+    }
+
+    /// True when every stage moves all pairs by one common cyclic
+    /// displacement — the paper's *unidirectional* class. Bidirectional
+    /// (XOR-exchange) stages pair `+d` and `-d` displacements and therefore
+    /// fail this check. (Note the Shift stage at displacement `N/2` is
+    /// symmetric yet still constant-displacement; the paper counts it as
+    /// unidirectional, which this criterion captures.)
+    fn is_unidirectional(&self, n: u32) -> bool {
+        (0..self.num_stages(n)).all(|s| {
+            let st = self.stage(n, s);
+            st.is_empty() || st.constant_displacement(n).is_some()
+        })
+    }
+}
+
+/// `ceil(log2(n))` for `n >= 1`; 0 for `n = 1`.
+#[inline]
+pub fn ceil_log2(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// `floor(log2(n))` for `n >= 1`.
+#[inline]
+pub fn floor_log2(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    31 - n.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(ceil_log2(1944), 11);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(1944), 10);
+        assert_eq!(floor_log2(2048), 11);
+    }
+
+    #[test]
+    fn constant_displacement_detected() {
+        let st = Stage::new(vec![(0, 3), (1, 4), (2, 5), (5, 2)]);
+        assert_eq!(st.constant_displacement(6), Some(3));
+        let st2 = Stage::new(vec![(0, 3), (1, 5)]);
+        assert_eq!(st2.constant_displacement(6), None);
+    }
+
+    #[test]
+    fn symmetry_detected() {
+        let sym = Stage::new(vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert!(sym.is_symmetric());
+        let asym = Stage::new(vec![(0, 1), (1, 2)]);
+        assert!(!asym.is_symmetric());
+        assert!(Stage::new(vec![]).is_symmetric());
+    }
+
+    #[test]
+    fn permutation_checks() {
+        let full = Stage::new(vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(full.is_full_permutation(4));
+        assert!(full.is_partial_permutation());
+        let partial = Stage::new(vec![(0, 1), (2, 3)]);
+        assert!(!partial.is_full_permutation(4));
+        assert!(partial.is_partial_permutation());
+        let clash = Stage::new(vec![(0, 1), (2, 1)]);
+        assert!(!clash.is_partial_permutation());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate source")]
+    fn duplicate_sources_rejected_in_debug() {
+        let _ = Stage::new(vec![(0, 1), (0, 2)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Position-preserving sequences for partially-populated jobs.
+//!
+//! Table 3 evaluates jobs that use only a subset of a tree's end-ports
+//! ("Cont. −X": randomly selected nodes are *excluded from the
+//! communication*). Naively renumbering the surviving ranks and running the
+//! ordinary Shift CPS breaks Theorem 1 — a rank-space displacement no
+//! longer corresponds to a constant port-space displacement, and measured
+//! HSD rises above 1. The paper's remedy is the same as for the
+//! bidirectional case (Sec. VI): make the sequence *topology aware* — keep
+//! the permutation defined over **port positions**, with excluded ports
+//! simply silent. Every stage is then a subset of a complete-tree CPS
+//! stage, so the D-Mod-K guarantees carry over verbatim.
+//!
+//! [`PortSpace`] wraps any CPS: stages are generated over the full port
+//! count and filtered/re-indexed to the populated subset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::seq::{PermutationSequence, Stage};
+
+/// A CPS over `total` port positions restricted to a populated subset.
+///
+/// Ranks `0..positions.len()` map to the sorted populated ports; a stage
+/// pair survives iff both its endpoints are populated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortSpace<C> {
+    inner: C,
+    total: u32,
+    positions: Vec<u32>,
+    /// port -> rank (`u32::MAX` = unpopulated).
+    rank_of: Vec<u32>,
+    name: String,
+}
+
+impl<C: PermutationSequence> PortSpace<C> {
+    /// Wraps `inner` (defined over `total` ports) onto the populated
+    /// `positions` (deduplicated and sorted internally).
+    pub fn new(inner: C, total: u32, mut positions: Vec<u32>) -> Self {
+        positions.sort_unstable();
+        positions.dedup();
+        assert!(
+            positions.last().is_none_or(|&p| p < total),
+            "populated port beyond total"
+        );
+        let mut rank_of = vec![u32::MAX; total as usize];
+        for (rank, &port) in positions.iter().enumerate() {
+            rank_of[port as usize] = rank as u32;
+        }
+        let name = format!("{}[{}/{}]", inner.name(), positions.len(), total);
+        Self {
+            inner,
+            total,
+            positions,
+            rank_of,
+            name,
+        }
+    }
+
+    /// The populated ports, in rank order.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of populated ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+impl<C: PermutationSequence> PermutationSequence for PortSpace<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_stages(&self, n: u32) -> usize {
+        assert_eq!(n, self.num_ranks(), "sequence is bound to its port subset");
+        self.inner.num_stages(self.total)
+    }
+
+    fn stage(&self, n: u32, s: usize) -> Stage {
+        assert_eq!(n, self.num_ranks(), "sequence is bound to its port subset");
+        let full = self.inner.stage(self.total, s);
+        Stage::new(
+            full.pairs
+                .iter()
+                .filter_map(|&(src_port, dst_port)| {
+                    let src = self.rank_of[src_port as usize];
+                    let dst = self.rank_of[dst_port as usize];
+                    (src != u32::MAX && dst != u32::MAX).then_some((src, dst))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cps::Cps;
+
+    #[test]
+    fn full_population_is_identity_wrapper() {
+        let seq = PortSpace::new(Cps::Shift, 12, (0..12).collect());
+        assert_eq!(seq.num_stages(12), Cps::Shift.num_stages(12));
+        for s in 0..seq.num_stages(12) {
+            assert_eq!(seq.stage(12, s), Cps::Shift.stage(12, s));
+        }
+    }
+
+    #[test]
+    fn excluded_ports_fall_silent() {
+        // Ports 0..8 minus {2, 5}.
+        let seq = PortSpace::new(Cps::Ring, 8, vec![0, 1, 3, 4, 6, 7]);
+        let st = seq.stage(6, 0);
+        // Port-space ring pairs that survive: 0->1, 3->4, 6->7, 7->0.
+        // Rank mapping: port 0->rank 0, 1->1, 3->2, 4->3, 6->4, 7->5.
+        assert_eq!(st.pairs, vec![(0, 1), (2, 3), (4, 5), (5, 0)]);
+    }
+
+    #[test]
+    fn stage_pairs_stay_in_rank_range() {
+        let positions: Vec<u32> = (0..24).filter(|p| p % 5 != 0).collect();
+        let n = positions.len() as u32;
+        let seq = PortSpace::new(Cps::Shift, 24, positions);
+        for s in 0..seq.num_stages(n) {
+            let st = seq.stage(n, s);
+            assert!(st.pairs.iter().all(|&(a, b)| a < n && b < n));
+            assert!(st.is_partial_permutation());
+        }
+    }
+
+    #[test]
+    fn subset_stages_preserve_port_displacement() {
+        let positions = vec![1u32, 2, 4, 7, 8, 11];
+        let seq = PortSpace::new(Cps::Shift, 12, positions.clone());
+        for s in 0..seq.num_stages(6) {
+            for (a, b) in seq.stage(6, s).pairs {
+                let d = (positions[b as usize] + 12 - positions[a as usize]) % 12;
+                assert_eq!(d as usize, s + 1, "port displacement must equal stage shift");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let seq = PortSpace::new(Cps::Ring, 6, vec![3, 1, 3, 5, 1]);
+        assert_eq!(seq.positions(), &[1, 3, 5]);
+        assert_eq!(seq.num_ranks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond total")]
+    fn out_of_range_port_rejected() {
+        let _ = PortSpace::new(Cps::Ring, 4, vec![0, 4]);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Table 1 survey: which CPS each MVAPICH / OpenMPI collective
+//! algorithm employs.
+//!
+//! The paper surveys the collective implementations of MVAPICH and OpenMPI
+//! and finds that 18 algorithms employ only 8 distinct permutation
+//! sequences. This module encodes that mapping as data (reconstructed from
+//! the two MPI implementations the paper surveys; the printed table is only
+//! partly legible in our source). `ftree-mpi` executes each algorithm and
+//! verifies — via [`crate::classify::identify`] — that its traced
+//! communication really is the declared CPS.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cps::Cps;
+
+/// MPI implementation surveyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpiLibrary {
+    /// MVAPICH only.
+    Mvapich,
+    /// OpenMPI only.
+    OpenMpi,
+    /// Algorithm present in both code bases.
+    Both,
+}
+
+/// Message-size regime the algorithm is selected for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// Selected for short messages.
+    Small,
+    /// Selected for long messages.
+    Large,
+    /// Used regardless of size.
+    Any,
+}
+
+/// MPI collective operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are the standard MPI operation names
+pub enum Collective {
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Broadcast,
+    Gather,
+    Reduce,
+    ReduceScatter,
+    Scatter,
+}
+
+impl Collective {
+    /// Display name matching the paper's Table 1 column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Collective::Allgather => "AllGather",
+            Collective::Allreduce => "AllReduce",
+            Collective::Alltoall => "AllToAll",
+            Collective::Barrier => "Barrier",
+            Collective::Broadcast => "Broadcast",
+            Collective::Gather => "Gather",
+            Collective::Reduce => "Reduce",
+            Collective::ReduceScatter => "ReduceScatter",
+            Collective::Scatter => "Scatter",
+        }
+    }
+}
+
+/// One algorithm row of the survey.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgorithmEntry {
+    /// The MPI operation implemented.
+    pub collective: Collective,
+    /// Algorithm name as used by the MPI code bases.
+    pub algorithm: &'static str,
+    /// Which implementation(s) ship it.
+    pub library: MpiLibrary,
+    /// Message-size regime it is selected for.
+    pub message_class: MessageClass,
+    /// CPS employed, in execution order (composite algorithms such as
+    /// Rabenseifner use two).
+    pub cps: &'static [Cps],
+    /// Some algorithms are only selected for power-of-two job sizes.
+    pub pow2_only: bool,
+}
+
+/// The 18-algorithm survey.
+pub fn table1() -> Vec<AlgorithmEntry> {
+    use Collective::*;
+    use Cps::*;
+    use MessageClass::*;
+    use MpiLibrary::*;
+    vec![
+        AlgorithmEntry { collective: Allgather, algorithm: "recursive doubling", library: Both, message_class: Small, cps: &[RecursiveDoubling], pow2_only: true },
+        AlgorithmEntry { collective: Allgather, algorithm: "bruck", library: OpenMpi, message_class: Small, cps: &[Dissemination], pow2_only: false },
+        AlgorithmEntry { collective: Allgather, algorithm: "ring", library: Both, message_class: Large, cps: &[Ring], pow2_only: false },
+        AlgorithmEntry { collective: Allgather, algorithm: "neighbor exchange", library: OpenMpi, message_class: Large, cps: &[NeighborExchange], pow2_only: false },
+        AlgorithmEntry { collective: Allreduce, algorithm: "recursive doubling", library: Both, message_class: Small, cps: &[RecursiveDoubling], pow2_only: false },
+        AlgorithmEntry { collective: Allreduce, algorithm: "rabenseifner", library: Both, message_class: Large, cps: &[RecursiveHalving, RecursiveDoubling], pow2_only: false },
+        AlgorithmEntry { collective: Allreduce, algorithm: "ring (reduce-scatter + allgather)", library: OpenMpi, message_class: Large, cps: &[Ring], pow2_only: false },
+        AlgorithmEntry { collective: Alltoall, algorithm: "pairwise exchange", library: Mvapich, message_class: Large, cps: &[Shift], pow2_only: false },
+        AlgorithmEntry { collective: Alltoall, algorithm: "bruck", library: Both, message_class: Small, cps: &[Dissemination], pow2_only: false },
+        AlgorithmEntry { collective: Barrier, algorithm: "dissemination", library: OpenMpi, message_class: Any, cps: &[Dissemination], pow2_only: false },
+        AlgorithmEntry { collective: Barrier, algorithm: "recursive doubling", library: Mvapich, message_class: Any, cps: &[RecursiveDoubling], pow2_only: true },
+        AlgorithmEntry { collective: Broadcast, algorithm: "binomial tree", library: Both, message_class: Small, cps: &[Binomial], pow2_only: false },
+        AlgorithmEntry { collective: Broadcast, algorithm: "scatter + ring allgather", library: OpenMpi, message_class: Large, cps: &[Binomial, Ring], pow2_only: false },
+        AlgorithmEntry { collective: Gather, algorithm: "binomial tree", library: Both, message_class: Any, cps: &[Tournament], pow2_only: false },
+        AlgorithmEntry { collective: Reduce, algorithm: "binomial tree", library: Both, message_class: Small, cps: &[Tournament], pow2_only: false },
+        AlgorithmEntry { collective: ReduceScatter, algorithm: "recursive halving", library: Both, message_class: Small, cps: &[RecursiveHalving], pow2_only: true },
+        AlgorithmEntry { collective: ReduceScatter, algorithm: "pairwise exchange", library: Mvapich, message_class: Large, cps: &[Shift], pow2_only: false },
+        AlgorithmEntry { collective: Scatter, algorithm: "binomial tree", library: Both, message_class: Any, cps: &[Binomial], pow2_only: false },
+    ]
+}
+
+/// The distinct CPS used across the survey (the paper's headline: just 8).
+pub fn distinct_cps() -> Vec<Cps> {
+    let mut seen = Vec::new();
+    for entry in table1() {
+        for &cps in entry.cps {
+            if !seen.contains(&cps) {
+                seen.push(cps);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_algorithms() {
+        assert_eq!(table1().len(), 18);
+    }
+
+    #[test]
+    fn exactly_eight_distinct_cps() {
+        let cps = distinct_cps();
+        assert_eq!(cps.len(), 8, "{cps:?}");
+        for kind in Cps::ALL {
+            assert!(cps.contains(&kind), "{} unused", kind.label());
+        }
+    }
+
+    #[test]
+    fn every_collective_covered() {
+        use Collective::*;
+        let t = table1();
+        for c in [
+            Allgather, Allreduce, Alltoall, Barrier, Broadcast, Gather, Reduce,
+            ReduceScatter, Scatter,
+        ] {
+            assert!(t.iter().any(|e| e.collective == c), "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn shift_only_used_by_pairwise_algorithms() {
+        for e in table1() {
+            if e.cps.contains(&Cps::Shift) {
+                assert!(e.algorithm.contains("pairwise"));
+            }
+        }
+    }
+}

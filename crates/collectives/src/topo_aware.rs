@@ -1,0 +1,444 @@
+//! Topology-aware bidirectional permutation sequence (paper Sec. VI).
+//!
+//! Plain recursive doubling XOR-exchanges arbitrary rank pairs, which on a
+//! fat-tree makes flows with displacement `+2^s` and `-2^s` cross subtree
+//! boundaries in ways D-Mod-K cannot keep contention-free. The paper's fix
+//! (Theorem 3) restricts each stage so that *all up-going traffic through
+//! any switch is one constant-displacement shift*: communication is grouped
+//! by tree level — ranks exchange within their leaf switch first, then
+//! between leaf switches under a common level-2 parent, and so on. Within
+//! the level-`l` group of stages, partners are mirrors at distance
+//! `2^s * M_{l-1}` (whole-subtree strides), with pre/post proxy stages
+//! handling levels whose arity `m_l` is not a power of two.
+//!
+//! Using the paper's constants per level `l` (1-based):
+//! `L_l = floor(log2(m_l))`, `M_l = prod_{j<=l} m_j`, `E_l = M_{l-1} * 2^{L_l}`.
+//!
+//! A rank `i` belongs to position `g = (i mod M_l) / M_{l-1}` within its
+//! level-`l` group. Stages:
+//!
+//! * pre  (`E_l != M_l` only): `i+E_l -> i` folds remainder positions onto
+//!   proxies (`g >= 2^{L_l}` sends to `g - 2^{L_l}`),
+//! * bulk `s = 0..L_l`: `i <-> i + ((g XOR 2^s) - g) * M_{l-1}` for
+//!   `g < 2^{L_l}`,
+//! * post: the reverse of pre.
+
+use serde::{Deserialize, Serialize};
+
+use crate::seq::{floor_log2, PermutationSequence, Stage};
+
+/// Stage role within a level group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopoStageRole {
+    /// Remainder ranks fold onto proxies.
+    Pre,
+    /// XOR exchange at subtree stride `2^s`.
+    Exchange {
+        /// Stage exponent within the level group.
+        s: u32,
+    },
+    /// Proxies return results to remainder ranks.
+    Post,
+}
+
+/// Descriptor locating a stage in the level-grouped schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopoStageId {
+    /// Tree level (1-based, matching the paper).
+    pub level: usize,
+    /// Role within the level group.
+    pub role: TopoStageRole,
+}
+
+
+/// The Sec. VI topology-aware recursive-doubling sequence for a fat-tree
+/// whose level-`l` switches have `m[l-1]` children (the PGFT `m` vector).
+///
+/// Ranks are assumed to be assigned in topology order (rank `r` on end-port
+/// `r`), which is exactly the node ordering the paper prescribes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopoAwareRd {
+    m: Vec<u32>,
+}
+
+impl TopoAwareRd {
+    /// Builds the sequence for a tree with children-multiplicity vector `m`
+    /// (e.g. `[18, 18, 6]` for the 1944-node RLFT).
+    pub fn new(m: Vec<u32>) -> Self {
+        assert!(!m.is_empty(), "tree must have at least one level");
+        assert!(m.iter().all(|&x| x >= 1), "level arities must be positive");
+        Self { m }
+    }
+
+    /// Total ranks `N = prod m`.
+    pub fn num_ranks(&self) -> u32 {
+        self.m.iter().product()
+    }
+
+    /// `M_l` for 1-based `l` (`M_0 = 1`).
+    fn m_prefix(&self, l: usize) -> u32 {
+        self.m[..l].iter().product()
+    }
+
+    /// Per-level stage roles in schedule order.
+    fn level_roles(&self, level: usize) -> Vec<TopoStageRole> {
+        let m_l = self.m[level - 1];
+        let bits = floor_log2(m_l);
+        let pow = 1u32 << bits;
+        let mut roles = Vec::new();
+        if m_l != pow {
+            roles.push(TopoStageRole::Pre);
+        }
+        for s in 0..bits {
+            roles.push(TopoStageRole::Exchange { s });
+        }
+        if m_l != pow {
+            roles.push(TopoStageRole::Post);
+        }
+        roles
+    }
+
+    /// The full schedule, level 1 upward.
+    pub fn schedule(&self) -> Vec<TopoStageId> {
+        (1..=self.m.len())
+            .flat_map(|level| {
+                self.level_roles(level)
+                    .into_iter()
+                    .map(move |role| TopoStageId { level, role })
+            })
+            .collect()
+    }
+
+    /// Generates the stage for a schedule entry.
+    pub fn stage_for(&self, id: TopoStageId) -> Stage {
+        let n = self.num_ranks();
+        let m_l = self.m[id.level - 1];
+        let m_lo = self.m_prefix(id.level - 1); // M_{l-1}
+        let m_hi = m_lo * m_l; // M_l
+        let bits = floor_log2(m_l);
+        let pow = 1u32 << bits;
+        let position = |i: u32| (i % m_hi) / m_lo;
+
+        let pairs: Vec<(u32, u32)> = match id.role {
+            TopoStageRole::Pre => (0..n)
+                .filter(|&i| position(i) >= pow)
+                .map(|i| (i, i - pow * m_lo))
+                .collect(),
+            TopoStageRole::Post => (0..n)
+                .filter(|&i| position(i) >= pow)
+                .map(|i| (i - pow * m_lo, i))
+                .collect(),
+            TopoStageRole::Exchange { s } => (0..n)
+                .filter(|&i| position(i) < pow)
+                .map(|i| {
+                    let g = position(i);
+                    let partner_g = g ^ (1 << s);
+                    let j = i + partner_g * m_lo - g * m_lo;
+                    (i, j)
+                })
+                .collect(),
+        };
+        Stage::new(pairs)
+    }
+}
+
+/// Builds the Sec. VI sequence for a **partially populated** job with a
+/// *uniform occupied shape*.
+///
+/// The paper notes that for partial trees the stage structure follows "the
+/// number of leaf switches they occupy" rather than the rank count. That
+/// generalizes cleanly when the occupancy is uniform: every occupied leaf
+/// holds the same number of job ports, every occupied level-2 subtree the
+/// same number of occupied leaves, and so on (a "regular job shape" —
+/// whole-node allocations produce these). The occupied units then form a
+/// virtual fat-tree whose level arities are the occupancy counts, and the
+/// ordinary [`TopoAwareRd`] over that virtual tree — with ranks assigned in
+/// topology order over the populated ports — is exactly the partial-tree
+/// sequence: contention-freedom carries over because each leaf's
+/// destinations remain distinct modulo the up-port count and occupied
+/// sub-unit indices remain distinct within each unit.
+///
+/// `m` is the *physical* tree's arity vector, `ports` the populated ports
+/// (any order; deduplicated). Errors when the shape is not uniform.
+pub fn topo_aware_subset(m: &[u32], ports: &[u32]) -> Result<TopoAwareRd, ShapeError> {
+    let mut sorted: Vec<u32> = ports.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.is_empty() {
+        return Err(ShapeError::Empty);
+    }
+    let total: u64 = m.iter().map(|&x| x as u64).product();
+    if u64::from(*sorted.last().unwrap()) >= total {
+        return Err(ShapeError::OutOfRange);
+    }
+
+    let mut shape = Vec::with_capacity(m.len());
+    let mut unit_size = 1u64; // M_{l-1}
+    for (level, &m_l) in m.iter().enumerate() {
+        let next_size = unit_size * u64::from(m_l); // M_l
+        // Count occupied sub-units per occupied level-(l+1) unit.
+        let mut counts: Vec<usize> = Vec::new();
+        let mut current_unit = u64::MAX;
+        let mut seen_subunits: Vec<u64> = Vec::new();
+        for &p in &sorted {
+            let unit = u64::from(p) / next_size;
+            let subunit = u64::from(p) / unit_size;
+            if unit != current_unit {
+                if current_unit != u64::MAX {
+                    counts.push(seen_subunits.len());
+                }
+                current_unit = unit;
+                seen_subunits.clear();
+            }
+            if seen_subunits.last() != Some(&subunit) {
+                seen_subunits.push(subunit);
+            }
+        }
+        counts.push(seen_subunits.len());
+        let first = counts[0];
+        if counts.iter().any(|&c| c != first) {
+            return Err(ShapeError::NonUniform {
+                level: level + 1,
+                counts,
+            });
+        }
+        shape.push(first as u32);
+        unit_size = next_size;
+    }
+    Ok(TopoAwareRd::new(shape))
+}
+
+/// Why a port set does not form a uniform job shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// No ports given.
+    Empty,
+    /// A port index exceeds the machine.
+    OutOfRange,
+    /// Occupied sub-unit counts differ between units at this (1-based)
+    /// tree level.
+    NonUniform {
+        /// Tree level where uniformity breaks (1-based).
+        level: usize,
+        /// Observed per-unit occupied sub-unit counts.
+        counts: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "port set is empty"),
+            Self::OutOfRange => write!(f, "port index beyond the machine"),
+            Self::NonUniform { level, counts } => write!(
+                f,
+                "occupancy is not uniform at level {level}: sub-unit counts {counts:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl PermutationSequence for TopoAwareRd {
+    fn name(&self) -> &str {
+        "Topology-Aware Recursive-Doubling"
+    }
+
+    fn num_stages(&self, n: u32) -> usize {
+        assert_eq!(n, self.num_ranks(), "sequence is bound to its tree size");
+        self.schedule().len()
+    }
+
+    fn stage(&self, n: u32, s: usize) -> Stage {
+        assert_eq!(n, self.num_ranks(), "sequence is bound to its tree size");
+        self.stage_for(self.schedule()[s])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate set-union data propagation: after the whole sequence every
+    /// rank must hold every rank's datum (allgather completeness).
+    fn propagates_all_data(seq: &TopoAwareRd) -> bool {
+        let n = seq.num_ranks() as usize;
+        // knows[i] = bitset of ranks whose datum i holds.
+        let mut knows: Vec<Vec<u64>> = (0..n)
+            .map(|i| {
+                let mut v = vec![0u64; n.div_ceil(64)];
+                v[i / 64] |= 1 << (i % 64);
+                v
+            })
+            .collect();
+        for id in seq.schedule() {
+            let st = seq.stage_for(id);
+            let snapshot = knows.clone();
+            for (s, d) in st.pairs {
+                let src = &snapshot[s as usize];
+                let dst = &mut knows[d as usize];
+                for (a, b) in dst.iter_mut().zip(src) {
+                    *a |= b;
+                }
+            }
+        }
+        knows
+            .iter()
+            
+            .all(|k| k.iter().map(|w| w.count_ones() as usize).sum::<usize>() == n)
+    }
+
+    #[test]
+    fn power_of_two_levels_need_no_proxies() {
+        let seq = TopoAwareRd::new(vec![4, 8]);
+        let sched = seq.schedule();
+        assert_eq!(sched.len(), 2 + 3);
+        assert!(sched
+            .iter()
+            .all(|id| matches!(id.role, TopoStageRole::Exchange { .. })));
+    }
+
+    #[test]
+    fn non_power_of_two_levels_add_pre_post() {
+        let seq = TopoAwareRd::new(vec![18, 6]);
+        // level 1: pre + 4 + post; level 2: pre + 2 + post
+        assert_eq!(seq.schedule().len(), 6 + 4);
+        let roles: Vec<_> = seq.schedule().iter().map(|id| id.role).collect();
+        assert_eq!(roles[0], TopoStageRole::Pre);
+        assert_eq!(roles[5], TopoStageRole::Post);
+    }
+
+    #[test]
+    fn level1_stages_stay_within_leaves() {
+        let seq = TopoAwareRd::new(vec![4, 4]);
+        for id in seq.schedule().iter().filter(|id| id.level == 1) {
+            for (a, b) in seq.stage_for(*id).pairs {
+                assert_eq!(a / 4, b / 4, "level-1 exchange must stay inside a leaf");
+            }
+        }
+    }
+
+    #[test]
+    fn level2_stages_preserve_leaf_offset() {
+        let seq = TopoAwareRd::new(vec![4, 4]);
+        for id in seq.schedule().iter().filter(|id| id.level == 2) {
+            for (a, b) in seq.stage_for(*id).pairs {
+                assert_eq!(a % 4, b % 4, "level-2 partners are leaf mirrors");
+                assert_ne!(a / 4, b / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_stages_are_symmetric() {
+        let seq = TopoAwareRd::new(vec![6, 5, 3]);
+        for id in seq.schedule() {
+            let st = seq.stage_for(id);
+            if let TopoStageRole::Exchange { .. } = id.role {
+                assert!(st.is_symmetric(), "{id:?}");
+            }
+            assert!(st.is_partial_permutation(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn every_stage_up_traffic_is_constant_displacement() {
+        // Theorem 3 precondition: among flows that leave a given subtree,
+        // displacement is constant. Stronger easily-checked form: within one
+        // direction class (+ or -) displacement is globally constant.
+        let seq = TopoAwareRd::new(vec![6, 4, 5]);
+        let n = seq.num_ranks();
+        for id in seq.schedule() {
+            let st = seq.stage_for(id);
+            let mut disps: Vec<u32> = st
+                .pairs
+                .iter()
+                .map(|&(s, d)| (d + n - s) % n)
+                .collect();
+            disps.sort_unstable();
+            disps.dedup();
+            assert!(
+                disps.len() <= 2,
+                "{id:?}: more than two displacement values: {disps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn allgather_completeness_various_shapes() {
+        for m in [vec![4, 4], vec![18, 6], vec![5, 3, 2], vec![6, 6], vec![7]] {
+            let seq = TopoAwareRd::new(m.clone());
+            assert!(propagates_all_data(&seq), "shape {m:?}");
+        }
+    }
+
+    #[test]
+    fn stage_count_matches_paper_bound() {
+        // Paper Sec. VI: at most 2 extra stages per level when K is not a
+        // power of two.
+        let seq = TopoAwareRd::new(vec![18, 18, 6]);
+        let base: usize = [18u32, 18, 6]
+            .iter()
+            .map(|&m| floor_log2(m) as usize)
+            .sum();
+        assert!(seq.schedule().len() <= base + 2 * 3);
+        assert_eq!(seq.schedule().len(), (4 + 2) + (4 + 2) + (2 + 2));
+    }
+
+    #[test]
+    fn trait_binding_enforced() {
+        let seq = TopoAwareRd::new(vec![4, 4]);
+        assert_eq!(seq.num_stages(16), seq.schedule().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to its tree size")]
+    fn wrong_n_panics() {
+        let seq = TopoAwareRd::new(vec![4, 4]);
+        let _ = seq.num_stages(17);
+    }
+
+    #[test]
+    fn subset_uniform_shape_accepted() {
+        // Machine m = [4, 4]; occupy leaves 0 and 2, two ports each
+        // (different offsets per leaf — offsets need not match).
+        let ports = vec![0, 2, 9, 11];
+        let seq = topo_aware_subset(&[4, 4], &ports).unwrap();
+        assert_eq!(seq.num_ranks(), 4);
+        // Virtual shape: 2 ports per leaf, 2 occupied leaves.
+        assert!(propagates_all_data(&seq));
+    }
+
+    #[test]
+    fn subset_full_population_recovers_plain_sequence() {
+        let ports: Vec<u32> = (0..16).collect();
+        let seq = topo_aware_subset(&[4, 4], &ports).unwrap();
+        assert_eq!(seq, TopoAwareRd::new(vec![4, 4]));
+    }
+
+    #[test]
+    fn subset_non_uniform_rejected() {
+        // Leaf 0 has 3 ports, leaf 1 has 1.
+        let err = topo_aware_subset(&[4, 4], &[0, 1, 2, 4]).unwrap_err();
+        assert!(matches!(err, ShapeError::NonUniform { level: 1, .. }));
+        // Uniform per leaf but subtree occupancy differs (3-level machine).
+        let err = topo_aware_subset(&[2, 2, 2], &[0, 1, 2, 3, 4, 5]).unwrap_err();
+        assert!(matches!(err, ShapeError::NonUniform { level: 2, .. }));
+    }
+
+    #[test]
+    fn subset_edge_cases() {
+        assert!(matches!(
+            topo_aware_subset(&[4, 4], &[]),
+            Err(ShapeError::Empty)
+        ));
+        assert!(matches!(
+            topo_aware_subset(&[4, 4], &[16]),
+            Err(ShapeError::OutOfRange)
+        ));
+        // Duplicates collapse.
+        let seq = topo_aware_subset(&[4, 4], &[3, 3, 7, 7]).unwrap();
+        assert_eq!(seq.num_ranks(), 2);
+    }
+}

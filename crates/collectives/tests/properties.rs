@@ -1,0 +1,131 @@
+//! Property-based tests of the CPS algebra (paper Sec. III observations).
+
+use proptest::prelude::*;
+
+use ftree_collectives::{classify, Cps, PermutationSequence, PortSpace, SequenceClass, TopoAwareRd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observation 1: every stage of a unidirectional CPS has constant
+    /// displacement and is a partial permutation.
+    #[test]
+    fn unidirectional_stages_constant_displacement(n in 2u32..200, pick in 0usize..5) {
+        let cps = [Cps::Ring, Cps::Shift, Cps::Dissemination, Cps::Tournament, Cps::Binomial][pick];
+        for s in 0..cps.num_stages(n) {
+            let st = cps.stage(n, s);
+            prop_assert!(st.is_partial_permutation(), "{} n={n} s={s}", cps.label());
+            if !st.is_empty() {
+                prop_assert!(st.constant_displacement(n).is_some(), "{} n={n} s={s}", cps.label());
+            }
+        }
+    }
+
+    /// Observation 2: the XOR-exchange core stages are symmetric.
+    #[test]
+    fn bidirectional_core_stages_symmetric(n in 2u32..200) {
+        let stages = Cps::RecursiveDoubling.stages(n);
+        let has_proxy = !n.is_power_of_two();
+        let core = if has_proxy { &stages[1..stages.len() - 1] } else { &stages[..] };
+        for st in core {
+            prop_assert!(st.is_symmetric());
+        }
+    }
+
+    /// Observation 3: every stage of every unidirectional CPS is contained
+    /// in the Shift stage with the same displacement.
+    #[test]
+    fn shift_is_a_superset(n in 3u32..150, pick in 0usize..4) {
+        let cps = [Cps::Ring, Cps::Dissemination, Cps::Tournament, Cps::Binomial][pick];
+        for s in 0..cps.num_stages(n) {
+            let st = cps.stage(n, s);
+            let Some(d) = st.constant_displacement(n) else { continue };
+            if d == 0 { continue }
+            let shift = Cps::Shift.stage(n, (d - 1) as usize);
+            for pair in &st.pairs {
+                prop_assert!(shift.pairs.contains(pair), "{} n={n} s={s}", cps.label());
+            }
+        }
+    }
+
+    /// Direction-class taxonomy is stable across job sizes.
+    #[test]
+    fn classification_stable(n in 3u32..128) {
+        for cps in Cps::ALL {
+            if cps == Cps::NeighborExchange && n % 2 != 0 { continue }
+            let expected = if cps.is_bidirectional() {
+                SequenceClass::Bidirectional
+            } else {
+                SequenceClass::Unidirectional
+            };
+            // n = 2^k edge: the top shift/dissemination stage (d = n/2) is
+            // symmetric but still constant-displacement, so classification
+            // by displacement stays correct.
+            prop_assert_eq!(classify(&cps, n), expected, "{} n={}", cps.label(), n);
+        }
+    }
+
+    /// Dissemination and Shift stages are full permutations.
+    #[test]
+    fn full_permutation_sequences(n in 2u32..150) {
+        for s in 0..Cps::Dissemination.num_stages(n) {
+            prop_assert!(Cps::Dissemination.stage(n, s).is_full_permutation(n));
+        }
+        prop_assert!(Cps::Ring.stage(n, 0).is_full_permutation(n));
+    }
+
+    /// Binomial reaches every rank exactly once (broadcast-tree property).
+    #[test]
+    fn binomial_coverage(n in 2u32..300) {
+        let mut reached = vec![false; n as usize];
+        reached[0] = true;
+        for st in Cps::Binomial.stages(n) {
+            for (s, d) in st.pairs {
+                prop_assert!(reached[s as usize]);
+                prop_assert!(!reached[d as usize]);
+                reached[d as usize] = true;
+            }
+        }
+        prop_assert!(reached.iter().all(|&r| r));
+    }
+
+    /// Topology-aware RD: set-union propagation reaches everyone, for
+    /// arbitrary small level-arity vectors.
+    #[test]
+    fn topo_aware_allgather_complete(m in prop::collection::vec(2u32..6, 1..=3)) {
+        let seq = TopoAwareRd::new(m.clone());
+        let n = seq.num_ranks() as usize;
+        prop_assume!(n <= 150);
+        let mut knows: Vec<std::collections::HashSet<u32>> = (0..n)
+            .map(|i| std::iter::once(i as u32).collect())
+            .collect();
+        for id in seq.schedule() {
+            let st = seq.stage_for(id);
+            let snap = knows.clone();
+            for (s, d) in st.pairs {
+                let add: Vec<u32> = snap[s as usize].iter().copied().collect();
+                knows[d as usize].extend(add);
+            }
+        }
+        prop_assert!(knows.iter().all(|k| k.len() == n), "shape {m:?}");
+    }
+
+    /// PortSpace preserves port-space displacement for Shift on arbitrary
+    /// subsets.
+    #[test]
+    fn port_space_preserves_displacement(total in 4u32..64,
+                                         mask in prop::collection::vec(prop::bool::ANY, 8)) {
+        let positions: Vec<u32> = (0..total)
+            .filter(|&p| mask[(p as usize) % mask.len()])
+            .collect();
+        prop_assume!(positions.len() >= 2);
+        let seq = PortSpace::new(Cps::Shift, total, positions.clone());
+        let n = seq.num_ranks();
+        for s in 0..seq.num_stages(n) {
+            for (a, b) in seq.stage(n, s).pairs {
+                let d = (positions[b as usize] + total - positions[a as usize]) % total;
+                prop_assert_eq!(d as usize, s + 1);
+            }
+        }
+    }
+}

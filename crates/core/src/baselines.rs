@@ -1,0 +1,172 @@
+//! Baseline routing algorithms D-Mod-K is evaluated against.
+//!
+//! The paper attributes the published 40% bandwidth loss to routings that
+//! ignore the collective's structure. Two deterministic baselines bracket
+//! that behaviour:
+//!
+//! * [`route_random`] — each switch picks a uniformly random (seeded)
+//!   up-going port per destination. A stand-in for routing engines with no
+//!   structural awareness at all.
+//! * [`route_minhop_greedy`] — each switch balances destinations across
+//!   up-going ports by a least-loaded counter, scanning destinations in
+//!   index order (the classic OpenSM min-hop/updn port balancing). Locally
+//!   balanced, globally oblivious: every up-port carries the same *number*
+//!   of destinations, but the digit structure D-Mod-K exploits is lost
+//!   above the first level.
+//!
+//! Both fill ordinary destination-based LFTs, so analysis and simulation
+//! treat all routings identically. Down-paths reuse the D-Mod-K descent
+//! (destination-determined child and cable) — the comparison isolates the
+//! *up-path* choice, which is where blocking can occur (paper Sec. V).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ftree_topology::{PortRef, RoutingTable, Topology};
+
+use crate::dmodk::dmodk_down_port;
+
+/// Random up-port routing with a deterministic seed.
+pub fn route_random(topo: &Topology, seed: u64) -> RoutingTable {
+    let mut rt = RoutingTable::empty(topo, format!("random(seed={seed})"));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = topo.num_hosts();
+    let spec = topo.spec();
+
+    if spec.up_ports(0) > 1 {
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    let q = rng.gen_range(0..spec.up_ports(0));
+                    rt.set(topo.host(src), dst, PortRef::Up(q));
+                }
+            }
+        }
+    }
+
+    for sw in topo.switches() {
+        let level = topo.node(sw).level as usize;
+        let ups = spec.up_ports(level);
+        for dst in 0..n {
+            let port = if topo.is_ancestor_of(sw, dst) {
+                PortRef::Down(dmodk_down_port(topo, level, dst))
+            } else {
+                PortRef::Up(rng.gen_range(0..ups))
+            };
+            rt.set(sw, dst, port);
+        }
+    }
+    rt
+}
+
+/// Greedy least-loaded min-hop routing (OpenSM-style port counters).
+pub fn route_minhop_greedy(topo: &Topology) -> RoutingTable {
+    let mut rt = RoutingTable::empty(topo, "minhop-greedy");
+    let n = topo.num_hosts();
+    let spec = topo.spec();
+
+    if spec.up_ports(0) > 1 {
+        for src in 0..n {
+            let mut counters = vec![0u32; spec.up_ports(0) as usize];
+            for dst in 0..n {
+                if src != dst {
+                    let q = least_loaded(&counters);
+                    counters[q as usize] += 1;
+                    rt.set(topo.host(src), dst, PortRef::Up(q));
+                }
+            }
+        }
+    }
+
+    for sw in topo.switches() {
+        let level = topo.node(sw).level as usize;
+        let mut counters = vec![0u32; spec.up_ports(level) as usize];
+        for dst in 0..n {
+            let port = if topo.is_ancestor_of(sw, dst) {
+                PortRef::Down(dmodk_down_port(topo, level, dst))
+            } else {
+                let q = least_loaded(&counters);
+                counters[q as usize] += 1;
+                PortRef::Up(q)
+            };
+            rt.set(sw, dst, port);
+        }
+    }
+    rt
+}
+
+#[inline]
+fn least_loaded(counters: &[u32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &c) in counters.iter().enumerate() {
+        if c < counters[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn random_routing_is_valid_and_deterministic() {
+        let topo = Topology::build(catalog::nodes_128());
+        let a = route_random(&topo, 7);
+        let b = route_random(&topo, 7);
+        let c = route_random(&topo, 8);
+        a.validate(&topo, 2000).unwrap();
+        c.validate(&topo, 2000).unwrap();
+        let mut same = true;
+        let mut diff_c = false;
+        for sw in topo.switches() {
+            for dst in 0..topo.num_hosts() {
+                same &= a.egress(sw, dst) == b.egress(sw, dst);
+                diff_c |= a.egress(sw, dst) != c.egress(sw, dst);
+            }
+        }
+        assert!(same, "same seed must reproduce the same tables");
+        assert!(diff_c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn minhop_routing_is_valid() {
+        let topo = Topology::build(catalog::nodes_324());
+        let rt = route_minhop_greedy(&topo);
+        rt.validate(&topo, 2000).unwrap();
+    }
+
+    #[test]
+    fn minhop_balances_destination_counts() {
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = route_minhop_greedy(&topo);
+        for sw in topo.switches() {
+            let node = topo.node(sw);
+            if node.up.is_empty() {
+                continue;
+            }
+            let mut per_port = vec![0u32; node.up.len()];
+            for dst in 0..topo.num_hosts() {
+                if let Some(PortRef::Up(q)) = rt.egress(sw, dst) {
+                    per_port[q as usize] += 1;
+                }
+            }
+            let min = per_port.iter().min().unwrap();
+            let max = per_port.iter().max().unwrap();
+            assert!(max - min <= 1, "unbalanced: {per_port:?}");
+        }
+    }
+
+    #[test]
+    fn multi_cabled_hosts_get_tables() {
+        // A PGFT with w1*p1 = 2: hosts must receive first-hop entries.
+        let spec = ftree_topology::PgftSpec::from_slices(&[4, 4], &[2, 4], &[1, 2]).unwrap();
+        let topo = Topology::build(spec);
+        for rt in [route_random(&topo, 1), route_minhop_greedy(&topo)] {
+            rt.validate(&topo, usize::MAX).unwrap();
+        }
+    }
+}

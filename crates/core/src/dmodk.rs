@@ -1,0 +1,281 @@
+//! D-Mod-K routing for PGFTs/RLFTs (paper Sec. V, eq. 1).
+//!
+//! The closed form: a node at level `l` (zero-based parameter indexing)
+//! forwards traffic for destination host `j` through up-going port
+//!
+//! ```text
+//! q = floor(j / (w_1 * ... * w_l)) mod (w_{l+1} * p_{l+1})
+//! ```
+//!
+//! unless the node is an ancestor of `j`, in which case traffic descends:
+//! the child is selected by `j`'s level-`l` digit and the parallel cable by
+//! the mirrored expression `k = (floor(j / (w_1..w_{l-1})) / w_l) mod p_l`,
+//! so that the downward path from the root is the exact reverse of the
+//! upward paths toward `j` (Lemma 5) and each down-going port carries
+//! exactly one destination on a complete RLFT (Theorem 2).
+//!
+//! The up-port rule spreads any *contiguous* destination window cyclically
+//! across all up-going ports (Lemmas 1–4), which is what makes every stage
+//! of the Shift CPS — and therefore every unidirectional CPS — free of
+//! contention (Theorem 1) when ranks are assigned in topology order.
+
+use ftree_topology::{NodeId, PortRef, RoutingTable, Topology};
+
+/// Closed-form up-going port for destination `j` at a level-`l` node
+/// (paper eq. 1). Not meaningful at the top level (no up ports).
+#[inline]
+pub fn dmodk_up_port(topo: &Topology, level: usize, j: usize) -> u32 {
+    let spec = topo.spec();
+    let divisor = spec.w_prefix(level);
+    ((j / divisor) % (spec.up_ports(level) as usize)) as u32
+}
+
+/// Closed-form down-going port at a level-`l` ancestor of `j`.
+#[inline]
+pub fn dmodk_down_port(topo: &Topology, level: usize, j: usize) -> u32 {
+    debug_assert!(level >= 1);
+    let spec = topo.spec();
+    let c = spec.host_digit(j, level - 1);
+    let k = ((j / spec.w_prefix(level - 1)) / spec.w(level - 1) as usize)
+        % spec.p(level - 1) as usize;
+    c + (k as u32) * spec.m(level - 1)
+}
+
+/// Builds the complete D-Mod-K linear forwarding tables for `topo`.
+///
+/// Works for any PGFT; the contention-freedom guarantees of Theorems 1 and 2
+/// additionally require the topology to satisfy the RLFT restrictions
+/// (checked by [`ftree_topology::rlft::require_rlft`]).
+pub fn route_dmodk(topo: &Topology) -> RoutingTable {
+    let mut rt = RoutingTable::empty(topo, "d-mod-k");
+    let n = topo.num_hosts();
+    let spec = topo.spec();
+
+    // Multi-cabled hosts (general PGFTs) pick their first hop by eq. 1 at
+    // level 0; single-cabled RLFT hosts need no table.
+    if spec.up_ports(0) > 1 {
+        for src in 0..n {
+            let host = topo.host(src);
+            for dst in 0..n {
+                if src != dst {
+                    rt.set(host, dst, PortRef::Up(dmodk_up_port(topo, 0, dst)));
+                }
+            }
+        }
+    }
+
+    for sw in topo.switches() {
+        let level = topo.node(sw).level as usize;
+        for dst in 0..n {
+            let port = if topo.is_ancestor_of(sw, dst) {
+                PortRef::Down(dmodk_down_port(topo, level, dst))
+            } else {
+                PortRef::Up(dmodk_up_port(topo, level, dst))
+            };
+            rt.set(sw, dst, port);
+        }
+    }
+    rt
+}
+
+/// Destinations whose traffic a node forwards upward form the arithmetic
+/// super-set of Lemma 1: `sum(b_i * W_{i-1}) + t * W_l`. Exposed for tests
+/// and documentation; returns the first `count` elements.
+pub fn lemma1_sequence(topo: &Topology, node: NodeId, count: usize) -> Vec<usize> {
+    let spec = topo.spec();
+    let nd = topo.node(node);
+    let l = nd.level as usize;
+    let base: usize = (0..l)
+        .map(|i| nd.digits[i] as usize * spec.w_prefix(i))
+        .sum();
+    let step = spec.w_prefix(l);
+    (0..count).map(|t| base + t * step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::{PgftSpec, Topology};
+
+    fn routed(spec: PgftSpec) -> (Topology, RoutingTable) {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        (topo, rt)
+    }
+
+    #[test]
+    fn validates_on_catalog_trees() {
+        for spec in [
+            catalog::nodes_128(),
+            catalog::nodes_324(),
+            catalog::fig4_pgft_16(),
+            catalog::fig4_xgft_16(),
+            PgftSpec::k_ary_n_tree(4, 3).unwrap(),
+        ] {
+            let (topo, rt) = routed(spec);
+            rt.validate(&topo, 5000)
+                .unwrap_or_else(|e| panic!("{}: {e}", topo.spec()));
+        }
+    }
+
+    #[test]
+    fn leaf_up_port_is_dst_mod_k() {
+        // Paper: "for the lowest level leaf switches, the index of the
+        // up-going port for a given destination is the destination index
+        // modulo the total number of up-going ports."
+        let (topo, rt) = routed(catalog::nodes_128());
+        let leaf = topo.node_at(1, 0).unwrap();
+        for dst in 8..128 {
+            // hosts 0..8 are below leaf 0
+            assert_eq!(rt.egress(leaf, dst), Some(PortRef::Up((dst % 8) as u32)));
+        }
+    }
+
+    #[test]
+    fn down_ports_carry_one_destination_of_actual_traffic() {
+        // Theorem 2: over the traffic that actually traverses the network
+        // (LFT entries for destinations that never reach a switch don't
+        // count), every down-going port serves exactly one destination.
+        for spec in [catalog::nodes_324(), catalog::nodes_128(), catalog::fig4_pgft_16()] {
+            let (topo, rt) = routed(spec);
+            let n = topo.num_hosts();
+            // (channel used downward) -> destination; force the longest
+            // paths by picking a source in a different top-level subtree.
+            let far = topo.spec().m_prefix(topo.height() - 1);
+            let mut owner: Vec<Option<usize>> = vec![None; topo.num_channels()];
+            for dst in 0..n {
+                let src = (dst + far) % n;
+                let path = rt.trace(&topo, src, dst).unwrap();
+                for ch in path.channels {
+                    if ch.direction() == ftree_topology::Direction::Down {
+                        match owner[ch.index()] {
+                            None => owner[ch.index()] = Some(dst),
+                            Some(prev) => assert_eq!(
+                                prev,
+                                dst,
+                                "{}: down channel shared by two destinations",
+                                topo.spec()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_switches_see_exactly_2k_destinations() {
+        // Lemma 6: a top-level RLFT switch passes traffic for exactly 2K
+        // destinations.
+        let (topo, rt) = routed(catalog::nodes_128());
+        let k = 8usize;
+        let n = topo.num_hosts();
+        let top_level = topo.height();
+        let mut per_top = std::collections::HashMap::new();
+        for dst in 0..n {
+            let src = (dst + topo.spec().m_prefix(top_level - 1)) % n;
+            let path = rt.trace(&topo, src, dst).unwrap();
+            for nid in path.nodes {
+                if topo.node(nid).level as usize == top_level {
+                    *per_top.entry(nid).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert_eq!(per_top.len(), topo.spec().nodes_at_level(top_level));
+        for (&sw, &count) in &per_top {
+            assert_eq!(count, 2 * k, "top switch {}", topo.node_name(sw));
+        }
+    }
+
+    #[test]
+    fn single_top_switch_per_destination() {
+        // Lemma 5: all traffic toward one destination converges on a single
+        // top-level switch.
+        let (topo, rt) = routed(catalog::fig4_pgft_16());
+        for dst in 0..topo.num_hosts() {
+            let mut tops = std::collections::HashSet::new();
+            for src in 0..topo.num_hosts() {
+                if src == dst {
+                    continue;
+                }
+                let path = rt.trace(&topo, src, dst).unwrap();
+                for &nid in &path.nodes {
+                    if topo.node(nid).level as usize == topo.height() {
+                        tops.insert(nid);
+                    }
+                }
+            }
+            assert!(tops.len() <= 1, "dst {dst} uses {} top switches", tops.len());
+        }
+    }
+
+    #[test]
+    fn paths_to_same_destination_share_their_suffix() {
+        // Destination-based routing: once two paths toward the same host
+        // meet at any node, the rest of the route is identical. This is the
+        // tree-of-paths structure behind Theorem 2.
+        let (topo, rt) = routed(catalog::fig4_pgft_16());
+        for dst in 0..topo.num_hosts() {
+            let paths: Vec<_> = (0..topo.num_hosts())
+                .filter(|&s| s != dst)
+                .map(|s| rt.trace(&topo, s, dst).unwrap())
+                .collect();
+            for a in &paths {
+                for b in &paths {
+                    // Find the first node of `a` that also appears in `b`.
+                    if let Some((ia, ib)) = a.nodes.iter().enumerate().find_map(|(ia, na)| {
+                        b.nodes.iter().position(|nb| nb == na).map(|ib| (ia, ib))
+                    }) {
+                        assert_eq!(
+                            &a.nodes[ia..],
+                            &b.nodes[ib..],
+                            "paths diverge after meeting, dst {dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_paths_have_equal_length() {
+        let (topo, rt) = routed(catalog::nodes_128());
+        for (src, dst) in [(0usize, 127usize), (3, 12), (7, 8), (100, 5)] {
+            let fwd = rt.trace(&topo, src, dst).unwrap();
+            let back = rt.trace(&topo, dst, src).unwrap();
+            assert_eq!(fwd.len(), back.len(), "{src}<->{dst}");
+            assert_eq!(fwd.apex_level(&topo), back.apex_level(&topo));
+        }
+    }
+
+    #[test]
+    fn lemma1_sequence_matches_routed_destinations() {
+        let (topo, rt) = routed(catalog::nodes_128());
+        // A level-1 switch forwards upward only destinations from the
+        // lemma-1 arithmetic sequence.
+        let leaf = topo.node_at(1, 3).unwrap();
+        let seq = lemma1_sequence(&topo, leaf, 200);
+        for dst in 0..topo.num_hosts() {
+            if let Some(PortRef::Up(_)) = rt.egress(leaf, dst) {
+                assert!(
+                    seq.contains(&dst),
+                    "dst {dst} not in lemma-1 sequence of leaf 3"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_lengths_are_minimal() {
+        // Intra-leaf: 2 hops; cross-leaf on a 2-level tree: 4 hops.
+        let (topo, rt) = routed(catalog::nodes_128());
+        assert_eq!(rt.trace(&topo, 0, 1).unwrap().len(), 2);
+        assert_eq!(rt.trace(&topo, 0, 100).unwrap().len(), 4);
+        let (topo3, rt3) = routed(PgftSpec::k_ary_n_tree(4, 3).unwrap());
+        // host 63 differs from host 0 in the top digit: full 6-hop path.
+        assert_eq!(rt3.trace(&topo3, 0, 63).unwrap().len(), 6);
+        // host 5 = digits (1,1,0): common ancestor at level 2, 4 hops.
+        assert_eq!(rt3.trace(&topo3, 0, 5).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,295 @@
+//! Fault-tolerant D-Mod-K: route around failed cables while staying as
+//! close to the closed form as the fabric allows.
+//!
+//! The subnet-manager workflow the paper's routing lives in must survive
+//! cable failures. This module computes, per `(node, destination)`, the
+//! set of ports that still lead to the destination (`reachability`), then
+//! fills LFTs with a *deviation-minimizing* rule: use the eq. 1 port if it
+//! is alive and viable, otherwise the cyclically-next viable port. On a
+//! healthy fabric the result is bit-identical to [`crate::route_dmodk`];
+//! each failure perturbs only the destinations that crossed the dead
+//! cable. Contention-freedom degrades gracefully and is *measured*, not
+//! assumed — see the `failures` experiment binary.
+
+use ftree_topology::failures::LinkFailures;
+use ftree_topology::{NodeId, PortRef, RoutingTable, Topology};
+
+use crate::dmodk::{dmodk_down_port, dmodk_up_port};
+
+/// Per-(node, dst) deliverability under a failure set.
+///
+/// `reach[node][dst]` is true iff the node can still deliver a packet to
+/// `dst` over live cables (descending when it is an ancestor, else
+/// ascending to some viable parent).
+pub struct Reachability {
+    reach: Vec<Vec<bool>>,
+}
+
+impl Reachability {
+    /// Computes reachability bottom-up (ancestors) and top-down
+    /// (non-ancestors).
+    #[allow(clippy::needless_range_loop)] // dst indexes several parallel tables
+    pub fn compute(topo: &Topology, failures: &LinkFailures) -> Self {
+        let n = topo.num_hosts();
+        let total = topo.num_nodes();
+        let mut reach = vec![vec![false; n]; total];
+
+        // Hosts deliver to themselves.
+        for (h, row) in reach.iter_mut().take(n).enumerate() {
+            row[h] = true;
+        }
+
+        // Ancestors, level by level upward: a level-l ancestor delivers to
+        // dst iff some live parallel cable leads to the (unique) next-lower
+        // node on dst's descent path, and that node delivers.
+        for level in 1..=topo.height() {
+            for sw in topo.level_nodes(level) {
+                let node = topo.node(sw);
+                let m = topo.spec().m(level - 1);
+                for dst in 0..n {
+                    if !topo.is_ancestor_of(sw, dst) {
+                        continue;
+                    }
+                    let c = topo.spec().host_digit(dst, level - 1);
+                    let viable = (0..topo.spec().p(level - 1)).any(|k| {
+                        let r = (c + k * m) as usize;
+                        let pp = node.down[r];
+                        failures.is_live(pp.link) && reach[pp.peer.index()][dst]
+                    });
+                    reach[sw.index()][dst] = viable;
+                }
+            }
+        }
+
+        // Non-ancestors, level by level downward: a node reaches dst iff
+        // some live up cable leads to a parent that reaches dst. Top-level
+        // nodes are ancestors of everything, so start below them.
+        for level in (0..topo.height()).rev() {
+            for nid in topo.level_nodes(level) {
+                let node = topo.node(nid);
+                for dst in 0..n {
+                    if level > 0 && topo.is_ancestor_of(nid, dst) {
+                        continue;
+                    }
+                    if level == 0 && nid.index() == dst {
+                        continue;
+                    }
+                    let viable = node.up.iter().any(|pp| {
+                        failures.is_live(pp.link) && reach[pp.peer.index()][dst]
+                    });
+                    reach[nid.index()][dst] = viable;
+                }
+            }
+        }
+
+        Self { reach }
+    }
+
+    /// Can `node` still deliver to `dst`?
+    #[inline]
+    pub fn ok(&self, node: NodeId, dst: usize) -> bool {
+        self.reach[node.index()][dst]
+    }
+
+    /// Host pairs that became unreachable (for operator reports).
+    pub fn unreachable_pairs(&self, topo: &Topology) -> Vec<(usize, usize)> {
+        let n = topo.num_hosts();
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst && !self.reach[src][dst] {
+                    out.push((src, dst));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds fault-aware D-Mod-K LFTs. Entries for unreachable destinations
+/// are left unprogrammed (tracing reports `NoRoute`, as a real SM would).
+pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable {
+    let reach = Reachability::compute(topo, failures);
+    let mut rt = RoutingTable::empty(
+        topo,
+        if failures.is_empty() {
+            "d-mod-k".to_string()
+        } else {
+            format!("d-mod-k-ft({} failed)", failures.len())
+        },
+    );
+    let n = topo.num_hosts();
+    let spec = topo.spec();
+
+    // Multi-cabled hosts pick the first viable up cable from the eq. 1
+    // preference.
+    if spec.up_ports(0) > 1 {
+        for src in 0..n {
+            let host = topo.host(src);
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                if let Some(q) = pick_up(topo, failures, &reach, host, 0, dst) {
+                    rt.set(host, dst, PortRef::Up(q));
+                }
+            }
+        }
+    }
+
+    for sw in topo.switches() {
+        let level = topo.node(sw).level as usize;
+        for dst in 0..n {
+            if topo.is_ancestor_of(sw, dst) {
+                if let Some(r) = pick_down(topo, failures, &reach, sw, level, dst) {
+                    rt.set(sw, dst, PortRef::Down(r));
+                }
+            } else if let Some(q) = pick_up(topo, failures, &reach, sw, level, dst) {
+                rt.set(sw, dst, PortRef::Up(q));
+            }
+        }
+    }
+    rt
+}
+
+/// First viable up port from the eq. 1 preference. Deviation order: first
+/// try the *sibling parallel cables* to the preferred parent (keeps the
+/// digit structure intact — minimal HSD perturbation), then cycle through
+/// the other parents.
+fn pick_up(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: &Reachability,
+    node: NodeId,
+    level: usize,
+    dst: usize,
+) -> Option<u32> {
+    let w = topo.spec().w(level);
+    let p = topo.spec().p(level);
+    let preferred = dmodk_up_port(topo, level, dst);
+    let (b0, k0) = (preferred % w, preferred / w);
+    (0..w)
+        .flat_map(move |db| (0..p).map(move |dk| ((b0 + db) % w) + ((k0 + dk) % p) * w))
+        .find(|&q| {
+            let pp = topo.node(node).up[q as usize];
+            failures.is_live(pp.link) && reach.ok(pp.peer, dst)
+        })
+}
+
+/// First viable parallel cable toward dst's child, preferring the mirrored
+/// eq. 1 cable.
+fn pick_down(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: &Reachability,
+    node: NodeId,
+    level: usize,
+    dst: usize,
+) -> Option<u32> {
+    let spec = topo.spec();
+    let m = spec.m(level - 1);
+    let p = spec.p(level - 1);
+    let c = spec.host_digit(dst, level - 1);
+    let preferred = dmodk_down_port(topo, level, dst);
+    let preferred_k = (preferred - c) / m;
+    (0..p)
+        .map(|t| (preferred_k + t) % p)
+        .map(|k| c + k * m)
+        .find(|&r| {
+            let pp = topo.node(node).down[r as usize];
+            failures.is_live(pp.link) && reach.ok(pp.peer, dst)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn healthy_fabric_matches_plain_dmodk() {
+        let topo = Topology::build(catalog::nodes_128());
+        let plain = route_dmodk(&topo);
+        let ft = route_dmodk_ft(&topo, &LinkFailures::none(&topo));
+        for sw in topo.switches() {
+            for dst in 0..topo.num_hosts() {
+                assert_eq!(plain.egress(sw, dst), ft.egress(sw, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn single_spine_cable_failure_heals() {
+        let topo = Topology::build(catalog::nodes_128());
+        let mut failures = LinkFailures::none(&topo);
+        // Kill leaf 0's up-port 3.
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        failures.fail_up_port(&topo, leaf0, 3);
+
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, usize::MAX).expect("all pairs still reachable");
+        // Traced paths never cross the dead link.
+        let dead = topo.node(leaf0).up[3].link;
+        for src in 0..topo.num_hosts() {
+            for dst in (0..topo.num_hosts()).step_by(7) {
+                let path = rt.trace(&topo, src, dst).unwrap();
+                assert!(path.channels.iter().all(|ch| ch.link() != dead));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cable_failure_uses_sibling_cable() {
+        // On the 324-node tree every leaf-spine pair has 2 parallel cables;
+        // killing one must not change the parent choice, only the cable.
+        let topo = Topology::build(catalog::nodes_324());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 0); // cable k=0 to spine 0
+
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, 20_000).unwrap();
+        // Destinations preferring up-port 0 now leave via port 9 (k=1, same
+        // spine digit 0 since w2 = 9).
+        for dst in 18..324 {
+            if dmodk_up_port(&topo, 1, dst) == 0 {
+                assert_eq!(rt.egress(leaf0, dst), Some(PortRef::Up(9)));
+            }
+        }
+    }
+
+    #[test]
+    fn host_cable_failure_reported_unreachable() {
+        let topo = Topology::build(catalog::nodes_128());
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail(topo.node(topo.host(5)).up[0].link);
+        let reach = Reachability::compute(&topo, &failures);
+        let lost = reach.unreachable_pairs(&topo);
+        // Host 5 can reach nobody and nobody can reach host 5.
+        assert_eq!(lost.len(), 2 * 127);
+        assert!(lost.iter().all(|&(s, d)| s == 5 || d == 5));
+    }
+
+    #[test]
+    fn massive_failure_still_routes_what_it_can() {
+        let topo = Topology::build(catalog::nodes_128());
+        let mut failures = LinkFailures::none(&topo);
+        // Kill every cable into spine 0 (16 leaf up-port-0 cables).
+        for leaf in topo.level_nodes(1) {
+            failures.fail_up_port(&topo, leaf, 0);
+        }
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, usize::MAX)
+            .expect("remaining spines carry everything");
+        // And the dead spine is never used.
+        let spine0 = topo.node_at(2, 0).unwrap();
+        for src in (0..128).step_by(11) {
+            for dst in (0..128).step_by(13) {
+                let path = rt.trace(&topo, src, dst).unwrap();
+                assert!(path.nodes.iter().all(|&nid| nid != spine0));
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ftree-core — contention-free fat-tree routing and node ordering
+//!
+//! The primary contribution of Zahavi's paper, as a library:
+//!
+//! * [`dmodk`] — the closed-form **D-Mod-K** routing (eq. 1) extended to
+//!   real-life fat-trees, filling standard destination-indexed LFTs,
+//! * [`baselines`] — random up-port and greedy min-hop routings for the
+//!   evaluation comparisons,
+//! * [`ordering`] — MPI rank → end-port assignments: topology order (the
+//!   contention-free choice), random (the measured 40%-loss baseline) and
+//!   the adversarial Ring layout (the 7.1% worst case of Sec. II),
+//! * [`planner`] — the [`Job`] API bundling topology, routing and order,
+//!   and translating CPS stages into port-space flows.
+//!
+//! ```
+//! use ftree_core::Job;
+//! use ftree_collectives::{Cps, PermutationSequence};
+//! use ftree_topology::{rlft::catalog, Topology};
+//!
+//! let topo = Topology::build(catalog::nodes_128());
+//! let job = Job::contention_free(&topo);
+//! let stage = Cps::Shift.stage(job.num_ranks(), 3);
+//! let flows = job.stage_flows(&stage);
+//! assert_eq!(flows.len(), 128);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod baselines;
+pub mod fault;
+pub mod dmodk;
+pub mod ordering;
+pub mod planner;
+
+pub use allocation::{AllocError, Allocation, Allocator};
+pub use baselines::{route_minhop_greedy, route_random};
+pub use dmodk::{dmodk_down_port, dmodk_up_port, route_dmodk};
+pub use fault::{route_dmodk_ft, Reachability};
+pub use ordering::NodeOrder;
+pub use planner::{aligned_suballocation, suballocation_unit, Job, RoutingAlgo};

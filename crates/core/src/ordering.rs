@@ -1,0 +1,246 @@
+//! MPI node ordering — the rank → end-port assignment.
+//!
+//! The paper's central practical lever: the *same* routing and the *same*
+//! collective produce contention-free or badly congested traffic depending
+//! only on how MPI ranks are laid out on the cluster's end-ports (Figure 1).
+//!
+//! * [`NodeOrder::topology`] — rank `r` on end-port `r` (RLFT index order);
+//!   with D-Mod-K routing this is the contention-free assignment of
+//!   Theorems 1–3.
+//! * [`NodeOrder::topology_subset`] — the same for a partially-populated
+//!   job: ranks follow the topology order of the populated ports
+//!   (Table 3's "Cont.−X" cases).
+//! * [`NodeOrder::random`] — seeded random placement, the paper's
+//!   evaluation baseline (Figures 2 and 3).
+//! * [`NodeOrder::adversarial_ring`] — the Sec. II worst case: every leaf
+//!   switch's Ring-stage flows converge on a single up-going port,
+//!   collapsing bandwidth by a factor of ~K.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use ftree_collectives::Stage;
+use ftree_topology::Topology;
+
+/// An assignment of MPI ranks to end-ports (host indices).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeOrder {
+    /// `rank_to_port[r]` = host index hosting rank `r`.
+    rank_to_port: Vec<u32>,
+    /// Descriptive label for reports.
+    pub label: String,
+}
+
+impl NodeOrder {
+    /// Builds an order from an explicit rank → port map.
+    pub fn from_map(rank_to_port: Vec<u32>, label: impl Into<String>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut sorted = rank_to_port.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), rank_to_port.len(), "ports must be distinct");
+        }
+        Self {
+            rank_to_port,
+            label: label.into(),
+        }
+    }
+
+    /// Topology order over the full machine: rank `r` ↦ port `r`.
+    pub fn topology(topo: &Topology) -> Self {
+        Self::from_map((0..topo.num_hosts() as u32).collect(), "topology")
+    }
+
+    /// Topology order over a populated subset of ports (partial job).
+    /// Ranks are assigned in ascending port order.
+    pub fn topology_subset(mut ports: Vec<u32>) -> Self {
+        ports.sort_unstable();
+        Self::from_map(ports, "topology-subset")
+    }
+
+    /// Seeded random placement over the full machine.
+    pub fn random(topo: &Topology, seed: u64) -> Self {
+        let mut ports: Vec<u32> = (0..topo.num_hosts() as u32).collect();
+        ports.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        Self::from_map(ports, format!("random(seed={seed})"))
+    }
+
+    /// Seeded random placement over a port subset (partial job).
+    pub fn random_subset(mut ports: Vec<u32>, seed: u64) -> Self {
+        ports.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        Self::from_map(ports, format!("random-subset(seed={seed})"))
+    }
+
+    /// Adversarial order for the Ring CPS under D-Mod-K routing
+    /// (paper Sec. II).
+    ///
+    /// Construction: the port-level permutation
+    /// `target(leaf ℓ, offset o) = port[K·((ℓ+1+o) mod L) + (ℓ mod m₁)]`
+    /// sends all of leaf `ℓ`'s flows to destinations that are congruent
+    /// modulo the leaf's up-port count, so D-Mod-K funnels them into one
+    /// up-going port. Laying ranks along the permutation's cycles makes the
+    /// Ring CPS (`rank i → rank i+1`) realize precisely these flows (up to
+    /// one benign flow per cycle boundary).
+    ///
+    /// Requires the leaf count to be a multiple of the hosts-per-leaf count
+    /// (true for all the paper's topologies); panics otherwise.
+    pub fn adversarial_ring(topo: &Topology) -> Self {
+        let spec = topo.spec();
+        let m1 = spec.m(0) as usize; // hosts per leaf
+        let n = topo.num_hosts();
+        let leaves = n / m1;
+        assert!(
+            leaves.is_multiple_of(m1),
+            "adversarial construction needs leaf count ({leaves}) divisible by \
+             hosts-per-leaf ({m1})"
+        );
+
+        let target = |port: usize| -> usize {
+            let leaf = port / m1;
+            let off = port % m1;
+            let dst_leaf = (leaf + 1 + off) % leaves;
+            dst_leaf * m1 + (leaf % m1)
+        };
+
+        // Lay ranks along the cycles of the permutation.
+        let mut rank_to_port = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut at = start;
+            while !visited[at] {
+                visited[at] = true;
+                rank_to_port.push(at as u32);
+                at = target(at);
+            }
+        }
+        Self::from_map(rank_to_port, "adversarial-ring")
+    }
+
+    /// Number of ranks in the job.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.rank_to_port.len()
+    }
+
+    /// End-port hosting `rank`.
+    #[inline]
+    pub fn port_of(&self, rank: u32) -> u32 {
+        self.rank_to_port[rank as usize]
+    }
+
+    /// The full rank → port map.
+    #[inline]
+    pub fn map(&self) -> &[u32] {
+        &self.rank_to_port
+    }
+
+    /// Translates a rank-space CPS stage into port-space flows
+    /// `(src_port, dst_port)`, dropping self-flows.
+    pub fn port_flows(&self, stage: &Stage) -> Vec<(u32, u32)> {
+        stage
+            .pairs
+            .iter()
+            .filter(|&&(s, d)| s != d)
+            .map(|&(s, d)| (self.port_of(s), self.port_of(d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_collectives::{Cps, PermutationSequence};
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn topology_order_is_identity() {
+        let topo = Topology::build(catalog::nodes_128());
+        let ord = NodeOrder::topology(&topo);
+        assert_eq!(ord.num_ranks(), 128);
+        for r in 0..128u32 {
+            assert_eq!(ord.port_of(r), r);
+        }
+    }
+
+    #[test]
+    fn random_order_is_permutation_and_seeded() {
+        let topo = Topology::build(catalog::nodes_128());
+        let a = NodeOrder::random(&topo, 3);
+        let b = NodeOrder::random(&topo, 3);
+        let c = NodeOrder::random(&topo, 4);
+        assert_eq!(a, b);
+        assert_ne!(a.map(), c.map());
+        let mut ports = a.map().to_vec();
+        ports.sort_unstable();
+        assert_eq!(ports, (0..128).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn subset_order_sorts_ports() {
+        let ord = NodeOrder::topology_subset(vec![9, 3, 27, 4]);
+        assert_eq!(ord.map(), &[3, 4, 9, 27]);
+    }
+
+    #[test]
+    fn port_flows_translate_and_drop_self() {
+        let ord = NodeOrder::from_map(vec![10, 11, 12, 13], "test");
+        let stage = Stage::new(vec![(0, 1), (1, 2), (2, 2), (3, 0)]);
+        assert_eq!(
+            ord.port_flows(&stage),
+            vec![(10, 11), (11, 12), (13, 10)]
+        );
+    }
+
+    #[test]
+    fn adversarial_targets_congruent_destinations() {
+        // Every leaf's ring successors (ignoring cycle boundaries) must be
+        // congruent mod m1 and live on other leaves: that is what funnels
+        // all of the leaf's flows into one D-Mod-K up-port.
+        let topo = Topology::build(catalog::nodes_1944());
+        let ord = NodeOrder::adversarial_ring(&topo);
+        let n = topo.num_hosts() as u32;
+        let m1 = topo.spec().m(0);
+        let ring = Cps::Ring.stage(n, 0);
+        let flows = ord.port_flows(&ring);
+        // For each leaf, collect destination residues of flows that leave it.
+        let mut per_leaf: Vec<Vec<u32>> = vec![Vec::new(); n as usize / m1 as usize];
+        for (s, d) in flows {
+            if s / m1 != d / m1 {
+                per_leaf[(s / m1) as usize].push(d % m1);
+            }
+        }
+        let mut single_residue_leaves = 0;
+        for residues in &per_leaf {
+            let mut r = residues.clone();
+            r.sort_unstable();
+            r.dedup();
+            if r.len() == 1 {
+                single_residue_leaves += 1;
+            }
+        }
+        // Each permutation cycle boundary contributes one stray flow that
+        // may spoil a leaf; the construction on the 1944-node tree has a few
+        // dozen cycles, so require at least 80% of leaves to be perfectly
+        // funneled (the HSD analysis in ftree-analysis checks the resulting
+        // ~K-fold oversubscription quantitatively).
+        assert!(
+            single_residue_leaves * 10 >= per_leaf.len() * 8,
+            "only {single_residue_leaves}/{} leaves funneled",
+            per_leaf.len()
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ports must be distinct")]
+    fn duplicate_ports_rejected_in_debug() {
+        let _ = NodeOrder::from_map(vec![1, 1], "bad");
+    }
+}

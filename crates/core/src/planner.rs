@@ -1,0 +1,173 @@
+//! The contention-free job planner — the paper's recipe as one API.
+//!
+//! Paper Sec. I: *"to form such congestion-free configuration, MPI programs
+//! should utilize collective communication, MPI-node-order should be
+//! topology aware, and the packets routing should match the MPI
+//! communication patterns."* A [`Job`] bundles those three ingredients —
+//! topology, routing tables and rank order — and translates rank-space CPS
+//! stages into the port-space flows that analysis and simulation consume.
+
+use ftree_collectives::{Stage, TopoAwareRd};
+use ftree_topology::{RoutingTable, Topology};
+
+use crate::baselines::{route_minhop_greedy, route_random};
+use crate::dmodk::route_dmodk;
+use crate::ordering::NodeOrder;
+
+/// Routing algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingAlgo {
+    /// The paper's D-Mod-K closed form (eq. 1).
+    DModK,
+    /// Random up-port per destination (seeded).
+    Random(u64),
+    /// Greedy least-loaded min-hop (OpenSM-style).
+    MinHopGreedy,
+}
+
+impl RoutingAlgo {
+    /// Builds the forwarding tables on `topo`.
+    pub fn route(self, topo: &Topology) -> RoutingTable {
+        match self {
+            RoutingAlgo::DModK => route_dmodk(topo),
+            RoutingAlgo::Random(seed) => route_random(topo, seed),
+            RoutingAlgo::MinHopGreedy => route_minhop_greedy(topo),
+        }
+    }
+}
+
+/// A planned MPI job: topology + routing + rank order.
+#[derive(Debug, Clone)]
+pub struct Job<'t> {
+    /// The fabric the job runs on.
+    pub topo: &'t Topology,
+    /// Programmed forwarding tables.
+    pub routing: RoutingTable,
+    /// MPI rank -> end-port assignment.
+    pub order: NodeOrder,
+}
+
+impl<'t> Job<'t> {
+    /// Arbitrary combination of routing and ordering.
+    pub fn new(topo: &'t Topology, algo: RoutingAlgo, order: NodeOrder) -> Self {
+        Self {
+            topo,
+            routing: algo.route(topo),
+            order,
+        }
+    }
+
+    /// The paper's contention-free configuration for the full machine:
+    /// D-Mod-K routing with topology-order ranks.
+    pub fn contention_free(topo: &'t Topology) -> Self {
+        Self::new(topo, RoutingAlgo::DModK, NodeOrder::topology(topo))
+    }
+
+    /// Contention-free configuration for a partially-populated job: ranks
+    /// follow topology order over the populated ports.
+    pub fn contention_free_partial(topo: &'t Topology, ports: Vec<u32>) -> Self {
+        Self::new(
+            topo,
+            RoutingAlgo::DModK,
+            NodeOrder::topology_subset(ports),
+        )
+    }
+
+    /// Number of ranks in the job (may be smaller than the machine).
+    pub fn num_ranks(&self) -> u32 {
+        self.order.num_ranks() as u32
+    }
+
+    /// Port-space flows realizing a rank-space CPS stage.
+    pub fn stage_flows(&self, stage: &Stage) -> Vec<(u32, u32)> {
+        self.order.port_flows(stage)
+    }
+
+    /// The Sec. VI bidirectional sequence matched to this machine's level
+    /// arities — the recommended replacement for plain recursive doubling
+    /// on a fully-populated job.
+    pub fn recommended_bidirectional(&self) -> TopoAwareRd {
+        TopoAwareRd::new(self.topo.spec().ms().to_vec())
+    }
+}
+
+/// Largest congestion-free sub-allocation unit of an RLFT: `prod w_i`
+/// consecutive topology-ordered ports (paper Sec. V.A — e.g. multiples of
+/// 324 nodes on the maximal 3-level 36-port tree).
+pub fn suballocation_unit(topo: &Topology) -> usize {
+    topo.spec().w_prefix(topo.height())
+}
+
+/// The first `count` topology-ordered ports, for carving an aligned
+/// sub-allocation. `count` should be a multiple of [`suballocation_unit`]
+/// for the Theorem 1 guarantee to carry over.
+pub fn aligned_suballocation(topo: &Topology, count: usize) -> Vec<u32> {
+    assert!(count <= topo.num_hosts());
+    (0..count as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_collectives::{Cps, PermutationSequence};
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn contention_free_job_shape() {
+        let topo = Topology::build(catalog::nodes_128());
+        let job = Job::contention_free(&topo);
+        assert_eq!(job.num_ranks(), 128);
+        assert_eq!(job.routing.algorithm, "d-mod-k");
+        assert_eq!(job.order.label, "topology");
+    }
+
+    #[test]
+    fn partial_job_rank_count() {
+        let topo = Topology::build(catalog::nodes_128());
+        let ports: Vec<u32> = (0..100).collect();
+        let job = Job::contention_free_partial(&topo, ports);
+        assert_eq!(job.num_ranks(), 100);
+    }
+
+    #[test]
+    fn stage_flows_are_port_space() {
+        let topo = Topology::build(catalog::nodes_128());
+        let job = Job::contention_free(&topo);
+        let stage = Cps::Ring.stage(job.num_ranks(), 0);
+        let flows = job.stage_flows(&stage);
+        assert_eq!(flows.len(), 128);
+        assert_eq!(flows[0], (0, 1));
+        assert_eq!(flows[127], (127, 0));
+    }
+
+    #[test]
+    fn suballocation_unit_matches_paper_example() {
+        // Maximal 3-level 36-port tree: units of 324 nodes, 36 of them.
+        let topo = Topology::build(catalog::rlft3_full(18));
+        assert_eq!(suballocation_unit(&topo), 324);
+        assert_eq!(topo.num_hosts() / suballocation_unit(&topo), 36);
+    }
+
+    #[test]
+    fn routing_algo_labels() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        assert_eq!(RoutingAlgo::DModK.route(&topo).algorithm, "d-mod-k");
+        assert_eq!(
+            RoutingAlgo::Random(5).route(&topo).algorithm,
+            "random(seed=5)"
+        );
+        assert_eq!(
+            RoutingAlgo::MinHopGreedy.route(&topo).algorithm,
+            "minhop-greedy"
+        );
+    }
+
+    #[test]
+    fn recommended_bidirectional_matches_machine() {
+        let topo = Topology::build(catalog::nodes_324());
+        let job = Job::contention_free(&topo);
+        let seq = job.recommended_bidirectional();
+        assert_eq!(seq.num_ranks(), 324);
+    }
+}

@@ -1,0 +1,187 @@
+//! The paper's appendix lemmas, machine-checked one by one.
+//!
+//! Theorems 1 and 2 are covered end-to-end elsewhere (HSD = 1 over whole
+//! sequences); these tests pin down the individual stepping stones so a
+//! regression points at the exact broken argument.
+
+use ftree_core::{dmodk_up_port, route_dmodk};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+/// Lemma 1: the destinations a node routes *upward* form a subset of the
+/// arithmetic sequence `sum(b_i * W_{i-1}) + t * W_l`.
+#[test]
+fn lemma1_upward_destinations_are_arithmetic() {
+    // The lemma speaks about destinations whose traffic actually climbs
+    // through the node (LFT entries alone cover destinations that never
+    // arrive there). Trace real flows and collect, per switch, the
+    // destinations seen on its up-going ports.
+    let topo = Topology::build(catalog::nodes_1944());
+    let rt = route_dmodk(&topo);
+    let n = topo.num_hosts();
+    let mut seen_up: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for src in (0..n).step_by(13) {
+        for shift in [1usize, 29, 400, 1500] {
+            let dst = (src + shift) % n;
+            let path = rt.trace(&topo, src, dst).unwrap();
+            for ch in &path.channels {
+                if ch.direction() == ftree_topology::Direction::Up {
+                    let (node, _) = topo.channel_source(*ch);
+                    if !topo.node(node).is_host() {
+                        seen_up.entry(node.0).or_default().push(dst);
+                    }
+                }
+            }
+        }
+    }
+    assert!(!seen_up.is_empty());
+    for (sw, dsts) in seen_up {
+        let node = ftree_topology::NodeId(sw);
+        let seq = ftree_core::dmodk::lemma1_sequence(&topo, node, n);
+        let set: std::collections::HashSet<usize> = seq.into_iter().collect();
+        for dst in dsts {
+            assert!(
+                set.contains(&dst),
+                "{}: dst {dst} outside lemma-1 sequence",
+                topo.node_name(node)
+            );
+        }
+    }
+}
+
+/// Lemma 2: any contiguous window of `w_{l+1} * p_{l+1}` consecutive
+/// entries of a node's destination sequence maps to all distinct up-ports
+/// (cyclically).
+#[test]
+fn lemma2_contiguous_windows_use_distinct_ports() {
+    let topo = Topology::build(catalog::nodes_324());
+    let spec = topo.spec();
+    for level in 0..topo.height() {
+        let ups = spec.up_ports(level) as usize;
+        if ups == 0 {
+            continue;
+        }
+        let step = spec.w_prefix(level);
+        // Walk several windows of the lemma-1 sequence (base 0 node).
+        for start in [0usize, 3, 7, 11] {
+            let mut ports = std::collections::HashSet::new();
+            for t in start..start + ups {
+                let j = (t * step) % topo.num_hosts();
+                ports.insert(dmodk_up_port(&topo, level, j));
+            }
+            assert_eq!(
+                ports.len(),
+                ups,
+                "level {level} window at {start}: ports collide"
+            );
+        }
+    }
+}
+
+/// Lemma 3: the wrap-around destination (index past the last) reuses the
+/// first destination's up-port, so windows crossing the wrap stay
+/// non-overlapping on RLFTs.
+#[test]
+fn lemma3_wraparound_is_port_aligned() {
+    for spec in [catalog::nodes_324(), catalog::nodes_1944(), catalog::nodes_128()] {
+        let topo = Topology::build(spec);
+        let n = topo.num_hosts();
+        for level in 0..topo.height() {
+            if topo.spec().up_ports(level) == 0 {
+                continue;
+            }
+            let step = topo.spec().w_prefix(level);
+            let count = n / step; // entries in the lemma-1 sequence
+            let first = dmodk_up_port(&topo, level, 0);
+            let past_last = dmodk_up_port(&topo, level, (count * step) % n);
+            assert_eq!(
+                first,
+                past_last,
+                "{}: level {level} wrap not aligned",
+                topo.spec()
+            );
+        }
+    }
+}
+
+/// Lemma 4: in any Shift stage, at most `K` destinations are routed up
+/// through a given switch (below the top level).
+#[test]
+fn lemma4_at_most_k_destinations_up_per_switch() {
+    let topo = Topology::build(catalog::nodes_1944());
+    let rt = route_dmodk(&topo);
+    let n = topo.num_hosts();
+    let k = 18usize;
+    for shift in [1usize, 17, 324, 971] {
+        // Count, per switch, the distinct destinations of flows that climb
+        // through it.
+        let mut per_switch: std::collections::HashMap<u32, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for src in 0..n {
+            let dst = (src + shift) % n;
+            let path = rt.trace(&topo, src, dst).unwrap();
+            for ch in &path.channels {
+                if ch.direction() == ftree_topology::Direction::Up {
+                    let (node, _) = topo.channel_source(*ch);
+                    if !topo.node(node).is_host() {
+                        per_switch.entry(node.0).or_default().insert(dst);
+                    }
+                }
+            }
+        }
+        for (sw, dsts) in per_switch {
+            assert!(
+                dsts.len() <= k,
+                "shift {shift}: switch {sw} routes {} destinations upward",
+                dsts.len()
+            );
+        }
+    }
+}
+
+/// Lemma 5: all traffic toward a destination converges on one top switch.
+#[test]
+fn lemma5_single_top_switch_per_destination() {
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = route_dmodk(&topo);
+    let n = topo.num_hosts();
+    let top = topo.height();
+    for dst in (0..n).step_by(5) {
+        let mut tops = std::collections::HashSet::new();
+        for src in 0..n {
+            if src == dst {
+                continue;
+            }
+            for node in rt.trace(&topo, src, dst).unwrap().nodes {
+                if topo.node(node).level as usize == top {
+                    tops.insert(node);
+                }
+            }
+        }
+        assert!(tops.len() <= 1, "dst {dst}: {} top switches", tops.len());
+    }
+}
+
+/// Lemma 6: each top-level switch passes traffic for exactly `2K`
+/// destinations.
+#[test]
+fn lemma6_top_switches_carry_2k_destinations() {
+    for (spec, k) in [(catalog::nodes_128(), 8usize), (catalog::nodes_324(), 18)] {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let n = topo.num_hosts();
+        let mut per_top: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for dst in 0..n {
+            let src = (dst + topo.spec().m_prefix(topo.height() - 1)) % n;
+            for node in rt.trace(&topo, src, dst).unwrap().nodes {
+                if topo.node(node).level as usize == topo.height() {
+                    *per_top.entry(node.0).or_default() += 1;
+                }
+            }
+        }
+        assert_eq!(per_top.len(), topo.spec().nodes_at_level(topo.height()));
+        for (&sw, &count) in &per_top {
+            assert_eq!(count, 2 * k, "{}: top switch {sw}", topo.spec());
+        }
+    }
+}

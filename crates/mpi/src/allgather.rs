@@ -1,0 +1,240 @@
+//! Allgather algorithms: ring, dissemination (Bruck), recursive doubling,
+//! neighbor exchange, and the paper's topology-aware sequence.
+//!
+//! Buffer layout for all of them: `n*b` elements per rank, block `j` at
+//! offset `j*b` (see [`crate::data::allgather_world`]).
+
+use ftree_collectives::{Cps, PermutationSequence, TopoAwareRd};
+
+use crate::world::{Action, Message, Part, World};
+
+/// Ring allgather (Table 1: AllGather / ring, both MPIs, large messages).
+/// `N-1` repetitions of the Ring CPS; in round `t` each rank forwards the
+/// block it received in round `t-1`.
+pub fn ring_allgather(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    for t in 0..n.saturating_sub(1) {
+        let stage = Cps::Ring.stage(n as u32, 0);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let block = (src as usize + n - t) % n;
+                Message::store(
+                    src,
+                    dst,
+                    block * b,
+                    world.buf(src as usize)[block * b..(block + 1) * b].to_vec(),
+                )
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Dissemination (Bruck-style) allgather (Table 1: AllGather / bruck,
+/// OpenMPI small messages). Stage `s` ships the `min(2^s, n - 2^s)` most
+/// recently acquired blocks a distance `2^s` forward.
+pub fn dissemination_allgather(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    for s in 0..Cps::Dissemination.num_stages(n as u32) {
+        let stage = Cps::Dissemination.stage(n as u32, s);
+        let window = (1usize << s).min(n - (1usize << s));
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let parts = (0..window)
+                    .map(|t| {
+                        let block = (src as usize + n - t) % n;
+                        Part {
+                            offset: block * b,
+                            data: world.buf(src as usize)[block * b..(block + 1) * b].to_vec(),
+                        }
+                    })
+                    .collect();
+                Message {
+                    src,
+                    dst,
+                    action: Action::Store,
+                    parts,
+                }
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Recursive-doubling allgather (Table 1: AllGather / recursive doubling,
+/// both MPIs, small messages, power-of-two ranks only — exactly the `2`
+/// annotation in the paper's table).
+pub fn recursive_doubling_allgather(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    assert!(n.is_power_of_two(), "recursive doubling allgather needs 2^k ranks");
+    for s in 0..Cps::RecursiveDoubling.num_stages(n as u32) {
+        let stage = Cps::RecursiveDoubling.stage(n as u32, s);
+        let span = 1usize << s;
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let base = (src as usize) & !(span - 1);
+                Message::store(
+                    src,
+                    dst,
+                    base * b,
+                    world.buf(src as usize)[base * b..(base + span) * b].to_vec(),
+                )
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Sends every block the source currently knows (tracked by `known`).
+fn send_known(world: &World, known: &[Vec<bool>], src: u32, dst: u32, b: usize) -> Message {
+    let parts = known[src as usize]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &k)| k)
+        .map(|(block, _)| Part {
+            offset: block * b,
+            data: world.buf(src as usize)[block * b..(block + 1) * b].to_vec(),
+        })
+        .collect();
+    Message {
+        src,
+        dst,
+        action: Action::Store,
+        parts,
+    }
+}
+
+fn merge_known(known: &mut [Vec<bool>], pairs: &[(u32, u32)]) {
+    let snapshot: Vec<Vec<bool>> = known.to_vec();
+    for &(src, dst) in pairs {
+        for (slot, &k) in known[dst as usize].iter_mut().zip(&snapshot[src as usize]) {
+            *slot |= k;
+        }
+    }
+}
+
+/// Neighbor-exchange allgather (Table 1: AllGather / neighbor exchange,
+/// OpenMPI large messages, even rank counts).
+pub fn neighbor_exchange_allgather(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    assert!(n.is_multiple_of(2), "neighbor exchange needs an even rank count");
+    let mut known: Vec<Vec<bool>> = (0..n)
+        .map(|r| (0..n).map(|k| k == r).collect())
+        .collect();
+    for s in 0..Cps::NeighborExchange.num_stages(n as u32) {
+        let stage = Cps::NeighborExchange.stage(n as u32, s);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| send_known(world, &known, src, dst, b))
+            .collect();
+        merge_known(&mut known, &stage.pairs);
+        world.exchange(msgs);
+    }
+}
+
+/// Allgather over the paper's Sec. VI topology-aware recursive-doubling
+/// sequence — the contention-free replacement for XOR exchange on a
+/// fat-tree with level arities `m`.
+pub fn topo_aware_allgather(world: &mut World, b: usize, seq: &TopoAwareRd) {
+    let n = world.num_ranks();
+    assert_eq!(n as u32, seq.num_ranks());
+    let mut known: Vec<Vec<bool>> = (0..n)
+        .map(|r| (0..n).map(|k| k == r).collect())
+        .collect();
+    for id in seq.schedule() {
+        let stage = seq.stage_for(id);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| send_known(world, &known, src, dst, b))
+            .collect();
+        merge_known(&mut known, &stage.pairs);
+        world.exchange(msgs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{allgather_world, verify_allgather};
+    use ftree_collectives::identify;
+
+    #[test]
+    fn ring_allgather_works_and_traces_ring() {
+        for n in [2usize, 5, 12] {
+            let mut w = allgather_world(n, 3);
+            ring_allgather(&mut w, 3);
+            verify_allgather(&w, 3);
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Ring), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dissemination_allgather_works_and_traces() {
+        for n in [4usize, 6, 8, 13] {
+            let mut w = allgather_world(n, 2);
+            dissemination_allgather(&mut w, 2);
+            verify_allgather(&w, 2);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::Dissemination),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_allgather_works_pow2() {
+        for n in [4usize, 8, 32] {
+            let mut w = allgather_world(n, 2);
+            recursive_doubling_allgather(&mut w, 2);
+            verify_allgather(&w, 2);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::RecursiveDoubling),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2^k ranks")]
+    fn recursive_doubling_rejects_non_pow2() {
+        let mut w = allgather_world(6, 1);
+        recursive_doubling_allgather(&mut w, 1);
+    }
+
+    #[test]
+    fn neighbor_exchange_works_and_traces() {
+        for n in [4usize, 8, 10, 14] {
+            let mut w = allgather_world(n, 2);
+            neighbor_exchange_allgather(&mut w, 2);
+            verify_allgather(&w, 2);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::NeighborExchange),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn topo_aware_allgather_completes() {
+        for m in [vec![4u32, 4], vec![6, 3], vec![3, 2, 2]] {
+            let seq = TopoAwareRd::new(m.clone());
+            let n = seq.num_ranks() as usize;
+            let mut w = allgather_world(n, 2);
+            topo_aware_allgather(&mut w, 2, &seq);
+            verify_allgather(&w, 2);
+            // The trace equals the generated schedule stage for stage.
+            assert_eq!(w.trace().len(), seq.schedule().len(), "shape {m:?}");
+        }
+    }
+}

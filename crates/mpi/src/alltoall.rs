@@ -1,0 +1,95 @@
+//! All-to-all and barrier: the pairwise-exchange (Shift CPS) and
+//! dissemination algorithms.
+
+use ftree_collectives::{Cps, PermutationSequence};
+
+use crate::world::{Message, World};
+
+/// Pairwise-exchange all-to-all (Table 1: AllToAll / pairwise, MVAPICH
+/// large messages) — the full Shift CPS: in stage `s` every rank sends its
+/// block for rank `(i+s) mod n` directly there. This is the pattern whose
+/// contention-freedom Theorem 1 guarantees.
+///
+/// Buffer layout: `n*b`; outgoing block for `j` at offset `j*b`, incoming
+/// block from `j` overwrites the same slot.
+pub fn pairwise_alltoall(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    for s in 0..Cps::Shift.num_stages(n as u32) {
+        let stage = Cps::Shift.stage(n as u32, s);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                // Send src's outgoing block for dst; receiver files it in
+                // receive-region slot src.
+                Message::store(
+                    src,
+                    dst,
+                    (n + src as usize) * b,
+                    world.buf(src as usize)[dst as usize * b..(dst as usize + 1) * b].to_vec(),
+                )
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Dissemination barrier (Table 1: Barrier / dissemination). Modeled with
+/// hear-from counters: rank `i`'s buffer counts, per peer, how often news
+/// from that peer has reached `i` (directly or transitively). After the
+/// `ceil(log2 n)` dissemination stages every counter is positive — everyone
+/// has heard from everyone, which is the barrier's guarantee.
+pub fn dissemination_barrier(world: &mut World) {
+    let n = world.num_ranks() as u32;
+    for s in 0..Cps::Dissemination.num_stages(n) {
+        let stage = Cps::Dissemination.stage(n, s);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec())
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{alltoall_world, verify_alltoall};
+    use ftree_collectives::identify;
+    use crate::world::World;
+
+    #[test]
+    fn pairwise_alltoall_works_and_traces_shift() {
+        for n in [4usize, 5, 9, 16] {
+            let mut w = alltoall_world(n, 2);
+            pairwise_alltoall(&mut w, 2);
+            verify_alltoall(&w, 2);
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Shift), "n={n}");
+        }
+    }
+
+    #[test]
+    fn barrier_hears_from_everyone() {
+        for n in [4usize, 7, 16, 30] {
+            let mut w = World::new(n, |r| {
+                (0..n).map(|k| if k == r { 1i64 } else { 0 }).collect()
+            });
+            dissemination_barrier(&mut w);
+            for r in 0..n {
+                assert!(
+                    w.buf(r).iter().all(|&c| c > 0),
+                    "n={n}: rank {r} missed someone: {:?}",
+                    w.buf(r)
+                );
+            }
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::Dissemination),
+                "n={n}"
+            );
+        }
+    }
+}

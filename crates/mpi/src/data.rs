@@ -1,0 +1,177 @@
+//! Buffer layouts, seed data and result verification for the collectives.
+//!
+//! Every collective works on block-structured buffers: rank `r`'s
+//! contribution is the block `seed_block(r, b)` of `b` elements. The
+//! verifiers below state each collective's postcondition; algorithm tests
+//! check both the postcondition and the traced CPS.
+
+use crate::world::World;
+
+/// Rank `r`'s characteristic data block of `b` elements.
+pub fn seed_block(rank: usize, b: usize) -> Vec<i64> {
+    (0..b).map(|k| (rank * 1_000 + k) as i64).collect()
+}
+
+/// The block rank `i` addresses to rank `j` in an all-to-all (depends on
+/// both endpoints).
+pub fn seed_block_pair(src: usize, dst: usize, b: usize) -> Vec<i64> {
+    (0..b)
+        .map(|k| (src * 1_000_000 + dst * 1_000 + k) as i64)
+        .collect()
+}
+
+/// World for allgather-family collectives: `n*b` elements per rank, own
+/// block populated, the rest zero.
+pub fn allgather_world(n: usize, b: usize) -> World {
+    World::new(n, |r| {
+        let mut buf = vec![0i64; n * b];
+        buf[r * b..(r + 1) * b].copy_from_slice(&seed_block(r, b));
+        buf
+    })
+}
+
+/// World for reduction-family collectives: a `b`-element vector per rank.
+pub fn reduce_world(n: usize, b: usize) -> World {
+    World::new(n, |r| seed_block(r, b))
+}
+
+/// World for reduce-scatter / Rabenseifner: `n*b` elements per rank, every
+/// block populated with the rank's own contribution for that slot.
+pub fn blockwise_reduce_world(n: usize, b: usize) -> World {
+    World::new(n, |r| {
+        (0..n)
+            .flat_map(|slot| {
+                seed_block(r, b)
+                    .into_iter()
+                    .map(move |v| v + (slot as i64) * 7)
+            })
+            .collect()
+    })
+}
+
+/// World for all-to-all: rank `i` holds the outgoing block for each `j` at
+/// offset `j*b`, plus a receive region of another `n*b` elements (incoming
+/// block from `j` lands at offset `(n+j)*b`; a separate region keeps the
+/// in-flight exchange from clobbering not-yet-sent outgoing blocks).
+pub fn alltoall_world(n: usize, b: usize) -> World {
+    World::new(n, |i| {
+        (0..n)
+            .flat_map(|j| seed_block_pair(i, j, b))
+            .chain(std::iter::repeat_n(0, n * b))
+            .collect()
+    })
+}
+
+/// World for scatter/bcast-family: root 0 holds `n*b` elements (all
+/// blocks), everyone else zeros.
+pub fn rooted_world(n: usize, b: usize) -> World {
+    World::new(n, |r| {
+        if r == 0 {
+            (0..n).flat_map(|j| seed_block(j, b)).collect()
+        } else {
+            vec![0i64; n * b]
+        }
+    })
+}
+
+/// Postcondition: every rank holds every rank's block.
+pub fn verify_allgather(world: &World, b: usize) {
+    let n = world.num_ranks();
+    let expected: Vec<i64> = (0..n).flat_map(|j| seed_block(j, b)).collect();
+    for r in 0..n {
+        assert_eq!(world.buf(r), &expected[..], "allgather wrong at rank {r}");
+    }
+}
+
+/// Postcondition: `ranks` (default all) hold the element-wise sum of all
+/// seed vectors.
+pub fn verify_allreduce(world: &World, b: usize, ranks: impl Iterator<Item = usize>) {
+    let n = world.num_ranks();
+    let expected: Vec<i64> = (0..b)
+        .map(|k| (0..n).map(|r| seed_block(r, b)[k]).sum())
+        .collect();
+    for r in ranks {
+        assert_eq!(world.buf(r), &expected[..], "allreduce wrong at rank {r}");
+    }
+}
+
+/// Postcondition for reduce-scatter on [`blockwise_reduce_world`]: rank `i`
+/// holds the summed slot-`i` block at offset `i*b`.
+pub fn verify_reduce_scatter(world: &World, b: usize) {
+    let n = world.num_ranks();
+    for i in 0..n {
+        let expected: Vec<i64> = (0..b)
+            .map(|k| {
+                (0..n)
+                    .map(|r| seed_block(r, b)[k] + (i as i64) * 7)
+                    .sum::<i64>()
+            })
+            .collect();
+        assert_eq!(
+            &world.buf(i)[i * b..(i + 1) * b],
+            &expected[..],
+            "reduce-scatter wrong at rank {i}"
+        );
+    }
+}
+
+/// Postcondition: rank `i` holds the block rank `j` addressed to it, in its
+/// receive region at offset `(n+j)*b`, for every `j != i`.
+pub fn verify_alltoall(world: &World, b: usize) {
+    let n = world.num_ranks();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue; // local block is not exchanged
+            }
+            assert_eq!(
+                &world.buf(i)[(n + j) * b..(n + j + 1) * b],
+                &seed_block_pair(j, i, b)[..],
+                "alltoall wrong at rank {i} slot {j}"
+            );
+        }
+    }
+}
+
+/// Postcondition: every rank holds its own block at offset `rank*b`.
+pub fn verify_scatter(world: &World, b: usize) {
+    for r in 0..world.num_ranks() {
+        assert_eq!(
+            &world.buf(r)[r * b..(r + 1) * b],
+            &seed_block(r, b)[..],
+            "scatter wrong at rank {r}"
+        );
+    }
+}
+
+/// Postcondition: the root holds every block.
+pub fn verify_gather(world: &World, b: usize, root: usize) {
+    let n = world.num_ranks();
+    let expected: Vec<i64> = (0..n).flat_map(|j| seed_block(j, b)).collect();
+    assert_eq!(world.buf(root), &expected[..], "gather wrong at root");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_blocks_are_distinct() {
+        assert_ne!(seed_block(1, 4), seed_block(2, 4));
+        assert_ne!(seed_block_pair(1, 2, 4), seed_block_pair(2, 1, 4));
+    }
+
+    #[test]
+    fn allgather_world_has_own_block_only() {
+        let w = allgather_world(4, 2);
+        assert_eq!(&w.buf(2)[4..6], &seed_block(2, 2)[..]);
+        assert_eq!(&w.buf(2)[0..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rooted_world_concentrates_data() {
+        let w = rooted_world(3, 2);
+        assert_eq!(w.buf(0).len(), 6);
+        assert!(w.buf(1).iter().all(|&x| x == 0));
+    }
+}

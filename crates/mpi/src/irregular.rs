@@ -1,0 +1,164 @@
+//! Irregular (v-variant) collectives: variable per-rank contribution sizes.
+//!
+//! MPI's `Allgatherv`/`Gatherv` move different byte counts per rank, which
+//! makes their network behaviour stage-dependent in *size* as well as
+//! pattern — exactly what the sized traffic plans exist for. The CPS is
+//! unchanged (Ring / Tournament); only the content half of the
+//! decomposition varies.
+
+use ftree_collectives::{Cps, PermutationSequence};
+
+use crate::world::{Message, World};
+
+/// Element offset of rank `r`'s block given per-rank `counts`.
+pub fn displs(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        out.push(acc);
+        acc += c;
+    }
+    out
+}
+
+/// World for v-variant collectives: every rank's buffer spans the full
+/// concatenation (`sum(counts)` elements); rank `r` starts with its own
+/// irregular block populated.
+pub fn allgatherv_world(counts: &[usize]) -> World {
+    let offsets = displs(counts);
+    let total: usize = counts.iter().sum();
+    let counts = counts.to_vec();
+    World::new(counts.len(), move |r| {
+        let mut buf = vec![0i64; total];
+        for (k, slot) in buf[offsets[r]..offsets[r] + counts[r]].iter_mut().enumerate() {
+            *slot = (r * 1_000 + k) as i64;
+        }
+        buf
+    })
+}
+
+/// Ring allgatherv (the Ring CPS with per-round irregular payloads): round
+/// `t` forwards the block originally contributed by rank `(i - t) mod n`.
+pub fn ring_allgatherv(world: &mut World, counts: &[usize]) {
+    let n = world.num_ranks();
+    assert_eq!(counts.len(), n);
+    let offsets = displs(counts);
+    for t in 0..n.saturating_sub(1) {
+        let stage = Cps::Ring.stage(n as u32, 0);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let block = (src as usize + n - t) % n;
+                Message::store(
+                    src,
+                    dst,
+                    offsets[block],
+                    world.buf(src as usize)[offsets[block]..offsets[block] + counts[block]]
+                        .to_vec(),
+                )
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Postcondition: every rank holds every rank's irregular block.
+pub fn verify_allgatherv(world: &World, counts: &[usize]) {
+    let offsets = displs(counts);
+    let n = world.num_ranks();
+    for r in 0..n {
+        for j in 0..n {
+            let got = &world.buf(r)[offsets[j]..offsets[j] + counts[j]];
+            let expected: Vec<i64> = (0..counts[j]).map(|k| (j * 1_000 + k) as i64).collect();
+            assert_eq!(got, &expected[..], "rank {r} missing block {j}");
+        }
+    }
+}
+
+/// Tournament gatherv to rank 0 with irregular blocks: each stage forwards
+/// the sender's accumulated contiguous span.
+pub fn binomial_gatherv(world: &mut World, counts: &[usize]) {
+    let n = world.num_ranks();
+    assert_eq!(counts.len(), n);
+    let offsets = displs(counts);
+    let total: usize = counts.iter().sum();
+    for s in 0..Cps::Tournament.num_stages(n as u32) {
+        let stage = Cps::Tournament.stage(n as u32, s);
+        let held = 1usize << s;
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let lo = offsets[src as usize];
+                let hi_rank = (src as usize + held).min(n);
+                let hi = if hi_rank == n { total } else { offsets[hi_rank] };
+                Message::store(src, dst, lo, world.buf(src as usize)[lo..hi].to_vec())
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_collectives::identify;
+
+    #[test]
+    fn allgatherv_irregular_blocks() {
+        for counts in [vec![1usize, 5, 2, 9], vec![3; 8], vec![0, 4, 1, 1, 7]] {
+            let mut w = allgatherv_world(&counts);
+            ring_allgatherv(&mut w, &counts);
+            verify_allgatherv(&w, &counts);
+            assert_eq!(
+                identify(w.trace(), counts.len() as u32),
+                Some(Cps::Ring),
+                "{counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn allgatherv_traffic_sizes_rotate() {
+        let counts = vec![2usize, 5, 1, 3];
+        let mut w = allgatherv_world(&counts);
+        ring_allgatherv(&mut w, &counts);
+        let traffic = w.traffic_stages(8);
+        // Round 0: rank i ships its own block: sizes follow counts.
+        for &(src, _, bytes) in &traffic[0] {
+            assert_eq!(bytes, counts[src as usize] as u64 * 8);
+        }
+        // Round 1: rank i ships the block of rank i-1.
+        for &(src, _, bytes) in &traffic[1] {
+            let prev = (src as usize + counts.len() - 1) % counts.len();
+            assert_eq!(bytes, counts[prev] as u64 * 8);
+        }
+    }
+
+    #[test]
+    fn gatherv_to_root() {
+        for counts in [vec![4usize, 1, 3, 2, 6], vec![2; 7]] {
+            let mut w = allgatherv_world(&counts);
+            binomial_gatherv(&mut w, &counts);
+            let offsets = displs(&counts);
+            for (j, &c) in counts.iter().enumerate() {
+                let got = &w.buf(0)[offsets[j]..offsets[j] + c];
+                let expected: Vec<i64> = (0..c).map(|k| (j * 1_000 + k) as i64).collect();
+                assert_eq!(got, &expected[..], "root missing block {j}");
+            }
+            assert_eq!(
+                identify(w.trace(), counts.len() as u32),
+                Some(Cps::Tournament)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let counts = vec![0usize, 0, 3, 0];
+        let mut w = allgatherv_world(&counts);
+        ring_allgatherv(&mut w, &counts);
+        verify_allgatherv(&w, &counts);
+    }
+}

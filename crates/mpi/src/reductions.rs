@@ -1,0 +1,186 @@
+//! Reduction collectives: recursive-doubling allreduce, recursive-halving
+//! reduce-scatter, and the composite Rabenseifner allreduce.
+
+use ftree_collectives::{floor_log2, Cps, PermutationSequence};
+
+use crate::world::{Message, World};
+
+/// Recursive-doubling allreduce (Table 1: AllReduce / recursive doubling,
+/// both MPIs, small messages). Handles any rank count via the pre/post
+/// proxy stages baked into the CPS: remainder ranks fold their vectors onto
+/// proxies, the power-of-two core runs the XOR exchange, and the post stage
+/// copies results back out. Buffer layout: `b`-element vectors.
+pub fn recursive_doubling_allreduce(world: &mut World) {
+    let n = world.num_ranks() as u32;
+    let stages = Cps::RecursiveDoubling.num_stages(n);
+    let has_proxy = n > 1 && !n.is_power_of_two();
+    for s in 0..stages {
+        let stage = Cps::RecursiveDoubling.stage(n, s);
+        let is_post = has_proxy && s == stages - 1;
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let data = world.buf(src as usize).to_vec();
+                if is_post {
+                    // Proxies hand the finished result back: overwrite.
+                    Message::store(src, dst, 0, data)
+                } else {
+                    // Pre stage and XOR stages combine partial sums.
+                    Message::accumulate(src, dst, 0, data)
+                }
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// One recursive-halving stage at pair distance `d` (in blocks): each rank
+/// accumulates into its partner the half-range (size `d`) that the partner
+/// is responsible for.
+fn halving_stage_msgs(world: &World, pairs: &[(u32, u32)], d: usize, b: usize) -> Vec<Message> {
+    pairs
+        .iter()
+        .map(|&(src, dst)| {
+            // Destination's aligned d-block range.
+            let base = (dst as usize) & !(d - 1);
+            Message::accumulate(
+                src,
+                dst,
+                base * b,
+                world.buf(src as usize)[base * b..(base + d) * b].to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Recursive-halving reduce-scatter (Table 1: ReduceScatter / recursive
+/// halving, both MPIs, power-of-two ranks). Buffer layout: `n*b`; rank `i`
+/// ends with the fully-reduced block `i`.
+pub fn recursive_halving_reduce_scatter(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    assert!(n.is_power_of_two(), "recursive halving needs 2^k ranks");
+    for s in 0..Cps::RecursiveHalving.num_stages(n as u32) {
+        let stage = Cps::RecursiveHalving.stage(n as u32, s);
+        // Halving descends: distance n/2, n/4, ..., 1 (in blocks).
+        let d = 1usize << (floor_log2(n as u32) as usize - 1 - s);
+        let msgs = halving_stage_msgs(world, &stage.pairs, d, b);
+        world.exchange(msgs);
+    }
+}
+
+/// Rabenseifner allreduce (Table 1: AllReduce / rabenseifner, both MPIs,
+/// large messages): recursive-halving reduce-scatter followed by
+/// recursive-doubling allgather of the reduced blocks. Power-of-two ranks.
+/// Buffer layout: `n*b`; every rank ends with every fully-reduced block.
+pub fn rabenseifner_allreduce(world: &mut World, b: usize) {
+    let n = world.num_ranks();
+    recursive_halving_reduce_scatter(world, b);
+    // Allgather phase: doubling distances, aligned span exchange.
+    for s in 0..Cps::RecursiveDoubling.num_stages(n as u32) {
+        let stage = Cps::RecursiveDoubling.stage(n as u32, s);
+        let span = 1usize << s;
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let base = (src as usize) & !(span - 1);
+                Message::store(
+                    src,
+                    dst,
+                    base * b,
+                    world.buf(src as usize)[base * b..(base + span) * b].to_vec(),
+                )
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{
+        blockwise_reduce_world, reduce_world, seed_block, verify_allreduce,
+        verify_reduce_scatter,
+    };
+    use ftree_collectives::identify;
+
+    #[test]
+    fn rd_allreduce_power_of_two() {
+        for n in [4usize, 8, 16] {
+            let mut w = reduce_world(n, 3);
+            recursive_doubling_allreduce(&mut w);
+            verify_allreduce(&w, 3, 0..n);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::RecursiveDoubling),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rd_allreduce_non_power_of_two_uses_proxies() {
+        for n in [3usize, 6, 12, 21] {
+            let mut w = reduce_world(n, 2);
+            recursive_doubling_allreduce(&mut w);
+            verify_allreduce(&w, 2, 0..n);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::RecursiveDoubling),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn halving_reduce_scatter_works() {
+        for n in [4usize, 8, 16] {
+            let mut w = blockwise_reduce_world(n, 2);
+            recursive_halving_reduce_scatter(&mut w, 2);
+            verify_reduce_scatter(&w, 2);
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::RecursiveHalving),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rabenseifner_full_allreduce() {
+        for n in [4usize, 8, 16] {
+            let b = 2;
+            let mut w = blockwise_reduce_world(n, b);
+            rabenseifner_allreduce(&mut w, b);
+            // Every rank must hold every summed block.
+            for i in 0..n {
+                for slot in 0..n {
+                    let expected: Vec<i64> = (0..b)
+                        .map(|k| {
+                            (0..n)
+                                .map(|r| seed_block(r, b)[k] + (slot as i64) * 7)
+                                .sum::<i64>()
+                        })
+                        .collect();
+                    assert_eq!(
+                        &w.buf(i)[slot * b..(slot + 1) * b],
+                        &expected[..],
+                        "n={n} rank {i} slot {slot}"
+                    );
+                }
+            }
+            // Composite trace: halving phase then doubling phase.
+            let l = Cps::RecursiveHalving.num_stages(n as u32);
+            assert_eq!(
+                identify(&w.trace()[..l], n as u32),
+                Some(Cps::RecursiveHalving)
+            );
+            assert_eq!(
+                identify(&w.trace()[l..], n as u32),
+                Some(Cps::RecursiveDoubling)
+            );
+        }
+    }
+}

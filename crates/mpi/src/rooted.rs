@@ -1,0 +1,175 @@
+//! Rooted collectives: broadcast, scatter (Binomial CPS) and gather,
+//! reduce (Tournament CPS).
+//!
+//! The binomial tree ascends distance `2^s`; scatter distributes congruence
+//! classes (`k ≡ dst (mod 2^{s+1})`) so that every rank ends with exactly
+//! its own block, gather ascends the Tournament stages accumulating
+//! contiguous block ranges toward rank 0.
+
+use ftree_collectives::{Cps, PermutationSequence};
+
+use crate::world::{Message, Part, World};
+
+/// Binomial-tree broadcast from rank 0 (Table 1: Broadcast / binomial,
+/// MVAPICH & OpenMPI small messages). Buffer layout: `b` elements per rank.
+pub fn binomial_bcast(world: &mut World) {
+    let n = world.num_ranks() as u32;
+    for s in 0..Cps::Binomial.num_stages(n) {
+        let stage = Cps::Binomial.stage(n, s);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| Message::store(src, dst, 0, world.buf(src as usize).to_vec()))
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Binomial-tree scatter from rank 0 (Table 1: Scatter / binomial).
+/// Buffer layout: `n*b` elements; rank `r` must end with block `r`.
+///
+/// Invariant: before stage `s`, rank `i < 2^s` holds all blocks
+/// `k ≡ i (mod 2^s)`; it forwards the half `k ≡ i + 2^s (mod 2^{s+1})`.
+pub fn binomial_scatter(world: &mut World, b: usize) {
+    let n = world.num_ranks() as u32;
+    for s in 0..Cps::Binomial.num_stages(n) {
+        let stage = Cps::Binomial.stage(n, s);
+        let modulus = 1usize << (s + 1);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let parts: Vec<Part> = (0..n as usize)
+                    .filter(|&k| k % modulus == dst as usize % modulus)
+                    .map(|k| Part {
+                        offset: k * b,
+                        data: world.buf(src as usize)[k * b..(k + 1) * b].to_vec(),
+                    })
+                    .collect();
+                Message {
+                    src,
+                    dst,
+                    action: crate::world::Action::Store,
+                    parts,
+                }
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Binomial-tree gather to rank 0 (Table 1: Gather / binomial — the
+/// Tournament CPS). Buffer layout: `n*b`; rank 0 ends with every block.
+///
+/// Invariant: before the stage at distance `2^s`, rank `j ≡ 0 (mod 2^s)`
+/// holds the contiguous blocks `[j, j + 2^s) ∩ [0, n)`.
+pub fn binomial_gather(world: &mut World, b: usize) {
+    let n = world.num_ranks() as u32;
+    for s in 0..Cps::Tournament.num_stages(n) {
+        let stage = Cps::Tournament.stage(n, s);
+        let held = 1usize << s;
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let lo = src as usize;
+                let hi = (lo + held).min(n as usize);
+                Message::store(src, dst, lo * b, world.buf(lo)[lo * b..hi * b].to_vec())
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Binomial-tree reduce to rank 0 (Table 1: Reduce / binomial — Tournament
+/// CPS). Buffer layout: `b`-element vectors; rank 0 ends with the sum.
+pub fn binomial_reduce(world: &mut World) {
+    let n = world.num_ranks() as u32;
+    for s in 0..Cps::Tournament.num_stages(n) {
+        let stage = Cps::Tournament.stage(n, s);
+        let msgs = stage
+            .pairs
+            .iter()
+            .map(|&(src, dst)| {
+                Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec())
+            })
+            .collect();
+        world.exchange(msgs);
+    }
+}
+
+/// Scatter + ring-allgather broadcast (Table 1: Broadcast / scatter + ring
+/// allgather, OpenMPI large messages): the root's `n*b` buffer is scattered
+/// binomially (each rank ends with block `rank`), then a ring allgather
+/// reassembles the full buffer everywhere. Composite trace: Binomial stages
+/// followed by Ring stages.
+pub fn scatter_ring_bcast(world: &mut World, b: usize) {
+    binomial_scatter(world, b);
+    crate::allgather::ring_allgather(world, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::*;
+    use ftree_collectives::identify;
+
+    #[test]
+    fn bcast_delivers_and_traces_binomial() {
+        for n in [2usize, 7, 16, 19] {
+            let mut w = World::new(n, |r| if r == 0 { seed_block(0, 4) } else { vec![0; 4] });
+            binomial_bcast(&mut w);
+            for r in 0..n {
+                assert_eq!(w.buf(r), &seed_block(0, 4)[..], "n={n} rank {r}");
+            }
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Binomial), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_and_traces_binomial() {
+        for n in [2usize, 8, 13] {
+            let mut w = rooted_world(n, 3);
+            binomial_scatter(&mut w, 3);
+            verify_scatter(&w, 3);
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Binomial), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gather_delivers_and_traces_tournament() {
+        for n in [2usize, 8, 11] {
+            let mut w = allgather_world(n, 2);
+            binomial_gather(&mut w, 2);
+            verify_gather(&w, 2, 0);
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Tournament), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scatter_ring_bcast_broadcasts_everything() {
+        for n in [4usize, 9, 16] {
+            let mut w = rooted_world(n, 2);
+            scatter_ring_bcast(&mut w, 2);
+            // Every rank ends with the root's full buffer.
+            let expected: Vec<i64> = (0..n).flat_map(|j| seed_block(j, 2)).collect();
+            for r in 0..n {
+                assert_eq!(w.buf(r), &expected[..], "n={n} rank {r}");
+            }
+            // Composite trace: Binomial phase then Ring phase.
+            let l = Cps::Binomial.num_stages(n as u32);
+            assert_eq!(identify(&w.trace()[..l], n as u32), Some(Cps::Binomial));
+            assert_eq!(identify(&w.trace()[l..], n as u32), Some(Cps::Ring));
+        }
+    }
+
+    #[test]
+    fn reduce_sums_and_traces_tournament() {
+        for n in [2usize, 6, 16, 21] {
+            let mut w = reduce_world(n, 5);
+            binomial_reduce(&mut w);
+            verify_allreduce(&w, 5, std::iter::once(0));
+            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Tournament), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Executable validation of the Table 1 survey.
+//!
+//! For every algorithm row of [`ftree_collectives::table1()`](ftree_collectives::table1::table1) that we
+//! implement, [`run_survey`] executes the algorithm on a live [`World`],
+//! extracts its communication trace, and identifies the CPS — confirming
+//! in code the paper's claim that the 18 MVAPICH/OpenMPI algorithms employ
+//! only the 8 Table 2 permutation sequences.
+
+use ftree_collectives::{identify, Collective, Cps};
+
+use crate::allgather::{
+    dissemination_allgather, neighbor_exchange_allgather, recursive_doubling_allgather,
+    ring_allgather,
+};
+use crate::alltoall::{dissemination_barrier, pairwise_alltoall};
+use crate::data::{allgather_world, alltoall_world, blockwise_reduce_world, reduce_world, rooted_world};
+use crate::reductions::{
+    rabenseifner_allreduce, recursive_doubling_allreduce, recursive_halving_reduce_scatter,
+};
+use crate::rooted::{
+    binomial_bcast, binomial_gather, binomial_reduce, binomial_scatter, scatter_ring_bcast,
+};
+use crate::world::World;
+
+/// Outcome of executing one surveyed algorithm.
+#[derive(Debug, Clone)]
+pub struct SurveyRun {
+    /// The MPI operation executed.
+    pub collective: Collective,
+    /// Algorithm name (matches the Table 1 row).
+    pub algorithm: &'static str,
+    /// CPS phases identified from the execution trace (composite
+    /// algorithms like Rabenseifner report one entry per phase).
+    pub identified: Vec<Option<Cps>>,
+    /// Ranks used.
+    pub n: usize,
+}
+
+/// Executes every implemented survey algorithm at rank count `n`
+/// (power-of-two variants run at the next power of two below or equal to
+/// `n`; neighbor exchange at the nearest even count).
+pub fn run_survey(n: usize) -> Vec<SurveyRun> {
+    assert!(n >= 4);
+    let b = 2usize;
+    let pow2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+    let even = n & !1usize;
+    let mut runs = Vec::new();
+
+    let mut record =
+        |collective: Collective, algorithm: &'static str, n: usize, phases: Vec<Option<Cps>>| {
+            runs.push(SurveyRun {
+                collective,
+                algorithm,
+                identified: phases,
+                n,
+            });
+        };
+
+    // AllGather family.
+    {
+        let mut w = allgather_world(pow2, b);
+        recursive_doubling_allgather(&mut w, b);
+        record(
+            Collective::Allgather,
+            "recursive doubling",
+            pow2,
+            vec![identify(w.trace(), pow2 as u32)],
+        );
+    }
+    {
+        let mut w = allgather_world(n, b);
+        dissemination_allgather(&mut w, b);
+        record(
+            Collective::Allgather,
+            "bruck",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = allgather_world(n, b);
+        ring_allgather(&mut w, b);
+        record(
+            Collective::Allgather,
+            "ring",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = allgather_world(even, b);
+        neighbor_exchange_allgather(&mut w, b);
+        record(
+            Collective::Allgather,
+            "neighbor exchange",
+            even,
+            vec![identify(w.trace(), even as u32)],
+        );
+    }
+
+    // AllReduce family.
+    {
+        let mut w = reduce_world(n, b);
+        recursive_doubling_allreduce(&mut w);
+        record(
+            Collective::Allreduce,
+            "recursive doubling",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = blockwise_reduce_world(pow2, b);
+        rabenseifner_allreduce(&mut w, b);
+        let l = pow2.trailing_zeros() as usize;
+        record(
+            Collective::Allreduce,
+            "rabenseifner",
+            pow2,
+            vec![
+                identify(&w.trace()[..l], pow2 as u32),
+                identify(&w.trace()[l..], pow2 as u32),
+            ],
+        );
+    }
+
+    // AllToAll / Barrier.
+    {
+        let mut w = alltoall_world(n, b);
+        pairwise_alltoall(&mut w, b);
+        record(
+            Collective::Alltoall,
+            "pairwise exchange",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = World::new(n, |r| {
+            (0..n).map(|k| i64::from(k == r)).collect()
+        });
+        dissemination_barrier(&mut w);
+        record(
+            Collective::Barrier,
+            "dissemination",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+
+    // Rooted collectives.
+    {
+        let mut w = World::new(n, |r| if r == 0 { vec![42; b] } else { vec![0; b] });
+        binomial_bcast(&mut w);
+        record(
+            Collective::Broadcast,
+            "binomial tree",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = rooted_world(n, b);
+        scatter_ring_bcast(&mut w, b);
+        let l = ftree_collectives::ceil_log2(n as u32) as usize;
+        record(
+            Collective::Broadcast,
+            "scatter + ring allgather",
+            n,
+            vec![
+                identify(&w.trace()[..l], n as u32),
+                identify(&w.trace()[l..], n as u32),
+            ],
+        );
+    }
+    {
+        let mut w = rooted_world(n, b);
+        binomial_scatter(&mut w, b);
+        record(
+            Collective::Scatter,
+            "binomial tree",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = allgather_world(n, b);
+        binomial_gather(&mut w, b);
+        record(
+            Collective::Gather,
+            "binomial tree",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+    {
+        let mut w = reduce_world(n, b);
+        binomial_reduce(&mut w);
+        record(
+            Collective::Reduce,
+            "binomial tree",
+            n,
+            vec![identify(w.trace(), n as u32)],
+        );
+    }
+
+    // ReduceScatter.
+    {
+        let mut w = blockwise_reduce_world(pow2, b);
+        recursive_halving_reduce_scatter(&mut w, b);
+        record(
+            Collective::ReduceScatter,
+            "recursive halving",
+            pow2,
+            vec![identify(w.trace(), pow2 as u32)],
+        );
+    }
+
+    runs
+}
+
+/// Checks every executed run against the declared CPS of the Table 1 row
+/// with the same (collective, algorithm) key. Returns the number of rows
+/// verified.
+pub fn verify_survey(runs: &[SurveyRun]) -> usize {
+    let table = ftree_collectives::table1();
+    let mut verified = 0;
+    for run in runs {
+        let entry = table
+            .iter()
+            .find(|e| e.collective == run.collective && e.algorithm == run.algorithm)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no Table 1 row for {:?} / {}",
+                    run.collective, run.algorithm
+                )
+            });
+        assert_eq!(
+            run.identified.len(),
+            entry.cps.len(),
+            "{:?}/{}: phase count",
+            run.collective,
+            run.algorithm
+        );
+        for (found, &declared) in run.identified.iter().zip(entry.cps) {
+            assert_eq!(
+                *found,
+                Some(declared),
+                "{:?}/{}: traced CPS mismatch",
+                run.collective,
+                run.algorithm
+            );
+        }
+        verified += 1;
+    }
+    verified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_validates_against_table1() {
+        for n in [8usize, 12, 20] {
+            let runs = run_survey(n);
+            assert_eq!(runs.len(), 14);
+            assert_eq!(verify_survey(&runs), 14, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! A staged message-passing substrate with communication tracing.
+//!
+//! The paper decomposes every collective into a permutation sequence (who
+//! talks to whom per stage) plus message content. [`World`] makes that
+//! decomposition executable: collective algorithms read per-rank buffers,
+//! build the stage's [`Message`]s, and [`World::exchange`] applies them all
+//! simultaneously (reads see pre-stage state) while recording the
+//! `(src, dst)` pairs as a [`Stage`]. The recorded trace is then matched
+//! against the declared CPS with [`ftree_collectives::identify`] — turning
+//! the paper's Table 1 survey into a checked property.
+
+use ftree_collectives::Stage;
+
+/// One contiguous span of data written into the destination buffer.
+#[derive(Debug, Clone)]
+pub struct Part {
+    /// Element offset in the destination rank's buffer.
+    pub offset: usize,
+    /// Payload elements.
+    pub data: Vec<i64>,
+}
+
+/// How a message's parts combine into the destination buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Overwrite the destination range.
+    Store,
+    /// Element-wise add into the destination range (reductions).
+    Accumulate,
+}
+
+/// A point-to-point message within one collective stage.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// How the parts combine at the destination.
+    pub action: Action,
+    /// Payload spans.
+    pub parts: Vec<Part>,
+}
+
+impl Message {
+    /// Convenience constructor for a single-span message.
+    pub fn store(src: u32, dst: u32, offset: usize, data: Vec<i64>) -> Self {
+        Self {
+            src,
+            dst,
+            action: Action::Store,
+            parts: vec![Part { offset, data }],
+        }
+    }
+
+    /// Convenience constructor for a single-span accumulating message.
+    pub fn accumulate(src: u32, dst: u32, offset: usize, data: Vec<i64>) -> Self {
+        Self {
+            src,
+            dst,
+            action: Action::Accumulate,
+            parts: vec![Part { offset, data }],
+        }
+    }
+
+    /// A zero-payload message (barriers).
+    pub fn token(src: u32, dst: u32) -> Self {
+        Self {
+            src,
+            dst,
+            action: Action::Store,
+            parts: Vec::new(),
+        }
+    }
+}
+
+/// The per-rank state of an executing collective plus its traced stages.
+#[derive(Debug)]
+pub struct World {
+    n: usize,
+    bufs: Vec<Vec<i64>>,
+    trace: Vec<Stage>,
+    /// Per stage: `(src, dst, payload_elements)` — the *sizes* half of the
+    /// CPS + content decomposition, used to build network traffic plans
+    /// from executed collectives.
+    traffic: Vec<Vec<(u32, u32, u64)>>,
+}
+
+impl World {
+    /// Creates `n` ranks, each with the buffer `init(rank)`.
+    pub fn new(n: usize, init: impl Fn(usize) -> Vec<i64>) -> Self {
+        Self {
+            n,
+            bufs: (0..n).map(init).collect(),
+            trace: Vec::new(),
+            traffic: Vec::new(),
+        }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Read access to a rank's buffer.
+    #[inline]
+    pub fn buf(&self, rank: usize) -> &[i64] {
+        &self.bufs[rank]
+    }
+
+    /// All buffers (for verification).
+    #[inline]
+    pub fn bufs(&self) -> &[Vec<i64>] {
+        &self.bufs
+    }
+
+    /// Executes one stage: applies every message (payloads were computed by
+    /// the caller from pre-stage state) and records the stage's pairs.
+    ///
+    /// Panics if a rank sends twice in one stage — a CPS stage is a partial
+    /// permutation by definition.
+    pub fn exchange(&mut self, msgs: Vec<Message>) {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(msgs.len());
+        let mut sized: Vec<(u32, u32, u64)> = Vec::with_capacity(msgs.len());
+        for m in &msgs {
+            debug_assert!((m.src as usize) < self.n && (m.dst as usize) < self.n);
+            pairs.push((m.src, m.dst));
+            let elems: u64 = m.parts.iter().map(|p| p.data.len() as u64).sum();
+            sized.push((m.src, m.dst, elems));
+        }
+        self.traffic.push(sized);
+        let stage = Stage::new(pairs); // asserts unique sources in debug
+        for m in msgs {
+            let buf = &mut self.bufs[m.dst as usize];
+            for part in m.parts {
+                let end = part.offset + part.data.len();
+                assert!(end <= buf.len(), "message overruns destination buffer");
+                match m.action {
+                    Action::Store => buf[part.offset..end].copy_from_slice(&part.data),
+                    Action::Accumulate => {
+                        for (slot, v) in buf[part.offset..end].iter_mut().zip(&part.data) {
+                            *slot += v;
+                        }
+                    }
+                }
+            }
+        }
+        self.trace.push(stage);
+    }
+
+    /// The traced stages so far.
+    #[inline]
+    pub fn trace(&self) -> &[Stage] {
+        &self.trace
+    }
+
+    /// The executed communication as `(src_rank, dst_rank, bytes)` stages,
+    /// scaling each message's element count by `bytes_per_element`. Feed
+    /// into `ftree_sim::TrafficPlan::sized` (after mapping ranks to ports
+    /// through a node order) to simulate the collective's real network
+    /// behaviour, message sizes included.
+    pub fn traffic_stages(&self, bytes_per_element: u64) -> Vec<Vec<(u32, u32, u64)>> {
+        self.traffic
+            .iter()
+            .map(|stage| {
+                stage
+                    .iter()
+                    .map(|&(s, d, elems)| (s, d, elems * bytes_per_element))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Consumes the world, returning buffers and trace.
+    pub fn into_parts(self) -> (Vec<Vec<i64>>, Vec<Stage>) {
+        (self.bufs, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_overwrites() {
+        let mut w = World::new(2, |r| vec![r as i64; 4]);
+        w.exchange(vec![Message::store(0, 1, 1, vec![7, 8])]);
+        assert_eq!(w.buf(1), &[1, 7, 8, 1]);
+        assert_eq!(w.trace().len(), 1);
+        assert_eq!(w.trace()[0].pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut w = World::new(2, |_| vec![10; 3]);
+        w.exchange(vec![Message::accumulate(1, 0, 0, vec![1, 2, 3])]);
+        assert_eq!(w.buf(0), &[11, 12, 13]);
+    }
+
+    #[test]
+    fn simultaneous_semantics_by_construction() {
+        // Payloads are computed before exchange, so a swap works without
+        // explicit double buffering.
+        let mut w = World::new(2, |r| vec![r as i64]);
+        let a = w.buf(0).to_vec();
+        let b = w.buf(1).to_vec();
+        w.exchange(vec![
+            Message::store(0, 1, 0, a),
+            Message::store(1, 0, 0, b),
+        ]);
+        assert_eq!(w.buf(0), &[1]);
+        assert_eq!(w.buf(1), &[0]);
+    }
+
+    #[test]
+    fn traffic_stages_record_sizes() {
+        let mut w = World::new(3, |_| vec![0i64; 4]);
+        w.exchange(vec![
+            Message::store(0, 1, 0, vec![1, 2, 3]),
+            Message::accumulate(2, 0, 1, vec![9]),
+        ]);
+        w.exchange(vec![Message::token(1, 2)]);
+        let t = w.traffic_stages(8);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], vec![(0, 1, 24), (2, 0, 8)]);
+        assert_eq!(t[1], vec![(1, 2, 0)]);
+    }
+
+    #[test]
+    fn token_messages_carry_no_data() {
+        let mut w = World::new(3, |_| vec![5]);
+        w.exchange(vec![Message::token(0, 1), Message::token(1, 2)]);
+        assert!(w.bufs().iter().all(|b| b == &[5]));
+        assert_eq!(w.trace()[0].pairs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn overrun_detected() {
+        let mut w = World::new(2, |_| vec![0; 2]);
+        w.exchange(vec![Message::store(0, 1, 1, vec![1, 2])]);
+    }
+}

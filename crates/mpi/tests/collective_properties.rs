@@ -1,0 +1,136 @@
+//! Property-based correctness of every collective algorithm over random
+//! rank counts and block sizes.
+
+use proptest::prelude::*;
+
+use ftree_collectives::{identify, Cps, TopoAwareRd};
+use ftree_mpi::allgather::*;
+use ftree_mpi::alltoall::*;
+use ftree_mpi::data::*;
+use ftree_mpi::reductions::*;
+use ftree_mpi::rooted::*;
+use ftree_mpi::world::World;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_allgather_correct(n in 2usize..40, b in 1usize..6) {
+        let mut w = allgather_world(n, b);
+        ring_allgather(&mut w, b);
+        verify_allgather(&w, b);
+    }
+
+    #[test]
+    fn dissemination_allgather_correct(n in 2usize..40, b in 1usize..6) {
+        let mut w = allgather_world(n, b);
+        dissemination_allgather(&mut w, b);
+        verify_allgather(&w, b);
+    }
+
+    #[test]
+    fn rd_allgather_correct_pow2(k in 1u32..6, b in 1usize..6) {
+        let n = 1usize << k;
+        let mut w = allgather_world(n, b);
+        recursive_doubling_allgather(&mut w, b);
+        verify_allgather(&w, b);
+    }
+
+    #[test]
+    fn neighbor_exchange_correct_even(half in 1usize..20, b in 1usize..5) {
+        let n = 2 * half;
+        let mut w = allgather_world(n, b);
+        neighbor_exchange_allgather(&mut w, b);
+        verify_allgather(&w, b);
+    }
+
+    #[test]
+    fn rd_allreduce_correct_any_n(n in 2usize..48, b in 1usize..6) {
+        let mut w = reduce_world(n, b);
+        recursive_doubling_allreduce(&mut w);
+        verify_allreduce(&w, b, 0..n);
+    }
+
+    #[test]
+    fn halving_reduce_scatter_correct_pow2(k in 1u32..6, b in 1usize..5) {
+        let n = 1usize << k;
+        let mut w = blockwise_reduce_world(n, b);
+        recursive_halving_reduce_scatter(&mut w, b);
+        verify_reduce_scatter(&w, b);
+    }
+
+    #[test]
+    fn alltoall_correct(n in 2usize..24, b in 1usize..5) {
+        let mut w = alltoall_world(n, b);
+        pairwise_alltoall(&mut w, b);
+        verify_alltoall(&w, b);
+    }
+
+    #[test]
+    fn rooted_collectives_correct(n in 2usize..32, b in 1usize..5) {
+        let mut w = rooted_world(n, b);
+        binomial_scatter(&mut w, b);
+        verify_scatter(&w, b);
+
+        let mut w = allgather_world(n, b);
+        binomial_gather(&mut w, b);
+        verify_gather(&w, b, 0);
+
+        let mut w = reduce_world(n, b);
+        binomial_reduce(&mut w);
+        verify_allreduce(&w, b, std::iter::once(0));
+
+        let mut w = World::new(n, |r| if r == 0 { seed_block(0, b) } else { vec![0; b] });
+        binomial_bcast(&mut w);
+        for r in 0..n {
+            prop_assert_eq!(w.buf(r), &seed_block(0, b)[..]);
+        }
+    }
+
+    /// The traced CPS survives arbitrary job sizes (n >= 4 avoids the
+    /// degenerate two-rank case where all CPS coincide).
+    #[test]
+    fn traces_identify_correctly(n in 4usize..32) {
+        let b = 2;
+        let mut w = allgather_world(n, b);
+        ring_allgather(&mut w, b);
+        prop_assert_eq!(identify(w.trace(), n as u32), Some(Cps::Ring));
+
+        let mut w = alltoall_world(n, b);
+        pairwise_alltoall(&mut w, b);
+        prop_assert_eq!(identify(w.trace(), n as u32), Some(Cps::Shift));
+
+        let mut w = reduce_world(n, b);
+        recursive_doubling_allreduce(&mut w);
+        prop_assert_eq!(identify(w.trace(), n as u32), Some(Cps::RecursiveDoubling));
+    }
+
+    /// Irregular allgatherv/gatherv are correct for arbitrary counts.
+    #[test]
+    fn irregular_collectives_correct(counts in prop::collection::vec(0usize..9, 2..16)) {
+        use ftree_mpi::irregular::*;
+        let mut w = allgatherv_world(&counts);
+        ring_allgatherv(&mut w, &counts);
+        verify_allgatherv(&w, &counts);
+
+        let mut w = allgatherv_world(&counts);
+        binomial_gatherv(&mut w, &counts);
+        let offsets = displs(&counts);
+        for (j, &c) in counts.iter().enumerate() {
+            let got = &w.buf(0)[offsets[j]..offsets[j] + c];
+            let expected: Vec<i64> = (0..c).map(|k| (j * 1_000 + k) as i64).collect();
+            prop_assert_eq!(got, &expected[..]);
+        }
+    }
+
+    /// Topology-aware allgather is correct for arbitrary tree shapes.
+    #[test]
+    fn topo_aware_allgather_correct(m in prop::collection::vec(2u32..5, 1..=3), b in 1usize..4) {
+        let seq = TopoAwareRd::new(m);
+        let n = seq.num_ranks() as usize;
+        prop_assume!(n <= 64);
+        let mut w = allgather_world(n, b);
+        topo_aware_allgather(&mut w, b, &seq);
+        verify_allgather(&w, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulator calibration constants and time arithmetic.
+//!
+//! Calibrated like the paper's OMNeT++ model (Sec. II): InfiniBand QDR
+//! links (4000 MB/s unidirectional) on Mellanox IS4 36-port switches, hosts
+//! limited by PCIe Gen2 8x (3250 MB/s). Time is kept in integer picoseconds
+//! so event ordering is exact and runs are bit-reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in picoseconds.
+pub type Time = u64;
+
+/// One nanosecond in simulation ticks.
+pub const NANOSECOND: Time = 1_000;
+/// One microsecond in simulation ticks.
+pub const MICROSECOND: Time = 1_000_000;
+
+/// Bandwidth in megabytes per second, with exact byte→time conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bandwidth {
+    /// MB/s (1 MB = 1e6 bytes, matching the paper's link numbers).
+    pub mbps: u64,
+}
+
+impl Bandwidth {
+    /// Bandwidth of `mbps` megabytes per second.
+    pub const fn new(mbps: u64) -> Self {
+        Self { mbps }
+    }
+
+    /// Time to serialize `bytes` at this bandwidth, in picoseconds.
+    ///
+    /// `t = bytes / (mbps * 1e6 B/s) = bytes * 1e6 / mbps` ps.
+    #[inline]
+    pub fn transfer_time(self, bytes: u64) -> Time {
+        debug_assert!(self.mbps > 0);
+        bytes * 1_000_000 / self.mbps
+    }
+
+    /// Bytes transferable in `t` picoseconds (rounded down).
+    #[inline]
+    pub fn bytes_in(self, t: Time) -> u64 {
+        t * self.mbps / 1_000_000
+    }
+}
+
+/// Switch queueing architecture for the packet simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchModel {
+    /// One FIFO per input port: a blocked head blocks everything behind it
+    /// (head-of-line blocking) — the paper's degradation mechanism and the
+    /// default.
+    InputFifo,
+    /// Virtual output queues: a packet contends only for its own egress,
+    /// eliminating HOL blocking (ideal switch). Used as an ablation to
+    /// isolate how much of the random-order bandwidth loss is HOL-induced
+    /// versus pure link oversubscription.
+    VirtualOutputQueues,
+}
+
+/// Packet-level simulator configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Switch-to-switch (and switch-to-host) link bandwidth.
+    pub link_bw: Bandwidth,
+    /// Host injection bandwidth (PCIe bound).
+    pub host_bw: Bandwidth,
+    /// Maximum transfer unit — message payload per packet, bytes.
+    pub mtu: u64,
+    /// Per-hop switch forwarding latency (arbitration + crossbar), ps.
+    pub switch_latency: Time,
+    /// Cable propagation delay per hop, ps.
+    pub wire_latency: Time,
+    /// Input-buffer capacity per switch input port, in packets (credits).
+    pub input_buffer_packets: usize,
+    /// Maximum per-host start skew, ps (models OS jitter / imperfect clock
+    /// synchronization — paper Sec. VII). 0 disables jitter. Applied to the
+    /// initial start in asynchronous mode and to every stage release in
+    /// synchronized mode.
+    pub jitter: Time,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+    /// Switch queueing architecture.
+    pub switch_model: SwitchModel,
+}
+
+impl Default for SimConfig {
+    /// The paper's calibration: QDR fabric, PCIe Gen2 x8 hosts, 2 KB MTU,
+    /// 36-port-switch-class latencies, modest input buffering.
+    fn default() -> Self {
+        Self {
+            link_bw: Bandwidth::new(4000),
+            host_bw: Bandwidth::new(3250),
+            mtu: 2048,
+            switch_latency: 100 * NANOSECOND,
+            wire_latency: 25 * NANOSECOND,
+            input_buffer_packets: 8,
+            jitter: 0,
+            jitter_seed: 0,
+            switch_model: SwitchModel::InputFifo,
+        }
+    }
+}
+
+/// Deterministic per-(host, stage) jitter in `[0, max]` (splitmix64 hash;
+/// no RNG state, so runs stay reproducible).
+pub fn jitter_ps(seed: u64, host: u32, stage: u32, max: Time) -> Time {
+    if max == 0 {
+        return 0;
+    }
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(u64::from(host).wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(u64::from(stage).wrapping_mul(0x94d049bb133111eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    z % (max + 1)
+}
+
+impl SimConfig {
+    /// Number of MTU packets needed for a message of `bytes`.
+    #[inline]
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mtu).max(1)
+    }
+
+    /// Unloaded cut-through latency of a `bytes`-sized message over `hops`
+    /// hops: per-hop header latency plus one serialization of the payload.
+    pub fn cut_through_latency(&self, bytes: u64, hops: usize) -> Time {
+        (self.switch_latency + self.wire_latency) * hops as Time
+            + self.link_bw.transfer_time(bytes.min(self.mtu))
+            + self.host_bw.transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_calc() {
+        // 4000 MB/s = 4 bytes/ns: 2048 B take 512 ns.
+        let bw = Bandwidth::new(4000);
+        assert_eq!(bw.transfer_time(2048), 512 * NANOSECOND);
+        // PCIe 3250 MB/s: 3250 bytes per us.
+        let host = Bandwidth::new(3250);
+        assert_eq!(host.transfer_time(3_250_000), MICROSECOND * 1000);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transfer_time() {
+        let bw = Bandwidth::new(4000);
+        for bytes in [1u64, 100, 2048, 1 << 20] {
+            let t = bw.transfer_time(bytes);
+            let back = bw.bytes_in(t);
+            assert!(back <= bytes && bytes - back <= 4, "{bytes} -> {back}");
+        }
+    }
+
+    #[test]
+    fn packet_count() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.packets_for(1), 1);
+        assert_eq!(cfg.packets_for(2048), 1);
+        assert_eq!(cfg.packets_for(2049), 2);
+        assert_eq!(cfg.packets_for(1 << 20), 512);
+        assert_eq!(cfg.packets_for(0), 1, "empty messages still send a header");
+    }
+
+    #[test]
+    fn cut_through_latency_is_hop_linear_in_header_only() {
+        let cfg = SimConfig::default();
+        let l2 = cfg.cut_through_latency(2048, 2);
+        let l4 = cfg.cut_through_latency(2048, 4);
+        assert_eq!(
+            l4 - l2,
+            2 * (cfg.switch_latency + cfg.wire_latency),
+            "extra hops must only add per-hop header latency (cut-through)"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Fluid flow-level simulator: max-min fair bandwidth sharing.
+//!
+//! The packet simulator captures head-of-line blocking but costs one event
+//! per packet-hop; paper-scale clusters (1944 end-ports) over long
+//! sequences are out of its budget — exactly why the paper pairs its
+//! OMNeT++ model with an analytic tool. This fluid model is the middle
+//! ground: messages are continuous flows, every directed channel is a
+//! capacity, and active flows receive **max-min fair** rates (water-filling
+//! over bottleneck channels). Time advances from flow completion to flow
+//! completion; each completion re-solves the allocation.
+//!
+//! The model reproduces contention-driven bandwidth ratios (e.g. the ~1/K
+//! adversarial Ring collapse, the full-bandwidth contention-free runs); it
+//! deliberately does not model buffer-occupancy effects such as the
+//! message-size dependence of Figure 2 — that is the packet simulator's
+//! job.
+
+use ftree_topology::{RoutingTable, Topology};
+
+use crate::config::{SimConfig, Time};
+use crate::traffic::{Progression, TrafficPlan};
+
+/// Result of a fluid simulation run.
+#[derive(Debug, Clone)]
+pub struct FluidResult {
+    /// Completion time of the last flow, ps.
+    pub makespan: Time,
+    /// Total payload bytes moved.
+    pub total_payload: u64,
+    /// Number of messages completed.
+    pub messages_completed: u64,
+    /// Aggregate bandwidth / aggregate host injection capacity.
+    pub normalized_bw: f64,
+    /// Makespan relative to the busiest host's pure injection time
+    /// (~1.0 = no contention stalls on the critical path).
+    pub efficiency: f64,
+    /// Number of max-min re-solves performed.
+    pub solves: u64,
+}
+
+struct Flow {
+    /// Channels traversed.
+    path: Vec<u32>,
+    /// Bytes left to move.
+    remaining: f64,
+    /// Total payload of this message.
+    bytes: u64,
+    /// Source host (for schedule progression).
+    src: u32,
+    /// Current rate, bytes/ps.
+    rate: f64,
+}
+
+struct HostSched {
+    /// (dst, stage, bytes) message list.
+    msgs: Vec<(u32, u32, u64)>,
+    next: usize,
+}
+
+/// Runs the fluid model over a traffic plan.
+pub fn run_fluid(
+    topo: &Topology,
+    rt: &RoutingTable,
+    cfg: SimConfig,
+    plan: &TrafficPlan,
+) -> FluidResult {
+    let n = topo.num_hosts();
+    // Channel capacities in bytes/ps. Host-adjacent channels are PCIe-bound
+    // in both directions.
+    let mut capacity = vec![cfg.link_bw.mbps as f64 / 1e6; topo.num_channels()];
+    for h in 0..n {
+        let host = topo.host(h);
+        for pp in &topo.node(host).up {
+            let up = topo.channel(pp.link, ftree_topology::Direction::Up);
+            let down = topo.channel(pp.link, ftree_topology::Direction::Down);
+            capacity[up.index()] = cfg.host_bw.mbps as f64 / 1e6;
+            capacity[down.index()] = cfg.host_bw.mbps as f64 / 1e6;
+        }
+    }
+
+    let mut hosts: Vec<HostSched> = (0..n)
+        .map(|_| HostSched {
+            msgs: Vec::new(),
+            next: 0,
+        })
+        .collect();
+    let mut stage_counts = vec![0u64; plan.stages().len()];
+    for (s, flows) in plan.stages().iter().enumerate() {
+        for (k, &(src, dst)) in flows.iter().enumerate() {
+            if src != dst {
+                hosts[src as usize]
+                    .msgs
+                    .push((dst, s as u32, plan.flow_bytes(s, k)));
+                stage_counts[s] += 1;
+            }
+        }
+    }
+
+    let mut active: Vec<Flow> = Vec::new();
+    let mut now: f64 = 0.0;
+    let mut total_payload = 0u64;
+    let mut completed = 0u64;
+    let mut solves = 0u64;
+    let mut current_stage = match plan.mode {
+        Progression::Synchronized => stage_counts.iter().position(|&c| c > 0).unwrap_or(0) as u32,
+        Progression::Asynchronous => 0,
+    };
+    let mut stage_remaining = stage_counts.get(current_stage as usize).copied().unwrap_or(0);
+
+    // Start a host's next eligible message.
+    let start_host = |hosts: &mut Vec<HostSched>,
+                      active: &mut Vec<Flow>,
+                      h: usize,
+                      current_stage: u32,
+                      mode: Progression| {
+        let hs = &mut hosts[h];
+        if hs.next >= hs.msgs.len() {
+            return;
+        }
+        let (dst, stage, bytes) = hs.msgs[hs.next];
+        if mode == Progression::Synchronized && stage != current_stage {
+            return;
+        }
+        hs.next += 1;
+        let path = rt
+            .trace(topo, h, dst as usize)
+            .expect("routable flow")
+            .channels
+            .iter()
+            .map(|c| c.0)
+            .collect();
+        active.push(Flow {
+            path,
+            remaining: bytes as f64,
+            bytes,
+            src: h as u32,
+            rate: 0.0,
+        });
+    };
+
+    for h in 0..n {
+        start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
+    }
+
+    while !active.is_empty() {
+        // Max-min fair allocation (water-filling).
+        solves += 1;
+        let mut residual = capacity.clone();
+        let mut flows_on: Vec<u32> = vec![0; topo.num_channels()];
+        for f in &active {
+            for &ch in &f.path {
+                flows_on[ch as usize] += 1;
+            }
+        }
+        let mut frozen = vec![false; active.len()];
+        let mut remaining_flows = active.len();
+        while remaining_flows > 0 {
+            // Bottleneck: channel with the smallest fair share.
+            let mut best_share = f64::INFINITY;
+            let mut best_ch = usize::MAX;
+            for (ch, &cnt) in flows_on.iter().enumerate() {
+                if cnt > 0 {
+                    let share = residual[ch] / cnt as f64;
+                    if share < best_share {
+                        best_share = share;
+                        best_ch = ch;
+                    }
+                }
+            }
+            debug_assert!(best_ch != usize::MAX);
+            // Freeze all unfrozen flows crossing the bottleneck.
+            for (fi, f) in active.iter_mut().enumerate() {
+                if !frozen[fi] && f.path.contains(&(best_ch as u32)) {
+                    frozen[fi] = true;
+                    remaining_flows -= 1;
+                    f.rate = best_share;
+                    for &ch in &f.path {
+                        residual[ch as usize] = (residual[ch as usize] - best_share).max(0.0);
+                        flows_on[ch as usize] -= 1;
+                    }
+                }
+            }
+        }
+
+        // Advance to the earliest completion.
+        let dt = active
+            .iter()
+            .map(|f| f.remaining / f.rate)
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(dt.is_finite() && dt >= 0.0);
+        now += dt;
+        let mut finished_hosts = Vec::new();
+        active.retain_mut(|f| {
+            f.remaining -= f.rate * dt;
+            if f.remaining <= 1e-6 * (f.bytes as f64).max(1.0) {
+                total_payload += f.bytes;
+                completed += 1;
+                finished_hosts.push(f.src);
+                false
+            } else {
+                true
+            }
+        });
+        match plan.mode {
+            Progression::Asynchronous => {
+                for h in finished_hosts {
+                    start_host(&mut hosts, &mut active, h as usize, current_stage, plan.mode);
+                }
+            }
+            Progression::Synchronized => {
+                stage_remaining -= finished_hosts.len() as u64;
+                if stage_remaining == 0 {
+                    // Advance to the next non-empty stage.
+                    let next = stage_counts
+                        .iter()
+                        .enumerate()
+                        .find(|&(s, &c)| s as u32 > current_stage && c > 0);
+                    if let Some((s, &c)) = next {
+                        current_stage = s as u32;
+                        stage_remaining = c;
+                        for h in 0..n {
+                            start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let active_hosts = hosts.iter().filter(|h| !h.msgs.is_empty()).count().max(1);
+    let max_host_bytes = hosts
+        .iter()
+        .map(|h| h.msgs.iter().map(|&(_, _, b)| b).sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    let makespan = now as Time;
+    let efficiency = if now <= 0.0 {
+        0.0
+    } else {
+        (max_host_bytes * 1_000_000 / cfg.host_bw.mbps.max(1)) as f64 / now
+    };
+    let normalized_bw = if now <= 0.0 {
+        0.0
+    } else {
+        (total_payload as f64 / now) / (active_hosts as f64 * cfg.host_bw.mbps as f64 / 1e6)
+    };
+    FluidResult {
+        makespan,
+        total_payload,
+        messages_completed: completed,
+        normalized_bw,
+        efficiency,
+        solves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficPlan;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    fn fluid(
+        topo: &Topology,
+        stages: Vec<Vec<(u32, u32)>>,
+        bytes: u64,
+        mode: Progression,
+    ) -> FluidResult {
+        let rt = route_dmodk(topo);
+        let plan = TrafficPlan::uniform(stages, bytes, mode);
+        run_fluid(topo, &rt, SimConfig::default(), &plan)
+    }
+
+    #[test]
+    fn single_flow_runs_at_host_rate() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let r = fluid(&topo, vec![vec![(0, 9)]], 3_250_000, Progression::Asynchronous);
+        // 3.25 MB at 3250 MB/s = 1 ms = 1e9 ps.
+        assert_eq!(r.messages_completed, 1);
+        let expected = 1_000_000_000u64;
+        assert!(
+            (r.makespan as i64 - expected as i64).unsigned_abs() < expected / 100,
+            "makespan {} vs {expected}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn contention_free_permutation_is_full_rate() {
+        let topo = Topology::build(catalog::nodes_128());
+        let n = topo.num_hosts() as u32;
+        let stage: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 5) % n)).collect();
+        let r = fluid(&topo, vec![stage], 1 << 20, Progression::Synchronized);
+        assert!(
+            r.normalized_bw > 0.99,
+            "expected line rate, got {}",
+            r.normalized_bw
+        );
+    }
+
+    #[test]
+    fn shared_uplink_halves_rates() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        // dsts 4 and 8 share the leaf-0 up-port (both ≡ 0 mod 4): the two
+        // flows split one 4000 MB/s link -> 2000 MB/s each, slower than the
+        // 3250 MB/s host bound.
+        let free = fluid(&topo, vec![vec![(0, 4), (1, 5)]], 1 << 20, Progression::Synchronized);
+        let hot = fluid(&topo, vec![vec![(0, 4), (1, 8)]], 1 << 20, Progression::Synchronized);
+        let ratio = hot.makespan as f64 / free.makespan as f64;
+        assert!(
+            (ratio - 3250.0 / 2000.0).abs() < 0.02,
+            "expected PCIe/2000 slowdown, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn async_mode_completes_all_messages() {
+        let topo = Topology::build(catalog::nodes_128());
+        let n = topo.num_hosts() as u32;
+        let stages: Vec<Vec<(u32, u32)>> = (0..4)
+            .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+            .collect();
+        let r = fluid(&topo, stages, 1 << 16, Progression::Asynchronous);
+        assert_eq!(r.messages_completed, 4 * 128);
+        assert!(r.normalized_bw > 0.95, "{}", r.normalized_bw);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let r = fluid(&topo, vec![], 1024, Progression::Synchronized);
+        assert_eq!(r.messages_completed, 0);
+        assert_eq!(r.makespan, 0);
+    }
+}

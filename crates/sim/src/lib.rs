@@ -1,0 +1,43 @@
+//! # ftree-sim — InfiniBand-like fat-tree network simulators
+//!
+//! The OMNeT++-model substitute of the paper's evaluation (Sec. II/VII),
+//! calibrated to the same constants: QDR 4000 MB/s links, PCIe Gen2 8x
+//! 3250 MB/s hosts, 36-port-class switches.
+//!
+//! Two fidelity levels:
+//!
+//! * [`PacketSim`] — event-driven packet-level model with input-buffered
+//!   switches, credit flow control and head-of-line blocking; reproduces
+//!   the message-size-dependent bandwidth collapse of Figure 2,
+//! * [`run_fluid`] — flow-level max-min fair model; reproduces
+//!   contention-driven bandwidth ratios at paper scale (1944 end-ports) in
+//!   milliseconds of CPU.
+//!
+//! Workloads come from [`TrafficPlan::from_cps`]: any CPS, any node order,
+//! asynchronous or barrier-synchronized progression.
+//!
+//! ```
+//! use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
+//! use ftree_collectives::Cps;
+//! use ftree_core::Job;
+//! use ftree_topology::{rlft::catalog, Topology};
+//!
+//! let topo = Topology::build(catalog::fig4_pgft_16());
+//! let job = Job::contention_free(&topo);
+//! let plan = TrafficPlan::from_cps(&job.order, &Cps::Ring, 262_144,
+//!                                  Progression::Asynchronous, usize::MAX);
+//! let result = PacketSim::new(&topo, &job.routing, SimConfig::default(), &plan).run();
+//! assert!(result.normalized_bw > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fluid;
+pub mod packet;
+pub mod traffic;
+
+pub use config::{jitter_ps, Bandwidth, SimConfig, SwitchModel, Time, MICROSECOND, NANOSECOND};
+pub use fluid::{run_fluid, FluidResult};
+pub use packet::{PacketSim, SimResult};
+pub use traffic::{Progression, TrafficPlan};

@@ -1,0 +1,858 @@
+//! Packet-level discrete-event network simulator.
+//!
+//! The OMNeT++-model substitute (paper Sec. II): an input-buffered,
+//! credit-flow-controlled InfiniBand-like fabric in which hot spots cause
+//! head-of-line blocking that spreads backward through the tree — the
+//! mechanism behind the published bandwidth collapse for random node
+//! orders.
+//!
+//! Model summary:
+//!
+//! * messages are segmented into MTU packets; packets traverse the LFT
+//!   route hop by hop (virtual cut-through approximated at packet
+//!   granularity),
+//! * every directed channel serializes at link bandwidth; host-sourced
+//!   channels serialize at the PCIe bound,
+//! * each switch input port has a finite packet FIFO; a packet is granted
+//!   an egress channel only when the channel is idle **and** the next input
+//!   buffer has a free credit — a blocked head blocks everything behind it,
+//! * hosts progress through their destination sequence asynchronously
+//!   ("when the previous message has been sent to the wire", Sec. II) or
+//!   synchronously (global barrier per stage),
+//! * all state transitions are integer-time and FIFO-arbitered, so runs are
+//!   bit-reproducible.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use ftree_topology::{NodeId, RoutingTable, Topology};
+
+use crate::config::{SimConfig, SwitchModel, Time};
+use crate::traffic::{Progression, TrafficPlan};
+
+/// Final metrics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time of the last delivery, ps.
+    pub makespan: Time,
+    /// Total payload bytes delivered.
+    pub total_payload: u64,
+    /// Number of messages delivered.
+    pub messages_delivered: u64,
+    /// Aggregate effective bandwidth divided by the aggregate host
+    /// injection capacity — the paper's "normalized BW" (1.0 = every active
+    /// host streams at full PCIe rate for the whole run).
+    pub normalized_bw: f64,
+    /// Mean message latency (first-bit-out to last-bit-in), ps.
+    pub mean_latency: f64,
+    /// Worst message latency, ps.
+    pub max_latency: Time,
+    /// Bytes injected by the busiest host — the injection-critical path.
+    /// With heterogeneous schedules (pre/post proxy stages) aggregate
+    /// normalized BW cannot reach 1.0 even without contention;
+    /// `efficiency()` compares the makespan against this critical path
+    /// instead.
+    pub max_host_bytes: u64,
+    /// Host injection bandwidth, for efficiency computation.
+    pub host_bw_mbps: u64,
+    /// Number of events processed (sanity/performance reporting).
+    pub events: u64,
+    /// Accumulated busy time per directed channel (serialization only),
+    /// for utilization analysis.
+    pub channel_busy: Vec<Time>,
+}
+
+impl SimResult {
+    /// Makespan relative to the critical host's pure injection time:
+    /// ~1.0 means the busiest host streamed at line rate with no
+    /// contention stalls.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let ideal = self.max_host_bytes * 1_000_000 / self.host_bw_mbps;
+        ideal as f64 / self.makespan as f64
+    }
+
+    /// Fraction of the run a channel spent transmitting.
+    pub fn utilization(&self, channel: usize) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.channel_busy[channel] as f64 / self.makespan as f64
+        }
+    }
+
+    /// The highest utilization over all channels.
+    pub fn peak_utilization(&self) -> f64 {
+        (0..self.channel_busy.len())
+            .map(|c| self.utilization(c))
+            .fold(0.0, f64::max)
+    }
+}
+
+const NO_PACKET: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: u32,
+    src_host: u32,
+    msg: u32,
+    size: u64,
+    is_last: bool,
+    next_free: u32,
+}
+
+/// Who is asking an egress channel for a grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Requester {
+    /// The host attached below this up-channel (injection).
+    Host(u32),
+    /// The head of the given input FIFO (InputFifo switch model).
+    Input(u32),
+    /// A specific resident packet (VirtualOutputQueues model: packets
+    /// contend independently, no HOL coupling).
+    Packet { pkt: u32, input: u32 },
+}
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    busy: bool,
+    waiting: VecDeque<Requester>,
+    /// Input FIFO at the channel's target (switch targets only).
+    buffer: VecDeque<u32>,
+    /// Slots reserved by granted-but-not-yet-arrived packets plus packets
+    /// draining out of this buffer.
+    reserved: usize,
+    /// True while this input's head packet has an outstanding request.
+    head_requested: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival { pkt: u32, ch: u32 },
+    ChannelFree { ch: u32 },
+    DrainDone { ch: u32 },
+    /// Delayed host start (OS-jitter modeling).
+    HostKick { host: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reverse compare on (time, seq).
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct HostState {
+    /// (dst_host, bytes, stage) personal schedule.
+    schedule: Vec<(u32, u64, u32)>,
+    next: usize,
+    packets_left: u64,
+    active: bool,
+}
+
+/// The simulator.
+pub struct PacketSim<'a> {
+    topo: &'a Topology,
+    rt: &'a RoutingTable,
+    cfg: SimConfig,
+    channels: Vec<ChannelState>,
+    packets: Vec<Packet>,
+    free_packets: u32,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now: Time,
+    hosts: Vec<HostState>,
+    mode: Progression,
+    /// Remaining undelivered messages in the current stage (sync mode).
+    stage_remaining: u64,
+    current_stage: u32,
+    num_stages: u32,
+    /// Per-stage message counts (sync mode bookkeeping).
+    stage_message_counts: Vec<u64>,
+    // metrics
+    msg_start: Vec<Vec<Time>>,
+    delivered: u64,
+    total_payload: u64,
+    last_delivery: Time,
+    latency_sum: u128,
+    latency_max: Time,
+    events_processed: u64,
+    channel_busy: Vec<Time>,
+}
+
+impl<'a> PacketSim<'a> {
+    /// Prepares a simulation of `plan` over the routed topology.
+    pub fn new(
+        topo: &'a Topology,
+        rt: &'a RoutingTable,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+    ) -> Self {
+        let n = topo.num_hosts();
+        let mut hosts: Vec<HostState> = (0..n)
+            .map(|_| HostState {
+                schedule: Vec::new(),
+                next: 0,
+                packets_left: 0,
+                active: false,
+            })
+            .collect();
+        let mut stage_message_counts = vec![0u64; plan.stages().len()];
+        for (s, flows) in plan.stages().iter().enumerate() {
+            for (k, &(src, dst)) in flows.iter().enumerate() {
+                if src != dst {
+                    hosts[src as usize]
+                        .schedule
+                        .push((dst, plan.flow_bytes(s, k), s as u32));
+                    stage_message_counts[s] += 1;
+                }
+            }
+        }
+        let msg_start = hosts
+            .iter()
+            .map(|h| vec![0 as Time; h.schedule.len()])
+            .collect();
+        Self {
+            topo,
+            rt,
+            cfg,
+            channels: (0..topo.num_channels())
+                .map(|_| ChannelState::default())
+                .collect(),
+            packets: Vec::new(),
+            free_packets: NO_PACKET,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            hosts,
+            mode: plan.mode,
+            stage_remaining: 0,
+            current_stage: 0,
+            num_stages: plan.stages().len() as u32,
+            stage_message_counts,
+            msg_start,
+            delivered: 0,
+            total_payload: 0,
+            last_delivery: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            events_processed: 0,
+            channel_busy: vec![0; topo.num_channels()],
+        }
+    }
+
+    fn schedule_event(&mut self, time: Time, kind: EventKind) {
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        if self.free_packets != NO_PACKET {
+            let id = self.free_packets;
+            self.free_packets = self.packets[id as usize].next_free;
+            self.packets[id as usize] = p;
+            id
+        } else {
+            self.packets.push(p);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn release_packet(&mut self, id: u32) {
+        self.packets[id as usize].next_free = self.free_packets;
+        self.free_packets = id;
+    }
+
+    /// Host `h`'s up-channel toward `dst` (RLFT hosts have a single cable).
+    fn host_up_channel(&self, h: u32, dst: u32) -> u32 {
+        let host = self.topo.host(h as usize);
+        let port = self
+            .rt
+            .egress(host, dst as usize)
+            .expect("host must have a route");
+        self.topo.egress_channel(host, port).0
+    }
+
+    /// Target of a channel is a switch (has an input buffer there)?
+    fn channel_buffer_capacity(&self, ch: u32) -> usize {
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if self.topo.node(target).is_host() {
+            usize::MAX
+        } else {
+            self.cfg.input_buffer_packets
+        }
+    }
+
+    fn has_credit(&self, ch: u32) -> bool {
+        let cap = self.channel_buffer_capacity(ch);
+        if cap == usize::MAX {
+            return true;
+        }
+        let st = &self.channels[ch as usize];
+        st.buffer.len() + st.reserved < cap
+    }
+
+    /// Kicks host `h`: if it has a startable message, request its up-channel.
+    fn host_request(&mut self, h: u32) {
+        let host = &self.hosts[h as usize];
+        if host.active || host.next >= host.schedule.len() {
+            return;
+        }
+        let (_, _, stage) = host.schedule[host.next];
+        if self.mode == Progression::Synchronized && stage != self.current_stage {
+            return;
+        }
+        let (dst, bytes, _) = host.schedule[host.next];
+        let ch = self.host_up_channel(h, dst);
+        self.hosts[h as usize].active = true;
+        if self.hosts[h as usize].packets_left == 0 {
+            self.hosts[h as usize].packets_left = self.cfg.packets_for(bytes);
+            self.msg_start[h as usize][self.hosts[h as usize].next] = self.now;
+        }
+        self.channels[ch as usize].waiting.push_back(Requester::Host(h));
+        self.try_grant(ch);
+    }
+
+    /// Attempts to grant the egress channel `e` to its next requester.
+    fn try_grant(&mut self, e: u32) {
+        loop {
+            if self.channels[e as usize].busy {
+                return;
+            }
+            let Some(&req) = self.channels[e as usize].waiting.front() else {
+                return;
+            };
+            if !self.has_credit(e) {
+                return; // retried on DrainDone/Arrival at e's buffer
+            }
+            self.channels[e as usize].waiting.pop_front();
+            match req {
+                Requester::Host(h) => self.grant_host(e, h),
+                Requester::Input(i) => self.grant_input(e, i),
+                Requester::Packet { pkt, input } => self.grant_packet(e, pkt, input),
+            }
+        }
+    }
+
+    fn grant_host(&mut self, e: u32, h: u32) {
+        let hs = &mut self.hosts[h as usize];
+        let (dst, bytes, _) = hs.schedule[hs.next];
+        let total_pkts = self.cfg.packets_for(bytes);
+        let pkt_index = total_pkts - hs.packets_left;
+        let size = if hs.packets_left == 1 {
+            bytes - self.cfg.mtu * pkt_index.min(bytes / self.cfg.mtu)
+        } else {
+            self.cfg.mtu
+        }
+        .max(1)
+        .min(self.cfg.mtu);
+        let is_last = hs.packets_left == 1;
+        let msg = hs.next as u32;
+        hs.packets_left -= 1;
+        hs.active = false;
+        if is_last {
+            // "Sent to the wire": advance to the next message. In sync mode
+            // the next message waits for the stage barrier.
+            hs.next += 1;
+        }
+        let pkt = self.alloc_packet(Packet {
+            dst,
+            src_host: h,
+            msg,
+            size,
+            is_last,
+            next_free: NO_PACKET,
+        });
+        // Injection serializes at the PCIe-bound host bandwidth.
+        let serialize = self.cfg.host_bw.transfer_time(size);
+        let depart = self.now + serialize;
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt, ch: e },
+        );
+        // The host can line up its next packet (granted no earlier than the
+        // ChannelFree above).
+        self.host_request(h);
+    }
+
+    fn grant_input(&mut self, e: u32, i: u32) {
+        let pkt_id = self.channels[i as usize]
+            .buffer
+            .pop_front()
+            .expect("requesting input has a head packet");
+        self.channels[i as usize].head_requested = false;
+        // The packet keeps occupying a slot of buffer `i` while draining.
+        self.channels[i as usize].reserved += 1;
+        let size = self.packets[pkt_id as usize].size;
+        let serialize = self.cfg.link_bw.transfer_time(size);
+        let depart = self.now + serialize;
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(depart, EventKind::DrainDone { ch: i });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt: pkt_id, ch: e },
+        );
+        // New head of buffer `i` may request its own egress.
+        self.request_for_head(i);
+    }
+
+    /// VOQ grant: the packet was addressed directly; its input slot drains
+    /// when the tail leaves.
+    fn grant_packet(&mut self, e: u32, pkt_id: u32, input: u32) {
+        let size = self.packets[pkt_id as usize].size;
+        let serialize = self.cfg.link_bw.transfer_time(size);
+        let depart = self.now + serialize;
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(depart, EventKind::DrainDone { ch: input });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt: pkt_id, ch: e },
+        );
+    }
+
+    /// Egress channel a resident packet needs at node `here`.
+    fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> u32 {
+        let dst = self.packets[pkt_id as usize].dst;
+        let port = self
+            .rt
+            .egress(here, dst as usize)
+            .expect("switch must route every destination");
+        self.topo.egress_channel(here, port).0
+    }
+
+    /// Makes the head packet of input buffer `i` request its egress.
+    fn request_for_head(&mut self, i: u32) {
+        if self.channels[i as usize].head_requested {
+            return;
+        }
+        let Some(&pkt_id) = self.channels[i as usize].buffer.front() else {
+            return;
+        };
+        let here = self.topo.channel_target(ftree_topology::ChannelId(i));
+        let dst = self.packets[pkt_id as usize].dst;
+        let port = self
+            .rt
+            .egress(here, dst as usize)
+            .expect("switch must route every destination");
+        let e = self.topo.egress_channel(here, port).0;
+        self.channels[i as usize].head_requested = true;
+        self.channels[e as usize].waiting.push_back(Requester::Input(i));
+        self.try_grant(e);
+    }
+
+    fn handle_arrival(&mut self, pkt_id: u32, ch: u32) {
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if self.topo.node(target).is_host() {
+            let pkt = self.packets[pkt_id as usize];
+            debug_assert_eq!(NodeId(pkt.dst), target, "packet misrouted");
+            self.total_payload += pkt.size;
+            if pkt.is_last {
+                self.delivered += 1;
+                self.last_delivery = self.now;
+                let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
+                let lat = self.now - start;
+                self.latency_sum += lat as u128;
+                self.latency_max = self.latency_max.max(lat);
+                if self.mode == Progression::Synchronized {
+                    self.stage_remaining -= 1;
+                    if self.stage_remaining == 0 {
+                        self.advance_stage();
+                    }
+                }
+            }
+            self.release_packet(pkt_id);
+        } else {
+            match self.cfg.switch_model {
+                SwitchModel::InputFifo => {
+                    let st = &mut self.channels[ch as usize];
+                    st.reserved = st.reserved.saturating_sub(1);
+                    st.buffer.push_back(pkt_id);
+                    if st.buffer.len() == 1 {
+                        self.request_for_head(ch);
+                    }
+                }
+                SwitchModel::VirtualOutputQueues => {
+                    // The arrival reservation stays until DrainDone; the
+                    // packet immediately contends for its own egress.
+                    let e = self.egress_for(target, pkt_id);
+                    self.channels[e as usize]
+                        .waiting
+                        .push_back(Requester::Packet { pkt: pkt_id, input: ch });
+                    self.try_grant(e);
+                }
+            }
+        }
+    }
+
+    /// Kicks every host, applying per-host jitter when configured.
+    fn kick_all_hosts(&mut self) {
+        let stage = if self.mode == Progression::Synchronized {
+            self.current_stage
+        } else {
+            0
+        };
+        for h in 0..self.hosts.len() as u32 {
+            let delay = crate::config::jitter_ps(self.cfg.jitter_seed, h, stage, self.cfg.jitter);
+            if delay == 0 {
+                self.host_request(h);
+            } else {
+                self.schedule_event(self.now + delay, EventKind::HostKick { host: h });
+            }
+        }
+    }
+
+    /// Sync-mode barrier: release the next non-empty stage.
+    fn advance_stage(&mut self) {
+        loop {
+            self.current_stage += 1;
+            if self.current_stage >= self.num_stages {
+                return;
+            }
+            let count = self.stage_message_counts[self.current_stage as usize];
+            if count > 0 {
+                self.stage_remaining = count;
+                self.kick_all_hosts();
+                return;
+            }
+        }
+    }
+
+    /// Runs to completion and returns the metrics.
+    pub fn run(mut self) -> SimResult {
+        // Prime the first non-empty stage (sync mode) / all hosts.
+        if self.mode == Progression::Synchronized {
+            match self.stage_message_counts.iter().position(|&c| c > 0) {
+                Some(s) => {
+                    self.current_stage = s as u32;
+                    self.stage_remaining = self.stage_message_counts[s];
+                }
+                None => return self.finish(),
+            }
+        }
+        self.kick_all_hosts();
+
+        while let Some(ev) = self.events.pop() {
+            debug_assert!(ev.time >= self.now, "time must be monotonic");
+            self.now = ev.time;
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Arrival { pkt, ch } => self.handle_arrival(pkt, ch),
+                EventKind::ChannelFree { ch } => {
+                    self.channels[ch as usize].busy = false;
+                    self.try_grant(ch);
+                }
+                EventKind::DrainDone { ch } => {
+                    let st = &mut self.channels[ch as usize];
+                    st.reserved = st.reserved.saturating_sub(1);
+                    // A slot freed at `ch`'s buffer may unblock grants of
+                    // channel `ch` itself (its grants need this credit).
+                    self.try_grant(ch);
+                }
+                EventKind::HostKick { host } => self.host_request(host),
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimResult {
+        let max_host_bytes = self
+            .hosts
+            .iter()
+            .map(|h| h.schedule.iter().map(|&(_, b, _)| b).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let n_active = self
+            .hosts
+            .iter()
+            .filter(|h| !h.schedule.is_empty())
+            .count()
+            .max(1);
+        let makespan = self.last_delivery;
+        let normalized_bw = if makespan == 0 {
+            0.0
+        } else {
+            // bytes/ps -> MB/s: * 1e6
+            let agg_mbps = self.total_payload as f64 / makespan as f64 * 1_000_000.0;
+            agg_mbps / (n_active as f64 * self.cfg.host_bw.mbps as f64)
+        };
+        SimResult {
+            makespan,
+            total_payload: self.total_payload,
+            messages_delivered: self.delivered,
+            normalized_bw,
+            mean_latency: if self.delivered == 0 {
+                0.0
+            } else {
+                self.latency_sum as f64 / self.delivered as f64
+            },
+            max_latency: self.latency_max,
+            max_host_bytes,
+            host_bw_mbps: self.cfg.host_bw.mbps,
+            events: self.events_processed,
+            channel_busy: self.channel_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficPlan;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    fn sim_once(
+        topo: &Topology,
+        stages: Vec<Vec<(u32, u32)>>,
+        bytes: u64,
+        mode: Progression,
+    ) -> SimResult {
+        let rt = route_dmodk(topo);
+        let plan = TrafficPlan::uniform(stages, bytes, mode);
+        PacketSim::new(topo, &rt, SimConfig::default(), &plan).run()
+    }
+
+    #[test]
+    fn single_message_delivers_all_bytes() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let r = sim_once(&topo, vec![vec![(0, 9)]], 10_000, Progression::Asynchronous);
+        assert_eq!(r.messages_delivered, 1);
+        assert_eq!(r.total_payload, 10_000);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn unloaded_latency_matches_cut_through_estimate() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let cfg = SimConfig::default();
+        let bytes = 2048u64; // single packet
+        let r = sim_once(&topo, vec![vec![(0, 9)]], bytes, Progression::Asynchronous);
+        // 4-hop path: host->leaf->spine->leaf->host.
+        let per_hop = cfg.switch_latency + cfg.wire_latency;
+        let expected = cfg.host_bw.transfer_time(bytes)
+            + 3 * cfg.link_bw.transfer_time(bytes)
+            + 4 * per_hop;
+        assert_eq!(r.max_latency, expected);
+    }
+
+    #[test]
+    fn self_free_permutation_runs_at_full_bandwidth() {
+        // Shift stage on the contention-free configuration: every host
+        // streams at its PCIe rate, so normalized BW approaches 1.
+        let topo = Topology::build(catalog::nodes_128());
+        let n = topo.num_hosts() as u32;
+        let stages: Vec<Vec<(u32, u32)>> = (0..8)
+            .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+            .collect();
+        let r = sim_once(&topo, stages, 65_536, Progression::Asynchronous);
+        assert_eq!(r.messages_delivered, 8 * 128);
+        assert!(
+            r.normalized_bw > 0.9,
+            "contention-free shift should be near line rate: {}",
+            r.normalized_bw
+        );
+    }
+
+    #[test]
+    fn hot_spot_degrades_bandwidth_to_half_link() {
+        // Two hosts of one leaf send to destinations sharing one up-port:
+        // the flows split one 4000 MB/s link (2000 MB/s each) instead of
+        // streaming at the 3250 MB/s PCIe bound — a 3250/2000 = 1.625x
+        // slowdown.
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let free = sim_once(
+            &topo,
+            vec![vec![(0, 4), (1, 5)]],
+            262_144,
+            Progression::Asynchronous,
+        );
+        let hot = sim_once(
+            &topo,
+            vec![vec![(0, 4), (1, 8)]], // both dsts ≡ 0 mod 4
+            262_144,
+            Progression::Asynchronous,
+        );
+        let ratio = hot.makespan as f64 / free.makespan as f64;
+        assert!(
+            (1.5..1.75).contains(&ratio),
+            "expected ~1.625x slowdown, got {ratio} (hot {} free {})",
+            hot.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn synchronized_mode_barriers_between_stages() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let stages: Vec<Vec<(u32, u32)>> =
+            vec![vec![(0, 4)], vec![(4, 0)], vec![(0, 4)]];
+        let sync = sim_once(&topo, stages.clone(), 8192, Progression::Synchronized);
+        let asyn = sim_once(&topo, stages, 8192, Progression::Asynchronous);
+        assert_eq!(sync.messages_delivered, 3);
+        assert_eq!(asyn.messages_delivered, 3);
+        // Host 0's second message waits for stage 2 in sync mode.
+        assert!(sync.makespan >= asyn.makespan);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let r = sim_once(&topo, vec![], 1024, Progression::Synchronized);
+        assert_eq!(r.messages_delivered, 0);
+        assert_eq!(r.makespan, 0);
+        let r2 = sim_once(&topo, vec![vec![]], 1024, Progression::Synchronized);
+        assert_eq!(r2.messages_delivered, 0);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_channels() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let r = sim_once(&topo, vec![vec![(0, 9)]], 262_144, Progression::Asynchronous);
+        // Host 0's up channel streams almost the entire run (PCIe-bound).
+        let host_up = topo
+            .channel(topo.node(topo.host(0)).up[0].link, ftree_topology::Direction::Up)
+            .index();
+        assert!(r.utilization(host_up) > 0.95, "{}", r.utilization(host_up));
+        // Links on the path are busy 3250/4000 of the time at most.
+        let peak_non_host = (0..r.channel_busy.len())
+            .filter(|&c| c != host_up)
+            .map(|c| r.utilization(c))
+            .fold(0.0f64, f64::max);
+        assert!((0.5..=0.85).contains(&peak_non_host), "{peak_non_host}");
+        // Channels off the path are idle.
+        assert!(r.channel_busy.iter().filter(|&&b| b > 0).count() <= 4);
+    }
+
+    #[test]
+    fn jitter_delays_starts_but_conserves_traffic() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
+        let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
+        let calm = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let jittery_cfg = SimConfig {
+            jitter: 50 * crate::config::MICROSECOND,
+            jitter_seed: 7,
+            ..SimConfig::default()
+        };
+        let jittery = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
+        assert_eq!(jittery.messages_delivered, calm.messages_delivered);
+        assert_eq!(jittery.total_payload, calm.total_payload);
+        assert!(
+            jittery.makespan > calm.makespan,
+            "50us skew must stretch a ~5us stage: {} vs {}",
+            jittery.makespan,
+            calm.makespan
+        );
+        // Jitter is deterministic too.
+        let again = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
+        assert_eq!(again.makespan, jittery.makespan);
+    }
+
+    #[test]
+    fn jitter_hash_is_bounded_and_spread() {
+        use crate::config::jitter_ps;
+        let max = 1_000_000;
+        let samples: Vec<u64> = (0..64).map(|h| jitter_ps(1, h, 0, max)).collect();
+        assert!(samples.iter().all(|&j| j <= max));
+        let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
+        assert!(distinct.len() > 48, "hash should spread: {} distinct", distinct.len());
+        assert_eq!(jitter_ps(1, 3, 0, 0), 0, "jitter disabled when max = 0");
+    }
+
+    #[test]
+    fn voq_conserves_and_removes_hol_blocking() {
+        use crate::config::SwitchModel;
+        // Workload with a deliberate HOL victim: hosts 0,1 both hammer
+        // dst-port residue 0 (hot), host 2 sends to an idle residue. With
+        // input FIFOs, host 2's later packets queue behind hot packets at
+        // shared buffers; with VOQs they never do.
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = route_dmodk(&topo);
+        let stages: Vec<Vec<(u32, u32)>> = (0..6)
+            .map(|_| vec![(0u32, 16u32), (1, 24), (2, 17)])
+            .collect();
+        let plan = TrafficPlan::uniform(stages, 262_144, Progression::Asynchronous);
+        let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let voq_cfg = SimConfig {
+            switch_model: SwitchModel::VirtualOutputQueues,
+            ..SimConfig::default()
+        };
+        let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
+        assert_eq!(voq.messages_delivered, fifo.messages_delivered);
+        assert_eq!(voq.total_payload, fifo.total_payload);
+        assert!(
+            voq.makespan <= fifo.makespan,
+            "VOQ cannot be slower: voq {} fifo {}",
+            voq.makespan,
+            fifo.makespan
+        );
+    }
+
+    #[test]
+    fn voq_matches_fifo_on_contention_free_traffic() {
+        use crate::config::SwitchModel;
+        // Without contention there is nothing for VOQs to fix.
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let stages: Vec<Vec<(u32, u32)>> =
+            vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
+        let plan = TrafficPlan::uniform(stages, 65_536, Progression::Synchronized);
+        let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let voq_cfg = SimConfig {
+            switch_model: SwitchModel::VirtualOutputQueues,
+            ..SimConfig::default()
+        };
+        let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
+        assert_eq!(voq.makespan, fifo.makespan);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let topo = Topology::build(catalog::nodes_128());
+        let n = topo.num_hosts() as u32;
+        let stages: Vec<Vec<(u32, u32)>> = (0..4)
+            .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+            .collect();
+        let a = sim_once(&topo, stages.clone(), 16_384, Progression::Asynchronous);
+        let b = sim_once(&topo, stages, 16_384, Progression::Asynchronous);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total_payload, b.total_payload);
+    }
+}

@@ -1,0 +1,228 @@
+//! Traffic plans: CPS sequences rendered into per-stage port-space flows.
+//!
+//! Both simulators consume a [`TrafficPlan`]: stage-ordered lists of
+//! `(src_port, dst_port)` messages, progressed either asynchronously (each
+//! end-port advances when its previous message has been sent to the wire —
+//! the paper's Sec. II model) or synchronously (global barrier per stage —
+//! the worst-case model behind the HSD analysis).
+//!
+//! Plans come in two flavours:
+//!
+//! * [`TrafficPlan::uniform`] / [`TrafficPlan::from_cps`] — every message
+//!   carries the same payload (the paper's Figure 2 workloads),
+//! * [`TrafficPlan::sized`] — per-flow payloads, for simulating *actual*
+//!   collective algorithms whose message sizes vary per stage (recursive
+//!   doubling doubles its payload every stage, ring allgather ships one
+//!   block per round, …). Built from executed `ftree-mpi` collectives via
+//!   `World::traffic_stages`.
+
+use serde::{Deserialize, Serialize};
+
+use ftree_collectives::PermutationSequence;
+use ftree_core::NodeOrder;
+
+/// How end-ports advance through their destination sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Progression {
+    /// Independent per-host progression (Sec. II: "end-ports progress
+    /// through their destinations sequence independently when the previous
+    /// message has been sent to the wire").
+    Asynchronous,
+    /// Global barrier between stages.
+    Synchronized,
+}
+
+/// A complete workload for one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficPlan {
+    /// Port-space flows per stage.
+    stages: Vec<Vec<(u32, u32)>>,
+    /// Per-flow payload bytes, parallel to `stages`; `None` = uniform.
+    sizes: Option<Vec<Vec<u64>>>,
+    /// Payload per flow for uniform plans.
+    bytes_per_message: u64,
+    /// Progression model.
+    pub mode: Progression,
+}
+
+impl TrafficPlan {
+    /// Uniform plan: every flow moves `bytes_per_message` bytes.
+    pub fn uniform(
+        stages: Vec<Vec<(u32, u32)>>,
+        bytes_per_message: u64,
+        mode: Progression,
+    ) -> Self {
+        Self {
+            stages,
+            sizes: None,
+            bytes_per_message,
+            mode,
+        }
+    }
+
+    /// Per-flow-sized plan: each stage entry is `(src, dst, bytes)`.
+    pub fn sized(stages: Vec<Vec<(u32, u32, u64)>>, mode: Progression) -> Self {
+        let mut pairs = Vec::with_capacity(stages.len());
+        let mut sizes = Vec::with_capacity(stages.len());
+        for stage in stages {
+            pairs.push(stage.iter().map(|&(s, d, _)| (s, d)).collect());
+            sizes.push(stage.iter().map(|&(_, _, b)| b).collect());
+        }
+        Self {
+            stages: pairs,
+            sizes: Some(sizes),
+            bytes_per_message: 0,
+            mode,
+        }
+    }
+
+    /// Renders a CPS over a node order into a uniform traffic plan,
+    /// optionally sampling at most `max_stages` evenly-spaced stages (long
+    /// sequences like the full Shift are cyclic; sampling preserves the
+    /// workload's statistics while bounding runtime).
+    pub fn from_cps(
+        order: &NodeOrder,
+        seq: &dyn PermutationSequence,
+        bytes_per_message: u64,
+        mode: Progression,
+        max_stages: usize,
+    ) -> Self {
+        let n = order.num_ranks() as u32;
+        let total = seq.num_stages(n);
+        let indices: Vec<usize> = if total <= max_stages {
+            (0..total).collect()
+        } else {
+            let stride = total as f64 / max_stages as f64;
+            (0..max_stages)
+                .map(|i| ((i as f64 * stride) as usize).min(total - 1))
+                .collect()
+        };
+        let stages = indices
+            .into_iter()
+            .map(|s| order.port_flows(&seq.stage(n, s)))
+            .collect();
+        Self::uniform(stages, bytes_per_message, mode)
+    }
+
+    /// Stage flow lists.
+    #[inline]
+    pub fn stages(&self) -> &[Vec<(u32, u32)>] {
+        &self.stages
+    }
+
+    /// Payload of flow `k` of stage `s`.
+    #[inline]
+    pub fn flow_bytes(&self, stage: usize, k: usize) -> u64 {
+        match &self.sizes {
+            Some(sizes) => sizes[stage][k],
+            None => self.bytes_per_message,
+        }
+    }
+
+    /// Total number of (non-self) messages in the plan.
+    pub fn num_messages(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|st| st.iter().filter(|&&(s, d)| s != d).count())
+            .sum()
+    }
+
+    /// Total payload bytes the plan will move (excluding self-flows).
+    pub fn total_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                st.iter()
+                    .enumerate()
+                    .filter(|&(_, &(src, dst))| src != dst)
+                    .map(|(k, _)| self.flow_bytes(s, k))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Bytes injected by the busiest host — the injection critical path.
+    pub fn max_host_bytes(&self) -> u64 {
+        let mut per_host = std::collections::HashMap::new();
+        for (s, st) in self.stages.iter().enumerate() {
+            for (k, &(src, dst)) in st.iter().enumerate() {
+                if src != dst {
+                    *per_host.entry(src).or_insert(0u64) += self.flow_bytes(s, k);
+                }
+            }
+        }
+        per_host.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_collectives::Cps;
+    use ftree_core::NodeOrder;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn full_sequence_rendered() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let order = NodeOrder::topology(&topo);
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Shift,
+            4096,
+            Progression::Asynchronous,
+            usize::MAX,
+        );
+        assert_eq!(plan.stages().len(), 15);
+        assert_eq!(plan.num_messages(), 15 * 16);
+        assert_eq!(plan.total_bytes(), 15 * 16 * 4096);
+        assert_eq!(plan.max_host_bytes(), 15 * 4096);
+    }
+
+    #[test]
+    fn sampling_limits_stage_count() {
+        let topo = Topology::build(catalog::nodes_128());
+        let order = NodeOrder::topology(&topo);
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Shift,
+            4096,
+            Progression::Synchronized,
+            10,
+        );
+        assert_eq!(plan.stages().len(), 10);
+        // Every sampled stage is a full permutation of 128 flows.
+        assert!(plan.stages().iter().all(|st| st.len() == 128));
+    }
+
+    #[test]
+    fn flows_follow_the_order() {
+        let order = NodeOrder::from_map((0..16).rev().collect::<Vec<u32>>(), "reversed");
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Ring,
+            1024,
+            Progression::Asynchronous,
+            usize::MAX,
+        );
+        // rank 0 -> rank 1 becomes port 15 -> port 14
+        assert!(plan.stages()[0].contains(&(15, 14)));
+    }
+
+    #[test]
+    fn sized_plan_tracks_per_flow_bytes() {
+        let plan = TrafficPlan::sized(
+            vec![
+                vec![(0, 1, 100), (1, 2, 200)],
+                vec![(2, 3, 50), (3, 3, 999)], // self-flow excluded from totals
+            ],
+            Progression::Synchronized,
+        );
+        assert_eq!(plan.flow_bytes(0, 1), 200);
+        assert_eq!(plan.num_messages(), 3);
+        assert_eq!(plan.total_bytes(), 350);
+        assert_eq!(plan.max_host_bytes(), 200);
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulator conservation and consistency properties.
+
+use proptest::prelude::*;
+
+use ftree_core::{route_dmodk, NodeOrder};
+use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+/// Random stage lists over 16 hosts.
+fn random_plan(mode: Progression) -> impl Strategy<Value = TrafficPlan> {
+    (
+        prop::collection::vec(
+            prop::collection::vec((0u32..16, 0u32..16), 0..16),
+            1..4,
+        ),
+        1u64..100_000,
+    )
+        .prop_map(move |(raw_stages, bytes)| {
+            // Deduplicate sources within a stage (CPS stages are partial
+            // permutations; the simulator requires one send per host per
+            // stage).
+            let stages = raw_stages
+                .into_iter()
+                .map(|stage| {
+                    let mut seen = std::collections::HashSet::new();
+                    stage
+                        .into_iter()
+                        .filter(|&(s, _)| seen.insert(s))
+                        .collect()
+                })
+                .collect();
+            TrafficPlan::uniform(stages, bytes, mode)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every planned message is delivered exactly once, with every payload
+    /// byte accounted for — packet simulator.
+    #[test]
+    fn packet_sim_conserves_messages(plan in random_plan(Progression::Asynchronous)) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        prop_assert_eq!(r.messages_delivered as usize, plan.num_messages());
+        prop_assert_eq!(r.total_payload, plan.total_bytes());
+    }
+
+    /// Same for synchronized mode (barriers must not deadlock or drop).
+    #[test]
+    fn packet_sim_sync_conserves(plan in random_plan(Progression::Synchronized)) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        prop_assert_eq!(r.messages_delivered as usize, plan.num_messages());
+    }
+
+    /// Fluid simulator conserves messages and bytes.
+    #[test]
+    fn fluid_conserves(plan in random_plan(Progression::Synchronized)) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let r = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        prop_assert_eq!(r.messages_completed as usize, plan.num_messages());
+        prop_assert_eq!(r.total_payload, plan.total_bytes());
+    }
+
+    /// Bit-identical replay: the packet simulator is deterministic.
+    #[test]
+    fn packet_sim_deterministic(plan in random_plan(Progression::Asynchronous)) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let a = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let b = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.max_latency, b.max_latency);
+    }
+
+    /// Fluid and packet simulators agree on contention-free single-stage
+    /// permutation makespans to first order (packet adds per-hop latency
+    /// and MTU quantization only).
+    #[test]
+    fn fluid_matches_packet_on_free_permutations(shift in 1u32..16) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let n = 16u32;
+        let stage: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + shift) % n)).collect();
+        let plan = TrafficPlan::uniform(vec![stage], 1 << 20, Progression::Synchronized);
+        let p = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let f = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        let ratio = p.makespan as f64 / f.makespan as f64;
+        prop_assert!((0.95..1.15).contains(&ratio),
+            "shift {shift}: packet {} vs fluid {}", p.makespan, f.makespan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No deadlock, ever: random small PGFTs x random plans complete with
+    /// every message delivered (the credit/grant protocol has no cycles
+    /// because routes are up*/down*).
+    #[test]
+    fn random_fabrics_never_deadlock(
+        m1 in 2u32..5, m2 in 2u32..5, w2 in 1u32..4, p2 in 1u32..3,
+        raw in prop::collection::vec(prop::collection::vec((0u32..100, 0u32..100), 1..10), 1..3),
+        bytes in 1u64..50_000,
+    ) {
+        let spec = ftree_topology::PgftSpec::from_slices(&[m1, m2], &[1, w2], &[1, p2]).unwrap();
+        let topo = Topology::build(spec);
+        let n = topo.num_hosts() as u32;
+        let rt = route_dmodk(&topo);
+        let stages: Vec<Vec<(u32, u32)>> = raw
+            .into_iter()
+            .map(|stage| {
+                let mut seen = std::collections::HashSet::new();
+                stage
+                    .into_iter()
+                    .map(|(s, d)| (s % n, d % n))
+                    .filter(|&(s, _)| seen.insert(s))
+                    .collect()
+            })
+            .collect();
+        let plan = TrafficPlan::uniform(stages, bytes, Progression::Asynchronous);
+        let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        prop_assert_eq!(r.messages_delivered as usize, plan.num_messages());
+    }
+}
+
+#[test]
+fn zero_byte_messages_still_complete() {
+    // Barrier tokens carry no payload; both simulators must deliver them
+    // (the packet model sends a 1-byte header).
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let rt = route_dmodk(&topo);
+    let plan = TrafficPlan::sized(
+        vec![vec![(0, 5, 0), (1, 6, 0)], vec![(5, 0, 0)]],
+        Progression::Synchronized,
+    );
+    let p = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    assert_eq!(p.messages_delivered, 3);
+    let f = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+    assert_eq!(f.messages_completed, 3);
+}
+
+#[test]
+fn mixed_sizes_respected_by_both_sims() {
+    // One giant flow and one tiny flow: the giant one dominates the
+    // makespan; totals match the plan exactly.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let rt = route_dmodk(&topo);
+    let plan = TrafficPlan::sized(
+        vec![vec![(0, 5, 1 << 20), (1, 6, 128)]],
+        Progression::Synchronized,
+    );
+    let p = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    assert_eq!(p.total_payload, (1 << 20) + 128);
+    let f = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+    assert_eq!(f.total_payload, (1 << 20) + 128);
+    // Makespan ~ giant flow at PCIe rate.
+    let expect = SimConfig::default().host_bw.transfer_time(1 << 20);
+    assert!((f.makespan as f64 / expect as f64 - 1.0).abs() < 0.01);
+    assert!(p.makespan >= expect);
+}
+
+#[test]
+fn sync_never_faster_than_async() {
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = route_dmodk(&topo);
+    let order = NodeOrder::random(&topo, 5);
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = (0..4)
+        .map(|s| {
+            order.port_flows(&ftree_collectives::PermutationSequence::stage(
+                &ftree_collectives::Cps::Shift,
+                n,
+                s,
+            ))
+        })
+        .collect();
+    let mk = |mode| TrafficPlan::uniform(stages.clone(), 32 << 10, mode);
+    let asyn = PacketSim::new(&topo, &rt, SimConfig::default(), &mk(Progression::Asynchronous))
+        .run();
+    let sync = PacketSim::new(&topo, &rt, SimConfig::default(), &mk(Progression::Synchronized))
+        .run();
+    assert!(
+        sync.makespan >= asyn.makespan,
+        "barriers cannot speed things up: sync {} async {}",
+        sync.makespan,
+        asyn.makespan
+    );
+}

@@ -1,0 +1,73 @@
+//! Error types for topology construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a fat-tree topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The spec declares zero levels.
+    EmptySpec,
+    /// `m`, `w`, `p` vectors disagree in length.
+    MismatchedArity {
+        /// Length of the `m` vector.
+        m: usize,
+        /// Length of the `w` vector.
+        w: usize,
+        /// Length of the `p` vector.
+        p: usize,
+    },
+    /// Some tuple entry is zero.
+    ZeroParameter,
+    /// The spec describes more hosts than supported.
+    TooLarge {
+        /// Declared host count.
+        hosts: u64,
+    },
+    /// An RLFT restriction does not hold (see [`crate::rlft::RlftReport`]).
+    NotRlft(String),
+    /// A referenced node does not exist.
+    NoSuchNode {
+        /// Requested tree level.
+        level: usize,
+        /// Requested within-level index.
+        index: usize,
+    },
+    /// A referenced host does not exist.
+    NoSuchHost {
+        /// Requested host index.
+        host: usize,
+    },
+    /// Topology file parsing failed.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySpec => write!(f, "PGFT spec must have at least one level"),
+            Self::MismatchedArity { m, w, p } => write!(
+                f,
+                "PGFT parameter vectors disagree in length: |m|={m}, |w|={w}, |p|={p}"
+            ),
+            Self::ZeroParameter => write!(f, "PGFT parameters must be strictly positive"),
+            Self::TooLarge { hosts } => {
+                write!(f, "topology declares {hosts} hosts, exceeding the supported maximum")
+            }
+            Self::NotRlft(msg) => write!(f, "not a real-life fat-tree: {msg}"),
+            Self::NoSuchNode { level, index } => {
+                write!(f, "no node with index {index} at level {level}")
+            }
+            Self::NoSuchHost { host } => write!(f, "no host with index {host}"),
+            Self::Parse { line, message } => {
+                write!(f, "topology parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,114 @@
+//! Link-failure sets: masking cables out of a fabric.
+//!
+//! Real installations lose cables; the subnet manager must route around
+//! them. A [`LinkFailures`] value marks physical links dead without
+//! mutating the topology graph — routing algorithms consult it when
+//! choosing ports, and analysis can verify that no traced path crosses a
+//! dead cable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{ChannelId, NodeId, Topology};
+
+/// A set of failed physical links.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkFailures {
+    failed: Vec<bool>,
+    count: usize,
+}
+
+impl LinkFailures {
+    /// No failures.
+    pub fn none(topo: &Topology) -> Self {
+        Self {
+            failed: vec![false; topo.num_links()],
+            count: 0,
+        }
+    }
+
+    /// Marks a link dead. Idempotent.
+    pub fn fail(&mut self, link: u32) {
+        let slot = &mut self.failed[link as usize];
+        if !*slot {
+            *slot = true;
+            self.count += 1;
+        }
+    }
+
+    /// Fails the `k`-th up-going cable of a node (convenience for tests and
+    /// experiments).
+    pub fn fail_up_port(&mut self, topo: &Topology, node: NodeId, q: u32) {
+        self.fail(topo.node(node).up[q as usize].link);
+    }
+
+    /// Number of failed links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no link is failed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Is this link alive?
+    #[inline]
+    pub fn is_live(&self, link: u32) -> bool {
+        !self.failed[link as usize]
+    }
+
+    /// Is the link under this directed channel alive?
+    #[inline]
+    pub fn channel_live(&self, ch: ChannelId) -> bool {
+        self.is_live(ch.link())
+    }
+
+    /// Iterator over failed link ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlft::catalog;
+    use crate::Topology;
+
+    #[test]
+    fn empty_set_is_all_live() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let f = LinkFailures::none(&topo);
+        assert!(f.is_empty());
+        assert!((0..topo.num_links() as u32).all(|l| f.is_live(l)));
+    }
+
+    #[test]
+    fn failing_is_idempotent() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        f.fail(3);
+        f.fail(3);
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_live(3));
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn fail_up_port_targets_the_right_cable() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        let leaf = topo.node_at(1, 2).unwrap();
+        f.fail_up_port(&topo, leaf, 1);
+        let link = topo.node(leaf).up[1].link;
+        assert!(!f.is_live(link));
+        let ch = topo.channel(link, crate::Direction::Up);
+        assert!(!f.channel_live(ch));
+    }
+}

@@ -1,0 +1,510 @@
+//! The materialized fat-tree graph: nodes, ports, links and directed channels.
+//!
+//! [`Topology::build`] instantiates a [`PgftSpec`] following
+//! the connection rule of paper Sec. IV.B: a level-`l` node `A` and a
+//! level-`l+1` node `B` are connected iff their digit vectors agree in every
+//! position except index `l` (zero-based), and the `k`-th of the `p_{l+1}`
+//! parallel links joins
+//!
+//! * up-going port `q = b_l + k * w_{l+1}` of `A` (where `b_l` is `B`'s free
+//!   digit), to
+//! * down-going port `r = a_l + k * m_{l+1}` of `B` (where `a_l` is `A`'s
+//!   free digit).
+//!
+//! Every physical link contributes two **directed channels** (up and down),
+//! which are the unit of contention accounting in `ftree-analysis` and the
+//! unit of serialization in `ftree-sim`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::spec::PgftSpec;
+
+/// Identifies a node (host or switch) in the topology. Hosts come first
+/// (`0..num_hosts`), then switches level by level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(
+    /// Global node index (hosts first, then switches level by level).
+    pub u32,
+);
+
+impl NodeId {
+    /// The node's global index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a directed channel. Channel `2k` is the up direction of link
+/// `k` (child → parent), channel `2k + 1` the down direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelId(
+    /// Directed channel index (`2*link + direction`).
+    pub u32,
+);
+
+impl ChannelId {
+    /// The channel's global index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The physical link this channel belongs to.
+    #[inline]
+    pub fn link(self) -> u32 {
+        self.0 / 2
+    }
+
+    /// Direction of this channel.
+    #[inline]
+    pub fn direction(self) -> Direction {
+        if self.0.is_multiple_of(2) {
+            Direction::Up
+        } else {
+            Direction::Down
+        }
+    }
+}
+
+/// Traffic direction relative to the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Child → parent (toward the roots).
+    Up,
+    /// Parent → child (toward the hosts).
+    Down,
+}
+
+/// A port selection on a node: fat-trees distinguish up-going and down-going
+/// ports, matching the paper's `q` / `r` numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortRef {
+    /// Up-going port `q` (0-based, `q < w_{l+1} * p_{l+1}`).
+    Up(u32),
+    /// Down-going port `r` (0-based, `r < m_l * p_l`).
+    Down(u32),
+}
+
+/// What a port connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortPeer {
+    /// Node on the far end of the cable.
+    pub peer: NodeId,
+    /// Port index within the peer's opposite-direction port array.
+    pub peer_port: u32,
+    /// Physical link index (two channels: `2*link` up, `2*link + 1` down).
+    pub link: u32,
+}
+
+/// A node of the fat-tree: a host (level 0) or a switch (levels `1..=h`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Tree level; hosts are level 0.
+    pub level: u8,
+    /// Within-level index (mixed-radix value of `digits`).
+    pub index_in_level: u32,
+    /// Digit tuple per paper Sec. IV.B (LSD first, `h` digits).
+    pub digits: Vec<u32>,
+    /// Up-going ports; entry `q` describes the cable on up-port `q`.
+    pub up: Vec<PortPeer>,
+    /// Down-going ports; entry `r` describes the cable on down-port `r`.
+    pub down: Vec<PortPeer>,
+}
+
+impl Node {
+    /// True when the node is a host NIC rather than a switch.
+    #[inline]
+    pub fn is_host(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Total port count (down + up), i.e. the crossbar radix used.
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.up.len() + self.down.len()
+    }
+}
+
+/// Metadata for one physical link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Link {
+    /// Lower (child) node.
+    pub child: NodeId,
+    /// Up-port index on the child.
+    pub child_port: u32,
+    /// Upper (parent) node.
+    pub parent: NodeId,
+    /// Down-port index on the parent.
+    pub parent_port: u32,
+    /// Level of the **parent** node; links between hosts and leaf switches
+    /// have `level == 1`.
+    pub level: u8,
+}
+
+/// A fully materialized fat-tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    spec: PgftSpec,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// First NodeId of each level (`level_offsets[l]` = first node at level
+    /// `l`); has `h + 2` entries, the last being the total node count.
+    level_offsets: Vec<u32>,
+}
+
+impl Topology {
+    /// Instantiates the PGFT graph described by `spec`.
+    pub fn build(spec: PgftSpec) -> Self {
+        let h = spec.height();
+        let mut level_offsets = Vec::with_capacity(h + 2);
+        let mut total = 0u32;
+        for l in 0..=h {
+            level_offsets.push(total);
+            total += spec.nodes_at_level(l) as u32;
+        }
+        level_offsets.push(total);
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(total as usize);
+        for l in 0..=h {
+            let count = spec.nodes_at_level(l);
+            for idx in 0..count {
+                nodes.push(Node {
+                    level: l as u8,
+                    index_in_level: idx as u32,
+                    digits: spec.digits_of(l, idx),
+                    up: Vec::new(),
+                    down: Vec::new(),
+                });
+            }
+        }
+
+        // Pre-size port arrays so links can be written by index.
+        let placeholder = PortPeer {
+            peer: NodeId(u32::MAX),
+            peer_port: u32::MAX,
+            link: u32::MAX,
+        };
+        for node in &mut nodes {
+            let l = node.level as usize;
+            node.up = vec![placeholder; spec.up_ports(l) as usize];
+            node.down = vec![placeholder; spec.down_ports(l) as usize];
+        }
+
+        // Connection rule: free digit between levels l and l+1 is index l.
+        let mut links = Vec::new();
+        for l in 0..h {
+            let w = spec.w(l);
+            let m = spec.m(l);
+            let p = spec.p(l);
+            let child_first = level_offsets[l] as usize;
+            let child_count = spec.nodes_at_level(l);
+            for child_idx in 0..child_count {
+                let child_id = NodeId((child_first + child_idx) as u32);
+                let a_l = nodes[child_first + child_idx].digits[l];
+                for b in 0..w {
+                    // Parent digits: child digits with index l replaced by b.
+                    let mut pd = nodes[child_first + child_idx].digits.clone();
+                    pd[l] = b;
+                    let parent_idx = spec.index_of(l + 1, &pd);
+                    let parent_id = NodeId(level_offsets[l + 1] + parent_idx as u32);
+                    for k in 0..p {
+                        let q = b + k * w;
+                        let r = a_l + k * m;
+                        let link_id = links.len() as u32;
+                        links.push(Link {
+                            child: child_id,
+                            child_port: q,
+                            parent: parent_id,
+                            parent_port: r,
+                            level: (l + 1) as u8,
+                        });
+                        nodes[child_id.index()].up[q as usize] = PortPeer {
+                            peer: parent_id,
+                            peer_port: r,
+                            link: link_id,
+                        };
+                        nodes[parent_id.index()].down[r as usize] = PortPeer {
+                            peer: child_id,
+                            peer_port: q,
+                            link: link_id,
+                        };
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            nodes
+                .iter()
+                .all(|n| n.up.iter().chain(&n.down).all(|pp| pp.link != u32::MAX)),
+            "every declared port must be cabled"
+        );
+
+        Self {
+            spec,
+            nodes,
+            links,
+            level_offsets,
+        }
+    }
+
+    /// The spec this topology was built from.
+    #[inline]
+    pub fn spec(&self) -> &PgftSpec {
+        &self.spec
+    }
+
+    /// Number of switch levels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.spec.height()
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn num_hosts(&self) -> usize {
+        self.level_offsets[1] as usize
+    }
+
+    /// Total number of nodes (hosts + switches).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of physical links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of directed channels (`2 * num_links`).
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.links.len() * 2
+    }
+
+    /// All nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Link accessor.
+    #[inline]
+    pub fn link(&self, link: u32) -> &Link {
+        &self.links[link as usize]
+    }
+
+    /// NodeId of the host with the given host index.
+    #[inline]
+    pub fn host(&self, host: usize) -> NodeId {
+        debug_assert!(host < self.num_hosts());
+        NodeId(host as u32)
+    }
+
+    /// NodeId of a node addressed by `(level, within-level index)`.
+    pub fn node_at(&self, level: usize, index: usize) -> Result<NodeId, TopologyError> {
+        if level > self.height() || index >= self.spec.nodes_at_level(level) {
+            return Err(TopologyError::NoSuchNode { level, index });
+        }
+        Ok(NodeId(self.level_offsets[level] + index as u32))
+    }
+
+    /// Iterates over node ids at the given level.
+    pub fn level_nodes(&self, level: usize) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = self.level_offsets[level];
+        let hi = self.level_offsets[level + 1];
+        (lo..hi).map(NodeId)
+    }
+
+    /// All switch node ids (levels `1..=h`).
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.level_offsets[1]..self.level_offsets[self.height() + 1]).map(NodeId)
+    }
+
+    /// Directed channel id for traversing `link` in `dir`.
+    #[inline]
+    pub fn channel(&self, link: u32, dir: Direction) -> ChannelId {
+        match dir {
+            Direction::Up => ChannelId(link * 2),
+            Direction::Down => ChannelId(link * 2 + 1),
+        }
+    }
+
+    /// The directed channel leaving `node` through `port`.
+    #[inline]
+    pub fn egress_channel(&self, node: NodeId, port: PortRef) -> ChannelId {
+        let n = self.node(node);
+        match port {
+            PortRef::Up(q) => self.channel(n.up[q as usize].link, Direction::Up),
+            PortRef::Down(r) => self.channel(n.down[r as usize].link, Direction::Down),
+        }
+    }
+
+    /// Source node/port of a directed channel.
+    pub fn channel_source(&self, ch: ChannelId) -> (NodeId, PortRef) {
+        let link = self.link(ch.link());
+        match ch.direction() {
+            Direction::Up => (link.child, PortRef::Up(link.child_port)),
+            Direction::Down => (link.parent, PortRef::Down(link.parent_port)),
+        }
+    }
+
+    /// Destination node of a directed channel.
+    pub fn channel_target(&self, ch: ChannelId) -> NodeId {
+        let link = self.link(ch.link());
+        match ch.direction() {
+            Direction::Up => link.parent,
+            Direction::Down => link.child,
+        }
+    }
+
+    /// True iff `node` (at any level) is an ancestor of `host`, i.e. the
+    /// host's `m`-digits at positions `>= level` match the node's digits.
+    pub fn is_ancestor_of(&self, node: NodeId, host: usize) -> bool {
+        let n = self.node(node);
+        let l = n.level as usize;
+        (l..self.height()).all(|j| n.digits[j] == self.spec.host_digit(host, j))
+    }
+
+    /// Human-readable node name, e.g. `H0017` or `S2[3,0,1]`.
+    pub fn node_name(&self, id: NodeId) -> String {
+        let n = self.node(id);
+        if n.is_host() {
+            format!("H{:04}", n.index_in_level)
+        } else {
+            let digits: Vec<String> = n.digits.iter().map(|d| d.to_string()).collect();
+            format!("S{}[{}]", n.level, digits.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        // Figure 4(b): 16 hosts, 8-port switches, PGFT(2; 4,4; 1,2; 1,2).
+        Topology::build(PgftSpec::from_slices(&[4, 4], &[1, 2], &[1, 2]).unwrap())
+    }
+
+    #[test]
+    fn node_counts() {
+        let t = tiny();
+        assert_eq!(t.num_hosts(), 16);
+        assert_eq!(t.spec().nodes_at_level(1), 4); // 4 leaf switches
+        assert_eq!(t.spec().nodes_at_level(2), 2); // 2 spines (PGFT benefit)
+        assert_eq!(t.num_nodes(), 22);
+    }
+
+    #[test]
+    fn link_counts() {
+        let t = tiny();
+        // 16 host cables + 4 leaves * 2 spines * 2 parallel = 16 + 16
+        assert_eq!(t.num_links(), 32);
+        assert_eq!(t.num_channels(), 64);
+    }
+
+    #[test]
+    fn every_port_is_cabled_and_symmetric() {
+        let t = tiny();
+        for (id, node) in t.nodes().iter().enumerate() {
+            for (q, pp) in node.up.iter().enumerate() {
+                let peer = t.node(pp.peer);
+                let back = peer.down[pp.peer_port as usize];
+                assert_eq!(back.peer, NodeId(id as u32));
+                assert_eq!(back.peer_port, q as u32);
+                assert_eq!(back.link, pp.link);
+            }
+            for (r, pp) in node.down.iter().enumerate() {
+                let peer = t.node(pp.peer);
+                let back = peer.up[pp.peer_port as usize];
+                assert_eq!(back.peer, NodeId(id as u32));
+                assert_eq!(back.peer_port, r as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_port_numbering_rule() {
+        // Figure 5: the k-th parallel connection between child (free digit a)
+        // and parent (free digit b) uses child up-port b + k*w and parent
+        // down-port a + k*m.
+        let t = tiny();
+        let leaf0 = t.node_at(1, 0).unwrap();
+        let n = t.node(leaf0);
+        // Up port q on a leaf: parent digit b = q mod w2 = q mod 2,
+        // parallel k = q div 2.
+        for q in 0..4u32 {
+            let pp = n.up[q as usize];
+            let parent = t.node(pp.peer);
+            assert_eq!(parent.level, 2);
+            assert_eq!(parent.digits[1], q % 2, "parent free digit");
+            // parent down port r = a + k*m = 0 + (q/2)*4
+            assert_eq!(pp.peer_port, (q / 2) * 4);
+        }
+    }
+
+    #[test]
+    fn hosts_have_single_cable() {
+        let t = tiny();
+        for h in 0..t.num_hosts() {
+            let n = t.node(t.host(h));
+            assert_eq!(n.up.len(), 1);
+            assert!(n.down.is_empty());
+            let leaf = t.node(n.up[0].peer);
+            assert_eq!(leaf.level, 1);
+        }
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let t = tiny();
+        // Host 5 has digits (1, 1): child 1 of leaf 1.
+        let leaf1 = t.node_at(1, 1).unwrap();
+        assert!(t.is_ancestor_of(leaf1, 5));
+        assert!(!t.is_ancestor_of(leaf1, 0));
+        // Every spine is an ancestor of every host.
+        for s in t.level_nodes(2) {
+            for h in 0..16 {
+                assert!(t.is_ancestor_of(s, h));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_endpoints() {
+        let t = tiny();
+        let host0 = t.host(0);
+        let up = t.egress_channel(host0, PortRef::Up(0));
+        assert_eq!(t.channel_source(up).0, host0);
+        let leaf = t.node(host0).up[0].peer;
+        assert_eq!(t.channel_target(up), leaf);
+        let down = t.channel(up.link(), Direction::Down);
+        assert_eq!(t.channel_source(down).0, leaf);
+        assert_eq!(t.channel_target(down), host0);
+    }
+
+    #[test]
+    fn node_names() {
+        let t = tiny();
+        assert_eq!(t.node_name(t.host(7)), "H0007");
+        let s = t.node_at(2, 1).unwrap();
+        assert!(t.node_name(s).starts_with("S2["));
+    }
+}

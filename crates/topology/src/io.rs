@@ -1,0 +1,384 @@
+//! Topology serialization: canonical-name parsing and an
+//! `ibnetdiscover`-style text dump.
+//!
+//! The paper's tooling (`ibdm` / `ibutils`) works from text files describing
+//! the cluster cabling. We provide the equivalent: [`write_text`] emits a
+//! human-auditable cable list, and [`parse_spec`] reads the canonical
+//! `PGFT(h; m...; w...; p...)` form (also accepted: `XGFT(h; m...; w...)`).
+
+use std::fmt::Write as _;
+
+use crate::error::TopologyError;
+use crate::graph::Topology;
+use crate::spec::PgftSpec;
+
+/// Parses a canonical spec string such as `PGFT(3; 18,18,6; 1,18,3; 1,1,6)`
+/// or `XGFT(2; 4,4; 1,4)`.
+pub fn parse_spec(input: &str) -> Result<PgftSpec, TopologyError> {
+    let s = input.trim();
+    let err = |message: &str| TopologyError::Parse {
+        line: 1,
+        message: message.to_string(),
+    };
+    let (kind, rest) = s
+        .split_once('(')
+        .ok_or_else(|| err("expected `PGFT(...)` or `XGFT(...)`"))?;
+    let kind = kind.trim();
+    let body = rest
+        .strip_suffix(')')
+        .ok_or_else(|| err("missing closing parenthesis"))?;
+    let parts: Vec<&str> = body.split(';').map(str::trim).collect();
+
+    let parse_vec = |part: &str| -> Result<Vec<u32>, TopologyError> {
+        part.split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<u32>()
+                    .map_err(|_| err(&format!("invalid integer `{tok}`")))
+            })
+            .collect()
+    };
+
+    let (m, w, p) = match (kind, parts.as_slice()) {
+        ("PGFT", [h, m, w, p]) => {
+            let height: usize = h.parse().map_err(|_| err("invalid height"))?;
+            let (m, w, p) = (parse_vec(m)?, parse_vec(w)?, parse_vec(p)?);
+            if m.len() != height {
+                return Err(err("height disagrees with parameter vectors"));
+            }
+            (m, w, p)
+        }
+        ("XGFT", [h, m, w]) => {
+            let height: usize = h.parse().map_err(|_| err("invalid height"))?;
+            let (m, w) = (parse_vec(m)?, parse_vec(w)?);
+            if m.len() != height {
+                return Err(err("height disagrees with parameter vectors"));
+            }
+            let p = vec![1; m.len()];
+            (m, w, p)
+        }
+        _ => return Err(err("expected `PGFT(h; m; w; p)` or `XGFT(h; m; w)`")),
+    };
+    PgftSpec::new(m, w, p)
+}
+
+/// Writes an `ibnetdiscover`-flavoured cable list: one line per physical
+/// link, `child_name up_port -- parent_name down_port`.
+pub fn write_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", topo.spec().canonical_name());
+    let _ = writeln!(
+        out,
+        "# hosts={} switches={} links={}",
+        topo.num_hosts(),
+        topo.num_nodes() - topo.num_hosts(),
+        topo.num_links()
+    );
+    for link in topo.links() {
+        let _ = writeln!(
+            out,
+            "{} {} -- {} {}",
+            topo.node_name(link.child),
+            link.child_port,
+            topo.node_name(link.parent),
+            link.parent_port
+        );
+    }
+    out
+}
+
+/// Writes the forwarding tables in an `ibroute`-flavoured listing: one
+/// block per switch, one `dst_host : port` line per programmed entry
+/// (`U<q>` up-going, `D<r>` down-going). This is what an operator would
+/// diff against a live subnet manager's dump.
+pub fn write_lft(topo: &Topology, rt: &crate::lft::RoutingTable) -> String {
+    use crate::graph::PortRef;
+    let mut out = String::new();
+    let _ = writeln!(out, "# LFT dump, algorithm: {}", rt.algorithm);
+    for sw in topo.switches() {
+        let _ = writeln!(out, "switch {}", topo.node_name(sw));
+        for dst in 0..topo.num_hosts() {
+            match rt.egress(sw, dst) {
+                Some(PortRef::Up(q)) => {
+                    let _ = writeln!(out, "  {dst:5} : U{q}");
+                }
+                Some(PortRef::Down(r)) => {
+                    let _ = writeln!(out, "  {dst:5} : D{r}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {dst:5} : -");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reads the spec back from a [`write_text`] dump (first header line).
+pub fn parse_text_header(text: &str) -> Result<PgftSpec, TopologyError> {
+    let first = text.lines().next().ok_or(TopologyError::Parse {
+        line: 1,
+        message: "empty topology file".to_string(),
+    })?;
+    let spec_str = first
+        .trim_start_matches('#')
+        .trim();
+    parse_spec(spec_str)
+}
+
+/// Parses a node name as printed by [`Topology::node_name`]
+/// (`H0007`, `S2[3,0,1]`) into a NodeId of `topo`.
+fn resolve_node(topo: &Topology, name: &str, line: usize) -> Result<crate::NodeId, TopologyError> {
+    let err = |message: String| TopologyError::Parse { line, message };
+    if let Some(num) = name.strip_prefix('H') {
+        let host: usize = num
+            .parse()
+            .map_err(|_| err(format!("invalid host name `{name}`")))?;
+        if host >= topo.num_hosts() {
+            return Err(err(format!("host {host} beyond machine")));
+        }
+        Ok(topo.host(host))
+    } else if let Some(rest) = name.strip_prefix('S') {
+        let (level_str, digits_str) = rest
+            .split_once('[')
+            .ok_or_else(|| err(format!("invalid switch name `{name}`")))?;
+        let level: usize = level_str
+            .parse()
+            .map_err(|_| err(format!("invalid level in `{name}`")))?;
+        let digits: Vec<u32> = digits_str
+            .trim_end_matches(']')
+            .split(',')
+            .map(|d| d.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| err(format!("invalid digits in `{name}`")))?;
+        if level == 0 || level > topo.height() || digits.len() != topo.height() {
+            return Err(err(format!("switch `{name}` does not fit the spec")));
+        }
+        for (j, &d) in digits.iter().enumerate() {
+            if d >= topo.spec().digit_radix(level, j) {
+                return Err(err(format!("digit out of radix in `{name}`")));
+            }
+        }
+        let index = topo.spec().index_of(level, &digits);
+        topo.node_at(level, index)
+            .map_err(|_| err(format!("no such switch `{name}`")))
+    } else {
+        Err(err(format!("unrecognized node name `{name}`")))
+    }
+}
+
+/// Parses a full [`write_text`] dump back into a [`Topology`],
+/// **verifying** that every cable line matches the PGFT connection rule —
+/// the subnet-manager workflow of auditing a discovered fabric against its
+/// intended design. Any missing, duplicate, or miswired cable is reported
+/// with its line number.
+pub fn parse_text(text: &str) -> Result<Topology, TopologyError> {
+    let spec = parse_text_header(text)?;
+    let topo = Topology::build(spec);
+    let mut seen = vec![false; topo.num_links()];
+    let mut cables = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| TopologyError::Parse {
+            line: lineno,
+            message,
+        };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [child_name, q_str, sep, parent_name, r_str] = parts[..] else {
+            return Err(err(format!("malformed cable line `{line}`")));
+        };
+        if sep != "--" {
+            return Err(err("expected `--` separator".to_string()));
+        }
+        let child = resolve_node(&topo, child_name, lineno)?;
+        let parent = resolve_node(&topo, parent_name, lineno)?;
+        let q: usize = q_str
+            .parse()
+            .map_err(|_| err("invalid up-port".to_string()))?;
+        let r: u32 = r_str
+            .parse()
+            .map_err(|_| err("invalid down-port".to_string()))?;
+        let node = topo.node(child);
+        let peer = node
+            .up
+            .get(q)
+            .ok_or_else(|| err(format!("{child_name} has no up-port {q}")))?;
+        if peer.peer != parent || peer.peer_port != r {
+            return Err(err(format!(
+                "miswired cable: {child_name} port {q} should reach {} port {}, file says \
+                 {parent_name} port {r}",
+                topo.node_name(peer.peer),
+                peer.peer_port
+            )));
+        }
+        if seen[peer.link as usize] {
+            return Err(err(format!("duplicate cable `{line}`")));
+        }
+        seen[peer.link as usize] = true;
+        cables += 1;
+    }
+    if cables != topo.num_links() {
+        return Err(TopologyError::Parse {
+            line: text.lines().count(),
+            message: format!(
+                "cable list incomplete: {cables} of {} cables present",
+                topo.num_links()
+            ),
+        });
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlft::catalog;
+
+    #[test]
+    fn parse_pgft_roundtrip() {
+        let spec = catalog::nodes_1944();
+        let parsed = parse_spec(&spec.canonical_name()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn parse_xgft() {
+        let spec = parse_spec("XGFT(2; 4,4; 1,4)").unwrap();
+        assert_eq!(spec, catalog::fig4_xgft_16());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "PGFT",
+            "PGFT(2; 4,4; 1,4)",          // missing p vector
+            "PGFT(3; 4,4; 1,4; 1,1)",     // height mismatch
+            "PGFT(2; 4,x; 1,4; 1,1)",     // bad int
+            "GFT(2; 4,4; 1,4; 1,1)",      // unknown kind
+        ] {
+            assert!(parse_spec(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn text_dump_roundtrips_spec() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let text = write_text(&topo);
+        assert_eq!(parse_text_header(&text).unwrap(), *topo.spec());
+        // one line per link plus two headers
+        assert_eq!(text.lines().count(), 2 + topo.num_links());
+    }
+
+    #[test]
+    fn full_text_roundtrip() {
+        for spec in [catalog::fig4_pgft_16(), catalog::nodes_128()] {
+            let topo = Topology::build(spec);
+            let text = write_text(&topo);
+            let parsed = parse_text(&text).expect("own dump must verify");
+            assert_eq!(parsed.num_links(), topo.num_links());
+            assert_eq!(parsed.spec(), topo.spec());
+        }
+    }
+
+    #[test]
+    fn parse_text_detects_miswired_cable() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let text = write_text(&topo);
+        // Corrupt one cable's parent port.
+        let corrupted: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 5 {
+                    let mut parts: Vec<String> =
+                        l.split_whitespace().map(String::from).collect();
+                    let r: u32 = parts[4].parse().unwrap();
+                    parts[4] = format!("{}", (r + 1) % 8);
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse_text(&corrupted).unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 6, .. }), "{err}");
+        assert!(err.to_string().contains("miswired"));
+    }
+
+    #[test]
+    fn parse_text_detects_missing_cable() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let text = write_text(&topo);
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse_text(&truncated).unwrap_err();
+        assert!(err.to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn parse_text_detects_duplicates_and_bad_names() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let text = write_text(&topo);
+        let line3 = text.lines().nth(3).unwrap().to_string();
+        let duplicated = format!("{text}{line3}\n");
+        assert!(parse_text(&duplicated).is_err());
+        let garbage = text.replace("H0002", "X0002");
+        assert!(parse_text(&garbage).is_err());
+    }
+
+    #[test]
+    fn lft_dump_covers_every_switch_and_destination() {
+        use crate::graph::PortRef;
+        use crate::lft::RoutingTable;
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut rt = RoutingTable::empty(&topo, "test");
+        for sw in topo.switches() {
+            for dst in 0..topo.num_hosts() {
+                rt.set(sw, dst, PortRef::Up((dst % 4) as u32));
+            }
+        }
+        let dump = write_lft(&topo, &rt);
+        let switches = topo.num_nodes() - topo.num_hosts();
+        assert_eq!(
+            dump.lines().filter(|l| l.starts_with("switch ")).count(),
+            switches
+        );
+        assert_eq!(
+            dump.lines().filter(|l| l.contains(" : U")).count(),
+            switches * topo.num_hosts()
+        );
+        assert!(dump.starts_with("# LFT dump, algorithm: test"));
+    }
+
+    #[test]
+    fn lft_dump_marks_unprogrammed_entries() {
+        use crate::lft::RoutingTable;
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = RoutingTable::empty(&topo, "empty");
+        let dump = write_lft(&topo, &rt);
+        assert!(dump.lines().any(|l| l.trim_end().ends_with(": -")));
+    }
+
+    #[test]
+    fn text_dump_lists_every_host_once_as_child() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let text = write_text(&topo);
+        for h in 0..topo.num_hosts() {
+            let name = topo.node_name(topo.host(h));
+            assert_eq!(
+                text.lines().filter(|l| l.starts_with(&name)).count(),
+                1,
+                "host {h} must appear exactly once as a link child"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ftree-topology — fat-tree topology substrate
+//!
+//! Implements the topology formalism of Zahavi, *"Fat-Trees Routing and Node
+//! Ordering Providing Contention Free Traffic for MPI Global Collectives"*
+//! (Sec. IV): k-ary-n-trees and XGFTs as special cases of **Parallel-Ports
+//! Generalized Fat-Trees** (PGFT), and the practically-buildable subclass of
+//! **Real-Life Fat-Trees** (RLFT).
+//!
+//! The crate provides:
+//!
+//! * [`PgftSpec`] — the canonical `PGFT(h; m; w; p)` tuple with all derived
+//!   digit arithmetic,
+//! * [`Topology`] — the materialized graph of hosts, switches, ports, links
+//!   and directed channels, built by the paper's port-numbering rule,
+//! * [`rlft`] — RLFT restriction checking and a catalog of the topologies in
+//!   the paper's evaluation (128/324/1728/1944-node clusters, Figure 1/4
+//!   examples),
+//! * [`RoutingTable`] — destination-indexed linear forwarding tables (as
+//!   programmed by InfiniBand subnet managers) plus path tracing and
+//!   up*/down* validation,
+//! * [`io`] — canonical-name parsing and `ibnetdiscover`-style dumps.
+//!
+//! ```
+//! use ftree_topology::{rlft::catalog, Topology};
+//!
+//! let topo = Topology::build(catalog::nodes_324());
+//! assert_eq!(topo.num_hosts(), 324);
+//! assert_eq!(ftree_topology::rlft::require_rlft(topo.spec()).unwrap(), 18);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod failures;
+pub mod graph;
+pub mod io;
+pub mod lft;
+pub mod rlft;
+pub mod spec;
+
+pub use error::TopologyError;
+pub use failures::LinkFailures;
+pub use graph::{ChannelId, Direction, Link, Node, NodeId, PortPeer, PortRef, Topology};
+pub use lft::{Path, RouteError, RoutingTable};
+pub use spec::PgftSpec;

@@ -1,0 +1,258 @@
+//! Real-Life Fat-Tree (RLFT) restrictions and a catalog of the topologies
+//! used throughout the paper's evaluation.
+//!
+//! Paper Sec. IV.C narrows PGFTs to the sub-class actually built in HPC
+//! installations:
+//!
+//! 1. **Constant cross-bisectional bandwidth**: `m_l * p_l = w_{l+1} * p_{l+1}`
+//!    at every internal level, so every switch has as much up as down
+//!    bandwidth.
+//! 2. **Single host cables**: `w_1 = p_1 = 1`.
+//! 3. **Constant switch radix**: all switches are the same `2K`-port
+//!    cross-bar: `m_l * p_l + w_{l+1} * p_{l+1} = 2K` for `0 < l < h` and
+//!    `m_h * p_h = 2K` at the top.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::spec::PgftSpec;
+
+/// Result of checking the RLFT restrictions on a PGFT spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlftReport {
+    /// Restriction 1: constant CBB at every level transition.
+    pub constant_cbb: bool,
+    /// Restriction 2: hosts attach through exactly one cable.
+    pub single_host_cable: bool,
+    /// Restriction 3: every switch uses the same `2K`-port cross-bar,
+    /// including full top-level switches. `Some(K)` when it holds.
+    pub arity: Option<u32>,
+    /// Violation descriptions for diagnostics.
+    pub violations: Vec<String>,
+}
+
+impl RlftReport {
+    /// All three restrictions hold.
+    pub fn is_rlft(&self) -> bool {
+        self.constant_cbb && self.single_host_cable && self.arity.is_some()
+    }
+
+    /// Switch arity `K` (half the port count) when the spec is an RLFT.
+    pub fn k(&self) -> Option<u32> {
+        self.arity
+    }
+}
+
+/// Checks the RLFT restrictions on a spec.
+pub fn check_rlft(spec: &PgftSpec) -> RlftReport {
+    let h = spec.height();
+    let mut violations = Vec::new();
+
+    let mut constant_cbb = true;
+    for l in 1..h {
+        let down = spec.down_ports(l);
+        let up = spec.up_ports(l);
+        if down != up {
+            constant_cbb = false;
+            violations.push(format!(
+                "level {l}: down bandwidth m_{l}*p_{l} = {down} != up bandwidth \
+                 w_{}*p_{} = {up}",
+                l + 1,
+                l + 1
+            ));
+        }
+    }
+
+    let single_host_cable = spec.w(0) == 1 && spec.p(0) == 1;
+    if !single_host_cable {
+        violations.push(format!(
+            "hosts must have a single cable: w_1 = {}, p_1 = {}",
+            spec.w(0),
+            spec.p(0)
+        ));
+    }
+
+    // Constant radix: every switch level 1..h-1 has down+up ports == 2K for
+    // a common K; the top level has m_h * p_h == 2K down ports.
+    let mut arity: Option<u32> = None;
+    let mut radix_ok = true;
+    let mut radices = Vec::new();
+    for l in 1..=h {
+        radices.push(spec.down_ports(l) + spec.up_ports(l));
+    }
+    if let Some(&first) = radices.first() {
+        if radices.iter().any(|&r| r != first) {
+            radix_ok = false;
+            violations.push(format!(
+                "switch radix differs across levels: {radices:?} (ports per switch)"
+            ));
+        } else if first % 2 != 0 {
+            radix_ok = false;
+            violations.push(format!("switch radix {first} is odd"));
+        } else {
+            arity = Some(first / 2);
+        }
+    }
+    if radix_ok {
+        // Top switches must dedicate all 2K ports to down links.
+        let top_down = spec.down_ports(h);
+        if let Some(k) = arity {
+            if top_down != 2 * k {
+                violations.push(format!(
+                    "top level uses {top_down} of {} ports",
+                    2 * k
+                ));
+                arity = None;
+            }
+        }
+    } else {
+        arity = None;
+    }
+
+    RlftReport {
+        constant_cbb,
+        single_host_cable,
+        arity,
+        violations,
+    }
+}
+
+/// Validates that `spec` is an RLFT, returning its arity `K`.
+pub fn require_rlft(spec: &PgftSpec) -> Result<u32, TopologyError> {
+    let report = check_rlft(spec);
+    match report.arity {
+        Some(k) if report.is_rlft() => Ok(k),
+        _ => Err(TopologyError::NotRlft(report.violations.join("; "))),
+    }
+}
+
+/// Catalog of the concrete topologies used by the paper's evaluation
+/// (Figs. 1–4, Table 3) plus the maximal trees they are carved from.
+pub mod catalog {
+    use super::*;
+
+    /// Maximal 2-level RLFT from `2K`-port switches: `N = 2K^2` hosts.
+    /// For `K = 18` (36-port IS4 switches) this is the 648-node tree.
+    pub fn rlft2_full(k: u32) -> PgftSpec {
+        PgftSpec::from_slices(&[k, 2 * k], &[1, k], &[1, 1]).expect("valid catalog spec")
+    }
+
+    /// Half-populated 2-level RLFT keeping full CBB via parallel ports:
+    /// `N = K^2` hosts over `K/2` spines with 2 parallel links each.
+    /// For `K = 18` this is the paper's 324-node tree. Requires even `K`.
+    pub fn rlft2_half(k: u32) -> PgftSpec {
+        assert!(k.is_multiple_of(2), "rlft2_half requires even K");
+        PgftSpec::from_slices(&[k, k], &[1, k / 2], &[1, 2]).expect("valid catalog spec")
+    }
+
+    /// Maximal 3-level RLFT from `2K`-port switches: `N = 2K^3` hosts.
+    /// For `K = 18` this is the 11664-node tree of paper Sec. V.A.
+    pub fn rlft3_full(k: u32) -> PgftSpec {
+        PgftSpec::from_slices(&[k, k, 2 * k], &[1, k, k], &[1, 1, 1]).expect("valid catalog spec")
+    }
+
+    /// The paper's 128-node 2-level tree from 16-port switches (`K = 8`).
+    pub fn nodes_128() -> PgftSpec {
+        rlft2_full(8)
+    }
+
+    /// The paper's 324-node 2-level tree from 36-port switches (`K = 18`).
+    pub fn nodes_324() -> PgftSpec {
+        rlft2_half(18)
+    }
+
+    /// 648-node maximal 2-level tree from 36-port switches.
+    pub fn nodes_648() -> PgftSpec {
+        rlft2_full(18)
+    }
+
+    /// The paper's 1728-node 3-level tree from 24-port switches (`K = 12`):
+    /// `PGFT(3; 12,12,12; 1,12,6; 1,1,2)`.
+    pub fn nodes_1728() -> PgftSpec {
+        PgftSpec::from_slices(&[12, 12, 12], &[1, 12, 6], &[1, 1, 2]).expect("valid catalog spec")
+    }
+
+    /// The paper's 1944-node 3-level tree from 36-port switches (`K = 18`):
+    /// `PGFT(3; 18,18,6; 1,18,3; 1,1,6)` — the simulated InfiniBand cluster
+    /// of Sec. II/VII.
+    pub fn nodes_1944() -> PgftSpec {
+        PgftSpec::from_slices(&[18, 18, 6], &[1, 18, 3], &[1, 1, 6]).expect("valid catalog spec")
+    }
+
+    /// Figure 4(a): 16 hosts on 8-port switches expressed as an XGFT —
+    /// four spines, each using only 4 of its 8 ports.
+    pub fn fig4_xgft_16() -> PgftSpec {
+        PgftSpec::xgft(&[4, 4], &[1, 4]).expect("valid catalog spec")
+    }
+
+    /// Figure 4(b): the same 16 hosts as a PGFT — two spines fully used via
+    /// two parallel ports per leaf–spine pair.
+    pub fn fig4_pgft_16() -> PgftSpec {
+        PgftSpec::from_slices(&[4, 4], &[1, 2], &[1, 2]).expect("valid catalog spec")
+    }
+
+    /// Figure 1: 16-node example with four up-links per leaf switch
+    /// (drawn with four distinct spines).
+    pub fn fig1_16() -> PgftSpec {
+        fig4_xgft_16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::catalog::*;
+    use super::*;
+
+    #[test]
+    fn catalog_trees_are_rlft() {
+        for (name, spec, k, n) in [
+            ("128", nodes_128(), 8, 128),
+            ("324", nodes_324(), 18, 324),
+            ("648", nodes_648(), 18, 648),
+            ("1728", nodes_1728(), 12, 1728),
+            ("1944", nodes_1944(), 18, 1944),
+            ("11664", rlft3_full(18), 18, 11664),
+            ("fig4b", fig4_pgft_16(), 4, 16),
+        ] {
+            let report = check_rlft(&spec);
+            assert!(report.is_rlft(), "{name} not RLFT: {:?}", report.violations);
+            assert_eq!(report.k(), Some(k), "{name} arity");
+            assert_eq!(spec.num_hosts(), n, "{name} host count");
+        }
+    }
+
+    #[test]
+    fn fig4_xgft_is_not_strict_rlft() {
+        // The XGFT variant leaves half of each spine's ports unused, so the
+        // constant-radix restriction fails — that is exactly the paper's
+        // motivation for PGFTs.
+        let report = check_rlft(&fig4_xgft_16());
+        assert!(!report.is_rlft());
+        assert!(report.constant_cbb);
+        assert!(report.single_host_cable);
+        assert_eq!(report.arity, None);
+    }
+
+    #[test]
+    fn non_constant_cbb_detected() {
+        // 2:1 oversubscribed leaf level.
+        let spec = PgftSpec::from_slices(&[8, 16], &[1, 4], &[1, 1]).unwrap();
+        let report = check_rlft(&spec);
+        assert!(!report.constant_cbb);
+        assert!(!report.is_rlft());
+        assert!(require_rlft(&spec).is_err());
+    }
+
+    #[test]
+    fn multi_cable_hosts_detected() {
+        let spec = PgftSpec::from_slices(&[8, 16], &[2, 8], &[1, 1]).unwrap();
+        let report = check_rlft(&spec);
+        assert!(!report.single_host_cable);
+    }
+
+    #[test]
+    fn require_rlft_returns_k() {
+        assert_eq!(require_rlft(&nodes_1944()).unwrap(), 18);
+        assert_eq!(require_rlft(&nodes_128()).unwrap(), 8);
+    }
+}

@@ -1,0 +1,385 @@
+//! Canonical PGFT tuple descriptions and the digit arithmetic they induce.
+//!
+//! A Parallel-Ports Generalized Fat-Tree is canonically described by the
+//! tuple `PGFT(h; m1..mh; w1..wh; p1..ph)` (paper Sec. IV.B):
+//!
+//! * `h`  — number of switch levels (hosts live at level 0),
+//! * `m_l` — number of *distinct* lower-level nodes connected to each node of
+//!   level `l`,
+//! * `w_l` — number of *distinct* level-`l` nodes connected to each node of
+//!   level `l-1`,
+//! * `p_l` — number of parallel links between each such connected pair.
+//!
+//! Every node at level `l` carries `h` digits `d_1..d_h`; digit `d_j` ranges
+//! over `[0, w_j)` when `j <= l` and over `[0, m_j)` when `j > l`. Hosts
+//! (level 0) therefore carry a pure mixed-radix representation of their host
+//! index in radices `m_1..m_h`, least-significant digit first.
+//!
+//! All indices in this crate are **zero-based**: `m[l]` is the paper's
+//! `m_{l+1}` and so on. Doc comments spell out the paper-side quantity
+//! whenever the shift could confuse.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+
+/// Canonical PGFT description `PGFT(h; m; w; p)`.
+///
+/// Invariants enforced by [`PgftSpec::new`]:
+/// * `m`, `w`, `p` all have length `h >= 1`,
+/// * every entry is strictly positive,
+/// * the resulting node/port counts fit comfortably in `u32` indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PgftSpec {
+    m: Vec<u32>,
+    w: Vec<u32>,
+    p: Vec<u32>,
+}
+
+impl PgftSpec {
+    /// Maximum number of hosts a spec may declare. Keeps every derived
+    /// index (ports, channels, LFT entries) within `u32`.
+    pub const MAX_HOSTS: u64 = 1 << 24;
+
+    /// Builds a spec, validating the tuple.
+    pub fn new(m: Vec<u32>, w: Vec<u32>, p: Vec<u32>) -> Result<Self, TopologyError> {
+        if m.is_empty() {
+            return Err(TopologyError::EmptySpec);
+        }
+        if m.len() != w.len() || m.len() != p.len() {
+            return Err(TopologyError::MismatchedArity {
+                m: m.len(),
+                w: w.len(),
+                p: p.len(),
+            });
+        }
+        if m.iter().chain(&w).chain(&p).any(|&x| x == 0) {
+            return Err(TopologyError::ZeroParameter);
+        }
+        let hosts: u64 = m.iter().map(|&x| x as u64).product();
+        if hosts > Self::MAX_HOSTS {
+            return Err(TopologyError::TooLarge { hosts });
+        }
+        Ok(Self { m, w, p })
+    }
+
+    /// Convenience constructor from slices.
+    pub fn from_slices(m: &[u32], w: &[u32], p: &[u32]) -> Result<Self, TopologyError> {
+        Self::new(m.to_vec(), w.to_vec(), p.to_vec())
+    }
+
+    /// XGFT is a PGFT with one parallel link everywhere (paper Sec. IV.A).
+    pub fn xgft(m: &[u32], w: &[u32]) -> Result<Self, TopologyError> {
+        Self::new(m.to_vec(), w.to_vec(), vec![1; m.len()])
+    }
+
+    /// `k`-ary-`n`-tree: `n` levels, arity `k` down and up at every level,
+    /// single host cables (`w_1 = 1`).
+    pub fn k_ary_n_tree(k: u32, n: usize) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::EmptySpec);
+        }
+        let m = vec![k; n];
+        let mut w = vec![k; n];
+        w[0] = 1;
+        Self::xgft(&m, &w)
+    }
+
+    /// Number of switch levels `h` (hosts are level 0).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Paper `m_{l+1}` (children multiplicity between level `l` and `l+1`).
+    #[inline]
+    pub fn m(&self, l: usize) -> u32 {
+        self.m[l]
+    }
+
+    /// Paper `w_{l+1}` (parents multiplicity between level `l` and `l+1`).
+    #[inline]
+    pub fn w(&self, l: usize) -> u32 {
+        self.w[l]
+    }
+
+    /// Paper `p_{l+1}` (parallel links between level `l` and `l+1`).
+    #[inline]
+    pub fn p(&self, l: usize) -> u32 {
+        self.p[l]
+    }
+
+    /// All `m` parameters, `m[l]` being the paper's `m_{l+1}`.
+    #[inline]
+    pub fn ms(&self) -> &[u32] {
+        &self.m
+    }
+
+    /// All `w` parameters.
+    #[inline]
+    pub fn ws(&self) -> &[u32] {
+        &self.w
+    }
+
+    /// All `p` parameters.
+    #[inline]
+    pub fn ps(&self) -> &[u32] {
+        &self.p
+    }
+
+    /// Number of hosts `N = prod m_i`.
+    #[inline]
+    pub fn num_hosts(&self) -> usize {
+        self.m.iter().map(|&x| x as usize).product()
+    }
+
+    /// `W_l = prod_{i=1..l} w_i` — the divisor used by D-Mod-K at level `l`
+    /// (zero-based: `w_prefix(l) = w[0] * .. * w[l-1]`, `w_prefix(0) = 1`).
+    #[inline]
+    pub fn w_prefix(&self, l: usize) -> usize {
+        self.w[..l].iter().map(|&x| x as usize).product()
+    }
+
+    /// `M_l = prod_{i=1..l} m_i` — hosts per level-`l` subtree
+    /// (`m_prefix(0) = 1`, `m_prefix(h) = N`).
+    #[inline]
+    pub fn m_prefix(&self, l: usize) -> usize {
+        self.m[..l].iter().map(|&x| x as usize).product()
+    }
+
+    /// Number of up-going ports of a level-`l` node (`w_{l+1} * p_{l+1}`);
+    /// zero at the top level.
+    #[inline]
+    pub fn up_ports(&self, l: usize) -> u32 {
+        if l >= self.height() {
+            0
+        } else {
+            self.w[l] * self.p[l]
+        }
+    }
+
+    /// Number of down-going ports of a level-`l` node (`m_l * p_l`); zero
+    /// for hosts.
+    #[inline]
+    pub fn down_ports(&self, l: usize) -> u32 {
+        if l == 0 {
+            0
+        } else {
+            self.m[l - 1] * self.p[l - 1]
+        }
+    }
+
+    /// Digit radix for digit index `j` of a node at level `l`: `w_j` for
+    /// digits "below" the level (`j < l`), `m_j` above.
+    #[inline]
+    pub fn digit_radix(&self, level: usize, j: usize) -> u32 {
+        if j < level {
+            self.w[j]
+        } else {
+            self.m[j]
+        }
+    }
+
+    /// Number of nodes at a level: `prod_{j<l} w_j * prod_{j>=l} m_j`.
+    pub fn nodes_at_level(&self, level: usize) -> usize {
+        (0..self.height())
+            .map(|j| self.digit_radix(level, j) as usize)
+            .product()
+    }
+
+    /// Total number of switches (levels `1..=h`).
+    pub fn num_switches(&self) -> usize {
+        (1..=self.height()).map(|l| self.nodes_at_level(l)).sum()
+    }
+
+    /// Decomposes a within-level node index into its digit vector
+    /// (least-significant digit first, `h` digits).
+    pub fn digits_of(&self, level: usize, mut index: usize) -> Vec<u32> {
+        let h = self.height();
+        let mut digits = Vec::with_capacity(h);
+        for j in 0..h {
+            let r = self.digit_radix(level, j) as usize;
+            digits.push((index % r) as u32);
+            index /= r;
+        }
+        debug_assert_eq!(index, 0, "index out of range for level");
+        digits
+    }
+
+    /// Recomposes a digit vector into a within-level node index.
+    pub fn index_of(&self, level: usize, digits: &[u32]) -> usize {
+        let h = self.height();
+        debug_assert_eq!(digits.len(), h);
+        let mut index = 0usize;
+        let mut stride = 1usize;
+        for (j, &digit) in digits.iter().enumerate() {
+            let r = self.digit_radix(level, j) as usize;
+            debug_assert!((digit as usize) < r, "digit {j} out of radix");
+            index += digit as usize * stride;
+            stride *= r;
+        }
+        index
+    }
+
+    /// Host digits of host `j` (mixed radix `m`, LSD first). Equivalent to
+    /// `digits_of(0, j)`.
+    #[inline]
+    pub fn host_digits(&self, host: usize) -> Vec<u32> {
+        self.digits_of(0, host)
+    }
+
+    /// Single host digit `j_l` (zero-based digit index `l`).
+    #[inline]
+    pub fn host_digit(&self, host: usize, l: usize) -> u32 {
+        ((host / self.m_prefix(l)) % self.m[l] as usize) as u32
+    }
+
+    /// Canonical display form, e.g. `PGFT(3; 18,18,6; 1,18,3; 1,1,6)`.
+    pub fn canonical_name(&self) -> String {
+        let join = |v: &[u32]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "PGFT({}; {}; {}; {})",
+            self.height(),
+            join(&self.m),
+            join(&self.w),
+            join(&self.p)
+        )
+    }
+}
+
+impl std::fmt::Display for PgftSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_1944() -> PgftSpec {
+        PgftSpec::from_slices(&[18, 18, 6], &[1, 18, 3], &[1, 1, 6]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            PgftSpec::new(vec![], vec![], vec![]),
+            Err(TopologyError::EmptySpec)
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            PgftSpec::new(vec![2, 2], vec![1], vec![1, 1]),
+            Err(TopologyError::MismatchedArity { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_parameter() {
+        assert!(matches!(
+            PgftSpec::new(vec![2, 0], vec![1, 2], vec![1, 1]),
+            Err(TopologyError::ZeroParameter)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        assert!(matches!(
+            PgftSpec::new(vec![4096, 4096, 4096], vec![1, 1, 1], vec![1, 1, 1]),
+            Err(TopologyError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn host_count_1944() {
+        assert_eq!(spec_1944().num_hosts(), 1944);
+    }
+
+    #[test]
+    fn level_populations_1944() {
+        let s = spec_1944();
+        // level 0: 18*18*6 hosts
+        assert_eq!(s.nodes_at_level(0), 1944);
+        // level 1 (leaf switches): w1 * m2 * m3 = 1 * 18 * 6
+        assert_eq!(s.nodes_at_level(1), 108);
+        // level 2: w1 * w2 * m3 = 1 * 18 * 6
+        assert_eq!(s.nodes_at_level(2), 108);
+        // level 3 (top): w1 * w2 * w3 = 1 * 18 * 3
+        assert_eq!(s.nodes_at_level(3), 54);
+    }
+
+    #[test]
+    fn port_counts_match_radix_36() {
+        let s = spec_1944();
+        // leaf switches: 18 down + 18 up = 36 ports
+        assert_eq!(s.down_ports(1), 18);
+        assert_eq!(s.up_ports(1), 18);
+        // mid switches: 18 down + 18 up
+        assert_eq!(s.down_ports(2), 18);
+        assert_eq!(s.up_ports(2), 18);
+        // top switches: 36 down, 0 up
+        assert_eq!(s.down_ports(3), 36);
+        assert_eq!(s.up_ports(3), 0);
+        // hosts: single cable
+        assert_eq!(s.up_ports(0), 1);
+        assert_eq!(s.down_ports(0), 0);
+    }
+
+    #[test]
+    fn digit_roundtrip_all_levels() {
+        let s = spec_1944();
+        for level in 0..=s.height() {
+            let n = s.nodes_at_level(level);
+            for idx in [0, 1, n / 2, n - 1] {
+                let d = s.digits_of(level, idx);
+                assert_eq!(s.index_of(level, &d), idx, "level {level} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_digit_matches_digits_of() {
+        let s = spec_1944();
+        for host in [0usize, 17, 18, 323, 1000, 1943] {
+            let d = s.host_digits(host);
+            for (l, &digit) in d.iter().enumerate() {
+                assert_eq!(s.host_digit(host, l), digit);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_products() {
+        let s = spec_1944();
+        assert_eq!(s.w_prefix(0), 1);
+        assert_eq!(s.w_prefix(1), 1);
+        assert_eq!(s.w_prefix(2), 18);
+        assert_eq!(s.w_prefix(3), 54);
+        assert_eq!(s.m_prefix(0), 1);
+        assert_eq!(s.m_prefix(1), 18);
+        assert_eq!(s.m_prefix(2), 324);
+        assert_eq!(s.m_prefix(3), 1944);
+    }
+
+    #[test]
+    fn k_ary_n_tree_shape() {
+        let s = PgftSpec::k_ary_n_tree(4, 3).unwrap();
+        assert_eq!(s.num_hosts(), 64);
+        assert_eq!(s.up_ports(0), 1);
+        assert_eq!(s.nodes_at_level(3), 16);
+    }
+
+    #[test]
+    fn canonical_name_round() {
+        let s = spec_1944();
+        assert_eq!(s.canonical_name(), "PGFT(3; 18,18,6; 1,18,3; 1,1,6)");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the PGFT construction invariants.
+
+use proptest::prelude::*;
+
+use ftree_topology::{io, NodeId, PgftSpec, Topology};
+
+/// Random small-but-arbitrary PGFT tuples (not necessarily RLFT).
+fn pgft_spec() -> impl Strategy<Value = PgftSpec> {
+    (1usize..=3).prop_flat_map(|h| {
+        (
+            prop::collection::vec(1u32..5, h),
+            prop::collection::vec(1u32..4, h),
+            prop::collection::vec(1u32..3, h),
+        )
+            .prop_filter_map("size cap", |(m, w, p)| {
+                let hosts: u64 = m.iter().map(|&x| x as u64).product();
+                (hosts <= 512).then(|| PgftSpec::new(m, w, p).ok())?
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Digit decomposition round-trips at every level.
+    #[test]
+    fn digits_roundtrip(spec in pgft_spec(), raw in 0usize..10_000) {
+        for level in 0..=spec.height() {
+            let count = spec.nodes_at_level(level);
+            let idx = raw % count;
+            let digits = spec.digits_of(level, idx);
+            prop_assert_eq!(spec.index_of(level, &digits), idx);
+            for (j, &d) in digits.iter().enumerate() {
+                prop_assert!(d < spec.digit_radix(level, j));
+            }
+        }
+    }
+
+    /// Every port is cabled and cabling is an involution (peer's peer is
+    /// self on the same port).
+    #[test]
+    fn cabling_is_symmetric(spec in pgft_spec()) {
+        let topo = Topology::build(spec);
+        for (id, node) in topo.nodes().iter().enumerate() {
+            for (q, pp) in node.up.iter().enumerate() {
+                let back = topo.node(pp.peer).down[pp.peer_port as usize];
+                prop_assert_eq!(back.peer, NodeId(id as u32));
+                prop_assert_eq!(back.peer_port as usize, q);
+            }
+            for (r, pp) in node.down.iter().enumerate() {
+                let back = topo.node(pp.peer).up[pp.peer_port as usize];
+                prop_assert_eq!(back.peer, NodeId(id as u32));
+                prop_assert_eq!(back.peer_port as usize, r);
+            }
+        }
+    }
+
+    /// Link count matches the closed form: sum over levels of
+    /// (#level-l nodes) * w_{l+1} * p_{l+1}.
+    #[test]
+    fn link_count_closed_form(spec in pgft_spec()) {
+        let expected: usize = (0..spec.height())
+            .map(|l| spec.nodes_at_level(l) * (spec.up_ports(l) as usize))
+            .sum();
+        let topo = Topology::build(spec);
+        prop_assert_eq!(topo.num_links(), expected);
+    }
+
+    /// Parallel cables connect the same node pair, and distinct up-ports
+    /// never share (peer, peer_port).
+    #[test]
+    fn ports_are_distinct(spec in pgft_spec()) {
+        let topo = Topology::build(spec);
+        for node in topo.nodes() {
+            let mut seen = std::collections::HashSet::new();
+            for pp in &node.up {
+                prop_assert!(seen.insert((pp.peer, pp.peer_port)));
+            }
+        }
+    }
+
+    /// Every node's ancestor set: a level-l node reaches exactly
+    /// `m_prefix(l)` hosts downward.
+    #[test]
+    fn ancestor_counts(spec in pgft_spec()) {
+        let topo = Topology::build(spec);
+        let h = topo.height();
+        for level in 1..=h {
+            let node = topo.node_at(level, 0).unwrap();
+            let below = (0..topo.num_hosts())
+                .filter(|&host| topo.is_ancestor_of(node, host))
+                .count();
+            prop_assert_eq!(below, topo.spec().m_prefix(level));
+        }
+    }
+
+    /// Canonical-name serialization round-trips.
+    #[test]
+    fn canonical_name_roundtrip(spec in pgft_spec()) {
+        let parsed = io::parse_spec(&spec.canonical_name()).unwrap();
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Text dump header parses back to the spec and lists every link once.
+    #[test]
+    fn text_dump_consistent(spec in pgft_spec()) {
+        let topo = Topology::build(spec.clone());
+        let text = io::write_text(&topo);
+        prop_assert_eq!(io::parse_text_header(&text).unwrap(), spec);
+        prop_assert_eq!(text.lines().count(), 2 + topo.num_links());
+    }
+
+    /// Full dump verify-parses for arbitrary PGFTs (every cable matches the
+    /// connection rule).
+    #[test]
+    fn full_dump_verifies(spec in pgft_spec()) {
+        let topo = Topology::build(spec);
+        let text = io::write_text(&topo);
+        let parsed = io::parse_text(&text).unwrap();
+        prop_assert_eq!(parsed.num_links(), topo.num_links());
+    }
+}

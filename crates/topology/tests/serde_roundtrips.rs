@@ -1,0 +1,68 @@
+//! Serialization round-trips: specs, topologies, routing tables and
+//! failure sets survive a JSON round-trip intact, so planned fabrics can
+//! be checked into configuration management.
+
+use ftree_topology::failures::LinkFailures;
+use ftree_topology::rlft::catalog;
+use ftree_topology::{PgftSpec, RoutingTable, Topology};
+
+#[test]
+fn spec_roundtrip() {
+    for spec in [catalog::nodes_1944(), catalog::fig4_pgft_16()] {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PgftSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}
+
+#[test]
+fn topology_roundtrip() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let json = serde_json::to_string(&topo).unwrap();
+    let back: Topology = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_hosts(), topo.num_hosts());
+    assert_eq!(back.num_links(), topo.num_links());
+    assert_eq!(back.spec(), topo.spec());
+    // Structural equality of the cabling.
+    for (a, b) in topo.links().iter().zip(back.links()) {
+        assert_eq!((a.child, a.child_port), (b.child, b.child_port));
+        assert_eq!((a.parent, a.parent_port), (b.parent, b.parent_port));
+    }
+}
+
+#[test]
+fn routing_table_roundtrip() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let mut rt = RoutingTable::empty(&topo, "test");
+    for sw in topo.switches() {
+        for dst in 0..topo.num_hosts() {
+            if topo.is_ancestor_of(sw, dst) {
+                let c = topo.spec().host_digit(dst, topo.node(sw).level as usize - 1);
+                rt.set(sw, dst, ftree_topology::PortRef::Down(c));
+            } else {
+                rt.set(sw, dst, ftree_topology::PortRef::Up((dst % 4) as u32));
+            }
+        }
+    }
+    let json = serde_json::to_string(&rt).unwrap();
+    let back: RoutingTable = serde_json::from_str(&json).unwrap();
+    for sw in topo.switches() {
+        for dst in 0..topo.num_hosts() {
+            assert_eq!(back.egress(sw, dst), rt.egress(sw, dst));
+        }
+    }
+    assert_eq!(back.algorithm, "test");
+}
+
+#[test]
+fn failure_set_roundtrip() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let mut f = LinkFailures::none(&topo);
+    f.fail(3);
+    f.fail(17);
+    let json = serde_json::to_string(&f).unwrap();
+    let back: LinkFailures = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 2);
+    assert!(!back.is_live(3) && !back.is_live(17));
+    assert!(back.is_live(4));
+}

@@ -1,0 +1,57 @@
+//! Trace a live MPI collective, identify its permutation sequence, and
+//! predict its network behaviour — the paper's CPS decomposition end to
+//! end.
+//!
+//! Runs a real allreduce (recursive doubling) on 128 ranks through the
+//! `ftree-mpi` engine, verifies the numerical result, extracts the traced
+//! CPS, then maps the very same stages onto the 128-node RLFT to show the
+//! contention difference between rank placements.
+//!
+//! Run: `cargo run --release --example collective_trace`
+
+use ftree::analysis::stage_hsd;
+use ftree::collectives::identify;
+use ftree::core::{Job, NodeOrder, RoutingAlgo};
+use ftree::mpi::data::{reduce_world, verify_allreduce};
+use ftree::mpi::reductions::recursive_doubling_allreduce;
+use ftree::topology::rlft::catalog;
+use ftree::topology::Topology;
+
+fn main() {
+    let n = 128usize;
+    let b = 8usize;
+
+    // 1. Execute the collective on live data.
+    let mut world = reduce_world(n, b);
+    recursive_doubling_allreduce(&mut world);
+    verify_allreduce(&world, b, 0..n);
+    println!("allreduce over {n} ranks: result verified (element-wise sums correct)");
+
+    // 2. The decomposition: content verified above; now the pattern.
+    let trace = world.trace().to_vec();
+    let cps = identify(&trace, n as u32);
+    println!(
+        "traced {} stages; identified CPS: {}",
+        trace.len(),
+        cps.map_or("<unknown>", |c| c.label())
+    );
+
+    // 3. Map the traced stages onto the 128-node fat-tree under two rank
+    //    placements and report per-stage contention.
+    let topo = Topology::build(catalog::nodes_128());
+    let job = Job::contention_free(&topo);
+    let random = Job::new(&topo, RoutingAlgo::DModK, NodeOrder::random(&topo, 7));
+
+    println!("\nper-stage max hot-spot degree of the traced collective:");
+    println!("stage | topology order | random order");
+    for (s, stage) in trace.iter().enumerate() {
+        let good = stage_hsd(&topo, &job.routing, &job.order.port_flows(stage)).unwrap();
+        let bad = stage_hsd(&topo, &random.routing, &random.order.port_flows(stage)).unwrap();
+        println!("{s:>5} | {:>14} | {:>12}", good.max, bad.max);
+    }
+    println!(
+        "\nEven the good placement congests on plain recursive doubling stages — \
+         that is why Sec. VI replaces it with the topology-aware sequence \
+         (see `cargo run -p ftree-bench --bin ablations`)."
+    );
+}

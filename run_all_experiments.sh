@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the extension
+# experiments, teeing each run into results/. Pass --csv to emit
+# machine-readable tables; pass --full to the fig2 line manually for the
+# 1944-node configuration.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mkdir -p results
+cargo build --release -p ftree-bench
+
+EXTRA_ARGS=("$@")
+run() {
+    local name=$1
+    echo "== $name =="
+    "./target/release/$name" "${EXTRA_ARGS[@]}" 2>/dev/null | tee "results/$name.txt"
+    echo
+}
+
+run fig1
+run fig2
+run fig3
+run fig4
+run fig5
+run table1
+run table2
+run table3
+run ring_adversarial
+run validate_full_bw
+run ablations
+run failures
+run jitter
+run collective_time
+
+echo "all experiment outputs written to results/"

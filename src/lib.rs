@@ -1,0 +1,17 @@
+//! # ftree — contention-free fat-tree routing for MPI global collectives
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates:
+//!
+//! - [`topology`] — PGFT / XGFT / RLFT fat-tree construction ([`ftree_topology`])
+//! - [`collectives`] — collective permutation sequences ([`ftree_collectives`])
+//! - [`core`] — D-Mod-K routing, node orderings, job planner ([`ftree_core`])
+//! - [`analysis`] — hot-spot-degree analytic model ([`ftree_analysis`])
+//! - [`sim`] — packet-level and fluid network simulators ([`ftree_sim`])
+//! - [`mpi`] — executable MPI collective algorithms ([`ftree_mpi`])
+
+pub use ftree_analysis as analysis;
+pub use ftree_collectives as collectives;
+pub use ftree_core as core;
+pub use ftree_mpi as mpi;
+pub use ftree_sim as sim;
+pub use ftree_topology as topology;

@@ -1,0 +1,73 @@
+//! Heavy opt-in validations (minutes of CPU). Run with:
+//!
+//! ```sh
+//! cargo test --release --test heavy -- --ignored
+//! ```
+
+use ftree::analysis::{sequence_hsd, SequenceOptions};
+use ftree::collectives::{Cps, TopoAwareRd};
+use ftree::core::Job;
+use ftree::sim::{PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree::topology::rlft::catalog;
+use ftree::topology::Topology;
+
+/// Theorem 1 on the maximal 3-level 36-port tree (11664 hosts) — the
+/// largest topology the paper names (Sec. V.A).
+#[test]
+#[ignore = "routes an 11664-host fabric; ~1 min"]
+fn theorem1_on_the_maximal_11664_node_tree() {
+    let topo = Topology::build(catalog::rlft3_full(18));
+    assert_eq!(topo.num_hosts(), 11664);
+    let job = Job::contention_free(&topo);
+    let r = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 12 },
+    )
+    .unwrap();
+    assert!(r.congestion_free, "worst = {}", r.worst);
+    let rd = TopoAwareRd::new(topo.spec().ms().to_vec());
+    let r2 = sequence_hsd(&topo, &job.routing, &job.order, &rd, SequenceOptions::default())
+        .unwrap();
+    assert!(r2.congestion_free, "worst = {}", r2.worst);
+}
+
+/// The full (non-sampled) Shift sequence on the 324-node tree, every one
+/// of its 323 stages, at the analytic level.
+#[test]
+#[ignore = "323 full stages; ~10 s"]
+fn full_shift_sequence_all_stages_324() {
+    let topo = Topology::build(catalog::nodes_324());
+    let job = Job::contention_free(&topo);
+    let r = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(r.per_stage_max.len(), 323);
+    assert!(r.congestion_free);
+}
+
+/// Packet-level soak: 1944 hosts, sampled Shift, 64 KiB messages — the
+/// `--full` Figure 2 configuration as a regression test.
+#[test]
+#[ignore = "1944-host packet simulation; ~1 min"]
+fn packet_sim_soak_1944() {
+    let topo = Topology::build(catalog::nodes_1944());
+    let job = Job::contention_free(&topo);
+    let plan = TrafficPlan::from_cps(
+        &job.order,
+        &Cps::Shift,
+        64 << 10,
+        Progression::Asynchronous,
+        8,
+    );
+    let r = PacketSim::new(&topo, &job.routing, SimConfig::default(), &plan).run();
+    assert_eq!(r.messages_delivered as usize, plan.num_messages());
+    assert!(r.normalized_bw > 0.95, "{}", r.normalized_bw);
+}

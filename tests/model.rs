@@ -1,0 +1,66 @@
+//! Cross-validation: the analytic completion-time model against the fluid
+//! simulator — HSD is not just a diagnostic, it predicts wall-clock.
+
+use ftree::analysis::{predicted_stage_time_ps, stage_hsd, DetailedReport, LinkLoads};
+use ftree::collectives::{Cps, PermutationSequence};
+use ftree::core::{NodeOrder, RoutingAlgo};
+use ftree::sim::{run_fluid, Progression, SimConfig, TrafficPlan};
+use ftree::topology::rlft::catalog;
+use ftree::topology::Topology;
+
+#[test]
+fn analytic_model_predicts_fluid_makespan() {
+    let topo = Topology::build(catalog::nodes_324());
+    let rt = RoutingAlgo::DModK.route(&topo);
+    let cfg = SimConfig::default();
+    let bytes = 1u64 << 20;
+    let n = topo.num_hosts() as u32;
+
+    for order in [
+        NodeOrder::topology(&topo),
+        NodeOrder::random(&topo, 2),
+        NodeOrder::adversarial_ring(&topo),
+    ] {
+        let flows = order.port_flows(&Cps::Ring.stage(n, 0));
+        let hsd = stage_hsd(&topo, &rt, &flows).unwrap();
+        let predicted =
+            predicted_stage_time_ps(bytes, hsd.max, cfg.host_bw.mbps, cfg.link_bw.mbps);
+
+        let plan = TrafficPlan::uniform(vec![flows], bytes, Progression::Synchronized);
+        let sim = run_fluid(&topo, &rt, cfg, &plan);
+        let ratio = sim.makespan as f64 / predicted as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "{}: predicted {predicted} ps, fluid {} ps (ratio {ratio:.3})",
+            order.label,
+            sim.makespan
+        );
+    }
+}
+
+#[test]
+fn detailed_report_localizes_the_adversarial_hotspot() {
+    let topo = Topology::build(catalog::nodes_324());
+    let rt = RoutingAlgo::DModK.route(&topo);
+    let order = NodeOrder::adversarial_ring(&topo);
+    let n = topo.num_hosts() as u32;
+    let flows = order.port_flows(&Cps::Ring.stage(n, 0));
+    let loads = LinkLoads::compute(&topo, &rt, &flows).unwrap();
+    let report = DetailedReport::new(&topo, &loads, 5);
+
+    // The adversarial funnel lives on the leaf up-links (level 2 on a
+    // 2-level tree), not on host links or down-links.
+    assert!(report.up_max_per_level[2] >= 15);
+    assert_eq!(report.up_max_per_level[1], 1, "host links carry one flow");
+    assert!(report.down_max_per_level[2] <= 2);
+    for w in &report.worst {
+        assert!(w.up);
+        assert_eq!(w.level, 2);
+        assert!(w.description.starts_with("S1["), "{}", w.description);
+    }
+    // Histogram sanity: total channels accounted for.
+    assert_eq!(
+        report.histogram.iter().sum::<usize>(),
+        topo.num_channels()
+    );
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline: the full user journey across every crate, from a
+//! textual fabric description to verified contention-free execution.
+
+use ftree::analysis::{sequence_hsd, SequenceOptions};
+use ftree::collectives::{identify, Cps};
+use ftree::core::{Job, NodeOrder, RoutingAlgo};
+use ftree::mpi::alltoall::pairwise_alltoall;
+use ftree::mpi::data::{alltoall_world, verify_alltoall};
+use ftree::sim::{PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree::topology::rlft::require_rlft;
+use ftree::topology::{io, Topology};
+
+#[test]
+fn fabric_description_to_contention_free_execution() {
+    // 1. Parse the operator's fabric description.
+    let spec = io::parse_spec("PGFT(2; 8,16; 1,8; 1,1)").expect("valid spec");
+    assert_eq!(spec.num_hosts(), 128);
+
+    // 2. Audit it as a real-life fat-tree.
+    let k = require_rlft(&spec).expect("catalog-grade RLFT");
+    assert_eq!(k, 8);
+
+    // 3. Materialize, route, and validate reachability.
+    let topo = Topology::build(spec);
+    let job = Job::contention_free(&topo);
+    job.routing.validate(&topo, usize::MAX).expect("all pairs reachable");
+
+    // 4. Run the actual MPI collective (pairwise all-to-all) and check the
+    //    data content.
+    let n = topo.num_hosts();
+    let b = 4;
+    let mut world = alltoall_world(n, b);
+    pairwise_alltoall(&mut world, b);
+    verify_alltoall(&world, b);
+
+    // 5. The traced pattern is the Shift CPS...
+    let trace = world.trace().to_vec();
+    assert_eq!(identify(&trace, n as u32), Some(Cps::Shift));
+
+    // 6. ...which the analytic model certifies as congestion-free under
+    //    this routing and ordering.
+    let hsd = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 32 },
+    )
+    .unwrap();
+    assert!(hsd.congestion_free, "worst = {}", hsd.worst);
+
+    // 7. And the packet-level simulator confirms line-rate delivery.
+    let plan = TrafficPlan::from_cps(
+        &job.order,
+        &Cps::Shift,
+        64 << 10,
+        Progression::Asynchronous,
+        8,
+    );
+    let sim = PacketSim::new(&topo, &job.routing, SimConfig::default(), &plan).run();
+    assert!(
+        sim.normalized_bw > 0.9,
+        "expected full bandwidth, got {}",
+        sim.normalized_bw
+    );
+    assert_eq!(sim.messages_delivered as usize, plan.num_messages());
+}
+
+#[test]
+fn bad_placement_detected_before_execution() {
+    // The operator workflow for a *bad* configuration: the analytic model
+    // flags it, and the simulator quantifies the same loss — no cluster
+    // time wasted.
+    let topo = Topology::build(ftree::topology::rlft::catalog::nodes_128());
+    let job = Job::new(&topo, RoutingAlgo::DModK, NodeOrder::random(&topo, 9));
+
+    let hsd = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 16 },
+    )
+    .unwrap();
+    assert!(!hsd.congestion_free);
+
+    let plan = TrafficPlan::from_cps(
+        &job.order,
+        &Cps::Shift,
+        128 << 10,
+        Progression::Asynchronous,
+        8,
+    );
+    let sim = PacketSim::new(&topo, &job.routing, SimConfig::default(), &plan).run();
+    assert!(
+        sim.normalized_bw < 0.75,
+        "random order should lose bandwidth, got {}",
+        sim.normalized_bw
+    );
+
+    // The analytic prediction and the simulated loss agree in direction:
+    // higher HSD, lower bandwidth.
+    let good = Job::contention_free(&topo);
+    let good_plan = TrafficPlan::from_cps(
+        &good.order,
+        &Cps::Shift,
+        128 << 10,
+        Progression::Asynchronous,
+        8,
+    );
+    let good_sim = PacketSim::new(&topo, &good.routing, SimConfig::default(), &good_plan).run();
+    assert!(good_sim.normalized_bw > sim.normalized_bw + 0.15);
+}
+
+#[test]
+fn degraded_fabric_is_measured_not_assumed() {
+    // Failure injection: remove a spine's worth of capacity by routing over
+    // a *non*-CBB-preserving tree (2:1 oversubscribed). D-Mod-K still
+    // routes everything, but Theorem 1 no longer applies — HSD must now
+    // reflect the oversubscription honestly.
+    let spec = io::parse_spec("PGFT(2; 8,16; 1,4; 1,1)").expect("valid spec");
+    assert!(require_rlft(&spec).is_err(), "2:1 oversubscription is not an RLFT");
+    let topo = Topology::build(spec);
+    let job = Job::contention_free(&topo);
+    job.routing.validate(&topo, usize::MAX).expect("still fully routable");
+    let hsd = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 32 },
+    )
+    .unwrap();
+    // 8 hosts share 4 up-links: exactly 2 flows per up-link in cross-leaf
+    // stages.
+    assert_eq!(hsd.worst, 2, "oversubscription must show up as HSD");
+}

@@ -1,0 +1,102 @@
+//! Property-based cross-crate tests: Theorems 1 and 2 over *randomly
+//! generated* real-life fat-trees, not just the catalog.
+
+use proptest::prelude::*;
+
+use ftree::analysis::{sequence_hsd, stage_hsd, SequenceOptions};
+use ftree::collectives::{Cps, PermutationSequence, PortSpace, TopoAwareRd};
+use ftree::core::Job;
+use ftree::topology::rlft::require_rlft;
+use ftree::topology::{PgftSpec, Topology};
+
+/// Strategy generating valid random RLFT specs (constant CBB, single host
+/// cables, constant radix 2K, full top level).
+fn rlft_spec() -> impl Strategy<Value = PgftSpec> {
+    let k_choices = prop_oneof![Just(2u32), Just(4), Just(6)];
+    (k_choices, 0..3usize, 0..3usize, prop::bool::ANY).prop_map(|(k, d2i, d3i, three_level)| {
+        let divisors: Vec<u32> = (1..=k).filter(|d| k % d == 0).collect();
+        let d2 = divisors[d2i % divisors.len()];
+        if !three_level {
+            // 2-level: m = (K, 2K/d2), w = (1, K/d2), p = (1, d2).
+            let m2 = 2 * k / d2;
+            PgftSpec::from_slices(&[k, m2.max(1)], &[1, k / d2], &[1, d2]).unwrap()
+        } else {
+            // 3-level: internal level keeps m2*p2 = K, top gets 2K.
+            let d3 = divisors[d3i % divisors.len()];
+            let m2 = k / d2;
+            if m2 == 0 {
+                return PgftSpec::from_slices(&[k, 2 * k], &[1, k], &[1, 1]).unwrap();
+            }
+            let m3 = 2 * k / d3;
+            PgftSpec::from_slices(
+                &[k, m2.max(1), m3.max(1)],
+                &[1, k / d2, k / d3],
+                &[1, d2, d3],
+            )
+            .unwrap()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1 + 2 on random RLFTs: every sampled Shift stage has HSD 1.
+    #[test]
+    fn random_rlfts_are_contention_free_for_shift(spec in rlft_spec(), stage_seed in 0usize..1000) {
+        prop_assume!(require_rlft(&spec).is_ok());
+        prop_assume!(spec.num_hosts() <= 1024);
+        let topo = Topology::build(spec);
+        let job = Job::contention_free(&topo);
+        let n = topo.num_hosts() as u32;
+        prop_assume!(n >= 2);
+        let s = stage_seed % Cps::Shift.num_stages(n);
+        let stage = Cps::Shift.stage(n, s);
+        let hsd = stage_hsd(&topo, &job.routing, &job.order.port_flows(&stage)).unwrap();
+        prop_assert_eq!(hsd.max, 1, "stage {} on {}", s, topo.spec());
+    }
+
+    /// Theorem 3 on random RLFTs: the topology-aware sequence is free.
+    #[test]
+    fn random_rlfts_are_contention_free_for_topo_aware_rd(spec in rlft_spec()) {
+        prop_assume!(require_rlft(&spec).is_ok());
+        prop_assume!((4..=1024).contains(&spec.num_hosts()));
+        let topo = Topology::build(spec);
+        let job = Job::contention_free(&topo);
+        let seq = TopoAwareRd::new(topo.spec().ms().to_vec());
+        let r = sequence_hsd(&topo, &job.routing, &job.order, &seq,
+                             SequenceOptions::default()).unwrap();
+        prop_assert!(r.congestion_free, "worst {} on {}", r.worst, topo.spec());
+    }
+
+    /// Port-space partial jobs stay free for arbitrary random exclusions.
+    #[test]
+    fn random_partial_jobs_stay_free(spec in rlft_spec(),
+                                     mask in prop::collection::vec(prop::bool::ANY, 16),
+                                     stage_seed in 0usize..1000) {
+        prop_assume!(require_rlft(&spec).is_ok());
+        prop_assume!((8..=512).contains(&spec.num_hosts()));
+        let topo = Topology::build(spec);
+        let n = topo.num_hosts() as u32;
+        let ports: Vec<u32> = (0..n)
+            .filter(|&p| mask[(p as usize) % mask.len()])
+            .collect();
+        prop_assume!(ports.len() >= 2);
+        let seq = PortSpace::new(Cps::Shift, n, ports.clone());
+        let job = Job::contention_free_partial(&topo, ports);
+        let n_ranks = job.num_ranks();
+        let s = stage_seed % seq.num_stages(n_ranks);
+        let stage = seq.stage(n_ranks, s);
+        let hsd = stage_hsd(&topo, &job.routing, &job.order.port_flows(&stage)).unwrap();
+        prop_assert!(hsd.max <= 1, "stage {} on {}", s, topo.spec());
+    }
+
+    /// All-pairs reachability with up*/down* paths on random RLFTs.
+    #[test]
+    fn random_rlfts_route_everything(spec in rlft_spec()) {
+        prop_assume!(spec.num_hosts() <= 512);
+        let topo = Topology::build(spec);
+        let job = Job::contention_free(&topo);
+        job.routing.validate(&topo, 4000).unwrap();
+    }
+}

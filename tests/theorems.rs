@@ -1,0 +1,203 @@
+//! Cross-crate integration tests for the paper's three theorems:
+//! D-Mod-K + topology order keeps unidirectional CPS (Theorems 1 & 2) and
+//! the topology-aware bidirectional sequence (Theorem 3) congestion-free on
+//! real-life fat-trees — fully and partially populated.
+
+use ftree::analysis::{sequence_hsd, SequenceOptions};
+use ftree::collectives::{Cps, PermutationSequence, TopoAwareRd};
+use ftree::core::Job;
+use ftree::topology::rlft::catalog;
+use ftree::topology::Topology;
+
+fn assert_congestion_free(
+    topo: &Topology,
+    seq: &dyn PermutationSequence,
+    opts: SequenceOptions,
+    what: &str,
+) {
+    let job = Job::contention_free(topo);
+    let r = sequence_hsd(topo, &job.routing, &job.order, seq, opts).unwrap();
+    assert!(
+        r.congestion_free,
+        "{what} on {}: worst HSD = {}",
+        topo.spec(),
+        r.worst
+    );
+}
+
+#[test]
+fn theorem1_shift_on_2level_trees() {
+    for spec in [catalog::nodes_128(), catalog::nodes_324(), catalog::nodes_648()] {
+        let topo = Topology::build(spec);
+        assert_congestion_free(
+            &topo,
+            &Cps::Shift,
+            SequenceOptions { max_stages: 64 },
+            "Shift",
+        );
+    }
+}
+
+#[test]
+fn theorem1_shift_on_3level_trees() {
+    for spec in [catalog::nodes_1728(), catalog::nodes_1944()] {
+        let topo = Topology::build(spec);
+        assert_congestion_free(
+            &topo,
+            &Cps::Shift,
+            SequenceOptions { max_stages: 40 },
+            "Shift",
+        );
+    }
+}
+
+#[test]
+fn unidirectional_cps_are_congestion_free() {
+    // Shift is the superset, but check the others directly too.
+    let topo = Topology::build(catalog::nodes_324());
+    for cps in [Cps::Ring, Cps::Dissemination, Cps::Tournament, Cps::Binomial] {
+        assert_congestion_free(
+            &topo,
+            &cps,
+            SequenceOptions::default(),
+            cps.label(),
+        );
+    }
+}
+
+#[test]
+fn theorem3_topology_aware_rd_is_congestion_free() {
+    for spec in [
+        catalog::nodes_128(),
+        catalog::nodes_324(),
+        catalog::nodes_1944(),
+    ] {
+        let topo = Topology::build(spec);
+        let seq = TopoAwareRd::new(topo.spec().ms().to_vec());
+        assert_congestion_free(&topo, &seq, SequenceOptions::default(), "TopoAwareRD");
+    }
+}
+
+#[test]
+fn plain_recursive_doubling_congests_even_in_topology_order() {
+    // The motivation for Sec. VI: naive XOR exchange is NOT contention-free
+    // on an RLFT even with the good ordering and routing.
+    let topo = Topology::build(catalog::nodes_324());
+    let job = Job::contention_free(&topo);
+    let r = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::RecursiveDoubling,
+        SequenceOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        !r.congestion_free,
+        "expected contention from naive recursive doubling, got HSD = {}",
+        r.worst
+    );
+}
+
+#[test]
+fn partial_population_with_random_exclusions_stays_free_in_port_space() {
+    // Table 3's "Cont. -X" cases: randomly excluded nodes fall silent, the
+    // sequence stays defined over port positions (PortSpace). Every stage
+    // is then a subset of a complete-tree Shift stage => HSD = 1.
+    use ftree::collectives::PortSpace;
+    let topo = Topology::build(catalog::nodes_324());
+    let n_total = topo.num_hosts() as u32;
+    for (seed, excl) in [(1u64, 1usize), (2, 18), (3, 37)] {
+        // Deterministic pseudo-random exclusion without external RNG state:
+        // exclude ports (seed * 97 + k * 131) % 324.
+        let mut excluded = std::collections::HashSet::new();
+        let mut k = 0u64;
+        while excluded.len() < excl {
+            excluded.insert(((seed * 97 + k * 131) % n_total as u64) as u32);
+            k += 1;
+        }
+        let ports: Vec<u32> = (0..n_total).filter(|p| !excluded.contains(p)).collect();
+        let seq = PortSpace::new(Cps::Shift, n_total, ports.clone());
+        let job = Job::contention_free_partial(&topo, ports);
+        let r = ftree::analysis::sequence_hsd(
+            &topo,
+            &job.routing,
+            &job.order,
+            &seq,
+            SequenceOptions { max_stages: 64 },
+        )
+        .unwrap();
+        assert!(r.congestion_free, "excl={excl}: worst = {}", r.worst);
+    }
+}
+
+#[test]
+fn partial_uniform_shape_topology_aware_rd_is_free() {
+    // Sec. VI's partial-tree remark, generalized: a job occupying a
+    // *uniformly shaped* scattered subset (here 6 ports on each of 8
+    // scattered leaves of the 324-node tree) runs the occupancy-derived
+    // topology-aware sequence contention-free.
+    use ftree::collectives::topo_aware_subset;
+    let topo = Topology::build(catalog::nodes_324());
+    let mut ports = Vec::new();
+    for leaf in [0u32, 2, 5, 6, 9, 12, 15, 17] {
+        for off in [1u32, 3, 4, 8, 11, 16] {
+            ports.push(leaf * 18 + off);
+        }
+    }
+    let seq = topo_aware_subset(topo.spec().ms(), &ports).expect("uniform shape");
+    assert_eq!(seq.num_ranks(), 48);
+    let job = Job::contention_free_partial(&topo, ports);
+    let r = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &seq,
+        SequenceOptions::default(),
+    )
+    .unwrap();
+    assert!(r.congestion_free, "worst = {}", r.worst);
+}
+
+#[test]
+fn naive_rank_compaction_breaks_partial_population() {
+    // The ablation motivating PortSpace: renumbering ranks densely and
+    // running the ordinary Shift CPS produces contention.
+    let topo = Topology::build(catalog::nodes_324());
+    let mut excluded = std::collections::HashSet::new();
+    let mut k = 0u64;
+    while excluded.len() < 18 {
+        excluded.insert(((43 + k * 131) % 324) as u32);
+        k += 1;
+    }
+    let ports: Vec<u32> = (0..324u32).filter(|p| !excluded.contains(p)).collect();
+    let job = Job::contention_free_partial(&topo, ports);
+    let r = ftree::analysis::sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 64 },
+    )
+    .unwrap();
+    assert!(!r.congestion_free, "expected contention, worst = {}", r.worst);
+}
+
+#[test]
+fn partial_population_keeps_shift_congestion_free_when_aligned() {
+    // Sec. V.A: any aligned sub-allocation in multiples of prod(w) stays
+    // congestion-free.
+    let topo = Topology::build(catalog::nodes_648());
+    let unit = ftree::core::suballocation_unit(&topo); // 18 for this tree
+    let ports = ftree::core::aligned_suballocation(&topo, 18 * unit);
+    let job = Job::contention_free_partial(&topo, ports);
+    let r = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &Cps::Shift,
+        SequenceOptions { max_stages: 64 },
+    )
+    .unwrap();
+    assert!(r.congestion_free, "worst = {}", r.worst);
+}

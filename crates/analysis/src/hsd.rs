@@ -37,6 +37,34 @@ impl LinkLoads {
         Ok(Self { counts })
     }
 
+    /// Like [`LinkLoads::compute`], but tolerates a degraded fabric: flows
+    /// with no current route (a `NoRoute` trace, as left behind by severed
+    /// destinations) are skipped and returned instead of failing the whole
+    /// stage. Structural routing bugs (`Loop`, `NotUpDown`) still error.
+    pub fn compute_partial(
+        topo: &Topology,
+        rt: &RoutingTable,
+        flows: &[(u32, u32)],
+    ) -> Result<(Self, Vec<(u32, u32)>), RouteError> {
+        let mut counts = vec![0u32; topo.num_channels()];
+        let mut unroutable = Vec::new();
+        for &(src, dst) in flows {
+            if src == dst {
+                continue;
+            }
+            match rt.trace(topo, src as usize, dst as usize) {
+                Ok(path) => {
+                    for ch in path.channels {
+                        counts[ch.index()] += 1;
+                    }
+                }
+                Err(RouteError::NoRoute { .. }) => unroutable.push((src, dst)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((Self { counts }, unroutable))
+    }
+
     /// Flow count on one channel.
     #[inline]
     pub fn count(&self, channel: usize) -> u32 {

@@ -22,11 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod degraded;
 pub mod hsd;
 pub mod report;
 pub mod svg;
 pub mod sequence;
 
+pub use degraded::{
+    degraded_sequence_hsd, degraded_stage_hsd, DegradedSequenceHsd, DegradedStageHsd,
+};
 pub use hsd::{stage_hsd, LinkLoads, StageHsd};
 pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
 pub use svg::{render_svg, SvgOptions};

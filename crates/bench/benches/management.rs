@@ -17,7 +17,9 @@ fn bench_fault_routing(c: &mut Criterion) {
         let mut failures = LinkFailures::none(&topo);
         for i in 0..4u32 {
             let leaf = topo.node_at(1, (i as usize * 5) % 18).unwrap();
-            failures.fail_up_port(&topo, leaf, (i * 7) % topo.spec().up_ports(1));
+            failures
+                .fail_up_port(&topo, leaf, (i * 7) % topo.spec().up_ports(1))
+                .unwrap();
         }
         group.bench_with_input(
             BenchmarkId::new("reachability", name),

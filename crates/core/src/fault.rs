@@ -104,20 +104,31 @@ impl Reachability {
         }
         out
     }
+
+    /// `(node, dst)` entries whose deliverability flipped between two
+    /// reachability snapshots. This is the signal incremental repair uses to
+    /// find LFT entries whose viable-port sets changed (see `crate::sm`).
+    pub fn diff(&self, other: &Reachability) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        for (node, (old_row, new_row)) in self.reach.iter().zip(&other.reach).enumerate() {
+            for (dst, (o, nw)) in old_row.iter().zip(new_row).enumerate() {
+                if o != nw {
+                    out.push((NodeId(node as u32), dst));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Builds fault-aware D-Mod-K LFTs. Entries for unreachable destinations
 /// are left unprogrammed (tracing reports `NoRoute`, as a real SM would).
 pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable {
+    failures
+        .verify_for(topo)
+        .expect("failure set was built for a different topology");
     let reach = Reachability::compute(topo, failures);
-    let mut rt = RoutingTable::empty(
-        topo,
-        if failures.is_empty() {
-            "d-mod-k".to_string()
-        } else {
-            format!("d-mod-k-ft({} failed)", failures.len())
-        },
-    );
+    let mut rt = RoutingTable::empty(topo, ft_algorithm_label(failures));
     let n = topo.num_hosts();
     let spec = topo.spec();
 
@@ -152,11 +163,22 @@ pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable 
     rt
 }
 
+/// The algorithm label `route_dmodk_ft` stamps on its tables; incremental
+/// repair (`crate::sm`) uses the same label so repaired tables are
+/// bit-identical to a full recompute.
+pub(crate) fn ft_algorithm_label(failures: &LinkFailures) -> String {
+    if failures.is_empty() {
+        "d-mod-k".to_string()
+    } else {
+        format!("d-mod-k-ft({} failed)", failures.len())
+    }
+}
+
 /// First viable up port from the eq. 1 preference. Deviation order: first
 /// try the *sibling parallel cables* to the preferred parent (keeps the
 /// digit structure intact — minimal HSD perturbation), then cycle through
 /// the other parents.
-fn pick_up(
+pub(crate) fn pick_up(
     topo: &Topology,
     failures: &LinkFailures,
     reach: &Reachability,
@@ -178,7 +200,7 @@ fn pick_up(
 
 /// First viable parallel cable toward dst's child, preferring the mirrored
 /// eq. 1 cable.
-fn pick_down(
+pub(crate) fn pick_down(
     topo: &Topology,
     failures: &LinkFailures,
     reach: &Reachability,
@@ -226,7 +248,7 @@ mod tests {
         let mut failures = LinkFailures::none(&topo);
         // Kill leaf 0's up-port 3.
         let leaf0 = topo.node_at(1, 0).unwrap();
-        failures.fail_up_port(&topo, leaf0, 3);
+        failures.fail_up_port(&topo, leaf0, 3).unwrap();
 
         let rt = route_dmodk_ft(&topo, &failures);
         rt.validate(&topo, usize::MAX).expect("all pairs still reachable");
@@ -247,7 +269,7 @@ mod tests {
         let topo = Topology::build(catalog::nodes_324());
         let leaf0 = topo.node_at(1, 0).unwrap();
         let mut failures = LinkFailures::none(&topo);
-        failures.fail_up_port(&topo, leaf0, 0); // cable k=0 to spine 0
+        failures.fail_up_port(&topo, leaf0, 0).unwrap(); // cable k=0 to spine 0
 
         let rt = route_dmodk_ft(&topo, &failures);
         rt.validate(&topo, 20_000).unwrap();
@@ -264,12 +286,132 @@ mod tests {
     fn host_cable_failure_reported_unreachable() {
         let topo = Topology::build(catalog::nodes_128());
         let mut failures = LinkFailures::none(&topo);
-        failures.fail(topo.node(topo.host(5)).up[0].link);
+        failures.fail(topo.node(topo.host(5)).up[0].link).unwrap();
         let reach = Reachability::compute(&topo, &failures);
         let lost = reach.unreachable_pairs(&topo);
         // Host 5 can reach nobody and nobody can reach host 5.
         assert_eq!(lost.len(), 2 * 127);
         assert!(lost.iter().all(|&(s, d)| s == 5 || d == 5));
+    }
+
+    /// A 64-host 3-level RLFT with 2 parallel cables at the top level —
+    /// small enough for exhaustive checks, tall enough that spine→mid-level
+    /// down-path failures exist.
+    fn mini_3level() -> Topology {
+        Topology::build(
+            ftree_topology::PgftSpec::from_slices(&[4, 4, 4], &[1, 4, 2], &[1, 1, 2]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn down_path_parallel_cable_failure_heals_on_3level() {
+        let topo = mini_3level();
+        let spine = topo.node_at(3, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        // Kill the k=0 parallel cable from this top spine down to child 0.
+        failures.fail_down_port(&topo, spine, 0).unwrap();
+
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, usize::MAX).expect("sibling cable heals");
+        let reach = Reachability::compute(&topo, &failures);
+        assert!(reach.unreachable_pairs(&topo).is_empty());
+
+        // Destinations under child 0 whose preferred cable was the dead one
+        // now leave via the k=1 sibling (port 0 + m(2) = 4); pick_down keeps
+        // the child digit and only rotates the parallel-cable index.
+        let m2 = topo.spec().m(2); // 4
+        let mut rerouted = 0;
+        for dst in 0..16 {
+            let preferred = dmodk_down_port(&topo, 3, dst);
+            if preferred == 0 {
+                assert_eq!(rt.egress(spine, dst), Some(PortRef::Down(m2)));
+                rerouted += 1;
+            } else {
+                assert_eq!(rt.egress(spine, dst), Some(PortRef::Down(preferred)));
+            }
+        }
+        assert!(rerouted > 0, "some dst must have preferred the dead cable");
+    }
+
+    #[test]
+    fn spine_to_leaf_parallel_cable_failure_heals_on_324() {
+        // Down-path mirror of `parallel_cable_failure_uses_sibling_cable`:
+        // kill a spine→leaf cable instead of a leaf→spine cable.
+        let topo = Topology::build(catalog::nodes_324());
+        let spine0 = topo.node_at(2, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_down_port(&topo, spine0, 0).unwrap(); // (c=0, k=0) to leaf 0
+
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.validate(&topo, 20_000).unwrap();
+        let reach = Reachability::compute(&topo, &failures);
+        assert!(reach.unreachable_pairs(&topo).is_empty());
+
+        // Destinations in leaf 0 preferring the dead cable now use the k=1
+        // sibling at port 0 + m(1) = 18.
+        let mut rerouted = 0;
+        for dst in 0..18 {
+            let preferred = dmodk_down_port(&topo, 2, dst);
+            if preferred == 0 {
+                assert_eq!(rt.egress(spine0, dst), Some(PortRef::Down(18)));
+                rerouted += 1;
+            } else {
+                assert_eq!(rt.egress(spine0, dst), Some(PortRef::Down(preferred)));
+            }
+        }
+        assert!(rerouted > 0);
+    }
+
+    #[test]
+    fn severed_leaf_reports_exactly_the_crossing_pairs() {
+        // Kill every down cable into leaf 0 of the 3-level tree (via the
+        // parents' down ports). Hosts 0..4 keep intra-leaf connectivity but
+        // lose everything across the severed trunk — in both directions.
+        let topo = mini_3level();
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        for pp in &topo.node(leaf0).up {
+            failures.fail_down_port(&topo, pp.peer, pp.peer_port).unwrap();
+        }
+
+        let reach = Reachability::compute(&topo, &failures);
+        let lost = reach.unreachable_pairs(&topo);
+        let n = topo.num_hosts(); // 64, hosts 0..4 under leaf 0
+        assert_eq!(lost.len(), 2 * 4 * (n - 4));
+        assert!(lost.iter().all(|&(s, d)| (s < 4) != (d < 4)));
+
+        let rt = route_dmodk_ft(&topo, &failures);
+        rt.trace(&topo, 0, 3).expect("intra-leaf traffic survives");
+        rt.trace(&topo, 10, 20).expect("unrelated traffic survives");
+        assert!(matches!(
+            rt.trace(&topo, 0, 10),
+            Err(ftree_topology::RouteError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            rt.trace(&topo, 10, 0),
+            Err(ftree_topology::RouteError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn reachability_diff_pinpoints_flipped_entries() {
+        let topo = Topology::build(catalog::nodes_128());
+        let healthy = Reachability::compute(&topo, &LinkFailures::none(&topo));
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail(topo.node(topo.host(5)).up[0].link).unwrap();
+        let broken = Reachability::compute(&topo, &failures);
+
+        let flips = healthy.diff(&broken);
+        assert!(!flips.is_empty());
+        // Every flip involves host 5: either the host itself losing its
+        // destinations, or some node losing the ability to deliver to 5.
+        assert!(flips
+            .iter()
+            .all(|&(node, dst)| dst == 5 || node == topo.host(5)));
+        // Symmetric: diffing the other way yields the same set.
+        assert_eq!(broken.diff(&healthy), flips);
+        // Self-diff is empty.
+        assert!(healthy.diff(&healthy).is_empty());
     }
 
     #[test]
@@ -278,7 +420,7 @@ mod tests {
         let mut failures = LinkFailures::none(&topo);
         // Kill every cable into spine 0 (16 leaf up-port-0 cables).
         for leaf in topo.level_nodes(1) {
-            failures.fail_up_port(&topo, leaf, 0);
+            failures.fail_up_port(&topo, leaf, 0).unwrap();
         }
         let rt = route_dmodk_ft(&topo, &failures);
         rt.validate(&topo, usize::MAX)

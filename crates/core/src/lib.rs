@@ -32,10 +32,12 @@ pub mod fault;
 pub mod dmodk;
 pub mod ordering;
 pub mod planner;
+pub mod sm;
 
 pub use allocation::{AllocError, Allocation, Allocator};
 pub use baselines::{route_minhop_greedy, route_random};
 pub use dmodk::{dmodk_down_port, dmodk_up_port, route_dmodk};
 pub use fault::{route_dmodk_ft, Reachability};
+pub use sm::{SubnetManager, SweepReport};
 pub use ordering::NodeOrder;
 pub use planner::{aligned_suballocation, suballocation_unit, Job, RoutingAlgo};

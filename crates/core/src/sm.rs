@@ -1,0 +1,371 @@
+//! Subnet-manager sweeps: living through a fault/recovery timeline with
+//! incremental LFT repair.
+//!
+//! A real InfiniBand subnet manager does not recompute the whole fabric on
+//! every cable event. It discovers what changed, patches exactly the
+//! forwarding entries whose routes crossed the changed cables, and pushes
+//! the delta to the switches. [`SubnetManager`] reproduces that loop on top
+//! of the deviation-minimizing fault router in [`crate::fault`]:
+//!
+//! 1. a [`FaultSchedule`] scripts timed link failures and recoveries,
+//! 2. each [`SubnetManager::sweep`] applies all due events to its
+//!    [`LinkFailures`] set,
+//! 3. **incremental repair** recomputes only the `(node, dst)` entries whose
+//!    viable-port set may have changed, and
+//! 4. a [`SweepReport`] records what the sweep saw and did (perturbed
+//!    entries, unreachable pairs, event-to-sweep lag).
+//!
+//! ## Why incremental repair is exact
+//!
+//! A full [`route_dmodk_ft`] recompute decides entry `(node, dst)` from two
+//! inputs only: the liveness of `node`'s candidate cables, and
+//! `reach(peer, dst)` for each candidate peer. The sweep therefore marks
+//!
+//! * every `(endpoint, dst)` for each changed cable (covers liveness
+//!   changes: the endpoints are exactly the nodes whose candidate cables
+//!   include it), and
+//! * every `(neighbor, dst)` of each node whose `reach(node, dst)` flipped
+//!   (covers reachability changes: the neighbors are exactly the nodes that
+//!   consult it),
+//!
+//! then re-runs the same `pick_up`/`pick_down` rules on the marked entries.
+//! Every entry either keeps both inputs unchanged (and is provably
+//! identical under a full recompute) or is marked and recomputed — so the
+//! repaired table is **bit-identical** to a from-scratch
+//! [`route_dmodk_ft`]. The oracle test in `tests/sm_oracle.rs` checks this
+//! for every catalog topology.
+
+use serde::{Deserialize, Serialize};
+
+use ftree_topology::{
+    FaultSchedule, LinkEventKind, LinkFailures, NodeId, PortRef, RoutingTable, Topology,
+    TopologyError,
+};
+
+use crate::fault::{ft_algorithm_label, pick_down, pick_up, route_dmodk_ft, Reachability};
+
+/// What one subnet-manager sweep observed and repaired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Sweep ordinal (0 for the first sweep).
+    pub sweep: usize,
+    /// Simulation time of the sweep, in picoseconds.
+    pub time: u64,
+    /// Schedule events applied by this sweep (including no-op duplicates).
+    pub events_applied: usize,
+    /// Links whose liveness actually changed.
+    pub links_changed: usize,
+    /// Failed links after the sweep.
+    pub failed_links: usize,
+    /// `(node, dst)` entries recomputed by incremental repair.
+    pub entries_recomputed: usize,
+    /// Recomputed entries whose egress actually changed (perturbation).
+    pub entries_changed: usize,
+    /// Ordered host pairs that cannot communicate after the sweep.
+    pub unreachable_pairs: usize,
+    /// [`LinkFailures::version`] after the sweep.
+    pub failures_version: u64,
+    /// Sweep lag: sweep time minus the earliest applied event time — how
+    /// long the oldest fault sat unrepaired (the time-to-heal half that is
+    /// the SM's fault, as opposed to retransmit latency).
+    pub oldest_event_age: u64,
+}
+
+/// A subnet manager living through a [`FaultSchedule`], keeping a
+/// fault-aware D-Mod-K [`RoutingTable`] continuously repaired.
+pub struct SubnetManager {
+    schedule: FaultSchedule,
+    cursor: usize,
+    failures: LinkFailures,
+    reach: Reachability,
+    table: RoutingTable,
+    reports: Vec<SweepReport>,
+}
+
+impl SubnetManager {
+    /// Starts a manager on a healthy fabric. The initial table is
+    /// bit-identical to plain D-Mod-K.
+    pub fn new(topo: &Topology, schedule: FaultSchedule) -> Result<Self, TopologyError> {
+        schedule.validate(topo)?;
+        let failures = LinkFailures::none(topo);
+        let reach = Reachability::compute(topo, &failures);
+        let table = route_dmodk_ft(topo, &failures);
+        Ok(Self {
+            schedule,
+            cursor: 0,
+            failures,
+            reach,
+            table,
+            reports: Vec::new(),
+        })
+    }
+
+    /// The active routing table (always consistent with the applied events).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The current failure set.
+    pub fn failures(&self) -> &LinkFailures {
+        &self.failures
+    }
+
+    /// The current reachability snapshot.
+    pub fn reachability(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// Reports of all sweeps performed so far.
+    pub fn reports(&self) -> &[SweepReport] {
+        &self.reports
+    }
+
+    /// Time of the next unapplied schedule event, or `None` once the
+    /// schedule is fully consumed.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.schedule.events().get(self.cursor).map(|e| e.time)
+    }
+
+    /// True once every scheduled event has been applied.
+    pub fn is_settled(&self) -> bool {
+        self.cursor == self.schedule.len()
+    }
+
+    /// Runs one sweep at time `now`: applies every due event, incrementally
+    /// repairs the routing table, and reports. A sweep with no due events
+    /// still produces a (cheap) health report.
+    pub fn sweep(&mut self, topo: &Topology, now: u64) -> SweepReport {
+        self.failures
+            .verify_for(topo)
+            .expect("subnet manager swept with a different topology");
+
+        let mut events_applied = 0;
+        let mut oldest: Option<u64> = None;
+        let mut changed_links: Vec<u32> = Vec::new();
+        while let Some(ev) = self.schedule.events().get(self.cursor) {
+            if ev.time > now {
+                break;
+            }
+            let effective = match ev.kind {
+                LinkEventKind::Fail => self.failures.fail(ev.link),
+                LinkEventKind::Recover => self.failures.recover(ev.link),
+            }
+            .expect("schedule validated at construction");
+            if effective {
+                changed_links.push(ev.link);
+            }
+            oldest = Some(oldest.map_or(ev.time, |o| o.min(ev.time)));
+            events_applied += 1;
+            self.cursor += 1;
+        }
+
+        let (entries_recomputed, entries_changed) = if changed_links.is_empty() {
+            (0, 0)
+        } else {
+            self.repair(topo, &changed_links)
+        };
+
+        let report = SweepReport {
+            sweep: self.reports.len(),
+            time: now,
+            events_applied,
+            links_changed: changed_links.len(),
+            failed_links: self.failures.len(),
+            entries_recomputed,
+            entries_changed,
+            unreachable_pairs: self.reach.unreachable_pairs(topo).len(),
+            failures_version: self.failures.version(),
+            oldest_event_age: oldest.map_or(0, |o| now.saturating_sub(o)),
+        };
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// Sweeps once per distinct event time until the schedule is consumed;
+    /// returns the reports. Convenience for offline experiments and tests.
+    pub fn sweep_all(&mut self, topo: &Topology) -> Vec<SweepReport> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_event_time() {
+            out.push(self.sweep(topo, t));
+        }
+        out
+    }
+
+    /// Incremental repair: mark entries whose inputs changed, recompute only
+    /// those. Returns `(entries recomputed, entries changed)`.
+    fn repair(&mut self, topo: &Topology, changed_links: &[u32]) -> (usize, usize) {
+        let n = topo.num_hosts();
+        let new_reach = Reachability::compute(topo, &self.failures);
+        let flips = self.reach.diff(&new_reach);
+
+        let mut marked = vec![false; topo.num_nodes() * n];
+        // Liveness changes: both endpoints of each changed cable, all dsts.
+        for &l in changed_links {
+            let link = topo.link(l);
+            for dst in 0..n {
+                marked[link.child.index() * n + dst] = true;
+                marked[link.parent.index() * n + dst] = true;
+            }
+        }
+        // Reachability flips: every port-neighbor consults reach(node, dst).
+        for &(node, dst) in &flips {
+            let nd = topo.node(node);
+            for pp in nd.up.iter().chain(nd.down.iter()) {
+                marked[pp.peer.index() * n + dst] = true;
+            }
+        }
+        self.reach = new_reach;
+
+        let multi_host = topo.spec().up_ports(0) > 1;
+        let mut recomputed = 0;
+        let mut changed = 0;
+        for (idx, _) in marked.iter().enumerate().filter(|&(_, &m)| m) {
+            let node = NodeId((idx / n) as u32);
+            let dst = idx % n;
+            let nd = topo.node(node);
+            let new = if nd.is_host() {
+                if !multi_host || node.index() == dst {
+                    continue;
+                }
+                pick_up(topo, &self.failures, &self.reach, node, 0, dst).map(PortRef::Up)
+            } else {
+                let level = nd.level as usize;
+                if topo.is_ancestor_of(node, dst) {
+                    pick_down(topo, &self.failures, &self.reach, node, level, dst)
+                        .map(PortRef::Down)
+                } else {
+                    pick_up(topo, &self.failures, &self.reach, node, level, dst).map(PortRef::Up)
+                }
+            };
+            recomputed += 1;
+            if self.table.egress(node, dst) != new {
+                changed += 1;
+                match new {
+                    Some(port) => self.table.set(node, dst, port),
+                    None => self.table.clear(node, dst),
+                }
+            }
+        }
+        self.table.algorithm = ft_algorithm_label(&self.failures);
+        (recomputed, changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::LinkEvent;
+
+    /// Full bit-identity: every entry and the algorithm label.
+    fn assert_tables_identical(topo: &Topology, a: &RoutingTable, b: &RoutingTable) {
+        assert_eq!(a.algorithm, b.algorithm);
+        for sw in topo.switches() {
+            for dst in 0..topo.num_hosts() {
+                assert_eq!(
+                    a.egress(sw, dst),
+                    b.egress(sw, dst),
+                    "entry ({sw:?}, {dst}) diverges"
+                );
+            }
+        }
+        for h in 0..topo.num_hosts() {
+            for dst in 0..topo.num_hosts() {
+                assert_eq!(a.egress(topo.host(h), dst), b.egress(topo.host(h), dst));
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_manager_matches_plain_dmodk() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut sm = SubnetManager::new(&topo, FaultSchedule::empty()).unwrap();
+        assert_tables_identical(&topo, sm.table(), &route_dmodk(&topo));
+        assert!(sm.is_settled());
+        let report = sm.sweep(&topo, 1_000);
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(report.entries_recomputed, 0);
+        assert_eq!(report.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn incremental_repair_matches_full_recompute() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let leaf2 = topo.node_at(1, 2).unwrap();
+        let l0 = topo.node(leaf0).up[1].link;
+        let l1 = topo.node(leaf2).up[2].link;
+        let sched = FaultSchedule::new(vec![
+            LinkEvent { time: 100, link: l0, kind: LinkEventKind::Fail },
+            LinkEvent { time: 200, link: l1, kind: LinkEventKind::Fail },
+        ]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+
+        let r1 = sm.sweep(&topo, 100);
+        assert_eq!(r1.links_changed, 1);
+        assert!(r1.entries_changed > 0);
+        let mut expect = LinkFailures::none(&topo);
+        expect.fail(l0).unwrap();
+        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+
+        let r2 = sm.sweep(&topo, 200);
+        assert_eq!(r2.failed_links, 2);
+        expect.fail(l1).unwrap();
+        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+        assert!(sm.is_settled());
+    }
+
+    #[test]
+    fn fail_then_recover_restores_plain_dmodk_exactly() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf1 = topo.node_at(1, 1).unwrap();
+        let link = topo.node(leaf1).up[0].link;
+        let sched = FaultSchedule::new(vec![
+            LinkEvent { time: 10, link, kind: LinkEventKind::Fail },
+            LinkEvent { time: 900, link, kind: LinkEventKind::Recover },
+        ]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+        let reports = sm.sweep_all(&topo);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].failed_links, 0);
+        assert_tables_identical(&topo, sm.table(), &route_dmodk(&topo));
+        assert_eq!(sm.table().algorithm, "d-mod-k");
+    }
+
+    #[test]
+    fn one_sweep_can_absorb_many_events() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let l0 = topo.node(leaf0).up[0].link;
+        let l1 = topo.node(leaf0).up[3].link;
+        let sched = FaultSchedule::new(vec![
+            LinkEvent { time: 10, link: l0, kind: LinkEventKind::Fail },
+            LinkEvent { time: 20, link: l0, kind: LinkEventKind::Recover },
+            LinkEvent { time: 30, link: l1, kind: LinkEventKind::Fail },
+        ]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+        assert_eq!(sm.next_event_time(), Some(10));
+        // The SM was asleep until t=50: one sweep applies all three events.
+        let report = sm.sweep(&topo, 50);
+        assert_eq!(report.events_applied, 3);
+        assert_eq!(report.failed_links, 1);
+        assert_eq!(report.oldest_event_age, 40);
+        assert!(sm.is_settled());
+
+        let mut expect = LinkFailures::none(&topo);
+        expect.fail(l1).unwrap();
+        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+    }
+
+    #[test]
+    fn schedule_for_wrong_topology_rejected() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let sched = FaultSchedule::new(vec![LinkEvent {
+            time: 0,
+            link: topo.num_links() as u32 + 1,
+            kind: LinkEventKind::Fail,
+        }]);
+        assert!(SubnetManager::new(&topo, sched).is_err());
+    }
+}

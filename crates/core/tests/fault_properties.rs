@@ -21,7 +21,9 @@ fn failure_set(topo: &Topology, picks: &[u16]) -> LinkFailures {
         .map(|(i, _)| i as u32)
         .collect();
     for &p in picks {
-        failures.fail(switch_links[p as usize % switch_links.len()]);
+        failures
+            .fail(switch_links[p as usize % switch_links.len()])
+            .unwrap();
     }
     failures
 }
@@ -70,7 +72,9 @@ proptest! {
             .map(|(i, _)| i as u32)
             .collect();
         for &p in &picks {
-            failures.fail(switch_links[p as usize % switch_links.len()]);
+            failures
+                .fail(switch_links[p as usize % switch_links.len()])
+                .unwrap();
         }
         let reach = Reachability::compute(&topo, &failures);
         prop_assume!(reach.unreachable_pairs(&topo).is_empty());

@@ -1,0 +1,123 @@
+//! Oracle tests for incremental LFT repair: after every subnet-manager
+//! sweep the repaired table must be **bit-identical** to a full
+//! `route_dmodk_ft` recompute on the same failure set, and a fully healed
+//! fabric must return tables bit-identical to plain `route_dmodk`.
+
+use proptest::prelude::*;
+
+use ftree_core::{route_dmodk, route_dmodk_ft, SubnetManager};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind, RoutingTable, Topology};
+
+/// Every entry (switch and host) plus the algorithm label.
+fn tables_identical(topo: &Topology, a: &RoutingTable, b: &RoutingTable) -> bool {
+    if a.algorithm != b.algorithm {
+        return false;
+    }
+    let n = topo.num_hosts();
+    for sw in topo.switches() {
+        for dst in 0..n {
+            if a.egress(sw, dst) != b.egress(sw, dst) {
+                return false;
+            }
+        }
+    }
+    for h in 0..n {
+        for dst in 0..n {
+            if a.egress(topo.host(h), dst) != b.egress(topo.host(h), dst) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Plays a schedule sweep-by-sweep, comparing against the full recompute
+/// after every sweep, then (when the schedule heals fully) against plain
+/// D-Mod-K at the end.
+fn check_oracle(topo: &Topology, schedule: FaultSchedule) {
+    let heals = schedule
+        .events()
+        .iter()
+        .filter(|e| e.kind == LinkEventKind::Recover)
+        .count()
+        == schedule.len() / 2
+        && schedule.len() % 2 == 0;
+    let mut sm = SubnetManager::new(topo, schedule).unwrap();
+    while let Some(t) = sm.next_event_time() {
+        sm.sweep(topo, t);
+        let full = route_dmodk_ft(topo, sm.failures());
+        assert!(
+            tables_identical(topo, sm.table(), &full),
+            "incremental repair diverged from full recompute at t={t}"
+        );
+    }
+    assert!(sm.is_settled());
+    if heals {
+        assert!(sm.failures().is_empty());
+        assert!(
+            tables_identical(topo, sm.table(), &route_dmodk(topo)),
+            "healed fabric is not bit-identical to plain d-mod-k"
+        );
+        assert_eq!(sm.table().algorithm, "d-mod-k");
+    }
+}
+
+#[test]
+fn oracle_holds_across_catalog_topologies() {
+    // ≥ 3 catalog topologies (acceptance criterion): the Figure-4 PGFT and
+    // the paper's 128- and 324-node clusters.
+    for (spec, count) in [
+        (catalog::fig4_pgft_16(), 4),
+        (catalog::nodes_128(), 6),
+        (catalog::nodes_324(), 6),
+    ] {
+        let topo = Topology::build(spec);
+        for seed in [1u64, 42, 0xdead_beef] {
+            // Every failure recovers 350µs later: the timeline exercises
+            // both directions and ends healthy.
+            let sched =
+                FaultSchedule::random_switch_links(&topo, seed, count, 300_000_000, 350_000_000);
+            check_oracle(&topo, sched);
+        }
+    }
+}
+
+#[test]
+fn oracle_holds_for_permanent_failures() {
+    let topo = Topology::build(catalog::nodes_128());
+    let sched = FaultSchedule::random_switch_links(&topo, 7, 8, 1_000_000, 0);
+    check_oracle(&topo, sched);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random timelines (fail and recover interleaved, duplicates and
+    /// no-ops included) on the Figure-4 PGFT: every intermediate table is
+    /// bit-identical to the full recompute.
+    #[test]
+    fn random_timelines_match_full_recompute(
+        picks in prop::collection::vec((0u16..u16::MAX, any::<bool>()), 0..14)
+    ) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let switch_links: Vec<u32> = (0..topo.num_links() as u32)
+            .filter(|&l| !topo.node(topo.link(l).child).is_host())
+            .collect();
+        let events: Vec<LinkEvent> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, recover))| LinkEvent {
+                time: (i as u64 + 1) * 1_000,
+                link: switch_links[p as usize % switch_links.len()],
+                kind: if recover { LinkEventKind::Recover } else { LinkEventKind::Fail },
+            })
+            .collect();
+        let mut sm = SubnetManager::new(&topo, FaultSchedule::new(events)).unwrap();
+        while let Some(t) = sm.next_event_time() {
+            sm.sweep(&topo, t);
+            let full = route_dmodk_ft(&topo, sm.failures());
+            prop_assert!(tables_identical(&topo, sm.table(), &full));
+        }
+    }
+}

@@ -34,10 +34,12 @@
 
 pub mod config;
 pub mod fluid;
+pub mod lifecycle;
 pub mod packet;
 pub mod traffic;
 
 pub use config::{jitter_ps, Bandwidth, SimConfig, SwitchModel, Time, MICROSECOND, NANOSECOND};
 pub use fluid::{run_fluid, FluidResult};
+pub use lifecycle::FabricLifecycle;
 pub use packet::{PacketSim, SimResult};
 pub use traffic::{Progression, TrafficPlan};

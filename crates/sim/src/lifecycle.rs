@@ -1,0 +1,76 @@
+//! Fabric lifecycle configuration: what the packet simulator does when
+//! cables die and come back mid-run.
+//!
+//! A [`FabricLifecycle`] bundles a [`FaultSchedule`] (the scripted timeline
+//! of link fail/recover events) with the reaction parameters:
+//!
+//! * the subnet manager sweeps `sweep_delay` after each event batch and
+//!   repairs the routing table incrementally (see `ftree_core::sm`),
+//! * hosts arm a retransmission timer when the last packet of a message
+//!   hits the wire; an undelivered message is resent whole, with capped
+//!   exponential backoff, up to `max_retries` attempts.
+//!
+//! Between the physical failure and the repairing sweep the fabric has a
+//! *blackhole window*: packets routed onto the dead cable are lost and the
+//! sender's timeout is the only recovery. That window — not the reroute
+//! itself — dominates the time-to-heal, which is why `sweep_delay` is a
+//! first-class knob.
+
+use ftree_topology::FaultSchedule;
+
+use crate::config::{Time, MICROSECOND};
+
+/// Lifecycle parameters for a dynamic-fabric simulation.
+#[derive(Debug, Clone)]
+pub struct FabricLifecycle {
+    /// Timed link fail/recover events, played against the live fabric.
+    pub schedule: FaultSchedule,
+    /// Delay between a link event and the subnet-manager sweep that repairs
+    /// the routing table (discovery + recompute + LFT programming).
+    pub sweep_delay: Time,
+    /// Base retransmission timeout, armed when a message's last packet is
+    /// handed to the wire.
+    pub retransmit_timeout: Time,
+    /// Exponential-backoff cap: attempt `a` waits
+    /// `retransmit_timeout << min(a, backoff_cap)`.
+    pub backoff_cap: u32,
+    /// Give up on a message after this many retransmissions (it is counted
+    /// as lost, and in synchronized mode the stage barrier is released).
+    pub max_retries: u32,
+}
+
+impl FabricLifecycle {
+    /// Lifecycle with production-flavored defaults: 5 µs sweeps, 50 µs base
+    /// timeout, backoff capped at 64x, 12 attempts.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        Self {
+            schedule,
+            sweep_delay: 5 * MICROSECOND,
+            retransmit_timeout: 50 * MICROSECOND,
+            backoff_cap: 6,
+            max_retries: 12,
+        }
+    }
+
+    /// Retransmission timeout for the given attempt (0 = first send), with
+    /// capped exponential backoff.
+    pub fn rto(&self, attempt: u32) -> Time {
+        self.retransmit_timeout << attempt.min(self.backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let lc = FabricLifecycle::new(FaultSchedule::empty());
+        let base = lc.retransmit_timeout;
+        assert_eq!(lc.rto(0), base);
+        assert_eq!(lc.rto(1), 2 * base);
+        assert_eq!(lc.rto(6), 64 * base);
+        assert_eq!(lc.rto(7), 64 * base, "capped");
+        assert_eq!(lc.rto(u32::MAX), 64 * base);
+    }
+}

@@ -21,12 +21,22 @@
 //!   synchronously (global barrier per stage),
 //! * all state transitions are integer-time and FIFO-arbitered, so runs are
 //!   bit-reproducible.
+//!
+//! With a [`FabricLifecycle`] (see [`PacketSim::with_lifecycle`]) the run
+//! additionally plays a timed fault/recovery schedule: packets crossing a
+//! dead cable are dropped, a [`ftree_core::SubnetManager`] repairs the
+//! routing table incrementally `sweep_delay` after each event, and hosts
+//! retransmit timed-out messages with capped exponential backoff. Static
+//! runs (`PacketSim::new`) take none of these code paths and remain
+//! bit-identical to the pre-lifecycle simulator.
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use ftree_topology::{NodeId, RoutingTable, Topology};
+use ftree_core::{SubnetManager, SweepReport};
+use ftree_topology::{LinkEventKind, LinkFailures, NodeId, RoutingTable, Topology, TopologyError};
 
 use crate::config::{SimConfig, SwitchModel, Time};
+use crate::lifecycle::FabricLifecycle;
 use crate::traffic::{Progression, TrafficPlan};
 
 /// Final metrics of one simulation run.
@@ -59,6 +69,17 @@ pub struct SimResult {
     /// Accumulated busy time per directed channel (serialization only),
     /// for utilization analysis.
     pub channel_busy: Vec<Time>,
+    /// Packets lost to dead cables or cleared routes (lifecycle runs only).
+    pub packets_dropped: u64,
+    /// Message retransmissions started (lifecycle runs only).
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting retransmissions.
+    pub messages_lost: u64,
+    /// Bytes delivered more than once (late originals racing retransmits);
+    /// excluded from `total_payload` and `normalized_bw`.
+    pub duplicate_payload: u64,
+    /// One report per subnet-manager sweep (lifecycle runs only).
+    pub sweep_reports: Vec<SweepReport>,
 }
 
 impl SimResult {
@@ -99,6 +120,9 @@ struct Packet {
     msg: u32,
     size: u64,
     is_last: bool,
+    /// Which send attempt of the message this packet belongs to (always 0
+    /// in static runs); stale-attempt arrivals are counted as duplicates.
+    attempt: u32,
     next_free: u32,
 }
 
@@ -134,6 +158,12 @@ enum EventKind {
     DrainDone { ch: u32 },
     /// Delayed host start (OS-jitter modeling).
     HostKick { host: u32 },
+    /// Apply due fault-schedule events to the physical fabric (lifecycle).
+    FabricEvent,
+    /// Subnet-manager sweep: repair the routing table (lifecycle).
+    SmSweep,
+    /// Check whether a message attempt was delivered; retransmit if not.
+    RetransmitCheck { host: u32, msg: u32, attempt: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,15 +189,43 @@ impl PartialOrd for Event {
 struct HostState {
     /// (dst_host, bytes, stage) personal schedule.
     schedule: Vec<(u32, u64, u32)>,
+    /// Next fresh (never-sent) schedule entry.
     next: usize,
-    packets_left: u64,
+    /// Message being sent right now: `(msg index, packets left)`.
+    current: Option<(u32, u64)>,
+    /// Messages queued for retransmission (served before fresh ones).
+    retx: VecDeque<u32>,
     active: bool,
+}
+
+/// Per-message delivery tracking (lifecycle runs only).
+#[derive(Debug, Clone, Copy, Default)]
+struct MsgState {
+    /// Current send attempt (0 = first).
+    attempt: u32,
+    /// Packets of the current attempt received at the destination.
+    rx_pkts: u64,
+    /// Delivered (or abandoned — no further accounting either way).
+    delivered: bool,
 }
 
 /// The simulator.
 pub struct PacketSim<'a> {
     topo: &'a Topology,
-    rt: &'a RoutingTable,
+    /// Static routing table (`None` in lifecycle runs, which route through
+    /// the subnet manager's continuously repaired table).
+    rt: Option<&'a RoutingTable>,
+    /// Lifecycle parameters, when simulating a dynamic fabric.
+    lifecycle: Option<FabricLifecycle>,
+    /// The subnet manager owning the live routing table (lifecycle runs).
+    sm: Option<SubnetManager>,
+    /// Physical link liveness — follows the schedule instantly, while the
+    /// SM's failure view lags by `sweep_delay` (the blackhole window).
+    phys: LinkFailures,
+    /// Next unapplied schedule event (physical view).
+    phys_cursor: usize,
+    /// Per-host, per-message delivery state (lifecycle runs only).
+    msg_state: Vec<Vec<MsgState>>,
     cfg: SimConfig,
     channels: Vec<ChannelState>,
     packets: Vec<Packet>,
@@ -192,22 +250,50 @@ pub struct PacketSim<'a> {
     latency_max: Time,
     events_processed: u64,
     channel_busy: Vec<Time>,
+    packets_dropped: u64,
+    retransmits: u64,
+    messages_lost: u64,
+    duplicate_payload: u64,
 }
 
 impl<'a> PacketSim<'a> {
-    /// Prepares a simulation of `plan` over the routed topology.
+    /// Prepares a simulation of `plan` over the statically routed topology.
     pub fn new(
         topo: &'a Topology,
         rt: &'a RoutingTable,
         cfg: SimConfig,
         plan: &TrafficPlan,
     ) -> Self {
+        Self::build(topo, Some(rt), cfg, plan, None)
+            .expect("static simulation construction cannot fail")
+    }
+
+    /// Prepares a dynamic-fabric simulation: routing comes from an embedded
+    /// [`SubnetManager`] that lives through `lifecycle.schedule`, repairing
+    /// the table incrementally while traffic is in flight.
+    pub fn with_lifecycle(
+        topo: &'a Topology,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+        lifecycle: FabricLifecycle,
+    ) -> Result<Self, TopologyError> {
+        Self::build(topo, None, cfg, plan, Some(lifecycle))
+    }
+
+    fn build(
+        topo: &'a Topology,
+        rt: Option<&'a RoutingTable>,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+        lifecycle: Option<FabricLifecycle>,
+    ) -> Result<Self, TopologyError> {
         let n = topo.num_hosts();
         let mut hosts: Vec<HostState> = (0..n)
             .map(|_| HostState {
                 schedule: Vec::new(),
                 next: 0,
-                packets_left: 0,
+                current: None,
+                retx: VecDeque::new(),
                 active: false,
             })
             .collect();
@@ -226,9 +312,26 @@ impl<'a> PacketSim<'a> {
             .iter()
             .map(|h| vec![0 as Time; h.schedule.len()])
             .collect();
-        Self {
+        let sm = match &lifecycle {
+            Some(lc) => Some(SubnetManager::new(topo, lc.schedule.clone())?),
+            None => None,
+        };
+        let msg_state = if lifecycle.is_some() {
+            hosts
+                .iter()
+                .map(|h| vec![MsgState::default(); h.schedule.len()])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self {
             topo,
             rt,
+            lifecycle,
+            sm,
+            phys: LinkFailures::none(topo),
+            phys_cursor: 0,
+            msg_state,
             cfg,
             channels: (0..topo.num_channels())
                 .map(|_| ChannelState::default())
@@ -252,6 +355,19 @@ impl<'a> PacketSim<'a> {
             latency_max: 0,
             events_processed: 0,
             channel_busy: vec![0; topo.num_channels()],
+            packets_dropped: 0,
+            retransmits: 0,
+            messages_lost: 0,
+            duplicate_payload: 0,
+        })
+    }
+
+    /// The routing table in force right now (the SM's live table in
+    /// lifecycle runs, the caller's static table otherwise).
+    fn route(&self) -> &RoutingTable {
+        match &self.sm {
+            Some(sm) => sm.table(),
+            None => self.rt.expect("static simulation always has a table"),
         }
     }
 
@@ -281,14 +397,12 @@ impl<'a> PacketSim<'a> {
         self.free_packets = id;
     }
 
-    /// Host `h`'s up-channel toward `dst` (RLFT hosts have a single cable).
-    fn host_up_channel(&self, h: u32, dst: u32) -> u32 {
+    /// Host `h`'s up-channel toward `dst` (RLFT hosts have a single cable;
+    /// `None` when a multi-cabled host currently has no route).
+    fn host_channel(&self, h: u32, dst: u32) -> Option<u32> {
         let host = self.topo.host(h as usize);
-        let port = self
-            .rt
-            .egress(host, dst as usize)
-            .expect("host must have a route");
-        self.topo.egress_channel(host, port).0
+        let port = self.route().egress(host, dst as usize)?;
+        Some(self.topo.egress_channel(host, port).0)
     }
 
     /// Target of a channel is a switch (has an input buffer there)?
@@ -310,25 +424,50 @@ impl<'a> PacketSim<'a> {
         st.buffer.len() + st.reserved < cap
     }
 
-    /// Kicks host `h`: if it has a startable message, request its up-channel.
+    /// Kicks host `h`: if it has a startable message (a retransmission, a
+    /// mid-send message, or the next fresh one), request its up-channel.
     fn host_request(&mut self, h: u32) {
-        let host = &self.hosts[h as usize];
-        if host.active || host.next >= host.schedule.len() {
+        if self.hosts[h as usize].active {
             return;
         }
-        let (_, _, stage) = host.schedule[host.next];
-        if self.mode == Progression::Synchronized && stage != self.current_stage {
-            return;
+        if self.hosts[h as usize].current.is_none() {
+            // Select the next sending unit: retransmissions first (they
+            // bypass the stage barrier — their stage is already open), then
+            // the next fresh message.
+            if let Some(msg) = self.hosts[h as usize].retx.pop_front() {
+                let bytes = self.hosts[h as usize].schedule[msg as usize].1;
+                self.hosts[h as usize].current = Some((msg, self.cfg.packets_for(bytes)));
+            } else {
+                let next = self.hosts[h as usize].next;
+                if next >= self.hosts[h as usize].schedule.len() {
+                    return;
+                }
+                let (_, bytes, stage) = self.hosts[h as usize].schedule[next];
+                if self.mode == Progression::Synchronized && stage != self.current_stage {
+                    return;
+                }
+                self.hosts[h as usize].current = Some((next as u32, self.cfg.packets_for(bytes)));
+                self.msg_start[h as usize][next] = self.now;
+                self.hosts[h as usize].next = next + 1;
+            }
         }
-        let (dst, bytes, _) = host.schedule[host.next];
-        let ch = self.host_up_channel(h, dst);
-        self.hosts[h as usize].active = true;
-        if self.hosts[h as usize].packets_left == 0 {
-            self.hosts[h as usize].packets_left = self.cfg.packets_for(bytes);
-            self.msg_start[h as usize][self.hosts[h as usize].next] = self.now;
+        let (msg, _) = self.hosts[h as usize].current.expect("just selected");
+        let dst = self.hosts[h as usize].schedule[msg as usize].0;
+        match self.host_channel(h, dst) {
+            Some(ch) => {
+                self.hosts[h as usize].active = true;
+                self.channels[ch as usize].waiting.push_back(Requester::Host(h));
+                self.try_grant(ch);
+            }
+            None => {
+                // No route right now (multi-cabled host cut off). The unit
+                // stays current; the post-sweep rekick retries it.
+                assert!(
+                    self.lifecycle.is_some(),
+                    "host must have a route in a static simulation"
+                );
+            }
         }
-        self.channels[ch as usize].waiting.push_back(Requester::Host(h));
-        self.try_grant(ch);
     }
 
     /// Attempts to grant the egress channel `e` to its next requester.
@@ -354,31 +493,35 @@ impl<'a> PacketSim<'a> {
 
     fn grant_host(&mut self, e: u32, h: u32) {
         let hs = &mut self.hosts[h as usize];
-        let (dst, bytes, _) = hs.schedule[hs.next];
+        let (msg, left) = hs.current.expect("granted host has a packet to send");
+        let (dst, bytes, _) = hs.schedule[msg as usize];
         let total_pkts = self.cfg.packets_for(bytes);
-        let pkt_index = total_pkts - hs.packets_left;
-        let size = if hs.packets_left == 1 {
+        let pkt_index = total_pkts - left;
+        let size = if left == 1 {
             bytes - self.cfg.mtu * pkt_index.min(bytes / self.cfg.mtu)
         } else {
             self.cfg.mtu
         }
         .max(1)
         .min(self.cfg.mtu);
-        let is_last = hs.packets_left == 1;
-        let msg = hs.next as u32;
-        hs.packets_left -= 1;
+        let is_last = left == 1;
         hs.active = false;
-        if is_last {
-            // "Sent to the wire": advance to the next message. In sync mode
-            // the next message waits for the stage barrier.
-            hs.next += 1;
-        }
+        // "Sent to the wire": the unit completes with its last packet; the
+        // host then moves to the next unit (in sync mode a fresh message
+        // still waits for the stage barrier).
+        hs.current = if is_last { None } else { Some((msg, left - 1)) };
+        let attempt = if self.lifecycle.is_some() {
+            self.msg_state[h as usize][msg as usize].attempt
+        } else {
+            0
+        };
         let pkt = self.alloc_packet(Packet {
             dst,
             src_host: h,
             msg,
             size,
             is_last,
+            attempt,
             next_free: NO_PACKET,
         });
         // Injection serializes at the PCIe-bound host bandwidth.
@@ -394,6 +537,16 @@ impl<'a> PacketSim<'a> {
             depart + self.cfg.wire_latency + self.cfg.switch_latency,
             EventKind::Arrival { pkt, ch: e },
         );
+        if is_last {
+            // Arm the retransmission timer as the last packet hits the wire.
+            if let Some(lc) = &self.lifecycle {
+                let rto = lc.rto(attempt);
+                self.schedule_event(
+                    depart + rto,
+                    EventKind::RetransmitCheck { host: h, msg, attempt },
+                );
+            }
+        }
         // The host can line up its next packet (granted no earlier than the
         // ChannelFree above).
         self.host_request(h);
@@ -444,53 +597,122 @@ impl<'a> PacketSim<'a> {
         );
     }
 
-    /// Egress channel a resident packet needs at node `here`.
-    fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> u32 {
+    /// Egress channel a resident packet needs at node `here` (`None` when
+    /// the LFT entry is currently cleared — a lifecycle blackhole).
+    fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> Option<u32> {
         let dst = self.packets[pkt_id as usize].dst;
-        let port = self
-            .rt
-            .egress(here, dst as usize)
-            .expect("switch must route every destination");
-        self.topo.egress_channel(here, port).0
+        let port = self.route().egress(here, dst as usize)?;
+        Some(self.topo.egress_channel(here, port).0)
     }
 
-    /// Makes the head packet of input buffer `i` request its egress.
+    /// Makes the head packet of input buffer `i` request its egress. Heads
+    /// with no current route (cleared LFT entry) are dropped on the spot —
+    /// the freed credit may unblock upstream senders — and the next head
+    /// tries in turn.
     fn request_for_head(&mut self, i: u32) {
         if self.channels[i as usize].head_requested {
             return;
         }
-        let Some(&pkt_id) = self.channels[i as usize].buffer.front() else {
-            return;
-        };
         let here = self.topo.channel_target(ftree_topology::ChannelId(i));
-        let dst = self.packets[pkt_id as usize].dst;
-        let port = self
-            .rt
-            .egress(here, dst as usize)
-            .expect("switch must route every destination");
-        let e = self.topo.egress_channel(here, port).0;
-        self.channels[i as usize].head_requested = true;
-        self.channels[e as usize].waiting.push_back(Requester::Input(i));
-        self.try_grant(e);
+        loop {
+            let Some(&pkt_id) = self.channels[i as usize].buffer.front() else {
+                return;
+            };
+            match self.egress_for(here, pkt_id) {
+                Some(e) => {
+                    self.channels[i as usize].head_requested = true;
+                    self.channels[e as usize].waiting.push_back(Requester::Input(i));
+                    self.try_grant(e);
+                    return;
+                }
+                None => {
+                    assert!(
+                        self.lifecycle.is_some(),
+                        "switch must route every destination in a static simulation"
+                    );
+                    self.channels[i as usize].buffer.pop_front();
+                    self.packets_dropped += 1;
+                    self.release_packet(pkt_id);
+                    self.try_grant(i);
+                }
+            }
+        }
+    }
+
+    /// Drops a packet at channel `ch`'s far end: frees the input-buffer slot
+    /// its transfer reserved (switch targets) and retries grants waiting on
+    /// that credit.
+    fn drop_packet(&mut self, pkt_id: u32, ch: u32) {
+        self.packets_dropped += 1;
+        self.release_packet(pkt_id);
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if !self.topo.node(target).is_host() {
+            let st = &mut self.channels[ch as usize];
+            st.reserved = st.reserved.saturating_sub(1);
+            self.try_grant(ch);
+        }
+    }
+
+    /// Message-completion accounting for lifecycle runs: per-attempt packet
+    /// counting (robust to drops, reroute reordering and late duplicates).
+    fn lifecycle_deliver(&mut self, pkt: Packet) {
+        let (src, msg) = (pkt.src_host as usize, pkt.msg as usize);
+        let bytes = self.hosts[src].schedule[msg].1;
+        let total_pkts = self.cfg.packets_for(bytes);
+        let st = &mut self.msg_state[src][msg];
+        if st.delivered || pkt.attempt != st.attempt {
+            // A late original racing its own retransmission.
+            self.duplicate_payload += pkt.size;
+            return;
+        }
+        st.rx_pkts += 1;
+        if st.rx_pkts < total_pkts {
+            return;
+        }
+        // Goodput is credited once, at completion, so partial attempts that
+        // were cut short by drops never inflate it.
+        st.delivered = true;
+        self.total_payload += bytes;
+        self.delivered += 1;
+        self.last_delivery = self.now;
+        let start = self.msg_start[src][msg];
+        let lat = self.now - start;
+        self.latency_sum += lat as u128;
+        self.latency_max = self.latency_max.max(lat);
+        if self.mode == Progression::Synchronized {
+            self.stage_remaining -= 1;
+            if self.stage_remaining == 0 {
+                self.advance_stage();
+            }
+        }
     }
 
     fn handle_arrival(&mut self, pkt_id: u32, ch: u32) {
+        // A dead cable loses everything that was crossing it.
+        if self.lifecycle.is_some() && !self.phys.is_live(ftree_topology::ChannelId(ch).link()) {
+            self.drop_packet(pkt_id, ch);
+            return;
+        }
         let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
         if self.topo.node(target).is_host() {
             let pkt = self.packets[pkt_id as usize];
             debug_assert_eq!(NodeId(pkt.dst), target, "packet misrouted");
-            self.total_payload += pkt.size;
-            if pkt.is_last {
-                self.delivered += 1;
-                self.last_delivery = self.now;
-                let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
-                let lat = self.now - start;
-                self.latency_sum += lat as u128;
-                self.latency_max = self.latency_max.max(lat);
-                if self.mode == Progression::Synchronized {
-                    self.stage_remaining -= 1;
-                    if self.stage_remaining == 0 {
-                        self.advance_stage();
+            if self.lifecycle.is_some() {
+                self.lifecycle_deliver(pkt);
+            } else {
+                self.total_payload += pkt.size;
+                if pkt.is_last {
+                    self.delivered += 1;
+                    self.last_delivery = self.now;
+                    let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
+                    let lat = self.now - start;
+                    self.latency_sum += lat as u128;
+                    self.latency_max = self.latency_max.max(lat);
+                    if self.mode == Progression::Synchronized {
+                        self.stage_remaining -= 1;
+                        if self.stage_remaining == 0 {
+                            self.advance_stage();
+                        }
                     }
                 }
             }
@@ -508,11 +730,21 @@ impl<'a> PacketSim<'a> {
                 SwitchModel::VirtualOutputQueues => {
                     // The arrival reservation stays until DrainDone; the
                     // packet immediately contends for its own egress.
-                    let e = self.egress_for(target, pkt_id);
-                    self.channels[e as usize]
-                        .waiting
-                        .push_back(Requester::Packet { pkt: pkt_id, input: ch });
-                    self.try_grant(e);
+                    match self.egress_for(target, pkt_id) {
+                        Some(e) => {
+                            self.channels[e as usize]
+                                .waiting
+                                .push_back(Requester::Packet { pkt: pkt_id, input: ch });
+                            self.try_grant(e);
+                        }
+                        None => {
+                            assert!(
+                                self.lifecycle.is_some(),
+                                "switch must route every destination in a static simulation"
+                            );
+                            self.drop_packet(pkt_id, ch);
+                        }
+                    }
                 }
             }
         }
@@ -551,8 +783,86 @@ impl<'a> PacketSim<'a> {
         }
     }
 
+    /// Applies every due schedule event to the physical liveness view.
+    fn apply_fabric_events(&mut self) {
+        loop {
+            let Some(lc) = self.lifecycle.as_ref() else {
+                return;
+            };
+            let Some(&ev) = lc.schedule.events().get(self.phys_cursor) else {
+                return;
+            };
+            if ev.time > self.now {
+                return;
+            }
+            self.phys_cursor += 1;
+            let _ = match ev.kind {
+                LinkEventKind::Fail => self.phys.fail(ev.link),
+                LinkEventKind::Recover => self.phys.recover(ev.link),
+            };
+        }
+    }
+
+    /// Subnet-manager sweep: repair the routing table, then re-kick every
+    /// idle host (routes that were missing may exist again).
+    fn handle_sm_sweep(&mut self) {
+        if let Some(sm) = self.sm.as_mut() {
+            sm.sweep(self.topo, self.now);
+        }
+        for h in 0..self.hosts.len() as u32 {
+            self.host_request(h);
+        }
+    }
+
+    /// Retransmission timer fired: if the guarded attempt is still the
+    /// current one and undelivered, queue a resend (or give up).
+    fn handle_retransmit_check(&mut self, host: u32, msg: u32, attempt: u32) {
+        let Some(lc) = self.lifecycle.as_ref() else {
+            return;
+        };
+        let max_retries = lc.max_retries;
+        let st = &mut self.msg_state[host as usize][msg as usize];
+        if st.delivered || st.attempt != attempt {
+            return; // delivered in time, or a newer attempt owns the timer
+        }
+        if st.attempt >= max_retries {
+            // Abandon: mark closed so stale arrivals count as duplicates,
+            // and release the stage barrier in sync mode.
+            st.delivered = true;
+            self.messages_lost += 1;
+            if self.mode == Progression::Synchronized {
+                self.stage_remaining -= 1;
+                if self.stage_remaining == 0 {
+                    self.advance_stage();
+                }
+            }
+            return;
+        }
+        st.attempt += 1;
+        st.rx_pkts = 0;
+        self.retransmits += 1;
+        self.hosts[host as usize].retx.push_back(msg);
+        self.host_request(host);
+    }
+
     /// Runs to completion and returns the metrics.
     pub fn run(mut self) -> SimResult {
+        // Script the fabric lifecycle: physical link changes at each event
+        // time, an SM sweep one `sweep_delay` later. Scheduled before any
+        // traffic so same-instant fabric events order ahead of arrivals.
+        if self.lifecycle.is_some() {
+            let (times, sweep_delay) = {
+                let lc = self.lifecycle.as_ref().expect("checked above");
+                let mut ts: Vec<Time> = lc.schedule.events().iter().map(|e| e.time).collect();
+                ts.dedup();
+                (ts, lc.sweep_delay)
+            };
+            for t in times {
+                self.schedule_event(t, EventKind::FabricEvent);
+                self.schedule_event(t + sweep_delay, EventKind::SmSweep);
+            }
+        }
+
         // Prime the first non-empty stage (sync mode) / all hosts.
         if self.mode == Progression::Synchronized {
             match self.stage_message_counts.iter().position(|&c| c > 0) {
@@ -583,6 +893,11 @@ impl<'a> PacketSim<'a> {
                     self.try_grant(ch);
                 }
                 EventKind::HostKick { host } => self.host_request(host),
+                EventKind::FabricEvent => self.apply_fabric_events(),
+                EventKind::SmSweep => self.handle_sm_sweep(),
+                EventKind::RetransmitCheck { host, msg, attempt } => {
+                    self.handle_retransmit_check(host, msg, attempt)
+                }
             }
         }
         self.finish()
@@ -624,6 +939,11 @@ impl<'a> PacketSim<'a> {
             host_bw_mbps: self.cfg.host_bw.mbps,
             events: self.events_processed,
             channel_busy: self.channel_busy,
+            packets_dropped: self.packets_dropped,
+            retransmits: self.retransmits,
+            messages_lost: self.messages_lost,
+            duplicate_payload: self.duplicate_payload,
+            sweep_reports: self.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
         }
     }
 }

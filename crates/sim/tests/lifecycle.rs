@@ -1,0 +1,192 @@
+//! End-to-end dynamic-fabric timelines: link fails mid-run, the subnet
+//! manager repairs the LFTs incrementally, hosts retransmit what the
+//! blackhole window ate — and every message is still delivered.
+
+use ftree_core::route_dmodk;
+use ftree_sim::{
+    FabricLifecycle, PacketSim, Progression, SimConfig, SimResult, TrafficPlan, MICROSECOND,
+};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind, Topology};
+
+/// One full-permutation shift stage in port space: `i -> (i + s) % n`.
+fn shift_stage(n: u32, s: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i, (i + s) % n)).collect()
+}
+
+/// A leaf-to-spine cable on the D-Mod-K path from host `src` to `dst`
+/// (channels\[0\] is the host cable; channels\[1\] leaves the leaf switch).
+fn uplink_on_path(topo: &Topology, src: usize, dst: usize) -> u32 {
+    let rt = route_dmodk(topo);
+    rt.trace(topo, src, dst).unwrap().channels[1].link()
+}
+
+fn fail_recover_schedule(link: u32, fail_at: u64, recover_at: u64) -> FaultSchedule {
+    FaultSchedule::new(vec![
+        LinkEvent {
+            time: fail_at,
+            link,
+            kind: LinkEventKind::Fail,
+        },
+        LinkEvent {
+            time: recover_at,
+            link,
+            kind: LinkEventKind::Recover,
+        },
+    ])
+}
+
+fn run_324_timeline() -> SimResult {
+    let topo = Topology::build(catalog::nodes_324());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 18), shift_stage(n, 36)],
+        65_536,
+        Progression::Asynchronous,
+    );
+    // Fail the up-cable carrying host 0's stage-0 flow while that flow is
+    // mid-message; bring it back much later.
+    let link = uplink_on_path(&topo, 0, 18);
+    let mut lc = FabricLifecycle::new(fail_recover_schedule(
+        link,
+        5 * MICROSECOND,
+        60 * MICROSECOND,
+    ));
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 40 * MICROSECOND;
+    PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .unwrap()
+        .run()
+}
+
+/// The acceptance timeline: fail → sweep → recover → sweep on the 324-node
+/// RLFT, with two full shift permutations in flight. Packets die in the
+/// blackhole window, yet zero messages are lost — every drop is healed by a
+/// reroute plus retransmission.
+#[test]
+fn timeline_324_delivers_everything_through_fail_and_recover() {
+    let res = run_324_timeline();
+    assert_eq!(res.messages_delivered, 2 * 324, "all messages delivered");
+    assert_eq!(res.messages_lost, 0, "no message abandoned");
+    assert!(res.packets_dropped > 0, "the blackhole window must bite");
+    assert!(res.retransmits > 0, "dropped packets force retransmissions");
+    assert_eq!(res.total_payload, 2 * 324 * 65_536, "exact goodput");
+
+    // Two sweeps: one absorbing the failure, one absorbing the recovery.
+    assert_eq!(res.sweep_reports.len(), 2);
+    let fail_sweep = &res.sweep_reports[0];
+    assert_eq!(fail_sweep.events_applied, 1);
+    assert_eq!(fail_sweep.links_changed, 1);
+    assert_eq!(fail_sweep.failed_links, 1);
+    assert_eq!(fail_sweep.unreachable_pairs, 0, "RLFT reroutes around it");
+    assert!(fail_sweep.entries_changed > 0, "the repair rerouted entries");
+    let heal_sweep = &res.sweep_reports[1];
+    assert_eq!(heal_sweep.failed_links, 0, "fabric fully healed");
+    assert!(heal_sweep.entries_changed > 0, "recovery restores d-mod-k");
+}
+
+/// Bit-reproducibility: the dynamic timeline is as deterministic as the
+/// static simulator.
+#[test]
+fn timeline_324_is_deterministic() {
+    let a = run_324_timeline();
+    let b = run_324_timeline();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_payload, b.total_payload);
+    assert_eq!(a.packets_dropped, b.packets_dropped);
+    assert_eq!(a.retransmits, b.retransmits);
+    assert_eq!(a.events, b.events);
+}
+
+/// An empty schedule must reproduce the static simulator's results exactly
+/// (same routes, same timings); only the event count differs, because
+/// retransmission timers still fire (as no-ops).
+#[test]
+fn empty_schedule_matches_static_run() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 5)],
+        32_768,
+        Progression::Asynchronous,
+    );
+    let rt = route_dmodk(&topo);
+    let stat = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let dynamic = PacketSim::with_lifecycle(
+        &topo,
+        SimConfig::default(),
+        &plan,
+        FabricLifecycle::new(FaultSchedule::empty()),
+    )
+    .unwrap()
+    .run();
+
+    assert_eq!(dynamic.makespan, stat.makespan);
+    assert_eq!(dynamic.total_payload, stat.total_payload);
+    assert_eq!(dynamic.messages_delivered, stat.messages_delivered);
+    assert_eq!(dynamic.max_latency, stat.max_latency);
+    assert_eq!(dynamic.packets_dropped, 0);
+    assert_eq!(dynamic.retransmits, 0);
+    assert_eq!(dynamic.messages_lost, 0);
+    assert!(dynamic.sweep_reports.is_empty());
+}
+
+/// A single flow whose only sent message crosses the failed cable: the
+/// message *must* lose packets, time out, retransmit over the repaired
+/// route, and complete.
+#[test]
+fn single_flow_guaranteed_drop_and_retransmit() {
+    let topo = Topology::build(catalog::nodes_324());
+    let plan = TrafficPlan::uniform(vec![vec![(0, 18)]], 65_536, Progression::Asynchronous);
+    let link = uplink_on_path(&topo, 0, 18);
+    let mut lc = FabricLifecycle::new(fail_recover_schedule(
+        link,
+        2 * MICROSECOND,
+        100 * MICROSECOND,
+    ));
+    lc.sweep_delay = MICROSECOND;
+    lc.retransmit_timeout = 30 * MICROSECOND;
+    let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .unwrap()
+        .run();
+    assert!(res.packets_dropped > 0, "mid-message failure must drop");
+    assert!(res.retransmits >= 1);
+    assert_eq!(res.messages_delivered, 1);
+    assert_eq!(res.messages_lost, 0);
+    assert_eq!(res.total_payload, 65_536);
+}
+
+/// Synchronized progression survives a mid-stage failure: the stage barrier
+/// waits for the retransmitted messages, then later stages run clean.
+#[test]
+fn synchronized_stages_survive_failure() {
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    // First destination whose route from host 0 actually climbs the tree
+    // (intra-leaf pairs never touch a spine cable).
+    let rt = route_dmodk(&topo);
+    let cross = (1..n)
+        .find(|&d| rt.trace(&topo, 0, d as usize).unwrap().channels.len() > 2)
+        .expect("128-node tree has more than one leaf");
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, cross), shift_stage(n, 1), shift_stage(n, 17)],
+        16_384,
+        Progression::Synchronized,
+    );
+    // Stage 0's host-0 flow crosses this cable while it dies.
+    let link = uplink_on_path(&topo, 0, cross as usize);
+    let mut lc = FabricLifecycle::new(fail_recover_schedule(
+        link,
+        MICROSECOND,
+        200 * MICROSECOND,
+    ));
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 25 * MICROSECOND;
+    let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .unwrap()
+        .run();
+    assert!(res.packets_dropped > 0, "mid-stage failure must drop");
+    assert_eq!(res.messages_delivered, 3 * 128);
+    assert_eq!(res.messages_lost, 0);
+    assert_eq!(res.total_payload, 3 * 128 * 16_384);
+}

@@ -37,6 +37,28 @@ pub enum TopologyError {
         /// Requested host index.
         host: usize,
     },
+    /// A referenced physical link does not exist.
+    NoSuchLink {
+        /// Requested link id.
+        link: u32,
+        /// Number of links in the topology the failure set was built for.
+        num_links: usize,
+    },
+    /// A referenced port does not exist on the node.
+    NoSuchPort {
+        /// Node carrying the port.
+        node: u32,
+        /// Requested port index.
+        port: u32,
+    },
+    /// A failure set (or similar per-link structure) was built for a
+    /// different topology than the one it is being applied to.
+    TopologyMismatch {
+        /// Fingerprint the structure was built for.
+        expected: u64,
+        /// Fingerprint of the topology it was applied to.
+        actual: u64,
+    },
     /// Topology file parsing failed.
     Parse {
         /// 1-based line number of the offending input.
@@ -63,6 +85,16 @@ impl fmt::Display for TopologyError {
                 write!(f, "no node with index {index} at level {level}")
             }
             Self::NoSuchHost { host } => write!(f, "no host with index {host}"),
+            Self::NoSuchLink { link, num_links } => {
+                write!(f, "no link with id {link} (topology has {num_links} links)")
+            }
+            Self::NoSuchPort { node, port } => {
+                write!(f, "node {node} has no port with index {port}")
+            }
+            Self::TopologyMismatch { expected, actual } => write!(
+                f,
+                "failure set was built for topology {expected:#018x} but applied to {actual:#018x}"
+            ),
             Self::Parse { line, message } => {
                 write!(f, "topology parse error at line {line}: {message}")
             }

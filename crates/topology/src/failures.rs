@@ -1,13 +1,25 @@
 //! Link-failure sets: masking cables out of a fabric.
 //!
-//! Real installations lose cables; the subnet manager must route around
-//! them. A [`LinkFailures`] value marks physical links dead without
+//! Real installations lose cables *and get them back*: a technician reseats
+//! a transceiver, a replacement cable arrives, a switch line card is
+//! swapped. A [`LinkFailures`] value marks physical links dead without
 //! mutating the topology graph — routing algorithms consult it when
 //! choosing ports, and analysis can verify that no traced path crosses a
 //! dead cable.
+//!
+//! The set is *hardened* for subnet-manager use:
+//!
+//! * [`LinkFailures::fail`] / [`LinkFailures::recover`] are bounds-checked
+//!   and return `Result` instead of panicking on out-of-range link ids,
+//! * every set records the [`Topology::fingerprint`] it was built for, so a
+//!   failure set cannot silently index a different fabric
+//!   ([`LinkFailures::verify_for`]),
+//! * every state change bumps a monotonic [`LinkFailures::version`], which
+//!   lets a subnet manager detect stale routing tables cheaply.
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::TopologyError;
 use crate::graph::{ChannelId, NodeId, Topology};
 
 /// A set of failed physical links.
@@ -15,6 +27,13 @@ use crate::graph::{ChannelId, NodeId, Topology};
 pub struct LinkFailures {
     failed: Vec<bool>,
     count: usize,
+    /// Fingerprint of the topology this set was built for (0 = unknown, for
+    /// sets deserialized from pre-fingerprint dumps).
+    #[serde(default)]
+    fingerprint: u64,
+    /// Monotonic change counter: bumped by every effective fail/recover.
+    #[serde(default)]
+    version: u64,
 }
 
 impl LinkFailures {
@@ -23,22 +42,111 @@ impl LinkFailures {
         Self {
             failed: vec![false; topo.num_links()],
             count: 0,
+            fingerprint: topo.fingerprint(),
+            version: 0,
         }
     }
 
-    /// Marks a link dead. Idempotent.
-    pub fn fail(&mut self, link: u32) {
+    /// Checks that `link` indexes this set.
+    fn check_link(&self, link: u32) -> Result<(), TopologyError> {
+        if (link as usize) < self.failed.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::NoSuchLink {
+                link,
+                num_links: self.failed.len(),
+            })
+        }
+    }
+
+    /// Marks a link dead. Idempotent; returns `true` when the link was
+    /// previously alive (the set actually changed).
+    pub fn fail(&mut self, link: u32) -> Result<bool, TopologyError> {
+        self.check_link(link)?;
+        let slot = &mut self.failed[link as usize];
+        if *slot {
+            return Ok(false);
+        }
+        *slot = true;
+        self.count += 1;
+        self.version += 1;
+        Ok(true)
+    }
+
+    /// Marks a link alive again. Idempotent; returns `true` when the link
+    /// was previously dead (the set actually changed).
+    pub fn recover(&mut self, link: u32) -> Result<bool, TopologyError> {
+        self.check_link(link)?;
         let slot = &mut self.failed[link as usize];
         if !*slot {
-            *slot = true;
-            self.count += 1;
+            return Ok(false);
         }
+        *slot = false;
+        self.count -= 1;
+        self.version += 1;
+        Ok(true)
     }
 
-    /// Fails the `k`-th up-going cable of a node (convenience for tests and
+    /// Fails the `q`-th up-going cable of a node (convenience for tests and
     /// experiments).
-    pub fn fail_up_port(&mut self, topo: &Topology, node: NodeId, q: u32) {
-        self.fail(topo.node(node).up[q as usize].link);
+    pub fn fail_up_port(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        q: u32,
+    ) -> Result<bool, TopologyError> {
+        self.verify_for(topo)?;
+        let ports = &topo.node(node).up;
+        let pp = ports
+            .get(q as usize)
+            .ok_or(TopologyError::NoSuchPort { node: node.0, port: q })?;
+        self.fail(pp.link)
+    }
+
+    /// Fails the `r`-th down-going cable of a node (spine→leaf direction).
+    pub fn fail_down_port(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        r: u32,
+    ) -> Result<bool, TopologyError> {
+        self.verify_for(topo)?;
+        let ports = &topo.node(node).down;
+        let pp = ports
+            .get(r as usize)
+            .ok_or(TopologyError::NoSuchPort { node: node.0, port: r })?;
+        self.fail(pp.link)
+    }
+
+    /// Checks that this set was built for `topo` (fingerprint and link-count
+    /// match). Sets deserialized from pre-fingerprint dumps (fingerprint 0)
+    /// are only length-checked.
+    pub fn verify_for(&self, topo: &Topology) -> Result<(), TopologyError> {
+        if self.failed.len() != topo.num_links() {
+            return Err(TopologyError::TopologyMismatch {
+                expected: self.fingerprint,
+                actual: topo.fingerprint(),
+            });
+        }
+        if self.fingerprint != 0 && self.fingerprint != topo.fingerprint() {
+            return Err(TopologyError::TopologyMismatch {
+                expected: self.fingerprint,
+                actual: topo.fingerprint(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fingerprint of the topology this set was built for (0 = unknown).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Monotonic change counter (bumped on every effective fail/recover).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of failed links.
@@ -86,6 +194,8 @@ mod tests {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let f = LinkFailures::none(&topo);
         assert!(f.is_empty());
+        assert_eq!(f.version(), 0);
+        assert_eq!(f.fingerprint(), topo.fingerprint());
         assert!((0..topo.num_links() as u32).all(|l| f.is_live(l)));
     }
 
@@ -93,11 +203,42 @@ mod tests {
     fn failing_is_idempotent() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let mut f = LinkFailures::none(&topo);
-        f.fail(3);
-        f.fail(3);
+        assert!(f.fail(3).unwrap());
+        assert!(!f.fail(3).unwrap());
         assert_eq!(f.len(), 1);
+        assert_eq!(f.version(), 1, "idempotent re-fail must not bump version");
         assert!(!f.is_live(3));
         assert_eq!(f.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn recover_restores_the_link() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        assert!(!f.recover(5).unwrap(), "recovering a live link is a no-op");
+        assert_eq!(f.version(), 0);
+        f.fail(5).unwrap();
+        assert!(f.recover(5).unwrap());
+        assert!(f.is_live(5));
+        assert!(f.is_empty());
+        assert_eq!(f.version(), 2);
+    }
+
+    #[test]
+    fn out_of_range_link_is_an_error_not_a_panic() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        let bogus = topo.num_links() as u32 + 7;
+        assert!(matches!(
+            f.fail(bogus),
+            Err(TopologyError::NoSuchLink { link, .. }) if link == bogus
+        ));
+        assert!(matches!(
+            f.recover(bogus),
+            Err(TopologyError::NoSuchLink { .. })
+        ));
+        assert!(f.is_empty(), "failed calls must not change the set");
+        assert_eq!(f.version(), 0);
     }
 
     #[test]
@@ -105,10 +246,67 @@ mod tests {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let mut f = LinkFailures::none(&topo);
         let leaf = topo.node_at(1, 2).unwrap();
-        f.fail_up_port(&topo, leaf, 1);
+        f.fail_up_port(&topo, leaf, 1).unwrap();
         let link = topo.node(leaf).up[1].link;
         assert!(!f.is_live(link));
         let ch = topo.channel(link, crate::Direction::Up);
         assert!(!f.channel_live(ch));
+    }
+
+    #[test]
+    fn fail_down_port_targets_the_mirror_cable() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        let spine = topo.node_at(2, 0).unwrap();
+        f.fail_down_port(&topo, spine, 3).unwrap();
+        assert!(!f.is_live(topo.node(spine).down[3].link));
+    }
+
+    #[test]
+    fn bogus_port_is_an_error() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut f = LinkFailures::none(&topo);
+        let leaf = topo.node_at(1, 0).unwrap();
+        let too_big = topo.node(leaf).up.len() as u32;
+        assert!(matches!(
+            f.fail_up_port(&topo, leaf, too_big),
+            Err(TopologyError::NoSuchPort { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        let topo16 = Topology::build(catalog::fig4_pgft_16());
+        let topo128 = Topology::build(catalog::nodes_128());
+        let mut f = LinkFailures::none(&topo16);
+        assert!(f.verify_for(&topo16).is_ok());
+        assert!(matches!(
+            f.verify_for(&topo128),
+            Err(TopologyError::TopologyMismatch { .. })
+        ));
+        assert!(f.fail_up_port(&topo128, topo128.host(0), 0).is_err());
+        // Same spec, fresh build: fingerprints agree.
+        let again = Topology::build(catalog::fig4_pgft_16());
+        assert!(f.verify_for(&again).is_ok());
+    }
+
+    #[test]
+    fn distinct_specs_have_distinct_fingerprints() {
+        let specs = [
+            catalog::fig4_pgft_16(),
+            catalog::fig4_xgft_16(),
+            catalog::nodes_128(),
+            catalog::nodes_324(),
+            catalog::nodes_1728(),
+        ];
+        let prints: Vec<u64> = specs
+            .into_iter()
+            .map(|s| Topology::build(s).fingerprint())
+            .collect();
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(prints[i], prints[j], "specs {i} and {j} collide");
+            }
+        }
     }
 }

@@ -382,6 +382,30 @@ impl Topology {
         (l..self.height()).all(|j| n.digits[j] == self.spec.host_digit(host, j))
     }
 
+    /// A stable 64-bit fingerprint of the topology's structure.
+    ///
+    /// Computed (FNV-1a) from the PGFT tuple and the derived link count, so
+    /// two `Topology` values built from the same spec share a fingerprint
+    /// while any structural difference — other arities, other parallel-port
+    /// counts, different height — changes it. Per-link structures such as
+    /// [`crate::LinkFailures`] record this value to refuse being applied to
+    /// a topology they were not built for.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        let mut h = mix(OFFSET, self.height() as u64);
+        for l in 0..self.height() {
+            h = mix(h, u64::from(self.spec.m(l)));
+            h = mix(h, u64::from(self.spec.w(l)));
+            h = mix(h, u64::from(self.spec.p(l)));
+        }
+        h = mix(h, self.num_hosts() as u64);
+        mix(h, self.num_links() as u64)
+    }
+
     /// Human-readable node name, e.g. `H0017` or `S2[3,0,1]`.
     pub fn node_name(&self, id: NodeId) -> String {
         let n = self.node(id);

@@ -164,6 +164,19 @@ impl RoutingTable {
         }
     }
 
+    /// Clears the entry for `(node, dst)` back to `NoRoute`. Used by
+    /// incremental repair when no viable egress remains after a failure.
+    pub fn clear(&mut self, node: NodeId, dst: usize) {
+        if node.0 < self.num_hosts {
+            if let Some(table) = self.host_lft.as_mut() {
+                table[node.index()][dst] = NONE;
+            }
+        } else {
+            let ord = self.switch_ordinal(node);
+            self.switch_lft[ord][dst] = NONE;
+        }
+    }
+
     /// Egress port used by `node` toward destination host `dst`.
     ///
     /// Hosts with a single cable implicitly return `Up(0)` (or `None` for

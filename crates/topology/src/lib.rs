@@ -36,10 +36,12 @@ pub mod graph;
 pub mod io;
 pub mod lft;
 pub mod rlft;
+pub mod schedule;
 pub mod spec;
 
 pub use error::TopologyError;
 pub use failures::LinkFailures;
 pub use graph::{ChannelId, Direction, Link, Node, NodeId, PortPeer, PortRef, Topology};
 pub use lft::{Path, RouteError, RoutingTable};
+pub use schedule::{FaultSchedule, LinkEvent, LinkEventKind};
 pub use spec::PgftSpec;

@@ -1,0 +1,225 @@
+//! Timed fault schedules: a deterministic timeline of link failures and
+//! recoveries.
+//!
+//! A [`FaultSchedule`] is the script a fabric lifecycle plays out: at
+//! picosecond `t`, cable `l` dies; later it comes back. Subnet-manager
+//! sweeps (see `ftree-core`) consume the schedule in time order and repair
+//! routing tables incrementally; the packet simulator consumes the same
+//! schedule to decide which in-flight packets are lost.
+//!
+//! Schedules are plain data (serde-serializable, sorted by time) so an
+//! experiment can be replayed bit-identically. For convenience,
+//! [`FaultSchedule::random_switch_links`] derives a reproducible schedule
+//! from a seed using the same splitmix-style hash the simulator uses for
+//! jitter — no RNG state is carried around.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::graph::Topology;
+
+/// What happens to a link at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkEventKind {
+    /// The cable dies: packets crossing it are lost from this instant on.
+    Fail,
+    /// The cable is reseated/replaced and carries traffic again.
+    Recover,
+}
+
+/// One timed change to a single physical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// Simulation time of the change, in picoseconds.
+    pub time: u64,
+    /// Physical link id (see [`Topology::link`]).
+    pub link: u32,
+    /// Fail or recover.
+    pub kind: LinkEventKind,
+}
+
+/// A time-sorted list of link fail/recover events.
+///
+/// Construction sorts events by time (stably, so same-instant events keep
+/// their given order); consumers may rely on `events()` being
+/// non-decreasing in `time`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<LinkEvent>", into = "Vec<LinkEvent>")]
+pub struct FaultSchedule {
+    events: Vec<LinkEvent>,
+}
+
+impl From<Vec<LinkEvent>> for FaultSchedule {
+    fn from(events: Vec<LinkEvent>) -> Self {
+        Self::new(events)
+    }
+}
+
+impl From<FaultSchedule> for Vec<LinkEvent> {
+    fn from(sched: FaultSchedule) -> Self {
+        sched.events
+    }
+}
+
+/// SplitMix64 finalizer — the same stateless hash family the simulator uses
+/// for jitter, so schedules are reproducible without carrying RNG state.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from events in any order; they are sorted by time
+    /// (stable for ties).
+    pub fn new(mut events: Vec<LinkEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Self { events }
+    }
+
+    /// A schedule with no events (the fabric stays healthy).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[LinkEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event, or `None` for an empty schedule.
+    pub fn end_time(&self) -> Option<u64> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Checks that every event references a link that exists in `topo`.
+    pub fn validate(&self, topo: &Topology) -> Result<(), TopologyError> {
+        for ev in &self.events {
+            if ev.link as usize >= topo.num_links() {
+                return Err(TopologyError::NoSuchLink {
+                    link: ev.link,
+                    num_links: topo.num_links(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A reproducible schedule failing `count` distinct switch-to-switch
+    /// cables (host cables are spared so no host becomes unreachable).
+    ///
+    /// Each chosen link fails at a hash-derived time in `[0, window)` and —
+    /// when `repair_after > 0` — recovers `repair_after` picoseconds later.
+    /// The same `(topo, seed, count, window, repair_after)` always yields
+    /// the same schedule.
+    pub fn random_switch_links(
+        topo: &Topology,
+        seed: u64,
+        count: usize,
+        window: u64,
+        repair_after: u64,
+    ) -> Self {
+        let candidates: Vec<u32> = (0..topo.num_links() as u32)
+            .filter(|&l| !topo.node(topo.link(l).child).is_host())
+            .collect();
+        let want = count.min(candidates.len());
+        let mut chosen: Vec<u32> = Vec::with_capacity(want);
+        let mut attempt: u64 = 0;
+        while chosen.len() < want {
+            let idx = mix64(seed ^ mix64(attempt)) as usize % candidates.len();
+            attempt += 1;
+            let link = candidates[idx];
+            if !chosen.contains(&link) {
+                chosen.push(link);
+            }
+        }
+        let mut events = Vec::with_capacity(want * 2);
+        for (i, &link) in chosen.iter().enumerate() {
+            let t = if window > 0 {
+                mix64(seed.wrapping_add(0x5eed).wrapping_add(i as u64)) % window
+            } else {
+                0
+            };
+            events.push(LinkEvent { time: t, link, kind: LinkEventKind::Fail });
+            if repair_after > 0 {
+                events.push(LinkEvent {
+                    time: t + repair_after,
+                    link,
+                    kind: LinkEventKind::Recover,
+                });
+            }
+        }
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlft::catalog;
+    use crate::Topology;
+
+    #[test]
+    fn events_are_sorted_stably() {
+        let sched = FaultSchedule::new(vec![
+            LinkEvent { time: 500, link: 1, kind: LinkEventKind::Fail },
+            LinkEvent { time: 100, link: 2, kind: LinkEventKind::Fail },
+            LinkEvent { time: 100, link: 3, kind: LinkEventKind::Fail },
+        ]);
+        let order: Vec<(u64, u32)> = sched.events().iter().map(|e| (e.time, e.link)).collect();
+        assert_eq!(order, vec![(100, 2), (100, 3), (500, 1)]);
+        assert_eq!(sched.end_time(), Some(500));
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_switch_only() {
+        let topo = Topology::build(catalog::nodes_324());
+        let a = FaultSchedule::random_switch_links(&topo, 42, 5, 1_000_000, 2_000_000);
+        let b = FaultSchedule::random_switch_links(&topo, 42, 5, 1_000_000, 2_000_000);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 10, "5 failures + 5 recoveries");
+        a.validate(&topo).unwrap();
+        for ev in a.events() {
+            let link = topo.link(ev.link);
+            assert!(
+                !topo.node(link.child).is_host(),
+                "host cables must be spared"
+            );
+        }
+        let c = FaultSchedule::random_switch_links(&topo, 43, 5, 1_000_000, 2_000_000);
+        assert_ne!(a.events(), c.events(), "different seeds differ");
+    }
+
+    #[test]
+    fn zero_repair_means_permanent_failures() {
+        let topo = Topology::build(catalog::nodes_128());
+        let sched = FaultSchedule::random_switch_links(&topo, 7, 3, 0, 0);
+        assert_eq!(sched.len(), 3);
+        assert!(sched
+            .events()
+            .iter()
+            .all(|e| e.kind == LinkEventKind::Fail && e.time == 0));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_links() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let sched = FaultSchedule::new(vec![LinkEvent {
+            time: 0,
+            link: topo.num_links() as u32,
+            kind: LinkEventKind::Fail,
+        }]);
+        assert!(sched.validate(&topo).is_err());
+    }
+}

@@ -58,11 +58,30 @@ fn routing_table_roundtrip() {
 fn failure_set_roundtrip() {
     let topo = Topology::build(catalog::fig4_pgft_16());
     let mut f = LinkFailures::none(&topo);
-    f.fail(3);
-    f.fail(17);
+    f.fail(3).unwrap();
+    f.fail(17).unwrap();
     let json = serde_json::to_string(&f).unwrap();
     let back: LinkFailures = serde_json::from_str(&json).unwrap();
     assert_eq!(back.len(), 2);
     assert!(!back.is_live(3) && !back.is_live(17));
     assert!(back.is_live(4));
+    assert_eq!(back.fingerprint(), topo.fingerprint());
+    assert_eq!(back.version(), f.version());
+    back.verify_for(&topo).unwrap();
+}
+
+#[test]
+fn fault_schedule_roundtrip() {
+    use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind};
+
+    let sched = FaultSchedule::new(vec![
+        LinkEvent { time: 900, link: 7, kind: LinkEventKind::Recover },
+        LinkEvent { time: 100, link: 7, kind: LinkEventKind::Fail },
+        LinkEvent { time: 100, link: 2, kind: LinkEventKind::Fail },
+    ]);
+    let json = serde_json::to_string(&sched).unwrap();
+    let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 3);
+    let times: Vec<u64> = back.events().iter().map(|e| e.time).collect();
+    assert_eq!(times, vec![100, 100, 900], "events stay time-sorted");
 }

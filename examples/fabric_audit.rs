@@ -67,7 +67,7 @@ fn main() {
     let healthy = route_dmodk(&topo);
     let mut failures = LinkFailures::none(&topo);
     let leaf3 = topo.node_at(1, 3).unwrap();
-    failures.fail_up_port(&topo, leaf3, 5);
+    failures.fail_up_port(&topo, leaf3, 5).unwrap();
     let rerouted = route_dmodk_ft(&topo, &failures);
     rerouted.validate(&topo, usize::MAX).expect("healed fabric routes everything");
 

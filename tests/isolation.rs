@@ -158,7 +158,7 @@ fn jobs_survive_cable_failures_with_bounded_interference() {
 
     let mut failures = LinkFailures::none(&topo);
     let leaf0 = topo.node_at(1, 0).unwrap(); // leaf inside job a
-    failures.fail_up_port(&topo, leaf0, 4);
+    failures.fail_up_port(&topo, leaf0, 4).unwrap();
     let rt = route_dmodk_ft(&topo, &failures);
     rt.validate(&topo, 10_000).expect("fabric still connected");
 

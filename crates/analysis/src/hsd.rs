@@ -107,6 +107,24 @@ impl LinkLoads {
             total_flow_hops,
         }
     }
+
+    /// Records this stage's load distribution into `rec` under `label`:
+    /// a histogram of per-channel flow counts (`hsd.link_flows.<label>`,
+    /// loaded channels only), the running worst HSD seen
+    /// (`hsd.max.<label>`) and a stage counter (`hsd.stages.<label>`).
+    pub fn observe(&self, rec: &ftree_obs::Recorder, label: &str) {
+        let hist = rec.histogram(&format!("hsd.link_flows.{label}"));
+        let mut max = 0u32;
+        for &c in &self.counts {
+            if c > 0 {
+                hist.record(c as u64);
+                max = max.max(c);
+            }
+        }
+        let gauge = rec.gauge(&format!("hsd.max.{label}"));
+        gauge.set(gauge.get().max(max as i64));
+        rec.counter(&format!("hsd.stages.{label}")).inc();
+    }
 }
 
 /// Stage-level HSD summary.
@@ -185,6 +203,30 @@ mod tests {
         let rt = route_dmodk(&topo);
         let hsd = stage_hsd(&topo, &rt, &[(0, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
         assert!(hsd.is_congestion_free(), "{hsd:?}");
+    }
+
+    #[test]
+    fn observe_records_distribution() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let loads =
+            LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
+        let rec = ftree_obs::Recorder::new();
+        loads.observe(&rec, "test");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["hsd.stages.test"], 1);
+        assert_eq!(snap.gauges["hsd.max.test"], 2);
+        let h = &snap.histograms["hsd.link_flows.test"];
+        // Two 4-hop flows sharing one up cable: 7 distinct loaded channels.
+        assert_eq!(h.max, 2);
+        assert!(h.count >= 2);
+        // A second stage keeps the running max.
+        LinkLoads::compute(&topo, &rt, &[(0, 1)])
+            .unwrap()
+            .observe(&rec, "test");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["hsd.stages.test"], 2);
+        assert_eq!(snap.gauges["hsd.max.test"], 2);
     }
 
     #[test]

@@ -20,17 +20,24 @@
 
 use ftree_analysis::{sequence_hsd, SequenceOptions};
 use ftree_sim::{PacketSim, Progression, SimConfig, SwitchModel, TrafficPlan};
-use ftree_bench::{arg_num, exclusion_set, surviving_ports, TextTable};
+use ftree_bench::{
+    arg_num, exclusion_set, export_observability, init_obs, maybe_record, print_phase_report,
+    surviving_ports, BenchJson, TextTable,
+};
 use ftree_collectives::{Cps, PortSpace, TopoAwareRd};
 use ftree_core::{NodeOrder, RoutingAlgo};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let max_stages: usize = arg_num("--stages", 64);
     let opts = SequenceOptions { max_stages };
     let topo = Topology::build(catalog::nodes_324());
     let n = topo.num_hosts() as u32;
+    let mut out = BenchJson::new("ablations");
+    out.topology(topo.spec().to_string());
+    out.param("stages", max_stages as u64);
     println!(
         "Ablations on {} ({} hosts); metric: avg max HSD (1.00 = congestion-free)\n",
         topo.spec(),
@@ -50,6 +57,7 @@ fn main() {
             "324-node avg HSD",
             "1728-node avg HSD",
         ]);
+        let mut rows: Vec<serde_json::Value> = Vec::new();
         for algo in [
             RoutingAlgo::DModK,
             RoutingAlgo::MinHopGreedy,
@@ -66,15 +74,22 @@ fn main() {
                 format!("{:.2}", r2.avg_max),
                 format!("{:.2}", r3.avg_max),
             ]);
+            rows.push(serde_json::json!({
+                "routing": rt2.algorithm,
+                "avg_hsd_324": r2.avg_max,
+                "avg_hsd_1728": r3.avg_max,
+            }));
         }
         t.print();
         println!();
+        out.metric("routing_ablation", rows);
     }
 
     // 2. Ordering ablation.
     {
         let rt = RoutingAlgo::DModK.route(&topo);
         let mut t = TextTable::new(vec!["node order (Ring, D-Mod-K)", "avg max HSD"]);
+        let mut rows: Vec<serde_json::Value> = Vec::new();
         for order in [
             NodeOrder::topology(&topo),
             NodeOrder::random(&topo, 1),
@@ -82,9 +97,11 @@ fn main() {
         ] {
             let r = sequence_hsd(&topo, &rt, &order, &Cps::Ring, opts).unwrap();
             t.row(vec![order.label.clone(), format!("{:.2}", r.avg_max)]);
+            rows.push(serde_json::json!({"order": order.label, "avg_max_hsd": r.avg_max}));
         }
         t.print();
         println!();
+        out.metric("ordering_ablation", rows);
     }
 
     // 3. Bidirectional sequence ablation.
@@ -102,6 +119,13 @@ fn main() {
         ]);
         t.print();
         println!();
+        out.metric(
+            "sequence_ablation",
+            serde_json::json!({
+                "plain_recdbl_avg_hsd": plain.avg_max,
+                "topo_aware_avg_hsd": smart.avg_max,
+            }),
+        );
     }
 
     // 4. Switch-architecture ablation: how much of the random-order loss
@@ -121,6 +145,7 @@ fn main() {
             "switch architecture (Shift, random order, 256K msgs)",
             "normalized BW",
         ]);
+        let mut rows: Vec<serde_json::Value> = Vec::new();
         for (name, model) in [
             ("input FIFO (HOL blocking)", SwitchModel::InputFifo),
             ("virtual output queues (ideal)", SwitchModel::VirtualOutputQueues),
@@ -129,8 +154,9 @@ fn main() {
                 switch_model: model,
                 ..SimConfig::default()
             };
-            let r = PacketSim::new(&topo, &rt, cfg, &plan).run();
+            let r = maybe_record(PacketSim::new(&topo, &rt, cfg, &plan), &rec).run();
             t.row(vec![name.to_string(), format!("{:.3}", r.normalized_bw)]);
+            rows.push(serde_json::json!({"switch": name, "normalized_bw": r.normalized_bw}));
         }
         // Reference: the same workload with topology order needs neither.
         let good = NodeOrder::topology(&topo);
@@ -141,13 +167,19 @@ fn main() {
             Progression::Asynchronous,
             12,
         );
-        let r = PacketSim::new(&topo, &rt, SimConfig::default(), &good_plan).run();
+        let r = maybe_record(PacketSim::new(&topo, &rt, SimConfig::default(), &good_plan), &rec)
+            .run();
         t.row(vec![
             "input FIFO + topology order (the paper's fix)".to_string(),
             format!("{:.3}", r.normalized_bw),
         ]);
+        rows.push(serde_json::json!({
+            "switch": "input FIFO + topology order",
+            "normalized_bw": r.normalized_bw,
+        }));
         t.print();
         println!();
+        out.metric("switch_ablation", rows);
     }
 
     // 5. Partial-job sequence ablation.
@@ -171,5 +203,16 @@ fn main() {
             format!("{:.2}", kept.avg_max),
         ]);
         t.print();
+        out.metric(
+            "partial_job_ablation",
+            serde_json::json!({
+                "rank_compacted_avg_hsd": compacted.avg_max,
+                "position_preserving_avg_hsd": kept.avg_max,
+            }),
+        );
     }
+
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

@@ -13,7 +13,13 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin collective_time`
 
-use ftree_bench::{fmt_bytes, TextTable};
+use std::sync::Arc;
+
+use ftree_bench::{
+    export_observability, fmt_bytes, init_obs, maybe_record, print_phase_report, BenchJson,
+    TextTable,
+};
+use ftree_obs::Recorder;
 use ftree_core::{Job, NodeOrder, RoutingAlgo};
 use ftree_mpi::data::{blockwise_reduce_world, reduce_world};
 use ftree_mpi::reductions::{rabenseifner_allreduce, recursive_doubling_allreduce};
@@ -30,6 +36,7 @@ fn simulate(
     order: &NodeOrder,
     world: &World,
     bytes_per_element: u64,
+    rec: &Arc<Recorder>,
 ) -> f64 {
     let stages = world
         .traffic_stages(bytes_per_element)
@@ -42,16 +49,20 @@ fn simulate(
         })
         .collect();
     let plan = TrafficPlan::sized(stages, Progression::Synchronized);
-    let r = PacketSim::new(topo, routing, SimConfig::default(), &plan).run();
+    let r = maybe_record(PacketSim::new(topo, routing, SimConfig::default(), &plan), rec).run();
     r.makespan as f64 / 1e6 // us
 }
 
 fn main() {
+    let rec = init_obs();
     let topo = Topology::build(catalog::nodes_128());
     let n = topo.num_hosts();
     let job = Job::contention_free(&topo);
     let random = NodeOrder::random(&topo, 1);
     let rt_random = RoutingAlgo::DModK.route(&topo);
+    let mut out = BenchJson::new("collective_time");
+    out.topology(topo.spec().to_string());
+    out.param("ranks", n as u64);
 
     println!(
         "Allreduce completion time on {} ({} ranks), packet-level sim, real message sizes\n",
@@ -67,29 +78,30 @@ fn main() {
         "RecDbl random order (us)",
     ]);
 
+    let mut rows: Vec<serde_json::Value> = Vec::new();
     for &vector_bytes in &[512u64, 2 << 10, 4 << 10, 32 << 10, 256 << 10, 1 << 20, 4 << 20] {
         // Recursive doubling: b-element vectors, full vector per stage.
         let b = 64usize;
         let elem = vector_bytes / b as u64;
         let mut rd = reduce_world(n, b);
         recursive_doubling_allreduce(&mut rd);
-        let t_rd = simulate(&topo, &job.routing, &job.order, &rd, elem);
-        let t_rd_random = simulate(&topo, &rt_random, &random, &rd, elem);
+        let t_rd = simulate(&topo, &job.routing, &job.order, &rd, elem, &rec);
+        let t_rd_random = simulate(&topo, &rt_random, &random, &rd, elem, &rec);
 
         // Rabenseifner: n*b elements total = the same vector.
         let nb = n * 2;
         let elem_r = vector_bytes / nb as u64;
         let mut rab = blockwise_reduce_world(n, 2);
         rabenseifner_allreduce(&mut rab, 2);
-        let t_rab = simulate(&topo, &job.routing, &job.order, &rab, elem_r.max(1));
+        let t_rab = simulate(&topo, &job.routing, &job.order, &rab, elem_r.max(1), &rec);
 
         // Reduce + broadcast (the naive composition).
         let mut red = reduce_world(n, b);
         binomial_reduce(&mut red);
         let mut bc = World::new(n, |r| if r == 0 { vec![1; b] } else { vec![0; b] });
         binomial_bcast(&mut bc);
-        let t_red = simulate(&topo, &job.routing, &job.order, &red, elem)
-            + simulate(&topo, &job.routing, &job.order, &bc, elem);
+        let t_red = simulate(&topo, &job.routing, &job.order, &red, elem, &rec)
+            + simulate(&topo, &job.routing, &job.order, &bc, elem, &rec);
 
         table.row(vec![
             fmt_bytes(vector_bytes),
@@ -98,6 +110,13 @@ fn main() {
             format!("{t_red:.1}"),
             format!("{t_rd_random:.1}"),
         ]);
+        rows.push(serde_json::json!({
+            "vector_bytes": vector_bytes,
+            "recdbl_us": t_rd,
+            "rabenseifner_us": t_rab,
+            "reduce_bcast_us": t_red,
+            "recdbl_random_us": t_rd_random,
+        }));
         eprintln!("  done {}", fmt_bytes(vector_bytes));
     }
     table.print();
@@ -107,4 +126,9 @@ fn main() {
          host); random placement inflates every algorithm — the effect published \
          selection heuristics ignore."
     );
+
+    out.metric("completion_time_us", rows);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

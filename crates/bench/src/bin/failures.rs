@@ -13,9 +13,13 @@
 //! the timeline — dropped packets are healed by timeout + retransmission.
 //!
 //! Run: `cargo run --release -p ftree-bench --bin failures [--stages N]`
+//! with the shared observability flags `--json-out`, `--trace-out` and
+//! `--events-out` (the dynamic-timeline packet run feeds the trace).
 
 use ftree_analysis::{degraded_sequence_hsd, SequenceOptions};
-use ftree_bench::{arg_num, TextTable};
+use ftree_bench::{
+    arg_num, export_observability, init_obs, print_phase_report, BenchJson, TextTable,
+};
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{route_dmodk, route_dmodk_ft, NodeOrder, SubnetManager};
 use ftree_sim::{
@@ -26,8 +30,12 @@ use ftree_topology::rlft::catalog;
 use ftree_topology::{FaultSchedule, PortRef, Topology};
 
 fn main() {
+    let rec = init_obs();
     let max_stages: usize = arg_num("--stages", 48);
+    let mut out = BenchJson::new("failures");
+    out.param("stages", max_stages as u64);
     let topo = Topology::build(catalog::nodes_324());
+    out.topology(topo.spec().to_string());
     let order = NodeOrder::topology(&topo);
     let baseline = route_dmodk(&topo);
     let cfg = SimConfig::default();
@@ -49,6 +57,7 @@ fn main() {
         "Ring normalized BW",
     ]);
 
+    let mut static_rows: Vec<serde_json::Value> = Vec::new();
     for &failed_count in &[0usize, 1, 2, 5, 9, 18] {
         // Fail cables spread across leaves (deterministic pattern).
         let mut failures = LinkFailures::none(&topo);
@@ -97,6 +106,14 @@ fn main() {
             format!("{perturbed}"),
             format!("{bw:.3}"),
         ]);
+        static_rows.push(serde_json::json!({
+            "failed_cables": failed_count,
+            "shift_avg_hsd": hsd.avg_max,
+            "shift_worst_hsd": hsd.worst,
+            "unroutable_flows": hsd.unroutable_flows,
+            "perturbed_lft_entries": perturbed,
+            "ring_normalized_bw": bw,
+        }));
         eprintln!("  done {failed_count} failures");
     }
     table.print();
@@ -143,6 +160,7 @@ fn main() {
     let plan = TrafficPlan::uniform(stages, 65_536, Progression::Asynchronous);
     let res = PacketSim::with_lifecycle(&topo, cfg, &plan, FabricLifecycle::new(sched))
         .expect("schedule fits the topology")
+        .with_recorder(rec.clone())
         .run();
     println!(
         "\npacket sim through the timeline: {} messages delivered, \
@@ -155,4 +173,17 @@ fn main() {
         res.makespan as f64 / MICROSECOND as f64,
         res.normalized_bw
     );
+
+    out.metric("static_failures", static_rows);
+    out.metric("dynamic_messages_delivered", res.messages_delivered);
+    out.metric("dynamic_packets_dropped", res.packets_dropped);
+    out.metric("dynamic_retransmits", res.retransmits);
+    out.metric("dynamic_messages_lost", res.messages_lost);
+    out.metric("dynamic_makespan_us", res.makespan as f64 / MICROSECOND as f64);
+    out.metric("dynamic_normalized_bw", res.normalized_bw);
+    out.metric("dynamic_efficiency", res.efficiency());
+    out.metric("dynamic_sweeps", res.sweep_reports.len() as u64);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

@@ -8,13 +8,13 @@
 //! Run: `cargo run --release -p ftree-bench --bin fig1`
 
 use ftree_analysis::LinkLoads;
-use ftree_bench::TextTable;
+use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{route_dmodk, NodeOrder};
 use ftree_topology::rlft::catalog;
 use ftree_topology::{Direction, Topology};
 
-fn show_order(topo: &Topology, order: &NodeOrder, title: &str) {
+fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (usize, u32) {
     let rt = route_dmodk(topo);
     let n = topo.num_hosts() as u32;
     // Stage with displacement 4: Shift stage index 3.
@@ -45,7 +45,7 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str) {
     println!("\n=== {title} ===");
     println!("MPI node order (rank -> end-port): {:?}", order.map());
     let mut table = TextTable::new(vec!["leaf switch", "up-port", "MPI dst ranks", "flows"]);
-    let mut hot = 0;
+    let mut hot = 0usize;
     for leaf in topo.level_nodes(1) {
         for (q, pp) in topo.node(leaf).up.iter().enumerate() {
             let ch = topo.channel(pp.link, Direction::Up);
@@ -64,6 +64,9 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str) {
     }
     table.print();
     let summary = loads.summarize(topo);
+    if let Some(rec) = ftree_obs::global() {
+        loads.observe(&rec, label);
+    }
     println!(
         "hot up-links: {hot}; max HSD = {} ({})",
         summary.max,
@@ -73,6 +76,7 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str) {
             "blocking"
         }
     );
+    (hot, summary.max)
 }
 
 fn write_svg(topo: &Topology, order: &NodeOrder, path: &str) {
@@ -86,7 +90,10 @@ fn write_svg(topo: &Topology, order: &NodeOrder, path: &str) {
 }
 
 fn main() {
+    let rec = init_obs();
+    let mut out = BenchJson::new("fig1");
     let topo = Topology::build(catalog::fig1_16());
+    out.topology(topo.spec().to_string());
     println!(
         "Figure 1 reproduction: {} ({} hosts), pattern dst = (src + 4) mod 16",
         topo.spec(),
@@ -115,11 +122,21 @@ fn main() {
         }
     }
     let random = chosen.expect("some random order shows 3 hot spots");
-    show_order(&topo, &random, "(a) random MPI node order");
+    let (rand_hot, rand_max) = show_order(&topo, &random, "(a) random MPI node order", "random");
     write_svg(&topo, &random, "fig1a.svg");
 
     // (b) routing-aware order: congestion-free.
     let ordered = NodeOrder::topology(&topo);
-    show_order(&topo, &ordered, "(b) routing-aware (topology) order");
+    let (ord_hot, ord_max) =
+        show_order(&topo, &ordered, "(b) routing-aware (topology) order", "topology");
     write_svg(&topo, &ordered, "fig1b.svg");
+
+    out.param("pattern", "dst = (src + 4) mod 16");
+    out.metric("random_hot_uplinks", rand_hot);
+    out.metric("random_max_hsd", rand_max);
+    out.metric("topology_hot_uplinks", ord_hot);
+    out.metric("topology_max_hsd", ord_max);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

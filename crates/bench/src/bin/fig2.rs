@@ -13,7 +13,10 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin fig2 [--full] [--seed N]`
 
-use ftree_bench::{arg_num, fmt_bytes, has_flag, TextTable};
+use ftree_bench::{
+    arg_num, export_observability, fmt_bytes, has_flag, init_obs, maybe_record,
+    print_phase_report, BenchJson, TextTable,
+};
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{NodeOrder, RoutingAlgo};
 use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
@@ -21,8 +24,10 @@ use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let full = has_flag("--full");
     let seed: u64 = arg_num("--seed", 1);
+    let mut out = BenchJson::new("fig2");
     let spec = if full {
         catalog::nodes_1944()
     } else {
@@ -60,10 +65,13 @@ fn main() {
         "Shift (topology order)",
     ]);
 
+    let mut rows: Vec<serde_json::Value> = Vec::new();
     for &size in sizes {
         let run = |order: &NodeOrder, cps: &dyn PermutationSequence, max: usize| -> f64 {
             let plan = TrafficPlan::from_cps(order, cps, size, Progression::Asynchronous, max);
-            PacketSim::new(&topo, &rt, cfg, &plan).run().normalized_bw
+            maybe_record(PacketSim::new(&topo, &rt, cfg, &plan), &rec)
+                .run()
+                .normalized_bw
         };
         let shift_rand = run(&random, &Cps::Shift, shift_stages);
         let rd_rand = run(&random, &Cps::RecursiveDoubling, usize::MAX);
@@ -74,6 +82,12 @@ fn main() {
             format!("{rd_rand:.3}"),
             format!("{shift_ord:.3}"),
         ]);
+        rows.push(serde_json::json!({
+            "bytes": size,
+            "shift_random_bw": shift_rand,
+            "recdbl_random_bw": rd_rand,
+            "shift_topology_bw": shift_ord,
+        }));
         eprintln!("  done {}", fmt_bytes(size));
     }
     table.print();
@@ -81,4 +95,13 @@ fn main() {
         "\nPaper shape: random-order BW decreases with message size; \
          Recursive-Doubling lies below Shift; topology order stays at line rate."
     );
+
+    out.topology(topo.spec().to_string());
+    out.param("full", full);
+    out.param("seed", seed);
+    out.param("shift_stages", shift_stages as u64);
+    out.metric("bandwidth_by_size", rows);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin fig4`
 
-use ftree_bench::TextTable;
+use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_topology::rlft::{catalog, check_rlft};
 use ftree_topology::Topology;
 
@@ -29,6 +29,8 @@ fn describe(name: &str, topo: &Topology, table: &mut TextTable) {
 }
 
 fn main() {
+    let rec = init_obs();
+    let mut out = BenchJson::new("fig4");
     println!("Figure 4 reproduction: 16 nodes from 8-port switches, constant CBB\n");
     let mut table = TextTable::new(vec![
         "formulation",
@@ -48,4 +50,16 @@ fn main() {
         "\nPaper: the PGFT halves the spine count by using two parallel ports per \
          leaf-spine pair, filling every switch port — the XGFT cannot express this."
     );
+
+    out.topology(serde_json::json!({
+        "xgft": xgft.spec().canonical_name(),
+        "pgft": pgft.spec().canonical_name(),
+    }));
+    out.metric("xgft_spines", xgft.spec().nodes_at_level(2));
+    out.metric("pgft_spines", pgft.spec().nodes_at_level(2));
+    out.metric("xgft_links", xgft.num_links());
+    out.metric("pgft_links", pgft.num_links());
+    print_phase_report(&rec);
+    export_observability(&pgft, &rec);
+    out.write();
 }

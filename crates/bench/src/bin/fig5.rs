@@ -7,13 +7,16 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin fig5`
 
-use ftree_bench::TextTable;
+use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_topology::{io, PgftSpec, Topology};
 
 fn main() {
+    let rec = init_obs();
+    let mut out = BenchJson::new("fig5");
     // A small PGFT with non-trivial w and p at the top level.
     let spec = PgftSpec::from_slices(&[2, 2, 2], &[1, 2, 2], &[1, 1, 2]).unwrap();
     let topo = Topology::build(spec);
+    out.topology(topo.spec().to_string());
 
     println!("Figure 5 reproduction: connection rule of {}\n", topo.spec());
 
@@ -48,4 +51,11 @@ fn main() {
 
     println!("\nFull cable list ({} links):", topo.num_links());
     print!("{}", io::write_text(&topo));
+
+    out.metric("hosts", topo.num_hosts());
+    out.metric("links", topo.num_links());
+    out.metric("level2_up_ports", topo.node(child).up.len());
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin jitter [--bytes N]`
 
-use ftree_bench::{arg_num, TextTable};
+use ftree_bench::{
+    arg_num, export_observability, init_obs, maybe_record, print_phase_report, BenchJson, TextTable,
+};
 use ftree_collectives::Cps;
 use ftree_core::Job;
 use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan, MICROSECOND};
@@ -18,10 +20,14 @@ use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let bytes: u64 = arg_num("--bytes", 128 << 10);
     let topo = Topology::build(catalog::nodes_324());
     let job = Job::contention_free(&topo);
     let msg_time_us = bytes as f64 / 3250.0; // PCIe-rate message time
+    let mut out = BenchJson::new("jitter");
+    out.topology(topo.spec().to_string());
+    out.param("bytes", bytes);
 
     println!(
         "Jitter sensitivity: synchronized Shift (8 stages) on {} ({} KiB messages, \
@@ -46,19 +52,26 @@ fn main() {
         "makespan (ms)",
     ]);
 
+    let mut rows: Vec<serde_json::Value> = Vec::new();
     for &jitter_us in &[0u64, 5, 10, 20, 40, 80, 160] {
         let cfg = SimConfig {
             jitter: jitter_us * MICROSECOND,
             jitter_seed: 11,
             ..SimConfig::default()
         };
-        let r = PacketSim::new(&topo, &job.routing, cfg, &plan).run();
+        let r = maybe_record(PacketSim::new(&topo, &job.routing, cfg, &plan), &rec).run();
         table.row(vec![
             format!("{jitter_us}"),
             format!("{:.2}", jitter_us as f64 / msg_time_us),
             format!("{:.3}", r.normalized_bw),
             format!("{:.2}", r.makespan as f64 / 1e9),
         ]);
+        rows.push(serde_json::json!({
+            "skew_us": jitter_us,
+            "skew_over_msg_time": jitter_us as f64 / msg_time_us,
+            "normalized_bw": r.normalized_bw,
+            "makespan_ms": r.makespan as f64 / 1e9,
+        }));
         eprintln!("  done {jitter_us} us");
     }
     table.print();
@@ -67,4 +80,9 @@ fn main() {
          stays contention-free, the loss is pure barrier idle time — hence the \
          paper's pointer to clock-synchronization protocols."
     );
+
+    out.metric("skew_sweep", rows);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

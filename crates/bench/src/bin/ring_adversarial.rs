@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p ftree-bench --bin ring_adversarial`
 
 use ftree_analysis::{sequence_hsd, SequenceOptions};
-use ftree_bench::TextTable;
+use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{NodeOrder, RoutingAlgo};
 use ftree_sim::{run_fluid, Progression, SimConfig, TrafficPlan};
@@ -18,10 +18,16 @@ use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let topo = Topology::build(catalog::nodes_1944());
     let rt = RoutingAlgo::DModK.route(&topo);
     let cfg = SimConfig::default();
     let bytes = 1u64 << 20;
+    let mut out = BenchJson::new("ring_adversarial");
+    out.topology(topo.spec().to_string());
+    out.param("bytes", bytes);
+    out.param("link_bw_mbps", cfg.link_bw.mbps);
+    out.param("host_bw_mbps", cfg.host_bw.mbps);
 
     println!(
         "Ring adversarial reproduction: {} ({} hosts), QDR links {} MB/s, PCIe {} MB/s\n",
@@ -44,6 +50,7 @@ fn main() {
         "normalized BW",
     ]);
 
+    let mut rows: Vec<serde_json::Value> = Vec::new();
     for order in &orders {
         let hsd = sequence_hsd(&topo, &rt, order, &Cps::Ring, SequenceOptions::default())
             .expect("routable");
@@ -56,6 +63,12 @@ fn main() {
             format!("{per_host:.1}"),
             format!("{:.1}%", sim.normalized_bw * 100.0),
         ]);
+        rows.push(serde_json::json!({
+            "order": order.label,
+            "max_hsd": hsd.worst,
+            "per_host_bw_mbps": per_host,
+            "normalized_bw": sim.normalized_bw,
+        }));
         eprintln!("  done {}", order.label);
     }
     table.print();
@@ -63,4 +76,9 @@ fn main() {
         "\nPaper: adversarial order gives 231.5 MB/s ≈ 4000/18 (link BW over worst \
          oversubscription), i.e. 7.1% of nominal."
     );
+
+    out.metric("orders", rows);
+    print_phase_report(&rec);
+    export_observability(&topo, &rec);
+    out.write();
 }

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin table1 [--ranks N]`
 
-use ftree_bench::{arg_num, TextTable};
+use ftree_bench::{arg_num, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_collectives::{table1, Cps, MessageClass, MpiLibrary};
 use ftree_mpi::{run_survey, verify_survey};
 
@@ -29,7 +29,11 @@ fn msg_label(m: MessageClass) -> &'static str {
 }
 
 fn main() {
+    let rec = init_obs();
     let n: usize = arg_num("--ranks", 12);
+    let mut out = BenchJson::new("table1");
+    out.topology("rank-space only (no fabric)");
+    out.param("ranks", n as u64);
 
     println!("Table 1 reproduction: the algorithm -> CPS survey\n");
     let mut decl = TextTable::new(vec!["collective", "algorithm", "library", "msgs", "CPS", "pow2"]);
@@ -78,4 +82,11 @@ fn main() {
     let verified = verify_survey(&runs);
     exec.print();
     println!("\n{verified}/{} executed algorithms match their declared CPS.", runs.len());
+
+    out.metric("survey_rows", table1().len());
+    out.metric("distinct_cps", distinct.len());
+    out.metric("executed", runs.len());
+    out.metric("verified", verified);
+    print_phase_report(&rec);
+    out.write();
 }

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin table2 [--ranks N]`
 
-use ftree_bench::{arg_num, TextTable};
+use ftree_bench::{arg_num, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_collectives::{classify, Cps, PermutationSequence, SequenceClass};
 
 fn definition(cps: Cps) -> &'static str {
@@ -28,7 +28,11 @@ fn definition(cps: Cps) -> &'static str {
 }
 
 fn main() {
+    let rec = init_obs();
     let n: u32 = arg_num("--ranks", 24);
+    let mut out = BenchJson::new("table2");
+    out.topology("rank-space only (no fabric)");
+    out.param("ranks", n);
     println!("Table 2 reproduction: CPS formal definitions, N = {n}\n");
 
     let mut table = TextTable::new(vec![
@@ -82,4 +86,9 @@ fn main() {
         "\nVerified: every unidirectional stage is a subset of the Shift stage with \
          equal displacement (the paper's superset observation)."
     );
+
+    out.metric("sequences", Cps::ALL.len());
+    out.metric("superset_observation_verified", true);
+    print_phase_report(&rec);
+    out.write();
 }

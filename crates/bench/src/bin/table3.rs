@@ -11,14 +11,21 @@
 //! Run: `cargo run --release -p ftree-bench --bin table3 [--stages N] [--rand-seeds N]`
 
 use ftree_analysis::{sequence_hsd, SequenceOptions};
-use ftree_bench::{arg_num, exclusion_set, paper_topologies, surviving_ports, TextTable};
+use ftree_bench::{
+    arg_num, exclusion_set, export_observability, init_obs, paper_topologies, print_phase_report,
+    surviving_ports, BenchJson, TextTable,
+};
 use ftree_collectives::{Cps, PortSpace, TopoAwareRd};
 use ftree_core::{NodeOrder, RoutingAlgo};
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let max_stages: usize = arg_num("--stages", 64);
     let rand_seeds: u64 = arg_num("--rand-seeds", 5);
+    let mut out = BenchJson::new("table3");
+    out.param("stages", max_stages as u64);
+    out.param("rand_seeds", rand_seeds);
     let opts = SequenceOptions { max_stages };
 
     println!(
@@ -35,6 +42,8 @@ fn main() {
         "improvement",
     ]);
 
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut last_topo = None;
     for (name, spec) in paper_topologies() {
         let topo = Topology::build(spec);
         let rt = RoutingAlgo::DModK.route(&topo);
@@ -95,11 +104,21 @@ fn main() {
                 name.to_string(),
                 format!("{pop_name} ({n_ranks} ranks)"),
                 format!("{proposed:.2}"),
-                topo_rd,
+                topo_rd.clone(),
                 format!("{random:.2}"),
                 format!("x{:.1}", random / proposed),
             ]);
+            rows.push(serde_json::json!({
+                "topology": name,
+                "population": pop_name,
+                "ranks": n_ranks,
+                "proposed_shift_hsd": proposed,
+                "topo_rd_hsd": topo_rd,
+                "random_avg_hsd": random,
+                "improvement": random / proposed,
+            }));
         }
+        last_topo = Some(topo);
         eprintln!("  done {name}");
     }
     table.print();
@@ -107,4 +126,12 @@ fn main() {
         "\nPaper shape: proposed column = 1.00 everywhere (congestion-free); \
          random ranking up to ~5x worse at 1944 nodes."
     );
+
+    out.topology("paper roster: 128 / 324 / 1728 / 1944");
+    out.metric("hsd_rows", rows);
+    print_phase_report(&rec);
+    if let Some(topo) = &last_topo {
+        export_observability(topo, &rec);
+    }
+    out.write();
 }

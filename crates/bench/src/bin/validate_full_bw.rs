@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run --release -p ftree-bench --bin validate_full_bw`
 
-use ftree_bench::{arg_num, TextTable};
+use ftree_bench::{
+    arg_num, export_observability, init_obs, maybe_record, print_phase_report, BenchJson, TextTable,
+};
 use ftree_collectives::{Cps, PermutationSequence, TopoAwareRd};
 use ftree_core::{Job, NodeOrder};
 use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
@@ -15,9 +17,14 @@ use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn main() {
+    let rec = init_obs();
     let cfg = SimConfig::default();
     let bytes: u64 = arg_num("--bytes", 128 << 10);
     let shift_stages: usize = arg_num("--shift-stages", 12);
+    let mut out = BenchJson::new("validate_full_bw");
+    out.topology("324-node RLFT (packet) + 1944-node RLFT (fluid)");
+    out.param("bytes", bytes);
+    out.param("shift_stages", shift_stages as u64);
 
     println!("Section VII validation: ordered + D-Mod-K => full BW & cut-through latency\n");
 
@@ -44,10 +51,11 @@ fn main() {
             ("Shift (sampled)", &Cps::Shift, shift_stages, Progression::Asynchronous),
             ("TopoAware RecDbl", &topo_rd, usize::MAX, Progression::Synchronized),
         ];
+        let mut rows: Vec<serde_json::Value> = Vec::new();
         for (name, seq, max, mode) in cases {
             let plan = TrafficPlan::from_cps(&job.order, seq, bytes, mode, max);
             let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
-            let r = PacketSim::new(&topo, &job.routing, cfg, &plan).run();
+            let r = maybe_record(PacketSim::new(&topo, &job.routing, cfg, &plan), &rec).run();
             let stage_eff =
                 (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
             // Worst-case unloaded cut-through estimate: 6-hop path.
@@ -59,9 +67,18 @@ fn main() {
                 format!("{:.1}", r.mean_latency / 1e6),
                 format!("{:.1}", bound as f64 / 1e6),
             ]);
+            rows.push(serde_json::json!({
+                "sequence": name,
+                "normalized_bw": r.normalized_bw,
+                "stage_efficiency": stage_eff,
+                "mean_latency_us": r.mean_latency / 1e6,
+                "cut_through_bound_us": bound as f64 / 1e6,
+            }));
             eprintln!("  done {name}");
         }
         table.print();
+        out.metric("packet_324", rows);
+        export_observability(&topo, &rec);
     }
 
     // Fluid model at 1944 nodes.
@@ -79,6 +96,7 @@ fn main() {
             ("Shift (sampled)", &Cps::Shift, shift_stages),
             ("TopoAware RecDbl", &topo_rd, usize::MAX),
         ];
+        let mut rows: Vec<serde_json::Value> = Vec::new();
         for (name, seq, max) in cases {
             let plan = TrafficPlan::from_cps(&order, seq, bytes, Progression::Synchronized, max);
             let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
@@ -90,10 +108,18 @@ fn main() {
                 format!("{:.3}", r.normalized_bw),
                 format!("{stage_eff:.3}"),
             ]);
+            rows.push(serde_json::json!({
+                "sequence": name,
+                "normalized_bw": r.normalized_bw,
+                "stage_efficiency": stage_eff,
+            }));
             eprintln!("  done {name} (1944)");
         }
         table.print();
+        out.metric("fluid_1944", rows);
     }
 
     println!("\nPaper: both sequences reach the full PCIe-bound bandwidth (normalized 1.0).");
+    print_phase_report(&rec);
+    out.write();
 }

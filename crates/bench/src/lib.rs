@@ -5,8 +5,14 @@
 //! plumbing: aligned table printing, the paper's topology roster, and tiny
 //! CLI-flag helpers (no external argument-parsing dependency).
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ftree_obs::Recorder;
 use ftree_topology::rlft::catalog;
-use ftree_topology::PgftSpec;
+use ftree_topology::{PgftSpec, Topology};
+use serde_json::{Map, Value};
 
 /// Paper evaluation topologies by host count.
 pub fn paper_topologies() -> Vec<(&'static str, PgftSpec)> {
@@ -125,6 +131,145 @@ impl TextTable {
     }
 }
 
+/// Installs a fresh process-global [`Recorder`] (so library-internal phase
+/// timers and counters have somewhere to report) and returns it. Call once
+/// at the top of every experiment binary.
+pub fn init_obs() -> Arc<Recorder> {
+    let rec = Arc::new(Recorder::new());
+    ftree_obs::install(rec.clone());
+    rec
+}
+
+/// Prints the per-phase wall-time table accumulated in `rec` (routing-table
+/// builds, SM sweeps, simulator runs). Silent when nothing was timed.
+pub fn print_phase_report(rec: &Recorder) {
+    let report = rec.phase_report();
+    if report.is_empty() {
+        return;
+    }
+    let mut t = TextTable::new(vec!["phase", "calls", "total ms"]);
+    for p in &report {
+        t.row(vec![
+            p.name.clone(),
+            p.calls.to_string(),
+            format!("{:.2}", p.total_ms),
+        ]);
+    }
+    println!("\nphase timings");
+    print!("{}", t.render());
+}
+
+/// Honors the shared observability flags: `--trace-out <path>` writes a
+/// Chrome trace-event JSON (open in <https://ui.perfetto.dev>) and
+/// `--events-out <path>` the raw NDJSON event stream. `topo` labels the
+/// trace's channel and fault tracks.
+pub fn export_observability(topo: &Topology, rec: &Recorder) {
+    if let Some(path) = arg_value("--trace-out") {
+        let trace = ftree_sim::export_chrome_trace(topo, rec);
+        let body = serde_json::to_string_pretty(&trace).expect("trace serializes");
+        write_output(&path, &body, "Chrome trace");
+    }
+    if let Some(path) = arg_value("--events-out") {
+        write_output(&path, &rec.events_ndjson(), "event NDJSON");
+    }
+}
+
+/// True when this invocation asked for event capture (`--trace-out` or
+/// `--events-out`): benches attach recorders to their simulations only on
+/// demand, keeping default runs on the zero-overhead path.
+pub fn events_requested() -> bool {
+    arg_value("--trace-out").is_some() || arg_value("--events-out").is_some()
+}
+
+/// Attaches `rec` to `sim` when [`events_requested`], passes it through
+/// untouched otherwise.
+pub fn maybe_record<'a>(
+    sim: ftree_sim::PacketSim<'a>,
+    rec: &Arc<Recorder>,
+) -> ftree_sim::PacketSim<'a> {
+    if events_requested() {
+        sim.with_recorder(rec.clone())
+    } else {
+        sim
+    }
+}
+
+fn write_output(path: &str, body: &str, what: &str) {
+    let p = PathBuf::from(path);
+    if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&p, body) {
+        Ok(()) => eprintln!("wrote {what} to {path}"),
+        Err(e) => eprintln!("warning: could not write {what} to {path}: {e}"),
+    }
+}
+
+/// Machine-readable result emitter: every experiment binary builds one of
+/// these alongside its text tables and [`BenchJson::write`]s it at the end.
+///
+/// Emitted schema: `{bench, topology, params, metrics, wall_ms}` — the
+/// contract checked by CI and aggregated by `run_all_experiments.sh`.
+pub struct BenchJson {
+    bench: String,
+    topology: Value,
+    params: Map<String, Value>,
+    metrics: Map<String, Value>,
+    started: Instant,
+}
+
+impl BenchJson {
+    /// Starts the wall clock for experiment `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            topology: Value::Null,
+            params: Map::new(),
+            metrics: Map::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Describes the (primary) topology under test.
+    pub fn topology(&mut self, desc: impl Into<Value>) -> &mut Self {
+        self.topology = desc.into();
+        self
+    }
+
+    /// Records one input parameter (sizes, seeds, modes).
+    pub fn param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.params.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Records one result metric.
+    pub fn metric(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.metrics.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// The JSON document (adds `wall_ms` measured since construction).
+    pub fn render(&self) -> Value {
+        serde_json::json!({
+            "bench": self.bench,
+            "topology": self.topology,
+            "params": self.params,
+            "metrics": self.metrics,
+            "wall_ms": self.started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Writes to `--json-out <path>` when given, `results/<bench>.json`
+    /// otherwise. Failures warn instead of panicking so a read-only working
+    /// directory never kills an experiment.
+    pub fn write(self) {
+        let path = arg_value("--json-out")
+            .unwrap_or_else(|| format!("results/{}.json", self.bench));
+        let body = serde_json::to_string_pretty(&self.render()).expect("bench json serializes");
+        write_output(&path, &(body + "\n"), "results JSON");
+    }
+}
+
 /// Formats a byte count as the paper's axis labels (4K, 64K, 1M).
 pub fn fmt_bytes(bytes: u64) -> String {
     if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
@@ -213,6 +358,20 @@ mod tests {
         assert!(!has_flag("--definitely-not-passed"));
         assert_eq!(arg_num("--missing", 42u32), 42);
         assert_eq!(arg_value("--missing"), None);
+    }
+
+    #[test]
+    fn bench_json_schema() {
+        let mut b = BenchJson::new("unit");
+        b.topology("fig4_pgft_16");
+        b.param("bytes", 4096);
+        b.metric("normalized_bw", 0.98);
+        let doc = b.render();
+        assert_eq!(doc["bench"], "unit");
+        assert_eq!(doc["topology"], "fig4_pgft_16");
+        assert_eq!(doc["params"]["bytes"], 4096);
+        assert_eq!(doc["metrics"]["normalized_bw"], 0.98);
+        assert!(doc["wall_ms"].as_f64().unwrap() >= 0.0);
     }
 
     #[test]

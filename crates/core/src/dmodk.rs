@@ -47,6 +47,7 @@ pub fn dmodk_down_port(topo: &Topology, level: usize, j: usize) -> u32 {
 /// additionally require the topology to satisfy the RLFT restrictions
 /// (checked by [`ftree_topology::rlft::require_rlft`]).
 pub fn route_dmodk(topo: &Topology) -> RoutingTable {
+    let _phase = ftree_obs::ObsPhase::global("core::route_dmodk");
     let mut rt = RoutingTable::empty(topo, "d-mod-k");
     let n = topo.num_hosts();
     let spec = topo.spec();

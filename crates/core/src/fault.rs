@@ -124,6 +124,7 @@ impl Reachability {
 /// Builds fault-aware D-Mod-K LFTs. Entries for unreachable destinations
 /// are left unprogrammed (tracing reports `NoRoute`, as a real SM would).
 pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable {
+    let _phase = ftree_obs::ObsPhase::global("core::route_dmodk_ft");
     failures
         .verify_for(topo)
         .expect("failure set was built for a different topology");

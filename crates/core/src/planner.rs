@@ -28,6 +28,7 @@ pub enum RoutingAlgo {
 impl RoutingAlgo {
     /// Builds the forwarding tables on `topo`.
     pub fn route(self, topo: &Topology) -> RoutingTable {
+        let _phase = ftree_obs::ObsPhase::global("core::planner_route");
         match self {
             RoutingAlgo::DModK => route_dmodk(topo),
             RoutingAlgo::Random(seed) => route_random(topo, seed),

@@ -135,6 +135,7 @@ impl SubnetManager {
     /// repairs the routing table, and reports. A sweep with no due events
     /// still produces a (cheap) health report.
     pub fn sweep(&mut self, topo: &Topology, now: u64) -> SweepReport {
+        let _phase = ftree_obs::ObsPhase::global("sm::sweep");
         self.failures
             .verify_for(topo)
             .expect("subnet manager swept with a different topology");
@@ -177,6 +178,15 @@ impl SubnetManager {
             failures_version: self.failures.version(),
             oldest_event_age: oldest.map_or(0, |o| now.saturating_sub(o)),
         };
+        if let Some(rec) = ftree_obs::global() {
+            rec.counter("sm.sweeps").inc();
+            rec.counter("sm.events_applied").add(events_applied as u64);
+            rec.counter("sm.links_changed").add(report.links_changed as u64);
+            rec.counter("sm.lft_entries_recomputed")
+                .add(entries_recomputed as u64);
+            rec.counter("sm.lft_entries_changed").add(entries_changed as u64);
+            rec.gauge("sm.failed_links").set(report.failed_links as i64);
+        }
         self.reports.push(report.clone());
         report
     }

@@ -1,0 +1,278 @@
+//! Structured observability events and the bounded flight recorder.
+//!
+//! Every event carries its **simulation** timestamp `t` (picoseconds), so a
+//! recorded stream is exactly as reproducible as the run that produced it.
+//! Wall-clock measurements (phase timers) deliberately live outside this
+//! ring — see `crate::phase`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured observability event.
+///
+/// Serialized NDJSON lines are tagged with `"ev"`, e.g.
+/// `{"ev":"packet_drop","t":1234,"ch":7,...}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum ObsEvent {
+    /// A directed channel serialized one packet: busy `[t, t + dur)`.
+    ChannelBusy {
+        /// Start of the serialization, ps.
+        t: u64,
+        /// Directed channel index.
+        ch: u32,
+        /// Serialization time, ps.
+        dur: u64,
+        /// Packet payload bytes.
+        bytes: u64,
+    },
+    /// A packet was lost (dead cable or cleared LFT entry).
+    PacketDrop {
+        /// Simulation time, ps.
+        t: u64,
+        /// Directed channel at whose far end (or head) the packet died.
+        ch: u32,
+        /// Source host of the packet's message.
+        src: u32,
+        /// Destination host.
+        dst: u32,
+        /// Per-source message index.
+        msg: u32,
+        /// Send attempt the packet belonged to (0 = first).
+        attempt: u32,
+    },
+    /// A message was delivered completely.
+    Delivery {
+        /// Simulation time, ps.
+        t: u64,
+        /// Source host.
+        src: u32,
+        /// Destination host.
+        dst: u32,
+        /// Per-source message index.
+        msg: u32,
+        /// Message payload bytes.
+        bytes: u64,
+    },
+    /// A host started retransmitting a timed-out message.
+    Retransmit {
+        /// Simulation time, ps.
+        t: u64,
+        /// The retransmitting host.
+        host: u32,
+        /// Per-source message index.
+        msg: u32,
+        /// The new attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A message was abandoned after exhausting its retransmission budget.
+    MessageLost {
+        /// Simulation time, ps.
+        t: u64,
+        /// The sending host.
+        host: u32,
+        /// Per-source message index.
+        msg: u32,
+    },
+    /// A physical cable died.
+    LinkFail {
+        /// Simulation time, ps.
+        t: u64,
+        /// Physical link index.
+        link: u32,
+    },
+    /// A physical cable came back.
+    LinkRecover {
+        /// Simulation time, ps.
+        t: u64,
+        /// Physical link index.
+        link: u32,
+    },
+    /// A subnet-manager sweep is starting.
+    SweepBegin {
+        /// Simulation time, ps.
+        t: u64,
+        /// Sweep ordinal (0 for the first sweep).
+        sweep: usize,
+    },
+    /// A subnet-manager sweep finished; `report` is the serialized
+    /// `ftree_core::SweepReport`.
+    SweepEnd {
+        /// Simulation time, ps.
+        t: u64,
+        /// The sweep's health report as JSON.
+        report: serde_json::Value,
+    },
+    /// A forwarding decision was consulted (only recorded when
+    /// [`crate::Recorder::set_route_events`] enabled it — this is the
+    /// highest-volume event kind).
+    RouteDecision {
+        /// Simulation time, ps.
+        t: u64,
+        /// Node making the decision.
+        node: u32,
+        /// Destination host.
+        dst: u32,
+        /// Chosen egress port, e.g. `"Up(3)"`.
+        port: String,
+    },
+    /// Free-form event for callers outside the fixed taxonomy.
+    Custom {
+        /// Simulation time, ps (0 when not applicable).
+        t: u64,
+        /// Event name.
+        name: String,
+        /// Arbitrary payload.
+        data: serde_json::Value,
+    },
+}
+
+impl ObsEvent {
+    /// The event's simulation timestamp.
+    pub fn time(&self) -> u64 {
+        match self {
+            ObsEvent::ChannelBusy { t, .. }
+            | ObsEvent::PacketDrop { t, .. }
+            | ObsEvent::Delivery { t, .. }
+            | ObsEvent::Retransmit { t, .. }
+            | ObsEvent::MessageLost { t, .. }
+            | ObsEvent::LinkFail { t, .. }
+            | ObsEvent::LinkRecover { t, .. }
+            | ObsEvent::SweepBegin { t, .. }
+            | ObsEvent::SweepEnd { t, .. }
+            | ObsEvent::RouteDecision { t, .. }
+            | ObsEvent::Custom { t, .. } => *t,
+        }
+    }
+}
+
+struct Ring {
+    events: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of [`ObsEvent`]s: when full, the **oldest** events
+/// are discarded (and counted), so the most recent history always survives.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// Recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&self, ev: ObsEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.ring.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Discards all retained events (the drop counter is kept).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().events.clear();
+    }
+
+    /// Renders the retained events as NDJSON: one JSON object per line,
+    /// oldest first, trailing newline after every line.
+    pub fn to_ndjson(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::new();
+        for ev in &ring.events {
+            out.push_str(&serde_json::to_string(ev).expect("ObsEvent serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(ObsEvent::LinkFail { t: i, link: 0 });
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let times: Vec<u64> = fr.events().iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ndjson_round_trips() {
+        let fr = FlightRecorder::new(16);
+        fr.record(ObsEvent::ChannelBusy { t: 1, ch: 2, dur: 3, bytes: 4 });
+        fr.record(ObsEvent::SweepEnd {
+            t: 9,
+            report: serde_json::json!({"sweep": 0, "links_changed": 1}),
+        });
+        let ndjson = fr.to_ndjson();
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: ObsEvent = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back, fr.events()[0]);
+        let back2: ObsEvent = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(back2, fr.events()[1]);
+    }
+
+    #[test]
+    fn tag_is_snake_case() {
+        let ev = ObsEvent::PacketDrop { t: 0, ch: 1, src: 2, dst: 3, msg: 4, attempt: 0 };
+        let s = serde_json::to_string(&ev).unwrap();
+        assert!(s.contains("\"ev\":\"packet_drop\""), "{s}");
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let fr = FlightRecorder::new(1);
+        fr.record(ObsEvent::LinkFail { t: 0, link: 0 });
+        fr.record(ObsEvent::LinkFail { t: 1, link: 0 });
+        assert_eq!(fr.dropped(), 1);
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 1);
+    }
+}

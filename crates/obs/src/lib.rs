@@ -1,0 +1,65 @@
+//! # ftree-obs — unified instrumentation layer
+//!
+//! Observability substrate for the whole workspace: the paper's argument is
+//! about *seeing* where flows land (per-link Hot-Spot Degree, per-stage
+//! contention, per-sweep repair cost), so every subsystem that routes or
+//! simulates traffic can record what it did through this crate.
+//!
+//! Three complementary mechanisms, all optional and all zero-overhead when
+//! no recorder is installed:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and [`Histogram`]s with
+//!   lock-free updates (registration takes a short lock once per name; every
+//!   subsequent update is a relaxed atomic). Snapshots serialize to JSON.
+//! * [`FlightRecorder`] — a bounded ring buffer of structured [`ObsEvent`]s
+//!   (channel busy spans, packet drops, deliveries, retransmissions,
+//!   link fail/recover, subnet-manager sweeps). When full, the oldest
+//!   events are discarded — like an aircraft flight recorder, the most
+//!   recent history survives. Exports as NDJSON (one JSON object per line).
+//! * [`chrome_trace`] — renders recorded events as Chrome trace-event JSON
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+//!   one track per directed channel plus control-plane (subnet manager,
+//!   faults) and per-host transport tracks.
+//!
+//! [`Recorder`] bundles all three plus [`ObsPhase`] RAII wall-clock phase
+//! timers. Producers take an `Option<Arc<Recorder>>` (explicit plumbing,
+//! used by the simulator) or consult the process-global recorder installed
+//! with [`install`] (used by phase timers inside `ftree-core`, so free
+//! functions like `route_dmodk` need no signature change).
+//!
+//! ## Overhead contract
+//!
+//! With no recorder attached and none installed globally, the only cost at
+//! an instrumentation point is a `None` check (plus one `RwLock` read for
+//! global lookups, which sit outside packet-level hot loops). Event
+//! timestamps are simulation time, so recorded streams are bit-reproducible;
+//! wall-clock enters only through phase timers, which are kept out of the
+//! event ring for exactly that reason.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ftree_obs::{ObsEvent, Recorder};
+//!
+//! let rec = Arc::new(Recorder::new());
+//! rec.counter("demo.widgets").add(3);
+//! rec.record(ObsEvent::ChannelBusy { t: 10, ch: 0, dur: 512, bytes: 2048 });
+//! assert_eq!(rec.events().len(), 1);
+//! let ndjson = rec.events_ndjson();
+//! assert!(ndjson.starts_with("{\"ev\":\"channel_busy\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod phase;
+pub mod recorder;
+pub mod trace;
+
+pub use events::{FlightRecorder, ObsEvent};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use phase::{ObsPhase, PhaseSummary};
+pub use recorder::{global, install, uninstall, Recorder};
+pub use trace::chrome_trace;

@@ -1,0 +1,310 @@
+//! Named counters, gauges and histograms with atomic updates.
+//!
+//! The [`Registry`] hands out `Arc`s to metric cells: looking a name up
+//! takes a short read lock (a write lock only the first time a name is
+//! seen); every update after that is a relaxed atomic operation on the
+//! cell itself, so hot paths can cache the `Arc` and never touch the map
+//! again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` counts values whose bit
+/// length is `i` (bucket 0 holds exactly the value 0, bucket 64 holds
+/// values `>= 2^63`).
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` values with power-of-two buckets plus
+/// exact count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the current state (buckets are read
+    /// without a global lock, so a snapshot racing a `record` may be off by
+    /// one in-flight observation — fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                // Upper bound of bucket i: largest value with bit length i.
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                buckets.push((upper, c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Serializable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty power-of-two buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A name-indexed collection of metric cells.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(cell) = map.read().unwrap().get(name) {
+        return cell.clone();
+    }
+    map.write()
+        .unwrap()
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Serializable copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable copy of a whole [`Registry`], sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(4);
+        reg.gauge("g").set(-7);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.gauge("g").get(), -7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        assert_eq!(snap.gauges["g"], -7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1005);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // 0 -> bucket 0 (upper 0); 1,1 -> bucket 1 (upper 1); 3 -> bucket 2
+        // (upper 3); 1000 -> bucket 10 (upper 1023).
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (3, 1), (1023, 1)]);
+        assert!((s.mean() - 201.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_cells_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("shared").get(), 2);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.histogram("h").record(42);
+        let json = serde_json::to_string(&reg.snapshot()).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg.snapshot());
+    }
+}

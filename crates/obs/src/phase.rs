@@ -1,0 +1,86 @@
+//! RAII wall-clock phase timers.
+//!
+//! An [`ObsPhase`] measures the wall time between its construction and its
+//! drop and folds it into the owning [`crate::Recorder`]'s per-phase
+//! aggregate. Phase durations are *wall clock* — the one non-deterministic
+//! quantity in the crate — which is why they are aggregated separately and
+//! never enter the flight-recorder event ring (whose NDJSON export must be
+//! byte-stable for reproducible runs).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::Recorder;
+
+/// RAII span: times from construction to drop, reporting into a
+/// [`Recorder`]. Constructing one against `None` costs a branch and skips
+/// even the clock read.
+#[must_use = "an ObsPhase measures until it is dropped; bind it to a variable"]
+pub struct ObsPhase {
+    rec: Option<Arc<Recorder>>,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl ObsPhase {
+    /// Starts a phase reporting into `rec` (no-op when `None`).
+    pub fn new(rec: Option<Arc<Recorder>>, name: &'static str) -> Self {
+        let start = rec.as_ref().map(|_| Instant::now());
+        Self { rec, name, start }
+    }
+
+    /// Starts a phase reporting into the process-global recorder (no-op
+    /// when none is installed — see [`crate::install`]).
+    pub fn global(name: &'static str) -> Self {
+        Self::new(crate::global(), name)
+    }
+}
+
+impl Drop for ObsPhase {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(start)) = (&self.rec, self.start) {
+            rec.record_phase(self.name, start.elapsed());
+        }
+    }
+}
+
+/// Aggregated wall time of one named phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total wall time across all spans, milliseconds.
+    pub total_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_records_into_recorder() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let _p = ObsPhase::new(Some(rec.clone()), "unit::phase");
+        }
+        {
+            let _p = ObsPhase::new(Some(rec.clone()), "unit::phase");
+        }
+        let report = rec.phase_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].name, "unit::phase");
+        assert_eq!(report[0].calls, 2);
+        assert!(report[0].total_ms >= 0.0);
+    }
+
+    #[test]
+    fn none_recorder_is_a_noop() {
+        let p = ObsPhase::new(None, "nothing");
+        assert!(p.start.is_none());
+        drop(p);
+    }
+}

@@ -1,0 +1,193 @@
+//! The [`Recorder`]: one handle bundling metrics, the flight recorder and
+//! phase aggregation, plus the optional process-global instance.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::events::{FlightRecorder, ObsEvent};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use crate::phase::{ObsPhase, PhaseSummary};
+
+/// Default flight-recorder capacity (events).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+#[derive(Default)]
+struct PhaseStat {
+    calls: u64,
+    total: Duration,
+}
+
+/// Central observability handle: a metrics [`Registry`], a bounded
+/// [`FlightRecorder`] and per-phase wall-time aggregates. Cheap to share
+/// (`Arc`), safe to use from multiple threads.
+pub struct Recorder {
+    metrics: Registry,
+    flight: FlightRecorder,
+    phases: Mutex<BTreeMap<&'static str, PhaseStat>>,
+    route_events: AtomicBool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Recorder with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            metrics: Registry::new(),
+            flight: FlightRecorder::new(capacity),
+            phases: Mutex::new(BTreeMap::new()),
+            route_events: AtomicBool::new(false),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Counter shortcut (see [`Registry::counter`]).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter(name)
+    }
+
+    /// Gauge shortcut.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.metrics.gauge(name)
+    }
+
+    /// Histogram shortcut.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.metrics.histogram(name)
+    }
+
+    /// Serializable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Appends an event to the flight recorder.
+    pub fn record(&self, ev: ObsEvent) {
+        self.flight.record(ev);
+    }
+
+    /// The underlying flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.flight.events()
+    }
+
+    /// Retained events as NDJSON (one object per line).
+    pub fn events_ndjson(&self) -> String {
+        self.flight.to_ndjson()
+    }
+
+    /// Opt into per-hop [`ObsEvent::RouteDecision`] events (very high
+    /// volume; off by default).
+    pub fn set_route_events(&self, on: bool) {
+        self.route_events.store(on, Ordering::Relaxed);
+    }
+
+    /// True when route-decision events should be emitted.
+    pub fn route_events_enabled(&self) -> bool {
+        self.route_events.load(Ordering::Relaxed)
+    }
+
+    /// Starts an RAII phase span reporting into this recorder.
+    pub fn phase(self: &Arc<Self>, name: &'static str) -> ObsPhase {
+        ObsPhase::new(Some(self.clone()), name)
+    }
+
+    /// Folds one completed span into the per-phase aggregate.
+    pub(crate) fn record_phase(&self, name: &'static str, dur: Duration) {
+        let mut phases = self.phases.lock().unwrap();
+        let stat = phases.entry(name).or_default();
+        stat.calls += 1;
+        stat.total += dur;
+    }
+
+    /// Aggregated wall time per phase, sorted by name.
+    pub fn phase_report(&self) -> Vec<PhaseSummary> {
+        self.phases
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, stat)| PhaseSummary {
+                name: (*name).to_string(),
+                calls: stat.calls,
+                total_ms: stat.total.as_secs_f64() * 1e3,
+            })
+            .collect()
+    }
+}
+
+static GLOBAL: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+
+/// Installs `rec` as the process-global recorder consulted by
+/// [`ObsPhase::global`] and the library-internal counters (subnet-manager
+/// sweeps, routing-table builds). Replaces any previous global.
+pub fn install(rec: Arc<Recorder>) {
+    *GLOBAL.write().unwrap() = Some(rec);
+}
+
+/// Removes the process-global recorder.
+pub fn uninstall() {
+    *GLOBAL.write().unwrap() = None;
+}
+
+/// The process-global recorder, if one is installed.
+pub fn global() -> Option<Arc<Recorder>> {
+    GLOBAL.read().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_bundles_everything() {
+        let rec = Arc::new(Recorder::with_capacity(4));
+        rec.counter("c").inc();
+        rec.record(ObsEvent::LinkFail { t: 0, link: 1 });
+        {
+            let _p = rec.phase("test::bundle");
+        }
+        assert_eq!(rec.events().len(), 1);
+        assert_eq!(rec.snapshot().counters["c"], 1);
+        assert_eq!(rec.phase_report()[0].calls, 1);
+        assert!(!rec.route_events_enabled());
+        rec.set_route_events(true);
+        assert!(rec.route_events_enabled());
+    }
+
+    #[test]
+    fn global_install_and_uninstall() {
+        // Note: the global is process-wide; this test is self-contained
+        // because it only checks its own install/uninstall transitions.
+        let rec = Arc::new(Recorder::new());
+        install(rec.clone());
+        assert!(global().is_some());
+        {
+            let _p = ObsPhase::global("test::global_phase");
+        }
+        assert!(rec
+            .phase_report()
+            .iter()
+            .any(|p| p.name == "test::global_phase"));
+        uninstall();
+    }
+}

@@ -1,0 +1,294 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a recorded [`ObsEvent`] stream in the [Trace Event Format]
+//! understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//!
+//! * **pid 1 "fabric"** — one track (tid = channel index) per directed
+//!   channel that ever transmitted: packet serializations as complete
+//!   (`"X"`) spans, drops as instant markers on the channel they died at,
+//! * **pid 2 "control plane"** — the subnet-manager track (sweeps rendered
+//!   as spans covering the event-to-sweep repair lag, with the full
+//!   `SweepReport` in `args`) and the fault track (link fail/recover
+//!   instants),
+//! * **pid 3 "hosts"** — per-host transport instants: message deliveries,
+//!   retransmissions, abandoned messages.
+//!
+//! Timestamps convert from the simulator's picoseconds to the format's
+//! microseconds, so a 50 µs blackhole window reads as 50 µs on screen.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeSet;
+
+use serde_json::{json, Value};
+
+use crate::events::ObsEvent;
+
+const FABRIC_PID: u64 = 1;
+const CONTROL_PID: u64 = 2;
+const HOST_PID: u64 = 3;
+
+/// Subnet-manager track within the control-plane process.
+const SM_TID: u64 = 0;
+/// Fault (link event) track within the control-plane process.
+const FAULT_TID: u64 = 1;
+
+/// Picoseconds → trace microseconds.
+fn us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// Builds a Chrome trace-event JSON document from recorded events.
+///
+/// `channel_label` and `link_label` provide human-readable names (e.g. from
+/// `ftree_topology::Topology::channel_label`); pass something like
+/// `|ch| format!("ch{ch}")` when no topology is at hand.
+pub fn chrome_trace<F, G>(events: &[ObsEvent], channel_label: F, link_label: G) -> Value
+where
+    F: Fn(u32) -> String,
+    G: Fn(u32) -> String,
+{
+    let mut out: Vec<Value> = Vec::new();
+    let mut channels_seen: BTreeSet<u32> = BTreeSet::new();
+    let mut hosts_seen: BTreeSet<u32> = BTreeSet::new();
+    let mut control_seen = false;
+
+    for ev in events {
+        match ev {
+            ObsEvent::ChannelBusy { t, ch, dur, bytes } => {
+                channels_seen.insert(*ch);
+                out.push(json!({
+                    "name": format!("{bytes} B"),
+                    "cat": "channel",
+                    "ph": "X",
+                    "ts": us(*t),
+                    "dur": us(*dur),
+                    "pid": FABRIC_PID,
+                    "tid": ch,
+                    "args": {"bytes": bytes},
+                }));
+            }
+            ObsEvent::PacketDrop { t, ch, src, dst, msg, attempt } => {
+                channels_seen.insert(*ch);
+                out.push(json!({
+                    "name": "drop",
+                    "cat": "loss",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(*t),
+                    "pid": FABRIC_PID,
+                    "tid": ch,
+                    "args": {"src": src, "dst": dst, "msg": msg, "attempt": attempt},
+                }));
+            }
+            ObsEvent::Delivery { t, src, dst, msg, bytes } => {
+                hosts_seen.insert(*src);
+                out.push(json!({
+                    "name": format!("deliver msg {msg}"),
+                    "cat": "transport",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(*t),
+                    "pid": HOST_PID,
+                    "tid": src,
+                    "args": {"dst": dst, "bytes": bytes},
+                }));
+            }
+            ObsEvent::Retransmit { t, host, msg, attempt } => {
+                hosts_seen.insert(*host);
+                out.push(json!({
+                    "name": format!("retransmit msg {msg}"),
+                    "cat": "transport",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(*t),
+                    "pid": HOST_PID,
+                    "tid": host,
+                    "args": {"attempt": attempt},
+                }));
+            }
+            ObsEvent::MessageLost { t, host, msg } => {
+                hosts_seen.insert(*host);
+                out.push(json!({
+                    "name": format!("LOST msg {msg}"),
+                    "cat": "transport",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(*t),
+                    "pid": HOST_PID,
+                    "tid": host,
+                }));
+            }
+            ObsEvent::LinkFail { t, link } => {
+                control_seen = true;
+                out.push(json!({
+                    "name": format!("FAIL {}", link_label(*link)),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us(*t),
+                    "pid": CONTROL_PID,
+                    "tid": FAULT_TID,
+                    "args": {"link": link},
+                }));
+            }
+            ObsEvent::LinkRecover { t, link } => {
+                control_seen = true;
+                out.push(json!({
+                    "name": format!("RECOVER {}", link_label(*link)),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us(*t),
+                    "pid": CONTROL_PID,
+                    "tid": FAULT_TID,
+                    "args": {"link": link},
+                }));
+            }
+            ObsEvent::SweepBegin { .. } => {
+                // Rendered from the matching SweepEnd (which carries the
+                // report, including the repair lag).
+            }
+            ObsEvent::SweepEnd { t, report } => {
+                control_seen = true;
+                let sweep = report.get("sweep").and_then(Value::as_u64).unwrap_or(0);
+                // The sweep repairs everything that happened since the
+                // oldest unapplied event: draw that whole repair window.
+                let age = report
+                    .get("oldest_event_age")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                out.push(json!({
+                    "name": format!("sweep {sweep}"),
+                    "cat": "sm",
+                    "ph": "X",
+                    "ts": us(t.saturating_sub(age)),
+                    "dur": us(age.max(1)),
+                    "pid": CONTROL_PID,
+                    "tid": SM_TID,
+                    "args": {"report": report},
+                }));
+            }
+            ObsEvent::RouteDecision { t, node, dst, port } => {
+                control_seen = true;
+                out.push(json!({
+                    "name": format!("route n{node} -> h{dst} via {port}"),
+                    "cat": "routing",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(*t),
+                    "pid": CONTROL_PID,
+                    "tid": SM_TID,
+                }));
+            }
+            ObsEvent::Custom { t, name, data } => {
+                control_seen = true;
+                out.push(json!({
+                    "name": name,
+                    "cat": "custom",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us(*t),
+                    "pid": CONTROL_PID,
+                    "tid": FAULT_TID,
+                    "args": {"data": data},
+                }));
+            }
+        }
+    }
+
+    // Metadata: process and thread names for every track actually used.
+    let mut meta: Vec<Value> = Vec::new();
+    let process_name = |pid: u64, name: &str| {
+        json!({"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}})
+    };
+    let thread_name = |pid: u64, tid: u64, name: String| {
+        json!({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}})
+    };
+    if !channels_seen.is_empty() {
+        meta.push(process_name(FABRIC_PID, "fabric channels"));
+        for &ch in &channels_seen {
+            meta.push(thread_name(FABRIC_PID, ch as u64, channel_label(ch)));
+        }
+    }
+    if control_seen {
+        meta.push(process_name(CONTROL_PID, "control plane"));
+        meta.push(thread_name(CONTROL_PID, SM_TID, "subnet manager".to_string()));
+        meta.push(thread_name(CONTROL_PID, FAULT_TID, "faults".to_string()));
+    }
+    if !hosts_seen.is_empty() {
+        meta.push(process_name(HOST_PID, "hosts"));
+        for &h in &hosts_seen {
+            meta.push(thread_name(HOST_PID, h as u64, format!("host {h}")));
+        }
+    }
+    meta.extend(out);
+
+    json!({
+        "traceEvents": meta,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "ftree-obs"},
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(prefix: &'static str) -> impl Fn(u32) -> String {
+        move |i| format!("{prefix}{i}")
+    }
+
+    #[test]
+    fn trace_has_spans_instants_and_metadata() {
+        let events = vec![
+            ObsEvent::ChannelBusy { t: 1_000_000, ch: 4, dur: 500_000, bytes: 2048 },
+            ObsEvent::PacketDrop { t: 2_000_000, ch: 4, src: 0, dst: 9, msg: 0, attempt: 0 },
+            ObsEvent::LinkFail { t: 2_000_000, link: 2 },
+            ObsEvent::SweepEnd {
+                t: 7_000_000,
+                report: serde_json::json!({"sweep": 0, "oldest_event_age": 5_000_000u64}),
+            },
+            ObsEvent::Delivery { t: 8_000_000, src: 0, dst: 9, msg: 1, bytes: 4096 },
+        ];
+        let trace = chrome_trace(&events, label("ch"), label("link"));
+        let evs = trace["traceEvents"].as_array().unwrap();
+        // 5 renderable events + metadata (2 process names for fabric/control
+        // + 1 host process + channel/sm/fault/host thread names).
+        assert!(evs.len() > 5);
+        let span = evs
+            .iter()
+            .find(|e| e["ph"] == "X" && e["cat"] == "channel")
+            .expect("channel span present");
+        assert_eq!(span["ts"].as_f64().unwrap(), 1.0);
+        assert_eq!(span["dur"].as_f64().unwrap(), 0.5);
+        let sweep = evs
+            .iter()
+            .find(|e| e["cat"] == "sm")
+            .expect("sweep span present");
+        // Repair window: [7us - 5us, 7us].
+        assert_eq!(sweep["ts"].as_f64().unwrap(), 2.0);
+        assert_eq!(sweep["dur"].as_f64().unwrap(), 5.0);
+        assert!(evs.iter().any(|e| e["ph"] == "M"
+            && e["args"]["name"] == "ch4"));
+        assert!(evs.iter().any(|e| e["ph"] == "i" && e["cat"] == "fault"));
+    }
+
+    #[test]
+    fn sweep_begin_is_folded_into_end() {
+        let events = vec![
+            ObsEvent::SweepBegin { t: 5, sweep: 0 },
+            ObsEvent::SweepEnd { t: 5, report: serde_json::json!({"sweep": 0}) },
+        ];
+        let trace = chrome_trace(&events, label("ch"), label("l"));
+        let evs = trace["traceEvents"].as_array().unwrap();
+        assert_eq!(evs.iter().filter(|e| e["cat"] == "sm").count(), 1);
+    }
+
+    #[test]
+    fn empty_events_give_empty_trace() {
+        let trace = chrome_trace(&[], label("c"), label("l"));
+        assert_eq!(trace["traceEvents"].as_array().unwrap().len(), 0);
+        assert_eq!(trace["displayTimeUnit"], "ms");
+    }
+}

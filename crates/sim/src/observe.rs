@@ -1,0 +1,53 @@
+//! Topology-aware views of recorded simulation runs.
+//!
+//! [`ftree_obs::chrome_trace`] is topology-agnostic: it takes label
+//! closures. This module binds those closures to a [`Topology`] so traces
+//! come out with real fabric names (`H0003 -> S1[0,1] (up p2)`) on every
+//! channel track.
+
+use ftree_obs::Recorder;
+use ftree_topology::{ChannelId, Topology};
+
+/// Renders everything `rec` captured as a Chrome trace-event JSON document
+/// (loadable in `chrome://tracing` or <https://ui.perfetto.dev>), labelling
+/// channel and fault tracks with `topo`'s node names.
+pub fn export_chrome_trace(topo: &Topology, rec: &Recorder) -> serde_json::Value {
+    let events = rec.events();
+    ftree_obs::chrome_trace(
+        &events,
+        |ch| topo.channel_label(ChannelId(ch)),
+        |link| topo.link_label(link),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::packet::PacketSim;
+    use crate::traffic::{Progression, TrafficPlan};
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_labels_use_fabric_names() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let plan = TrafficPlan::uniform(
+            vec![vec![(0, 9)]],
+            4096,
+            Progression::Asynchronous,
+        );
+        let rec = Arc::new(Recorder::new());
+        let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+            .with_recorder(rec.clone())
+            .run();
+        assert_eq!(r.messages_delivered, 1);
+        assert!(!rec.events().is_empty(), "channel activity was recorded");
+        let trace = export_chrome_trace(&topo, &rec);
+        let rendered = trace.to_string();
+        assert!(rendered.contains("H0000 ->"), "host 0's up channel is named");
+        assert!(rendered.contains("traceEvents"));
+    }
+}

@@ -31,8 +31,10 @@
 //! bit-identical to the pre-lifecycle simulator.
 
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use ftree_core::{SubnetManager, SweepReport};
+use ftree_obs::{ObsEvent, Recorder};
 use ftree_topology::{LinkEventKind, LinkFailures, NodeId, RoutingTable, Topology, TopologyError};
 
 use crate::config::{SimConfig, SwitchModel, Time};
@@ -87,11 +89,13 @@ impl SimResult {
     /// ~1.0 means the busiest host streamed at line rate with no
     /// contention stalls.
     pub fn efficiency(&self) -> f64 {
-        if self.makespan == 0 {
+        if self.makespan == 0 || self.host_bw_mbps == 0 {
             return 0.0;
         }
-        let ideal = self.max_host_bytes * 1_000_000 / self.host_bw_mbps;
-        ideal as f64 / self.makespan as f64
+        // Computed in f64: the integer form truncated `bytes * 1e6 / mbps`
+        // to 0 whenever `bytes * 1e6 < mbps` (e.g. tiny latency probes).
+        let ideal = self.max_host_bytes as f64 * 1_000_000.0 / self.host_bw_mbps as f64;
+        ideal / self.makespan as f64
     }
 
     /// Fraction of the run a channel spent transmitting.
@@ -226,6 +230,9 @@ pub struct PacketSim<'a> {
     phys_cursor: usize,
     /// Per-host, per-message delivery state (lifecycle runs only).
     msg_state: Vec<Vec<MsgState>>,
+    /// Observability sink (`None` = zero-overhead run; see
+    /// [`PacketSim::with_recorder`]).
+    recorder: Option<Arc<Recorder>>,
     cfg: SimConfig,
     channels: Vec<ChannelState>,
     packets: Vec<Packet>,
@@ -332,6 +339,7 @@ impl<'a> PacketSim<'a> {
             phys: LinkFailures::none(topo),
             phys_cursor: 0,
             msg_state,
+            recorder: None,
             cfg,
             channels: (0..topo.num_channels())
                 .map(|_| ChannelState::default())
@@ -360,6 +368,17 @@ impl<'a> PacketSim<'a> {
             messages_lost: 0,
             duplicate_payload: 0,
         })
+    }
+
+    /// Attaches an observability recorder: structured events (channel
+    /// activity, drops, deliveries, fabric faults, SM sweeps) flow into its
+    /// flight recorder and run totals into its metrics registry. Event
+    /// timestamps are simulation time, so recorded streams are exactly as
+    /// reproducible as the run itself; the simulated outcome is bit-identical
+    /// with or without a recorder.
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The routing table in force right now (the SM's live table in
@@ -527,6 +546,9 @@ impl<'a> PacketSim<'a> {
         // Injection serializes at the PCIe-bound host bandwidth.
         let serialize = self.cfg.host_bw.transfer_time(size);
         let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+        }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
         if self.channel_buffer_capacity(e) != usize::MAX {
@@ -563,6 +585,9 @@ impl<'a> PacketSim<'a> {
         let size = self.packets[pkt_id as usize].size;
         let serialize = self.cfg.link_bw.transfer_time(size);
         let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+        }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
         if self.channel_buffer_capacity(e) != usize::MAX {
@@ -584,6 +609,9 @@ impl<'a> PacketSim<'a> {
         let size = self.packets[pkt_id as usize].size;
         let serialize = self.cfg.link_bw.transfer_time(size);
         let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+        }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
         if self.channel_buffer_capacity(e) != usize::MAX {
@@ -602,6 +630,16 @@ impl<'a> PacketSim<'a> {
     fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> Option<u32> {
         let dst = self.packets[pkt_id as usize].dst;
         let port = self.route().egress(here, dst as usize)?;
+        if let Some(rec) = &self.recorder {
+            if rec.route_events_enabled() {
+                rec.record(ObsEvent::RouteDecision {
+                    t: self.now,
+                    node: here.0,
+                    dst,
+                    port: format!("{port:?}"),
+                });
+            }
+        }
         Some(self.topo.egress_channel(here, port).0)
     }
 
@@ -632,6 +670,17 @@ impl<'a> PacketSim<'a> {
                     );
                     self.channels[i as usize].buffer.pop_front();
                     self.packets_dropped += 1;
+                    if let Some(rec) = &self.recorder {
+                        let p = self.packets[pkt_id as usize];
+                        rec.record(ObsEvent::PacketDrop {
+                            t: self.now,
+                            ch: i,
+                            src: p.src_host,
+                            dst: p.dst,
+                            msg: p.msg,
+                            attempt: p.attempt,
+                        });
+                    }
                     self.release_packet(pkt_id);
                     self.try_grant(i);
                 }
@@ -644,6 +693,17 @@ impl<'a> PacketSim<'a> {
     /// that credit.
     fn drop_packet(&mut self, pkt_id: u32, ch: u32) {
         self.packets_dropped += 1;
+        if let Some(rec) = &self.recorder {
+            let p = self.packets[pkt_id as usize];
+            rec.record(ObsEvent::PacketDrop {
+                t: self.now,
+                ch,
+                src: p.src_host,
+                dst: p.dst,
+                msg: p.msg,
+                attempt: p.attempt,
+            });
+        }
         self.release_packet(pkt_id);
         let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
         if !self.topo.node(target).is_host() {
@@ -675,6 +735,15 @@ impl<'a> PacketSim<'a> {
         self.total_payload += bytes;
         self.delivered += 1;
         self.last_delivery = self.now;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Delivery {
+                t: self.now,
+                src: pkt.src_host,
+                dst: pkt.dst,
+                msg: pkt.msg,
+                bytes,
+            });
+        }
         let start = self.msg_start[src][msg];
         let lat = self.now - start;
         self.latency_sum += lat as u128;
@@ -704,6 +773,16 @@ impl<'a> PacketSim<'a> {
                 if pkt.is_last {
                     self.delivered += 1;
                     self.last_delivery = self.now;
+                    if let Some(rec) = &self.recorder {
+                        let bytes = self.hosts[pkt.src_host as usize].schedule[pkt.msg as usize].1;
+                        rec.record(ObsEvent::Delivery {
+                            t: self.now,
+                            src: pkt.src_host,
+                            dst: pkt.dst,
+                            msg: pkt.msg,
+                            bytes,
+                        });
+                    }
                     let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
                     let lat = self.now - start;
                     self.latency_sum += lat as u128;
@@ -796,18 +875,43 @@ impl<'a> PacketSim<'a> {
                 return;
             }
             self.phys_cursor += 1;
-            let _ = match ev.kind {
+            let effective = match ev.kind {
                 LinkEventKind::Fail => self.phys.fail(ev.link),
                 LinkEventKind::Recover => self.phys.recover(ev.link),
-            };
+            }
+            .unwrap_or(false);
+            if effective {
+                if let Some(rec) = &self.recorder {
+                    rec.record(match ev.kind {
+                        LinkEventKind::Fail => ObsEvent::LinkFail { t: self.now, link: ev.link },
+                        LinkEventKind::Recover => {
+                            ObsEvent::LinkRecover { t: self.now, link: ev.link }
+                        }
+                    });
+                }
+            }
         }
     }
 
     /// Subnet-manager sweep: repair the routing table, then re-kick every
     /// idle host (routes that were missing may exist again).
     fn handle_sm_sweep(&mut self) {
-        if let Some(sm) = self.sm.as_mut() {
-            sm.sweep(self.topo, self.now);
+        if self.sm.is_some() {
+            if let Some(rec) = &self.recorder {
+                let sweep = self.sm.as_ref().expect("checked above").reports().len();
+                rec.record(ObsEvent::SweepBegin { t: self.now, sweep });
+            }
+            let report = self
+                .sm
+                .as_mut()
+                .expect("checked above")
+                .sweep(self.topo, self.now);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::SweepEnd {
+                    t: self.now,
+                    report: serde_json::to_value(&report).expect("SweepReport serializes"),
+                });
+            }
         }
         for h in 0..self.hosts.len() as u32 {
             self.host_request(h);
@@ -830,6 +934,9 @@ impl<'a> PacketSim<'a> {
             // and release the stage barrier in sync mode.
             st.delivered = true;
             self.messages_lost += 1;
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::MessageLost { t: self.now, host, msg });
+            }
             if self.mode == Progression::Synchronized {
                 self.stage_remaining -= 1;
                 if self.stage_remaining == 0 {
@@ -840,13 +947,21 @@ impl<'a> PacketSim<'a> {
         }
         st.attempt += 1;
         st.rx_pkts = 0;
+        let attempt = st.attempt;
         self.retransmits += 1;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Retransmit { t: self.now, host, msg, attempt });
+        }
         self.hosts[host as usize].retx.push_back(msg);
         self.host_request(host);
     }
 
     /// Runs to completion and returns the metrics.
     pub fn run(mut self) -> SimResult {
+        let _phase = ftree_obs::ObsPhase::new(
+            self.recorder.clone().or_else(ftree_obs::global),
+            "sim::packet_run",
+        );
         // Script the fabric lifecycle: physical link changes at each event
         // time, an SM sweep one `sweep_delay` later. Scheduled before any
         // traffic so same-instant fabric events order ahead of arrivals.
@@ -924,6 +1039,21 @@ impl<'a> PacketSim<'a> {
             let agg_mbps = self.total_payload as f64 / makespan as f64 * 1_000_000.0;
             agg_mbps / (n_active as f64 * self.cfg.host_bw.mbps as f64)
         };
+        if let Some(rec) = &self.recorder {
+            rec.counter("sim.messages_delivered").add(self.delivered);
+            rec.counter("sim.packets_dropped").add(self.packets_dropped);
+            rec.counter("sim.retransmits").add(self.retransmits);
+            rec.counter("sim.messages_lost").add(self.messages_lost);
+            rec.counter("sim.events").add(self.events_processed);
+            rec.counter("sim.payload_bytes").add(self.total_payload);
+            rec.gauge("sim.makespan_ps").set(makespan as i64);
+            let busy = rec.histogram("sim.channel_busy_ps");
+            for &b in &self.channel_busy {
+                if b > 0 {
+                    busy.record(b);
+                }
+            }
+        }
         SimResult {
             makespan,
             total_payload: self.total_payload,

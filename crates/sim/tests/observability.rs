@@ -1,0 +1,229 @@
+//! Observability contract tests: the flight recorder's NDJSON export is
+//! byte-stable across runs (and against a checked-in golden file), the
+//! Chrome trace round-trips through serde_json, and — the core overhead
+//! contract — attaching a recorder never perturbs simulation results.
+
+use std::sync::Arc;
+
+use ftree_core::route_dmodk;
+use ftree_obs::Recorder;
+use ftree_sim::{
+    export_chrome_trace, FabricLifecycle, PacketSim, Progression, SimConfig, SimResult,
+    TrafficPlan, MICROSECOND,
+};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind, Topology};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/lifecycle_16.ndjson"
+);
+
+/// One full-permutation shift stage in port space: `i -> (i + s) % n`.
+fn shift_stage(n: u32, s: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i, (i + s) % n)).collect()
+}
+
+fn scenario_topo() -> Topology {
+    Topology::build(catalog::fig4_pgft_16())
+}
+
+fn scenario_plan(n: u32) -> TrafficPlan {
+    TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 5), shift_stage(n, 9)],
+        16_384,
+        Progression::Asynchronous,
+    )
+}
+
+/// The leaf-to-spine cable on host 0's route to host 9 (crosses a spine).
+fn victim_link(topo: &Topology) -> u32 {
+    let rt = route_dmodk(topo);
+    rt.trace(topo, 0, 9).unwrap().channels[1].link()
+}
+
+fn scenario_lifecycle(topo: &Topology) -> FabricLifecycle {
+    let link = victim_link(topo);
+    let mut lc = FabricLifecycle::new(FaultSchedule::new(vec![
+        LinkEvent {
+            time: 10 * MICROSECOND,
+            link,
+            kind: LinkEventKind::Fail,
+        },
+        LinkEvent {
+            time: 60 * MICROSECOND,
+            link,
+            kind: LinkEventKind::Recover,
+        },
+    ]));
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 30 * MICROSECOND;
+    lc
+}
+
+/// Runs the fixed 16-host fail/recover scenario, optionally recorded.
+fn run_scenario(topo: &Topology, rec: Option<&Arc<Recorder>>) -> SimResult {
+    let plan = scenario_plan(topo.num_hosts() as u32);
+    let mut sim =
+        PacketSim::with_lifecycle(topo, SimConfig::default(), &plan, scenario_lifecycle(topo))
+            .unwrap();
+    if let Some(rec) = rec {
+        sim = sim.with_recorder(rec.clone());
+    }
+    sim.run()
+}
+
+/// The flight-recorder NDJSON is a pure function of the (deterministic)
+/// simulation: two runs produce identical bytes, and those bytes match the
+/// checked-in golden file. If the golden file is absent it is blessed from
+/// the current run (first execution on a fresh checkout).
+#[test]
+fn ndjson_export_is_byte_stable() {
+    let topo = scenario_topo();
+
+    let rec_a = Arc::new(Recorder::new());
+    let res = run_scenario(&topo, Some(&rec_a));
+    assert!(res.packets_dropped > 0, "the blackhole window must bite");
+    assert_eq!(res.messages_lost, 0);
+    let ndjson_a = rec_a.events_ndjson();
+
+    let rec_b = Arc::new(Recorder::new());
+    run_scenario(&topo, Some(&rec_b));
+    let ndjson_b = rec_b.events_ndjson();
+
+    assert!(!ndjson_a.is_empty(), "scenario must produce events");
+    assert_eq!(ndjson_a, ndjson_b, "NDJSON export must be deterministic");
+
+    // Every line parses back to a tagged event object.
+    for line in ndjson_a.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        assert!(v.get("ev").is_some(), "line missing event tag: {line}");
+    }
+
+    match std::fs::read_to_string(GOLDEN) {
+        Ok(golden) => assert_eq!(
+            ndjson_a, golden,
+            "NDJSON diverged from the golden file; if the change is \
+             intentional, delete {GOLDEN} and re-run to re-bless"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap()).unwrap();
+            std::fs::write(GOLDEN, &ndjson_a).unwrap();
+        }
+    }
+}
+
+/// The Chrome trace document survives a serialize → parse round trip and
+/// contains the expected track structure.
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let topo = scenario_topo();
+    let rec = Arc::new(Recorder::new());
+    run_scenario(&topo, Some(&rec));
+
+    let trace = export_chrome_trace(&topo, &rec);
+    let text = serde_json::to_string_pretty(&trace).unwrap();
+    let reparsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(trace, reparsed, "trace must round-trip losslessly");
+
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev.get("ph").is_some(), "trace event missing phase: {ev}");
+        assert!(ev.get("pid").is_some(), "trace event missing pid: {ev}");
+    }
+    // The fail/recover scenario must surface control-plane instants and at
+    // least one named fabric channel track.
+    assert!(
+        events.iter().any(|e| e["ph"] == "i"),
+        "expected instant events for link fail/recover"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e["ph"] == "M" && e["name"] == "thread_name"),
+        "expected thread_name metadata for channel tracks"
+    );
+}
+
+/// The overhead contract: a recorder observes, never steers. Lifecycle and
+/// static runs must be bit-identical with and without one attached.
+#[test]
+fn recorder_does_not_perturb_results() {
+    let topo = scenario_topo();
+
+    let bare = run_scenario(&topo, None);
+    let rec = Arc::new(Recorder::new());
+    let recorded = run_scenario(&topo, Some(&rec));
+    assert_same_result(&bare, &recorded);
+
+    // Static (no lifecycle) runs as well.
+    let rt = route_dmodk(&topo);
+    let plan = scenario_plan(topo.num_hosts() as u32);
+    let bare = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let rec = Arc::new(Recorder::new());
+    let recorded = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .with_recorder(rec.clone())
+        .run();
+    assert_same_result(&bare, &recorded);
+    assert!(rec.events().len() as u64 >= recorded.messages_delivered);
+}
+
+fn assert_same_result(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_payload, b.total_payload);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.normalized_bw.to_bits(), b.normalized_bw.to_bits());
+    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
+    assert_eq!(a.max_latency, b.max_latency);
+    assert_eq!(a.max_host_bytes, b.max_host_bytes);
+    assert_eq!(a.host_bw_mbps, b.host_bw_mbps);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.channel_busy, b.channel_busy);
+    assert_eq!(a.packets_dropped, b.packets_dropped);
+    assert_eq!(a.retransmits, b.retransmits);
+    assert_eq!(a.messages_lost, b.messages_lost);
+    assert_eq!(a.duplicate_payload, b.duplicate_payload);
+    assert_eq!(
+        serde_json::to_value(&a.sweep_reports).unwrap(),
+        serde_json::to_value(&b.sweep_reports).unwrap()
+    );
+}
+
+/// `efficiency()` is computed in f64. The old integer form truncated
+/// `max_host_bytes * 1e6 / host_bw_mbps` to zero whenever the numerator was
+/// below the (huge) host bandwidth — every sub-4MB probe reported 0.0.
+#[test]
+fn efficiency_survives_tiny_messages() {
+    let r = SimResult {
+        makespan: 1,
+        total_payload: 3,
+        messages_delivered: 1,
+        normalized_bw: 0.0,
+        mean_latency: 0.0,
+        max_latency: 1,
+        max_host_bytes: 3,
+        host_bw_mbps: 4_000_000,
+        events: 0,
+        channel_busy: Vec::new(),
+        packets_dropped: 0,
+        retransmits: 0,
+        messages_lost: 0,
+        duplicate_payload: 0,
+        sweep_reports: Vec::new(),
+    };
+    // ideal = 3 * 1e6 / 4e6 = 0.75 ps; integer division gave 0.
+    assert!((r.efficiency() - 0.75).abs() < 1e-12);
+
+    // End to end: a single 64-byte message must report nonzero efficiency.
+    let topo = scenario_topo();
+    let rt = route_dmodk(&topo);
+    let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 64, Progression::Asynchronous);
+    let res = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    assert_eq!(res.messages_delivered, 1);
+    assert!(
+        res.efficiency() > 0.0,
+        "64-byte message must not truncate to zero efficiency"
+    );
+    assert!(res.efficiency() <= 1.0 + 1e-9);
+}

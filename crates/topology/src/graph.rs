@@ -416,6 +416,38 @@ impl Topology {
             format!("S{}[{}]", n.level, digits.join(","))
         }
     }
+
+    /// Human-readable physical-link name, e.g. `H0003 = S1[0,1] (p2)`:
+    /// child, parent and the child-side port the cable plugs into.
+    pub fn link_label(&self, link: u32) -> String {
+        let l = self.link(link);
+        format!(
+            "{} = {} (p{})",
+            self.node_name(l.child),
+            self.node_name(l.parent),
+            l.child_port
+        )
+    }
+
+    /// Human-readable directed-channel name, e.g. `H0003 -> S1[0,1]` for the
+    /// up channel of a link or `S1[0,1] -> H0003` for the down channel.
+    pub fn channel_label(&self, ch: ChannelId) -> String {
+        let l = self.link(ch.link());
+        match ch.direction() {
+            Direction::Up => format!(
+                "{} -> {} (up p{})",
+                self.node_name(l.child),
+                self.node_name(l.parent),
+                l.child_port
+            ),
+            Direction::Down => format!(
+                "{} -> {} (down p{})",
+                self.node_name(l.parent),
+                self.node_name(l.child),
+                l.parent_port
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -530,5 +562,20 @@ mod tests {
         assert_eq!(t.node_name(t.host(7)), "H0007");
         let s = t.node_at(2, 1).unwrap();
         assert!(t.node_name(s).starts_with("S2["));
+    }
+
+    #[test]
+    fn channel_and_link_labels() {
+        let t = tiny();
+        // Link 0 attaches host 0 to its leaf switch.
+        let up = t.channel(0, Direction::Up);
+        let down = t.channel(0, Direction::Down);
+        let up_label = t.channel_label(up);
+        let down_label = t.channel_label(down);
+        assert!(up_label.starts_with("H0000 -> S1["), "{up_label}");
+        assert!(up_label.contains("(up p"), "{up_label}");
+        assert!(down_label.contains("-> H0000"), "{down_label}");
+        assert!(down_label.contains("(down p"), "{down_label}");
+        assert!(t.link_label(0).starts_with("H0000 = S1["));
     }
 }

@@ -3,6 +3,10 @@
 # experiments, teeing each run into results/. Pass --csv to emit
 # machine-readable tables; pass --full to the fig2 line manually for the
 # 1944-node configuration.
+#
+# Every binary also writes a machine-readable results/<name>.json
+# (schema: {bench, topology, params, metrics, wall_ms}); this script
+# folds them into results/BENCH_summary.json at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,10 +14,12 @@ mkdir -p results
 cargo build --release -p ftree-bench
 
 EXTRA_ARGS=("$@")
+BENCHES=()
 run() {
     local name=$1
     echo "== $name =="
     "./target/release/$name" "${EXTRA_ARGS[@]}" 2>/dev/null | tee "results/$name.txt"
+    BENCHES+=("$name")
     echo
 }
 
@@ -31,5 +37,30 @@ run ablations
 run failures
 run jitter
 run collective_time
+
+# Aggregate the per-bench JSON results into one summary document.
+summary=results/BENCH_summary.json
+json_files=()
+for name in "${BENCHES[@]}"; do
+    [[ -f "results/$name.json" ]] && json_files+=("results/$name.json")
+done
+if ((${#json_files[@]})); then
+    if command -v jq >/dev/null 2>&1; then
+        jq -s '{generated_by: "run_all_experiments.sh", benches: .}' \
+            "${json_files[@]}" > "$summary"
+    else
+        {
+            printf '{"generated_by": "run_all_experiments.sh", "benches": [\n'
+            sep=""
+            for f in "${json_files[@]}"; do
+                printf '%s' "$sep"
+                cat "$f"
+                sep=$',\n'
+            done
+            printf '\n]}\n'
+        } > "$summary"
+    fi
+    echo "bench summary written to $summary (${#json_files[@]} benches)"
+fi
 
 echo "all experiment outputs written to results/"

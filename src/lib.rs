@@ -8,10 +8,12 @@
 //! - [`analysis`] — hot-spot-degree analytic model ([`ftree_analysis`])
 //! - [`sim`] — packet-level and fluid network simulators ([`ftree_sim`])
 //! - [`mpi`] — executable MPI collective algorithms ([`ftree_mpi`])
+//! - [`obs`] — metrics, flight recorder, Chrome trace export ([`ftree_obs`])
 
 pub use ftree_analysis as analysis;
 pub use ftree_collectives as collectives;
 pub use ftree_core as core;
 pub use ftree_mpi as mpi;
+pub use ftree_obs as obs;
 pub use ftree_sim as sim;
 pub use ftree_topology as topology;

@@ -1,0 +1,491 @@
+//! All-pairs route cache (path arena) and reusable stage scratch.
+//!
+//! Routes are a pure function of `(topology, routing table)` — they do not
+//! change between stages of a collective or between seeds of a sweep. The
+//! trace-per-flow engine nevertheless re-walked the LFTs and allocated two
+//! `Vec`s for every flow of every stage. [`PathArena`] traces every
+//! `(src, dst)` pair exactly once, in parallel, into one flat CSR buffer
+//! (a `Vec<u32>` of channel ids plus an offsets table) that is then shared
+//! immutably by every stage, seed and thread.
+//!
+//! Arena memory is `num_hosts² × mean_hops × 4` bytes, which for very large
+//! fabrics can exceed what a caller wants to pin. [`RouteCache`] therefore
+//! gates construction on a sampled size estimate: below the budget it holds
+//! a [`PathArena`]; above it, it transparently falls back to on-demand
+//! allocation-free tracing ([`RoutingTable::walk`]) with identical results.
+//!
+//! [`StageScratch`] is the per-worker accumulation buffer: a full-size
+//! per-channel count vector plus the list of channels actually touched, so
+//! resetting between stages clears only the touched entries instead of
+//! zeroing `num_channels` slots.
+
+use ftree_topology::{RouteError, RoutingTable, Topology};
+
+use crate::hsd::{summarize_sparse, StageHsd};
+use crate::sequence::parallel_map;
+
+/// Default [`RouteCache`] arena budget: 256 MiB.
+pub const DEFAULT_ARENA_BUDGET_BYTES: usize = 256 << 20;
+
+/// How many host pairs [`PathArena::estimate_bytes`] samples.
+const ESTIMATE_SAMPLE_PAIRS: usize = 256;
+
+/// CSR store of every `(src, dst)` routed path of one `(topology, routing)`
+/// pair: `channels[offsets[p] .. offsets[p + 1]]` is the channel-id path of
+/// pair `p = src * num_hosts + dst`.
+#[derive(Debug, Clone)]
+pub struct PathArena {
+    num_hosts: usize,
+    /// `num_hosts² + 1` entries into `channels`.
+    offsets: Vec<u32>,
+    /// Concatenated channel ids of all paths.
+    channels: Vec<u32>,
+    /// Bitset over pairs that had no route when the arena was built
+    /// (degraded fabrics). Structural errors fail the build instead.
+    unroutable: Vec<u64>,
+    /// False on healthy fabrics, letting the per-flow hot path skip the
+    /// bitset probe (one random memory access per flow) entirely.
+    any_unroutable: bool,
+}
+
+#[inline]
+fn bit_get(words: &[u64], idx: usize) -> bool {
+    words[idx / 64] & (1 << (idx % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], idx: usize) {
+    words[idx / 64] |= 1 << (idx % 64);
+}
+
+impl PathArena {
+    /// Traces all `num_hosts²` pairs in parallel (one worker per chunk of
+    /// source hosts) and validates each path once.
+    ///
+    /// `NoRoute` pairs are tolerated and marked unroutable — a degraded
+    /// fabric is a legal input. Structural routing bugs (`Loop`,
+    /// `NotUpDown`) abort the build, exactly as they abort the
+    /// trace-per-flow engine.
+    pub fn build(topo: &Topology, rt: &RoutingTable) -> Result<Self, RouteError> {
+        let n = topo.num_hosts();
+        let srcs: Vec<usize> = (0..n).collect();
+        // Per-source row: (concatenated channels, per-dst end offset within
+        // the row, unroutable dsts).
+        type Row = (Vec<u32>, Vec<u32>, Vec<bool>);
+        let rows: Vec<Result<Row, RouteError>> = parallel_map(&srcs, |&src| {
+            let mut row = Vec::new();
+            let mut ends = Vec::with_capacity(n);
+            let mut dead = vec![false; n];
+            for (dst, dead_slot) in dead.iter_mut().enumerate() {
+                let start = row.len();
+                match rt.walk(topo, src, dst, |ch| row.push(ch.0)) {
+                    Ok(()) => {}
+                    Err(RouteError::NoRoute { .. }) => {
+                        row.truncate(start);
+                        *dead_slot = true;
+                    }
+                    Err(e) => return Err(e),
+                }
+                ends.push(row.len() as u32);
+            }
+            Ok((row, ends, dead))
+        });
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0u32);
+        let mut channels = Vec::new();
+        let mut unroutable = vec![0u64; (n * n).div_ceil(64).max(1)];
+        for (src, row) in rows.into_iter().enumerate() {
+            let (row, ends, dead) = row?;
+            let base = channels.len() as u32;
+            channels.extend_from_slice(&row);
+            offsets.extend(ends.iter().map(|&e| base + e));
+            for (dst, &d) in dead.iter().enumerate() {
+                if d {
+                    bit_set(&mut unroutable, src * n + dst);
+                }
+            }
+        }
+        let any_unroutable = unroutable.iter().any(|&w| w != 0);
+        Ok(Self {
+            num_hosts: n,
+            offsets,
+            channels,
+            unroutable,
+            any_unroutable,
+        })
+    }
+
+    /// The cached channel-id path for `(src, dst)`, or `None` when the pair
+    /// was unroutable at build time. The self-pair is the empty slice.
+    #[inline]
+    pub fn channels(&self, src: usize, dst: usize) -> Option<&[u32]> {
+        let p = src * self.num_hosts + dst;
+        if self.any_unroutable && bit_get(&self.unroutable, p) {
+            return None;
+        }
+        let lo = self.offsets[p] as usize;
+        let hi = self.offsets[p + 1] as usize;
+        Some(&self.channels[lo..hi])
+    }
+
+    /// True when `(src, dst)` had no route at build time.
+    #[inline]
+    pub fn is_unroutable(&self, src: usize, dst: usize) -> bool {
+        self.any_unroutable && bit_get(&self.unroutable, src * self.num_hosts + dst)
+    }
+
+    /// Number of host pairs covered (`num_hosts²`).
+    pub fn num_pairs(&self) -> usize {
+        self.num_hosts * self.num_hosts
+    }
+
+    /// Total hops stored across all pairs.
+    pub fn total_hops(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Heap bytes pinned by the arena.
+    pub fn size_bytes(&self) -> usize {
+        self.channels.len() * 4 + self.offsets.len() * 4 + self.unroutable.len() * 8
+    }
+
+    /// Estimates the bytes [`PathArena::build`] would pin, by walking a
+    /// small evenly-strided sample of pairs and extrapolating the mean hop
+    /// count to all `num_hosts²` pairs (plus offsets table and unroutable
+    /// bitset). Never fails: pairs that error count zero hops — the error
+    /// resurfaces at build or trace time.
+    pub fn estimate_bytes(topo: &Topology, rt: &RoutingTable) -> usize {
+        let n = topo.num_hosts();
+        let total = n * n;
+        if total == 0 {
+            return 0;
+        }
+        let stride = (total / ESTIMATE_SAMPLE_PAIRS).max(1);
+        let mut sampled = 0usize;
+        let mut hops = 0usize;
+        let mut i = 0;
+        while i < total {
+            let (src, dst) = (i / n, i % n);
+            let _ = rt.walk(topo, src, dst, |_| hops += 1);
+            sampled += 1;
+            i += stride;
+        }
+        let mean = hops as f64 / sampled.max(1) as f64;
+        let channel_bytes = (mean * total as f64 * 4.0) as usize;
+        channel_bytes + (total + 1) * 4 + total.div_ceil(64) * 8
+    }
+}
+
+/// A routed-path source for HSD accumulation: an immutable
+/// `(topology, routing)` pair plus — when it fits the memory budget — a
+/// [`PathArena`] of every pre-traced path.
+///
+/// When the estimated arena size exceeds the budget the cache holds no
+/// arena and [`RouteCache::accumulate`] walks the LFTs on demand
+/// (allocation-free, via a scratch-owned path buffer). Results are
+/// bit-identical either way; only the speed differs.
+pub struct RouteCache<'a> {
+    topo: &'a Topology,
+    rt: &'a RoutingTable,
+    arena: Option<PathArena>,
+}
+
+impl<'a> RouteCache<'a> {
+    /// Builds a cache with the default 256 MiB arena budget.
+    pub fn new(topo: &'a Topology, rt: &'a RoutingTable) -> Result<Self, RouteError> {
+        Self::with_budget(topo, rt, DEFAULT_ARENA_BUDGET_BYTES)
+    }
+
+    /// Builds a cache whose arena may pin at most `budget_bytes`; above the
+    /// estimate the cache falls back to on-demand tracing.
+    pub fn with_budget(
+        topo: &'a Topology,
+        rt: &'a RoutingTable,
+        budget_bytes: usize,
+    ) -> Result<Self, RouteError> {
+        let arena = if PathArena::estimate_bytes(topo, rt) <= budget_bytes {
+            Some(PathArena::build(topo, rt)?)
+        } else {
+            None
+        };
+        Ok(Self { topo, rt, arena })
+    }
+
+    /// The topology this cache routes over.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The routing table this cache was built from.
+    #[inline]
+    pub fn routing(&self) -> &RoutingTable {
+        self.rt
+    }
+
+    /// True when an arena was built (estimate fit the budget).
+    #[inline]
+    pub fn is_cached(&self) -> bool {
+        self.arena.is_some()
+    }
+
+    /// The arena, when one was built.
+    pub fn arena(&self) -> Option<&PathArena> {
+        self.arena.as_ref()
+    }
+
+    /// Accumulates one flow into `scratch`. On `Err` nothing was added.
+    #[inline]
+    fn add_flow(
+        &self,
+        src: usize,
+        dst: usize,
+        scratch: &mut StageScratch,
+    ) -> Result<(), RouteError> {
+        match &self.arena {
+            Some(arena) => match arena.channels(src, dst) {
+                Some(path) => {
+                    for &ch in path {
+                        scratch.bump(ch);
+                    }
+                    Ok(())
+                }
+                // Regenerate the exact `NoRoute` the trace engine reports.
+                None => Err(self
+                    .rt
+                    .walk(self.topo, src, dst, |_| {})
+                    .expect_err("arena marked pair unroutable")),
+            },
+            None => {
+                // Buffer the path so a mid-walk error leaves no partial
+                // counts behind (`walk` emits channels before failing).
+                scratch.path.clear();
+                self.rt
+                    .walk(self.topo, src, dst, |ch| scratch.path.push(ch.0))?;
+                for i in 0..scratch.path.len() {
+                    let ch = scratch.path[i];
+                    scratch.bump(ch);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Accumulates a stage's flows into `scratch` (without resetting it).
+    /// Bit-identical to the trace-per-flow engine: self-flows are skipped
+    /// and the first routing error aborts.
+    pub fn accumulate(
+        &self,
+        flows: &[(u32, u32)],
+        scratch: &mut StageScratch,
+    ) -> Result<(), RouteError> {
+        for &(src, dst) in flows {
+            if src == dst {
+                continue;
+            }
+            self.add_flow(src as usize, dst as usize, scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Like [`RouteCache::accumulate`] but tolerates a degraded fabric:
+    /// `NoRoute` flows are skipped and returned; structural errors abort.
+    pub fn accumulate_partial(
+        &self,
+        flows: &[(u32, u32)],
+        scratch: &mut StageScratch,
+    ) -> Result<Vec<(u32, u32)>, RouteError> {
+        let mut unroutable = Vec::new();
+        for &(src, dst) in flows {
+            if src == dst {
+                continue;
+            }
+            match self.add_flow(src as usize, dst as usize, scratch) {
+                Ok(()) => {}
+                Err(RouteError::NoRoute { .. }) => unroutable.push((src, dst)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(unroutable)
+    }
+
+    /// Resets `scratch`, accumulates `flows` and summarizes — the cached
+    /// equivalent of [`crate::stage_hsd`].
+    pub fn stage_hsd(
+        &self,
+        flows: &[(u32, u32)],
+        scratch: &mut StageScratch,
+    ) -> Result<StageHsd, RouteError> {
+        scratch.reset();
+        self.accumulate(flows, scratch)?;
+        Ok(scratch.summarize())
+    }
+}
+
+/// Reusable per-worker flow-count buffer.
+///
+/// Holds one count slot per directed channel plus the list of channels
+/// touched since the last reset, so [`StageScratch::reset`] clears only
+/// touched slots — O(flows × hops) per stage instead of O(num_channels).
+#[derive(Debug, Clone)]
+pub struct StageScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+    /// Path buffer for the uncached fallback (see `RouteCache::add_flow`).
+    path: Vec<u32>,
+}
+
+impl StageScratch {
+    /// A zeroed scratch for a fabric with `num_channels` directed channels.
+    pub fn new(num_channels: usize) -> Self {
+        Self {
+            counts: vec![0; num_channels],
+            touched: Vec::new(),
+            path: Vec::new(),
+        }
+    }
+
+    /// A zeroed scratch sized for `cache`'s topology.
+    pub fn for_cache(cache: &RouteCache<'_>) -> Self {
+        Self::new(cache.topology().num_channels())
+    }
+
+    /// Clears only the channels touched since the last reset.
+    pub fn reset(&mut self) {
+        for &ch in &self.touched {
+            self.counts[ch as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn bump(&mut self, ch: u32) {
+        let slot = &mut self.counts[ch as usize];
+        if *slot == 0 {
+            self.touched.push(ch);
+        }
+        *slot += 1;
+    }
+
+    /// Current per-channel counts (all channels; untouched are zero).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Summarizes the accumulated counts into stage metrics — identical to
+    /// [`crate::LinkLoads::summarize`] over the same counts (untouched
+    /// channels contribute zero to every statistic).
+    pub fn summarize(&self) -> StageHsd {
+        summarize_sparse(
+            self.touched
+                .iter()
+                .map(|&ch| (ch, self.counts[ch as usize])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::route_dmodk;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    fn setup() -> (Topology, ftree_topology::RoutingTable) {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        (topo, rt)
+    }
+
+    #[test]
+    fn arena_matches_trace_for_all_pairs() {
+        let (topo, rt) = setup();
+        let arena = PathArena::build(&topo, &rt).unwrap();
+        for src in 0..topo.num_hosts() {
+            for dst in 0..topo.num_hosts() {
+                let expect: Vec<u32> = rt
+                    .trace(&topo, src, dst)
+                    .unwrap()
+                    .channels
+                    .iter()
+                    .map(|c| c.0)
+                    .collect();
+                assert_eq!(arena.channels(src, dst).unwrap(), &expect[..]);
+            }
+        }
+        assert_eq!(arena.num_pairs(), topo.num_hosts() * topo.num_hosts());
+    }
+
+    #[test]
+    fn estimate_brackets_actual_size() {
+        let (topo, rt) = setup();
+        let est = PathArena::estimate_bytes(&topo, &rt);
+        let actual = PathArena::build(&topo, &rt).unwrap().size_bytes();
+        // The sample is exact here (16 hosts, 256 pairs, 256 samples).
+        assert!(
+            est.abs_diff(actual) * 10 <= actual,
+            "estimate {est} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn budget_gate_falls_back_to_walking() {
+        let (topo, rt) = setup();
+        let cached = RouteCache::new(&topo, &rt).unwrap();
+        assert!(cached.is_cached());
+        let lazy = RouteCache::with_budget(&topo, &rt, 0).unwrap();
+        assert!(!lazy.is_cached());
+        // Identical stage metrics either way.
+        let flows = [(0, 4), (1, 8), (2, 3), (0, 15)];
+        let mut s1 = StageScratch::for_cache(&cached);
+        let mut s2 = StageScratch::for_cache(&lazy);
+        assert_eq!(
+            cached.stage_hsd(&flows, &mut s1).unwrap(),
+            lazy.stage_hsd(&flows, &mut s2).unwrap()
+        );
+    }
+
+    #[test]
+    fn scratch_reset_clears_only_touched() {
+        let (topo, rt) = setup();
+        let cache = RouteCache::new(&topo, &rt).unwrap();
+        let mut scratch = StageScratch::for_cache(&cache);
+        cache.stage_hsd(&[(0, 4), (1, 8)], &mut scratch).unwrap();
+        assert!(scratch.counts().iter().any(|&c| c > 0));
+        scratch.reset();
+        assert!(scratch.counts().iter().all(|&c| c == 0));
+        assert!(scratch.touched.is_empty());
+    }
+
+    #[test]
+    fn cached_stage_matches_legacy_engine() {
+        let (topo, rt) = setup();
+        let cache = RouteCache::new(&topo, &rt).unwrap();
+        let mut scratch = StageScratch::for_cache(&cache);
+        let flows = [(0, 4), (1, 8), (3, 3), (7, 0), (15, 2)];
+        let fast = cache.stage_hsd(&flows, &mut scratch).unwrap();
+        let slow = crate::hsd::stage_hsd(&topo, &rt, &flows).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn degraded_pairs_marked_unroutable() {
+        let (topo, rt) = setup();
+        let mut rt = rt;
+        // Sever destination 5 everywhere.
+        for s in topo.switches() {
+            rt.clear(s, 5);
+        }
+        let arena = PathArena::build(&topo, &rt).unwrap();
+        assert!(arena.is_unroutable(0, 5));
+        assert!(arena.channels(0, 5).is_none());
+        assert!(!arena.is_unroutable(0, 4));
+        // accumulate_partial reports them, cached or not.
+        let cache = RouteCache::new(&topo, &rt).unwrap();
+        let mut scratch = StageScratch::for_cache(&cache);
+        let dead = cache
+            .accumulate_partial(&[(0, 5), (0, 4)], &mut scratch)
+            .unwrap();
+        assert_eq!(dead, vec![(0, 5)]);
+    }
+}

@@ -51,7 +51,7 @@ pub fn degraded_stage_hsd(
     let (loads, unroutable) = LinkLoads::compute_partial(topo, rt, flows)?;
     let routed = flows.iter().filter(|&&(s, d)| s != d).count() - unroutable.len();
     Ok(DegradedStageHsd {
-        hsd: loads.summarize(topo),
+        hsd: loads.summarize(),
         routed_flows: routed,
         unroutable,
     })
@@ -100,7 +100,11 @@ pub fn degraded_sequence_hsd(
     let stages = indices.len();
     Ok(DegradedSequenceHsd {
         stages,
-        avg_max: if stages == 0 { 0.0 } else { avg / stages as f64 },
+        avg_max: if stages == 0 {
+            0.0
+        } else {
+            avg / stages as f64
+        },
         worst,
         fully_served_stages: fully_served,
         unroutable_flows: unroutable,

@@ -18,7 +18,8 @@ pub struct LinkLoads {
 
 impl LinkLoads {
     /// Routes every `(src_port, dst_port)` flow and accumulates per-channel
-    /// counts.
+    /// counts. Streams the LFT walk directly into the count vector —
+    /// no per-flow path allocation.
     pub fn compute(
         topo: &Topology,
         rt: &RoutingTable,
@@ -29,10 +30,9 @@ impl LinkLoads {
             if src == dst {
                 continue;
             }
-            let path = rt.trace(topo, src as usize, dst as usize)?;
-            for ch in path.channels {
+            rt.walk(topo, src as usize, dst as usize, |ch| {
                 counts[ch.index()] += 1;
-            }
+            })?;
         }
         Ok(Self { counts })
     }
@@ -48,13 +48,17 @@ impl LinkLoads {
     ) -> Result<(Self, Vec<(u32, u32)>), RouteError> {
         let mut counts = vec![0u32; topo.num_channels()];
         let mut unroutable = Vec::new();
+        // One reusable buffer: a flow that fails mid-walk must not leave
+        // partial counts behind.
+        let mut path = Vec::new();
         for &(src, dst) in flows {
             if src == dst {
                 continue;
             }
-            match rt.trace(topo, src as usize, dst as usize) {
-                Ok(path) => {
-                    for ch in path.channels {
+            path.clear();
+            match rt.walk(topo, src as usize, dst as usize, |ch| path.push(ch)) {
+                Ok(()) => {
+                    for ch in &path {
                         counts[ch.index()] += 1;
                     }
                 }
@@ -78,52 +82,93 @@ impl LinkLoads {
     }
 
     /// Summarizes into the stage metrics.
-    pub fn summarize(&self, topo: &Topology) -> StageHsd {
-        let mut max = 0u32;
-        let mut max_up = 0u32;
-        let mut max_down = 0u32;
-        let mut contended = 0usize;
-        let mut total_flow_hops = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if c > max {
-                max = c;
-            }
-            let dir = ftree_topology::ChannelId(i as u32).direction();
-            match dir {
-                Direction::Up => max_up = max_up.max(c),
-                Direction::Down => max_down = max_down.max(c),
-            }
-            if c > 1 {
-                contended += 1;
-            }
-            total_flow_hops += c as u64;
-        }
-        let _ = topo;
-        StageHsd {
-            max,
-            max_up,
-            max_down,
-            contended_channels: contended,
-            total_flow_hops,
+    pub fn summarize(&self) -> StageHsd {
+        summarize_sparse(self.counts.iter().enumerate().map(|(i, &c)| (i as u32, c)))
+    }
+
+    /// Records this stage's load distribution into `rec` under `label`.
+    ///
+    /// Convenience for one-shot use; per-stage loops should build one
+    /// [`HsdObserver`] and reuse it — this constructs (and formats the
+    /// metric names of) a fresh observer on every call.
+    pub fn observe(&self, rec: &ftree_obs::Recorder, label: &str) {
+        HsdObserver::new(rec, label).observe(self);
+    }
+}
+
+/// Reusable handle set for recording per-stage HSD metrics: a histogram of
+/// per-channel flow counts (`hsd.link_flows.<label>`, loaded channels
+/// only), the running worst HSD seen (`hsd.max.<label>`) and a stage
+/// counter (`hsd.stages.<label>`).
+///
+/// Resolving a metric handle formats its name and takes the registry lock;
+/// doing that three times per stage dominated `observe` profiles. The
+/// observer resolves the handles once and reuses them for every stage.
+pub struct HsdObserver {
+    link_flows: std::sync::Arc<ftree_obs::Histogram>,
+    max: std::sync::Arc<ftree_obs::Gauge>,
+    stages: std::sync::Arc<ftree_obs::Counter>,
+}
+
+impl HsdObserver {
+    /// Resolves the three `<label>`-scoped handles from `rec`.
+    pub fn new(rec: &ftree_obs::Recorder, label: &str) -> Self {
+        Self {
+            link_flows: rec.histogram(&format!("hsd.link_flows.{label}")),
+            max: rec.gauge(&format!("hsd.max.{label}")),
+            stages: rec.counter(&format!("hsd.stages.{label}")),
         }
     }
 
-    /// Records this stage's load distribution into `rec` under `label`:
-    /// a histogram of per-channel flow counts (`hsd.link_flows.<label>`,
-    /// loaded channels only), the running worst HSD seen
-    /// (`hsd.max.<label>`) and a stage counter (`hsd.stages.<label>`).
-    pub fn observe(&self, rec: &ftree_obs::Recorder, label: &str) {
-        let hist = rec.histogram(&format!("hsd.link_flows.{label}"));
+    /// Records one stage's accumulated loads.
+    pub fn observe(&self, loads: &LinkLoads) {
+        self.observe_counts(loads.counts());
+    }
+
+    /// Records one stage from a raw per-channel count slice (as exposed by
+    /// [`crate::StageScratch::counts`]).
+    pub fn observe_counts(&self, counts: &[u32]) {
         let mut max = 0u32;
-        for &c in &self.counts {
+        for &c in counts {
             if c > 0 {
-                hist.record(c as u64);
+                self.link_flows.record(c as u64);
                 max = max.max(c);
             }
         }
-        let gauge = rec.gauge(&format!("hsd.max.{label}"));
-        gauge.set(gauge.get().max(max as i64));
-        rec.counter(&format!("hsd.stages.{label}")).inc();
+        self.max.set(self.max.get().max(max as i64));
+        self.stages.inc();
+    }
+}
+
+/// Summarizes `(channel, count)` entries into stage metrics. Channels not
+/// yielded are treated as carrying zero flows, so a sparse (touched-only)
+/// iteration gives the same result as a full scan — every statistic is
+/// insensitive to explicit zeros.
+pub(crate) fn summarize_sparse(entries: impl Iterator<Item = (u32, u32)>) -> StageHsd {
+    let mut max = 0u32;
+    let mut max_up = 0u32;
+    let mut max_down = 0u32;
+    let mut contended = 0usize;
+    let mut total_flow_hops = 0u64;
+    for (ch, c) in entries {
+        if c > max {
+            max = c;
+        }
+        match ftree_topology::ChannelId(ch).direction() {
+            Direction::Up => max_up = max_up.max(c),
+            Direction::Down => max_down = max_down.max(c),
+        }
+        if c > 1 {
+            contended += 1;
+        }
+        total_flow_hops += c as u64;
+    }
+    StageHsd {
+        max,
+        max_up,
+        max_down,
+        contended_channels: contended,
+        total_flow_hops,
     }
 }
 
@@ -156,7 +201,7 @@ pub fn stage_hsd(
     rt: &RoutingTable,
     flows: &[(u32, u32)],
 ) -> Result<StageHsd, RouteError> {
-    Ok(LinkLoads::compute(topo, rt, flows)?.summarize(topo))
+    Ok(LinkLoads::compute(topo, rt, flows)?.summarize())
 }
 
 #[cfg(test)]
@@ -209,8 +254,7 @@ mod tests {
     fn observe_records_distribution() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let rt = route_dmodk(&topo);
-        let loads =
-            LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
+        let loads = LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
         let rec = ftree_obs::Recorder::new();
         loads.observe(&rec, "test");
         let snap = rec.snapshot();
@@ -227,6 +271,54 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.counters["hsd.stages.test"], 2);
         assert_eq!(snap.gauges["hsd.max.test"], 2);
+    }
+
+    #[test]
+    fn compute_partial_skips_severed_destinations_with_correct_counts() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut rt = route_dmodk(&topo);
+        // Sever destination 5: clear every switch entry toward it.
+        for s in topo.switches() {
+            rt.clear(s, 5);
+        }
+        let flows = [(0, 5), (1, 8), (4, 5), (0, 15)];
+        let (loads, unroutable) = LinkLoads::compute_partial(&topo, &rt, &flows).unwrap();
+        assert_eq!(unroutable, vec![(0, 5), (4, 5)]);
+        // Counts must equal routing only the surviving flows — the severed
+        // flows' partial walks (host→leaf before the missing entry) must
+        // not leak into the counts.
+        let surviving = LinkLoads::compute(&topo, &rt, &[(1, 8), (0, 15)]).unwrap();
+        assert_eq!(loads.counts(), surviving.counts());
+        assert_eq!(loads.summarize(), surviving.summarize());
+    }
+
+    #[test]
+    fn compute_partial_on_healthy_fabric_matches_compute() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = route_dmodk(&topo);
+        let flows = [(0, 4), (1, 8), (3, 3), (7, 0)];
+        let (loads, unroutable) = LinkLoads::compute_partial(&topo, &rt, &flows).unwrap();
+        assert!(unroutable.is_empty());
+        assert_eq!(
+            loads.counts(),
+            LinkLoads::compute(&topo, &rt, &flows).unwrap().counts()
+        );
+    }
+
+    #[test]
+    fn compute_partial_propagates_structural_errors() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut rt = route_dmodk(&topo);
+        // Corrupt a leaf to bounce dst 0 back down at the wrong host: the
+        // walk violates up*/down* (or loops) and must abort the stage
+        // instead of being skipped like a missing route.
+        let leaf = topo.node_at(1, 1).unwrap();
+        rt.set(leaf, 0, ftree_topology::PortRef::Down(0));
+        let err = LinkLoads::compute_partial(&topo, &rt, &[(4, 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::NotUpDown { .. } | RouteError::Loop { .. }
+        ));
     }
 
     #[test]

@@ -22,19 +22,22 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod degraded;
 pub mod hsd;
+pub mod reference;
 pub mod report;
-pub mod svg;
 pub mod sequence;
+pub mod svg;
 
+pub use arena::{PathArena, RouteCache, StageScratch, DEFAULT_ARENA_BUDGET_BYTES};
 pub use degraded::{
     degraded_sequence_hsd, degraded_stage_hsd, DegradedSequenceHsd, DegradedStageHsd,
 };
-pub use hsd::{stage_hsd, LinkLoads, StageHsd};
+pub use hsd::{stage_hsd, HsdObserver, LinkLoads, StageHsd};
 pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
-pub use svg::{render_svg, SvgOptions};
 pub use sequence::{
-    parallel_map, random_order_sweep, sampled_stages, sequence_hsd, SequenceHsd,
-    SequenceOptions, SweepResult,
+    parallel_map, parallel_map_init, random_order_sweep, sampled_stages, sequence_hsd,
+    sequence_hsd_cached, SequenceHsd, SequenceOptions, SweepResult,
 };
+pub use svg::{render_svg, SvgOptions};

@@ -1,0 +1,80 @@
+//! The original trace-per-flow serial HSD engine, preserved verbatim.
+//!
+//! This is the slow path the arena-backed engine replaced: every flow of
+//! every stage re-traces its route through the LFTs ([`RoutingTable::trace`],
+//! two `Vec` allocations per flow) into a freshly zeroed per-stage count
+//! vector, stages run serially, and sweeps evaluate seeds one at a time.
+//!
+//! It stays in the tree for two reasons:
+//!
+//! 1. **Oracle** — `tests/arena_oracle.rs` asserts the fast engine is
+//!    bit-identical to this one on every metric, fully and partially
+//!    routed.
+//! 2. **Baseline** — the `perf` bench bin times both engines on the same
+//!    workload to produce the speedup figures in `BENCH_perf.json`.
+//!
+//! Do not "optimize" this module; its value is being the simple, obviously
+//! correct formulation of the paper's Sec. II computation.
+
+use ftree_collectives::PermutationSequence;
+use ftree_core::NodeOrder;
+use ftree_topology::{RouteError, RoutingTable, Topology};
+
+use crate::hsd::{summarize_sparse, StageHsd};
+use crate::sequence::{sampled_stages, SequenceHsd, SequenceOptions, SweepResult};
+
+/// Serial trace-per-flow stage HSD.
+pub fn stage_hsd(
+    topo: &Topology,
+    rt: &RoutingTable,
+    flows: &[(u32, u32)],
+) -> Result<StageHsd, RouteError> {
+    let mut counts = vec![0u32; topo.num_channels()];
+    for &(src, dst) in flows {
+        if src == dst {
+            continue;
+        }
+        let path = rt.trace(topo, src as usize, dst as usize)?;
+        for ch in path.channels {
+            counts[ch.index()] += 1;
+        }
+    }
+    Ok(summarize_sparse(
+        counts.iter().enumerate().map(|(i, &c)| (i as u32, c)),
+    ))
+}
+
+/// Serial stage loop over the sampled stages of one sequence.
+pub fn sequence_hsd(
+    topo: &Topology,
+    rt: &RoutingTable,
+    order: &NodeOrder,
+    seq: &dyn PermutationSequence,
+    opts: SequenceOptions,
+) -> Result<SequenceHsd, RouteError> {
+    let n = order.num_ranks() as u32;
+    let total = seq.num_stages(n);
+    let mut per_stage_max = Vec::new();
+    for s in sampled_stages(total, opts) {
+        let stage = seq.stage(n, s);
+        let flows = order.port_flows(&stage);
+        per_stage_max.push(stage_hsd(topo, rt, &flows)?.max);
+    }
+    Ok(SequenceHsd::from_stage_maxima(per_stage_max))
+}
+
+/// Serial seed loop over a multi-order sweep.
+pub fn random_order_sweep(
+    topo: &Topology,
+    rt: &RoutingTable,
+    seq: &dyn PermutationSequence,
+    seeds: &[u64],
+    opts: SequenceOptions,
+) -> Result<SweepResult, RouteError> {
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let order = NodeOrder::random(topo, seed);
+        per_seed.push(sequence_hsd(topo, rt, &order, seq, opts)?.avg_max);
+    }
+    Ok(SweepResult::from_runs(per_seed))
+}

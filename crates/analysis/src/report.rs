@@ -144,7 +144,11 @@ mod tests {
         let top = &report.worst[0];
         assert_eq!(top.load, 2);
         assert!(top.up);
-        assert!(top.description.starts_with("S1[0,0]"), "{}", top.description);
+        assert!(
+            top.description.starts_with("S1[0,0]"),
+            "{}",
+            top.description
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use ftree_collectives::PermutationSequence;
 use ftree_core::NodeOrder;
 use ftree_topology::{RouteError, RoutingTable, Topology};
 
-use crate::hsd::stage_hsd;
+use crate::arena::{RouteCache, StageScratch};
 
 /// HSD metrics over a whole permutation sequence.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,7 +27,7 @@ pub struct SequenceHsd {
 }
 
 impl SequenceHsd {
-    fn from_stage_maxima(per_stage_max: Vec<u32>) -> Self {
+    pub(crate) fn from_stage_maxima(per_stage_max: Vec<u32>) -> Self {
         let worst = per_stage_max.iter().copied().max().unwrap_or(0);
         let avg_max = if per_stage_max.is_empty() {
             0.0
@@ -74,20 +74,53 @@ pub fn sampled_stages(total: usize, opts: SequenceOptions) -> Vec<usize> {
 }
 
 /// Computes the sequence HSD metric for one (routing, order, CPS) triple.
+///
+/// Builds a [`RouteCache`] (all-pairs path arena when it fits the memory
+/// budget) and evaluates the sampled stages in parallel; results are
+/// bit-identical to the serial trace-per-flow engine preserved in
+/// [`crate::reference`].
 pub fn sequence_hsd(
     topo: &Topology,
     rt: &RoutingTable,
     order: &NodeOrder,
-    seq: &dyn PermutationSequence,
+    seq: &(dyn PermutationSequence + Sync),
+    opts: SequenceOptions,
+) -> Result<SequenceHsd, RouteError> {
+    let cache = RouteCache::new(topo, rt)?;
+    sequence_hsd_cached(&cache, order, seq, opts)
+}
+
+/// [`sequence_hsd`] over an already-built [`RouteCache`] — use this to
+/// amortize the arena across many sequences of the same routing (sweeps,
+/// Table 3's per-CPS columns).
+///
+/// Stages are independent: each worker accumulates into its own
+/// [`StageScratch`] and yields only the stage summary, which is collected
+/// back in stage order — so the merge is deterministic and the output
+/// bit-identical to the serial loop regardless of worker count. When called
+/// from inside another [`parallel_map`] worker (seed-level sweeps) the
+/// stage loop runs serially instead of oversubscribing.
+pub fn sequence_hsd_cached(
+    cache: &RouteCache<'_>,
+    order: &NodeOrder,
+    seq: &(dyn PermutationSequence + Sync),
     opts: SequenceOptions,
 ) -> Result<SequenceHsd, RouteError> {
     let n = order.num_ranks() as u32;
     let total = seq.num_stages(n);
-    let mut per_stage_max = Vec::new();
-    for s in sampled_stages(total, opts) {
-        let stage = seq.stage(n, s);
-        let flows = order.port_flows(&stage);
-        per_stage_max.push(stage_hsd(topo, rt, &flows)?.max);
+    let stages = sampled_stages(total, opts);
+    let results: Vec<Result<u32, RouteError>> = parallel_map_init(
+        &stages,
+        || StageScratch::for_cache(cache),
+        |scratch, &s| {
+            let stage = seq.stage(n, s);
+            let flows = order.port_flows(&stage);
+            cache.stage_hsd(&flows, scratch).map(|h| h.max)
+        },
+    );
+    let mut per_stage_max = Vec::with_capacity(results.len());
+    for r in results {
+        per_stage_max.push(r?);
     }
     Ok(SequenceHsd::from_stage_maxima(per_stage_max))
 }
@@ -106,9 +139,12 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    fn from_runs(per_seed_avg_max: Vec<f64>) -> Self {
+    pub(crate) fn from_runs(per_seed_avg_max: Vec<f64>) -> Self {
         let mean = per_seed_avg_max.iter().sum::<f64>() / per_seed_avg_max.len().max(1) as f64;
-        let min = per_seed_avg_max.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = per_seed_avg_max
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let max = per_seed_avg_max.iter().copied().fold(0.0f64, f64::max);
         Self {
             per_seed_avg_max,
@@ -128,9 +164,12 @@ pub fn random_order_sweep(
     seeds: &[u64],
     opts: SequenceOptions,
 ) -> Result<SweepResult, RouteError> {
+    // One arena shared by every seed; the per-seed sequence loops detect
+    // they are inside a worker and stay serial.
+    let cache = RouteCache::new(topo, rt)?;
     let results: Vec<Result<f64, RouteError>> = parallel_map(seeds, |&seed| {
         let order = NodeOrder::random(topo, seed);
-        sequence_hsd(topo, rt, &order, seq, opts).map(|r| r.avg_max)
+        sequence_hsd_cached(&cache, &order, seq, opts).map(|r| r.avg_max)
     });
     let mut per_seed = Vec::with_capacity(results.len());
     for r in results {
@@ -139,32 +178,55 @@ pub fn random_order_sweep(
     Ok(SweepResult::from_runs(per_seed))
 }
 
+std::thread_local! {
+    /// Set inside `parallel_map_init` workers so nested calls (e.g. the
+    /// stage loop of a sequence evaluated inside a seed-level sweep) run
+    /// serially instead of spawning threads² workers.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Simple fork-join map over items using scoped threads (one chunk per
 /// available core).
-pub fn parallel_map<T: Sync, R: Send>(
+///
+/// Output order matches input order. A panicking worker propagates through
+/// [`std::thread::scope`] when the scope joins. Nested calls from inside a
+/// worker degrade to a serial loop.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_init(items, || (), |_, item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once per worker
+/// thread (once total on the serial path) and `f` receives the worker's
+/// state mutably — the idiom for reusable scratch buffers that must not be
+/// shared across threads.
+pub fn parallel_map_init<T: Sync, R: Send, S>(
     items: &[T],
-    f: impl Fn(&T) -> R + Sync,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Vec<R> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
+    if workers <= 1 || IN_WORKER.with(|c| c.get()) {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk = items.len().div_ceil(workers);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            let init = &init;
+            scope.spawn(move || {
+                IN_WORKER.with(|c| c.set(true));
+                let mut state = init();
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
+                    *slot = Some(f(&mut state, item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 

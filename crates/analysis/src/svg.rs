@@ -89,10 +89,7 @@ pub fn render_svg(topo: &Topology, loads: Option<&LinkLoads>, opts: &SvgOptions)
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="sans-serif" font-size="10">"#
     );
-    let _ = writeln!(
-        out,
-        r#"<rect width="100%" height="100%" fill="white"/>"#
-    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
 
     // Cables first (under the nodes).
     for link in topo.links() {
@@ -120,8 +117,7 @@ pub fn render_svg(topo: &Topology, loads: Option<&LinkLoads>, opts: &SvgOptions)
             load_color(load),
             if load > 1 { 2.5 } else { 1.2 }
         );
-        if opts.annotate_loads && loads.is_some() && load > 0 && !topo.node(link.child).is_host()
-        {
+        if opts.annotate_loads && loads.is_some() && load > 0 && !topo.node(link.child).is_host() {
             let _ = writeln!(
                 out,
                 r#"<text x="{:.1}" y="{:.1}" fill="{}">{load}</text>"#,

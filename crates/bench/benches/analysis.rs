@@ -12,7 +12,10 @@ use ftree_topology::Topology;
 
 fn bench_stage_hsd(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage_hsd");
-    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+    for (name, spec) in [
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+    ] {
         let topo = Topology::build(spec);
         let rt = route_dmodk(&topo);
         let order = NodeOrder::random(&topo, 1);

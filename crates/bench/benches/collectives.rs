@@ -9,17 +9,13 @@ use ftree_mpi::data::{allgather_world, alltoall_world};
 fn bench_stage_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("cps_stage_1944");
     for cps in [Cps::Shift, Cps::Dissemination, Cps::RecursiveDoubling] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cps.label()),
-            &cps,
-            |b, cps| {
-                let mut s = 0usize;
-                b.iter(|| {
-                    s = (s + 1) % cps.num_stages(1944);
-                    black_box(cps.stage(1944, s))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(cps.label()), &cps, |b, cps| {
+            let mut s = 0usize;
+            b.iter(|| {
+                s = (s + 1) % cps.num_stages(1944);
+                black_box(cps.stage(1944, s))
+            })
+        });
     }
     group.finish();
 }

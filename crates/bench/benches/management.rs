@@ -12,7 +12,10 @@ use ftree_topology::Topology;
 fn bench_fault_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_reroute");
     group.sample_size(10);
-    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+    for (name, spec) in [
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+    ] {
         let topo = Topology::build(spec);
         let mut failures = LinkFailures::none(&topo);
         for i in 0..4u32 {
@@ -21,11 +24,9 @@ fn bench_fault_routing(c: &mut Criterion) {
                 .fail_up_port(&topo, leaf, (i * 7) % topo.spec().up_ports(1))
                 .unwrap();
         }
-        group.bench_with_input(
-            BenchmarkId::new("reachability", name),
-            &failures,
-            |b, f| b.iter(|| black_box(Reachability::compute(&topo, f))),
-        );
+        group.bench_with_input(BenchmarkId::new("reachability", name), &failures, |b, f| {
+            b.iter(|| black_box(Reachability::compute(&topo, f)))
+        });
         group.bench_with_input(BenchmarkId::new("full_reroute", name), &failures, |b, f| {
             b.iter(|| black_box(route_dmodk_ft(&topo, f)))
         });

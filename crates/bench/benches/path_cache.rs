@@ -1,0 +1,127 @@
+//! Path-arena route-cache benchmarks: the before/after pairs behind the
+//! `perf` experiment binary, at criterion resolution.
+//!
+//! Four comparisons, each one layer of the optimization stack:
+//!
+//! * `path_lookup`      — re-tracing a route through the LFTs vs reading
+//!                        the arena's CSR slice,
+//! * `stage_hsd`        — the serial trace-per-flow stage engine vs the
+//!                        scratch-buffer arena engine,
+//! * `sequence_sweep`   — a Figure-3-style multi-seed sweep, reference
+//!                        serial engine vs the cached parallel engine,
+//! * `packet_sim`       — the static simulator event loop with per-packet
+//!                        LFT lookups vs the precomputed next-channel table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_analysis::{random_order_sweep, reference, RouteCache, SequenceOptions, StageScratch};
+use ftree_collectives::{Cps, PermutationSequence};
+use ftree_core::{route_dmodk, NodeOrder};
+use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_path_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_lookup");
+    let topo = Topology::build(catalog::nodes_324());
+    let rt = route_dmodk(&topo);
+    let cache = RouteCache::new(&topo, &rt).unwrap();
+    let arena = cache.arena().expect("324 hosts fit the default budget");
+    let n = topo.num_hosts();
+    group.bench_function("trace", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for src in 0..64 {
+                let path = rt.trace(&topo, src, (src * 31 + 7) % n).unwrap();
+                hops += path.channels.len();
+            }
+            black_box(hops)
+        })
+    });
+    group.bench_function("arena", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for src in 0..64 {
+                hops += arena.channels(src, (src * 31 + 7) % n).unwrap().len();
+            }
+            black_box(hops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_stage_hsd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_hsd");
+    for (name, spec) in [
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+    ] {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let order = NodeOrder::random(&topo, 1);
+        let n = topo.num_hosts() as u32;
+        let flows = order.port_flows(&Cps::Shift.stage(n, 7));
+        group.bench_with_input(BenchmarkId::new("reference", name), &flows, |b, f| {
+            b.iter(|| black_box(reference::stage_hsd(&topo, &rt, f).unwrap()))
+        });
+        let cache = RouteCache::new(&topo, &rt).unwrap();
+        let mut scratch = StageScratch::for_cache(&cache);
+        group.bench_with_input(BenchmarkId::new("arena", name), &flows, |b, f| {
+            b.iter(|| black_box(cache.stage_hsd(f, &mut scratch).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_sweep");
+    group.sample_size(10);
+    let topo = Topology::build(catalog::nodes_324());
+    let rt = route_dmodk(&topo);
+    let seeds: Vec<u64> = (1..=5).collect();
+    let opts = SequenceOptions { max_stages: 16 };
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(reference::random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, opts).unwrap())
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| black_box(random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_sim");
+    group.sample_size(10);
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = route_dmodk(&topo);
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = (0..2)
+        .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+        .collect();
+    let plan = TrafficPlan::uniform(stages, 16_384, Progression::Asynchronous);
+    group.bench_function("lft_lookup", |b| {
+        b.iter(|| {
+            black_box(
+                PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+                    .without_route_cache()
+                    .run(),
+            )
+        })
+    });
+    group.bench_function("next_channel_table", |b| {
+        b.iter(|| black_box(PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_lookup,
+    bench_stage_hsd,
+    bench_sequence_sweep,
+    bench_packet_sim
+);
+criterion_main!(benches);

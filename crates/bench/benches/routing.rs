@@ -55,5 +55,10 @@ fn bench_path_trace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_routing, bench_topology_build, bench_path_trace);
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_topology_build,
+    bench_path_trace
+);
 criterion_main!(benches);

@@ -20,13 +20,8 @@ fn bench_packet_sim(c: &mut Criterion) {
         ("ordered", NodeOrder::topology(&topo)),
         ("random", NodeOrder::random(&topo, 1)),
     ] {
-        let plan = TrafficPlan::from_cps(
-            &order,
-            &Cps::Shift,
-            64 << 10,
-            Progression::Asynchronous,
-            8,
-        );
+        let plan =
+            TrafficPlan::from_cps(&order, &Cps::Shift, 64 << 10, Progression::Asynchronous, 8);
         group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
             b.iter(|| black_box(PacketSim::new(&topo, &rt, cfg, p).run()))
         });
@@ -38,12 +33,19 @@ fn bench_fluid_sim(c: &mut Criterion) {
     let cfg = SimConfig::default();
     let mut group = c.benchmark_group("fluid_sim_ring");
     group.sample_size(10);
-    for (name, spec) in [("324", catalog::nodes_324()), ("1944", catalog::nodes_1944())] {
+    for (name, spec) in [
+        ("324", catalog::nodes_324()),
+        ("1944", catalog::nodes_1944()),
+    ] {
         let topo = Topology::build(spec);
         let rt = route_dmodk(&topo);
         let order = NodeOrder::random(&topo, 1);
         let n = topo.num_hosts() as u32;
-        let plan = TrafficPlan::uniform(vec![order.port_flows(&Cps::Ring.stage(n, 0))], 1 << 20, Progression::Synchronized);
+        let plan = TrafficPlan::uniform(
+            vec![order.port_flows(&Cps::Ring.stage(n, 0))],
+            1 << 20,
+            Progression::Synchronized,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
             b.iter(|| black_box(run_fluid(&topo, &rt, cfg, p)))
         });

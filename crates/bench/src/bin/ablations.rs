@@ -19,13 +19,13 @@
 //! Run: `cargo run --release -p ftree-bench --bin ablations`
 
 use ftree_analysis::{sequence_hsd, SequenceOptions};
-use ftree_sim::{PacketSim, Progression, SimConfig, SwitchModel, TrafficPlan};
 use ftree_bench::{
     arg_num, exclusion_set, export_observability, init_obs, maybe_record, print_phase_report,
     surviving_ports, BenchJson, TextTable,
 };
 use ftree_collectives::{Cps, PortSpace, TopoAwareRd};
 use ftree_core::{NodeOrder, RoutingAlgo};
+use ftree_sim::{PacketSim, Progression, SimConfig, SwitchModel, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -108,9 +108,15 @@ fn main() {
     {
         let rt = RoutingAlgo::DModK.route(&topo);
         let order = NodeOrder::topology(&topo);
-        let mut t = TextTable::new(vec!["bidirectional sequence (D-Mod-K, topo order)", "avg max HSD"]);
+        let mut t = TextTable::new(vec![
+            "bidirectional sequence (D-Mod-K, topo order)",
+            "avg max HSD",
+        ]);
         let plain = sequence_hsd(&topo, &rt, &order, &Cps::RecursiveDoubling, opts).unwrap();
-        t.row(vec!["plain recursive doubling".to_string(), format!("{:.2}", plain.avg_max)]);
+        t.row(vec![
+            "plain recursive doubling".to_string(),
+            format!("{:.2}", plain.avg_max),
+        ]);
         let aware = TopoAwareRd::new(topo.spec().ms().to_vec());
         let smart = sequence_hsd(&topo, &rt, &order, &aware, opts).unwrap();
         t.row(vec![
@@ -148,7 +154,10 @@ fn main() {
         let mut rows: Vec<serde_json::Value> = Vec::new();
         for (name, model) in [
             ("input FIFO (HOL blocking)", SwitchModel::InputFifo),
-            ("virtual output queues (ideal)", SwitchModel::VirtualOutputQueues),
+            (
+                "virtual output queues (ideal)",
+                SwitchModel::VirtualOutputQueues,
+            ),
         ] {
             let cfg = SimConfig {
                 switch_model: model,
@@ -160,15 +169,13 @@ fn main() {
         }
         // Reference: the same workload with topology order needs neither.
         let good = NodeOrder::topology(&topo);
-        let good_plan = TrafficPlan::from_cps(
-            &good,
-            &Cps::Shift,
-            256 << 10,
-            Progression::Asynchronous,
-            12,
-        );
-        let r = maybe_record(PacketSim::new(&topo, &rt, SimConfig::default(), &good_plan), &rec)
-            .run();
+        let good_plan =
+            TrafficPlan::from_cps(&good, &Cps::Shift, 256 << 10, Progression::Asynchronous, 12);
+        let r = maybe_record(
+            PacketSim::new(&topo, &rt, SimConfig::default(), &good_plan),
+            &rec,
+        )
+        .run();
         t.row(vec![
             "input FIFO + topology order (the paper's fix)".to_string(),
             format!("{:.3}", r.normalized_bw),

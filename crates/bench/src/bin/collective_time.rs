@@ -19,12 +19,12 @@ use ftree_bench::{
     export_observability, fmt_bytes, init_obs, maybe_record, print_phase_report, BenchJson,
     TextTable,
 };
-use ftree_obs::Recorder;
 use ftree_core::{Job, NodeOrder, RoutingAlgo};
 use ftree_mpi::data::{blockwise_reduce_world, reduce_world};
 use ftree_mpi::reductions::{rabenseifner_allreduce, recursive_doubling_allreduce};
 use ftree_mpi::rooted::{binomial_bcast, binomial_reduce};
 use ftree_mpi::World;
+use ftree_obs::Recorder;
 use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
@@ -49,7 +49,11 @@ fn simulate(
         })
         .collect();
     let plan = TrafficPlan::sized(stages, Progression::Synchronized);
-    let r = maybe_record(PacketSim::new(topo, routing, SimConfig::default(), &plan), rec).run();
+    let r = maybe_record(
+        PacketSim::new(topo, routing, SimConfig::default(), &plan),
+        rec,
+    )
+    .run();
     r.makespan as f64 / 1e6 // us
 }
 
@@ -79,7 +83,15 @@ fn main() {
     ]);
 
     let mut rows: Vec<serde_json::Value> = Vec::new();
-    for &vector_bytes in &[512u64, 2 << 10, 4 << 10, 32 << 10, 256 << 10, 1 << 20, 4 << 20] {
+    for &vector_bytes in &[
+        512u64,
+        2 << 10,
+        4 << 10,
+        32 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+    ] {
         // Recursive doubling: b-element vectors, full vector per stage.
         let b = 64usize;
         let elem = vector_bytes / b as u64;

@@ -128,7 +128,8 @@ fn main() {
         "\nDynamic timeline: 4 random cables fail inside the first 50 us, \
          each repaired 100 us later (seed 42)\n"
     );
-    let sched = FaultSchedule::random_switch_links(&topo, 42, 4, 50 * MICROSECOND, 100 * MICROSECOND);
+    let sched =
+        FaultSchedule::random_switch_links(&topo, 42, 4, 50 * MICROSECOND, 100 * MICROSECOND);
 
     let mut sm = SubnetManager::new(&topo, sched.clone()).expect("schedule fits the topology");
     let mut sweeps = TextTable::new(vec![
@@ -179,7 +180,10 @@ fn main() {
     out.metric("dynamic_packets_dropped", res.packets_dropped);
     out.metric("dynamic_retransmits", res.retransmits);
     out.metric("dynamic_messages_lost", res.messages_lost);
-    out.metric("dynamic_makespan_us", res.makespan as f64 / MICROSECOND as f64);
+    out.metric(
+        "dynamic_makespan_us",
+        res.makespan as f64 / MICROSECOND as f64,
+    );
     out.metric("dynamic_normalized_bw", res.normalized_bw);
     out.metric("dynamic_efficiency", res.efficiency());
     out.metric("dynamic_sweeps", res.sweep_reports.len() as u64);

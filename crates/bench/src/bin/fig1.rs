@@ -34,9 +34,7 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (
             .position(|&p| p == dst)
             .expect("dst is ranked") as u32;
         for ch in path.channels {
-            if ch.direction() == Direction::Up
-                && !topo.node(topo.channel_source(ch).0).is_host()
-            {
+            if ch.direction() == Direction::Up && !topo.node(topo.channel_source(ch).0).is_host() {
                 per_channel[ch.index()].push(rank);
             }
         }
@@ -63,7 +61,7 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (
         }
     }
     table.print();
-    let summary = loads.summarize(topo);
+    let summary = loads.summarize();
     if let Some(rec) = ftree_obs::global() {
         loads.observe(&rec, label);
     }
@@ -83,7 +81,8 @@ fn write_svg(topo: &Topology, order: &NodeOrder, path: &str) {
     let rt = route_dmodk(topo);
     let stage = Cps::Shift.stage(topo.num_hosts() as u32, 3);
     let loads = LinkLoads::compute(topo, &rt, &order.port_flows(&stage)).unwrap();
-    let svg = ftree_analysis::render_svg(topo, Some(&loads), &ftree_analysis::SvgOptions::default());
+    let svg =
+        ftree_analysis::render_svg(topo, Some(&loads), &ftree_analysis::SvgOptions::default());
     if std::fs::write(path, svg).is_ok() {
         println!("(rendered {path})");
     }
@@ -127,8 +126,12 @@ fn main() {
 
     // (b) routing-aware order: congestion-free.
     let ordered = NodeOrder::topology(&topo);
-    let (ord_hot, ord_max) =
-        show_order(&topo, &ordered, "(b) routing-aware (topology) order", "topology");
+    let (ord_hot, ord_max) = show_order(
+        &topo,
+        &ordered,
+        "(b) routing-aware (topology) order",
+        "topology",
+    );
     write_svg(&topo, &ordered, "fig1b.svg");
 
     out.param("pattern", "dst = (src + 4) mod 16");

@@ -14,8 +14,8 @@
 //! Run: `cargo run --release -p ftree-bench --bin fig2 [--full] [--seed N]`
 
 use ftree_bench::{
-    arg_num, export_observability, fmt_bytes, has_flag, init_obs, maybe_record,
-    print_phase_report, BenchJson, TextTable,
+    arg_num, export_observability, fmt_bytes, has_flag, init_obs, maybe_record, print_phase_report,
+    BenchJson, TextTable,
 };
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{NodeOrder, RoutingAlgo};

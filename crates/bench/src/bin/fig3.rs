@@ -63,8 +63,8 @@ fn main() {
         let mut row = serde_json::Map::new();
         row.insert("topology".into(), name.into());
         for cps in cps_list {
-            let sweep = random_order_sweep(&topo, &rt, &cps, &seeds, opts)
-                .expect("routable topology");
+            let sweep =
+                random_order_sweep(&topo, &rt, &cps, &seeds, opts).expect("routable topology");
             cells.push(format!(
                 "{:.2} [{:.2}, {:.2}]",
                 sweep.mean, sweep.min, sweep.max

@@ -24,7 +24,11 @@ fn describe(name: &str, topo: &Topology, table: &mut TextTable) {
         format!("{spines}"),
         format!("{used}/8"),
         format!("{}", topo.num_links()),
-        if report.is_rlft() { "yes".into() } else { "no".to_string() },
+        if report.is_rlft() {
+            "yes".into()
+        } else {
+            "no".to_string()
+        },
     ]);
 }
 

@@ -18,7 +18,10 @@ fn main() {
     let topo = Topology::build(spec);
     out.topology(topo.spec().to_string());
 
-    println!("Figure 5 reproduction: connection rule of {}\n", topo.spec());
+    println!(
+        "Figure 5 reproduction: connection rule of {}\n",
+        topo.spec()
+    );
 
     // Show the cabling between one level-2 node and its level-3 parents.
     let child = topo.node_at(2, 0).unwrap();

@@ -37,13 +37,7 @@ fn main() {
         msg_time_us
     );
 
-    let plan = TrafficPlan::from_cps(
-        &job.order,
-        &Cps::Shift,
-        bytes,
-        Progression::Synchronized,
-        8,
-    );
+    let plan = TrafficPlan::from_cps(&job.order, &Cps::Shift, bytes, Progression::Synchronized, 8);
 
     let mut table = TextTable::new(vec![
         "max start skew (us)",

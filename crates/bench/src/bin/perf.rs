@@ -1,0 +1,180 @@
+//! perf — before/after wall-time of the HSD engines on the paper's
+//! 25-random-order sweep (the Figure 3 workload).
+//!
+//! "Before" is the preserved trace-per-flow serial engine
+//! (`ftree_analysis::reference`); "after" is the arena-backed parallel
+//! engine. The run asserts bit-identical sweep results before reporting
+//! the speedup, so the number can never come from a divergent computation.
+//!
+//! Writes `results/BENCH_perf.json`
+//! (`{bench, topology, params, metrics: {speedup, wall_ms_before,
+//! wall_ms_after}, wall_ms}`) — assembled with `format!` so the document
+//! is a plain artifact of this binary, not of a serializer version.
+//!
+//! Flags: `--topo <name>` (fig4_pgft_16 | nodes_128 | nodes_324 |
+//! nodes_1728 | nodes_1944), `--seeds N`, `--max-stages N` (0 = the full
+//! `n - 1`-stage sequence, the default — Figure 3 is computed over complete
+//! shift sequences, and the full sweep is also where the one-time arena
+//! build amortizes across every stage of every seed), `--json-out <path>`,
+//! `--breakdown` (skip the comparison; print where the fast engine's time
+//! goes: arena build, stage generation, accumulation).
+
+use std::time::Instant;
+
+use ftree_analysis::{random_order_sweep, reference, SequenceOptions, SweepResult};
+use ftree_bench::{arg_num, arg_value, TextTable};
+use ftree_collectives::{Cps, PermutationSequence};
+use ftree_core::route_dmodk;
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn spec_by_name(name: &str) -> ftree_topology::PgftSpec {
+    match name {
+        "fig4_pgft_16" => catalog::fig4_pgft_16(),
+        "nodes_128" => catalog::nodes_128(),
+        "nodes_324" => catalog::nodes_324(),
+        "nodes_1728" => catalog::nodes_1728(),
+        "nodes_1944" => catalog::nodes_1944(),
+        other => panic!("unknown --topo {other}"),
+    }
+}
+
+fn assert_identical(slow: &SweepResult, fast: &SweepResult) {
+    let slow_bits: Vec<u64> = slow.per_seed_avg_max.iter().map(|x| x.to_bits()).collect();
+    let fast_bits: Vec<u64> = fast.per_seed_avg_max.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        slow_bits, fast_bits,
+        "engines diverged — speedup numbers would be meaningless"
+    );
+    assert_eq!(slow.mean.to_bits(), fast.mean.to_bits());
+}
+
+fn main() {
+    let started = Instant::now();
+    // Default: the paper's 3-level 1728-host tree, 25 seeds — the sweep the
+    // optimization targets.
+    let topo_name = arg_value("--topo").unwrap_or_else(|| "nodes_1728".to_string());
+    let num_seeds: u64 = arg_num("--seeds", 25);
+    // 0 = full sequence (n - 1 shift stages), the paper's Figure 3 workload.
+    let max_stages: usize = arg_num("--max-stages", 0);
+    let seeds: Vec<u64> = (1..=num_seeds).collect();
+    let opts = SequenceOptions {
+        max_stages: if max_stages == 0 {
+            usize::MAX
+        } else {
+            max_stages
+        },
+    };
+
+    let topo = Topology::build(spec_by_name(&topo_name));
+    let rt = route_dmodk(&topo);
+
+    if ftree_bench::has_flag("--breakdown") {
+        // Diagnostic: where does the fast engine's time go?
+        let t = Instant::now();
+        let cache = ftree_analysis::RouteCache::new(&topo, &rt).unwrap();
+        eprintln!(
+            "cache build: {:.1} ms (cached={})",
+            t.elapsed().as_secs_f64() * 1e3,
+            cache.is_cached()
+        );
+        let n = topo.num_hosts() as u32;
+        let order = ftree_core::NodeOrder::random(&topo, 1);
+        let stages = ftree_analysis::sampled_stages(Cps::Shift.num_stages(n), opts);
+        let t = Instant::now();
+        let mut total_flows = 0usize;
+        for &s in &stages {
+            total_flows += order.port_flows(&Cps::Shift.stage(n, s)).len();
+        }
+        eprintln!(
+            "stage-gen only: {:.1} ms ({} stages, {total_flows} flows)",
+            t.elapsed().as_secs_f64() * 1e3,
+            stages.len()
+        );
+        let mut scratch = ftree_analysis::StageScratch::for_cache(&cache);
+        let t = Instant::now();
+        let mut worst = 0u32;
+        for &s in &stages {
+            let flows = order.port_flows(&Cps::Shift.stage(n, s));
+            worst = worst.max(cache.stage_hsd(&flows, &mut scratch).unwrap().max);
+        }
+        eprintln!(
+            "stage-gen + hsd: {:.1} ms (worst {worst})",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        for seed in 1..=3u64 {
+            let order = ftree_core::NodeOrder::random(&topo, seed);
+            let t = Instant::now();
+            let r = ftree_analysis::sequence_hsd_cached(&cache, &order, &Cps::Shift, opts).unwrap();
+            eprintln!(
+                "seed {seed}: {:.1} ms (avg_max {:.3})",
+                t.elapsed().as_secs_f64() * 1e3,
+                r.avg_max
+            );
+        }
+        return;
+    }
+
+    let t = Instant::now();
+    let slow = reference::random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, opts)
+        .expect("healthy fabric routes");
+    let wall_ms_before = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let fast =
+        random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, opts).expect("healthy fabric routes");
+    let wall_ms_after = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_identical(&slow, &fast);
+    let speedup = wall_ms_before / wall_ms_after.max(1e-9);
+
+    let mut table = TextTable::new(vec!["engine", "wall ms", "sweep mean HSD"]);
+    table.row(vec![
+        "reference (trace-per-flow, serial)".to_string(),
+        format!("{wall_ms_before:.1}"),
+        format!("{:.3}", slow.mean),
+    ]);
+    table.row(vec![
+        "arena (CSR cache, parallel stages)".to_string(),
+        format!("{wall_ms_after:.1}"),
+        format!("{:.3}", fast.mean),
+    ]);
+    table.print();
+    let stages_label = if max_stages == 0 {
+        "all".to_string()
+    } else {
+        max_stages.to_string()
+    };
+    println!("\nspeedup: {speedup:.2}x ({topo_name}, {num_seeds} seeds, {stages_label} stages)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf\",\n",
+            "  \"topology\": \"{topo}\",\n",
+            "  \"params\": {{\"seeds\": {seeds}, \"max_stages\": \"{stages}\", \"cps\": \"shift\"}},\n",
+            "  \"metrics\": {{\"speedup\": {speedup:.4}, \"wall_ms_before\": {before:.3}, ",
+            "\"wall_ms_after\": {after:.3}}},\n",
+            "  \"wall_ms\": {wall:.3}\n",
+            "}}\n"
+        ),
+        topo = topo_name,
+        seeds = num_seeds,
+        stages = stages_label,
+        speedup = speedup,
+        before = wall_ms_before,
+        after = wall_ms_after,
+        wall = started.elapsed().as_secs_f64() * 1e3,
+    );
+    let path = arg_value("--json-out").unwrap_or_else(|| "results/BENCH_perf.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote perf results to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

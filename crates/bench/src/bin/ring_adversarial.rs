@@ -54,7 +54,11 @@ fn main() {
     for order in &orders {
         let hsd = sequence_hsd(&topo, &rt, order, &Cps::Ring, SequenceOptions::default())
             .expect("routable");
-        let plan = TrafficPlan::uniform(vec![order.port_flows(&Cps::Ring.stage(1944, 0))], bytes, Progression::Synchronized);
+        let plan = TrafficPlan::uniform(
+            vec![order.port_flows(&Cps::Ring.stage(1944, 0))],
+            bytes,
+            Progression::Synchronized,
+        );
         let sim = run_fluid(&topo, &rt, cfg, &plan);
         let per_host = sim.normalized_bw * cfg.host_bw.mbps as f64;
         table.row(vec![

@@ -36,7 +36,14 @@ fn main() {
     out.param("ranks", n as u64);
 
     println!("Table 1 reproduction: the algorithm -> CPS survey\n");
-    let mut decl = TextTable::new(vec!["collective", "algorithm", "library", "msgs", "CPS", "pow2"]);
+    let mut decl = TextTable::new(vec![
+        "collective",
+        "algorithm",
+        "library",
+        "msgs",
+        "CPS",
+        "pow2",
+    ]);
     for e in table1() {
         let cps: Vec<&str> = e.cps.iter().map(|c| c.label()).collect();
         decl.row(vec![
@@ -64,7 +71,13 @@ fn main() {
 
     println!("\nExecutable validation at {n} ranks (traced CPS vs declared):\n");
     let runs = run_survey(n);
-    let mut exec = TextTable::new(vec!["collective", "algorithm", "ranks", "identified CPS", "match"]);
+    let mut exec = TextTable::new(vec![
+        "collective",
+        "algorithm",
+        "ranks",
+        "identified CPS",
+        "match",
+    ]);
     for run in &runs {
         let ids: Vec<String> = run
             .identified
@@ -81,7 +94,10 @@ fn main() {
     }
     let verified = verify_survey(&runs);
     exec.print();
-    println!("\n{verified}/{} executed algorithms match their declared CPS.", runs.len());
+    println!(
+        "\n{verified}/{} executed algorithms match their declared CPS.",
+        runs.len()
+    );
 
     out.metric("survey_rows", table1().len());
     out.metric("distinct_cps", distinct.len());

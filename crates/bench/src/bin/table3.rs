@@ -56,7 +56,10 @@ fn main() {
             ),
             (
                 format!("Cont.-{}", n_total / 18),
-                surviving_ports(&exclusion_set(12, (n_total / 18) as usize, n_total), n_total),
+                surviving_ports(
+                    &exclusion_set(12, (n_total / 18) as usize, n_total),
+                    n_total,
+                ),
             ),
             (
                 format!("Cont.-{}", n_total / 9),

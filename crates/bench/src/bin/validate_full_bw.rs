@@ -48,16 +48,25 @@ fn main() {
         // stages idle most ranks by construction, which is why aggregate
         // normalized BW cannot reach 1.0 for it.
         let cases: Vec<(&str, &dyn PermutationSequence, usize, Progression)> = vec![
-            ("Shift (sampled)", &Cps::Shift, shift_stages, Progression::Asynchronous),
-            ("TopoAware RecDbl", &topo_rd, usize::MAX, Progression::Synchronized),
+            (
+                "Shift (sampled)",
+                &Cps::Shift,
+                shift_stages,
+                Progression::Asynchronous,
+            ),
+            (
+                "TopoAware RecDbl",
+                &topo_rd,
+                usize::MAX,
+                Progression::Synchronized,
+            ),
         ];
         let mut rows: Vec<serde_json::Value> = Vec::new();
         for (name, seq, max, mode) in cases {
             let plan = TrafficPlan::from_cps(&job.order, seq, bytes, mode, max);
             let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
             let r = maybe_record(PacketSim::new(&topo, &job.routing, cfg, &plan), &rec).run();
-            let stage_eff =
-                (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
+            let stage_eff = (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
             // Worst-case unloaded cut-through estimate: 6-hop path.
             let bound = cfg.cut_through_latency(bytes, 6);
             table.row(vec![
@@ -101,8 +110,7 @@ fn main() {
             let plan = TrafficPlan::from_cps(&order, seq, bytes, Progression::Synchronized, max);
             let stages = plan.stages().iter().filter(|s| !s.is_empty()).count() as u64;
             let r = run_fluid(&topo, &job.routing, cfg, &plan);
-            let stage_eff =
-                (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
+            let stage_eff = (stages * cfg.host_bw.transfer_time(bytes)) as f64 / r.makespan as f64;
             table.row(vec![
                 name.to_string(),
                 format!("{:.3}", r.normalized_bw),

@@ -111,7 +111,14 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -263,8 +270,8 @@ impl BenchJson {
     /// otherwise. Failures warn instead of panicking so a read-only working
     /// directory never kills an experiment.
     pub fn write(self) {
-        let path = arg_value("--json-out")
-            .unwrap_or_else(|| format!("results/{}.json", self.bench));
+        let path =
+            arg_value("--json-out").unwrap_or_else(|| format!("results/{}.json", self.bench));
         let body = serde_json::to_string_pretty(&self.render()).expect("bench json serializes");
         write_output(&path, &(body + "\n"), "results JSON");
     }

@@ -114,7 +114,14 @@ mod tests {
     #[test]
     fn identify_rejects_unknown() {
         // A permutation that is not constant-displacement and not XOR.
-        let weird = vec![Stage::new(vec![(0, 3), (1, 0), (2, 1), (3, 2), (4, 5), (5, 4)])];
+        let weird = vec![Stage::new(vec![
+            (0, 3),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 5),
+            (5, 4),
+        ])];
         assert_eq!(identify(&weird, 6), None);
     }
 

@@ -251,7 +251,10 @@ mod tests {
             received[0] = true;
             for st in Cps::Binomial.stages(n) {
                 for (s, d) in st.pairs {
-                    assert!(received[s as usize], "n={n}: rank {s} sends before receiving");
+                    assert!(
+                        received[s as usize],
+                        "n={n}: rank {s} sends before receiving"
+                    );
                     assert!(!received[d as usize], "n={n}: rank {d} receives twice");
                     received[d as usize] = true;
                 }
@@ -401,7 +404,9 @@ mod tests {
             if st.is_empty() {
                 continue;
             }
-            let d = st.constant_displacement(n).expect("binomial is constant-displacement");
+            let d = st
+                .constant_displacement(n)
+                .expect("binomial is constant-displacement");
             let shift = Cps::Shift.stage(n, (d - 1) as usize);
             for pair in &st.pairs {
                 assert!(shift.pairs.contains(pair));

@@ -136,7 +136,11 @@ mod tests {
         for s in 0..seq.num_stages(6) {
             for (a, b) in seq.stage(6, s).pairs {
                 let d = (positions[b as usize] + 12 - positions[a as usize]) % 12;
-                assert_eq!(d as usize, s + 1, "port displacement must equal stage shift");
+                assert_eq!(
+                    d as usize,
+                    s + 1,
+                    "port displacement must equal stage shift"
+                );
             }
         }
     }

@@ -92,24 +92,150 @@ pub fn table1() -> Vec<AlgorithmEntry> {
     use MessageClass::*;
     use MpiLibrary::*;
     vec![
-        AlgorithmEntry { collective: Allgather, algorithm: "recursive doubling", library: Both, message_class: Small, cps: &[RecursiveDoubling], pow2_only: true },
-        AlgorithmEntry { collective: Allgather, algorithm: "bruck", library: OpenMpi, message_class: Small, cps: &[Dissemination], pow2_only: false },
-        AlgorithmEntry { collective: Allgather, algorithm: "ring", library: Both, message_class: Large, cps: &[Ring], pow2_only: false },
-        AlgorithmEntry { collective: Allgather, algorithm: "neighbor exchange", library: OpenMpi, message_class: Large, cps: &[NeighborExchange], pow2_only: false },
-        AlgorithmEntry { collective: Allreduce, algorithm: "recursive doubling", library: Both, message_class: Small, cps: &[RecursiveDoubling], pow2_only: false },
-        AlgorithmEntry { collective: Allreduce, algorithm: "rabenseifner", library: Both, message_class: Large, cps: &[RecursiveHalving, RecursiveDoubling], pow2_only: false },
-        AlgorithmEntry { collective: Allreduce, algorithm: "ring (reduce-scatter + allgather)", library: OpenMpi, message_class: Large, cps: &[Ring], pow2_only: false },
-        AlgorithmEntry { collective: Alltoall, algorithm: "pairwise exchange", library: Mvapich, message_class: Large, cps: &[Shift], pow2_only: false },
-        AlgorithmEntry { collective: Alltoall, algorithm: "bruck", library: Both, message_class: Small, cps: &[Dissemination], pow2_only: false },
-        AlgorithmEntry { collective: Barrier, algorithm: "dissemination", library: OpenMpi, message_class: Any, cps: &[Dissemination], pow2_only: false },
-        AlgorithmEntry { collective: Barrier, algorithm: "recursive doubling", library: Mvapich, message_class: Any, cps: &[RecursiveDoubling], pow2_only: true },
-        AlgorithmEntry { collective: Broadcast, algorithm: "binomial tree", library: Both, message_class: Small, cps: &[Binomial], pow2_only: false },
-        AlgorithmEntry { collective: Broadcast, algorithm: "scatter + ring allgather", library: OpenMpi, message_class: Large, cps: &[Binomial, Ring], pow2_only: false },
-        AlgorithmEntry { collective: Gather, algorithm: "binomial tree", library: Both, message_class: Any, cps: &[Tournament], pow2_only: false },
-        AlgorithmEntry { collective: Reduce, algorithm: "binomial tree", library: Both, message_class: Small, cps: &[Tournament], pow2_only: false },
-        AlgorithmEntry { collective: ReduceScatter, algorithm: "recursive halving", library: Both, message_class: Small, cps: &[RecursiveHalving], pow2_only: true },
-        AlgorithmEntry { collective: ReduceScatter, algorithm: "pairwise exchange", library: Mvapich, message_class: Large, cps: &[Shift], pow2_only: false },
-        AlgorithmEntry { collective: Scatter, algorithm: "binomial tree", library: Both, message_class: Any, cps: &[Binomial], pow2_only: false },
+        AlgorithmEntry {
+            collective: Allgather,
+            algorithm: "recursive doubling",
+            library: Both,
+            message_class: Small,
+            cps: &[RecursiveDoubling],
+            pow2_only: true,
+        },
+        AlgorithmEntry {
+            collective: Allgather,
+            algorithm: "bruck",
+            library: OpenMpi,
+            message_class: Small,
+            cps: &[Dissemination],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Allgather,
+            algorithm: "ring",
+            library: Both,
+            message_class: Large,
+            cps: &[Ring],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Allgather,
+            algorithm: "neighbor exchange",
+            library: OpenMpi,
+            message_class: Large,
+            cps: &[NeighborExchange],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Allreduce,
+            algorithm: "recursive doubling",
+            library: Both,
+            message_class: Small,
+            cps: &[RecursiveDoubling],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Allreduce,
+            algorithm: "rabenseifner",
+            library: Both,
+            message_class: Large,
+            cps: &[RecursiveHalving, RecursiveDoubling],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Allreduce,
+            algorithm: "ring (reduce-scatter + allgather)",
+            library: OpenMpi,
+            message_class: Large,
+            cps: &[Ring],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Alltoall,
+            algorithm: "pairwise exchange",
+            library: Mvapich,
+            message_class: Large,
+            cps: &[Shift],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Alltoall,
+            algorithm: "bruck",
+            library: Both,
+            message_class: Small,
+            cps: &[Dissemination],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Barrier,
+            algorithm: "dissemination",
+            library: OpenMpi,
+            message_class: Any,
+            cps: &[Dissemination],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Barrier,
+            algorithm: "recursive doubling",
+            library: Mvapich,
+            message_class: Any,
+            cps: &[RecursiveDoubling],
+            pow2_only: true,
+        },
+        AlgorithmEntry {
+            collective: Broadcast,
+            algorithm: "binomial tree",
+            library: Both,
+            message_class: Small,
+            cps: &[Binomial],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Broadcast,
+            algorithm: "scatter + ring allgather",
+            library: OpenMpi,
+            message_class: Large,
+            cps: &[Binomial, Ring],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Gather,
+            algorithm: "binomial tree",
+            library: Both,
+            message_class: Any,
+            cps: &[Tournament],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Reduce,
+            algorithm: "binomial tree",
+            library: Both,
+            message_class: Small,
+            cps: &[Tournament],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: ReduceScatter,
+            algorithm: "recursive halving",
+            library: Both,
+            message_class: Small,
+            cps: &[RecursiveHalving],
+            pow2_only: true,
+        },
+        AlgorithmEntry {
+            collective: ReduceScatter,
+            algorithm: "pairwise exchange",
+            library: Mvapich,
+            message_class: Large,
+            cps: &[Shift],
+            pow2_only: false,
+        },
+        AlgorithmEntry {
+            collective: Scatter,
+            algorithm: "binomial tree",
+            library: Both,
+            message_class: Any,
+            cps: &[Binomial],
+            pow2_only: false,
+        },
     ]
 }
 
@@ -149,8 +275,15 @@ mod tests {
         use Collective::*;
         let t = table1();
         for c in [
-            Allgather, Allreduce, Alltoall, Barrier, Broadcast, Gather, Reduce,
-            ReduceScatter, Scatter,
+            Allgather,
+            Allreduce,
+            Alltoall,
+            Barrier,
+            Broadcast,
+            Gather,
+            Reduce,
+            ReduceScatter,
+            Scatter,
         ] {
             assert!(t.iter().any(|e| e.collective == c), "{}", c.label());
         }

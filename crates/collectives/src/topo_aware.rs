@@ -50,7 +50,6 @@ pub struct TopoStageId {
     pub role: TopoStageRole,
 }
 
-
 /// The Sec. VI topology-aware recursive-doubling sequence for a fat-tree
 /// whose level-`l` switches have `m[l-1]` children (the PGFT `m` vector).
 ///
@@ -176,7 +175,7 @@ pub fn topo_aware_subset(m: &[u32], ports: &[u32]) -> Result<TopoAwareRd, ShapeE
     let mut unit_size = 1u64; // M_{l-1}
     for (level, &m_l) in m.iter().enumerate() {
         let next_size = unit_size * u64::from(m_l); // M_l
-        // Count occupied sub-units per occupied level-(l+1) unit.
+                                                    // Count occupied sub-units per occupied level-(l+1) unit.
         let mut counts: Vec<usize> = Vec::new();
         let mut current_unit = u64::MAX;
         let mut seen_subunits: Vec<u64> = Vec::new();
@@ -285,7 +284,6 @@ mod tests {
         }
         knows
             .iter()
-            
             .all(|k| k.iter().map(|w| w.count_ones() as usize).sum::<usize>() == n)
     }
 
@@ -351,11 +349,7 @@ mod tests {
         let n = seq.num_ranks();
         for id in seq.schedule() {
             let st = seq.stage_for(id);
-            let mut disps: Vec<u32> = st
-                .pairs
-                .iter()
-                .map(|&(s, d)| (d + n - s) % n)
-                .collect();
+            let mut disps: Vec<u32> = st.pairs.iter().map(|&(s, d)| (d + n - s) % n).collect();
             disps.sort_unstable();
             disps.dedup();
             assert!(
@@ -378,10 +372,7 @@ mod tests {
         // Paper Sec. VI: at most 2 extra stages per level when K is not a
         // power of two.
         let seq = TopoAwareRd::new(vec![18, 18, 6]);
-        let base: usize = [18u32, 18, 6]
-            .iter()
-            .map(|&m| floor_log2(m) as usize)
-            .sum();
+        let base: usize = [18u32, 18, 6].iter().map(|&m| floor_log2(m) as usize).sum();
         assert!(seq.schedule().len() <= base + 2 * 3);
         assert_eq!(seq.schedule().len(), (4 + 2) + (4 + 2) + (2 + 2));
     }

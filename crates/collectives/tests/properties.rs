@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use ftree_collectives::{classify, Cps, PermutationSequence, PortSpace, SequenceClass, TopoAwareRd};
+use ftree_collectives::{
+    classify, Cps, PermutationSequence, PortSpace, SequenceClass, TopoAwareRd,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

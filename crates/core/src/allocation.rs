@@ -49,8 +49,14 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Empty => write!(f, "cannot allocate zero ranks"),
-            Self::TooLarge { requested, capacity } => {
-                write!(f, "requested {requested} ranks but the machine has {capacity}")
+            Self::TooLarge {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} ranks but the machine has {capacity}"
+                )
             }
             Self::Insufficient { requested } => {
                 write!(f, "no isolated placement available for {requested} ranks")
@@ -152,9 +158,7 @@ impl Allocator {
                 .leaves
                 .iter()
                 .position(|l| match l {
-                    LeafUse::Shared(slots) => {
-                        slots.iter().filter(|s| s.is_none()).count() >= ranks
-                    }
+                    LeafUse::Shared(slots) => slots.iter().filter(|s| s.is_none()).count() >= ranks,
                     _ => false,
                 })
                 .or_else(|| self.leaves.iter().position(|l| *l == LeafUse::Free))
@@ -303,10 +307,7 @@ mod tests {
             a.allocate(8),
             Err(AllocError::Insufficient { .. })
         ));
-        assert!(matches!(
-            a.allocate(129),
-            Err(AllocError::TooLarge { .. })
-        ));
+        assert!(matches!(a.allocate(129), Err(AllocError::TooLarge { .. })));
         assert!(matches!(a.allocate(0), Err(AllocError::Empty)));
     }
 
@@ -329,6 +330,9 @@ mod tests {
         assert_eq!(small.ports.len(), 6);
         let tiny = a.allocate(2).unwrap(); // shares the same leaf
         assert_eq!(small.ports[0] / 8, tiny.ports[0] / 8);
-        assert!(matches!(a.allocate(8), Err(AllocError::Insufficient { .. })));
+        assert!(matches!(
+            a.allocate(8),
+            Err(AllocError::Insufficient { .. })
+        ));
     }
 }

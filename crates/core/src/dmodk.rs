@@ -36,8 +36,8 @@ pub fn dmodk_down_port(topo: &Topology, level: usize, j: usize) -> u32 {
     debug_assert!(level >= 1);
     let spec = topo.spec();
     let c = spec.host_digit(j, level - 1);
-    let k = ((j / spec.w_prefix(level - 1)) / spec.w(level - 1) as usize)
-        % spec.p(level - 1) as usize;
+    let k =
+        ((j / spec.w_prefix(level - 1)) / spec.w(level - 1) as usize) % spec.p(level - 1) as usize;
     c + (k as u32) * spec.m(level - 1)
 }
 
@@ -138,7 +138,11 @@ mod tests {
         // Theorem 2: over the traffic that actually traverses the network
         // (LFT entries for destinations that never reach a switch don't
         // count), every down-going port serves exactly one destination.
-        for spec in [catalog::nodes_324(), catalog::nodes_128(), catalog::fig4_pgft_16()] {
+        for spec in [
+            catalog::nodes_324(),
+            catalog::nodes_128(),
+            catalog::fig4_pgft_16(),
+        ] {
             let (topo, rt) = routed(spec);
             let n = topo.num_hosts();
             // (channel used downward) -> destination; force the longest
@@ -207,7 +211,11 @@ mod tests {
                     }
                 }
             }
-            assert!(tops.len() <= 1, "dst {dst} uses {} top switches", tops.len());
+            assert!(
+                tops.len() <= 1,
+                "dst {dst} uses {} top switches",
+                tops.len()
+            );
         }
     }
 

@@ -74,9 +74,10 @@ impl Reachability {
                     if level == 0 && nid.index() == dst {
                         continue;
                     }
-                    let viable = node.up.iter().any(|pp| {
-                        failures.is_live(pp.link) && reach[pp.peer.index()][dst]
-                    });
+                    let viable = node
+                        .up
+                        .iter()
+                        .any(|pp| failures.is_live(pp.link) && reach[pp.peer.index()][dst]);
                     reach[nid.index()][dst] = viable;
                 }
             }
@@ -252,7 +253,8 @@ mod tests {
         failures.fail_up_port(&topo, leaf0, 3).unwrap();
 
         let rt = route_dmodk_ft(&topo, &failures);
-        rt.validate(&topo, usize::MAX).expect("all pairs still reachable");
+        rt.validate(&topo, usize::MAX)
+            .expect("all pairs still reachable");
         // Traced paths never cross the dead link.
         let dead = topo.node(leaf0).up[3].link;
         for src in 0..topo.num_hosts() {
@@ -372,7 +374,9 @@ mod tests {
         let leaf0 = topo.node_at(1, 0).unwrap();
         let mut failures = LinkFailures::none(&topo);
         for pp in &topo.node(leaf0).up {
-            failures.fail_down_port(&topo, pp.peer, pp.peer_port).unwrap();
+            failures
+                .fail_down_port(&topo, pp.peer, pp.peer_port)
+                .unwrap();
         }
 
         let reach = Reachability::compute(&topo, &failures);

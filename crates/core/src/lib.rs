@@ -28,8 +28,8 @@
 
 pub mod allocation;
 pub mod baselines;
-pub mod fault;
 pub mod dmodk;
+pub mod fault;
 pub mod ordering;
 pub mod planner;
 pub mod sm;
@@ -38,6 +38,6 @@ pub use allocation::{AllocError, Allocation, Allocator};
 pub use baselines::{route_minhop_greedy, route_random};
 pub use dmodk::{dmodk_down_port, dmodk_up_port, route_dmodk};
 pub use fault::{route_dmodk_ft, Reachability};
-pub use sm::{SubnetManager, SweepReport};
 pub use ordering::NodeOrder;
 pub use planner::{aligned_suballocation, suballocation_unit, Job, RoutingAlgo};
+pub use sm::{SubnetManager, SweepReport};

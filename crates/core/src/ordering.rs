@@ -192,10 +192,7 @@ mod tests {
     fn port_flows_translate_and_drop_self() {
         let ord = NodeOrder::from_map(vec![10, 11, 12, 13], "test");
         let stage = Stage::new(vec![(0, 1), (1, 2), (2, 2), (3, 0)]);
-        assert_eq!(
-            ord.port_flows(&stage),
-            vec![(10, 11), (11, 12), (13, 10)]
-        );
+        assert_eq!(ord.port_flows(&stage), vec![(10, 11), (11, 12), (13, 10)]);
     }
 
     #[test]

@@ -67,11 +67,7 @@ impl<'t> Job<'t> {
     /// Contention-free configuration for a partially-populated job: ranks
     /// follow topology order over the populated ports.
     pub fn contention_free_partial(topo: &'t Topology, ports: Vec<u32>) -> Self {
-        Self::new(
-            topo,
-            RoutingAlgo::DModK,
-            NodeOrder::topology_subset(ports),
-        )
+        Self::new(topo, RoutingAlgo::DModK, NodeOrder::topology_subset(ports))
     }
 
     /// Number of ranks in the job (may be smaller than the machine).

@@ -181,10 +181,12 @@ impl SubnetManager {
         if let Some(rec) = ftree_obs::global() {
             rec.counter("sm.sweeps").inc();
             rec.counter("sm.events_applied").add(events_applied as u64);
-            rec.counter("sm.links_changed").add(report.links_changed as u64);
+            rec.counter("sm.links_changed")
+                .add(report.links_changed as u64);
             rec.counter("sm.lft_entries_recomputed")
                 .add(entries_recomputed as u64);
-            rec.counter("sm.lft_entries_changed").add(entries_changed as u64);
+            rec.counter("sm.lft_entries_changed")
+                .add(entries_changed as u64);
             rec.gauge("sm.failed_links").set(report.failed_links as i64);
         }
         self.reports.push(report.clone());
@@ -307,8 +309,16 @@ mod tests {
         let l0 = topo.node(leaf0).up[1].link;
         let l1 = topo.node(leaf2).up[2].link;
         let sched = FaultSchedule::new(vec![
-            LinkEvent { time: 100, link: l0, kind: LinkEventKind::Fail },
-            LinkEvent { time: 200, link: l1, kind: LinkEventKind::Fail },
+            LinkEvent {
+                time: 100,
+                link: l0,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 200,
+                link: l1,
+                kind: LinkEventKind::Fail,
+            },
         ]);
         let mut sm = SubnetManager::new(&topo, sched).unwrap();
 
@@ -332,8 +342,16 @@ mod tests {
         let leaf1 = topo.node_at(1, 1).unwrap();
         let link = topo.node(leaf1).up[0].link;
         let sched = FaultSchedule::new(vec![
-            LinkEvent { time: 10, link, kind: LinkEventKind::Fail },
-            LinkEvent { time: 900, link, kind: LinkEventKind::Recover },
+            LinkEvent {
+                time: 10,
+                link,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 900,
+                link,
+                kind: LinkEventKind::Recover,
+            },
         ]);
         let mut sm = SubnetManager::new(&topo, sched).unwrap();
         let reports = sm.sweep_all(&topo);
@@ -350,9 +368,21 @@ mod tests {
         let l0 = topo.node(leaf0).up[0].link;
         let l1 = topo.node(leaf0).up[3].link;
         let sched = FaultSchedule::new(vec![
-            LinkEvent { time: 10, link: l0, kind: LinkEventKind::Fail },
-            LinkEvent { time: 20, link: l0, kind: LinkEventKind::Recover },
-            LinkEvent { time: 30, link: l1, kind: LinkEventKind::Fail },
+            LinkEvent {
+                time: 10,
+                link: l0,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 20,
+                link: l0,
+                kind: LinkEventKind::Recover,
+            },
+            LinkEvent {
+                time: 30,
+                link: l1,
+                kind: LinkEventKind::Fail,
+            },
         ]);
         let mut sm = SubnetManager::new(&topo, sched).unwrap();
         assert_eq!(sm.next_event_time(), Some(10));

@@ -83,7 +83,11 @@ fn lemma2_contiguous_windows_use_distinct_ports() {
 /// non-overlapping on RLFTs.
 #[test]
 fn lemma3_wraparound_is_port_aligned() {
-    for spec in [catalog::nodes_324(), catalog::nodes_1944(), catalog::nodes_128()] {
+    for spec in [
+        catalog::nodes_324(),
+        catalog::nodes_1944(),
+        catalog::nodes_128(),
+    ] {
         let topo = Topology::build(spec);
         let n = topo.num_hosts();
         for level in 0..topo.height() {

@@ -70,7 +70,10 @@ pub fn dissemination_allgather(world: &mut World, b: usize) {
 /// annotation in the paper's table).
 pub fn recursive_doubling_allgather(world: &mut World, b: usize) {
     let n = world.num_ranks();
-    assert!(n.is_power_of_two(), "recursive doubling allgather needs 2^k ranks");
+    assert!(
+        n.is_power_of_two(),
+        "recursive doubling allgather needs 2^k ranks"
+    );
     for s in 0..Cps::RecursiveDoubling.num_stages(n as u32) {
         let stage = Cps::RecursiveDoubling.stage(n as u32, s);
         let span = 1usize << s;
@@ -123,10 +126,11 @@ fn merge_known(known: &mut [Vec<bool>], pairs: &[(u32, u32)]) {
 /// OpenMPI large messages, even rank counts).
 pub fn neighbor_exchange_allgather(world: &mut World, b: usize) {
     let n = world.num_ranks();
-    assert!(n.is_multiple_of(2), "neighbor exchange needs an even rank count");
-    let mut known: Vec<Vec<bool>> = (0..n)
-        .map(|r| (0..n).map(|k| k == r).collect())
-        .collect();
+    assert!(
+        n.is_multiple_of(2),
+        "neighbor exchange needs an even rank count"
+    );
+    let mut known: Vec<Vec<bool>> = (0..n).map(|r| (0..n).map(|k| k == r).collect()).collect();
     for s in 0..Cps::NeighborExchange.num_stages(n as u32) {
         let stage = Cps::NeighborExchange.stage(n as u32, s);
         let msgs = stage
@@ -145,9 +149,7 @@ pub fn neighbor_exchange_allgather(world: &mut World, b: usize) {
 pub fn topo_aware_allgather(world: &mut World, b: usize, seq: &TopoAwareRd) {
     let n = world.num_ranks();
     assert_eq!(n as u32, seq.num_ranks());
-    let mut known: Vec<Vec<bool>> = (0..n)
-        .map(|r| (0..n).map(|k| k == r).collect())
-        .collect();
+    let mut known: Vec<Vec<bool>> = (0..n).map(|r| (0..n).map(|k| k == r).collect()).collect();
     for id in seq.schedule() {
         let stage = seq.stage_for(id);
         let msgs = stage

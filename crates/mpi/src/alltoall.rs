@@ -46,9 +46,7 @@ pub fn dissemination_barrier(world: &mut World) {
         let msgs = stage
             .pairs
             .iter()
-            .map(|&(src, dst)| {
-                Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec())
-            })
+            .map(|&(src, dst)| Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec()))
             .collect();
         world.exchange(msgs);
     }
@@ -58,8 +56,8 @@ pub fn dissemination_barrier(world: &mut World) {
 mod tests {
     use super::*;
     use crate::data::{alltoall_world, verify_alltoall};
-    use ftree_collectives::identify;
     use crate::world::World;
+    use ftree_collectives::identify;
 
     #[test]
     fn pairwise_alltoall_works_and_traces_shift() {

@@ -30,7 +30,10 @@ pub fn allgatherv_world(counts: &[usize]) -> World {
     let counts = counts.to_vec();
     World::new(counts.len(), move |r| {
         let mut buf = vec![0i64; total];
-        for (k, slot) in buf[offsets[r]..offsets[r] + counts[r]].iter_mut().enumerate() {
+        for (k, slot) in buf[offsets[r]..offsets[r] + counts[r]]
+            .iter_mut()
+            .enumerate()
+        {
             *slot = (r * 1_000 + k) as i64;
         }
         buf
@@ -92,7 +95,11 @@ pub fn binomial_gatherv(world: &mut World, counts: &[usize]) {
             .map(|&(src, dst)| {
                 let lo = offsets[src as usize];
                 let hi_rank = (src as usize + held).min(n);
-                let hi = if hi_rank == n { total } else { offsets[hi_rank] };
+                let hi = if hi_rank == n {
+                    total
+                } else {
+                    offsets[hi_rank]
+                };
                 Message::store(src, dst, lo, world.buf(src as usize)[lo..hi].to_vec())
             })
             .collect();

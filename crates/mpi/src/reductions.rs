@@ -101,8 +101,7 @@ pub fn rabenseifner_allreduce(world: &mut World, b: usize) {
 mod tests {
     use super::*;
     use crate::data::{
-        blockwise_reduce_world, reduce_world, seed_block, verify_allreduce,
-        verify_reduce_scatter,
+        blockwise_reduce_world, reduce_world, seed_block, verify_allreduce, verify_reduce_scatter,
     };
     use ftree_collectives::identify;
 

@@ -90,9 +90,7 @@ pub fn binomial_reduce(world: &mut World) {
         let msgs = stage
             .pairs
             .iter()
-            .map(|&(src, dst)| {
-                Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec())
-            })
+            .map(|&(src, dst)| Message::accumulate(src, dst, 0, world.buf(src as usize).to_vec()))
             .collect();
         world.exchange(msgs);
     }
@@ -142,7 +140,11 @@ mod tests {
             let mut w = allgather_world(n, 2);
             binomial_gather(&mut w, 2);
             verify_gather(&w, 2, 0);
-            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Tournament), "n={n}");
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::Tournament),
+                "n={n}"
+            );
         }
     }
 
@@ -169,7 +171,11 @@ mod tests {
             let mut w = reduce_world(n, 5);
             binomial_reduce(&mut w);
             verify_allreduce(&w, 5, std::iter::once(0));
-            assert_eq!(identify(w.trace(), n as u32), Some(Cps::Tournament), "n={n}");
+            assert_eq!(
+                identify(w.trace(), n as u32),
+                Some(Cps::Tournament),
+                "n={n}"
+            );
         }
     }
 }

@@ -13,7 +13,9 @@ use crate::allgather::{
     ring_allgather,
 };
 use crate::alltoall::{dissemination_barrier, pairwise_alltoall};
-use crate::data::{allgather_world, alltoall_world, blockwise_reduce_world, reduce_world, rooted_world};
+use crate::data::{
+    allgather_world, alltoall_world, blockwise_reduce_world, reduce_world, rooted_world,
+};
 use crate::reductions::{
     rabenseifner_allreduce, recursive_doubling_allreduce, recursive_halving_reduce_scatter,
 };
@@ -136,9 +138,7 @@ pub fn run_survey(n: usize) -> Vec<SurveyRun> {
         );
     }
     {
-        let mut w = World::new(n, |r| {
-            (0..n).map(|k| i64::from(k == r)).collect()
-        });
+        let mut w = World::new(n, |r| (0..n).map(|k| i64::from(k == r)).collect());
         dissemination_barrier(&mut w);
         record(
             Collective::Barrier,

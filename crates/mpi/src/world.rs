@@ -205,10 +205,7 @@ mod tests {
         let mut w = World::new(2, |r| vec![r as i64]);
         let a = w.buf(0).to_vec();
         let b = w.buf(1).to_vec();
-        w.exchange(vec![
-            Message::store(0, 1, 0, a),
-            Message::store(1, 0, 0, b),
-        ]);
+        w.exchange(vec![Message::store(0, 1, 0, a), Message::store(1, 0, 0, b)]);
         assert_eq!(w.buf(0), &[1]);
         assert_eq!(w.buf(1), &[0]);
     }

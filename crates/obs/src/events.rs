@@ -244,7 +244,12 @@ mod tests {
     #[test]
     fn ndjson_round_trips() {
         let fr = FlightRecorder::new(16);
-        fr.record(ObsEvent::ChannelBusy { t: 1, ch: 2, dur: 3, bytes: 4 });
+        fr.record(ObsEvent::ChannelBusy {
+            t: 1,
+            ch: 2,
+            dur: 3,
+            bytes: 4,
+        });
         fr.record(ObsEvent::SweepEnd {
             t: 9,
             report: serde_json::json!({"sweep": 0, "links_changed": 1}),
@@ -260,7 +265,14 @@ mod tests {
 
     #[test]
     fn tag_is_snake_case() {
-        let ev = ObsEvent::PacketDrop { t: 0, ch: 1, src: 2, dst: 3, msg: 4, attempt: 0 };
+        let ev = ObsEvent::PacketDrop {
+            t: 0,
+            ch: 1,
+            src: 2,
+            dst: 3,
+            msg: 4,
+            attempt: 0,
+        };
         let s = serde_json::to_string(&ev).unwrap();
         assert!(s.contains("\"ev\":\"packet_drop\""), "{s}");
     }

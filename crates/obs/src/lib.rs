@@ -57,9 +57,7 @@ pub mod recorder;
 pub mod trace;
 
 pub use events::{FlightRecorder, ObsEvent};
-pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
-};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use phase::{ObsPhase, PhaseSummary};
 pub use recorder::{global, install, uninstall, Recorder};
 pub use trace::chrome_trace;

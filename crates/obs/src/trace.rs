@@ -68,7 +68,14 @@ where
                     "args": {"bytes": bytes},
                 }));
             }
-            ObsEvent::PacketDrop { t, ch, src, dst, msg, attempt } => {
+            ObsEvent::PacketDrop {
+                t,
+                ch,
+                src,
+                dst,
+                msg,
+                attempt,
+            } => {
                 channels_seen.insert(*ch);
                 out.push(json!({
                     "name": "drop",
@@ -81,7 +88,13 @@ where
                     "args": {"src": src, "dst": dst, "msg": msg, "attempt": attempt},
                 }));
             }
-            ObsEvent::Delivery { t, src, dst, msg, bytes } => {
+            ObsEvent::Delivery {
+                t,
+                src,
+                dst,
+                msg,
+                bytes,
+            } => {
                 hosts_seen.insert(*src);
                 out.push(json!({
                     "name": format!("deliver msg {msg}"),
@@ -94,7 +107,12 @@ where
                     "args": {"dst": dst, "bytes": bytes},
                 }));
             }
-            ObsEvent::Retransmit { t, host, msg, attempt } => {
+            ObsEvent::Retransmit {
+                t,
+                host,
+                msg,
+                attempt,
+            } => {
                 hosts_seen.insert(*host);
                 out.push(json!({
                     "name": format!("retransmit msg {msg}"),
@@ -199,12 +217,8 @@ where
 
     // Metadata: process and thread names for every track actually used.
     let mut meta: Vec<Value> = Vec::new();
-    let process_name = |pid: u64, name: &str| {
-        json!({"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}})
-    };
-    let thread_name = |pid: u64, tid: u64, name: String| {
-        json!({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}})
-    };
+    let process_name = |pid: u64, name: &str| json!({"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}});
+    let thread_name = |pid: u64, tid: u64, name: String| json!({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}});
     if !channels_seen.is_empty() {
         meta.push(process_name(FABRIC_PID, "fabric channels"));
         for &ch in &channels_seen {
@@ -213,7 +227,11 @@ where
     }
     if control_seen {
         meta.push(process_name(CONTROL_PID, "control plane"));
-        meta.push(thread_name(CONTROL_PID, SM_TID, "subnet manager".to_string()));
+        meta.push(thread_name(
+            CONTROL_PID,
+            SM_TID,
+            "subnet manager".to_string(),
+        ));
         meta.push(thread_name(CONTROL_PID, FAULT_TID, "faults".to_string()));
     }
     if !hosts_seen.is_empty() {
@@ -242,14 +260,35 @@ mod tests {
     #[test]
     fn trace_has_spans_instants_and_metadata() {
         let events = vec![
-            ObsEvent::ChannelBusy { t: 1_000_000, ch: 4, dur: 500_000, bytes: 2048 },
-            ObsEvent::PacketDrop { t: 2_000_000, ch: 4, src: 0, dst: 9, msg: 0, attempt: 0 },
-            ObsEvent::LinkFail { t: 2_000_000, link: 2 },
+            ObsEvent::ChannelBusy {
+                t: 1_000_000,
+                ch: 4,
+                dur: 500_000,
+                bytes: 2048,
+            },
+            ObsEvent::PacketDrop {
+                t: 2_000_000,
+                ch: 4,
+                src: 0,
+                dst: 9,
+                msg: 0,
+                attempt: 0,
+            },
+            ObsEvent::LinkFail {
+                t: 2_000_000,
+                link: 2,
+            },
             ObsEvent::SweepEnd {
                 t: 7_000_000,
                 report: serde_json::json!({"sweep": 0, "oldest_event_age": 5_000_000u64}),
             },
-            ObsEvent::Delivery { t: 8_000_000, src: 0, dst: 9, msg: 1, bytes: 4096 },
+            ObsEvent::Delivery {
+                t: 8_000_000,
+                src: 0,
+                dst: 9,
+                msg: 1,
+                bytes: 4096,
+            },
         ];
         let trace = chrome_trace(&events, label("ch"), label("link"));
         let evs = trace["traceEvents"].as_array().unwrap();
@@ -269,8 +308,9 @@ mod tests {
         // Repair window: [7us - 5us, 7us].
         assert_eq!(sweep["ts"].as_f64().unwrap(), 2.0);
         assert_eq!(sweep["dur"].as_f64().unwrap(), 5.0);
-        assert!(evs.iter().any(|e| e["ph"] == "M"
-            && e["args"]["name"] == "ch4"));
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "ch4"));
         assert!(evs.iter().any(|e| e["ph"] == "i" && e["cat"] == "fault"));
     }
 
@@ -278,7 +318,10 @@ mod tests {
     fn sweep_begin_is_folded_into_end() {
         let events = vec![
             ObsEvent::SweepBegin { t: 5, sweep: 0 },
-            ObsEvent::SweepEnd { t: 5, report: serde_json::json!({"sweep": 0}) },
+            ObsEvent::SweepEnd {
+                t: 5,
+                report: serde_json::json!({"sweep": 0}),
+            },
         ];
         let trace = chrome_trace(&events, label("ch"), label("l"));
         let evs = trace["traceEvents"].as_array().unwrap();

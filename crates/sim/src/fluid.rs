@@ -105,7 +105,10 @@ pub fn run_fluid(
         Progression::Synchronized => stage_counts.iter().position(|&c| c > 0).unwrap_or(0) as u32,
         Progression::Asynchronous => 0,
     };
-    let mut stage_remaining = stage_counts.get(current_stage as usize).copied().unwrap_or(0);
+    let mut stage_remaining = stage_counts
+        .get(current_stage as usize)
+        .copied()
+        .unwrap_or(0);
 
     // Start a host's next eligible message.
     let start_host = |hosts: &mut Vec<HostSched>,
@@ -204,7 +207,13 @@ pub fn run_fluid(
         match plan.mode {
             Progression::Asynchronous => {
                 for h in finished_hosts {
-                    start_host(&mut hosts, &mut active, h as usize, current_stage, plan.mode);
+                    start_host(
+                        &mut hosts,
+                        &mut active,
+                        h as usize,
+                        current_stage,
+                        plan.mode,
+                    );
                 }
             }
             Progression::Synchronized => {
@@ -276,7 +285,12 @@ mod tests {
     #[test]
     fn single_flow_runs_at_host_rate() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let r = fluid(&topo, vec![vec![(0, 9)]], 3_250_000, Progression::Asynchronous);
+        let r = fluid(
+            &topo,
+            vec![vec![(0, 9)]],
+            3_250_000,
+            Progression::Asynchronous,
+        );
         // 3.25 MB at 3250 MB/s = 1 ms = 1e9 ps.
         assert_eq!(r.messages_completed, 1);
         let expected = 1_000_000_000u64;
@@ -306,8 +320,18 @@ mod tests {
         // dsts 4 and 8 share the leaf-0 up-port (both ≡ 0 mod 4): the two
         // flows split one 4000 MB/s link -> 2000 MB/s each, slower than the
         // 3250 MB/s host bound.
-        let free = fluid(&topo, vec![vec![(0, 4), (1, 5)]], 1 << 20, Progression::Synchronized);
-        let hot = fluid(&topo, vec![vec![(0, 4), (1, 8)]], 1 << 20, Progression::Synchronized);
+        let free = fluid(
+            &topo,
+            vec![vec![(0, 4), (1, 5)]],
+            1 << 20,
+            Progression::Synchronized,
+        );
+        let hot = fluid(
+            &topo,
+            vec![vec![(0, 4), (1, 8)]],
+            1 << 20,
+            Progression::Synchronized,
+        );
         let ratio = hot.makespan as f64 / free.makespan as f64;
         assert!(
             (ratio - 3250.0 / 2000.0).abs() < 0.02,

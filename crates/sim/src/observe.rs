@@ -34,11 +34,7 @@ mod tests {
     fn trace_labels_use_fabric_names() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let rt = route_dmodk(&topo);
-        let plan = TrafficPlan::uniform(
-            vec![vec![(0, 9)]],
-            4096,
-            Progression::Asynchronous,
-        );
+        let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 4096, Progression::Asynchronous);
         let rec = Arc::new(Recorder::new());
         let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
             .with_recorder(rec.clone())
@@ -47,7 +43,10 @@ mod tests {
         assert!(!rec.events().is_empty(), "channel activity was recorded");
         let trace = export_chrome_trace(&topo, &rec);
         let rendered = trace.to_string();
-        assert!(rendered.contains("H0000 ->"), "host 0's up channel is named");
+        assert!(
+            rendered.contains("H0000 ->"),
+            "host 0's up channel is named"
+        );
         assert!(rendered.contains("traceEvents"));
     }
 }

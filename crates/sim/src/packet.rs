@@ -35,7 +35,9 @@ use std::sync::Arc;
 
 use ftree_core::{SubnetManager, SweepReport};
 use ftree_obs::{ObsEvent, Recorder};
-use ftree_topology::{LinkEventKind, LinkFailures, NodeId, RoutingTable, Topology, TopologyError};
+use ftree_topology::{
+    LinkEventKind, LinkFailures, NextChannelTable, NodeId, RoutingTable, Topology, TopologyError,
+};
 
 use crate::config::{SimConfig, SwitchModel, Time};
 use crate::lifecycle::FabricLifecycle;
@@ -157,17 +159,30 @@ struct ChannelState {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    Arrival { pkt: u32, ch: u32 },
-    ChannelFree { ch: u32 },
-    DrainDone { ch: u32 },
+    Arrival {
+        pkt: u32,
+        ch: u32,
+    },
+    ChannelFree {
+        ch: u32,
+    },
+    DrainDone {
+        ch: u32,
+    },
     /// Delayed host start (OS-jitter modeling).
-    HostKick { host: u32 },
+    HostKick {
+        host: u32,
+    },
     /// Apply due fault-schedule events to the physical fabric (lifecycle).
     FabricEvent,
     /// Subnet-manager sweep: repair the routing table (lifecycle).
     SmSweep,
     /// Check whether a message attempt was delivered; retransmit if not.
-    RetransmitCheck { host: u32, msg: u32, attempt: u32 },
+    RetransmitCheck {
+        host: u32,
+        msg: u32,
+        attempt: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +234,11 @@ pub struct PacketSim<'a> {
     /// Static routing table (`None` in lifecycle runs, which route through
     /// the subnet manager's continuously repaired table).
     rt: Option<&'a RoutingTable>,
+    /// Dense `(node, dst) → channel` cache precomputed from the static
+    /// table; static runs only — lifecycle runs route through the SM's
+    /// live table, which changes under repair. Bypassed while route-decision
+    /// events are being recorded (the slow path emits them).
+    next_tbl: Option<NextChannelTable>,
     /// Lifecycle parameters, when simulating a dynamic fabric.
     lifecycle: Option<FabricLifecycle>,
     /// The subnet manager owning the live routing table (lifecycle runs).
@@ -331,9 +351,11 @@ impl<'a> PacketSim<'a> {
         } else {
             Vec::new()
         };
+        let next_tbl = rt.map(|rt| NextChannelTable::build(topo, rt));
         Ok(Self {
             topo,
             rt,
+            next_tbl,
             lifecycle,
             sm,
             phys: LinkFailures::none(topo),
@@ -381,6 +403,15 @@ impl<'a> PacketSim<'a> {
         self
     }
 
+    /// Drops the precomputed next-channel cache so every hop routes through
+    /// [`RoutingTable::egress`] again. Diagnostic knob: the equivalence
+    /// tests (and `ci.yml`'s perf-smoke job) run static simulations both
+    /// ways and assert bit-identical results.
+    pub fn without_route_cache(mut self) -> Self {
+        self.next_tbl = None;
+        self
+    }
+
     /// The routing table in force right now (the SM's live table in
     /// lifecycle runs, the caller's static table otherwise).
     fn route(&self) -> &RoutingTable {
@@ -420,6 +451,9 @@ impl<'a> PacketSim<'a> {
     /// `None` when a multi-cabled host currently has no route).
     fn host_channel(&self, h: u32, dst: u32) -> Option<u32> {
         let host = self.topo.host(h as usize);
+        if let Some(tbl) = &self.next_tbl {
+            return tbl.next_channel(host, dst as usize).map(|ch| ch.0);
+        }
         let port = self.route().egress(host, dst as usize)?;
         Some(self.topo.egress_channel(host, port).0)
     }
@@ -475,7 +509,9 @@ impl<'a> PacketSim<'a> {
         match self.host_channel(h, dst) {
             Some(ch) => {
                 self.hosts[h as usize].active = true;
-                self.channels[ch as usize].waiting.push_back(Requester::Host(h));
+                self.channels[ch as usize]
+                    .waiting
+                    .push_back(Requester::Host(h));
                 self.try_grant(ch);
             }
             None => {
@@ -547,7 +583,12 @@ impl<'a> PacketSim<'a> {
         let serialize = self.cfg.host_bw.transfer_time(size);
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
         }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
@@ -565,7 +606,11 @@ impl<'a> PacketSim<'a> {
                 let rto = lc.rto(attempt);
                 self.schedule_event(
                     depart + rto,
-                    EventKind::RetransmitCheck { host: h, msg, attempt },
+                    EventKind::RetransmitCheck {
+                        host: h,
+                        msg,
+                        attempt,
+                    },
                 );
             }
         }
@@ -586,7 +631,12 @@ impl<'a> PacketSim<'a> {
         let serialize = self.cfg.link_bw.transfer_time(size);
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
         }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
@@ -610,7 +660,12 @@ impl<'a> PacketSim<'a> {
         let serialize = self.cfg.link_bw.transfer_time(size);
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy { t: self.now, ch: e, dur: serialize, bytes: size });
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
         }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
@@ -629,9 +684,21 @@ impl<'a> PacketSim<'a> {
     /// the LFT entry is currently cleared — a lifecycle blackhole).
     fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> Option<u32> {
         let dst = self.packets[pkt_id as usize].dst;
+        let route_events = self
+            .recorder
+            .as_ref()
+            .is_some_and(|rec| rec.route_events_enabled());
+        if !route_events {
+            // Static-run fast path: one table load replaces the LFT decode
+            // plus port→channel mapping. Taken only when no RouteDecision
+            // event would be emitted, so traces stay identical.
+            if let Some(tbl) = &self.next_tbl {
+                return tbl.next_channel(here, dst as usize).map(|ch| ch.0);
+            }
+        }
         let port = self.route().egress(here, dst as usize)?;
-        if let Some(rec) = &self.recorder {
-            if rec.route_events_enabled() {
+        if route_events {
+            if let Some(rec) = &self.recorder {
                 rec.record(ObsEvent::RouteDecision {
                     t: self.now,
                     node: here.0,
@@ -659,7 +726,9 @@ impl<'a> PacketSim<'a> {
             match self.egress_for(here, pkt_id) {
                 Some(e) => {
                     self.channels[i as usize].head_requested = true;
-                    self.channels[e as usize].waiting.push_back(Requester::Input(i));
+                    self.channels[e as usize]
+                        .waiting
+                        .push_back(Requester::Input(i));
                     self.try_grant(e);
                     return;
                 }
@@ -813,7 +882,10 @@ impl<'a> PacketSim<'a> {
                         Some(e) => {
                             self.channels[e as usize]
                                 .waiting
-                                .push_back(Requester::Packet { pkt: pkt_id, input: ch });
+                                .push_back(Requester::Packet {
+                                    pkt: pkt_id,
+                                    input: ch,
+                                });
                             self.try_grant(e);
                         }
                         None => {
@@ -883,10 +955,14 @@ impl<'a> PacketSim<'a> {
             if effective {
                 if let Some(rec) = &self.recorder {
                     rec.record(match ev.kind {
-                        LinkEventKind::Fail => ObsEvent::LinkFail { t: self.now, link: ev.link },
-                        LinkEventKind::Recover => {
-                            ObsEvent::LinkRecover { t: self.now, link: ev.link }
-                        }
+                        LinkEventKind::Fail => ObsEvent::LinkFail {
+                            t: self.now,
+                            link: ev.link,
+                        },
+                        LinkEventKind::Recover => ObsEvent::LinkRecover {
+                            t: self.now,
+                            link: ev.link,
+                        },
                     });
                 }
             }
@@ -896,16 +972,12 @@ impl<'a> PacketSim<'a> {
     /// Subnet-manager sweep: repair the routing table, then re-kick every
     /// idle host (routes that were missing may exist again).
     fn handle_sm_sweep(&mut self) {
-        if self.sm.is_some() {
+        if let Some(sm) = self.sm.as_mut() {
             if let Some(rec) = &self.recorder {
-                let sweep = self.sm.as_ref().expect("checked above").reports().len();
+                let sweep = sm.reports().len();
                 rec.record(ObsEvent::SweepBegin { t: self.now, sweep });
             }
-            let report = self
-                .sm
-                .as_mut()
-                .expect("checked above")
-                .sweep(self.topo, self.now);
+            let report = sm.sweep(self.topo, self.now);
             if let Some(rec) = &self.recorder {
                 rec.record(ObsEvent::SweepEnd {
                     t: self.now,
@@ -935,7 +1007,11 @@ impl<'a> PacketSim<'a> {
             st.delivered = true;
             self.messages_lost += 1;
             if let Some(rec) = &self.recorder {
-                rec.record(ObsEvent::MessageLost { t: self.now, host, msg });
+                rec.record(ObsEvent::MessageLost {
+                    t: self.now,
+                    host,
+                    msg,
+                });
             }
             if self.mode == Progression::Synchronized {
                 self.stage_remaining -= 1;
@@ -950,7 +1026,12 @@ impl<'a> PacketSim<'a> {
         let attempt = st.attempt;
         self.retransmits += 1;
         if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::Retransmit { t: self.now, host, msg, attempt });
+            rec.record(ObsEvent::Retransmit {
+                t: self.now,
+                host,
+                msg,
+                attempt,
+            });
         }
         self.hosts[host as usize].retx.push_back(msg);
         self.host_request(host);
@@ -1098,6 +1179,25 @@ mod tests {
     }
 
     #[test]
+    fn route_cache_is_bit_identical_to_table_lookups() {
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = route_dmodk(&topo);
+        let n = topo.num_hosts() as u32;
+        // Congested random-ish pattern so arbitration order matters.
+        let stages: Vec<Vec<(u32, u32)>> = (0..4)
+            .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+            .collect();
+        let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
+        let cached = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        let slow = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+            .without_route_cache()
+            .run();
+        // Every field, including the full per-channel busy vector.
+        assert_eq!(format!("{cached:?}"), format!("{slow:?}"));
+        assert_eq!(cached.channel_busy, slow.channel_busy);
+    }
+
+    #[test]
     fn single_message_delivers_all_bytes() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let r = sim_once(&topo, vec![vec![(0, 9)]], 10_000, Progression::Asynchronous);
@@ -1114,9 +1214,8 @@ mod tests {
         let r = sim_once(&topo, vec![vec![(0, 9)]], bytes, Progression::Asynchronous);
         // 4-hop path: host->leaf->spine->leaf->host.
         let per_hop = cfg.switch_latency + cfg.wire_latency;
-        let expected = cfg.host_bw.transfer_time(bytes)
-            + 3 * cfg.link_bw.transfer_time(bytes)
-            + 4 * per_hop;
+        let expected =
+            cfg.host_bw.transfer_time(bytes) + 3 * cfg.link_bw.transfer_time(bytes) + 4 * per_hop;
         assert_eq!(r.max_latency, expected);
     }
 
@@ -1169,8 +1268,7 @@ mod tests {
     #[test]
     fn synchronized_mode_barriers_between_stages() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let stages: Vec<Vec<(u32, u32)>> =
-            vec![vec![(0, 4)], vec![(4, 0)], vec![(0, 4)]];
+        let stages: Vec<Vec<(u32, u32)>> = vec![vec![(0, 4)], vec![(4, 0)], vec![(0, 4)]];
         let sync = sim_once(&topo, stages.clone(), 8192, Progression::Synchronized);
         let asyn = sim_once(&topo, stages, 8192, Progression::Asynchronous);
         assert_eq!(sync.messages_delivered, 3);
@@ -1192,10 +1290,18 @@ mod tests {
     #[test]
     fn utilization_tracks_busy_channels() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let r = sim_once(&topo, vec![vec![(0, 9)]], 262_144, Progression::Asynchronous);
+        let r = sim_once(
+            &topo,
+            vec![vec![(0, 9)]],
+            262_144,
+            Progression::Asynchronous,
+        );
         // Host 0's up channel streams almost the entire run (PCIe-bound).
         let host_up = topo
-            .channel(topo.node(topo.host(0)).up[0].link, ftree_topology::Direction::Up)
+            .channel(
+                topo.node(topo.host(0)).up[0].link,
+                ftree_topology::Direction::Up,
+            )
             .index();
         assert!(r.utilization(host_up) > 0.95, "{}", r.utilization(host_up));
         // Links on the path are busy 3250/4000 of the time at most.
@@ -1241,7 +1347,11 @@ mod tests {
         let samples: Vec<u64> = (0..64).map(|h| jitter_ps(1, h, 0, max)).collect();
         assert!(samples.iter().all(|&j| j <= max));
         let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
-        assert!(distinct.len() > 48, "hash should spread: {} distinct", distinct.len());
+        assert!(
+            distinct.len() > 48,
+            "hash should spread: {} distinct",
+            distinct.len()
+        );
         assert_eq!(jitter_ps(1, 3, 0, 0), 0, "jitter disabled when max = 0");
     }
 
@@ -1280,8 +1390,7 @@ mod tests {
         // Without contention there is nothing for VOQs to fix.
         let topo = Topology::build(catalog::fig4_pgft_16());
         let rt = route_dmodk(&topo);
-        let stages: Vec<Vec<(u32, u32)>> =
-            vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
+        let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
         let plan = TrafficPlan::uniform(stages, 65_536, Progression::Synchronized);
         let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
         let voq_cfg = SimConfig {

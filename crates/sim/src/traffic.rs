@@ -185,13 +185,7 @@ mod tests {
     fn sampling_limits_stage_count() {
         let topo = Topology::build(catalog::nodes_128());
         let order = NodeOrder::topology(&topo);
-        let plan = TrafficPlan::from_cps(
-            &order,
-            &Cps::Shift,
-            4096,
-            Progression::Synchronized,
-            10,
-        );
+        let plan = TrafficPlan::from_cps(&order, &Cps::Shift, 4096, Progression::Synchronized, 10);
         assert_eq!(plan.stages().len(), 10);
         // Every sampled stage is a full permutation of 128 flows.
         assert!(plan.stages().iter().all(|st| st.len() == 128));

@@ -10,10 +10,7 @@ use ftree_topology::Topology;
 /// Random stage lists over 16 hosts.
 fn random_plan(mode: Progression) -> impl Strategy<Value = TrafficPlan> {
     (
-        prop::collection::vec(
-            prop::collection::vec((0u32..16, 0u32..16), 0..16),
-            1..4,
-        ),
+        prop::collection::vec(prop::collection::vec((0u32..16, 0u32..16), 0..16), 1..4),
         1u64..100_000,
     )
         .prop_map(move |(raw_stages, bytes)| {
@@ -24,10 +21,7 @@ fn random_plan(mode: Progression) -> impl Strategy<Value = TrafficPlan> {
                 .into_iter()
                 .map(|stage| {
                     let mut seen = std::collections::HashSet::new();
-                    stage
-                        .into_iter()
-                        .filter(|&(s, _)| seen.insert(s))
-                        .collect()
+                    stage.into_iter().filter(|&(s, _)| seen.insert(s)).collect()
                 })
                 .collect();
             TrafficPlan::uniform(stages, bytes, mode)
@@ -182,10 +176,20 @@ fn sync_never_faster_than_async() {
         })
         .collect();
     let mk = |mode| TrafficPlan::uniform(stages.clone(), 32 << 10, mode);
-    let asyn = PacketSim::new(&topo, &rt, SimConfig::default(), &mk(Progression::Asynchronous))
-        .run();
-    let sync = PacketSim::new(&topo, &rt, SimConfig::default(), &mk(Progression::Synchronized))
-        .run();
+    let asyn = PacketSim::new(
+        &topo,
+        &rt,
+        SimConfig::default(),
+        &mk(Progression::Asynchronous),
+    )
+    .run();
+    let sync = PacketSim::new(
+        &topo,
+        &rt,
+        SimConfig::default(),
+        &mk(Progression::Synchronized),
+    )
+    .run();
     assert!(
         sync.makespan >= asyn.makespan,
         "barriers cannot speed things up: sync {} async {}",

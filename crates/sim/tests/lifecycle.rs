@@ -79,7 +79,10 @@ fn timeline_324_delivers_everything_through_fail_and_recover() {
     assert_eq!(fail_sweep.links_changed, 1);
     assert_eq!(fail_sweep.failed_links, 1);
     assert_eq!(fail_sweep.unreachable_pairs, 0, "RLFT reroutes around it");
-    assert!(fail_sweep.entries_changed > 0, "the repair rerouted entries");
+    assert!(
+        fail_sweep.entries_changed > 0,
+        "the repair rerouted entries"
+    );
     let heal_sweep = &res.sweep_reports[1];
     assert_eq!(heal_sweep.failed_links, 0, "fabric fully healed");
     assert!(heal_sweep.entries_changed > 0, "recovery restores d-mod-k");
@@ -175,11 +178,7 @@ fn synchronized_stages_survive_failure() {
     );
     // Stage 0's host-0 flow crosses this cable while it dies.
     let link = uplink_on_path(&topo, 0, cross as usize);
-    let mut lc = FabricLifecycle::new(fail_recover_schedule(
-        link,
-        MICROSECOND,
-        200 * MICROSECOND,
-    ));
+    let mut lc = FabricLifecycle::new(fail_recover_schedule(link, MICROSECOND, 200 * MICROSECOND));
     lc.sweep_delay = 2 * MICROSECOND;
     lc.retransmit_timeout = 25 * MICROSECOND;
     let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)

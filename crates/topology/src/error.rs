@@ -78,7 +78,10 @@ impl fmt::Display for TopologyError {
             ),
             Self::ZeroParameter => write!(f, "PGFT parameters must be strictly positive"),
             Self::TooLarge { hosts } => {
-                write!(f, "topology declares {hosts} hosts, exceeding the supported maximum")
+                write!(
+                    f,
+                    "topology declares {hosts} hosts, exceeding the supported maximum"
+                )
             }
             Self::NotRlft(msg) => write!(f, "not a real-life fat-tree: {msg}"),
             Self::NoSuchNode { level, index } => {

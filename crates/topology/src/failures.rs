@@ -97,9 +97,10 @@ impl LinkFailures {
     ) -> Result<bool, TopologyError> {
         self.verify_for(topo)?;
         let ports = &topo.node(node).up;
-        let pp = ports
-            .get(q as usize)
-            .ok_or(TopologyError::NoSuchPort { node: node.0, port: q })?;
+        let pp = ports.get(q as usize).ok_or(TopologyError::NoSuchPort {
+            node: node.0,
+            port: q,
+        })?;
         self.fail(pp.link)
     }
 
@@ -112,9 +113,10 @@ impl LinkFailures {
     ) -> Result<bool, TopologyError> {
         self.verify_for(topo)?;
         let ports = &topo.node(node).down;
-        let pp = ports
-            .get(r as usize)
-            .ok_or(TopologyError::NoSuchPort { node: node.0, port: r })?;
+        let pp = ports.get(r as usize).ok_or(TopologyError::NoSuchPort {
+            node: node.0,
+            port: r,
+        })?;
         self.fail(pp.link)
     }
 

@@ -120,9 +120,7 @@ pub fn parse_text_header(text: &str) -> Result<PgftSpec, TopologyError> {
         line: 1,
         message: "empty topology file".to_string(),
     })?;
-    let spec_str = first
-        .trim_start_matches('#')
-        .trim();
+    let spec_str = first.trim_start_matches('#').trim();
     parse_spec(spec_str)
 }
 
@@ -256,10 +254,10 @@ mod tests {
         for bad in [
             "",
             "PGFT",
-            "PGFT(2; 4,4; 1,4)",          // missing p vector
-            "PGFT(3; 4,4; 1,4; 1,1)",     // height mismatch
-            "PGFT(2; 4,x; 1,4; 1,1)",     // bad int
-            "GFT(2; 4,4; 1,4; 1,1)",      // unknown kind
+            "PGFT(2; 4,4; 1,4)",      // missing p vector
+            "PGFT(3; 4,4; 1,4; 1,1)", // height mismatch
+            "PGFT(2; 4,x; 1,4; 1,1)", // bad int
+            "GFT(2; 4,4; 1,4; 1,1)",  // unknown kind
         ] {
             assert!(parse_spec(bad).is_err(), "should reject {bad:?}");
         }
@@ -295,8 +293,7 @@ mod tests {
             .enumerate()
             .map(|(i, l)| {
                 if i == 5 {
-                    let mut parts: Vec<String> =
-                        l.split_whitespace().map(String::from).collect();
+                    let mut parts: Vec<String> = l.split_whitespace().map(String::from).collect();
                     let r: u32 = parts[4].parse().unwrap();
                     parts[4] = format!("{}", (r + 1) % 8);
                     parts.join(" ")

@@ -195,12 +195,20 @@ impl RoutingTable {
         }
     }
 
-    /// Traces the path from `src` host to `dst` host through the tables.
-    pub fn trace(&self, topo: &Topology, src: usize, dst: usize) -> Result<Path, RouteError> {
-        let mut nodes = vec![topo.host(src)];
-        let mut channels = Vec::new();
+    /// Streams the channels of the `src`→`dst` path to `f` without
+    /// allocating. Semantics (hop budget, up*/down* check, errors) are
+    /// identical to [`RoutingTable::trace`]; on error, channels already
+    /// visited have been passed to `f` — callers that accumulate state must
+    /// discard it on `Err`.
+    pub fn walk(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        mut f: impl FnMut(ChannelId),
+    ) -> Result<(), RouteError> {
         if src == dst {
-            return Ok(Path { channels, nodes });
+            return Ok(());
         }
         let max_hops = 2 * topo.height() + 2;
         let mut at = topo.host(src);
@@ -218,14 +226,23 @@ impl RoutingTable {
             }
             let ch = topo.egress_channel(at, port);
             let next = topo.channel_target(ch);
-            channels.push(ch);
-            nodes.push(next);
+            f(ch);
             at = next;
             if at == topo.host(dst) {
-                return Ok(Path { channels, nodes });
+                return Ok(());
             }
         }
         Err(RouteError::Loop { src, dst })
+    }
+
+    /// Traces the path from `src` host to `dst` host through the tables.
+    pub fn trace(&self, topo: &Topology, src: usize, dst: usize) -> Result<Path, RouteError> {
+        let mut channels = Vec::new();
+        self.walk(topo, src, dst, |ch| channels.push(ch))?;
+        let mut nodes = Vec::with_capacity(channels.len() + 1);
+        nodes.push(topo.host(src));
+        nodes.extend(channels.iter().map(|&ch| topo.channel_target(ch)));
+        Ok(Path { channels, nodes })
     }
 
     /// Validates full reachability and up*/down* shape for all (or a capped
@@ -261,6 +278,62 @@ impl RoutingTable {
     }
 }
 
+/// Dense `(node, destination host) → egress channel` table precomputed from
+/// a [`RoutingTable`].
+///
+/// [`RoutingTable::egress`] decodes an LFT entry and
+/// [`Topology::egress_channel`] then maps the port to a channel on every
+/// lookup; a simulator doing both per packet-hop pays that cost millions of
+/// times for a table that never changes. This flattens the composition into
+/// one `u32` load. Entries are `u32::MAX` where no route exists (self
+/// delivery or an unprogrammed LFT slot), mirroring `egress` returning
+/// `None`. Size is `num_nodes × num_hosts × 4` bytes — for the simulated
+/// fabrics (≤ thousands of hosts) this is a few MiB at most.
+#[derive(Debug, Clone)]
+pub struct NextChannelTable {
+    num_hosts: u32,
+    next: Vec<u32>,
+}
+
+impl NextChannelTable {
+    /// Precomputes every `(node, dst)` next-channel from `rt`.
+    pub fn build(topo: &Topology, rt: &RoutingTable) -> Self {
+        let hosts = topo.num_hosts();
+        let nodes = topo.num_nodes();
+        let mut next = vec![NONE; nodes * hosts];
+        for n in 0..nodes {
+            let node = NodeId(n as u32);
+            let row = &mut next[n * hosts..(n + 1) * hosts];
+            for (dst, slot) in row.iter_mut().enumerate() {
+                if let Some(port) = rt.egress(node, dst) {
+                    *slot = topo.egress_channel(node, port).0;
+                }
+            }
+        }
+        Self {
+            num_hosts: hosts as u32,
+            next,
+        }
+    }
+
+    /// The channel `node` forwards on toward host `dst`, or `None` when the
+    /// routing table has no entry (self delivery or unreachable).
+    #[inline]
+    pub fn next_channel(&self, node: NodeId, dst: usize) -> Option<ChannelId> {
+        let e = self.next[node.0 as usize * self.num_hosts as usize + dst];
+        if e == NONE {
+            None
+        } else {
+            Some(ChannelId(e))
+        }
+    }
+
+    /// Bytes held by the table.
+    pub fn size_bytes(&self) -> usize {
+        self.next.len() * std::mem::size_of::<u32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +364,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for port in [PortRef::Up(0), PortRef::Up(17), PortRef::Down(0), PortRef::Down(35)] {
+        for port in [
+            PortRef::Up(0),
+            PortRef::Up(17),
+            PortRef::Down(0),
+            PortRef::Down(35),
+        ] {
             assert_eq!(decode(encode(port)), Some(port));
         }
         assert_eq!(decode(NONE), None);
@@ -358,6 +436,44 @@ mod tests {
             err,
             RouteError::NotUpDown { .. } | RouteError::Loop { .. }
         ));
+    }
+
+    #[test]
+    fn walk_matches_trace() {
+        let topo = tiny();
+        let rt = hand_routed(&topo);
+        for src in 0..topo.num_hosts() {
+            for dst in 0..topo.num_hosts() {
+                let mut walked = Vec::new();
+                rt.walk(&topo, src, dst, |ch| walked.push(ch)).unwrap();
+                assert_eq!(walked, rt.trace(&topo, src, dst).unwrap().channels);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_propagates_errors() {
+        let topo = tiny();
+        let rt = RoutingTable::empty(&topo, "empty");
+        let err = rt.walk(&topo, 0, 3, |_| {}).unwrap_err();
+        assert!(matches!(err, RouteError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn next_channel_table_matches_egress() {
+        let topo = tiny();
+        let rt = hand_routed(&topo);
+        let tbl = NextChannelTable::build(&topo, &rt);
+        for n in 0..topo.num_nodes() {
+            let node = NodeId(n as u32);
+            for dst in 0..topo.num_hosts() {
+                let expect = rt
+                    .egress(node, dst)
+                    .map(|port| topo.egress_channel(node, port));
+                assert_eq!(tbl.next_channel(node, dst), expect);
+            }
+        }
+        assert_eq!(tbl.size_bytes(), topo.num_nodes() * topo.num_hosts() * 4);
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod spec;
 pub use error::TopologyError;
 pub use failures::LinkFailures;
 pub use graph::{ChannelId, Direction, Link, Node, NodeId, PortPeer, PortRef, Topology};
-pub use lft::{Path, RouteError, RoutingTable};
+pub use lft::{NextChannelTable, Path, RouteError, RoutingTable};
 pub use schedule::{FaultSchedule, LinkEvent, LinkEventKind};
 pub use spec::PgftSpec;

@@ -98,10 +98,7 @@ pub fn check_rlft(spec: &PgftSpec) -> RlftReport {
         let top_down = spec.down_ports(h);
         if let Some(k) = arity {
             if top_down != 2 * k {
-                violations.push(format!(
-                    "top level uses {top_down} of {} ports",
-                    2 * k
-                ));
+                violations.push(format!("top level uses {top_down} of {} ports", 2 * k));
                 arity = None;
             }
         }

@@ -151,7 +151,11 @@ impl FaultSchedule {
             } else {
                 0
             };
-            events.push(LinkEvent { time: t, link, kind: LinkEventKind::Fail });
+            events.push(LinkEvent {
+                time: t,
+                link,
+                kind: LinkEventKind::Fail,
+            });
             if repair_after > 0 {
                 events.push(LinkEvent {
                     time: t + repair_after,
@@ -173,9 +177,21 @@ mod tests {
     #[test]
     fn events_are_sorted_stably() {
         let sched = FaultSchedule::new(vec![
-            LinkEvent { time: 500, link: 1, kind: LinkEventKind::Fail },
-            LinkEvent { time: 100, link: 2, kind: LinkEventKind::Fail },
-            LinkEvent { time: 100, link: 3, kind: LinkEventKind::Fail },
+            LinkEvent {
+                time: 500,
+                link: 1,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 100,
+                link: 2,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 100,
+                link: 3,
+                kind: LinkEventKind::Fail,
+            },
         ]);
         let order: Vec<(u64, u32)> = sched.events().iter().map(|e| (e.time, e.link)).collect();
         assert_eq!(order, vec![(100, 2), (100, 3), (500, 1)]);

@@ -37,7 +37,9 @@ fn routing_table_roundtrip() {
     for sw in topo.switches() {
         for dst in 0..topo.num_hosts() {
             if topo.is_ancestor_of(sw, dst) {
-                let c = topo.spec().host_digit(dst, topo.node(sw).level as usize - 1);
+                let c = topo
+                    .spec()
+                    .host_digit(dst, topo.node(sw).level as usize - 1);
                 rt.set(sw, dst, ftree_topology::PortRef::Down(c));
             } else {
                 rt.set(sw, dst, ftree_topology::PortRef::Up((dst % 4) as u32));
@@ -75,9 +77,21 @@ fn fault_schedule_roundtrip() {
     use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind};
 
     let sched = FaultSchedule::new(vec![
-        LinkEvent { time: 900, link: 7, kind: LinkEventKind::Recover },
-        LinkEvent { time: 100, link: 7, kind: LinkEventKind::Fail },
-        LinkEvent { time: 100, link: 2, kind: LinkEventKind::Fail },
+        LinkEvent {
+            time: 900,
+            link: 7,
+            kind: LinkEventKind::Recover,
+        },
+        LinkEvent {
+            time: 100,
+            link: 7,
+            kind: LinkEventKind::Fail,
+        },
+        LinkEvent {
+            time: 100,
+            link: 2,
+            kind: LinkEventKind::Fail,
+        },
     ]);
     let json = serde_json::to_string(&sched).unwrap();
     let back: FaultSchedule = serde_json::from_str(&json).unwrap();

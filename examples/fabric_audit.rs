@@ -69,7 +69,9 @@ fn main() {
     let leaf3 = topo.node_at(1, 3).unwrap();
     failures.fail_up_port(&topo, leaf3, 5).unwrap();
     let rerouted = route_dmodk_ft(&topo, &failures);
-    rerouted.validate(&topo, usize::MAX).expect("healed fabric routes everything");
+    rerouted
+        .validate(&topo, usize::MAX)
+        .expect("healed fabric routes everything");
 
     let mut changed = Vec::new();
     for sw in topo.switches() {
@@ -92,6 +94,8 @@ fn main() {
     if changed.len() > 8 {
         println!("  ... and {} more", changed.len() - 8);
     }
-    println!("\nall other {} entries untouched — minimal-deviation healing.",
-        topo.num_hosts() * (topo.num_nodes() - topo.num_hosts()) - changed.len());
+    println!(
+        "\nall other {} entries untouched — minimal-deviation healing.",
+        topo.num_hosts() * (topo.num_nodes() - topo.num_hosts()) - changed.len()
+    );
 }

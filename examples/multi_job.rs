@@ -28,7 +28,13 @@ fn main() {
     );
 
     // A realistic mix: two production jobs, one mid-size, two small ones.
-    let requests = [("chem-md", 108usize), ("cfd", 90), ("genomics", 36), ("viz", 8), ("dev", 4)];
+    let requests = [
+        ("chem-md", 108usize),
+        ("cfd", 90),
+        ("genomics", 36),
+        ("viz", 8),
+        ("dev", 4),
+    ];
     let mut jobs = Vec::new();
     for (name, ranks) in requests {
         match alloc.allocate(ranks) {
@@ -36,7 +42,11 @@ fn main() {
                 println!(
                     "allocated {name:9} {ranks:4} ranks -> {} ports ({}) first port {}",
                     a.ports.len(),
-                    if a.spans_leaves { "whole leaves" } else { "shared leaf" },
+                    if a.spans_leaves {
+                        "whole leaves"
+                    } else {
+                        "shared leaf"
+                    },
                     a.ports[0]
                 );
                 jobs.push((name, a));
@@ -62,7 +72,10 @@ fn main() {
         let n = seq.num_ranks();
         let stage = seq.stage(n, pick % seq.num_stages(n));
         let flows = order.port_flows(&stage);
-        println!("{name:9} at stage {pick:3}: {} in-flight messages", flows.len());
+        println!(
+            "{name:9} at stage {pick:3}: {} in-flight messages",
+            flows.len()
+        );
         merged.extend(flows);
     }
     let hsd = stage_hsd(&topo, &rt, &merged).unwrap();

@@ -57,7 +57,10 @@ fn main() {
         .routing
         .validate(&topo, 20_000)
         .expect("routing must reach every destination");
-    println!("routing:     {} ({checked} src/dst pairs validated)", job.routing.algorithm);
+    println!(
+        "routing:     {} ({checked} src/dst pairs validated)",
+        job.routing.algorithm
+    );
 
     if dump {
         print!("{}", io::write_text(&topo));
@@ -65,7 +68,7 @@ fn main() {
 
     // 3. Contention report for the requested collective.
     let topo_aware;
-    let seq: &dyn PermutationSequence = match collective {
+    let seq: &(dyn PermutationSequence + Sync) = match collective {
         "shift" => &Cps::Shift,
         "ring" => &Cps::Ring,
         "dissemination" => &Cps::Dissemination,

@@ -37,6 +37,7 @@ run ablations
 run failures
 run jitter
 run collective_time
+run perf
 
 # Aggregate the per-bench JSON results into one summary document.
 summary=results/BENCH_summary.json
@@ -44,6 +45,8 @@ json_files=()
 for name in "${BENCHES[@]}"; do
     [[ -f "results/$name.json" ]] && json_files+=("results/$name.json")
 done
+# perf writes its speedup summary under a BENCH_-prefixed name.
+[[ -f results/BENCH_perf.json ]] && json_files+=(results/BENCH_perf.json)
 if ((${#json_files[@]})); then
     if command -v jq >/dev/null 2>&1; then
         jq -s '{generated_by: "run_all_experiments.sh", benches: .}' \

@@ -1,0 +1,134 @@
+//! Oracle: the arena-backed HSD engine is bit-identical to the preserved
+//! trace-per-flow serial engine (`ftree::analysis::reference`) — per stage,
+//! per sequence and per sweep; with the arena fully populated and with the
+//! size gate forcing the on-demand fallback; on healthy and degraded
+//! fabrics.
+
+use ftree::analysis::reference;
+use ftree::analysis::{
+    random_order_sweep, sequence_hsd, sequence_hsd_cached, LinkLoads, RouteCache, SequenceOptions,
+    StageScratch,
+};
+use ftree::collectives::{Cps, PermutationSequence};
+use ftree::core::{route_dmodk, NodeOrder};
+use ftree::topology::rlft::catalog;
+use ftree::topology::{PgftSpec, Topology};
+
+fn oracle_topologies() -> Vec<(&'static str, PgftSpec)> {
+    vec![
+        ("fig4_pgft_16", catalog::fig4_pgft_16()),
+        ("nodes_128", catalog::nodes_128()),
+        // 3-level RLFT (16 hosts over three switch levels).
+        ("rlft3_k2", catalog::rlft3_full(2)),
+    ]
+}
+
+const OPTS: SequenceOptions = SequenceOptions { max_stages: 16 };
+
+#[test]
+fn stage_hsd_matches_reference_engine() {
+    for (name, spec) in oracle_topologies() {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let order = NodeOrder::random(&topo, 7);
+        let n = order.num_ranks() as u32;
+        let cached = RouteCache::new(&topo, &rt).unwrap();
+        assert!(cached.is_cached(), "{name}: arena should fit the budget");
+        let lazy = RouteCache::with_budget(&topo, &rt, 0).unwrap();
+        assert!(!lazy.is_cached(), "{name}: zero budget must gate the arena");
+        let mut s1 = StageScratch::for_cache(&cached);
+        let mut s2 = StageScratch::for_cache(&lazy);
+        for stage_idx in 0..(n as usize - 1).min(8) {
+            let flows = order.port_flows(&Cps::Shift.stage(n, stage_idx));
+            let want = reference::stage_hsd(&topo, &rt, &flows).unwrap();
+            assert_eq!(
+                ftree::analysis::stage_hsd(&topo, &rt, &flows).unwrap(),
+                want,
+                "{name} stage {stage_idx}: walk-based compute diverged"
+            );
+            assert_eq!(
+                cached.stage_hsd(&flows, &mut s1).unwrap(),
+                want,
+                "{name} stage {stage_idx}: arena engine diverged"
+            );
+            assert_eq!(
+                lazy.stage_hsd(&flows, &mut s2).unwrap(),
+                want,
+                "{name} stage {stage_idx}: gated fallback diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequence_hsd_matches_reference_engine() {
+    for (name, spec) in oracle_topologies() {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        // Partially populated job: every other host, preserving positions.
+        let partial = NodeOrder::topology_subset((0..topo.num_hosts() as u32).step_by(2).collect());
+        for order in [
+            NodeOrder::topology(&topo),
+            NodeOrder::random(&topo, 42),
+            partial,
+        ] {
+            let want = reference::sequence_hsd(&topo, &rt, &order, &Cps::Shift, OPTS).unwrap();
+            let fast = sequence_hsd(&topo, &rt, &order, &Cps::Shift, OPTS).unwrap();
+            assert_eq!(fast.per_stage_max, want.per_stage_max, "{name}");
+            assert_eq!(fast.avg_max.to_bits(), want.avg_max.to_bits(), "{name}");
+            assert_eq!(fast.worst, want.worst, "{name}");
+            assert_eq!(fast.congestion_free, want.congestion_free, "{name}");
+
+            let lazy = RouteCache::with_budget(&topo, &rt, 0).unwrap();
+            let gated = sequence_hsd_cached(&lazy, &order, &Cps::Shift, OPTS).unwrap();
+            assert_eq!(gated.per_stage_max, want.per_stage_max, "{name} (gated)");
+            assert_eq!(
+                gated.avg_max.to_bits(),
+                want.avg_max.to_bits(),
+                "{name} (gated)"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_order_sweep_matches_reference_engine() {
+    let seeds = [1u64, 2, 3, 4, 5];
+    for (name, spec) in oracle_topologies() {
+        let topo = Topology::build(spec);
+        let rt = route_dmodk(&topo);
+        let want = reference::random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, OPTS).unwrap();
+        let fast = random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, OPTS).unwrap();
+        let want_bits: Vec<u64> = want.per_seed_avg_max.iter().map(|x| x.to_bits()).collect();
+        let fast_bits: Vec<u64> = fast.per_seed_avg_max.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(fast_bits, want_bits, "{name}: per-seed averages diverged");
+        assert_eq!(fast.mean.to_bits(), want.mean.to_bits(), "{name}");
+        assert_eq!(fast.min.to_bits(), want.min.to_bits(), "{name}");
+        assert_eq!(fast.max.to_bits(), want.max.to_bits(), "{name}");
+    }
+}
+
+#[test]
+fn degraded_fabric_matches_reference_engine() {
+    // Sever one destination; the arena marks the pairs unroutable and the
+    // partial accumulators must report exactly what compute_partial does.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let mut rt = route_dmodk(&topo);
+    for s in topo.switches() {
+        rt.clear(s, 5);
+    }
+    let flows: Vec<(u32, u32)> = (0..16).map(|i| (i, (i + 3) % 16)).collect();
+    let (want_loads, want_dead) = LinkLoads::compute_partial(&topo, &rt, &flows).unwrap();
+    for budget in [usize::MAX, 0] {
+        let cache = RouteCache::with_budget(&topo, &rt, budget).unwrap();
+        let mut scratch = StageScratch::for_cache(&cache);
+        let dead = cache.accumulate_partial(&flows, &mut scratch).unwrap();
+        assert_eq!(dead, want_dead, "budget {budget}");
+        assert_eq!(scratch.counts(), want_loads.counts(), "budget {budget}");
+        assert_eq!(
+            scratch.summarize(),
+            want_loads.summarize(),
+            "budget {budget}"
+        );
+    }
+}

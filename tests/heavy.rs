@@ -29,8 +29,14 @@ fn theorem1_on_the_maximal_11664_node_tree() {
     .unwrap();
     assert!(r.congestion_free, "worst = {}", r.worst);
     let rd = TopoAwareRd::new(topo.spec().ms().to_vec());
-    let r2 = sequence_hsd(&topo, &job.routing, &job.order, &rd, SequenceOptions::default())
-        .unwrap();
+    let r2 = sequence_hsd(
+        &topo,
+        &job.routing,
+        &job.order,
+        &rd,
+        SequenceOptions::default(),
+    )
+    .unwrap();
     assert!(r2.congestion_free, "worst = {}", r2.worst);
 }
 

@@ -23,8 +23,7 @@ fn analytic_model_predicts_fluid_makespan() {
     ] {
         let flows = order.port_flows(&Cps::Ring.stage(n, 0));
         let hsd = stage_hsd(&topo, &rt, &flows).unwrap();
-        let predicted =
-            predicted_stage_time_ps(bytes, hsd.max, cfg.host_bw.mbps, cfg.link_bw.mbps);
+        let predicted = predicted_stage_time_ps(bytes, hsd.max, cfg.host_bw.mbps, cfg.link_bw.mbps);
 
         let plan = TrafficPlan::uniform(vec![flows], bytes, Progression::Synchronized);
         let sim = run_fluid(&topo, &rt, cfg, &plan);
@@ -59,8 +58,5 @@ fn detailed_report_localizes_the_adversarial_hotspot() {
         assert!(w.description.starts_with("S1["), "{}", w.description);
     }
     // Histogram sanity: total channels accounted for.
-    assert_eq!(
-        report.histogram.iter().sum::<usize>(),
-        topo.num_channels()
-    );
+    assert_eq!(report.histogram.iter().sum::<usize>(), topo.num_channels());
 }

@@ -23,7 +23,9 @@ fn fabric_description_to_contention_free_execution() {
     // 3. Materialize, route, and validate reachability.
     let topo = Topology::build(spec);
     let job = Job::contention_free(&topo);
-    job.routing.validate(&topo, usize::MAX).expect("all pairs reachable");
+    job.routing
+        .validate(&topo, usize::MAX)
+        .expect("all pairs reachable");
 
     // 4. Run the actual MPI collective (pairwise all-to-all) and check the
     //    data content.
@@ -119,10 +121,15 @@ fn degraded_fabric_is_measured_not_assumed() {
     // routes everything, but Theorem 1 no longer applies — HSD must now
     // reflect the oversubscription honestly.
     let spec = io::parse_spec("PGFT(2; 8,16; 1,4; 1,1)").expect("valid spec");
-    assert!(require_rlft(&spec).is_err(), "2:1 oversubscription is not an RLFT");
+    assert!(
+        require_rlft(&spec).is_err(),
+        "2:1 oversubscription is not an RLFT"
+    );
     let topo = Topology::build(spec);
     let job = Job::contention_free(&topo);
-    job.routing.validate(&topo, usize::MAX).expect("still fully routable");
+    job.routing
+        .validate(&topo, usize::MAX)
+        .expect("still fully routable");
     let hsd = sequence_hsd(
         &topo,
         &job.routing,

@@ -11,7 +11,7 @@ use ftree::topology::Topology;
 
 fn assert_congestion_free(
     topo: &Topology,
-    seq: &dyn PermutationSequence,
+    seq: &(dyn PermutationSequence + Sync),
     opts: SequenceOptions,
     what: &str,
 ) {
@@ -27,7 +27,11 @@ fn assert_congestion_free(
 
 #[test]
 fn theorem1_shift_on_2level_trees() {
-    for spec in [catalog::nodes_128(), catalog::nodes_324(), catalog::nodes_648()] {
+    for spec in [
+        catalog::nodes_128(),
+        catalog::nodes_324(),
+        catalog::nodes_648(),
+    ] {
         let topo = Topology::build(spec);
         assert_congestion_free(
             &topo,
@@ -55,13 +59,13 @@ fn theorem1_shift_on_3level_trees() {
 fn unidirectional_cps_are_congestion_free() {
     // Shift is the superset, but check the others directly too.
     let topo = Topology::build(catalog::nodes_324());
-    for cps in [Cps::Ring, Cps::Dissemination, Cps::Tournament, Cps::Binomial] {
-        assert_congestion_free(
-            &topo,
-            &cps,
-            SequenceOptions::default(),
-            cps.label(),
-        );
+    for cps in [
+        Cps::Ring,
+        Cps::Dissemination,
+        Cps::Tournament,
+        Cps::Binomial,
+    ] {
+        assert_congestion_free(&topo, &cps, SequenceOptions::default(), cps.label());
     }
 }
 
@@ -180,7 +184,11 @@ fn naive_rank_compaction_breaks_partial_population() {
         SequenceOptions { max_stages: 64 },
     )
     .unwrap();
-    assert!(!r.congestion_free, "expected contention, worst = {}", r.worst);
+    assert!(
+        !r.congestion_free,
+        "expected contention, worst = {}",
+        r.worst
+    );
 }
 
 #[test]

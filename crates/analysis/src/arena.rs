@@ -387,13 +387,13 @@ impl StageScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
     fn setup() -> (Topology, ftree_topology::RoutingTable) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         (topo, rt)
     }
 

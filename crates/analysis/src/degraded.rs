@@ -115,7 +115,7 @@ pub fn degraded_sequence_hsd(
 mod tests {
     use super::*;
     use ftree_collectives::Cps;
-    use ftree_core::{route_dmodk, route_dmodk_ft};
+    use ftree_core::{DModK, Router};
     use ftree_topology::failures::LinkFailures;
     use ftree_topology::rlft::catalog;
     use ftree_topology::PortRef;
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn healthy_fabric_matches_plain_hsd() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let order = NodeOrder::topology(&topo);
         let flows = order.port_flows(&Cps::Shift.stage(16, 3));
         let degraded = degraded_stage_hsd(&topo, &rt, &flows).unwrap();
@@ -142,7 +142,7 @@ mod tests {
         let leaf = topo.node(topo.host(5)).up[0].peer;
         let port = topo.node(topo.host(5)).up[0].peer_port;
         failures.fail_down_port(&topo, leaf, port).unwrap();
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = DModK.route(&topo, &failures).unwrap();
 
         let flows: Vec<(u32, u32)> = (0..16).map(|i| (i, (i + 1) % 16)).collect();
         let degraded = degraded_stage_hsd(&topo, &rt, &flows).unwrap();
@@ -160,7 +160,7 @@ mod tests {
         let mut failures = LinkFailures::none(&topo);
         let leaf = topo.node_at(1, 0).unwrap();
         failures.fail_up_port(&topo, leaf, 0).unwrap();
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = DModK.route(&topo, &failures).unwrap();
 
         let seq = degraded_sequence_hsd(
             &topo,
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn structural_errors_still_propagate() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let mut rt = route_dmodk(&topo);
+        let mut rt = DModK.route_healthy(&topo);
         // Corrupt a leaf entry to point back down at the wrong host: the
         // trace violates up*/down* and must surface, not be skipped.
         let leaf = topo.node_at(1, 1).unwrap();

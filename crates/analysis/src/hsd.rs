@@ -207,14 +207,14 @@ pub fn stage_hsd(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
     #[test]
     fn empty_stage_is_trivially_free() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let hsd = stage_hsd(&topo, &rt, &[]).unwrap();
         assert_eq!(hsd.max, 0);
         assert!(hsd.is_congestion_free());
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn self_flows_ignored() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let hsd = stage_hsd(&topo, &rt, &[(3, 3), (5, 5)]).unwrap();
         assert_eq!(hsd.max, 0);
     }
@@ -232,7 +232,7 @@ mod tests {
     #[test]
     fn two_flows_sharing_a_cable_counted() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         // Hosts 0 and 1 share leaf 0; both send to destinations with the
         // same D-Mod-K up-port residue (dst mod 4): dst 4 and dst 8.
         let hsd = stage_hsd(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn disjoint_flows_are_free() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let hsd = stage_hsd(&topo, &rt, &[(0, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
         assert!(hsd.is_congestion_free(), "{hsd:?}");
     }
@@ -253,7 +253,7 @@ mod tests {
     #[test]
     fn observe_records_distribution() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let loads = LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
         let rec = ftree_obs::Recorder::new();
         loads.observe(&rec, "test");
@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn compute_partial_skips_severed_destinations_with_correct_counts() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let mut rt = route_dmodk(&topo);
+        let mut rt = DModK.route_healthy(&topo);
         // Sever destination 5: clear every switch entry toward it.
         for s in topo.switches() {
             rt.clear(s, 5);
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn compute_partial_on_healthy_fabric_matches_compute() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let flows = [(0, 4), (1, 8), (3, 3), (7, 0)];
         let (loads, unroutable) = LinkLoads::compute_partial(&topo, &rt, &flows).unwrap();
         assert!(unroutable.is_empty());
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn compute_partial_propagates_structural_errors() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let mut rt = route_dmodk(&topo);
+        let mut rt = DModK.route_healthy(&topo);
         // Corrupt a leaf to bounce dst 0 back down at the wrong host: the
         // walk violates up*/down* (or loops) and must abort the stage
         // instead of being skipped like a missing route.
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn flow_hops_accumulate() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         // intra-leaf = 2 hops, cross-leaf = 4 hops
         let hsd = stage_hsd(&topo, &rt, &[(0, 1), (0, 15)]).unwrap();
         assert_eq!(hsd.total_flow_hops, 2 + 4);

@@ -25,6 +25,7 @@
 pub mod arena;
 pub mod degraded;
 pub mod hsd;
+pub mod quality;
 pub mod reference;
 pub mod report;
 pub mod sequence;
@@ -35,6 +36,7 @@ pub use degraded::{
     degraded_sequence_hsd, degraded_stage_hsd, DegradedSequenceHsd, DegradedStageHsd,
 };
 pub use hsd::{stage_hsd, HsdObserver, LinkLoads, StageHsd};
+pub use quality::{routing_quality, RoutingQuality};
 pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
 pub use sequence::{
     parallel_map, parallel_map_init, random_order_sweep, sampled_stages, sequence_hsd,

@@ -1,0 +1,263 @@
+//! Routing-quality report: how well a routing table spreads destinations
+//! over the fabric's cables, healthy or degraded.
+//!
+//! The metric is the **per-channel destination load**: the number of
+//! *distinct destinations* whose committed path crosses a directed channel,
+//! maximized over all ordered host pairs. On a healthy RLFT the D-Mod-K
+//! closed form spreads destinations perfectly (Zahavi's Theorems 1–3 build
+//! on exactly this property); after cable failures the surviving cables
+//! absorb the displaced destinations, and *how evenly* an engine spreads
+//! them is what separates a first-fit repair from a load-aware one such as
+//! `Dmodc`.
+//!
+//! Metrics are computed over **inter-switch channels only**: host cables
+//! carry a fixed destination set (every up cable of a single-ported host
+//! sees all `N-1` destinations, every down cable exactly one) regardless of
+//! the engine, and would mask the differences this report exists to show.
+//!
+//! ```
+//! use ftree_analysis::routing_quality;
+//! use ftree_core::{Dmodc, Router};
+//! use ftree_topology::{rlft::catalog, Topology};
+//!
+//! let topo = Topology::build(catalog::nodes_128());
+//! let healthy = Dmodc.route_healthy(&topo);
+//! let q = routing_quality(&topo, &healthy, Some(&healthy)).unwrap();
+//! assert_eq!(q.displaced_pairs, 0);
+//! assert_eq!(q.unreachable_pairs, 0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use ftree_topology::{RouteError, RoutingTable, Topology};
+
+/// Destination-load report for one routing table on one fabric state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingQuality {
+    /// Label of the routing that produced the table (`RoutingTable::algorithm`).
+    pub algorithm: String,
+    /// Per-channel distinct-destination loads, indexed by channel id. Covers
+    /// every channel (host cables included) so callers can drill down; the
+    /// summary metrics below cover inter-switch channels only.
+    #[serde(skip)]
+    pub loads: Vec<u32>,
+    /// `histogram[l]` = number of inter-switch channels with destination
+    /// load exactly `l`.
+    pub histogram: Vec<u64>,
+    /// Maximum destination load over inter-switch channels.
+    pub max_load: u32,
+    /// 99th-percentile destination load over inter-switch channels: the
+    /// smallest load `v` such that at least 99% of inter-switch channels
+    /// carry at most `v` distinct destinations.
+    pub p99_load: u32,
+    /// Mean destination load over inter-switch channels.
+    pub mean_load: f64,
+    /// Number of inter-switch channels the summary metrics cover.
+    pub switch_channels: usize,
+    /// Ordered host pairs whose path differs from the baseline table's path
+    /// (0 when no baseline is given). With a healthy D-Mod-K baseline this
+    /// counts the pairs a fault-aware engine had to reroute.
+    pub displaced_pairs: usize,
+    /// Ordered host pairs with no route in the table (severed destinations).
+    pub unreachable_pairs: usize,
+}
+
+impl RoutingQuality {
+    /// One-line human summary, e.g. for bench logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: max {} / p99 {} / mean {:.2} over {} switch channels, {} displaced, {} unreachable",
+            self.algorithm,
+            self.max_load,
+            self.p99_load,
+            self.mean_load,
+            self.switch_channels,
+            self.displaced_pairs,
+            self.unreachable_pairs,
+        )
+    }
+}
+
+/// Computes the [`RoutingQuality`] of `rt` on `topo`, walking every ordered
+/// host pair and counting each destination once per channel it crosses.
+///
+/// `baseline` (typically the healthy D-Mod-K table) enables the
+/// displaced-pair count: a pair is displaced when both tables route it but
+/// over different channel sequences. Pairs the table cannot route are
+/// tallied in `unreachable_pairs`; structural errors (`Loop`, `NotUpDown`)
+/// fail the whole report.
+pub fn routing_quality(
+    topo: &Topology,
+    rt: &RoutingTable,
+    baseline: Option<&RoutingTable>,
+) -> Result<RoutingQuality, RouteError> {
+    let n = topo.num_hosts();
+    let num_channels = topo.num_channels();
+    let mut loads = vec![0u32; num_channels];
+    // Stamp array: seen[ch] == dst means channel `ch` already counted this
+    // destination, so a destination crossed by many sources costs one.
+    let mut seen = vec![u32::MAX; num_channels];
+    let mut displaced = 0usize;
+    let mut unreachable = 0usize;
+    // Reusable buffers: a walk that fails mid-path must not leak counts.
+    let mut path = Vec::new();
+    let mut base_path = Vec::new();
+    for dst in 0..n {
+        for src in 0..n {
+            if src == dst {
+                continue;
+            }
+            path.clear();
+            match rt.walk(topo, src, dst, |ch| path.push(ch)) {
+                Ok(()) => {
+                    for ch in &path {
+                        let i = ch.index();
+                        if seen[i] != dst as u32 {
+                            seen[i] = dst as u32;
+                            loads[i] += 1;
+                        }
+                    }
+                    if let Some(base) = baseline {
+                        base_path.clear();
+                        match base.walk(topo, src, dst, |ch| base_path.push(ch)) {
+                            Ok(()) => {
+                                if base_path != path {
+                                    displaced += 1;
+                                }
+                            }
+                            // A pair only the baseline cannot route still
+                            // counts as displaced: the path is new.
+                            Err(RouteError::NoRoute { .. }) => displaced += 1,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(RouteError::NoRoute { .. }) => unreachable += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Summaries over inter-switch channels (host cables excluded: their
+    // destination sets are engine-invariant on single-ported hosts).
+    let mut max_load = 0u32;
+    let mut sum = 0u64;
+    let mut switch_loads = Vec::new();
+    for (ch, &l) in loads.iter().enumerate() {
+        let link = topo.link(ch as u32 / 2);
+        if topo.node(link.child).is_host() {
+            continue;
+        }
+        switch_loads.push(l);
+        max_load = max_load.max(l);
+        sum += l as u64;
+    }
+    let switch_channels = switch_loads.len();
+    let mut histogram = vec![0u64; max_load as usize + 1];
+    for &l in &switch_loads {
+        histogram[l as usize] += 1;
+    }
+    // p99 from the cumulative histogram: smallest load covering ≥99% of
+    // the inter-switch channels.
+    let threshold = (switch_channels as u64 * 99).div_ceil(100);
+    let mut cum = 0u64;
+    let mut p99_load = max_load;
+    for (l, &count) in histogram.iter().enumerate() {
+        cum += count;
+        if cum >= threshold {
+            p99_load = l as u32;
+            break;
+        }
+    }
+    let mean_load = if switch_channels == 0 {
+        0.0
+    } else {
+        sum as f64 / switch_channels as f64
+    };
+
+    Ok(RoutingQuality {
+        algorithm: rt.algorithm.clone(),
+        loads,
+        histogram,
+        max_load,
+        p99_load,
+        mean_load,
+        switch_channels,
+        displaced_pairs: displaced,
+        unreachable_pairs: unreachable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::{DModK, Dmodc, Router};
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::LinkFailures;
+
+    #[test]
+    fn healthy_dmodk_is_perfectly_balanced() {
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = DModK.route_healthy(&topo);
+        let q = routing_quality(&topo, &rt, Some(&rt)).unwrap();
+        assert_eq!(q.displaced_pairs, 0, "table vs itself");
+        assert_eq!(q.unreachable_pairs, 0);
+        assert_eq!(
+            q.histogram.iter().sum::<u64>(),
+            q.switch_channels as u64,
+            "histogram covers every inter-switch channel exactly once"
+        );
+        // Full-bisection RLFT: D-Mod-K gives every up cable of a leaf an
+        // equal share of the remote destinations, so the load spread is
+        // tight — p99 equals max.
+        assert_eq!(q.p99_load, q.max_load);
+        assert!(q.max_load < topo.num_hosts() as u32);
+        assert!(q.mean_load > 0.0 && q.mean_load <= q.max_load as f64);
+    }
+
+    #[test]
+    fn degraded_dmodc_beats_first_fit_on_max_load() {
+        // Same fabric/failure as the router unit tests: one up cable of
+        // leaf 0 on the 324-node cluster. First-fit piles every displaced
+        // destination onto one survivor; Dmodc spreads them.
+        let topo = Topology::build(catalog::nodes_324());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 0).unwrap();
+
+        let healthy = DModK.route_healthy(&topo);
+        let ff = DModK.route(&topo, &failures).unwrap();
+        let dc = Dmodc.route(&topo, &failures).unwrap();
+        let qf = routing_quality(&topo, &ff, Some(&healthy)).unwrap();
+        let qd = routing_quality(&topo, &dc, Some(&healthy)).unwrap();
+
+        assert_eq!(qf.unreachable_pairs, 0);
+        assert_eq!(qd.unreachable_pairs, 0);
+        assert!(qf.displaced_pairs > 0, "a failure must displace pairs");
+        assert!(qd.displaced_pairs > 0);
+        assert!(
+            qd.max_load < qf.max_load,
+            "dmodc max {} must beat first-fit max {}",
+            qd.max_load,
+            qf.max_load
+        );
+    }
+
+    #[test]
+    fn severed_leaf_counts_unreachable_pairs() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        for port in 0..topo.node(leaf0).up.len() as u32 {
+            failures.fail_up_port(&topo, leaf0, port).unwrap();
+        }
+        let rt = Dmodc.route(&topo, &failures).unwrap();
+        let q = routing_quality(&topo, &rt, None).unwrap();
+        // Hosts under the severed leaf can reach each other through it but
+        // nobody else: each of the m hosts loses 2*(N-m) ordered pairs.
+        let m = topo.spec().down_ports(1) as usize;
+        let n = topo.num_hosts();
+        assert_eq!(q.unreachable_pairs, 2 * m * (n - m));
+        assert_eq!(q.displaced_pairs, 0, "no baseline given");
+    }
+}

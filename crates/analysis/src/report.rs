@@ -123,13 +123,13 @@ pub fn predicted_stage_time_ps(
 mod tests {
     use super::*;
     use crate::hsd::LinkLoads;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
     fn loads_for(flows: &[(u32, u32)]) -> (Topology, LinkLoads) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let loads = LinkLoads::compute(&topo, &rt, flows).unwrap();
         (topo, loads)
     }

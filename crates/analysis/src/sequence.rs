@@ -234,7 +234,7 @@ pub fn parallel_map_init<T: Sync, R: Send, S>(
 mod tests {
     use super::*;
     use ftree_collectives::Cps;
-    use ftree_core::{route_dmodk, Job};
+    use ftree_core::{DModK, Job, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn random_order_congests_128() {
         let topo = Topology::build(catalog::nodes_128());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let sweep = random_order_sweep(
             &topo,
             &rt,

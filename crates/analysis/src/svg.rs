@@ -159,7 +159,7 @@ pub fn render_svg(topo: &Topology, loads: Option<&LinkLoads>, opts: &SvgOptions)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn hot_links_rendered_red() {
         let topo = Topology::build(catalog::fig1_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         // Funnel two flows onto one leaf up-link (dsts congruent mod 4).
         let loads = LinkLoads::compute(&topo, &rt, &[(0, 4), (1, 8)]).unwrap();
         let svg = render_svg(&topo, Some(&loads), &SvgOptions::default());
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn annotation_can_be_disabled() {
         let topo = Topology::build(catalog::fig1_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let loads = LinkLoads::compute(&topo, &rt, &[(0, 4)]).unwrap();
         let plain = render_svg(
             &topo,

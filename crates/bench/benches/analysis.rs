@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use ftree_analysis::{sequence_hsd, stage_hsd, SequenceOptions};
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{route_dmodk, NodeOrder};
+use ftree_core::{DModK, NodeOrder, Router};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -17,7 +17,7 @@ fn bench_stage_hsd(c: &mut Criterion) {
         ("1944", catalog::nodes_1944()),
     ] {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let order = NodeOrder::random(&topo, 1);
         let n = topo.num_hosts() as u32;
         let flows = order.port_flows(&Cps::Shift.stage(n, 7));
@@ -30,7 +30,7 @@ fn bench_stage_hsd(c: &mut Criterion) {
 
 fn bench_sequence_hsd(c: &mut Criterion) {
     let topo = Topology::build(catalog::nodes_324());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let order = NodeOrder::topology(&topo);
     c.bench_function("sequence_hsd_shift324_sampled32", |b| {
         b.iter(|| {

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use ftree_core::{route_dmodk_ft, Allocator, Reachability};
+use ftree_core::{Allocator, DModK, Reachability, Router};
 use ftree_topology::failures::LinkFailures;
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
@@ -28,7 +28,7 @@ fn bench_fault_routing(c: &mut Criterion) {
             b.iter(|| black_box(Reachability::compute(&topo, f)))
         });
         group.bench_with_input(BenchmarkId::new("full_reroute", name), &failures, |b, f| {
-            b.iter(|| black_box(route_dmodk_ft(&topo, f)))
+            b.iter(|| black_box(DModK.route(&topo, f).unwrap()))
         });
     }
     group.finish();

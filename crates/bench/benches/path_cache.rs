@@ -3,21 +3,21 @@
 //!
 //! Four comparisons, each one layer of the optimization stack:
 //!
-//! * `path_lookup`      — re-tracing a route through the LFTs vs reading
-//!                        the arena's CSR slice,
-//! * `stage_hsd`        — the serial trace-per-flow stage engine vs the
-//!                        scratch-buffer arena engine,
-//! * `sequence_sweep`   — a Figure-3-style multi-seed sweep, reference
-//!                        serial engine vs the cached parallel engine,
-//! * `packet_sim`       — the static simulator event loop with per-packet
-//!                        LFT lookups vs the precomputed next-channel table.
+//! * `path_lookup` — re-tracing a route through the LFTs vs reading the
+//!   arena's CSR slice,
+//! * `stage_hsd` — the serial trace-per-flow stage engine vs the
+//!   scratch-buffer arena engine,
+//! * `sequence_sweep` — a Figure-3-style multi-seed sweep, reference
+//!   serial engine vs the cached parallel engine,
+//! * `packet_sim` — the static simulator event loop with per-packet LFT
+//!   lookups vs the precomputed next-channel table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ftree_analysis::{random_order_sweep, reference, RouteCache, SequenceOptions, StageScratch};
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{route_dmodk, NodeOrder};
+use ftree_core::{DModK, NodeOrder, Router};
 use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
@@ -25,7 +25,7 @@ use ftree_topology::Topology;
 fn bench_path_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("path_lookup");
     let topo = Topology::build(catalog::nodes_324());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let cache = RouteCache::new(&topo, &rt).unwrap();
     let arena = cache.arena().expect("324 hosts fit the default budget");
     let n = topo.num_hosts();
@@ -58,7 +58,7 @@ fn bench_stage_hsd(c: &mut Criterion) {
         ("1944", catalog::nodes_1944()),
     ] {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let order = NodeOrder::random(&topo, 1);
         let n = topo.num_hosts() as u32;
         let flows = order.port_flows(&Cps::Shift.stage(n, 7));
@@ -78,7 +78,7 @@ fn bench_sequence_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequence_sweep");
     group.sample_size(10);
     let topo = Topology::build(catalog::nodes_324());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let seeds: Vec<u64> = (1..=5).collect();
     let opts = SequenceOptions { max_stages: 16 };
     group.bench_function("reference", |b| {
@@ -96,7 +96,7 @@ fn bench_packet_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_sim");
     group.sample_size(10);
     let topo = Topology::build(catalog::nodes_128());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let n = topo.num_hosts() as u32;
     let stages: Vec<Vec<(u32, u32)>> = (0..2)
         .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use ftree_core::{route_dmodk, route_minhop_greedy, route_random};
+use ftree_core::{DModK, MinHopGreedy, RandomUpstream, Router};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -17,13 +17,13 @@ fn bench_routing(c: &mut Criterion) {
     ] {
         let topo = Topology::build(spec);
         group.bench_with_input(BenchmarkId::new("dmodk", name), &topo, |b, t| {
-            b.iter(|| black_box(route_dmodk(t)))
+            b.iter(|| black_box(DModK.route_healthy(t)))
         });
         group.bench_with_input(BenchmarkId::new("minhop", name), &topo, |b, t| {
-            b.iter(|| black_box(route_minhop_greedy(t)))
+            b.iter(|| black_box(MinHopGreedy.route_healthy(t)))
         });
         group.bench_with_input(BenchmarkId::new("random", name), &topo, |b, t| {
-            b.iter(|| black_box(route_random(t, 1)))
+            b.iter(|| black_box(RandomUpstream::new(1).route_healthy(t)))
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_topology_build(c: &mut Criterion) {
 
 fn bench_path_trace(c: &mut Criterion) {
     let topo = Topology::build(catalog::nodes_1944());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     c.bench_function("trace_1944_cross_tree", |b| {
         let mut dst = 0usize;
         b.iter(|| {

@@ -5,14 +5,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{route_dmodk, NodeOrder};
+use ftree_core::{DModK, NodeOrder, Router};
 use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
 fn bench_packet_sim(c: &mut Criterion) {
     let topo = Topology::build(catalog::nodes_128());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let cfg = SimConfig::default();
     let mut group = c.benchmark_group("packet_sim_128");
     group.sample_size(10);
@@ -38,7 +38,7 @@ fn bench_fluid_sim(c: &mut Criterion) {
         ("1944", catalog::nodes_1944()),
     ] {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let order = NodeOrder::random(&topo, 1);
         let n = topo.num_hosts() as u32;
         let plan = TrafficPlan::uniform(

@@ -21,7 +21,7 @@ use ftree_bench::{
     arg_num, export_observability, init_obs, print_phase_report, BenchJson, TextTable,
 };
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{route_dmodk, route_dmodk_ft, NodeOrder, SubnetManager};
+use ftree_core::{DModK, NodeOrder, Router, SubnetManager};
 use ftree_sim::{
     run_fluid, FabricLifecycle, PacketSim, Progression, SimConfig, TrafficPlan, MICROSECOND,
 };
@@ -37,7 +37,7 @@ fn main() {
     let topo = Topology::build(catalog::nodes_324());
     out.topology(topo.spec().to_string());
     let order = NodeOrder::topology(&topo);
-    let baseline = route_dmodk(&topo);
+    let baseline = DModK.route_healthy(&topo);
     let cfg = SimConfig::default();
     let n = topo.num_hosts() as u32;
 
@@ -67,7 +67,7 @@ fn main() {
                 .fail_up_port(&topo, leaf, ((i * 7) % 18) as u32)
                 .unwrap();
         }
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = DModK.route(&topo, &failures).unwrap();
         rt.validate(&topo, 20_000).expect("fabric still connected");
 
         // How many forwarding decisions changed?

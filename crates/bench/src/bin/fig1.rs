@@ -10,12 +10,12 @@
 use ftree_analysis::LinkLoads;
 use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{route_dmodk, NodeOrder};
+use ftree_core::{DModK, NodeOrder, Router};
 use ftree_topology::rlft::catalog;
 use ftree_topology::{Direction, Topology};
 
 fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (usize, u32) {
-    let rt = route_dmodk(topo);
+    let rt = DModK.route_healthy(topo);
     let n = topo.num_hosts() as u32;
     // Stage with displacement 4: Shift stage index 3.
     let stage = Cps::Shift.stage(n, 3);
@@ -78,7 +78,7 @@ fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (
 }
 
 fn write_svg(topo: &Topology, order: &NodeOrder, path: &str) {
-    let rt = route_dmodk(topo);
+    let rt = DModK.route_healthy(topo);
     let stage = Cps::Shift.stage(topo.num_hosts() as u32, 3);
     let loads = LinkLoads::compute(topo, &rt, &order.port_flows(&stage)).unwrap();
     let svg =
@@ -104,7 +104,7 @@ fn main() {
     let mut chosen = None;
     for seed in 1..100 {
         let order = NodeOrder::random(&topo, seed);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let stage = Cps::Shift.stage(16, 3);
         let loads = LinkLoads::compute(&topo, &rt, &order.port_flows(&stage)).unwrap();
         let hot = loads

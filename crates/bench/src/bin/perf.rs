@@ -24,7 +24,7 @@ use std::time::Instant;
 use ftree_analysis::{random_order_sweep, reference, SequenceOptions, SweepResult};
 use ftree_bench::{arg_num, arg_value, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::route_dmodk;
+use ftree_core::{DModK, Router};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -67,7 +67,7 @@ fn main() {
     };
 
     let topo = Topology::build(spec_by_name(&topo_name));
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
 
     if ftree_bench::has_flag("--breakdown") {
         // Diagnostic: where does the fast engine's time go?

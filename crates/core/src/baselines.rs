@@ -18,106 +18,41 @@
 //! treat all routings identically. Down-paths reuse the D-Mod-K descent
 //! (destination-determined child and cable) — the comparison isolates the
 //! *up-path* choice, which is where blocking can occur (paper Sec. V).
+//!
+//! Both functions are deprecated thin wrappers over the [`crate::router`]
+//! engines ([`crate::RandomUpstream`], [`crate::MinHopGreedy`]), which
+//! additionally accept a [`ftree_topology::LinkFailures`] state.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use ftree_topology::{RoutingTable, Topology};
 
-use ftree_topology::{PortRef, RoutingTable, Topology};
-
-use crate::dmodk::dmodk_down_port;
+use crate::router::{MinHopGreedy, RandomUpstream, Router};
 
 /// Random up-port routing with a deterministic seed.
+#[deprecated(
+    note = "use the `RandomUpstream` engine: `RandomUpstream::new(seed).route_healthy(topo)`"
+)]
 pub fn route_random(topo: &Topology, seed: u64) -> RoutingTable {
-    let mut rt = RoutingTable::empty(topo, format!("random(seed={seed})"));
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let n = topo.num_hosts();
-    let spec = topo.spec();
-
-    if spec.up_ports(0) > 1 {
-        for src in 0..n {
-            for dst in 0..n {
-                if src != dst {
-                    let q = rng.gen_range(0..spec.up_ports(0));
-                    rt.set(topo.host(src), dst, PortRef::Up(q));
-                }
-            }
-        }
-    }
-
-    for sw in topo.switches() {
-        let level = topo.node(sw).level as usize;
-        let ups = spec.up_ports(level);
-        for dst in 0..n {
-            let port = if topo.is_ancestor_of(sw, dst) {
-                PortRef::Down(dmodk_down_port(topo, level, dst))
-            } else {
-                PortRef::Up(rng.gen_range(0..ups))
-            };
-            rt.set(sw, dst, port);
-        }
-    }
-    rt
+    RandomUpstream::new(seed).route_healthy(topo)
 }
 
 /// Greedy least-loaded min-hop routing (OpenSM-style port counters).
+#[deprecated(note = "use the `MinHopGreedy` engine: `MinHopGreedy.route_healthy(topo)`")]
 pub fn route_minhop_greedy(topo: &Topology) -> RoutingTable {
-    let mut rt = RoutingTable::empty(topo, "minhop-greedy");
-    let n = topo.num_hosts();
-    let spec = topo.spec();
-
-    if spec.up_ports(0) > 1 {
-        for src in 0..n {
-            let mut counters = vec![0u32; spec.up_ports(0) as usize];
-            for dst in 0..n {
-                if src != dst {
-                    let q = least_loaded(&counters);
-                    counters[q as usize] += 1;
-                    rt.set(topo.host(src), dst, PortRef::Up(q));
-                }
-            }
-        }
-    }
-
-    for sw in topo.switches() {
-        let level = topo.node(sw).level as usize;
-        let mut counters = vec![0u32; spec.up_ports(level) as usize];
-        for dst in 0..n {
-            let port = if topo.is_ancestor_of(sw, dst) {
-                PortRef::Down(dmodk_down_port(topo, level, dst))
-            } else {
-                let q = least_loaded(&counters);
-                counters[q as usize] += 1;
-                PortRef::Up(q)
-            };
-            rt.set(sw, dst, port);
-        }
-    }
-    rt
-}
-
-#[inline]
-fn least_loaded(counters: &[u32]) -> u32 {
-    let mut best = 0usize;
-    for (i, &c) in counters.iter().enumerate() {
-        if c < counters[best] {
-            best = i;
-        }
-    }
-    best as u32
+    MinHopGreedy.route_healthy(topo)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ftree_topology::rlft::catalog;
-    use ftree_topology::Topology;
+    use ftree_topology::{PortRef, Topology};
 
     #[test]
     fn random_routing_is_valid_and_deterministic() {
         let topo = Topology::build(catalog::nodes_128());
-        let a = route_random(&topo, 7);
-        let b = route_random(&topo, 7);
-        let c = route_random(&topo, 8);
+        let a = RandomUpstream::new(7).route_healthy(&topo);
+        let b = RandomUpstream::new(7).route_healthy(&topo);
+        let c = RandomUpstream::new(8).route_healthy(&topo);
         a.validate(&topo, 2000).unwrap();
         c.validate(&topo, 2000).unwrap();
         let mut same = true;
@@ -135,14 +70,14 @@ mod tests {
     #[test]
     fn minhop_routing_is_valid() {
         let topo = Topology::build(catalog::nodes_324());
-        let rt = route_minhop_greedy(&topo);
+        let rt = MinHopGreedy.route_healthy(&topo);
         rt.validate(&topo, 2000).unwrap();
     }
 
     #[test]
     fn minhop_balances_destination_counts() {
         let topo = Topology::build(catalog::nodes_128());
-        let rt = route_minhop_greedy(&topo);
+        let rt = MinHopGreedy.route_healthy(&topo);
         for sw in topo.switches() {
             let node = topo.node(sw);
             if node.up.is_empty() {
@@ -165,8 +100,25 @@ mod tests {
         // A PGFT with w1*p1 = 2: hosts must receive first-hop entries.
         let spec = ftree_topology::PgftSpec::from_slices(&[4, 4], &[2, 4], &[1, 2]).unwrap();
         let topo = Topology::build(spec);
-        for rt in [route_random(&topo, 1), route_minhop_greedy(&topo)] {
+        for rt in [
+            RandomUpstream::new(1).route_healthy(&topo),
+            MinHopGreedy.route_healthy(&topo),
+        ] {
             rt.validate(&topo, usize::MAX).unwrap();
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_engines() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let wrapped = route_random(&topo, 9);
+        let engine = RandomUpstream::new(9).route_healthy(&topo);
+        assert_eq!(wrapped.fingerprint(), engine.fingerprint());
+        assert_eq!(wrapped.algorithm, engine.algorithm);
+        let wrapped = route_minhop_greedy(&topo);
+        let engine = MinHopGreedy.route_healthy(&topo);
+        assert_eq!(wrapped.fingerprint(), engine.fingerprint());
+        assert_eq!(wrapped.algorithm, engine.algorithm);
     }
 }

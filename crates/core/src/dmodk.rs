@@ -46,7 +46,15 @@ pub fn dmodk_down_port(topo: &Topology, level: usize, j: usize) -> u32 {
 /// Works for any PGFT; the contention-freedom guarantees of Theorems 1 and 2
 /// additionally require the topology to satisfy the RLFT restrictions
 /// (checked by [`ftree_topology::rlft::require_rlft`]).
+#[deprecated(note = "use the `DModK` routing engine: `DModK.route_healthy(topo)`")]
 pub fn route_dmodk(topo: &Topology) -> RoutingTable {
+    dmodk_table(topo)
+}
+
+/// The shared closed-form table builder behind the [`crate::router::DModK`]
+/// and [`crate::router::Dmodc`] engines (their healthy fast path) and the
+/// deprecated [`route_dmodk`] wrapper.
+pub(crate) fn dmodk_table(topo: &Topology) -> RoutingTable {
     let _phase = ftree_obs::ObsPhase::global("core::route_dmodk");
     let mut rt = RoutingTable::empty(topo, "d-mod-k");
     let n = topo.num_hosts();
@@ -101,7 +109,7 @@ mod tests {
 
     fn routed(spec: PgftSpec) -> (Topology, RoutingTable) {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = dmodk_table(&topo);
         (topo, rt)
     }
 

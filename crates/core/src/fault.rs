@@ -12,9 +12,9 @@
 //! assumed — see the `failures` experiment binary.
 
 use ftree_topology::failures::LinkFailures;
-use ftree_topology::{NodeId, PortRef, RoutingTable, Topology};
+use ftree_topology::{NodeId, PortRef, RouteError, RoutingTable, Topology};
 
-use crate::dmodk::{dmodk_down_port, dmodk_up_port};
+use crate::dmodk::{dmodk_down_port, dmodk_table, dmodk_up_port};
 
 /// Per-(node, dst) deliverability under a failure set.
 ///
@@ -124,11 +124,26 @@ impl Reachability {
 
 /// Builds fault-aware D-Mod-K LFTs. Entries for unreachable destinations
 /// are left unprogrammed (tracing reports `NoRoute`, as a real SM would).
+#[deprecated(
+    note = "use the `DModK` routing engine: `DModK.route(topo, failures)` returns a `Result` instead of panicking"
+)]
 pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable {
+    ft_table(topo, failures).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Shared fault-aware table builder behind the [`crate::router::DModK`]
+/// engine and the deprecated [`route_dmodk_ft`] wrapper. Inconsistent
+/// inputs surface as [`RouteError::Topology`]; a healthy failure set takes
+/// the plain closed-form fast path (bit-identical, no reachability pass).
+pub(crate) fn ft_table(
+    topo: &Topology,
+    failures: &LinkFailures,
+) -> Result<RoutingTable, RouteError> {
     let _phase = ftree_obs::ObsPhase::global("core::route_dmodk_ft");
-    failures
-        .verify_for(topo)
-        .expect("failure set was built for a different topology");
+    failures.verify_for(topo)?;
+    if failures.is_empty() {
+        return Ok(dmodk_table(topo));
+    }
     let reach = Reachability::compute(topo, failures);
     let mut rt = RoutingTable::empty(topo, ft_algorithm_label(failures));
     let n = topo.num_hosts();
@@ -162,7 +177,7 @@ pub fn route_dmodk_ft(topo: &Topology, failures: &LinkFailures) -> RoutingTable 
             }
         }
     }
-    rt
+    Ok(rt)
 }
 
 /// The algorithm label `route_dmodk_ft` stamps on its tables; incremental
@@ -225,18 +240,90 @@ pub(crate) fn pick_down(
         })
 }
 
+/// Exact incremental repair for the first-fit D-Mod-K rules — the
+/// [`crate::router::DModK`] engine's [`crate::router::Router::repair`]
+/// implementation, shared with the subnet manager.
+///
+/// A full [`ft_table`] recompute decides entry `(node, dst)` from two
+/// inputs only: the liveness of `node`'s candidate cables, and
+/// `reach(peer, dst)` for each candidate peer. Marking every `(endpoint,
+/// dst)` of each changed cable plus every `(neighbor, dst)` of each
+/// reachability flip therefore covers every entry whose inputs changed;
+/// re-running `pick_up`/`pick_down` on the marked set yields a table
+/// bit-identical to a from-scratch recompute. Returns `(entries
+/// recomputed, entries changed)`.
+pub(crate) fn incremental_dmodk_repair(
+    topo: &Topology,
+    failures: &LinkFailures,
+    old_reach: &Reachability,
+    new_reach: &Reachability,
+    changed_links: &[u32],
+    table: &mut RoutingTable,
+) -> (usize, usize) {
+    let n = topo.num_hosts();
+    let flips = old_reach.diff(new_reach);
+
+    let mut marked = vec![false; topo.num_nodes() * n];
+    // Liveness changes: both endpoints of each changed cable, all dsts.
+    for &l in changed_links {
+        let link = topo.link(l);
+        for dst in 0..n {
+            marked[link.child.index() * n + dst] = true;
+            marked[link.parent.index() * n + dst] = true;
+        }
+    }
+    // Reachability flips: every port-neighbor consults reach(node, dst).
+    for &(node, dst) in &flips {
+        let nd = topo.node(node);
+        for pp in nd.up.iter().chain(nd.down.iter()) {
+            marked[pp.peer.index() * n + dst] = true;
+        }
+    }
+
+    let multi_host = topo.spec().up_ports(0) > 1;
+    let mut recomputed = 0;
+    let mut changed = 0;
+    for (idx, _) in marked.iter().enumerate().filter(|&(_, &m)| m) {
+        let node = NodeId((idx / n) as u32);
+        let dst = idx % n;
+        let nd = topo.node(node);
+        let new = if nd.is_host() {
+            if !multi_host || node.index() == dst {
+                continue;
+            }
+            pick_up(topo, failures, new_reach, node, 0, dst).map(PortRef::Up)
+        } else {
+            let level = nd.level as usize;
+            if topo.is_ancestor_of(node, dst) {
+                pick_down(topo, failures, new_reach, node, level, dst).map(PortRef::Down)
+            } else {
+                pick_up(topo, failures, new_reach, node, level, dst).map(PortRef::Up)
+            }
+        };
+        recomputed += 1;
+        if table.egress(node, dst) != new {
+            changed += 1;
+            match new {
+                Some(port) => table.set(node, dst, port),
+                None => table.clear(node, dst),
+            }
+        }
+    }
+    table.algorithm = ft_algorithm_label(failures);
+    (recomputed, changed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::route_dmodk;
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
     #[test]
     fn healthy_fabric_matches_plain_dmodk() {
         let topo = Topology::build(catalog::nodes_128());
-        let plain = route_dmodk(&topo);
-        let ft = route_dmodk_ft(&topo, &LinkFailures::none(&topo));
+        let plain = dmodk_table(&topo);
+        let ft = ft_table(&topo, &LinkFailures::none(&topo)).unwrap();
         for sw in topo.switches() {
             for dst in 0..topo.num_hosts() {
                 assert_eq!(plain.egress(sw, dst), ft.egress(sw, dst));
@@ -252,7 +339,7 @@ mod tests {
         let leaf0 = topo.node_at(1, 0).unwrap();
         failures.fail_up_port(&topo, leaf0, 3).unwrap();
 
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.validate(&topo, usize::MAX)
             .expect("all pairs still reachable");
         // Traced paths never cross the dead link.
@@ -274,7 +361,7 @@ mod tests {
         let mut failures = LinkFailures::none(&topo);
         failures.fail_up_port(&topo, leaf0, 0).unwrap(); // cable k=0 to spine 0
 
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.validate(&topo, 20_000).unwrap();
         // Destinations preferring up-port 0 now leave via port 9 (k=1, same
         // spine digit 0 since w2 = 9).
@@ -314,7 +401,7 @@ mod tests {
         // Kill the k=0 parallel cable from this top spine down to child 0.
         failures.fail_down_port(&topo, spine, 0).unwrap();
 
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.validate(&topo, usize::MAX).expect("sibling cable heals");
         let reach = Reachability::compute(&topo, &failures);
         assert!(reach.unreachable_pairs(&topo).is_empty());
@@ -345,7 +432,7 @@ mod tests {
         let mut failures = LinkFailures::none(&topo);
         failures.fail_down_port(&topo, spine0, 0).unwrap(); // (c=0, k=0) to leaf 0
 
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.validate(&topo, 20_000).unwrap();
         let reach = Reachability::compute(&topo, &failures);
         assert!(reach.unreachable_pairs(&topo).is_empty());
@@ -385,7 +472,7 @@ mod tests {
         assert_eq!(lost.len(), 2 * 4 * (n - 4));
         assert!(lost.iter().all(|&(s, d)| (s < 4) != (d < 4)));
 
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.trace(&topo, 0, 3).expect("intra-leaf traffic survives");
         rt.trace(&topo, 10, 20).expect("unrelated traffic survives");
         assert!(matches!(
@@ -427,7 +514,7 @@ mod tests {
         for leaf in topo.level_nodes(1) {
             failures.fail_up_port(&topo, leaf, 0).unwrap();
         }
-        let rt = route_dmodk_ft(&topo, &failures);
+        let rt = ft_table(&topo, &failures).unwrap();
         rt.validate(&topo, usize::MAX)
             .expect("remaining spines carry everything");
         // And the dead spine is never used.

@@ -2,10 +2,14 @@
 //!
 //! The primary contribution of Zahavi's paper, as a library:
 //!
+//! * [`router`] — the pluggable [`Router`] engine trait: closed-form
+//!   [`DModK`], fault-resilient load-balanced [`Dmodc`], and the
+//!   [`RandomUpstream`] / [`MinHopGreedy`] baselines, all consuming a
+//!   [`ftree_topology::LinkFailures`] state,
 //! * [`dmodk`] — the closed-form **D-Mod-K** routing (eq. 1) extended to
 //!   real-life fat-trees, filling standard destination-indexed LFTs,
 //! * [`baselines`] — random up-port and greedy min-hop routings for the
-//!   evaluation comparisons,
+//!   evaluation comparisons (deprecated wrappers over the engines),
 //! * [`ordering`] — MPI rank → end-port assignments: topology order (the
 //!   contention-free choice), random (the measured 40%-loss baseline) and
 //!   the adversarial Ring layout (the 7.1% worst case of Sec. II),
@@ -32,12 +36,19 @@ pub mod dmodk;
 pub mod fault;
 pub mod ordering;
 pub mod planner;
+pub mod router;
 pub mod sm;
 
 pub use allocation::{AllocError, Allocation, Allocator};
+#[allow(deprecated)]
 pub use baselines::{route_minhop_greedy, route_random};
-pub use dmodk::{dmodk_down_port, dmodk_up_port, route_dmodk};
-pub use fault::{route_dmodk_ft, Reachability};
+#[allow(deprecated)]
+pub use dmodk::route_dmodk;
+pub use dmodk::{dmodk_down_port, dmodk_up_port};
+#[allow(deprecated)]
+pub use fault::route_dmodk_ft;
+pub use fault::Reachability;
 pub use ordering::NodeOrder;
 pub use planner::{aligned_suballocation, suballocation_unit, Job, RoutingAlgo};
+pub use router::{builtin_engines, DModK, Dmodc, MinHopGreedy, RandomUpstream, Router};
 pub use sm::{SubnetManager, SweepReport};

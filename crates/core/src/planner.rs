@@ -10,15 +10,18 @@
 use ftree_collectives::{Stage, TopoAwareRd};
 use ftree_topology::{RoutingTable, Topology};
 
-use crate::baselines::{route_minhop_greedy, route_random};
-use crate::dmodk::route_dmodk;
 use crate::ordering::NodeOrder;
+use crate::router::{DModK, Dmodc, MinHopGreedy, RandomUpstream, Router};
 
-/// Routing algorithm selector.
+/// Routing algorithm selector — a thin, copyable enum over the
+/// [`crate::router`] engines, for APIs that want a value instead of a
+/// boxed trait object (CLI flags, job configs, serialized experiments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingAlgo {
     /// The paper's D-Mod-K closed form (eq. 1).
     DModK,
+    /// Fault-resilient load-balanced D-Mod-K (Gliksberg-style Dmodc).
+    Dmodc,
     /// Random up-port per destination (seeded).
     Random(u64),
     /// Greedy least-loaded min-hop (OpenSM-style).
@@ -26,14 +29,20 @@ pub enum RoutingAlgo {
 }
 
 impl RoutingAlgo {
-    /// Builds the forwarding tables on `topo`.
+    /// The boxed engine this selector stands for.
+    pub fn engine(self) -> Box<dyn Router> {
+        match self {
+            RoutingAlgo::DModK => Box::new(DModK),
+            RoutingAlgo::Dmodc => Box::new(Dmodc),
+            RoutingAlgo::Random(seed) => Box::new(RandomUpstream::new(seed)),
+            RoutingAlgo::MinHopGreedy => Box::new(MinHopGreedy),
+        }
+    }
+
+    /// Builds the forwarding tables on a healthy `topo`.
     pub fn route(self, topo: &Topology) -> RoutingTable {
         let _phase = ftree_obs::ObsPhase::global("core::planner_route");
-        match self {
-            RoutingAlgo::DModK => route_dmodk(topo),
-            RoutingAlgo::Random(seed) => route_random(topo, seed),
-            RoutingAlgo::MinHopGreedy => route_minhop_greedy(topo),
-        }
+        self.engine().route_healthy(topo)
     }
 }
 
@@ -150,6 +159,9 @@ mod tests {
     fn routing_algo_labels() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         assert_eq!(RoutingAlgo::DModK.route(&topo).algorithm, "d-mod-k");
+        // Healthy Dmodc IS the closed form, label included.
+        assert_eq!(RoutingAlgo::Dmodc.route(&topo).algorithm, "d-mod-k");
+        assert_eq!(RoutingAlgo::Dmodc.engine().name(), "dmodc");
         assert_eq!(
             RoutingAlgo::Random(5).route(&topo).algorithm,
             "random(seed=5)"

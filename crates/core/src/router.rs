@@ -1,0 +1,683 @@
+//! Pluggable routing engines: one trait, many routers, one quality axis.
+//!
+//! The paper proves its contention-free guarantee for exactly one router —
+//! closed-form D-Mod-K on a healthy RLFT — but evaluating that claim (and
+//! surviving real fabrics) requires *comparing* engines under the same
+//! interface. [`Router`] is that interface: every engine consumes a
+//! topology plus a [`LinkFailures`] state and produces an ordinary
+//! destination-indexed [`RoutingTable`], so analysis, simulation and the
+//! subnet manager treat all routings identically.
+//!
+//! Engines:
+//!
+//! * [`DModK`] — the paper's eq. 1 closed form; on degraded fabrics it
+//!   falls back to the deviation-minimizing *first-fit* rule of
+//!   [`crate::fault`] (first viable port in sibling-cable-first cyclic
+//!   order). Supports exact incremental repair (see [`Router::repair`]).
+//! * [`Dmodc`] — fault-resilient closed-form routing in the style of
+//!   Gliksberg et al. ("High-Quality Fault Resiliency in Fat Trees"):
+//!   bit-identical to D-Mod-K while healthy, but on degraded fabrics each
+//!   node rebalances its *displaced* destinations across surviving viable
+//!   ports by a least-loaded criterion, minimizing the maximal per-link
+//!   destination load instead of piling displaced traffic onto the
+//!   cyclically-next survivor.
+//! * [`RandomUpstream`] — seeded random up-port per destination (the
+//!   structure-oblivious baseline), deviating to the cyclically-next
+//!   viable port under failures without disturbing the healthy RNG stream.
+//! * [`MinHopGreedy`] — OpenSM-style least-loaded port counters over the
+//!   currently-viable up ports.
+//!
+//! All engines leave entries for genuinely unreachable destinations
+//! unprogrammed (tracing reports `NoRoute`, as a real subnet manager
+//! would), and all return [`RouteError`] — never panic — when handed a
+//! failure set built for a different fabric.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ftree_topology::{LinkFailures, NodeId, PortRef, RouteError, RoutingTable, Topology};
+
+use crate::dmodk::{dmodk_down_port, dmodk_table, dmodk_up_port};
+use crate::fault::{ft_table, pick_down, Reachability};
+
+/// A routing engine: fills destination-indexed LFTs for a (possibly
+/// degraded) fabric.
+///
+/// The contract every engine satisfies:
+///
+/// * **Totality over live pairs** — if [`Reachability`] says a node can
+///   deliver to a destination, the table programs an egress for that entry;
+///   entries for unreachable destinations are left unprogrammed.
+/// * **Failure avoidance** — no programmed entry crosses a failed link.
+/// * **Errors, not panics** — inconsistent inputs (a failure set built for
+///   a different topology) surface as [`RouteError::Topology`].
+/// * **Determinism** — equal inputs produce bit-identical tables.
+pub trait Router: Send + Sync {
+    /// Engine name for reports and benches (may encode parameters, e.g.
+    /// `random(seed=7)`).
+    fn name(&self) -> String;
+
+    /// Builds forwarding tables for `topo` under `failures`.
+    fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError>;
+
+    /// Routes a healthy fabric. Infallible: with an empty failure set built
+    /// for `topo` itself, no contract error can occur.
+    fn route_healthy(&self, topo: &Topology) -> RoutingTable {
+        self.route(topo, &LinkFailures::none(topo))
+            .expect("routing a healthy fabric cannot fail")
+    }
+
+    /// Optional incremental-repair hook used by the subnet manager.
+    ///
+    /// Given the previous/next [`Reachability`] snapshots and the links
+    /// whose liveness changed, patch `table` in place so it is
+    /// bit-identical to a full [`Router::route`] under `failures`, and
+    /// return `(entries recomputed, entries changed)`. Engines that cannot
+    /// repair incrementally return `None`; the caller then falls back to a
+    /// full recompute.
+    fn repair(
+        &self,
+        _topo: &Topology,
+        _failures: &LinkFailures,
+        _old_reach: &Reachability,
+        _new_reach: &Reachability,
+        _changed_links: &[u32],
+        _table: &mut RoutingTable,
+    ) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// The paper's closed-form D-Mod-K (eq. 1); degraded fabrics use the
+/// deviation-minimizing first-fit fallback of [`crate::fault`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DModK;
+
+impl Router for DModK {
+    fn name(&self) -> String {
+        "d-mod-k".to_string()
+    }
+
+    fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError> {
+        ft_table(topo, failures)
+    }
+
+    fn repair(
+        &self,
+        topo: &Topology,
+        failures: &LinkFailures,
+        old_reach: &Reachability,
+        new_reach: &Reachability,
+        changed_links: &[u32],
+        table: &mut RoutingTable,
+    ) -> Option<(usize, usize)> {
+        Some(crate::fault::incremental_dmodk_repair(
+            topo,
+            failures,
+            old_reach,
+            new_reach,
+            changed_links,
+            table,
+        ))
+    }
+}
+
+/// Fault-resilient closed-form routing after Gliksberg et al.'s Dmodc.
+///
+/// While the fabric is healthy the output is **bit-identical** to
+/// [`DModK`]. Under failures, each node first programs every destination
+/// whose eq. 1 preferred port is still viable (the closed-form core),
+/// then redistributes the *displaced* destinations over the surviving
+/// viable ports choosing, per destination, the port with the least
+/// destination load so far — Gliksberg's load-quality criterion, which
+/// minimizes the maximal per-link destination load instead of stacking
+/// all displaced traffic on the first-fit survivor. Ties break toward the
+/// deviation order of [`crate::fault`] (sibling parallel cables first),
+/// so single-cable failures heal exactly like first-fit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dmodc;
+
+impl Router for Dmodc {
+    fn name(&self) -> String {
+        "dmodc".to_string()
+    }
+
+    fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError> {
+        let _phase = ftree_obs::ObsPhase::global("core::route_dmodc");
+        failures.verify_for(topo)?;
+        if failures.is_empty() {
+            return Ok(dmodk_table(topo));
+        }
+        let reach = Reachability::compute(topo, failures);
+        let mut rt = RoutingTable::empty(topo, format!("dmodc({} failed)", failures.len()));
+        let n = topo.num_hosts();
+
+        if topo.spec().up_ports(0) > 1 {
+            for src in 0..n {
+                balance_up(
+                    topo,
+                    failures,
+                    &reach,
+                    topo.host(src),
+                    0,
+                    Some(src),
+                    &mut rt,
+                );
+            }
+        }
+        for sw in topo.switches() {
+            let level = topo.node(sw).level as usize;
+            balance_up(topo, failures, &reach, sw, level, None, &mut rt);
+            balance_down(topo, failures, &reach, sw, level, &mut rt);
+        }
+        Ok(rt)
+    }
+}
+
+/// Dmodc up-side: program closed-form survivors, then least-loaded-balance
+/// the displaced destinations. `src_self` is `Some(src)` for host tables
+/// (skip the self entry); switches skip their descendants instead.
+fn balance_up(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: &Reachability,
+    node: NodeId,
+    level: usize,
+    src_self: Option<usize>,
+    rt: &mut RoutingTable,
+) {
+    let nd = topo.node(node);
+    if nd.up.is_empty() {
+        return;
+    }
+    let n = topo.num_hosts();
+    let w = topo.spec().w(level);
+    let p = topo.spec().p(level);
+    let mut load = vec![0u32; nd.up.len()];
+    let mut displaced: Vec<usize> = Vec::new();
+
+    for dst in 0..n {
+        let skip = match src_self {
+            Some(src) => dst == src,
+            None => topo.is_ancestor_of(node, dst),
+        };
+        if skip {
+            continue;
+        }
+        let q = dmodk_up_port(topo, level, dst);
+        let pp = nd.up[q as usize];
+        if failures.is_live(pp.link) && reach.ok(pp.peer, dst) {
+            rt.set(node, dst, PortRef::Up(q));
+            load[q as usize] += 1;
+        } else if reach.ok(node, dst) {
+            displaced.push(dst);
+        }
+    }
+
+    for dst in displaced {
+        let preferred = dmodk_up_port(topo, level, dst);
+        let (b0, k0) = (preferred % w, preferred / w);
+        let mut best: Option<u32> = None;
+        for q in
+            (0..w).flat_map(move |db| (0..p).map(move |dk| ((b0 + db) % w) + ((k0 + dk) % p) * w))
+        {
+            let pp = nd.up[q as usize];
+            if failures.is_live(pp.link)
+                && reach.ok(pp.peer, dst)
+                && best.is_none_or(|b| load[q as usize] < load[b as usize])
+            {
+                best = Some(q);
+            }
+        }
+        if let Some(q) = best {
+            rt.set(node, dst, PortRef::Up(q));
+            load[q as usize] += 1;
+        }
+    }
+}
+
+/// Dmodc down-side: mirrored closed form first, then least-loaded over the
+/// surviving parallel cables toward the destination's child digit.
+fn balance_down(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: &Reachability,
+    node: NodeId,
+    level: usize,
+    rt: &mut RoutingTable,
+) {
+    let nd = topo.node(node);
+    let n = topo.num_hosts();
+    let spec = topo.spec();
+    let m = spec.m(level - 1);
+    let p = spec.p(level - 1);
+    let mut load = vec![0u32; nd.down.len()];
+    let mut displaced: Vec<usize> = Vec::new();
+
+    for dst in 0..n {
+        if !topo.is_ancestor_of(node, dst) {
+            continue;
+        }
+        let r = dmodk_down_port(topo, level, dst);
+        let pp = nd.down[r as usize];
+        if failures.is_live(pp.link) && reach.ok(pp.peer, dst) {
+            rt.set(node, dst, PortRef::Down(r));
+            load[r as usize] += 1;
+        } else if reach.ok(node, dst) {
+            displaced.push(dst);
+        }
+    }
+
+    for dst in displaced {
+        let c = spec.host_digit(dst, level - 1);
+        let k0 = (dmodk_down_port(topo, level, dst) - c) / m;
+        let mut best: Option<u32> = None;
+        for r in (0..p).map(|t| (k0 + t) % p).map(|k| c + k * m) {
+            let pp = nd.down[r as usize];
+            if failures.is_live(pp.link)
+                && reach.ok(pp.peer, dst)
+                && best.is_none_or(|b| load[r as usize] < load[b as usize])
+            {
+                best = Some(r);
+            }
+        }
+        if let Some(r) = best {
+            rt.set(node, dst, PortRef::Down(r));
+            load[r as usize] += 1;
+        }
+    }
+}
+
+/// Seeded random up-port per destination — the structure-oblivious
+/// baseline. Under failures each draw deviates to the cyclically-next
+/// viable port; the draw sequence itself never changes, so the healthy
+/// output is bit-identical to the legacy [`crate::route_random`] baseline
+/// regardless of the failure set applied later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomUpstream {
+    /// Seed for the deterministic ChaCha8 draw stream.
+    pub seed: u64,
+}
+
+impl RandomUpstream {
+    /// Engine drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Router for RandomUpstream {
+    fn name(&self) -> String {
+        format!("random(seed={})", self.seed)
+    }
+
+    fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError> {
+        failures.verify_for(topo)?;
+        let reach = degraded_reachability(topo, failures);
+        let label = if failures.is_empty() {
+            self.name()
+        } else {
+            format!("random(seed={},{} failed)", self.seed, failures.len())
+        };
+        let mut rt = RoutingTable::empty(topo, label);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = topo.num_hosts();
+        let spec = topo.spec();
+
+        if spec.up_ports(0) > 1 {
+            for src in 0..n {
+                for dst in 0..n {
+                    if src != dst {
+                        let q = rng.gen_range(0..spec.up_ports(0));
+                        set_up_deviating(
+                            topo,
+                            failures,
+                            reach.as_ref(),
+                            topo.host(src),
+                            q,
+                            dst,
+                            &mut rt,
+                        );
+                    }
+                }
+            }
+        }
+        for sw in topo.switches() {
+            let level = topo.node(sw).level as usize;
+            let ups = spec.up_ports(level);
+            for dst in 0..n {
+                if topo.is_ancestor_of(sw, dst) {
+                    set_down(topo, failures, reach.as_ref(), sw, level, dst, &mut rt);
+                } else {
+                    let q = rng.gen_range(0..ups);
+                    set_up_deviating(topo, failures, reach.as_ref(), sw, q, dst, &mut rt);
+                }
+            }
+        }
+        Ok(rt)
+    }
+}
+
+/// Greedy least-loaded min-hop routing (OpenSM-style port counters),
+/// restricted to the currently-viable up ports. Healthy output is
+/// bit-identical to the legacy [`crate::route_minhop_greedy`] baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinHopGreedy;
+
+impl Router for MinHopGreedy {
+    fn name(&self) -> String {
+        "minhop-greedy".to_string()
+    }
+
+    fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError> {
+        failures.verify_for(topo)?;
+        let reach = degraded_reachability(topo, failures);
+        let label = if failures.is_empty() {
+            self.name()
+        } else {
+            format!("minhop-greedy({} failed)", failures.len())
+        };
+        let mut rt = RoutingTable::empty(topo, label);
+        let n = topo.num_hosts();
+        let spec = topo.spec();
+
+        if spec.up_ports(0) > 1 {
+            for src in 0..n {
+                let host = topo.host(src);
+                let mut counters = vec![0u32; spec.up_ports(0) as usize];
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    if let Some(q) =
+                        least_loaded_viable(topo, failures, reach.as_ref(), host, &counters, dst)
+                    {
+                        counters[q as usize] += 1;
+                        rt.set(host, dst, PortRef::Up(q));
+                    }
+                }
+            }
+        }
+        for sw in topo.switches() {
+            let level = topo.node(sw).level as usize;
+            let mut counters = vec![0u32; spec.up_ports(level) as usize];
+            for dst in 0..n {
+                if topo.is_ancestor_of(sw, dst) {
+                    set_down(topo, failures, reach.as_ref(), sw, level, dst, &mut rt);
+                } else if let Some(q) =
+                    least_loaded_viable(topo, failures, reach.as_ref(), sw, &counters, dst)
+                {
+                    counters[q as usize] += 1;
+                    rt.set(sw, dst, PortRef::Up(q));
+                }
+            }
+        }
+        Ok(rt)
+    }
+}
+
+/// Reachability snapshot for degraded fabrics; `None` on healthy ones so
+/// the healthy fast paths skip viability checks entirely.
+fn degraded_reachability(topo: &Topology, failures: &LinkFailures) -> Option<Reachability> {
+    (!failures.is_empty()).then(|| Reachability::compute(topo, failures))
+}
+
+/// Program the up entry at `q0`, deviating cyclically to the next viable
+/// port when degraded. Unreachable destinations stay unprogrammed.
+fn set_up_deviating(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: Option<&Reachability>,
+    node: NodeId,
+    q0: u32,
+    dst: usize,
+    rt: &mut RoutingTable,
+) {
+    let Some(re) = reach else {
+        rt.set(node, dst, PortRef::Up(q0));
+        return;
+    };
+    let nd = topo.node(node);
+    let ups = nd.up.len() as u32;
+    for i in 0..ups {
+        let q = (q0 + i) % ups;
+        let pp = nd.up[q as usize];
+        if failures.is_live(pp.link) && re.ok(pp.peer, dst) {
+            rt.set(node, dst, PortRef::Up(q));
+            return;
+        }
+    }
+}
+
+/// Program the descent entry: mirrored eq. 1 cable when healthy, the
+/// first-fit viable parallel cable when degraded.
+fn set_down(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: Option<&Reachability>,
+    node: NodeId,
+    level: usize,
+    dst: usize,
+    rt: &mut RoutingTable,
+) {
+    match reach {
+        None => rt.set(node, dst, PortRef::Down(dmodk_down_port(topo, level, dst))),
+        Some(re) => {
+            if let Some(r) = pick_down(topo, failures, re, node, level, dst) {
+                rt.set(node, dst, PortRef::Down(r));
+            }
+        }
+    }
+}
+
+/// Least-loaded viable up port in port-index scan order (strict `<`, so
+/// ties keep the lowest index — the legacy OpenSM-style tie-break).
+fn least_loaded_viable(
+    topo: &Topology,
+    failures: &LinkFailures,
+    reach: Option<&Reachability>,
+    node: NodeId,
+    counters: &[u32],
+    dst: usize,
+) -> Option<u32> {
+    let nd = topo.node(node);
+    let mut best: Option<u32> = None;
+    for (q, pp) in nd.up.iter().enumerate() {
+        let viable = match reach {
+            None => true,
+            Some(re) => failures.is_live(pp.link) && re.ok(pp.peer, dst),
+        };
+        if viable && best.is_none_or(|b| counters[q] < counters[b as usize]) {
+            best = Some(q as u32);
+        }
+    }
+    best
+}
+
+/// Every built-in engine, for sweeps and property tests. The random engine
+/// draws from `random_seed`.
+pub fn builtin_engines(random_seed: u64) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(DModK),
+        Box::new(Dmodc),
+        Box::new(RandomUpstream::new(random_seed)),
+        Box::new(MinHopGreedy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_topology::rlft::catalog;
+    use ftree_topology::Topology;
+
+    #[test]
+    fn healthy_engines_match_legacy_closed_form() {
+        let topo = Topology::build(catalog::nodes_128());
+        let plain = dmodk_table(&topo);
+        for engine in [&DModK as &dyn Router, &Dmodc] {
+            let rt = engine.route_healthy(&topo);
+            assert_eq!(rt.fingerprint(), plain.fingerprint(), "{}", engine.name());
+            assert_eq!(rt.algorithm, "d-mod-k");
+        }
+    }
+
+    #[test]
+    fn mismatched_failure_set_is_an_error_not_a_panic() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let other = Topology::build(catalog::nodes_128());
+        let failures = LinkFailures::none(&other);
+        for engine in builtin_engines(3) {
+            match engine.route(&topo, &failures) {
+                Err(RouteError::Topology(_)) => {}
+                other => panic!("{}: expected Topology error, got {other:?}", engine.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn dmodc_single_failure_beats_first_fit_pileup() {
+        // Killing leaf 0's up-port 0 on the 324-node tree displaces the
+        // whole dst%18==0 residue class (17 destinations). First-fit piles
+        // all of them onto the sibling parallel cable (port 9, which
+        // already carries its own 17); Dmodc hands the sibling cable to
+        // the first displaced destination, then round-robins the rest.
+        let topo = Topology::build(catalog::nodes_324());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 0).unwrap();
+        let ff = DModK.route(&topo, &failures).unwrap();
+        let dc = Dmodc.route(&topo, &failures).unwrap();
+        dc.validate(&topo, 20_000).unwrap();
+
+        // Non-displaced destinations keep their closed-form port.
+        for dst in 18..topo.num_hosts() {
+            if dst % 18 != 0 {
+                assert_eq!(ff.egress(leaf0, dst), dc.egress(leaf0, dst), "dst {dst}");
+            }
+        }
+        // First displaced destination takes the sibling cable (tie at the
+        // healthy load, broken toward the first-fit deviation order).
+        assert_eq!(dc.egress(leaf0, 18), Some(PortRef::Up(9)));
+
+        let per_port = |rt: &RoutingTable| {
+            let mut load = vec![0u32; topo.node(leaf0).up.len()];
+            for dst in 0..topo.num_hosts() {
+                if let Some(PortRef::Up(q)) = rt.egress(leaf0, dst) {
+                    load[q as usize] += 1;
+                }
+            }
+            load
+        };
+        let (ff_load, dc_load) = (per_port(&ff), per_port(&dc));
+        assert_eq!(*ff_load.iter().max().unwrap(), 34, "17 own + 17 displaced");
+        assert_eq!(*dc_load.iter().max().unwrap(), 18, "round-robined");
+    }
+
+    #[test]
+    fn dmodc_spreads_displaced_destinations() {
+        // Kill leaf 0's up-ports 0 and 1 on the 128-node tree. First-fit
+        // piles both displaced blocks onto port 2 (load 3x); Dmodc spreads
+        // them across ports 2..=7, keeping the max near the mean.
+        let topo = Topology::build(catalog::nodes_128());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 0).unwrap();
+        failures.fail_up_port(&topo, leaf0, 1).unwrap();
+
+        let per_port = |rt: &RoutingTable| {
+            let mut load = vec![0u32; topo.node(leaf0).up.len()];
+            for dst in 0..topo.num_hosts() {
+                if let Some(PortRef::Up(q)) = rt.egress(leaf0, dst) {
+                    load[q as usize] += 1;
+                }
+            }
+            load
+        };
+        let ff = per_port(&DModK.route(&topo, &failures).unwrap());
+        let dc_table = Dmodc.route(&topo, &failures).unwrap();
+        dc_table.validate(&topo, usize::MAX).unwrap();
+        let dc = per_port(&dc_table);
+
+        assert_eq!(ff.iter().sum::<u32>(), dc.iter().sum::<u32>());
+        let (ff_max, dc_max) = (*ff.iter().max().unwrap(), *dc.iter().max().unwrap());
+        assert!(
+            dc_max < ff_max,
+            "dmodc must beat first-fit here: first-fit {ff:?}, dmodc {dc:?}"
+        );
+        // 120 non-local destinations over 6 surviving ports: exactly 20 each.
+        assert_eq!(dc_max, 20);
+    }
+
+    #[test]
+    fn dmodc_leaves_unreachable_destinations_unprogrammed() {
+        // Sever leaf 0 of the 128-node tree: cross-leaf pairs get NoRoute
+        // errors (not panics), intra-leaf traffic survives.
+        let topo = Topology::build(catalog::nodes_128());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        for port in 0..topo.node(leaf0).up.len() as u32 {
+            failures.fail_up_port(&topo, leaf0, port).unwrap();
+        }
+        for engine in builtin_engines(11) {
+            let rt = engine.route(&topo, &failures).unwrap();
+            rt.trace(&topo, 0, 3).expect("intra-leaf traffic survives");
+            assert!(
+                matches!(rt.trace(&topo, 0, 100), Err(RouteError::NoRoute { .. })),
+                "{}",
+                engine.name()
+            );
+            assert!(
+                matches!(rt.trace(&topo, 100, 0), Err(RouteError::NoRoute { .. })),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_random_preserves_healthy_draw_stream() {
+        // Failing one cable must only touch entries that crossed it: the
+        // RNG stream is consumed identically, so every node whose ports
+        // all stayed viable keeps its healthy random assignment.
+        let topo = Topology::build(catalog::nodes_128());
+        let engine = RandomUpstream::new(42);
+        let healthy = engine.route_healthy(&topo);
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 5).unwrap();
+        let degraded = engine.route(&topo, &failures).unwrap();
+        degraded.validate(&topo, 5_000).unwrap();
+        // The dead link is bidirectional, so entries toward leaf 0's hosts
+        // (dst < 8) may legitimately deviate anywhere; everything else must
+        // replay the healthy draw stream untouched.
+        for sw in topo.switches() {
+            if sw == leaf0 {
+                continue;
+            }
+            for dst in 8..topo.num_hosts() {
+                assert_eq!(healthy.egress(sw, dst), degraded.egress(sw, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_minhop_balances_over_survivors() {
+        let topo = Topology::build(catalog::nodes_128());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let mut failures = LinkFailures::none(&topo);
+        failures.fail_up_port(&topo, leaf0, 2).unwrap();
+        let rt = MinHopGreedy.route(&topo, &failures).unwrap();
+        rt.validate(&topo, 5_000).unwrap();
+        let mut load = vec![0u32; topo.node(leaf0).up.len()];
+        for dst in 0..topo.num_hosts() {
+            if let Some(PortRef::Up(q)) = rt.egress(leaf0, dst) {
+                load[q as usize] += 1;
+            }
+        }
+        assert_eq!(load[2], 0, "dead port must carry nothing");
+        let live: Vec<u32> = load.iter().copied().filter(|&c| c > 0).collect();
+        let (min, max) = (live.iter().min().unwrap(), live.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced: {load:?}");
+    }
+}

@@ -5,44 +5,31 @@
 //! every cable event. It discovers what changed, patches exactly the
 //! forwarding entries whose routes crossed the changed cables, and pushes
 //! the delta to the switches. [`SubnetManager`] reproduces that loop on top
-//! of the deviation-minimizing fault router in [`crate::fault`]:
+//! of a pluggable [`Router`] engine (default [`DModK`]):
 //!
 //! 1. a [`FaultSchedule`] scripts timed link failures and recoveries,
 //! 2. each [`SubnetManager::sweep`] applies all due events to its
 //!    [`LinkFailures`] set,
-//! 3. **incremental repair** recomputes only the `(node, dst)` entries whose
-//!    viable-port set may have changed, and
+//! 3. **incremental repair** (via [`Router::repair`], when the engine
+//!    supports it — see `crate::fault::incremental_dmodk_repair` for why
+//!    the D-Mod-K repair is exact) recomputes only the `(node, dst)`
+//!    entries whose viable-port set may have changed; engines without a
+//!    repair hook are fully re-routed, and
 //! 4. a [`SweepReport`] records what the sweep saw and did (perturbed
 //!    entries, unreachable pairs, event-to-sweep lag).
 //!
-//! ## Why incremental repair is exact
-//!
-//! A full [`route_dmodk_ft`] recompute decides entry `(node, dst)` from two
-//! inputs only: the liveness of `node`'s candidate cables, and
-//! `reach(peer, dst)` for each candidate peer. The sweep therefore marks
-//!
-//! * every `(endpoint, dst)` for each changed cable (covers liveness
-//!   changes: the endpoints are exactly the nodes whose candidate cables
-//!   include it), and
-//! * every `(neighbor, dst)` of each node whose `reach(node, dst)` flipped
-//!   (covers reachability changes: the neighbors are exactly the nodes that
-//!   consult it),
-//!
-//! then re-runs the same `pick_up`/`pick_down` rules on the marked entries.
-//! Every entry either keeps both inputs unchanged (and is provably
-//! identical under a full recompute) or is marked and recomputed — so the
-//! repaired table is **bit-identical** to a from-scratch
-//! [`route_dmodk_ft`]. The oracle test in `tests/sm_oracle.rs` checks this
-//! for every catalog topology.
+//! Either way the active table is **bit-identical** to a from-scratch
+//! [`Router::route`] under the applied failure set. The oracle test in
+//! `tests/sm_oracle.rs` checks this for every catalog topology.
 
 use serde::{Deserialize, Serialize};
 
 use ftree_topology::{
-    FaultSchedule, LinkEventKind, LinkFailures, NodeId, PortRef, RoutingTable, Topology,
-    TopologyError,
+    FaultSchedule, LinkEventKind, LinkFailures, RouteError, RoutingTable, Topology, TopologyError,
 };
 
-use crate::fault::{ft_algorithm_label, pick_down, pick_up, route_dmodk_ft, Reachability};
+use crate::fault::Reachability;
+use crate::router::{DModK, Router};
 
 /// What one subnet-manager sweep observed and repaired.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,8 +59,9 @@ pub struct SweepReport {
 }
 
 /// A subnet manager living through a [`FaultSchedule`], keeping a
-/// fault-aware D-Mod-K [`RoutingTable`] continuously repaired.
+/// [`Router`]-built [`RoutingTable`] continuously repaired.
 pub struct SubnetManager {
+    engine: Box<dyn Router>,
     schedule: FaultSchedule,
     cursor: usize,
     failures: LinkFailures,
@@ -83,14 +71,30 @@ pub struct SubnetManager {
 }
 
 impl SubnetManager {
-    /// Starts a manager on a healthy fabric. The initial table is
-    /// bit-identical to plain D-Mod-K.
+    /// Starts a manager on a healthy fabric with the default [`DModK`]
+    /// engine. The initial table is bit-identical to plain D-Mod-K.
     pub fn new(topo: &Topology, schedule: FaultSchedule) -> Result<Self, TopologyError> {
+        Self::with_engine(topo, schedule, Box::new(DModK))
+    }
+
+    /// Starts a manager driving an arbitrary routing engine. Engines that
+    /// implement [`Router::repair`] are patched incrementally on each
+    /// sweep; the rest are fully re-routed whenever a link changes.
+    pub fn with_engine(
+        topo: &Topology,
+        schedule: FaultSchedule,
+        engine: Box<dyn Router>,
+    ) -> Result<Self, TopologyError> {
         schedule.validate(topo)?;
         let failures = LinkFailures::none(topo);
         let reach = Reachability::compute(topo, &failures);
-        let table = route_dmodk_ft(topo, &failures);
+        let table = match engine.route(topo, &failures) {
+            Ok(t) => t,
+            Err(RouteError::Topology(e)) => return Err(e),
+            Err(e) => unreachable!("healthy routing failed structurally: {e}"),
+        };
         Ok(Self {
+            engine,
             schedule,
             cursor: 0,
             failures,
@@ -98,6 +102,11 @@ impl SubnetManager {
             table,
             reports: Vec::new(),
         })
+    }
+
+    /// Name of the routing engine driving this manager.
+    pub fn engine_name(&self) -> String {
+        self.engine.name()
     }
 
     /// The active routing table (always consistent with the applied events).
@@ -163,7 +172,45 @@ impl SubnetManager {
         let (entries_recomputed, entries_changed) = if changed_links.is_empty() {
             (0, 0)
         } else {
-            self.repair(topo, &changed_links)
+            let new_reach = Reachability::compute(topo, &self.failures);
+            let counts = match self.engine.repair(
+                topo,
+                &self.failures,
+                &self.reach,
+                &new_reach,
+                &changed_links,
+                &mut self.table,
+            ) {
+                Some(counts) => counts,
+                None => {
+                    // Engine without incremental repair: full recompute,
+                    // reporting every entry as recomputed and counting the
+                    // ones that actually moved.
+                    let new_table = self
+                        .engine
+                        .route(topo, &self.failures)
+                        .expect("failure set verified at sweep entry");
+                    let n = topo.num_hosts();
+                    let mut changed = 0;
+                    let mut recomputed = 0;
+                    let hosts_programmed = topo.spec().up_ports(0) > 1;
+                    for node in topo
+                        .switches()
+                        .chain((0..n).filter(|_| hosts_programmed).map(|h| topo.host(h)))
+                    {
+                        for dst in 0..n {
+                            recomputed += 1;
+                            if self.table.egress(node, dst) != new_table.egress(node, dst) {
+                                changed += 1;
+                            }
+                        }
+                    }
+                    self.table = new_table;
+                    (recomputed, changed)
+                }
+            };
+            self.reach = new_reach;
+            counts
         };
 
         let report = SweepReport {
@@ -202,71 +249,11 @@ impl SubnetManager {
         }
         out
     }
-
-    /// Incremental repair: mark entries whose inputs changed, recompute only
-    /// those. Returns `(entries recomputed, entries changed)`.
-    fn repair(&mut self, topo: &Topology, changed_links: &[u32]) -> (usize, usize) {
-        let n = topo.num_hosts();
-        let new_reach = Reachability::compute(topo, &self.failures);
-        let flips = self.reach.diff(&new_reach);
-
-        let mut marked = vec![false; topo.num_nodes() * n];
-        // Liveness changes: both endpoints of each changed cable, all dsts.
-        for &l in changed_links {
-            let link = topo.link(l);
-            for dst in 0..n {
-                marked[link.child.index() * n + dst] = true;
-                marked[link.parent.index() * n + dst] = true;
-            }
-        }
-        // Reachability flips: every port-neighbor consults reach(node, dst).
-        for &(node, dst) in &flips {
-            let nd = topo.node(node);
-            for pp in nd.up.iter().chain(nd.down.iter()) {
-                marked[pp.peer.index() * n + dst] = true;
-            }
-        }
-        self.reach = new_reach;
-
-        let multi_host = topo.spec().up_ports(0) > 1;
-        let mut recomputed = 0;
-        let mut changed = 0;
-        for (idx, _) in marked.iter().enumerate().filter(|&(_, &m)| m) {
-            let node = NodeId((idx / n) as u32);
-            let dst = idx % n;
-            let nd = topo.node(node);
-            let new = if nd.is_host() {
-                if !multi_host || node.index() == dst {
-                    continue;
-                }
-                pick_up(topo, &self.failures, &self.reach, node, 0, dst).map(PortRef::Up)
-            } else {
-                let level = nd.level as usize;
-                if topo.is_ancestor_of(node, dst) {
-                    pick_down(topo, &self.failures, &self.reach, node, level, dst)
-                        .map(PortRef::Down)
-                } else {
-                    pick_up(topo, &self.failures, &self.reach, node, level, dst).map(PortRef::Up)
-                }
-            };
-            recomputed += 1;
-            if self.table.egress(node, dst) != new {
-                changed += 1;
-                match new {
-                    Some(port) => self.table.set(node, dst, port),
-                    None => self.table.clear(node, dst),
-                }
-            }
-        }
-        self.table.algorithm = ft_algorithm_label(&self.failures);
-        (recomputed, changed)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::route_dmodk;
     use ftree_topology::rlft::catalog;
     use ftree_topology::LinkEvent;
 
@@ -293,7 +280,7 @@ mod tests {
     fn healthy_manager_matches_plain_dmodk() {
         let topo = Topology::build(catalog::fig4_pgft_16());
         let mut sm = SubnetManager::new(&topo, FaultSchedule::empty()).unwrap();
-        assert_tables_identical(&topo, sm.table(), &route_dmodk(&topo));
+        assert_tables_identical(&topo, sm.table(), &DModK.route_healthy(&topo));
         assert!(sm.is_settled());
         let report = sm.sweep(&topo, 1_000);
         assert_eq!(report.events_applied, 0);
@@ -327,12 +314,12 @@ mod tests {
         assert!(r1.entries_changed > 0);
         let mut expect = LinkFailures::none(&topo);
         expect.fail(l0).unwrap();
-        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+        assert_tables_identical(&topo, sm.table(), &DModK.route(&topo, &expect).unwrap());
 
         let r2 = sm.sweep(&topo, 200);
         assert_eq!(r2.failed_links, 2);
         expect.fail(l1).unwrap();
-        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+        assert_tables_identical(&topo, sm.table(), &DModK.route(&topo, &expect).unwrap());
         assert!(sm.is_settled());
     }
 
@@ -357,7 +344,7 @@ mod tests {
         let reports = sm.sweep_all(&topo);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[1].failed_links, 0);
-        assert_tables_identical(&topo, sm.table(), &route_dmodk(&topo));
+        assert_tables_identical(&topo, sm.table(), &DModK.route_healthy(&topo));
         assert_eq!(sm.table().algorithm, "d-mod-k");
     }
 
@@ -395,7 +382,7 @@ mod tests {
 
         let mut expect = LinkFailures::none(&topo);
         expect.fail(l1).unwrap();
-        assert_tables_identical(&topo, sm.table(), &route_dmodk_ft(&topo, &expect));
+        assert_tables_identical(&topo, sm.table(), &DModK.route(&topo, &expect).unwrap());
     }
 
     #[test]

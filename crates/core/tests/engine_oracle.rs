@@ -1,0 +1,91 @@
+//! Oracle pins for the deprecated routing free functions and the healthy
+//! bit-identity acceptance criterion.
+//!
+//! * The deprecated wrappers (`route_dmodk`, `route_random`,
+//!   `route_minhop_greedy`, `route_dmodk_ft`) must keep producing output
+//!   identical to the engines they wrap.
+//! * On healthy catalog topologies the `DModK` and `Dmodc` engines must be
+//!   bit-identical to `route_dmodk`, pinned by hard-coded table
+//!   fingerprints so an accidental algorithm change cannot slip through.
+
+#![allow(deprecated)]
+
+use ftree_core::{
+    route_dmodk, route_dmodk_ft, route_minhop_greedy, route_random, DModK, Dmodc, MinHopGreedy,
+    RandomUpstream, Router,
+};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{LinkFailures, PgftSpec, Topology};
+
+/// Healthy D-Mod-K fingerprints, computed once and pinned. If a change
+/// legitimately alters the closed form (it should not), update these in
+/// the same commit that explains why.
+const PINNED: &[(&str, u64)] = &[
+    ("fig4_pgft_16", 0xb59b56ebd01e6d85),
+    ("nodes_128", 0xb6c59f0617e49c75),
+    ("nodes_324", 0xb6f68625062328b6),
+];
+
+fn pinned_topo(name: &str) -> Topology {
+    let spec: PgftSpec = match name {
+        "fig4_pgft_16" => catalog::fig4_pgft_16(),
+        "nodes_128" => catalog::nodes_128(),
+        "nodes_324" => catalog::nodes_324(),
+        other => panic!("unknown pinned topology {other}"),
+    };
+    Topology::build(spec)
+}
+
+#[test]
+fn healthy_dmodk_and_dmodc_match_pinned_fingerprints() {
+    for &(name, want) in PINNED {
+        let topo = pinned_topo(name);
+        let legacy = route_dmodk(&topo);
+        assert_eq!(legacy.fingerprint(), want, "route_dmodk on {name}");
+        for engine in [&DModK as &dyn Router, &Dmodc] {
+            let rt = engine.route_healthy(&topo);
+            assert_eq!(
+                rt.fingerprint(),
+                want,
+                "{} on {name} diverged from pinned d-mod-k",
+                engine.name()
+            );
+            assert_eq!(rt.algorithm, "d-mod-k");
+        }
+    }
+}
+
+#[test]
+fn deprecated_wrappers_match_their_engines() {
+    let topo = Topology::build(catalog::nodes_128());
+
+    let a = route_dmodk(&topo);
+    let b = DModK.route_healthy(&topo);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.algorithm, b.algorithm);
+
+    let a = route_random(&topo, 1234);
+    let b = RandomUpstream::new(1234).route_healthy(&topo);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.algorithm, b.algorithm);
+
+    let a = route_minhop_greedy(&topo);
+    let b = MinHopGreedy.route_healthy(&topo);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.algorithm, b.algorithm);
+
+    let failures =
+        LinkFailures::seeded_where(&topo, 99, 4, |t, l| !t.node(t.link(l).child).is_host());
+    let a = route_dmodk_ft(&topo, &failures);
+    let b = DModK.route(&topo, &failures).unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.algorithm, b.algorithm);
+}
+
+#[test]
+#[should_panic(expected = "failure set was built for topology")]
+fn deprecated_ft_wrapper_still_panics_on_mismatch() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let other = Topology::build(catalog::nodes_128());
+    let _ = route_dmodk_ft(&topo, &LinkFailures::none(&other));
+}

@@ -1,86 +1,122 @@
-//! Property-based tests of fault-aware routing: random failure sets must
-//! never produce routes over dead cables, and healing must be complete
-//! whenever connectivity allows.
+//! Property tests of fault-aware routing, engine by engine: seeded failure
+//! sets must never produce routes over dead cables, programmed pairs must
+//! be exactly the reachable ones, and healing must be complete whenever
+//! connectivity allows.
 
-use proptest::prelude::*;
-
-use ftree_core::{route_dmodk, route_dmodk_ft, Reachability};
+use ftree_core::{builtin_engines, DModK, Reachability, Router};
 use ftree_topology::failures::LinkFailures;
 use ftree_topology::rlft::catalog;
-use ftree_topology::Topology;
+use ftree_topology::{PgftSpec, RouteError, Topology};
 
-/// Random failure sets over the 324-node tree's switch-to-switch cables
-/// (host cables excluded so full reachability is preserved).
-fn failure_set(topo: &Topology, picks: &[u16]) -> LinkFailures {
-    let mut failures = LinkFailures::none(topo);
-    let switch_links: Vec<u32> = topo
-        .links()
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !topo.node(l.child).is_host())
-        .map(|(i, _)| i as u32)
-        .collect();
-    for &p in picks {
-        failures
-            .fail(switch_links[p as usize % switch_links.len()])
-            .unwrap();
-    }
-    failures
+/// Seeded failure set over switch-to-switch cables only (host cables
+/// excluded so failures degrade paths instead of amputating hosts).
+fn switch_failures(topo: &Topology, seed: u64, count: usize) -> LinkFailures {
+    LinkFailures::seeded_where(topo, seed, count, |t, l| !t.node(t.link(l).child).is_host())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// The catalog fabrics the properties run on: both paper clusters, the
+/// Figure-4 PGFT, and a 3-level tree with parallel top cables.
+fn catalog_specs() -> Vec<PgftSpec> {
+    vec![
+        catalog::fig4_pgft_16(),
+        catalog::nodes_128(),
+        catalog::nodes_324(),
+        PgftSpec::from_slices(&[4, 4, 4], &[1, 4, 2], &[1, 1, 2]).unwrap(),
+    ]
+}
 
-    /// With any (non-partitioning) failure set: all pairs reachable, no
-    /// path uses a dead cable, and paths remain minimal up*/down*.
-    #[test]
-    fn random_failures_heal_without_using_dead_cables(
-        picks in prop::collection::vec(0u16..u16::MAX, 0..12)
-    ) {
-        let topo = Topology::build(catalog::nodes_324());
-        let failures = failure_set(&topo, &picks);
+/// Every engine × every catalog topology × seeded `LinkFailures` states:
+/// routed paths avoid all failed links, and the set of unroutable ordered
+/// pairs exactly matches `Reachability::unreachable_pairs`.
+#[test]
+fn engines_avoid_dead_links_and_cover_exactly_the_reachable_pairs() {
+    for spec in catalog_specs() {
+        let topo = Topology::build(spec);
+        for seed in [3u64, 17, 0xfeed] {
+            let failures = switch_failures(&topo, seed, 5);
+            let reach = Reachability::compute(&topo, &failures);
+            let unreachable: std::collections::BTreeSet<(usize, usize)> =
+                reach.unreachable_pairs(&topo).into_iter().collect();
+            for engine in builtin_engines(seed) {
+                let rt = engine.route(&topo, &failures).unwrap();
+                for src in 0..topo.num_hosts() {
+                    for dst in 0..topo.num_hosts() {
+                        if src == dst {
+                            continue;
+                        }
+                        match rt.trace(&topo, src, dst) {
+                            Ok(path) => {
+                                assert!(
+                                    !unreachable.contains(&(src, dst)),
+                                    "{} {}: routed an unreachable pair {src}->{dst}",
+                                    engine.name(),
+                                    topo.spec()
+                                );
+                                for ch in &path.channels {
+                                    assert!(
+                                        failures.is_live(ch.link()),
+                                        "{} {}: {src}->{dst} crosses dead link",
+                                        engine.name(),
+                                        topo.spec()
+                                    );
+                                }
+                            }
+                            Err(RouteError::NoRoute { .. }) => {
+                                assert!(
+                                    unreachable.contains(&(src, dst)),
+                                    "{} {}: dropped a reachable pair {src}->{dst}",
+                                    engine.name(),
+                                    topo.spec()
+                                );
+                            }
+                            Err(e) => panic!("{}: unexpected error {e}", engine.name()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// With any (non-partitioning) failure set: all pairs reachable, no path
+/// uses a dead cable, and paths remain minimal up*/down*.
+#[test]
+fn random_failures_heal_without_using_dead_cables() {
+    let topo = Topology::build(catalog::nodes_324());
+    for seed in 0u64..16 {
+        let failures = switch_failures(&topo, seed, (seed % 12) as usize);
         let reach = Reachability::compute(&topo, &failures);
-        prop_assume!(reach.unreachable_pairs(&topo).is_empty());
-
-        let rt = route_dmodk_ft(&topo, &failures);
+        if !reach.unreachable_pairs(&topo).is_empty() {
+            continue;
+        }
+        let rt = DModK.route(&topo, &failures).unwrap();
         rt.validate(&topo, 3000).unwrap();
         for src in (0..topo.num_hosts()).step_by(31) {
             for dst in (0..topo.num_hosts()).step_by(17) {
                 let path = rt.trace(&topo, src, dst).unwrap();
                 for ch in &path.channels {
-                    prop_assert!(failures.is_live(ch.link()), "path uses dead cable");
+                    assert!(failures.is_live(ch.link()), "path uses dead cable");
                 }
-                prop_assert!(path.len() <= 2 * topo.height());
+                assert!(path.len() <= 2 * topo.height());
             }
         }
     }
+}
 
-    /// Deviation minimality: LFT entries differ from healthy D-Mod-K only
-    /// where the healthy route crossed a failed cable somewhere.
-    #[test]
-    fn only_affected_destinations_are_perturbed(
-        picks in prop::collection::vec(0u16..u16::MAX, 1..6)
-    ) {
-        let topo = Topology::build(catalog::nodes_128());
-        // 128-node tree has p = 1, so failures always force parent changes.
-        let mut failures = LinkFailures::none(&topo);
-        let switch_links: Vec<u32> = topo
-            .links()
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !topo.node(l.child).is_host())
-            .map(|(i, _)| i as u32)
-            .collect();
-        for &p in &picks {
-            failures
-                .fail(switch_links[p as usize % switch_links.len()])
-                .unwrap();
-        }
+/// Deviation minimality: where the healthy route survived, the fault-aware
+/// path is live and no longer than the healthy one.
+#[test]
+fn only_affected_destinations_are_perturbed() {
+    let topo = Topology::build(catalog::nodes_128());
+    // 128-node tree has p = 1, so failures always force parent changes.
+    for seed in [2u64, 9, 77] {
+        let failures = switch_failures(&topo, seed, 4);
         let reach = Reachability::compute(&topo, &failures);
-        prop_assume!(reach.unreachable_pairs(&topo).is_empty());
-
-        let healthy = route_dmodk(&topo);
-        let ft = route_dmodk_ft(&topo, &failures);
+        if !reach.unreachable_pairs(&topo).is_empty() {
+            continue;
+        }
+        let healthy = DModK.route_healthy(&topo);
+        let ft = DModK.route(&topo, &failures).unwrap();
         for src in (0..topo.num_hosts()).step_by(13) {
             for dst in 0..topo.num_hosts() {
                 let healthy_path = healthy.trace(&topo, src, dst).unwrap();
@@ -89,14 +125,8 @@ proptest! {
                     .iter()
                     .all(|ch| failures.is_live(ch.link()));
                 if healthy_is_live {
-                    // The fault-aware route may still differ (another
-                    // destination's detour never affects this one, but this
-                    // path's own switches may have rerouted `dst` if some
-                    // OTHER source's route to dst died). Check the weaker,
-                    // exact invariant: the fault-aware path is live and no
-                    // longer than the healthy one.
                     let ft_path = ft.trace(&topo, src, dst).unwrap();
-                    prop_assert!(ft_path.len() <= healthy_path.len());
+                    assert!(ft_path.len() <= healthy_path.len());
                 }
             }
         }

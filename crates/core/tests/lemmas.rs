@@ -4,7 +4,7 @@
 //! sequences); these tests pin down the individual stepping stones so a
 //! regression points at the exact broken argument.
 
-use ftree_core::{dmodk_up_port, route_dmodk};
+use ftree_core::{dmodk_up_port, DModK, Router};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -17,7 +17,7 @@ fn lemma1_upward_destinations_are_arithmetic() {
     // arrive there). Trace real flows and collect, per switch, the
     // destinations seen on its up-going ports.
     let topo = Topology::build(catalog::nodes_1944());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let n = topo.num_hosts();
     let mut seen_up: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
     for src in (0..n).step_by(13) {
@@ -113,7 +113,7 @@ fn lemma3_wraparound_is_port_aligned() {
 #[test]
 fn lemma4_at_most_k_destinations_up_per_switch() {
     let topo = Topology::build(catalog::nodes_1944());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let n = topo.num_hosts();
     let k = 18usize;
     for shift in [1usize, 17, 324, 971] {
@@ -147,7 +147,7 @@ fn lemma4_at_most_k_destinations_up_per_switch() {
 #[test]
 fn lemma5_single_top_switch_per_destination() {
     let topo = Topology::build(catalog::nodes_128());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let n = topo.num_hosts();
     let top = topo.height();
     for dst in (0..n).step_by(5) {
@@ -172,7 +172,7 @@ fn lemma5_single_top_switch_per_destination() {
 fn lemma6_top_switches_carry_2k_destinations() {
     for (spec, k) in [(catalog::nodes_128(), 8usize), (catalog::nodes_324(), 18)] {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let n = topo.num_hosts();
         let mut per_top: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for dst in 0..n {

@@ -1,11 +1,11 @@
-//! Oracle tests for incremental LFT repair: after every subnet-manager
-//! sweep the repaired table must be **bit-identical** to a full
-//! `route_dmodk_ft` recompute on the same failure set, and a fully healed
-//! fabric must return tables bit-identical to plain `route_dmodk`.
+//! Oracle tests for subnet-manager repair: after every sweep the active
+//! table must be **bit-identical** to a full `Router::route` recompute on
+//! the same failure set, and a fully healed fabric must return tables
+//! bit-identical to plain D-Mod-K. The default `DModK` engine exercises
+//! the exact incremental-repair path; the other engines exercise the
+//! full-recompute fallback.
 
-use proptest::prelude::*;
-
-use ftree_core::{route_dmodk, route_dmodk_ft, SubnetManager};
+use ftree_core::{builtin_engines, DModK, Router, SubnetManager};
 use ftree_topology::rlft::catalog;
 use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind, RoutingTable, Topology};
 
@@ -42,11 +42,11 @@ fn check_oracle(topo: &Topology, schedule: FaultSchedule) {
         .filter(|e| e.kind == LinkEventKind::Recover)
         .count()
         == schedule.len() / 2
-        && schedule.len() % 2 == 0;
+        && schedule.len().is_multiple_of(2);
     let mut sm = SubnetManager::new(topo, schedule).unwrap();
     while let Some(t) = sm.next_event_time() {
         sm.sweep(topo, t);
-        let full = route_dmodk_ft(topo, sm.failures());
+        let full = DModK.route(topo, sm.failures()).unwrap();
         assert!(
             tables_identical(topo, sm.table(), &full),
             "incremental repair diverged from full recompute at t={t}"
@@ -56,7 +56,7 @@ fn check_oracle(topo: &Topology, schedule: FaultSchedule) {
     if heals {
         assert!(sm.failures().is_empty());
         assert!(
-            tables_identical(topo, sm.table(), &route_dmodk(topo)),
+            tables_identical(topo, sm.table(), &DModK.route_healthy(topo)),
             "healed fabric is not bit-identical to plain d-mod-k"
         );
         assert_eq!(sm.table().algorithm, "d-mod-k");
@@ -90,34 +90,76 @@ fn oracle_holds_for_permanent_failures() {
     check_oracle(&topo, sched);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random timelines (fail and recover interleaved, duplicates and
-    /// no-ops included) on the Figure-4 PGFT: every intermediate table is
-    /// bit-identical to the full recompute.
-    #[test]
-    fn random_timelines_match_full_recompute(
-        picks in prop::collection::vec((0u16..u16::MAX, any::<bool>()), 0..14)
-    ) {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let switch_links: Vec<u32> = (0..topo.num_links() as u32)
-            .filter(|&l| !topo.node(topo.link(l).child).is_host())
-            .collect();
-        let events: Vec<LinkEvent> = picks
-            .iter()
-            .enumerate()
-            .map(|(i, &(p, recover))| LinkEvent {
+/// Deterministic stand-in for the former proptest generator: SplitMix64
+/// pick streams drive random fail/recover timelines (duplicates and no-ops
+/// included) over the Figure-4 PGFT's switch links.
+#[test]
+fn random_timelines_match_full_recompute() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let switch_links: Vec<u32> = (0..topo.num_links() as u32)
+        .filter(|&l| !topo.node(topo.link(l).child).is_host())
+        .collect();
+    for seed in 0u64..12 {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let len = (next() % 15) as usize;
+        let events: Vec<LinkEvent> = (0..len)
+            .map(|i| LinkEvent {
                 time: (i as u64 + 1) * 1_000,
-                link: switch_links[p as usize % switch_links.len()],
-                kind: if recover { LinkEventKind::Recover } else { LinkEventKind::Fail },
+                link: switch_links[next() as usize % switch_links.len()],
+                kind: if next() % 2 == 0 {
+                    LinkEventKind::Fail
+                } else {
+                    LinkEventKind::Recover
+                },
             })
             .collect();
         let mut sm = SubnetManager::new(&topo, FaultSchedule::new(events)).unwrap();
         while let Some(t) = sm.next_event_time() {
             sm.sweep(&topo, t);
-            let full = route_dmodk_ft(&topo, sm.failures());
-            prop_assert!(tables_identical(&topo, sm.table(), &full));
+            let full = DModK.route(&topo, sm.failures()).unwrap();
+            assert!(
+                tables_identical(&topo, sm.table(), &full),
+                "seed {seed}: diverged at t={t}"
+            );
         }
+    }
+}
+
+/// Engines without a repair hook take the full-recompute fallback; the
+/// active table must still match a from-scratch route after every sweep,
+/// and the healed fabric must be bit-identical to the healthy table.
+#[test]
+fn fallback_recompute_matches_for_every_engine() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    // Two instances of each engine: one drives the manager, its twin is
+    // the from-scratch oracle.
+    for (engine, oracle) in builtin_engines(23).into_iter().zip(builtin_engines(23)) {
+        let sched = FaultSchedule::random_switch_links(&topo, 5, 4, 100_000, 250_000);
+        let healthy = oracle.route_healthy(&topo);
+        let mut sm = SubnetManager::with_engine(&topo, sched, engine).unwrap();
+        assert!(tables_identical(&topo, sm.table(), &healthy));
+        while let Some(t) = sm.next_event_time() {
+            sm.sweep(&topo, t);
+            let full = oracle.route(&topo, sm.failures()).unwrap();
+            assert!(
+                tables_identical(&topo, sm.table(), &full),
+                "{}: sweep diverged from full recompute at t={t}",
+                oracle.name()
+            );
+        }
+        assert!(sm.is_settled());
+        assert!(sm.failures().is_empty(), "schedule heals fully");
+        assert!(
+            tables_identical(&topo, sm.table(), &healthy),
+            "{} did not heal back to its healthy table",
+            oracle.name()
+        );
     }
 }

@@ -267,7 +267,7 @@ pub fn run_fluid(
 mod tests {
     use super::*;
     use crate::traffic::TrafficPlan;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
@@ -277,7 +277,7 @@ mod tests {
         bytes: u64,
         mode: Progression,
     ) -> FluidResult {
-        let rt = route_dmodk(topo);
+        let rt = DModK.route_healthy(topo);
         let plan = TrafficPlan::uniform(stages, bytes, mode);
         run_fluid(topo, &rt, SimConfig::default(), &plan)
     }

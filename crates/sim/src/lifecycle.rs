@@ -16,6 +16,7 @@
 //! itself — dominates the time-to-heal, which is why `sweep_delay` is a
 //! first-class knob.
 
+use ftree_core::RoutingAlgo;
 use ftree_topology::FaultSchedule;
 
 use crate::config::{Time, MICROSECOND};
@@ -25,6 +26,9 @@ use crate::config::{Time, MICROSECOND};
 pub struct FabricLifecycle {
     /// Timed link fail/recover events, played against the live fabric.
     pub schedule: FaultSchedule,
+    /// Routing engine the embedded subnet manager drives (default
+    /// [`RoutingAlgo::DModK`], whose repair is incremental and exact).
+    pub algo: RoutingAlgo,
     /// Delay between a link event and the subnet-manager sweep that repairs
     /// the routing table (discovery + recompute + LFT programming).
     pub sweep_delay: Time,
@@ -40,16 +44,23 @@ pub struct FabricLifecycle {
 }
 
 impl FabricLifecycle {
-    /// Lifecycle with production-flavored defaults: 5 µs sweeps, 50 µs base
-    /// timeout, backoff capped at 64x, 12 attempts.
+    /// Lifecycle with production-flavored defaults: D-Mod-K routing, 5 µs
+    /// sweeps, 50 µs base timeout, backoff capped at 64x, 12 attempts.
     pub fn new(schedule: FaultSchedule) -> Self {
         Self {
             schedule,
+            algo: RoutingAlgo::DModK,
             sweep_delay: 5 * MICROSECOND,
             retransmit_timeout: 50 * MICROSECOND,
             backoff_cap: 6,
             max_retries: 12,
         }
+    }
+
+    /// Same lifecycle, driving a different routing engine.
+    pub fn with_algo(mut self, algo: RoutingAlgo) -> Self {
+        self.algo = algo;
+        self
     }
 
     /// Retransmission timeout for the given attempt (0 = first send), with

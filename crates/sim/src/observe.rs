@@ -26,14 +26,14 @@ mod tests {
     use crate::config::SimConfig;
     use crate::packet::PacketSim;
     use crate::traffic::{Progression, TrafficPlan};
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use std::sync::Arc;
 
     #[test]
     fn trace_labels_use_fabric_names() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 4096, Progression::Asynchronous);
         let rec = Arc::new(Recorder::new());
         let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)

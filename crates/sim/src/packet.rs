@@ -340,7 +340,11 @@ impl<'a> PacketSim<'a> {
             .map(|h| vec![0 as Time; h.schedule.len()])
             .collect();
         let sm = match &lifecycle {
-            Some(lc) => Some(SubnetManager::new(topo, lc.schedule.clone())?),
+            Some(lc) => Some(SubnetManager::with_engine(
+                topo,
+                lc.schedule.clone(),
+                lc.algo.engine(),
+            )?),
             None => None,
         };
         let msg_state = if lifecycle.is_some() {
@@ -1163,7 +1167,7 @@ impl<'a> PacketSim<'a> {
 mod tests {
     use super::*;
     use crate::traffic::TrafficPlan;
-    use ftree_core::route_dmodk;
+    use ftree_core::{DModK, Router};
     use ftree_topology::rlft::catalog;
     use ftree_topology::Topology;
 
@@ -1173,7 +1177,7 @@ mod tests {
         bytes: u64,
         mode: Progression,
     ) -> SimResult {
-        let rt = route_dmodk(topo);
+        let rt = DModK.route_healthy(topo);
         let plan = TrafficPlan::uniform(stages, bytes, mode);
         PacketSim::new(topo, &rt, SimConfig::default(), &plan).run()
     }
@@ -1181,7 +1185,7 @@ mod tests {
     #[test]
     fn route_cache_is_bit_identical_to_table_lookups() {
         let topo = Topology::build(catalog::nodes_128());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let n = topo.num_hosts() as u32;
         // Congested random-ish pattern so arbitration order matters.
         let stages: Vec<Vec<(u32, u32)>> = (0..4)
@@ -1317,7 +1321,7 @@ mod tests {
     #[test]
     fn jitter_delays_starts_but_conserves_traffic() {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
         let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
         let calm = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
@@ -1363,7 +1367,7 @@ mod tests {
         // input FIFOs, host 2's later packets queue behind hot packets at
         // shared buffers; with VOQs they never do.
         let topo = Topology::build(catalog::nodes_128());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let stages: Vec<Vec<(u32, u32)>> = (0..6)
             .map(|_| vec![(0u32, 16u32), (1, 24), (2, 17)])
             .collect();
@@ -1389,7 +1393,7 @@ mod tests {
         use crate::config::SwitchModel;
         // Without contention there is nothing for VOQs to fix.
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
         let plan = TrafficPlan::uniform(stages, 65_536, Progression::Synchronized);
         let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();

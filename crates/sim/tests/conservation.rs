@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use ftree_core::{route_dmodk, NodeOrder};
+use ftree_core::{DModK, NodeOrder, Router};
 use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn packet_sim_conserves_messages(plan in random_plan(Progression::Asynchronous)) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
         prop_assert_eq!(r.messages_delivered as usize, plan.num_messages());
         prop_assert_eq!(r.total_payload, plan.total_bytes());
@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn packet_sim_sync_conserves(plan in random_plan(Progression::Synchronized)) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let r = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
         prop_assert_eq!(r.messages_delivered as usize, plan.num_messages());
     }
@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn fluid_conserves(plan in random_plan(Progression::Synchronized)) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let r = run_fluid(&topo, &rt, SimConfig::default(), &plan);
         prop_assert_eq!(r.messages_completed as usize, plan.num_messages());
         prop_assert_eq!(r.total_payload, plan.total_bytes());
@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn packet_sim_deterministic(plan in random_plan(Progression::Asynchronous)) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let a = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
         let b = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
         prop_assert_eq!(a.makespan, b.makespan);
@@ -79,7 +79,7 @@ proptest! {
     #[test]
     fn fluid_matches_packet_on_free_permutations(shift in 1u32..16) {
         let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let n = 16u32;
         let stage: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + shift) % n)).collect();
         let plan = TrafficPlan::uniform(vec![stage], 1 << 20, Progression::Synchronized);
@@ -106,7 +106,7 @@ proptest! {
         let spec = ftree_topology::PgftSpec::from_slices(&[m1, m2], &[1, w2], &[1, p2]).unwrap();
         let topo = Topology::build(spec);
         let n = topo.num_hosts() as u32;
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let stages: Vec<Vec<(u32, u32)>> = raw
             .into_iter()
             .map(|stage| {
@@ -129,7 +129,7 @@ fn zero_byte_messages_still_complete() {
     // Barrier tokens carry no payload; both simulators must deliver them
     // (the packet model sends a 1-byte header).
     let topo = Topology::build(catalog::fig4_pgft_16());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let plan = TrafficPlan::sized(
         vec![vec![(0, 5, 0), (1, 6, 0)], vec![(5, 0, 0)]],
         Progression::Synchronized,
@@ -145,7 +145,7 @@ fn mixed_sizes_respected_by_both_sims() {
     // One giant flow and one tiny flow: the giant one dominates the
     // makespan; totals match the plan exactly.
     let topo = Topology::build(catalog::fig4_pgft_16());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let plan = TrafficPlan::sized(
         vec![vec![(0, 5, 1 << 20), (1, 6, 128)]],
         Progression::Synchronized,
@@ -163,7 +163,7 @@ fn mixed_sizes_respected_by_both_sims() {
 #[test]
 fn sync_never_faster_than_async() {
     let topo = Topology::build(catalog::nodes_128());
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let order = NodeOrder::random(&topo, 5);
     let n = topo.num_hosts() as u32;
     let stages: Vec<Vec<(u32, u32)>> = (0..4)

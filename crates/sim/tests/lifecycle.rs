@@ -2,7 +2,7 @@
 //! manager repairs the LFTs incrementally, hosts retransmit what the
 //! blackhole window ate — and every message is still delivered.
 
-use ftree_core::route_dmodk;
+use ftree_core::{DModK, Router};
 use ftree_sim::{
     FabricLifecycle, PacketSim, Progression, SimConfig, SimResult, TrafficPlan, MICROSECOND,
 };
@@ -17,7 +17,7 @@ fn shift_stage(n: u32, s: u32) -> Vec<(u32, u32)> {
 /// A leaf-to-spine cable on the D-Mod-K path from host `src` to `dst`
 /// (channels\[0\] is the host cable; channels\[1\] leaves the leaf switch).
 fn uplink_on_path(topo: &Topology, src: usize, dst: usize) -> u32 {
-    let rt = route_dmodk(topo);
+    let rt = DModK.route_healthy(topo);
     rt.trace(topo, src, dst).unwrap().channels[1].link()
 }
 
@@ -113,7 +113,7 @@ fn empty_schedule_matches_static_run() {
         32_768,
         Progression::Asynchronous,
     );
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let stat = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
     let dynamic = PacketSim::with_lifecycle(
         &topo,
@@ -167,7 +167,7 @@ fn synchronized_stages_survive_failure() {
     let n = topo.num_hosts() as u32;
     // First destination whose route from host 0 actually climbs the tree
     // (intra-leaf pairs never touch a spine cable).
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let cross = (1..n)
         .find(|&d| rt.trace(&topo, 0, d as usize).unwrap().channels.len() > 2)
         .expect("128-node tree has more than one leaf");
@@ -188,4 +188,34 @@ fn synchronized_stages_survive_failure() {
     assert_eq!(res.messages_delivered, 3 * 128);
     assert_eq!(res.messages_lost, 0);
     assert_eq!(res.total_payload, 3 * 128 * 16_384);
+}
+
+/// The lifecycle's engine choice reaches the embedded subnet manager: a
+/// Dmodc-driven run heals a mid-run failure just like the default engine,
+/// and a structure-oblivious engine still delivers everything (only
+/// slower, via retransmits).
+#[test]
+fn lifecycle_engine_choice_survives_failure() {
+    use ftree_core::RoutingAlgo;
+
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 8), shift_stage(n, 1)],
+        16_384,
+        Progression::Asynchronous,
+    );
+    let link = uplink_on_path(&topo, 0, 8);
+    for algo in [RoutingAlgo::Dmodc, RoutingAlgo::MinHopGreedy] {
+        let mut lc =
+            FabricLifecycle::new(fail_recover_schedule(link, MICROSECOND, 150 * MICROSECOND))
+                .with_algo(algo);
+        lc.sweep_delay = 2 * MICROSECOND;
+        lc.retransmit_timeout = 25 * MICROSECOND;
+        let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+            .unwrap()
+            .run();
+        assert_eq!(res.messages_delivered, 2 * 128, "{algo:?}");
+        assert_eq!(res.messages_lost, 0, "{algo:?}");
+    }
 }

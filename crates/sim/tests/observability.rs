@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use ftree_core::route_dmodk;
+use ftree_core::{DModK, Router};
 use ftree_obs::Recorder;
 use ftree_sim::{
     export_chrome_trace, FabricLifecycle, PacketSim, Progression, SimConfig, SimResult,
@@ -38,7 +38,7 @@ fn scenario_plan(n: u32) -> TrafficPlan {
 
 /// The leaf-to-spine cable on host 0's route to host 9 (crosses a spine).
 fn victim_link(topo: &Topology) -> u32 {
-    let rt = route_dmodk(topo);
+    let rt = DModK.route_healthy(topo);
     rt.trace(topo, 0, 9).unwrap().channels[1].link()
 }
 
@@ -158,7 +158,7 @@ fn recorder_does_not_perturb_results() {
     assert_same_result(&bare, &recorded);
 
     // Static (no lifecycle) runs as well.
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let plan = scenario_plan(topo.num_hosts() as u32);
     let bare = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
     let rec = Arc::new(Recorder::new());
@@ -217,7 +217,7 @@ fn efficiency_survives_tiny_messages() {
 
     // End to end: a single 64-byte message must report nonzero efficiency.
     let topo = scenario_topo();
-    let rt = route_dmodk(&topo);
+    let rt = DModK.route_healthy(&topo);
     let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 64, Progression::Asynchronous);
     let res = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
     assert_eq!(res.messages_delivered, 1);

@@ -47,6 +47,43 @@ impl LinkFailures {
         }
     }
 
+    /// Deterministic pseudo-random failure set: fails `count` distinct
+    /// links of `topo` chosen by a seeded SplitMix64 stream. The same
+    /// `(topo, seed, count)` always yields the same set — the generator
+    /// behind the seeded degradation patterns used by the routing-quality
+    /// bench and the engine property tests. `filter` restricts the
+    /// candidate links (e.g. inter-switch cables only); when fewer than
+    /// `count` links pass the filter, all of them are failed.
+    pub fn seeded_where(
+        topo: &Topology,
+        seed: u64,
+        count: usize,
+        mut filter: impl FnMut(&Topology, u32) -> bool,
+    ) -> Self {
+        let mut set = Self::none(topo);
+        let candidates: Vec<u32> = (0..topo.num_links() as u32)
+            .filter(|&l| filter(topo, l))
+            .collect();
+        let target = count.min(candidates.len());
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+        while set.len() < target {
+            // SplitMix64 step: well-distributed and dependency-free.
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let link = candidates[(z % candidates.len() as u64) as usize];
+            let _ = set.fail(link);
+        }
+        set
+    }
+
+    /// [`LinkFailures::seeded_where`] over every link of the topology.
+    pub fn seeded(topo: &Topology, seed: u64, count: usize) -> Self {
+        Self::seeded_where(topo, seed, count, |_, _| true)
+    }
+
     /// Checks that `link` indexes this set.
     fn check_link(&self, link: u32) -> Result<(), TopologyError> {
         if (link as usize) < self.failed.len() {
@@ -290,6 +327,27 @@ mod tests {
         // Same spec, fresh build: fingerprints agree.
         let again = Topology::build(catalog::fig4_pgft_16());
         assert!(f.verify_for(&again).is_ok());
+    }
+
+    #[test]
+    fn seeded_sets_are_deterministic_and_sized() {
+        let topo = Topology::build(catalog::nodes_128());
+        let a = LinkFailures::seeded(&topo, 7, 5);
+        let b = LinkFailures::seeded(&topo, 7, 5);
+        let c = LinkFailures::seeded(&topo, 8, 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert_ne!(a.iter().collect::<Vec<_>>(), c.iter().collect::<Vec<_>>());
+        // Filtered: only inter-switch cables (child is a switch).
+        let n = topo.num_hosts();
+        let f = LinkFailures::seeded_where(&topo, 3, 4, |t, l| t.link(l).child.index() >= n);
+        assert_eq!(f.len(), 4);
+        for l in f.iter() {
+            assert!(topo.link(l).child.index() >= n, "host cable {l} failed");
+        }
+        // Saturation: asking for more than exists fails everything allowed.
+        let all = LinkFailures::seeded(&topo, 1, usize::MAX);
+        assert_eq!(all.len(), topo.num_links());
     }
 
     #[test]

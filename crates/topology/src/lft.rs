@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::TopologyError;
 use crate::graph::{ChannelId, NodeId, PortRef, Topology};
 
 /// Encoded LFT entry: high bit set = up-going port, clear = down-going port,
@@ -63,6 +64,16 @@ pub enum RouteError {
         /// Destination host.
         dst: usize,
     },
+    /// The routing inputs were inconsistent with the topology (e.g. a
+    /// failure set built for a different fabric). Routing engines surface
+    /// these as errors instead of panicking.
+    Topology(TopologyError),
+}
+
+impl From<TopologyError> for RouteError {
+    fn from(e: TopologyError) -> Self {
+        Self::Topology(e)
+    }
 }
 
 impl std::fmt::Display for RouteError {
@@ -73,6 +84,7 @@ impl std::fmt::Display for RouteError {
             Self::NotUpDown { src, dst } => {
                 write!(f, "path {src} -> {dst} violates up*/down* ordering")
             }
+            Self::Topology(e) => write!(f, "inconsistent routing inputs: {e}"),
         }
     }
 }
@@ -260,6 +272,37 @@ impl RoutingTable {
             i += stride;
         }
         Ok(checked)
+    }
+
+    /// Stable FNV-1a fingerprint over every LFT entry (and the host tables,
+    /// when present). Two tables fingerprint equal iff they program the
+    /// same egress port for every `(node, dst)` pair — the cheap way to pin
+    /// bit-identity between routing engines in tests and benches. The
+    /// algorithm label is deliberately excluded.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x00000100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u32| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_hosts);
+        for row in &self.switch_lft {
+            for &e in row {
+                mix(e);
+            }
+        }
+        if let Some(hosts) = &self.host_lft {
+            for row in hosts {
+                for &e in row {
+                    mix(e);
+                }
+            }
+        }
+        h
     }
 
     /// Number of destinations with a programmed entry at `node`.
@@ -474,6 +517,21 @@ mod tests {
             }
         }
         assert_eq!(tbl.size_bytes(), topo.num_nodes() * topo.num_hosts() * 4);
+    }
+
+    #[test]
+    fn fingerprint_tracks_entries_not_labels() {
+        let topo = tiny();
+        let a = hand_routed(&topo);
+        let mut b = hand_routed(&topo);
+        b.algorithm = "same entries, different label".to_string();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.set(topo.node_at(1, 0).unwrap(), 3, PortRef::Up(0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            RoutingTable::empty(&topo, "empty").fingerprint(),
+            a.fingerprint()
+        );
     }
 
     #[test]

@@ -9,13 +9,10 @@
 //!
 //! Run: `cargo run --release --example collective_trace`
 
-use ftree::analysis::stage_hsd;
 use ftree::collectives::identify;
-use ftree::core::{Job, NodeOrder, RoutingAlgo};
 use ftree::mpi::data::{reduce_world, verify_allreduce};
 use ftree::mpi::reductions::recursive_doubling_allreduce;
-use ftree::topology::rlft::catalog;
-use ftree::topology::Topology;
+use ftree::prelude::*;
 
 fn main() {
     let n = 128usize;

@@ -10,10 +10,8 @@
 //! With an argument: `cargo run --release --example fabric_audit -- <file>`
 //! verify-parses your own cable-list dump.
 
-use ftree::core::{route_dmodk, route_dmodk_ft};
-use ftree::topology::failures::LinkFailures;
-use ftree::topology::rlft::catalog;
-use ftree::topology::{io, PortRef, Topology};
+use ftree::prelude::*;
+use ftree::topology::io;
 
 fn main() {
     if let Some(path) = std::env::args().nth(1) {
@@ -64,11 +62,11 @@ fn main() {
     }
 
     // 3. Runtime failure: kill a leaf up-cable, reroute, show the LFT delta.
-    let healthy = route_dmodk(&topo);
+    let healthy = DModK.route_healthy(&topo);
     let mut failures = LinkFailures::none(&topo);
     let leaf3 = topo.node_at(1, 3).unwrap();
     failures.fail_up_port(&topo, leaf3, 5).unwrap();
-    let rerouted = route_dmodk_ft(&topo, &failures);
+    let rerouted = DModK.route(&topo, &failures).unwrap();
     rerouted
         .validate(&topo, usize::MAX)
         .expect("healed fabric routes everything");

@@ -9,11 +9,7 @@
 //!
 //! Run: `cargo run --release --example multi_job`
 
-use ftree::analysis::stage_hsd;
-use ftree::collectives::{Cps, PermutationSequence, PortSpace};
-use ftree::core::{Allocator, NodeOrder, RoutingAlgo};
-use ftree::topology::rlft::catalog;
-use ftree::topology::Topology;
+use ftree::prelude::*;
 
 fn main() {
     let topo = Topology::build(catalog::nodes_324());

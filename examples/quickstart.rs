@@ -7,11 +7,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use ftree::analysis::{sequence_hsd, SequenceOptions};
-use ftree::collectives::{Cps, PermutationSequence};
-use ftree::core::{Job, NodeOrder, RoutingAlgo};
-use ftree::topology::rlft::{catalog, require_rlft};
-use ftree::topology::Topology;
+use ftree::prelude::*;
 
 fn main() {
     // 1. Describe and build the fabric: PGFT(2; 18,18; 1,9; 1,2) — 324

@@ -7,11 +7,7 @@
 //!
 //! Run: `cargo run --release --example simulate_job [--bytes N]`
 
-use ftree::collectives::{Cps, PermutationSequence, TopoAwareRd};
-use ftree::core::{Job, NodeOrder, RoutingAlgo};
-use ftree::sim::{PacketSim, Progression, SimConfig, TrafficPlan};
-use ftree::topology::rlft::catalog;
-use ftree::topology::Topology;
+use ftree::prelude::*;
 
 fn parse_bytes() -> u64 {
     let mut args = std::env::args();

@@ -8,11 +8,8 @@
 //! `shift|ring|dissemination|tournament|binomial|recdbl|rechlv|topoaware`
 //! (default `shift`). Add `--dump` to print the full cable list.
 
-use ftree::analysis::{sequence_hsd, SequenceOptions};
-use ftree::collectives::{Cps, PermutationSequence, TopoAwareRd};
-use ftree::core::Job;
-use ftree::topology::rlft::check_rlft;
-use ftree::topology::{io, Topology};
+use ftree::prelude::*;
+use ftree::topology::io;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -38,6 +38,7 @@ run failures
 run jitter
 run collective_time
 run perf
+run routing_quality
 
 # Aggregate the per-bench JSON results into one summary document.
 summary=results/BENCH_summary.json
@@ -45,8 +46,10 @@ json_files=()
 for name in "${BENCHES[@]}"; do
     [[ -f "results/$name.json" ]] && json_files+=("results/$name.json")
 done
-# perf writes its speedup summary under a BENCH_-prefixed name.
+# perf and routing_quality write under BENCH_-prefixed names.
 [[ -f results/BENCH_perf.json ]] && json_files+=(results/BENCH_perf.json)
+[[ -f results/BENCH_routing_quality.json ]] &&
+    json_files+=(results/BENCH_routing_quality.json)
 if ((${#json_files[@]})); then
     if command -v jq >/dev/null 2>&1; then
         jq -s '{generated_by: "run_all_experiments.sh", benches: .}' \

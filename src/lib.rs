@@ -17,3 +17,34 @@ pub use ftree_mpi as mpi;
 pub use ftree_obs as obs;
 pub use ftree_sim as sim;
 pub use ftree_topology as topology;
+
+/// One-stop imports for the common workflow: build a fabric, route it
+/// (healthy or degraded), order the ranks, analyze the collective, and
+/// simulate it.
+///
+/// ```
+/// use ftree::prelude::*;
+///
+/// let topo = Topology::build(catalog::fig4_pgft_16());
+/// let job = Job::contention_free(&topo);
+/// let r = sequence_hsd(&topo, &job.routing, &job.order, &Cps::Shift,
+///                      SequenceOptions::default()).unwrap();
+/// assert!(r.congestion_free);
+/// ```
+pub mod prelude {
+    pub use ftree_analysis::{
+        routing_quality, sequence_hsd, stage_hsd, RoutingQuality, SequenceOptions,
+    };
+    pub use ftree_collectives::{Cps, PermutationSequence, PortSpace, TopoAwareRd};
+    pub use ftree_core::{
+        builtin_engines, Allocator, DModK, Dmodc, Job, MinHopGreedy, NodeOrder, RandomUpstream,
+        Reachability, Router, RoutingAlgo, SubnetManager,
+    };
+    pub use ftree_sim::{
+        run_fluid, FabricLifecycle, PacketSim, Progression, SimConfig, TrafficPlan,
+    };
+    pub use ftree_topology::rlft::{catalog, check_rlft, require_rlft};
+    pub use ftree_topology::{
+        FaultSchedule, LinkFailures, PgftSpec, PortRef, RouteError, RoutingTable, Topology,
+    };
+}

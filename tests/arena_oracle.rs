@@ -10,7 +10,7 @@ use ftree::analysis::{
     StageScratch,
 };
 use ftree::collectives::{Cps, PermutationSequence};
-use ftree::core::{route_dmodk, NodeOrder};
+use ftree::core::{DModK, NodeOrder, Router};
 use ftree::topology::rlft::catalog;
 use ftree::topology::{PgftSpec, Topology};
 
@@ -29,7 +29,7 @@ const OPTS: SequenceOptions = SequenceOptions { max_stages: 16 };
 fn stage_hsd_matches_reference_engine() {
     for (name, spec) in oracle_topologies() {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let order = NodeOrder::random(&topo, 7);
         let n = order.num_ranks() as u32;
         let cached = RouteCache::new(&topo, &rt).unwrap();
@@ -64,7 +64,7 @@ fn stage_hsd_matches_reference_engine() {
 fn sequence_hsd_matches_reference_engine() {
     for (name, spec) in oracle_topologies() {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         // Partially populated job: every other host, preserving positions.
         let partial = NodeOrder::topology_subset((0..topo.num_hosts() as u32).step_by(2).collect());
         for order in [
@@ -96,7 +96,7 @@ fn random_order_sweep_matches_reference_engine() {
     let seeds = [1u64, 2, 3, 4, 5];
     for (name, spec) in oracle_topologies() {
         let topo = Topology::build(spec);
-        let rt = route_dmodk(&topo);
+        let rt = DModK.route_healthy(&topo);
         let want = reference::random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, OPTS).unwrap();
         let fast = random_order_sweep(&topo, &rt, &Cps::Shift, &seeds, OPTS).unwrap();
         let want_bits: Vec<u64> = want.per_seed_avg_max.iter().map(|x| x.to_bits()).collect();
@@ -113,7 +113,7 @@ fn degraded_fabric_matches_reference_engine() {
     // Sever one destination; the arena marks the pairs unroutable and the
     // partial accumulators must report exactly what compute_partial does.
     let topo = Topology::build(catalog::fig4_pgft_16());
-    let mut rt = route_dmodk(&topo);
+    let mut rt = DModK.route_healthy(&topo);
     for s in topo.switches() {
         rt.clear(s, 5);
     }

@@ -148,7 +148,7 @@ fn jobs_survive_cable_failures_with_bounded_interference() {
     // rerouting must keep every job connected; the detour may double load
     // on one sibling cable (worst HSD 2) but never couples jobs beyond
     // that.
-    use ftree::core::route_dmodk_ft;
+    use ftree::core::{DModK, Router};
     use ftree::topology::LinkFailures;
 
     let topo = Topology::build(catalog::nodes_324());
@@ -159,7 +159,7 @@ fn jobs_survive_cable_failures_with_bounded_interference() {
     let mut failures = LinkFailures::none(&topo);
     let leaf0 = topo.node_at(1, 0).unwrap(); // leaf inside job a
     failures.fail_up_port(&topo, leaf0, 4).unwrap();
-    let rt = route_dmodk_ft(&topo, &failures);
+    let rt = DModK.route(&topo, &failures).unwrap();
     rt.validate(&topo, 10_000).expect("fabric still connected");
 
     let n_total = topo.num_hosts() as u32;

@@ -1,0 +1,335 @@
+//! Routing invariant checker: machine-checked proofs that a (possibly
+//! incrementally repaired) routing table is safe to carry traffic under a
+//! given failure set.
+//!
+//! Three invariants, checked for every ordered host pair:
+//!
+//! 1. **Loop-freedom** — every programmed walk is a finite up\*/down\* path:
+//!    it never revisits the up phase after descending (the fat-tree
+//!    deadlock/livelock hazard) and terminates within the structural hop
+//!    bound. Both failure modes surface as [`RouteError::Loop`] /
+//!    [`RouteError::NotUpDown`] from [`RoutingTable::walk`].
+//! 2. **Blackhole-freedom** — a pair the fabric can physically connect
+//!    ([`Reachability`]) is actually routed: no missing LFT entry on the
+//!    way, and no traversed cable is in the failure set (a stale entry
+//!    pointing at a dead cable silently eats every packet).
+//! 3. **Reachability-completeness** — the table is unroutable *exactly* for
+//!    the pairs [`Reachability`] proves physically disconnected: the
+//!    table's unreachable set neither exceeds the physical one (a repair
+//!    that forgot an entry) nor undercuts it (a walk that "succeeds"
+//!    through a dead cable).
+//!
+//! The checker is pure analysis — it never mutates the table — and is
+//! designed to run as a [`ftree_core::SweepCheck`] after every
+//! subnet-manager sweep ([`sweep_check`]), as a per-cell verdict in the
+//! chaos campaign bench, and as an adversarial test oracle (hand-built
+//! looping/blackholed tables must fail it; see `tests/invariants.rs`).
+
+use serde::{Deserialize, Serialize};
+
+use ftree_core::Reachability;
+use ftree_topology::{LinkFailures, RouteError, RoutingTable, Topology};
+
+use crate::sequence::parallel_map;
+
+/// Upper bound on the violation samples kept per report (totals are always
+/// exact; the samples just keep reports readable).
+const MAX_SAMPLES: usize = 16;
+
+/// One concrete invariant violation, identified by the ordered host pair
+/// that exposes it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum InvariantViolation {
+    /// The walk exceeded the structural hop bound — a forwarding loop.
+    RoutingLoop {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+    /// The walk went up after going down — an up\*/down\* ordering break
+    /// (deadlock hazard even when it eventually terminates).
+    NotUpDown {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+    /// A physically reachable pair hits a node with no LFT entry: packets
+    /// are dropped at that node.
+    MissingRoute {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+    /// The walk crosses a cable that is in the failure set: a stale entry
+    /// blackholes every packet of the pair.
+    DeadLink {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+        /// The failed cable the walk crossed.
+        link: u32,
+    },
+    /// The table routes a pair that [`Reachability`] proves physically
+    /// disconnected over live cables only — a checker-model inconsistency
+    /// (should be impossible; kept so the equality is verified both ways).
+    PhantomRoute {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+}
+
+/// Structured verdict of one invariant check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvariantReport {
+    /// Algorithm label of the checked table.
+    pub algorithm: String,
+    /// Ordered host pairs examined (`n * (n - 1)`).
+    pub pairs_checked: usize,
+    /// Pairs the physical fabric cannot connect (per [`Reachability`]).
+    pub physically_unreachable: usize,
+    /// Pairs the table declines to route (a `NoRoute` on the way).
+    pub table_unroutable: usize,
+    /// No walk loops or breaks up\*/down\* ordering.
+    pub loop_free: bool,
+    /// Every physically reachable pair walks to its destination over live
+    /// cables only.
+    pub blackhole_free: bool,
+    /// The table's unroutable set equals the physically unreachable set.
+    pub reachability_complete: bool,
+    /// Total violations found (exact).
+    pub violations_total: usize,
+    /// Up to [`MAX_SAMPLES`] concrete violations, in source order.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl InvariantReport {
+    /// True when all three invariants hold.
+    pub fn ok(&self) -> bool {
+        self.loop_free && self.blackhole_free && self.reachability_complete
+    }
+
+    /// One-line human summary (for bench output and panic messages).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} pairs, loop_free={}, blackhole_free={}, reachability_complete={} \
+             ({} violations, {} physically unreachable, {} table-unroutable)",
+            self.algorithm,
+            self.pairs_checked,
+            self.loop_free,
+            self.blackhole_free,
+            self.reachability_complete,
+            self.violations_total,
+            self.physically_unreachable,
+            self.table_unroutable,
+        )
+    }
+}
+
+/// Per-source tally, merged into the final report. Counters are exact;
+/// only the `violations` samples are capped.
+#[derive(Default)]
+struct SrcTally {
+    table_unroutable: usize,
+    physically_unreachable: usize,
+    violations: Vec<InvariantViolation>,
+    violations_total: usize,
+    loops: usize,
+    blackholes: usize,
+    phantoms: usize,
+}
+
+/// Checks all three routing invariants of `table` under `failures`.
+///
+/// Sources are scanned in parallel (via [`parallel_map`]); the verdict is
+/// deterministic and the sampled violations are in `(src, dst)` order.
+pub fn check_invariants(
+    topo: &Topology,
+    table: &RoutingTable,
+    failures: &LinkFailures,
+) -> InvariantReport {
+    let _phase = ftree_obs::ObsPhase::global("analysis::check_invariants");
+    let reach = Reachability::compute(topo, failures);
+    let n = topo.num_hosts();
+    let sources: Vec<usize> = (0..n).collect();
+
+    let tallies: Vec<SrcTally> = parallel_map(&sources, |&src| {
+        let mut tally = SrcTally::default();
+        let push = |tally: &mut SrcTally, v: InvariantViolation| {
+            match v {
+                InvariantViolation::RoutingLoop { .. } | InvariantViolation::NotUpDown { .. } => {
+                    tally.loops += 1;
+                }
+                InvariantViolation::MissingRoute { .. } | InvariantViolation::DeadLink { .. } => {
+                    tally.blackholes += 1;
+                }
+                InvariantViolation::PhantomRoute { .. } => tally.phantoms += 1,
+            }
+            tally.violations_total += 1;
+            if tally.violations.len() < MAX_SAMPLES {
+                tally.violations.push(v);
+            }
+        };
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let physically_reachable = reach.ok(topo.host(src), dst);
+            if !physically_reachable {
+                tally.physically_unreachable += 1;
+            }
+            let mut dead_link: Option<u32> = None;
+            let walk = table.walk(topo, src, dst, |ch| {
+                if dead_link.is_none() && !failures.is_live(ch.link()) {
+                    dead_link = Some(ch.link());
+                }
+            });
+            match walk {
+                Ok(()) => match dead_link {
+                    // Walk succeeds over live cables: must be reachable.
+                    None => {
+                        if !physically_reachable {
+                            push(&mut tally, InvariantViolation::PhantomRoute { src, dst });
+                        }
+                    }
+                    // "Succeeds" across a dead cable: a blackhole either way.
+                    Some(link) => {
+                        push(&mut tally, InvariantViolation::DeadLink { src, dst, link });
+                    }
+                },
+                Err(RouteError::NoRoute { .. }) => {
+                    tally.table_unroutable += 1;
+                    if physically_reachable {
+                        push(&mut tally, InvariantViolation::MissingRoute { src, dst });
+                    }
+                }
+                Err(RouteError::Loop { .. }) => {
+                    push(&mut tally, InvariantViolation::RoutingLoop { src, dst });
+                }
+                Err(RouteError::NotUpDown { .. }) => {
+                    push(&mut tally, InvariantViolation::NotUpDown { src, dst });
+                }
+                Err(RouteError::Topology(e)) => {
+                    unreachable!("invariant check with inconsistent inputs: {e}")
+                }
+            }
+        }
+        tally
+    });
+
+    let mut report = InvariantReport {
+        algorithm: table.algorithm.clone(),
+        pairs_checked: n * n.saturating_sub(1),
+        physically_unreachable: 0,
+        table_unroutable: 0,
+        loop_free: true,
+        blackhole_free: true,
+        reachability_complete: true,
+        violations_total: 0,
+        violations: Vec::new(),
+    };
+    for tally in tallies {
+        report.physically_unreachable += tally.physically_unreachable;
+        report.table_unroutable += tally.table_unroutable;
+        report.violations_total += tally.violations_total;
+        if tally.loops > 0 {
+            report.loop_free = false;
+        }
+        if tally.blackholes > 0 {
+            report.blackhole_free = false;
+            report.reachability_complete = false;
+        }
+        if tally.phantoms > 0 {
+            report.reachability_complete = false;
+        }
+        for v in tally.violations {
+            if report.violations.len() < MAX_SAMPLES {
+                report.violations.push(v);
+            }
+        }
+    }
+    report
+}
+
+/// Wraps the checker as a [`ftree_core::SweepCheck`]: installed on a
+/// [`ftree_core::SubnetManager`], it re-proves all three invariants after
+/// every sweep that applied events and **panics** with the report summary on
+/// the first violation — a debug-assert for the control plane.
+///
+/// ```
+/// use ftree_analysis::invariants::sweep_check;
+/// use ftree_core::SubnetManager;
+/// use ftree_topology::{rlft::catalog, FaultSchedule, Topology};
+///
+/// let topo = Topology::build(catalog::fig4_pgft_16());
+/// let mut sm = SubnetManager::new(&topo, FaultSchedule::empty()).unwrap();
+/// sm.set_sweep_check(sweep_check());
+/// sm.sweep(&topo, 0); // would panic if a sweep ever broke an invariant
+/// ```
+pub fn sweep_check() -> ftree_core::SweepCheck {
+    Box::new(|topo, table, failures| {
+        let report = check_invariants(topo, table, failures);
+        assert!(
+            report.ok(),
+            "routing invariant violated after sweep: {} — first samples: {:?}",
+            report.summary(),
+            report.violations,
+        );
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::{DModK, Router};
+    use ftree_topology::rlft::catalog;
+
+    #[test]
+    fn healthy_dmodk_satisfies_all_invariants() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let table = DModK.route_healthy(&topo);
+        let failures = LinkFailures::none(&topo);
+        let report = check_invariants(&topo, &table, &failures);
+        assert!(report.ok(), "{}", report.summary());
+        assert_eq!(report.pairs_checked, 16 * 15);
+        assert_eq!(report.physically_unreachable, 0);
+        assert_eq!(report.table_unroutable, 0);
+        assert_eq!(report.violations_total, 0);
+    }
+
+    #[test]
+    fn stale_table_under_failure_is_flagged_as_blackhole() {
+        // Route healthy, then fail a cable *without* rerouting: the stale
+        // table must be caught crossing the dead link.
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let table = DModK.route_healthy(&topo);
+        let mut failures = LinkFailures::none(&topo);
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        failures.fail(topo.node(leaf0).up[0].link).unwrap();
+        let report = check_invariants(&topo, &table, &failures);
+        assert!(!report.ok());
+        assert!(!report.blackhole_free);
+        assert!(report.loop_free, "staleness is not a loop");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::DeadLink { .. })));
+    }
+
+    #[test]
+    fn repaired_table_passes_again() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut failures = LinkFailures::none(&topo);
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        failures.fail(topo.node(leaf0).up[0].link).unwrap();
+        let table = DModK.route(&topo, &failures).unwrap();
+        let report = check_invariants(&topo, &table, &failures);
+        assert!(report.ok(), "{}", report.summary());
+    }
+}

@@ -25,6 +25,7 @@
 pub mod arena;
 pub mod degraded;
 pub mod hsd;
+pub mod invariants;
 pub mod quality;
 pub mod reference;
 pub mod report;
@@ -36,6 +37,7 @@ pub use degraded::{
     degraded_sequence_hsd, degraded_stage_hsd, DegradedSequenceHsd, DegradedStageHsd,
 };
 pub use hsd::{stage_hsd, HsdObserver, LinkLoads, StageHsd};
+pub use invariants::{check_invariants, sweep_check, InvariantReport, InvariantViolation};
 pub use quality::{routing_quality, RoutingQuality};
 pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
 pub use sequence::{

@@ -1,0 +1,125 @@
+//! Adversarial and end-to-end tests for the routing invariant checker.
+//!
+//! Negative direction: hand-built broken tables — a forwarding loop
+//! (up-after-down) and a stale-port blackhole — must be flagged. The
+//! checker is only trustworthy if it rejects known-bad tables.
+//!
+//! Positive direction: every built-in routing engine, swept through seeded
+//! chaos scenarios (random cable faults, correlated switch outages, a flap
+//! storm) on catalog topologies, must keep all three invariants after every
+//! sweep — the repair path, not just the from-scratch path, is what gets
+//! proved.
+
+use ftree_analysis::{check_invariants, sweep_check, InvariantViolation};
+use ftree_core::{builtin_engines, DModK, Router, SubnetManager};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{ChaosGen, ChaosSchedule, LinkFailures, PortRef, Topology};
+
+#[test]
+fn adversarial_loop_table_fails_the_checker() {
+    // Healthy D-Mod-K, then rewrite the destination leaf's entry for host 0
+    // to point back *up*: every down-phase walk toward host 0 now turns
+    // around — the up*/down* break that makes fat-tree routing loop/deadlock.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let mut table = DModK.route_healthy(&topo);
+    let dst = 0usize;
+    let leaf = topo.node(topo.host(dst)).up[0].peer;
+    table.set(leaf, dst, PortRef::Up(0));
+    let failures = LinkFailures::none(&topo);
+    let report = check_invariants(&topo, &table, &failures);
+    assert!(!report.ok(), "loop table must fail: {}", report.summary());
+    assert!(!report.loop_free, "the violation is a loop hazard");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::NotUpDown { dst: 0, .. })),
+        "violations must name the up-after-down pairs: {:?}",
+        report.violations
+    );
+    assert!(report.violations_total > 0);
+}
+
+#[test]
+fn adversarial_stale_port_blackhole_fails_the_checker() {
+    // Two stale-table shapes: (a) an entry still pointing across a cable
+    // that has since died, (b) an entry cleared even though the pair is
+    // physically reachable. Both are blackholes — packets vanish silently.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let healthy = DModK.route_healthy(&topo);
+
+    // (a) stale port across a dead cable
+    let mut failures = LinkFailures::none(&topo);
+    let leaf0 = topo.node_at(1, 0).unwrap();
+    failures.fail(topo.node(leaf0).up[1].link).unwrap();
+    let report = check_invariants(&topo, &healthy, &failures);
+    assert!(!report.ok(), "stale table must fail: {}", report.summary());
+    assert!(!report.blackhole_free);
+    assert!(report.loop_free, "staleness is not a loop");
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, InvariantViolation::DeadLink { .. })));
+
+    // (b) missing entry for a reachable pair
+    let mut holed = healthy.clone();
+    holed.clear(leaf0, topo.num_hosts() - 1);
+    let report = check_invariants(&topo, &holed, &LinkFailures::none(&topo));
+    assert!(!report.ok());
+    assert!(!report.blackhole_free);
+    assert!(!report.reachability_complete);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, InvariantViolation::MissingRoute { .. })));
+}
+
+/// Sweeps `topo` through `chaos` with every built-in engine, proving the
+/// invariants after every sweep (via the panicking sweep check) and once
+/// more at the settled end state.
+fn prove_engines_through(topo: &Topology, chaos: &ChaosSchedule, label: &str) {
+    let lowered = chaos.lower(topo).expect("scenario fits the topology");
+    for engine in builtin_engines(7) {
+        let name = engine.name();
+        let mut sm = SubnetManager::with_engine(topo, lowered.faults.clone(), engine)
+            .expect("schedule fits the topology");
+        sm.set_sweep_check(sweep_check());
+        sm.sweep_all(topo); // panics inside the check on any violation
+        assert!(sm.is_settled());
+        let report = check_invariants(topo, sm.table(), sm.failures());
+        assert!(
+            report.ok(),
+            "{label}/{name} settled state violates invariants: {}",
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn all_engines_hold_invariants_under_random_link_faults() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let chaos = ChaosGen::new(42).random_links(&topo, 4, 1_000_000, 500_000);
+    prove_engines_through(&topo, &chaos, "random_links");
+}
+
+#[test]
+fn all_engines_hold_invariants_under_switch_outages() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let chaos = ChaosGen::new(9).switch_outages(&topo, 2, 1_000_000, 700_000);
+    prove_engines_through(&topo, &chaos, "switch_outages");
+}
+
+#[test]
+fn all_engines_hold_invariants_under_a_flap_storm() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let chaos = ChaosGen::new(1234).flap_storm(&topo, 3, 500_000, 3, 10_000, 200_000);
+    prove_engines_through(&topo, &chaos, "flap_storm");
+}
+
+#[test]
+fn all_engines_hold_invariants_on_a_larger_tree() {
+    // The 128-host catalog tree, one preset per shape to bound runtime.
+    let topo = Topology::build(catalog::nodes_128());
+    let chaos = ChaosGen::new(5).random_links(&topo, 5, 1_000_000, 0);
+    prove_engines_through(&topo, &chaos, "nodes_128/random_links");
+}

@@ -1,0 +1,297 @@
+//! Chaos campaign: recovery SLOs under seeded fault scenarios.
+//!
+//! Sweeps a grid of catalog topologies × routing engines × chaos presets
+//! (random cable faults, correlated switch outages, a link-flap storm, a
+//! degraded-link brownout), one deterministically seeded cell at a time,
+//! and measures what an operator would page on:
+//!
+//! * **sweeps to settle** — subnet-manager sweeps until the schedule is
+//!   drained, plus how many flap events were coalesced away,
+//! * **time to heal** — the worst sweep lag (oldest fault sitting
+//!   unrepaired when its sweep finally ran),
+//! * **message SLOs** — retransmits, lost messages (split out by
+//!   partition-attributed losses), dropped packets (split out by
+//!   degraded-link lottery drops) from a packet run through the timeline,
+//! * **degraded HSD** — worst Shift-sequence height-split degree at the
+//!   *peak* of the incident vs the healthy baseline,
+//! * **invariants** — the routing invariant checker's verdict after every
+//!   event sweep and at the settled end state (the campaign gate).
+//!
+//! Cells run in parallel; each derives its own seed from `--seed`, so the
+//! whole campaign is reproducible bit for bit.
+//!
+//! Run: `cargo run --release -p ftree-bench --bin chaos
+//!       [--seed N] [--stages N] [--full] [--json-out PATH]`
+//! (default output: `results/BENCH_chaos.json`).
+
+use ftree_analysis::{check_invariants, degraded_sequence_hsd, parallel_map, SequenceOptions};
+use ftree_bench::{arg_num, arg_value, has_flag, TextTable};
+use ftree_collectives::Cps;
+use ftree_core::{NodeOrder, RoutingAlgo, SubnetManager};
+use ftree_sim::{FabricLifecycle, PacketSim, Progression, SimConfig, TrafficPlan, MICROSECOND};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{ChaosGen, ChaosSchedule, Topology};
+
+/// splitmix64 finalizer: per-cell seeds from one campaign seed.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const PRESETS: [&str; 4] = ["random_links", "switch_outages", "flap_storm", "brownout"];
+
+fn preset(name: &str, seed: u64, topo: &Topology) -> ChaosSchedule {
+    let g = ChaosGen::new(seed);
+    let us = MICROSECOND;
+    match name {
+        "random_links" => g.random_links(topo, 4, 50 * us, 100 * us),
+        "switch_outages" => g.switch_outages(topo, 2, 50 * us, 150 * us),
+        // Dwell can undercut the 2 us sweep delay: some flaps heal
+        // themselves before their sweep and are coalesced away.
+        "flap_storm" => g.flap_storm(topo, 3, 50 * us, 3, us / 2, 12 * us),
+        "brownout" => g.brownout(topo, 3, 10 * us, 4, 20_000, 80 * us),
+        _ => unreachable!("unknown preset {name}"),
+    }
+}
+
+struct Cell {
+    topo_idx: usize,
+    topo_name: &'static str,
+    algo: RoutingAlgo,
+    algo_name: &'static str,
+    preset: &'static str,
+    seed: u64,
+}
+
+struct CellResult {
+    row: serde_json::Value,
+    invariant_ok: bool,
+    messages_lost: u64,
+    worst_heal_us: f64,
+    label: String,
+}
+
+fn run_cell(topos: &[Topology], cell: &Cell, max_stages: usize) -> CellResult {
+    let topo = &topos[cell.topo_idx];
+    let chaos = preset(cell.preset, cell.seed, topo);
+    let lowered = chaos.lower(topo).expect("preset fits the topology");
+
+    // Control plane: drain the schedule sweep by sweep, proving the
+    // invariants after every sweep that applied events.
+    let mut sm = SubnetManager::with_engine(topo, lowered.faults.clone(), cell.algo.engine())
+        .expect("schedule fits the topology");
+    let mut invariant_ok = true;
+    let mut sweeps = Vec::new();
+    while let Some(t) = sm.next_event_time() {
+        let r = sm.sweep(topo, t);
+        if r.events_applied > 0 {
+            invariant_ok &= check_invariants(topo, sm.table(), sm.failures()).ok();
+        }
+        sweeps.push(r);
+    }
+    invariant_ok &= check_invariants(topo, sm.table(), sm.failures()).ok();
+
+    // Peak-of-incident HSD: rebuild the table as it stood right after the
+    // sweep with the most dead cables, and compare worst Shift HSD against
+    // the healthy baseline.
+    let order = NodeOrder::topology(topo);
+    let opts = SequenceOptions { max_stages };
+    let healthy_hsd =
+        degraded_sequence_hsd(topo, &cell.algo.route(topo), &order, &Cps::Shift, opts)
+            .expect("healthy fabric routes every stage");
+    let peak = sweeps.iter().max_by_key(|r| r.failed_links);
+    let (peak_worst, peak_unroutable) = match peak {
+        Some(p) if p.failed_links > 0 => {
+            let mut sm2 =
+                SubnetManager::with_engine(topo, lowered.faults.clone(), cell.algo.engine())
+                    .expect("schedule fits the topology");
+            sm2.sweep(topo, p.time);
+            let hsd = degraded_sequence_hsd(topo, sm2.table(), &order, &Cps::Shift, opts)
+                .expect("walkable stages");
+            (hsd.worst, hsd.unroutable_flows)
+        }
+        _ => (healthy_hsd.worst, 0),
+    };
+
+    // Data plane: shift traffic straight through the timeline.
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = [1u32, n / 2 + 1]
+        .iter()
+        .map(|&s| (0..n).map(|i| (i, (i + s) % n)).collect())
+        .collect();
+    let plan = TrafficPlan::uniform(stages, 32_768, Progression::Asynchronous);
+    let mut lc = FabricLifecycle::from_chaos(topo, &chaos)
+        .expect("preset fits the topology")
+        .with_algo(cell.algo);
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 15 * MICROSECOND;
+    let res = PacketSim::with_lifecycle(topo, SimConfig::default(), &plan, lc)
+        .expect("schedule fits the topology")
+        .run();
+
+    // Recovery SLOs come from the *timed* run — its sweeps fire
+    // `sweep_delay` after the event batch, so lag and coalescing are the
+    // numbers an operator would actually see.
+    let sweeps_to_settle = res.sweep_reports.len();
+    let events_applied: usize = res.sweep_reports.iter().map(|r| r.events_applied).sum();
+    let events_coalesced: usize = res.sweep_reports.iter().map(|r| r.events_coalesced).sum();
+    let worst_heal_ps = res
+        .sweep_reports
+        .iter()
+        .map(|r| r.oldest_event_age)
+        .max()
+        .unwrap_or(0);
+    let worst_heal_us = worst_heal_ps as f64 / MICROSECOND as f64;
+    let row = serde_json::json!({
+        "topology": cell.topo_name,
+        "engine": cell.algo_name,
+        "preset": cell.preset,
+        "seed": cell.seed,
+        "sweeps_to_settle": sweeps_to_settle,
+        "events_applied": events_applied,
+        "events_coalesced": events_coalesced,
+        "worst_heal_us": worst_heal_us,
+        "invariant_ok": invariant_ok,
+        "healthy_worst_hsd": healthy_hsd.worst,
+        "peak_worst_hsd": peak_worst,
+        "hsd_delta": peak_worst as i64 - healthy_hsd.worst as i64,
+        "peak_unroutable_flows": peak_unroutable,
+        "messages_delivered": res.messages_delivered,
+        "messages_lost": res.messages_lost,
+        "messages_lost_unreachable": res.messages_lost_unreachable,
+        "retransmits": res.retransmits,
+        "packets_dropped": res.packets_dropped,
+        "packets_dropped_degraded": res.packets_dropped_degraded,
+        "makespan_us": res.makespan as f64 / MICROSECOND as f64,
+    });
+    CellResult {
+        row,
+        invariant_ok,
+        messages_lost: res.messages_lost,
+        worst_heal_us,
+        label: format!("{}/{}/{}", cell.topo_name, cell.algo_name, cell.preset),
+    }
+}
+
+fn main() {
+    let base_seed: u64 = arg_num("--seed", 42);
+    let max_stages: usize = arg_num("--stages", 8);
+    let mut out = ftree_bench::BenchJson::new("chaos");
+    out.param("seed", base_seed);
+    out.param("stages", max_stages as u64);
+
+    let mut topos: Vec<(&'static str, Topology)> = vec![
+        ("fig4_pgft_16", Topology::build(catalog::fig4_pgft_16())),
+        ("nodes_128", Topology::build(catalog::nodes_128())),
+    ];
+    if has_flag("--full") {
+        topos.push(("nodes_324", Topology::build(catalog::nodes_324())));
+    }
+    let engines: [(&'static str, RoutingAlgo); 4] = [
+        ("dmodk", RoutingAlgo::DModK),
+        ("dmodc", RoutingAlgo::Dmodc),
+        ("random", RoutingAlgo::Random(7)),
+        ("minhop", RoutingAlgo::MinHopGreedy),
+    ];
+
+    let mut cells = Vec::new();
+    for (ti, (topo_name, _)) in topos.iter().enumerate() {
+        for (algo_name, algo) in engines {
+            for (pi, preset) in PRESETS.iter().enumerate() {
+                // Every cell gets its own seed, derived — not shared — so
+                // adding a topology or preset never reshuffles the others.
+                let seed = mix64(base_seed ^ mix64((ti as u64) << 32 | (pi as u64)));
+                cells.push(Cell {
+                    topo_idx: ti,
+                    topo_name,
+                    algo,
+                    algo_name,
+                    preset,
+                    seed,
+                });
+            }
+        }
+    }
+    println!(
+        "Chaos campaign: {} topologies x {} engines x {} presets = {} cells (seed {base_seed})\n",
+        topos.len(),
+        engines.len(),
+        PRESETS.len(),
+        cells.len()
+    );
+
+    let topo_list: Vec<Topology> = topos.into_iter().map(|(_, t)| t).collect();
+    let results = parallel_map(&cells, |cell| run_cell(&topo_list, cell, max_stages));
+
+    let mut table = TextTable::new(vec![
+        "cell",
+        "sweeps",
+        "coalesced",
+        "heal (us)",
+        "HSD peak/healthy",
+        "lost (unreach)",
+        "retx",
+        "invariants",
+    ]);
+    for r in &results {
+        let row = &r.row;
+        table.row(vec![
+            r.label.clone(),
+            row["sweeps_to_settle"].to_string(),
+            row["events_coalesced"].to_string(),
+            format!("{:.1}", r.worst_heal_us),
+            format!("{}/{}", row["peak_worst_hsd"], row["healthy_worst_hsd"]),
+            format!(
+                "{} ({})",
+                row["messages_lost"], row["messages_lost_unreachable"]
+            ),
+            row["retransmits"].to_string(),
+            if r.invariant_ok { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Worst cell: most lost messages, then slowest heal.
+    let worst = results
+        .iter()
+        .max_by(|a, b| {
+            (a.messages_lost, a.worst_heal_us)
+                .partial_cmp(&(b.messages_lost, b.worst_heal_us))
+                .unwrap()
+        })
+        .expect("campaign has cells");
+    println!(
+        "\nworst cell: {} — {} messages lost, worst heal {:.1} us",
+        worst.label, worst.messages_lost, worst.worst_heal_us
+    );
+
+    let all_ok = results.iter().all(|r| r.invariant_ok);
+    out.metric(
+        "cells",
+        results.iter().map(|r| r.row.clone()).collect::<Vec<_>>(),
+    );
+    out.metric("all_invariants_ok", all_ok);
+    out.metric("worst_cell", worst.label.clone());
+    out.metric("worst_cell_messages_lost", worst.messages_lost);
+    out.metric("worst_cell_heal_us", worst.worst_heal_us);
+
+    // Written before the gate assert so a failing run still leaves data.
+    let path = arg_value("--json-out").unwrap_or_else(|| "results/BENCH_chaos.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let body = serde_json::to_string_pretty(&out.render()).expect("bench json serializes");
+    if let Err(e) = std::fs::write(&path, body + "\n") {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+
+    assert!(
+        all_ok,
+        "CAMPAIGN GATE: a routing invariant was violated (see table above)"
+    );
+    println!("\nall {} cells hold every routing invariant", results.len());
+}

@@ -27,7 +27,7 @@ use ftree_sim::{
 };
 use ftree_topology::failures::LinkFailures;
 use ftree_topology::rlft::catalog;
-use ftree_topology::{FaultSchedule, PortRef, Topology};
+use ftree_topology::{ChaosGen, PortRef, Topology};
 
 fn main() {
     let rec = init_obs();
@@ -128,8 +128,13 @@ fn main() {
         "\nDynamic timeline: 4 random cables fail inside the first 50 us, \
          each repaired 100 us later (seed 42)\n"
     );
-    let sched =
-        FaultSchedule::random_switch_links(&topo, 42, 4, 50 * MICROSECOND, 100 * MICROSECOND);
+    // ChaosGen::random_links reproduces the legacy random_switch_links
+    // stream exactly, so this timeline is bit-identical to older runs.
+    let sched = ChaosGen::new(42)
+        .random_links(&topo, 4, 50 * MICROSECOND, 100 * MICROSECOND)
+        .lower(&topo)
+        .expect("generated scenario fits the topology")
+        .faults;
 
     let mut sm = SubnetManager::new(&topo, sched.clone()).expect("schedule fits the topology");
     let mut sweeps = TextTable::new(vec![

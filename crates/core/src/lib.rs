@@ -51,4 +51,4 @@ pub use fault::Reachability;
 pub use ordering::NodeOrder;
 pub use planner::{aligned_suballocation, suballocation_unit, Job, RoutingAlgo};
 pub use router::{builtin_engines, DModK, Dmodc, MinHopGreedy, RandomUpstream, Router};
-pub use sm::{SubnetManager, SweepReport};
+pub use sm::{SubnetManager, SweepCheck, SweepReport};

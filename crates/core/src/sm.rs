@@ -40,8 +40,14 @@ pub struct SweepReport {
     pub time: u64,
     /// Schedule events applied by this sweep (including no-op duplicates).
     pub events_applied: usize,
-    /// Links whose liveness actually changed.
+    /// Links whose liveness changed **net** across the sweep. A link that
+    /// failed and recovered inside one sweep window (a coalesced flap) is
+    /// not counted and triggers no repair.
     pub links_changed: usize,
+    /// Links touched by due events whose liveness ended the sweep where it
+    /// started — flap events the sweep coalesced away instead of repairing.
+    #[serde(default)]
+    pub events_coalesced: usize,
     /// Failed links after the sweep.
     pub failed_links: usize,
     /// `(node, dst)` entries recomputed by incremental repair.
@@ -58,6 +64,13 @@ pub struct SweepReport {
     pub oldest_event_age: u64,
 }
 
+/// Post-sweep validation hook: invoked with the topology, the repaired
+/// routing table, and the failure set it was repaired under. Installed via
+/// [`SubnetManager::set_sweep_check`]; the canonical implementation is the
+/// routing invariant checker in `ftree-analysis`, wrapped in a closure that
+/// panics on violation — a debug-assert for the control plane.
+pub type SweepCheck = Box<dyn Fn(&Topology, &RoutingTable, &LinkFailures) + Send + Sync>;
+
 /// A subnet manager living through a [`FaultSchedule`], keeping a
 /// [`Router`]-built [`RoutingTable`] continuously repaired.
 pub struct SubnetManager {
@@ -68,6 +81,7 @@ pub struct SubnetManager {
     reach: Reachability,
     table: RoutingTable,
     reports: Vec<SweepReport>,
+    check: Option<SweepCheck>,
 }
 
 impl SubnetManager {
@@ -101,7 +115,16 @@ impl SubnetManager {
             reach,
             table,
             reports: Vec::new(),
+            check: None,
         })
+    }
+
+    /// Installs a [`SweepCheck`] that runs after every sweep which applied
+    /// events — a debug-assert-style knob: absent by default, and when
+    /// present it sees exactly the table/failure state traffic will route
+    /// by. Replaces any previously installed check.
+    pub fn set_sweep_check(&mut self, check: SweepCheck) {
+        self.check = Some(check);
     }
 
     /// Name of the routing engine driving this manager.
@@ -151,23 +174,33 @@ impl SubnetManager {
 
         let mut events_applied = 0;
         let mut oldest: Option<u64> = None;
-        let mut changed_links: Vec<u32> = Vec::new();
+        // Pre-sweep liveness of every link touched by a due event, in touch
+        // order. Repairs are driven by the *net* liveness change across the
+        // sweep, so a flap that fails and recovers inside one window
+        // coalesces to nothing instead of a redundant recompute.
+        let mut touched: Vec<(u32, bool)> = Vec::new();
         while let Some(ev) = self.schedule.events().get(self.cursor) {
             if ev.time > now {
                 break;
             }
-            let effective = match ev.kind {
+            if !touched.iter().any(|&(l, _)| l == ev.link) {
+                touched.push((ev.link, self.failures.is_live(ev.link)));
+            }
+            match ev.kind {
                 LinkEventKind::Fail => self.failures.fail(ev.link),
                 LinkEventKind::Recover => self.failures.recover(ev.link),
             }
             .expect("schedule validated at construction");
-            if effective {
-                changed_links.push(ev.link);
-            }
             oldest = Some(oldest.map_or(ev.time, |o| o.min(ev.time)));
             events_applied += 1;
             self.cursor += 1;
         }
+        let changed_links: Vec<u32> = touched
+            .iter()
+            .filter(|&&(l, was_live)| self.failures.is_live(l) != was_live)
+            .map(|&(l, _)| l)
+            .collect();
+        let events_coalesced = touched.len() - changed_links.len();
 
         let (entries_recomputed, entries_changed) = if changed_links.is_empty() {
             (0, 0)
@@ -218,6 +251,7 @@ impl SubnetManager {
             time: now,
             events_applied,
             links_changed: changed_links.len(),
+            events_coalesced,
             failed_links: self.failures.len(),
             entries_recomputed,
             entries_changed,
@@ -237,6 +271,11 @@ impl SubnetManager {
             rec.gauge("sm.failed_links").set(report.failed_links as i64);
         }
         self.reports.push(report.clone());
+        if events_applied > 0 {
+            if let Some(check) = &self.check {
+                check(topo, &self.table, &self.failures);
+            }
+        }
         report
     }
 
@@ -383,6 +422,106 @@ mod tests {
         let mut expect = LinkFailures::none(&topo);
         expect.fail(l1).unwrap();
         assert_tables_identical(&topo, sm.table(), &DModK.route(&topo, &expect).unwrap());
+    }
+
+    #[test]
+    fn zero_dwell_flap_is_bit_identical_to_noop() {
+        // A fail+recover pair at the same instant (`FaultSchedule::new`
+        // orders Fail first) must coalesce: no repair, and a table
+        // bit-identical to a manager that saw no events at all.
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let link = topo.node(leaf0).up[2].link;
+        let sched = FaultSchedule::new(vec![
+            LinkEvent {
+                time: 100,
+                link,
+                kind: LinkEventKind::Recover,
+            },
+            LinkEvent {
+                time: 100,
+                link,
+                kind: LinkEventKind::Fail,
+            },
+        ]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+        let report = sm.sweep(&topo, 150);
+        assert_eq!(report.events_applied, 2);
+        assert_eq!(report.links_changed, 0, "flap must coalesce");
+        assert_eq!(report.events_coalesced, 1);
+        assert_eq!(report.entries_recomputed, 0);
+        assert_eq!(report.failed_links, 0);
+        assert!(sm.is_settled());
+
+        let mut idle = SubnetManager::new(&topo, FaultSchedule::empty()).unwrap();
+        idle.sweep(&topo, 150);
+        assert_tables_identical(&topo, sm.table(), idle.table());
+        assert_eq!(
+            sm.failures().fingerprint(),
+            idle.failures().fingerprint(),
+            "failure sets diverge"
+        );
+    }
+
+    #[test]
+    fn coalesced_flap_skips_repair_but_net_change_repairs() {
+        // One link flaps (fail@10, recover@20), another fails for good
+        // (@30): a single sweep at t=50 must repair only the second.
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let flappy = topo.node(leaf0).up[0].link;
+        let dead = topo.node(leaf0).up[3].link;
+        let sched = FaultSchedule::new(vec![
+            LinkEvent {
+                time: 10,
+                link: flappy,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 20,
+                link: flappy,
+                kind: LinkEventKind::Recover,
+            },
+            LinkEvent {
+                time: 30,
+                link: dead,
+                kind: LinkEventKind::Fail,
+            },
+        ]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+        let report = sm.sweep(&topo, 50);
+        assert_eq!(report.events_applied, 3);
+        assert_eq!(report.links_changed, 1);
+        assert_eq!(report.events_coalesced, 1);
+        let mut expect = LinkFailures::none(&topo);
+        expect.fail(dead).unwrap();
+        assert_tables_identical(&topo, sm.table(), &DModK.route(&topo, &expect).unwrap());
+    }
+
+    #[test]
+    fn sweep_check_runs_after_event_sweeps() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let leaf0 = topo.node_at(1, 0).unwrap();
+        let link = topo.node(leaf0).up[1].link;
+        let sched = FaultSchedule::new(vec![LinkEvent {
+            time: 10,
+            link,
+            kind: LinkEventKind::Fail,
+        }]);
+        let mut sm = SubnetManager::new(&topo, sched).unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        sm.set_sweep_check(Box::new(move |topo, table, failures| {
+            assert_eq!(failures.len(), 1, "check sees the post-sweep state");
+            assert!(table.egress(topo.host(0), 1).is_some());
+            seen.fetch_add(1, Ordering::SeqCst);
+        }));
+        sm.sweep(&topo, 5); // no due events: check not invoked
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        sm.sweep(&topo, 50);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 
     #[test]

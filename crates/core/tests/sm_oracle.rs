@@ -7,7 +7,24 @@
 
 use ftree_core::{builtin_engines, DModK, Router, SubnetManager};
 use ftree_topology::rlft::catalog;
-use ftree_topology::{FaultSchedule, LinkEvent, LinkEventKind, RoutingTable, Topology};
+use ftree_topology::{ChaosGen, FaultSchedule, LinkEvent, LinkEventKind, RoutingTable, Topology};
+
+/// Seeded switch-link fault timeline (the former
+/// `FaultSchedule::random_switch_links`, reproduced event for event by
+/// `ChaosGen::random_links`).
+fn random_switch_links(
+    topo: &Topology,
+    seed: u64,
+    count: usize,
+    window: u64,
+    repair_after: u64,
+) -> FaultSchedule {
+    ChaosGen::new(seed)
+        .random_links(topo, count, window, repair_after)
+        .lower(topo)
+        .expect("generated scenario fits the topology")
+        .faults
+}
 
 /// Every entry (switch and host) plus the algorithm label.
 fn tables_identical(topo: &Topology, a: &RoutingTable, b: &RoutingTable) -> bool {
@@ -76,8 +93,7 @@ fn oracle_holds_across_catalog_topologies() {
         for seed in [1u64, 42, 0xdead_beef] {
             // Every failure recovers 350µs later: the timeline exercises
             // both directions and ends healthy.
-            let sched =
-                FaultSchedule::random_switch_links(&topo, seed, count, 300_000_000, 350_000_000);
+            let sched = random_switch_links(&topo, seed, count, 300_000_000, 350_000_000);
             check_oracle(&topo, sched);
         }
     }
@@ -86,7 +102,7 @@ fn oracle_holds_across_catalog_topologies() {
 #[test]
 fn oracle_holds_for_permanent_failures() {
     let topo = Topology::build(catalog::nodes_128());
-    let sched = FaultSchedule::random_switch_links(&topo, 7, 8, 1_000_000, 0);
+    let sched = random_switch_links(&topo, 7, 8, 1_000_000, 0);
     check_oracle(&topo, sched);
 }
 
@@ -141,7 +157,7 @@ fn fallback_recompute_matches_for_every_engine() {
     // Two instances of each engine: one drives the manager, its twin is
     // the from-scratch oracle.
     for (engine, oracle) in builtin_engines(23).into_iter().zip(builtin_engines(23)) {
-        let sched = FaultSchedule::random_switch_links(&topo, 5, 4, 100_000, 250_000);
+        let sched = random_switch_links(&topo, 5, 4, 100_000, 250_000);
         let healthy = oracle.route_healthy(&topo);
         let mut sm = SubnetManager::with_engine(&topo, sched, engine).unwrap();
         assert!(tables_identical(&topo, sm.table(), &healthy));

@@ -90,6 +90,18 @@ pub enum ObsEvent {
         /// Physical link index.
         link: u32,
     },
+    /// A cable's degradation state changed (still alive, but slower and/or
+    /// lossy; `latency_mult == 1 && drop_ppm == 0` means restored).
+    LinkDegrade {
+        /// Simulation time, ps.
+        t: u64,
+        /// Physical link index.
+        link: u32,
+        /// Serialization-time multiplier from this instant on.
+        latency_mult: u32,
+        /// Drop probability in parts per million from this instant on.
+        drop_ppm: u32,
+    },
     /// A subnet-manager sweep is starting.
     SweepBegin {
         /// Simulation time, ps.
@@ -140,6 +152,7 @@ impl ObsEvent {
             | ObsEvent::MessageLost { t, .. }
             | ObsEvent::LinkFail { t, .. }
             | ObsEvent::LinkRecover { t, .. }
+            | ObsEvent::LinkDegrade { t, .. }
             | ObsEvent::SweepBegin { t, .. }
             | ObsEvent::SweepEnd { t, .. }
             | ObsEvent::RouteDecision { t, .. }

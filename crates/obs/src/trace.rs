@@ -163,6 +163,29 @@ where
                     "args": {"link": link},
                 }));
             }
+            ObsEvent::LinkDegrade {
+                t,
+                link,
+                latency_mult,
+                drop_ppm,
+            } => {
+                control_seen = true;
+                let label = if *latency_mult <= 1 && *drop_ppm == 0 {
+                    format!("RESTORE {}", link_label(*link))
+                } else {
+                    format!("DEGRADE {} x{latency_mult}", link_label(*link))
+                };
+                out.push(json!({
+                    "name": label,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": us(*t),
+                    "pid": CONTROL_PID,
+                    "tid": FAULT_TID,
+                    "args": {"link": link, "latency_mult": latency_mult, "drop_ppm": drop_ppm},
+                }));
+            }
             ObsEvent::SweepBegin { .. } => {
                 // Rendered from the matching SweepEnd (which carries the
                 // report, including the repair lag).

@@ -17,7 +17,7 @@
 //! first-class knob.
 
 use ftree_core::RoutingAlgo;
-use ftree_topology::FaultSchedule;
+use ftree_topology::{ChaosSchedule, DegradeEvent, FaultSchedule, Topology, TopologyError};
 
 use crate::config::{Time, MICROSECOND};
 
@@ -26,6 +26,10 @@ use crate::config::{Time, MICROSECOND};
 pub struct FabricLifecycle {
     /// Timed link fail/recover events, played against the live fabric.
     pub schedule: FaultSchedule,
+    /// Timed link degradations (slowdown + probabilistic loss on alive
+    /// cables), sorted by `(time, link)`. Degradations affect only the data
+    /// plane — the subnet manager never reroutes around a slow link.
+    pub degradations: Vec<DegradeEvent>,
     /// Routing engine the embedded subnet manager drives (default
     /// [`RoutingAlgo::DModK`], whose repair is incremental and exact).
     pub algo: RoutingAlgo,
@@ -49,6 +53,7 @@ impl FabricLifecycle {
     pub fn new(schedule: FaultSchedule) -> Self {
         Self {
             schedule,
+            degradations: Vec::new(),
             algo: RoutingAlgo::DModK,
             sweep_delay: 5 * MICROSECOND,
             retransmit_timeout: 50 * MICROSECOND,
@@ -57,9 +62,24 @@ impl FabricLifecycle {
         }
     }
 
+    /// Builds a lifecycle from a typed chaos scenario: hard faults become
+    /// the schedule, degradations the data-plane slowdown/loss timeline.
+    pub fn from_chaos(topo: &Topology, chaos: &ChaosSchedule) -> Result<Self, TopologyError> {
+        let lowered = chaos.lower(topo)?;
+        Ok(Self::new(lowered.faults).with_degradations(lowered.degradations))
+    }
+
     /// Same lifecycle, driving a different routing engine.
     pub fn with_algo(mut self, algo: RoutingAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Same lifecycle with a degradation timeline (re-sorted by
+    /// `(time, link)` so the simulator can replay it with a cursor).
+    pub fn with_degradations(mut self, mut degradations: Vec<DegradeEvent>) -> Self {
+        degradations.sort_by_key(|d| (d.time, d.link));
+        self.degradations = degradations;
         self
     }
 

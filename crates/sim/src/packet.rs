@@ -77,8 +77,17 @@ pub struct SimResult {
     pub packets_dropped: u64,
     /// Message retransmissions started (lifecycle runs only).
     pub retransmits: u64,
-    /// Messages abandoned after exhausting retransmissions.
+    /// Messages abandoned after exhausting retransmissions **or** written
+    /// off early because their destination is provably unreachable.
     pub messages_lost: u64,
+    /// Subset of `messages_lost` abandoned by the partition-aware early
+    /// exit: the schedule was fully applied, the subnet manager's
+    /// reachability said the destination cannot be reached, so the sender
+    /// stopped burning its retry budget.
+    pub messages_lost_unreachable: u64,
+    /// Subset of `packets_dropped` lost to degraded (alive but lossy)
+    /// cables rather than dead ones.
+    pub packets_dropped_degraded: u64,
     /// Bytes delivered more than once (late originals racing retransmits);
     /// excluded from `total_payload` and `normalized_bw`.
     pub duplicate_payload: u64,
@@ -118,6 +127,19 @@ impl SimResult {
 }
 
 const NO_PACKET: u32 = u32::MAX;
+
+/// Deterministic drop lottery for degraded links: a splitmix-style hash of
+/// the run's jitter seed and the roll ordinal, mapped to `[0, 1_000_000)`
+/// for comparison against a link's `drop_ppm`.
+fn drop_roll(seed: u64, ordinal: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(ordinal)
+        .wrapping_add(0x00d4_0990);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % 1_000_000
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Packet {
@@ -248,6 +270,16 @@ pub struct PacketSim<'a> {
     phys: LinkFailures,
     /// Next unapplied schedule event (physical view).
     phys_cursor: usize,
+    /// Next unapplied degradation event (lifecycle runs only).
+    degrade_cursor: usize,
+    /// Per-link serialization multiplier (empty = no degradations
+    /// configured; indexed by physical link id otherwise).
+    link_latency_mult: Vec<u32>,
+    /// Per-link drop probability in parts per million (parallel to
+    /// `link_latency_mult`).
+    link_drop_ppm: Vec<u32>,
+    /// Monotonic counter feeding the deterministic degraded-drop rolls.
+    drop_rolls: u64,
     /// Per-host, per-message delivery state (lifecycle runs only).
     msg_state: Vec<Vec<MsgState>>,
     /// Observability sink (`None` = zero-overhead run; see
@@ -278,8 +310,10 @@ pub struct PacketSim<'a> {
     events_processed: u64,
     channel_busy: Vec<Time>,
     packets_dropped: u64,
+    packets_dropped_degraded: u64,
     retransmits: u64,
     messages_lost: u64,
+    messages_lost_unreachable: u64,
     duplicate_payload: u64,
 }
 
@@ -356,6 +390,9 @@ impl<'a> PacketSim<'a> {
             Vec::new()
         };
         let next_tbl = rt.map(|rt| NextChannelTable::build(topo, rt));
+        let has_degradations = lifecycle
+            .as_ref()
+            .is_some_and(|lc| !lc.degradations.is_empty());
         Ok(Self {
             topo,
             rt,
@@ -364,6 +401,18 @@ impl<'a> PacketSim<'a> {
             sm,
             phys: LinkFailures::none(topo),
             phys_cursor: 0,
+            degrade_cursor: 0,
+            link_latency_mult: if has_degradations {
+                vec![1; topo.num_links()]
+            } else {
+                Vec::new()
+            },
+            link_drop_ppm: if has_degradations {
+                vec![0; topo.num_links()]
+            } else {
+                Vec::new()
+            },
+            drop_rolls: 0,
             msg_state,
             recorder: None,
             cfg,
@@ -390,8 +439,10 @@ impl<'a> PacketSim<'a> {
             events_processed: 0,
             channel_busy: vec![0; topo.num_channels()],
             packets_dropped: 0,
+            packets_dropped_degraded: 0,
             retransmits: 0,
             messages_lost: 0,
+            messages_lost_unreachable: 0,
             duplicate_payload: 0,
         })
     }
@@ -423,6 +474,18 @@ impl<'a> PacketSim<'a> {
             Some(sm) => sm.table(),
             None => self.rt.expect("static simulation always has a table"),
         }
+    }
+
+    /// Serialization time for `size` bytes onto channel `e`, scaled by the
+    /// channel's link degradation multiplier (1 when no degradations are
+    /// configured or the link is healthy).
+    #[inline]
+    fn degraded_transfer(&self, e: u32, base: Time) -> Time {
+        if self.link_latency_mult.is_empty() {
+            return base;
+        }
+        let mult = self.link_latency_mult[ftree_topology::ChannelId(e).link() as usize];
+        base * mult as Time
     }
 
     fn schedule_event(&mut self, time: Time, kind: EventKind) {
@@ -583,8 +646,9 @@ impl<'a> PacketSim<'a> {
             attempt,
             next_free: NO_PACKET,
         });
-        // Injection serializes at the PCIe-bound host bandwidth.
-        let serialize = self.cfg.host_bw.transfer_time(size);
+        // Injection serializes at the PCIe-bound host bandwidth (scaled if
+        // the host cable itself is degraded).
+        let serialize = self.degraded_transfer(e, self.cfg.host_bw.transfer_time(size));
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
             rec.record(ObsEvent::ChannelBusy {
@@ -632,7 +696,7 @@ impl<'a> PacketSim<'a> {
         // The packet keeps occupying a slot of buffer `i` while draining.
         self.channels[i as usize].reserved += 1;
         let size = self.packets[pkt_id as usize].size;
-        let serialize = self.cfg.link_bw.transfer_time(size);
+        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
             rec.record(ObsEvent::ChannelBusy {
@@ -661,7 +725,7 @@ impl<'a> PacketSim<'a> {
     /// when the tail leaves.
     fn grant_packet(&mut self, e: u32, pkt_id: u32, input: u32) {
         let size = self.packets[pkt_id as usize].size;
-        let serialize = self.cfg.link_bw.transfer_time(size);
+        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
         let depart = self.now + serialize;
         if let Some(rec) = &self.recorder {
             rec.record(ObsEvent::ChannelBusy {
@@ -835,6 +899,21 @@ impl<'a> PacketSim<'a> {
             self.drop_packet(pkt_id, ch);
             return;
         }
+        // A degraded cable loses packets probabilistically. The roll is a
+        // stateless hash of (jitter seed, roll ordinal), so a run is exactly
+        // reproducible under a fixed seed.
+        if !self.link_drop_ppm.is_empty() {
+            let ppm = self.link_drop_ppm[ftree_topology::ChannelId(ch).link() as usize];
+            if ppm > 0 {
+                let roll = drop_roll(self.cfg.jitter_seed, self.drop_rolls);
+                self.drop_rolls += 1;
+                if roll < ppm as u64 {
+                    self.packets_dropped_degraded += 1;
+                    self.drop_packet(pkt_id, ch);
+                    return;
+                }
+            }
+        }
         let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
         if self.topo.node(target).is_host() {
             let pkt = self.packets[pkt_id as usize];
@@ -938,8 +1017,36 @@ impl<'a> PacketSim<'a> {
         }
     }
 
+    /// Applies every due degradation event to the per-link slowdown/loss
+    /// state. Degradations are data-plane only: the SM is never notified.
+    fn apply_degrade_events(&mut self) {
+        loop {
+            let Some(lc) = self.lifecycle.as_ref() else {
+                return;
+            };
+            let Some(&ev) = lc.degradations.get(self.degrade_cursor) else {
+                return;
+            };
+            if ev.time > self.now {
+                return;
+            }
+            self.degrade_cursor += 1;
+            self.link_latency_mult[ev.link as usize] = ev.latency_mult.max(1);
+            self.link_drop_ppm[ev.link as usize] = ev.drop_ppm.min(1_000_000);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::LinkDegrade {
+                    t: self.now,
+                    link: ev.link,
+                    latency_mult: ev.latency_mult.max(1),
+                    drop_ppm: ev.drop_ppm.min(1_000_000),
+                });
+            }
+        }
+    }
+
     /// Applies every due schedule event to the physical liveness view.
     fn apply_fabric_events(&mut self) {
+        self.apply_degrade_events();
         loop {
             let Some(lc) = self.lifecycle.as_ref() else {
                 return;
@@ -1001,15 +1108,29 @@ impl<'a> PacketSim<'a> {
             return;
         };
         let max_retries = lc.max_retries;
+        // Partition-aware early exit: once the schedule is fully applied and
+        // the SM's reachability proves the destination unreachable, further
+        // retries cannot succeed — write the message off now instead of
+        // burning the rest of the retry budget against a partition.
+        let partitioned = self.sm.as_ref().is_some_and(|sm| {
+            sm.is_settled() && {
+                let dst = self.hosts[host as usize].schedule[msg as usize].0;
+                !sm.reachability()
+                    .ok(self.topo.host(host as usize), dst as usize)
+            }
+        });
         let st = &mut self.msg_state[host as usize][msg as usize];
         if st.delivered || st.attempt != attempt {
             return; // delivered in time, or a newer attempt owns the timer
         }
-        if st.attempt >= max_retries {
+        if partitioned || st.attempt >= max_retries {
             // Abandon: mark closed so stale arrivals count as duplicates,
             // and release the stage barrier in sync mode.
             st.delivered = true;
             self.messages_lost += 1;
+            if partitioned {
+                self.messages_lost_unreachable += 1;
+            }
             if let Some(rec) = &self.recorder {
                 rec.record(ObsEvent::MessageLost {
                     t: self.now,
@@ -1051,15 +1172,21 @@ impl<'a> PacketSim<'a> {
         // time, an SM sweep one `sweep_delay` later. Scheduled before any
         // traffic so same-instant fabric events order ahead of arrivals.
         if self.lifecycle.is_some() {
-            let (times, sweep_delay) = {
+            let (times, degrade_times, sweep_delay) = {
                 let lc = self.lifecycle.as_ref().expect("checked above");
                 let mut ts: Vec<Time> = lc.schedule.events().iter().map(|e| e.time).collect();
                 ts.dedup();
-                (ts, lc.sweep_delay)
+                let mut ds: Vec<Time> = lc.degradations.iter().map(|d| d.time).collect();
+                ds.dedup();
+                (ts, ds, lc.sweep_delay)
             };
             for t in times {
                 self.schedule_event(t, EventKind::FabricEvent);
                 self.schedule_event(t + sweep_delay, EventKind::SmSweep);
+            }
+            // Degradations change the data plane only — no SM sweep.
+            for t in degrade_times {
+                self.schedule_event(t, EventKind::FabricEvent);
             }
         }
 
@@ -1129,6 +1256,10 @@ impl<'a> PacketSim<'a> {
             rec.counter("sim.packets_dropped").add(self.packets_dropped);
             rec.counter("sim.retransmits").add(self.retransmits);
             rec.counter("sim.messages_lost").add(self.messages_lost);
+            rec.counter("sim.messages_lost_unreachable")
+                .add(self.messages_lost_unreachable);
+            rec.counter("sim.packets_dropped_degraded")
+                .add(self.packets_dropped_degraded);
             rec.counter("sim.events").add(self.events_processed);
             rec.counter("sim.payload_bytes").add(self.total_payload);
             rec.gauge("sim.makespan_ps").set(makespan as i64);
@@ -1155,8 +1286,10 @@ impl<'a> PacketSim<'a> {
             events: self.events_processed,
             channel_busy: self.channel_busy,
             packets_dropped: self.packets_dropped,
+            packets_dropped_degraded: self.packets_dropped_degraded,
             retransmits: self.retransmits,
             messages_lost: self.messages_lost,
+            messages_lost_unreachable: self.messages_lost_unreachable,
             duplicate_payload: self.duplicate_payload,
             sweep_reports: self.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
         }

@@ -1,0 +1,238 @@
+//! Chaos-scenario simulation tests: degraded links slow traffic without
+//! touching the control plane, probabilistic loss is healed by
+//! retransmission, a flap storm settles with fully accounted (bounded)
+//! loss, and a permanent partition is abandoned early instead of burning
+//! the whole retry budget.
+
+use ftree_core::{DModK, Router};
+use ftree_sim::{
+    FabricLifecycle, PacketSim, Progression, SimConfig, SimResult, TrafficPlan, MICROSECOND,
+};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{
+    ChaosEvent, ChaosGen, ChaosSchedule, DegradeEvent, FaultSchedule, LinkEvent, LinkEventKind,
+    Topology,
+};
+
+/// One full-permutation shift stage in port space: `i -> (i + s) % n`.
+fn shift_stage(n: u32, s: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i, (i + s) % n)).collect()
+}
+
+/// A leaf-to-spine cable on the D-Mod-K path from host `src` to `dst`.
+fn uplink_on_path(topo: &Topology, src: usize, dst: usize) -> u32 {
+    let rt = DModK.route_healthy(topo);
+    rt.trace(topo, src, dst).unwrap().channels[1].link()
+}
+
+/// A degraded cable stretches the makespan — deterministically, with no
+/// packet loss and no control-plane reaction (degradations are data-plane
+/// only; the subnet manager never reroutes around a slow link).
+#[test]
+fn degraded_link_slows_the_flow_without_sweeps() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 65_536, Progression::Asynchronous);
+    let link = uplink_on_path(&topo, 0, 9);
+
+    let run = |degradations: Vec<DegradeEvent>| -> SimResult {
+        let lc = FabricLifecycle::new(FaultSchedule::empty()).with_degradations(degradations);
+        PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+            .unwrap()
+            .run()
+    };
+
+    let healthy = run(Vec::new());
+    let degrade = vec![DegradeEvent {
+        time: 0,
+        link,
+        latency_mult: 4,
+        drop_ppm: 0,
+    }];
+    let slow = run(degrade.clone());
+    assert!(
+        slow.makespan > healthy.makespan,
+        "a 4x-slower cable on the only path must stretch the makespan \
+         ({} ps vs {} ps)",
+        slow.makespan,
+        healthy.makespan
+    );
+    assert_eq!(slow.messages_delivered, 1);
+    assert_eq!(slow.packets_dropped, 0, "latency-only degradation");
+    assert_eq!(slow.messages_lost, 0);
+    assert!(slow.sweep_reports.is_empty(), "data plane only: no sweeps");
+
+    let again = run(degrade);
+    assert_eq!(
+        slow.makespan, again.makespan,
+        "degraded run is deterministic"
+    );
+    assert_eq!(slow.events, again.events);
+}
+
+/// A timed degrade → restore window, expressed as a typed chaos scenario:
+/// the window slows the run, the restore returns the cable to nominal, and
+/// the whole thing is bit-reproducible.
+#[test]
+fn degrade_window_from_chaos_schedule_restores_cleanly() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 5)],
+        32_768,
+        Progression::Asynchronous,
+    );
+    let link = uplink_on_path(&topo, 0, 9);
+    let chaos = ChaosSchedule::new(vec![ChaosEvent::LinkDegrade {
+        start: 0,
+        link,
+        latency_mult: 8,
+        drop_ppm: 0,
+        duration: 20 * MICROSECOND,
+    }]);
+    let run = || -> SimResult {
+        let lc = FabricLifecycle::from_chaos(&topo, &chaos).unwrap();
+        PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+            .unwrap()
+            .run()
+    };
+    let a = run();
+    assert_eq!(a.messages_delivered as u32, 2 * n);
+    assert_eq!(a.messages_lost, 0);
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.events, b.events);
+
+    let healthy = {
+        let lc = FabricLifecycle::new(FaultSchedule::empty());
+        PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+            .unwrap()
+            .run()
+    };
+    assert!(a.makespan > healthy.makespan, "the window must cost time");
+}
+
+/// Probabilistic loss on a live cable: the drop lottery eats packets
+/// (`packets_dropped_degraded`), retransmission heals every one, and the
+/// loss accounting stays exact.
+#[test]
+fn drop_ppm_losses_are_healed_by_retransmission() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    // Eight messages over the same degraded cable. A message is resent
+    // *whole* on loss, so the per-packet rate must be low enough that a
+    // 32-packet message can complete within the retry budget — 2% gives a
+    // handful of drops across the run while every message eventually lands.
+    // The lottery is a deterministic hash, so these "statistics" are
+    // reproducible facts.
+    let plan = TrafficPlan::uniform(vec![vec![(0, 9)]; 8], 65_536, Progression::Asynchronous);
+    let link = uplink_on_path(&topo, 0, 9);
+    let degradations = vec![DegradeEvent {
+        time: 0,
+        link,
+        latency_mult: 1,
+        drop_ppm: 20_000,
+    }];
+    let mut lc = FabricLifecycle::new(FaultSchedule::empty()).with_degradations(degradations);
+    lc.retransmit_timeout = 20 * MICROSECOND;
+    let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .unwrap()
+        .run();
+    assert!(res.packets_dropped_degraded > 0, "2% loss must eat packets");
+    assert_eq!(
+        res.packets_dropped, res.packets_dropped_degraded,
+        "no dead cables: every drop is a lottery drop"
+    );
+    assert!(res.retransmits > 0);
+    assert_eq!(res.messages_delivered, 8, "retransmission heals every loss");
+    assert_eq!(res.messages_lost, 0);
+    assert_eq!(res.total_payload, 8 * 65_536);
+}
+
+/// The acceptance timeline: a seeded flap storm over the 16-host PGFT.
+/// The run settles (all scheduled events applied, fabric fully healed) and
+/// every message is accounted for — delivered or counted lost, with the
+/// loss bounded well below the offered load.
+#[test]
+fn flap_storm_timeline_settles_with_bounded_loss() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 5), shift_stage(n, 9)],
+        32_768,
+        Progression::Asynchronous,
+    );
+    let chaos = ChaosGen::new(77).flap_storm(
+        &topo,
+        3,                // flapping cables
+        50 * MICROSECOND, // storm window
+        4,                // bursts per cable
+        2 * MICROSECOND,  // min dwell
+        12 * MICROSECOND, // burst period
+    );
+    let run = || -> SimResult {
+        let mut lc = FabricLifecycle::from_chaos(&topo, &chaos).unwrap();
+        lc.sweep_delay = 2 * MICROSECOND;
+        lc.retransmit_timeout = 15 * MICROSECOND;
+        PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+            .unwrap()
+            .run()
+    };
+    let res = run();
+    let offered = 3 * n as u64;
+    assert_eq!(
+        res.messages_delivered + res.messages_lost,
+        offered,
+        "every message is accounted for"
+    );
+    assert!(
+        res.messages_lost <= offered / 4,
+        "loss must stay bounded: {} of {} lost",
+        res.messages_lost,
+        offered
+    );
+    // Settled: the last sweep reports a healed fabric (every flap recovers).
+    let last = res.sweep_reports.last().expect("storm forces sweeps");
+    assert_eq!(last.failed_links, 0, "all flapped cables recovered");
+    assert_eq!(last.unreachable_pairs, 0);
+
+    let again = run();
+    assert_eq!(res.makespan, again.makespan, "storm run is deterministic");
+    assert_eq!(res.messages_lost, again.messages_lost);
+    assert_eq!(res.packets_dropped, again.packets_dropped);
+}
+
+/// A destination that is permanently partitioned (its host cable dies and
+/// never recovers) is abandoned *early*: once the subnet manager settles
+/// and reachability proves the pair dead, the sender stops burning its
+/// retry budget and the loss is attributed to `messages_lost_unreachable`.
+#[test]
+fn partitioned_destination_is_abandoned_early() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    // Host 9's own cable dies just after the run starts, forever.
+    let host_link = topo.node(topo.host(9)).up[0].link;
+    let sched = FaultSchedule::new(vec![LinkEvent {
+        time: MICROSECOND,
+        link: host_link,
+        kind: LinkEventKind::Fail,
+    }]);
+    let plan = TrafficPlan::uniform(vec![vec![(0, 9)]], 65_536, Progression::Asynchronous);
+    let mut lc = FabricLifecycle::new(sched);
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 10 * MICROSECOND;
+    lc.max_retries = 12;
+    let max_retries = lc.max_retries as u64;
+    let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .unwrap()
+        .run();
+    assert_eq!(res.messages_delivered, 0);
+    assert_eq!(res.messages_lost, 1);
+    assert_eq!(
+        res.messages_lost_unreachable, 1,
+        "the loss is attributed to the partition"
+    );
+    assert!(
+        res.retransmits < max_retries,
+        "partition-aware abandon must not burn the whole retry budget \
+         ({} retransmits)",
+        res.retransmits
+    );
+}

@@ -207,8 +207,10 @@ fn efficiency_survives_tiny_messages() {
         events: 0,
         channel_busy: Vec::new(),
         packets_dropped: 0,
+        packets_dropped_degraded: 0,
         retransmits: 0,
         messages_lost: 0,
+        messages_lost_unreachable: 0,
         duplicate_payload: 0,
         sweep_reports: Vec::new(),
     };

@@ -1,0 +1,808 @@
+//! Chaos schedules: typed fabric-level fault scenarios that lower onto the
+//! link-event timeline of [`FaultSchedule`].
+//!
+//! A [`FaultSchedule`] speaks the language of single cables; real outages
+//! rarely do. A line card reboot takes every cable on the switch down at
+//! once, a flaky transceiver fails and recovers in bursts, and an
+//! overheating cable keeps carrying traffic — slowly, and with loss. A
+//! [`ChaosSchedule`] describes those scenarios as typed [`ChaosEvent`]s and
+//! compiles them down ([`ChaosSchedule::lower`]) into the primitive form the
+//! subnet manager and packet simulator already consume: a plain
+//! [`FaultSchedule`] plus a list of [`DegradeEvent`]s for the
+//! degraded-but-alive links the fault model cannot express.
+//!
+//! Scenarios are plain serde data, so a chaos campaign can be stored next to
+//! its results and replayed bit-identically. [`ChaosGen`] derives the
+//! recurring scenario shapes (random cable faults, correlated switch
+//! outages, a rolling upgrade, a flap storm, a brownout) from a seed using
+//! the same splitmix hash family as [`FaultSchedule::random_switch_links`] —
+//! whose exact event stream the [`ChaosGen::random_links`] preset
+//! reproduces, making it the drop-in replacement for that legacy helper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use crate::schedule::{FaultSchedule, LinkEvent, LinkEventKind};
+
+/// SplitMix64 finalizer — same stateless hash family as the rest of the
+/// workspace, so chaos scenarios replay without carried RNG state.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One typed fabric fault scenario element.
+///
+/// Serialized internally tagged (`"ev"`) with snake_case names so scenario
+/// files read as a list of self-describing records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum ChaosEvent {
+    /// One cable dies at `time`; when `repair_after > 0` it recovers
+    /// `repair_after` picoseconds later.
+    LinkFail {
+        /// Failure instant, picoseconds.
+        time: u64,
+        /// Physical link id.
+        link: u32,
+        /// Delay until recovery; `0` means the failure is permanent.
+        repair_after: u64,
+    },
+    /// Whole-switch outage: every cable incident to the switch (up and down
+    /// ports alike) fails at `time` and, when `repair_after > 0`, recovers
+    /// together `repair_after` picoseconds later.
+    SwitchOutage {
+        /// Outage instant, picoseconds.
+        time: u64,
+        /// The switch that goes dark (must not be a host).
+        switch: NodeId,
+        /// Delay until all incident cables recover; `0` = permanent.
+        repair_after: u64,
+    },
+    /// A flaky cable: `bursts` seeded fail/recover cycles starting at
+    /// `start`, one per `period`-wide slot. Each burst fails at a
+    /// hash-jittered offset inside its slot and stays down for at least
+    /// `min_dwell` picoseconds before recovering.
+    LinkFlap {
+        /// Start of the first burst slot, picoseconds.
+        start: u64,
+        /// Physical link id.
+        link: u32,
+        /// Number of fail/recover cycles.
+        bursts: u32,
+        /// Minimum down time per burst, picoseconds.
+        min_dwell: u64,
+        /// Slot width per burst; jitter and extra dwell are drawn inside it.
+        period: u64,
+        /// Per-event hash seed (vary it to decorrelate flapping cables).
+        seed: u64,
+    },
+    /// A degraded-but-alive cable: from `start` its serialization time is
+    /// multiplied by `latency_mult` and packets crossing it are dropped with
+    /// probability `drop_ppm` per million. When `duration > 0` the link is
+    /// restored to full health at `start + duration`.
+    LinkDegrade {
+        /// Degradation onset, picoseconds.
+        start: u64,
+        /// Physical link id.
+        link: u32,
+        /// Serialization-time multiplier (`1` = nominal speed; must be ≥ 1).
+        latency_mult: u32,
+        /// Packet drop probability in parts per million (`0..=1_000_000`).
+        drop_ppm: u32,
+        /// How long the degradation lasts; `0` = until the end of the run.
+        duration: u64,
+    },
+}
+
+impl ChaosEvent {
+    /// Time of the event's first effect on the fabric.
+    pub fn onset(&self) -> u64 {
+        match *self {
+            ChaosEvent::LinkFail { time, .. } | ChaosEvent::SwitchOutage { time, .. } => time,
+            ChaosEvent::LinkFlap { start, .. } | ChaosEvent::LinkDegrade { start, .. } => start,
+        }
+    }
+}
+
+/// One lowered degradation step: at `time`, `link` starts serializing
+/// `latency_mult`× slower and dropping `drop_ppm` packets per million.
+/// `latency_mult == 1 && drop_ppm == 0` restores the link to full health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradeEvent {
+    /// Effect instant, picoseconds.
+    pub time: u64,
+    /// Physical link id.
+    pub link: u32,
+    /// Serialization-time multiplier from this instant on (≥ 1).
+    pub latency_mult: u32,
+    /// Drop probability in parts per million from this instant on.
+    pub drop_ppm: u32,
+}
+
+impl DegradeEvent {
+    /// True when this step restores the link to nominal behaviour.
+    pub fn is_restore(&self) -> bool {
+        self.latency_mult <= 1 && self.drop_ppm == 0
+    }
+}
+
+/// The primitive timelines a [`ChaosSchedule`] compiles down to.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredChaos {
+    /// Hard link fail/recover events, time-sorted.
+    pub faults: FaultSchedule,
+    /// Degradation steps, sorted by `(time, link)`.
+    pub degradations: Vec<DegradeEvent>,
+}
+
+impl LoweredChaos {
+    /// Time of the last lowered event across both timelines.
+    pub fn end_time(&self) -> Option<u64> {
+        let f = self.faults.end_time();
+        let d = self.degradations.last().map(|e| e.time);
+        match (f, d) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// A typed chaos scenario: an ordered list of [`ChaosEvent`]s.
+///
+/// Events are kept sorted by onset time (stably for ties) so scenario files
+/// read chronologically; lowering re-sorts the primitive events anyway.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "Vec<ChaosEvent>", into = "Vec<ChaosEvent>")]
+pub struct ChaosSchedule {
+    events: Vec<ChaosEvent>,
+}
+
+impl From<Vec<ChaosEvent>> for ChaosSchedule {
+    fn from(events: Vec<ChaosEvent>) -> Self {
+        Self::new(events)
+    }
+}
+
+impl From<ChaosSchedule> for Vec<ChaosEvent> {
+    fn from(sched: ChaosSchedule) -> Self {
+        sched.events
+    }
+}
+
+impl ChaosSchedule {
+    /// Builds a scenario from events in any order; they are sorted by onset
+    /// time (stable for ties).
+    pub fn new(mut events: Vec<ChaosEvent>) -> Self {
+        events.sort_by_key(ChaosEvent::onset);
+        Self { events }
+    }
+
+    /// A scenario with no events (the fabric stays healthy).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The typed events, sorted by onset time.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Number of typed events (lowering usually expands this).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the scenario has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Converts a legacy [`FaultSchedule`] into the typed form, pairing each
+    /// `Fail` with the earliest subsequent `Recover` of the same link.
+    ///
+    /// A `Recover` with no preceding `Fail` is dropped: recovering a live
+    /// link is a no-op in [`crate::LinkFailures`], so the lowered behaviour
+    /// is unchanged. `from_legacy(s).lower(topo)` reproduces `s`'s effective
+    /// event multiset exactly.
+    pub fn from_legacy(legacy: &FaultSchedule) -> Self {
+        let events = legacy.events();
+        let mut consumed = vec![false; events.len()];
+        let mut typed = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            match ev.kind {
+                LinkEventKind::Fail => {
+                    let mut repair_after = 0;
+                    for (j, later) in events.iter().enumerate().skip(i + 1) {
+                        if !consumed[j]
+                            && later.link == ev.link
+                            && later.kind == LinkEventKind::Recover
+                        {
+                            consumed[j] = true;
+                            repair_after = later.time - ev.time;
+                            break;
+                        }
+                    }
+                    typed.push(ChaosEvent::LinkFail {
+                        time: ev.time,
+                        link: ev.link,
+                        repair_after,
+                    });
+                }
+                LinkEventKind::Recover => {
+                    // Matched recoveries were consumed above; an unmatched
+                    // one would recover an already-live link — a no-op.
+                }
+            }
+        }
+        Self::new(typed)
+    }
+
+    /// Checks every event against `topo`: links and switches must exist,
+    /// switches must not be hosts, degradations must keep `latency_mult ≥ 1`
+    /// and `drop_ppm ≤ 1_000_000`.
+    pub fn validate(&self, topo: &Topology) -> Result<(), TopologyError> {
+        let check_link = |link: u32| -> Result<(), TopologyError> {
+            if link as usize >= topo.num_links() {
+                return Err(TopologyError::NoSuchLink {
+                    link,
+                    num_links: topo.num_links(),
+                });
+            }
+            Ok(())
+        };
+        for ev in &self.events {
+            match *ev {
+                ChaosEvent::LinkFail { link, .. } | ChaosEvent::LinkFlap { link, .. } => {
+                    check_link(link)?;
+                }
+                ChaosEvent::SwitchOutage { switch, .. } => {
+                    if switch.index() >= topo.num_nodes() {
+                        return Err(TopologyError::NoSuchNode {
+                            level: usize::MAX,
+                            index: switch.index(),
+                        });
+                    }
+                    let node = topo.node(switch);
+                    if node.is_host() {
+                        return Err(TopologyError::NoSuchNode {
+                            level: 0,
+                            index: node.index_in_level as usize,
+                        });
+                    }
+                }
+                ChaosEvent::LinkDegrade {
+                    link,
+                    latency_mult,
+                    drop_ppm,
+                    ..
+                } => {
+                    check_link(link)?;
+                    if latency_mult == 0 || drop_ppm > 1_000_000 {
+                        return Err(TopologyError::ZeroParameter);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the scenario down to the primitive timelines: a
+    /// [`FaultSchedule`] of per-cable fail/recover events plus time-sorted
+    /// [`DegradeEvent`]s.
+    ///
+    /// Switch outages expand to one fail (and one recover) per incident
+    /// cable; flaps expand to their seeded burst trains. Redundant events —
+    /// failing an already-failed link, overlapping outages — are legal: the
+    /// consumers ([`crate::LinkFailures`], the subnet manager) treat them as
+    /// no-ops.
+    pub fn lower(&self, topo: &Topology) -> Result<LoweredChaos, TopologyError> {
+        self.validate(topo)?;
+        let mut faults = Vec::new();
+        let mut degradations = Vec::new();
+        let push_pair = |events: &mut Vec<LinkEvent>, time, link, repair_after: u64| {
+            events.push(LinkEvent {
+                time,
+                link,
+                kind: LinkEventKind::Fail,
+            });
+            if repair_after > 0 {
+                events.push(LinkEvent {
+                    time: time + repair_after,
+                    link,
+                    kind: LinkEventKind::Recover,
+                });
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                ChaosEvent::LinkFail {
+                    time,
+                    link,
+                    repair_after,
+                } => push_pair(&mut faults, time, link, repair_after),
+                ChaosEvent::SwitchOutage {
+                    time,
+                    switch,
+                    repair_after,
+                } => {
+                    let node = topo.node(switch);
+                    for pp in node.up.iter().chain(&node.down) {
+                        push_pair(&mut faults, time, pp.link, repair_after);
+                    }
+                }
+                ChaosEvent::LinkFlap {
+                    start,
+                    link,
+                    bursts,
+                    min_dwell,
+                    period,
+                    seed,
+                } => {
+                    let slot_jitter = (period / 2).max(1);
+                    for j in 0..bursts as u64 {
+                        let slot = start + j * period.max(1);
+                        let fail_at = slot + mix64(seed ^ mix64(2 * j)) % slot_jitter;
+                        let dwell = min_dwell + mix64(seed ^ mix64(2 * j + 1)) % slot_jitter;
+                        push_pair(&mut faults, fail_at, link, dwell.max(1));
+                    }
+                }
+                ChaosEvent::LinkDegrade {
+                    start,
+                    link,
+                    latency_mult,
+                    drop_ppm,
+                    duration,
+                } => {
+                    degradations.push(DegradeEvent {
+                        time: start,
+                        link,
+                        latency_mult,
+                        drop_ppm,
+                    });
+                    if duration > 0 {
+                        degradations.push(DegradeEvent {
+                            time: start + duration,
+                            link,
+                            latency_mult: 1,
+                            drop_ppm: 0,
+                        });
+                    }
+                }
+            }
+        }
+        degradations.sort_by_key(|d| (d.time, d.link));
+        Ok(LoweredChaos {
+            faults: FaultSchedule::new(faults),
+            degradations,
+        })
+    }
+}
+
+/// Seeded generator for the recurring chaos scenario shapes.
+///
+/// Every preset is a pure function of `(topology, seed, parameters)` — the
+/// same inputs always produce the same [`ChaosSchedule`], and lowering it
+/// always produces the same primitive timelines.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosGen {
+    /// Base seed all presets derive their hash streams from.
+    pub seed: u64,
+}
+
+impl ChaosGen {
+    /// A generator deriving all randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Switch-to-switch cable ids of `topo` (host cables spared), the
+    /// candidate pool shared by the link-granular presets.
+    fn switch_link_candidates(topo: &Topology) -> Vec<u32> {
+        (0..topo.num_links() as u32)
+            .filter(|&l| !topo.node(topo.link(l).child).is_host())
+            .collect()
+    }
+
+    /// Picks `count` distinct entries of `candidates` by rejection sampling
+    /// on the generator's hash stream — the exact candidate-selection loop
+    /// of the legacy [`FaultSchedule::random_switch_links`].
+    fn pick_distinct(&self, candidates: &[u32], count: usize) -> Vec<u32> {
+        let want = count.min(candidates.len());
+        let mut chosen: Vec<u32> = Vec::with_capacity(want);
+        let mut attempt: u64 = 0;
+        while chosen.len() < want {
+            let idx = mix64(self.seed ^ mix64(attempt)) as usize % candidates.len();
+            attempt += 1;
+            let link = candidates[idx];
+            if !chosen.contains(&link) {
+                chosen.push(link);
+            }
+        }
+        chosen
+    }
+
+    /// Independent random cable faults: `count` distinct switch-to-switch
+    /// cables, each failing at a hash-derived time in `[0, window)` and
+    /// recovering `repair_after` picoseconds later (`0` = permanent).
+    ///
+    /// Lowering this scenario reproduces
+    /// `FaultSchedule::random_switch_links(topo, seed, count, window,
+    /// repair_after)` event for event — it is the typed replacement for that
+    /// legacy helper.
+    pub fn random_links(
+        &self,
+        topo: &Topology,
+        count: usize,
+        window: u64,
+        repair_after: u64,
+    ) -> ChaosSchedule {
+        let candidates = Self::switch_link_candidates(topo);
+        let chosen = self.pick_distinct(&candidates, count);
+        let events = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| ChaosEvent::LinkFail {
+                time: if window > 0 {
+                    mix64(self.seed.wrapping_add(0x5eed).wrapping_add(i as u64)) % window
+                } else {
+                    0
+                },
+                link,
+                repair_after,
+            })
+            .collect();
+        ChaosSchedule::new(events)
+    }
+
+    /// Correlated-by-switch outages: `count` distinct switches go fully dark
+    /// at hash-derived times in `[0, window)`, each taking every incident
+    /// cable with it, and recover after `repair_after` (`0` = permanent).
+    ///
+    /// When the tree has more than one switch level, leaf switches are
+    /// spared so no host is cut off by construction; on a single-level tree
+    /// every switch is a candidate.
+    pub fn switch_outages(
+        &self,
+        topo: &Topology,
+        count: usize,
+        window: u64,
+        repair_after: u64,
+    ) -> ChaosSchedule {
+        let min_level = if topo.height() > 1 { 2 } else { 1 };
+        let candidates: Vec<NodeId> = (min_level..=topo.height())
+            .flat_map(|l| topo.level_nodes(l))
+            .collect();
+        let want = count.min(candidates.len());
+        let mut chosen: Vec<usize> = Vec::with_capacity(want);
+        let mut attempt: u64 = 0;
+        while chosen.len() < want {
+            let idx = mix64(self.seed ^ mix64(attempt)) as usize % candidates.len();
+            attempt += 1;
+            if !chosen.contains(&idx) {
+                chosen.push(idx);
+            }
+        }
+        let events = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &idx)| ChaosEvent::SwitchOutage {
+                time: if window > 0 {
+                    mix64(self.seed.wrapping_add(0x5eed).wrapping_add(i as u64)) % window
+                } else {
+                    0
+                },
+                switch: candidates[idx],
+                repair_after,
+            })
+            .collect();
+        ChaosSchedule::new(events)
+    }
+
+    /// Rolling upgrade of one switch level: every switch at `level` reboots
+    /// in within-level order, one outage starting every `stagger`
+    /// picoseconds and lasting `downtime` each.
+    pub fn rolling_upgrade(
+        &self,
+        topo: &Topology,
+        level: usize,
+        stagger: u64,
+        downtime: u64,
+    ) -> ChaosSchedule {
+        let events = topo
+            .level_nodes(level.clamp(1, topo.height()))
+            .enumerate()
+            .map(|(i, switch)| ChaosEvent::SwitchOutage {
+                time: i as u64 * stagger,
+                switch,
+                repair_after: downtime.max(1),
+            })
+            .collect();
+        ChaosSchedule::new(events)
+    }
+
+    /// Flap storm: `count` distinct switch-to-switch cables each flap
+    /// `bursts` times starting at hash-derived offsets in `[0, window)`,
+    /// with per-cable decorrelated burst seeds, `min_dwell` minimum down
+    /// time and `period`-wide burst slots.
+    pub fn flap_storm(
+        &self,
+        topo: &Topology,
+        count: usize,
+        window: u64,
+        bursts: u32,
+        min_dwell: u64,
+        period: u64,
+    ) -> ChaosSchedule {
+        let candidates = Self::switch_link_candidates(topo);
+        let chosen = self.pick_distinct(&candidates, count);
+        let events = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| ChaosEvent::LinkFlap {
+                start: if window > 0 {
+                    mix64(self.seed.wrapping_add(0x5eed).wrapping_add(i as u64)) % window
+                } else {
+                    0
+                },
+                link,
+                bursts,
+                min_dwell,
+                period: period.max(1),
+                seed: mix64(self.seed ^ mix64(0xF1A9 + link as u64)),
+            })
+            .collect();
+        ChaosSchedule::new(events)
+    }
+
+    /// Brownout: `count` distinct switch-to-switch cables degrade at
+    /// hash-derived times in `[0, window)` — `latency_mult`× slower
+    /// serialization, `drop_ppm` loss — for `duration` picoseconds each
+    /// (`0` = until the end of the run). No cable hard-fails.
+    pub fn brownout(
+        &self,
+        topo: &Topology,
+        count: usize,
+        window: u64,
+        latency_mult: u32,
+        drop_ppm: u32,
+        duration: u64,
+    ) -> ChaosSchedule {
+        let candidates = Self::switch_link_candidates(topo);
+        let chosen = self.pick_distinct(&candidates, count);
+        let events = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| ChaosEvent::LinkDegrade {
+                start: if window > 0 {
+                    mix64(self.seed.wrapping_add(0x5eed).wrapping_add(i as u64)) % window
+                } else {
+                    0
+                },
+                link,
+                latency_mult: latency_mult.max(1),
+                drop_ppm: drop_ppm.min(1_000_000),
+                duration,
+            })
+            .collect();
+        ChaosSchedule::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlft::catalog;
+    use crate::Topology;
+
+    #[test]
+    fn random_links_reproduces_legacy_schedule() {
+        let topo = Topology::build(catalog::nodes_324());
+        for (seed, count, window, repair) in [
+            (42u64, 4usize, 1_000_000u64, 2_000_000u64),
+            (7, 3, 0, 0),
+            (1234, 6, 500_000, 0),
+        ] {
+            #[allow(deprecated)]
+            let legacy = FaultSchedule::random_switch_links(&topo, seed, count, window, repair);
+            let typed = ChaosGen::new(seed).random_links(&topo, count, window, repair);
+            let lowered = typed.lower(&topo).unwrap();
+            assert_eq!(lowered.faults.events(), legacy.events());
+            assert!(lowered.degradations.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_legacy_round_trips_through_lower() {
+        let topo = Topology::build(catalog::nodes_128());
+        #[allow(deprecated)]
+        let legacy = FaultSchedule::random_switch_links(&topo, 99, 5, 2_000_000, 700_000);
+        let typed = ChaosSchedule::from_legacy(&legacy);
+        assert_eq!(typed.len(), 5, "one typed fail per fail/recover pair");
+        let lowered = typed.lower(&topo).unwrap();
+        assert_eq!(lowered.faults.events(), legacy.events());
+    }
+
+    #[test]
+    fn switch_outage_expands_to_all_incident_links() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        // A level-2 switch: every up and down cable must fail and recover.
+        let switch = topo.level_nodes(2).next().unwrap();
+        let node = topo.node(switch);
+        let incident = node.up.len() + node.down.len();
+        assert!(incident > 1);
+        let sched = ChaosSchedule::new(vec![ChaosEvent::SwitchOutage {
+            time: 1_000,
+            switch,
+            repair_after: 500,
+        }]);
+        let lowered = sched.lower(&topo).unwrap();
+        assert_eq!(lowered.faults.len(), 2 * incident);
+        let incident_links: Vec<u32> = node.up.iter().chain(&node.down).map(|pp| pp.link).collect();
+        for ev in lowered.faults.events() {
+            assert!(incident_links.contains(&ev.link));
+            match ev.kind {
+                LinkEventKind::Fail => assert_eq!(ev.time, 1_000),
+                LinkEventKind::Recover => assert_eq!(ev.time, 1_500),
+            }
+        }
+    }
+
+    #[test]
+    fn flap_bursts_respect_min_dwell_and_slots() {
+        let topo = Topology::build(catalog::nodes_128());
+        let link = ChaosGen::switch_link_candidates(&topo)[0];
+        let sched = ChaosSchedule::new(vec![ChaosEvent::LinkFlap {
+            start: 10_000,
+            link,
+            bursts: 4,
+            min_dwell: 2_000,
+            period: 100_000,
+            seed: 77,
+        }]);
+        let lowered = sched.lower(&topo).unwrap();
+        assert_eq!(lowered.faults.len(), 8, "4 bursts = 4 fail/recover pairs");
+        let mut fails = Vec::new();
+        let mut recovers = Vec::new();
+        for ev in lowered.faults.events() {
+            match ev.kind {
+                LinkEventKind::Fail => fails.push(ev.time),
+                LinkEventKind::Recover => recovers.push(ev.time),
+            }
+        }
+        for (f, r) in fails.iter().zip(&recovers) {
+            assert!(*r >= f + 2_000, "dwell below min_dwell: {f}..{r}");
+            assert!(*f >= 10_000);
+        }
+        // Determinism: relowering yields the identical timeline.
+        let again = sched.lower(&topo).unwrap();
+        assert_eq!(again.faults.events(), lowered.faults.events());
+    }
+
+    #[test]
+    fn degrade_lowers_to_onset_and_restore() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let sched = ChaosSchedule::new(vec![ChaosEvent::LinkDegrade {
+            start: 5_000,
+            link: 3,
+            latency_mult: 4,
+            drop_ppm: 50_000,
+            duration: 20_000,
+        }]);
+        let lowered = sched.lower(&topo).unwrap();
+        assert!(lowered.faults.is_empty(), "degradation never hard-fails");
+        assert_eq!(
+            lowered.degradations,
+            vec![
+                DegradeEvent {
+                    time: 5_000,
+                    link: 3,
+                    latency_mult: 4,
+                    drop_ppm: 50_000,
+                },
+                DegradeEvent {
+                    time: 25_000,
+                    link: 3,
+                    latency_mult: 1,
+                    drop_ppm: 0,
+                },
+            ]
+        );
+        assert!(lowered.degradations[1].is_restore());
+        assert_eq!(lowered.end_time(), Some(25_000));
+    }
+
+    #[test]
+    fn generator_presets_are_deterministic_and_seed_sensitive() {
+        let topo = Topology::build(catalog::nodes_128());
+        let a = ChaosGen::new(5).switch_outages(&topo, 2, 1_000_000, 300_000);
+        let b = ChaosGen::new(5).switch_outages(&topo, 2, 1_000_000, 300_000);
+        assert_eq!(a, b);
+        let c = ChaosGen::new(6).switch_outages(&topo, 2, 1_000_000, 300_000);
+        assert_ne!(a, c);
+        // Outages spare leaf switches on multi-level trees.
+        for ev in a.events() {
+            if let ChaosEvent::SwitchOutage { switch, .. } = ev {
+                assert!(topo.node(*switch).level >= 2);
+            }
+        }
+        let storm = ChaosGen::new(11).flap_storm(&topo, 3, 500_000, 3, 1_000, 50_000);
+        assert_eq!(storm.len(), 3);
+        assert_eq!(
+            storm.lower(&topo).unwrap().faults.len(),
+            18,
+            "3 links x 3 bursts x fail+recover"
+        );
+        let rolling = ChaosGen::new(0).rolling_upgrade(&topo, 2, 1_000_000, 250_000);
+        let times: Vec<u64> = rolling.events().iter().map(ChaosEvent::onset).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "rolling upgrade staggers monotonically");
+    }
+
+    #[test]
+    fn validate_rejects_bad_events() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let bad_link = ChaosSchedule::new(vec![ChaosEvent::LinkFail {
+            time: 0,
+            link: topo.num_links() as u32,
+            repair_after: 0,
+        }]);
+        assert!(bad_link.validate(&topo).is_err());
+        let host_outage = ChaosSchedule::new(vec![ChaosEvent::SwitchOutage {
+            time: 0,
+            switch: topo.host(0),
+            repair_after: 0,
+        }]);
+        assert!(host_outage.validate(&topo).is_err());
+        let bad_mult = ChaosSchedule::new(vec![ChaosEvent::LinkDegrade {
+            start: 0,
+            link: 0,
+            latency_mult: 0,
+            drop_ppm: 0,
+            duration: 0,
+        }]);
+        assert!(bad_mult.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_scenarios() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let switch = topo.level_nodes(1).next().unwrap();
+        let sched = ChaosSchedule::new(vec![
+            ChaosEvent::LinkFail {
+                time: 100,
+                link: 1,
+                repair_after: 50,
+            },
+            ChaosEvent::SwitchOutage {
+                time: 200,
+                switch,
+                repair_after: 0,
+            },
+            ChaosEvent::LinkFlap {
+                start: 300,
+                link: 2,
+                bursts: 2,
+                min_dwell: 10,
+                period: 40,
+                seed: 9,
+            },
+            ChaosEvent::LinkDegrade {
+                start: 400,
+                link: 3,
+                latency_mult: 2,
+                drop_ppm: 1_000,
+                duration: 0,
+            },
+        ]);
+        let json = serde_json::to_string(&sched).unwrap();
+        let back: ChaosSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sched);
+        assert!(json.contains("\"ev\""), "internally tagged: {json}");
+        assert!(json.contains("switch_outage"), "snake_case tags: {json}");
+    }
+}

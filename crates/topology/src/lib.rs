@@ -18,7 +18,9 @@
 //! * [`RoutingTable`] — destination-indexed linear forwarding tables (as
 //!   programmed by InfiniBand subnet managers) plus path tracing and
 //!   up*/down* validation,
-//! * [`io`] — canonical-name parsing and `ibnetdiscover`-style dumps.
+//! * [`io`] — canonical-name parsing and `ibnetdiscover`-style dumps,
+//! * [`chaos`] — typed fault scenarios (switch outages, link flapping,
+//!   degraded cables) lowering onto [`FaultSchedule`] timelines.
 //!
 //! ```
 //! use ftree_topology::{rlft::catalog, Topology};
@@ -30,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod failures;
 pub mod graph;
@@ -39,6 +42,7 @@ pub mod rlft;
 pub mod schedule;
 pub mod spec;
 
+pub use chaos::{ChaosEvent, ChaosGen, ChaosSchedule, DegradeEvent, LoweredChaos};
 pub use error::TopologyError;
 pub use failures::LinkFailures;
 pub use graph::{ChannelId, Direction, Link, Node, NodeId, PortPeer, PortRef, Topology};

@@ -8,10 +8,13 @@
 //! schedule to decide which in-flight packets are lost.
 //!
 //! Schedules are plain data (serde-serializable, sorted by time) so an
-//! experiment can be replayed bit-identically. For convenience,
-//! [`FaultSchedule::random_switch_links`] derives a reproducible schedule
-//! from a seed using the same splitmix-style hash the simulator uses for
-//! jitter — no RNG state is carried around.
+//! experiment can be replayed bit-identically. Seeded scenario generation
+//! lives in [`crate::chaos`]: [`crate::ChaosGen`] derives reproducible
+//! typed scenarios (random cable faults, switch outages, flap storms,
+//! brownouts) that lower onto this primitive timeline. The legacy
+//! [`FaultSchedule::random_switch_links`] helper is deprecated in favour of
+//! [`crate::ChaosGen::random_links`], which reproduces its event stream
+//! exactly.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,9 +43,13 @@ pub struct LinkEvent {
 
 /// A time-sorted list of link fail/recover events.
 ///
-/// Construction sorts events by time (stably, so same-instant events keep
-/// their given order); consumers may rely on `events()` being
-/// non-decreasing in `time`.
+/// Construction sorts events by `(time, kind, link)` with `Fail` ordered
+/// before `Recover` at the same instant (stably for full ties), so the
+/// event order is a pure function of the event *set* — two schedules built
+/// from the same events in any order are bit-identical, and a same-instant
+/// fail+recover pair (a zero-dwell flap) always applies the failure first
+/// and therefore nets out to a no-op. Consumers may rely on `events()`
+/// being non-decreasing in `time`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(from = "Vec<LinkEvent>", into = "Vec<LinkEvent>")]
 pub struct FaultSchedule {
@@ -71,10 +78,17 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 impl FaultSchedule {
-    /// Builds a schedule from events in any order; they are sorted by time
-    /// (stable for ties).
+    /// Builds a schedule from events in any order; they are sorted by
+    /// `(time, kind, link)` with `Fail` before `Recover` at equal times, so
+    /// the result is independent of input order.
     pub fn new(mut events: Vec<LinkEvent>) -> Self {
-        events.sort_by_key(|e| e.time);
+        events.sort_by_key(|e| {
+            let kind_rank = match e.kind {
+                LinkEventKind::Fail => 0u8,
+                LinkEventKind::Recover => 1,
+            };
+            (e.time, kind_rank, e.link)
+        });
         Self { events }
     }
 
@@ -123,6 +137,12 @@ impl FaultSchedule {
     /// when `repair_after > 0` — recovers `repair_after` picoseconds later.
     /// The same `(topo, seed, count, window, repair_after)` always yields
     /// the same schedule.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ChaosGen::random_links(..).lower(topo) — it reproduces this \
+                schedule event for event and composes with the other chaos \
+                presets; convert existing schedules with ChaosSchedule::from_legacy"
+    )]
     pub fn random_switch_links(
         topo: &Topology,
         seed: u64,
@@ -199,6 +219,44 @@ mod tests {
     }
 
     #[test]
+    fn schedule_order_is_a_function_of_the_event_set() {
+        // Same events, shuffled input order → bit-identical schedule, with
+        // Fail sorted ahead of Recover at equal times.
+        let evs = [
+            LinkEvent {
+                time: 100,
+                link: 4,
+                kind: LinkEventKind::Recover,
+            },
+            LinkEvent {
+                time: 100,
+                link: 2,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 100,
+                link: 3,
+                kind: LinkEventKind::Fail,
+            },
+        ];
+        let a = FaultSchedule::new(vec![evs[0], evs[1], evs[2]]);
+        let b = FaultSchedule::new(vec![evs[2], evs[0], evs[1]]);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(
+            a.events()
+                .iter()
+                .map(|e| (e.time, e.kind, e.link))
+                .collect::<Vec<_>>(),
+            vec![
+                (100, LinkEventKind::Fail, 2),
+                (100, LinkEventKind::Fail, 3),
+                (100, LinkEventKind::Recover, 4),
+            ]
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn random_schedule_is_deterministic_and_switch_only() {
         let topo = Topology::build(catalog::nodes_324());
         let a = FaultSchedule::random_switch_links(&topo, 42, 5, 1_000_000, 2_000_000);
@@ -218,6 +276,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn zero_repair_means_permanent_failures() {
         let topo = Topology::build(catalog::nodes_128());
         let sched = FaultSchedule::random_switch_links(&topo, 7, 3, 0, 0);

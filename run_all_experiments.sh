@@ -39,6 +39,7 @@ run jitter
 run collective_time
 run perf
 run routing_quality
+run chaos
 
 # Aggregate the per-bench JSON results into one summary document.
 summary=results/BENCH_summary.json
@@ -46,10 +47,11 @@ json_files=()
 for name in "${BENCHES[@]}"; do
     [[ -f "results/$name.json" ]] && json_files+=("results/$name.json")
 done
-# perf and routing_quality write under BENCH_-prefixed names.
+# perf, routing_quality and chaos write under BENCH_-prefixed names.
 [[ -f results/BENCH_perf.json ]] && json_files+=(results/BENCH_perf.json)
 [[ -f results/BENCH_routing_quality.json ]] &&
     json_files+=(results/BENCH_routing_quality.json)
+[[ -f results/BENCH_chaos.json ]] && json_files+=(results/BENCH_chaos.json)
 if ((${#json_files[@]})); then
     if command -v jq >/dev/null 2>&1; then
         jq -s '{generated_by: "run_all_experiments.sh", benches: .}' \

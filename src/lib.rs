@@ -33,7 +33,8 @@ pub use ftree_topology as topology;
 /// ```
 pub mod prelude {
     pub use ftree_analysis::{
-        routing_quality, sequence_hsd, stage_hsd, RoutingQuality, SequenceOptions,
+        check_invariants, routing_quality, sequence_hsd, stage_hsd, sweep_check, InvariantReport,
+        RoutingQuality, SequenceOptions,
     };
     pub use ftree_collectives::{Cps, PermutationSequence, PortSpace, TopoAwareRd};
     pub use ftree_core::{
@@ -45,6 +46,7 @@ pub mod prelude {
     };
     pub use ftree_topology::rlft::{catalog, check_rlft, require_rlft};
     pub use ftree_topology::{
-        FaultSchedule, LinkFailures, PgftSpec, PortRef, RouteError, RoutingTable, Topology,
+        ChaosEvent, ChaosGen, ChaosSchedule, DegradeEvent, FaultSchedule, LinkFailures, PgftSpec,
+        PortRef, RouteError, RoutingTable, Topology,
     };
 }

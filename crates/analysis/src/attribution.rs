@@ -1,0 +1,317 @@
+//! Contention attribution: *which flows* share an oversubscribed channel.
+//!
+//! The HSD machinery in [`crate::hsd`] answers "how contended is this
+//! stage?" with a single number; this module answers the follow-up a fabric
+//! operator actually asks: **which channel** is oversubscribed, and **which
+//! exact flow pairs** — `(src, dst)` end-ports plus their rank-order
+//! positions — were routed through it. For a congestion-free configuration
+//! (Theorems 1–3) every attribution comes back empty; for anything else the
+//! report names the culprits, so a degraded fabric's hot spots can be traced
+//! back to the rank placement and routing decisions that caused them.
+//!
+//! Routing uses the same NoRoute-tolerant walk as
+//! [`crate::hsd::LinkLoads::compute_partial`], so attribution works on
+//! degraded fabrics where some destinations are unreachable.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use ftree_core::NodeOrder;
+use ftree_topology::{ChannelId, RouteError, RoutingTable, Topology};
+
+use crate::hsd::{summarize_sparse, StageHsd};
+
+/// One flow crossing a contended channel: source/destination end-ports plus
+/// their positions in the job's rank order (when one was supplied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRef {
+    /// Source end-port (host index).
+    pub src_port: u32,
+    /// Destination end-port.
+    pub dst_port: u32,
+    /// MPI rank mapped onto `src_port`, if a [`NodeOrder`] was given and
+    /// covers the port.
+    pub src_rank: Option<u32>,
+    /// MPI rank mapped onto `dst_port`.
+    pub dst_rank: Option<u32>,
+}
+
+/// One oversubscribed directed channel and every flow routed through it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelContention {
+    /// Directed channel index.
+    pub channel: u32,
+    /// Human-readable channel name, e.g. `H0003 -> S1[0,1] (up p0)`.
+    pub label: String,
+    /// The flows sharing the channel (always ≥ 2), in stage flow order.
+    pub flows: Vec<FlowRef>,
+}
+
+impl ChannelContention {
+    /// Flow count on this channel — its Hot-Spot Degree.
+    pub fn hsd(&self) -> u32 {
+        self.flows.len() as u32
+    }
+}
+
+/// Contention attribution for one communication stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageAttribution {
+    /// Stage index within its sequence (0 for standalone stages).
+    pub stage: usize,
+    /// The stage's HSD summary (computed from the same walks).
+    pub hsd: StageHsd,
+    /// Channels carrying more than one flow, worst first (ties by channel
+    /// index). Empty exactly when the stage is congestion-free.
+    pub contended: Vec<ChannelContention>,
+    /// Flows skipped because the fabric currently has no route for them.
+    pub unroutable: Vec<(u32, u32)>,
+}
+
+impl StageAttribution {
+    /// True when no channel carries more than one flow.
+    pub fn is_congestion_free(&self) -> bool {
+        self.contended.is_empty()
+    }
+}
+
+/// Port → rank reverse map (`None` for ports outside the job).
+fn rank_of_port(topo: &Topology, order: &NodeOrder) -> Vec<Option<u32>> {
+    let mut v = vec![None; topo.num_hosts()];
+    for (rank, &port) in order.map().iter().enumerate() {
+        v[port as usize] = Some(rank as u32);
+    }
+    v
+}
+
+/// Attributes one stage: routes every flow, and for each channel with more
+/// than one flow lists the exact flows sharing it. `order` (when given)
+/// annotates flows with their rank positions; flows with no current route
+/// are skipped and reported, structural routing errors still fail.
+pub fn attribute_stage(
+    topo: &Topology,
+    rt: &RoutingTable,
+    order: Option<&NodeOrder>,
+    stage: usize,
+    flows: &[(u32, u32)],
+) -> Result<StageAttribution, RouteError> {
+    let mut counts = vec![0u32; topo.num_channels()];
+    let mut paths: Vec<(u32, u32, Vec<ChannelId>)> = Vec::new();
+    let mut unroutable = Vec::new();
+    let mut buf = Vec::new();
+    for &(src, dst) in flows {
+        if src == dst {
+            continue;
+        }
+        buf.clear();
+        match rt.walk(topo, src as usize, dst as usize, |ch| buf.push(ch)) {
+            Ok(()) => {
+                for ch in &buf {
+                    counts[ch.index()] += 1;
+                }
+                paths.push((src, dst, buf.clone()));
+            }
+            Err(RouteError::NoRoute { .. }) => unroutable.push((src, dst)),
+            Err(e) => return Err(e),
+        }
+    }
+
+    let ranks = order.map(|o| rank_of_port(topo, o));
+    let flow_ref = |src: u32, dst: u32| FlowRef {
+        src_port: src,
+        dst_port: dst,
+        src_rank: ranks.as_ref().and_then(|r| r[src as usize]),
+        dst_rank: ranks.as_ref().and_then(|r| r[dst as usize]),
+    };
+
+    let mut contended: Vec<ChannelContention> = Vec::new();
+    for (ch, &count) in counts.iter().enumerate() {
+        if count <= 1 {
+            continue;
+        }
+        let ch = ch as u32;
+        let sharing = paths
+            .iter()
+            .filter(|(_, _, path)| path.iter().any(|c| c.0 == ch))
+            .map(|&(src, dst, _)| flow_ref(src, dst))
+            .collect();
+        contended.push(ChannelContention {
+            channel: ch,
+            label: topo.channel_label(ChannelId(ch)),
+            flows: sharing,
+        });
+    }
+    contended.sort_by(|a, b| b.hsd().cmp(&a.hsd()).then(a.channel.cmp(&b.channel)));
+
+    Ok(StageAttribution {
+        stage,
+        hsd: summarize_sparse(counts.iter().enumerate().map(|(i, &c)| (i as u32, c))),
+        contended,
+        unroutable,
+    })
+}
+
+/// Attributes every stage of a port-space stage sequence (as produced by
+/// [`NodeOrder::port_flows`] over a CPS). Stage indices follow sequence
+/// order.
+pub fn attribute_sequence(
+    topo: &Topology,
+    rt: &RoutingTable,
+    order: Option<&NodeOrder>,
+    stages: &[Vec<(u32, u32)>],
+) -> Result<Vec<StageAttribution>, RouteError> {
+    stages
+        .iter()
+        .enumerate()
+        .map(|(i, flows)| attribute_stage(topo, rt, order, i, flows))
+        .collect()
+}
+
+fn fmt_endpoint(port: u32, rank: Option<u32>) -> String {
+    match rank {
+        Some(r) => format!("H{port:04} (rank {r})"),
+        None => format!("H{port:04}"),
+    }
+}
+
+/// Renders attributions as a Markdown report: one section per stage with
+/// HSD > 1, a table of its oversubscribed channels and, per channel, the
+/// exact flow pairs sharing it.
+pub fn render_attribution_markdown(attributions: &[StageAttribution]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Contention attribution\n");
+    let hot: Vec<&StageAttribution> = attributions
+        .iter()
+        .filter(|a| !a.contended.is_empty())
+        .collect();
+    let _ = writeln!(
+        out,
+        "{} stage(s) analyzed, {} with contention (HSD > 1).\n",
+        attributions.len(),
+        hot.len()
+    );
+    for a in hot {
+        let _ = writeln!(
+            out,
+            "## Stage {} — max HSD {} ({} hot channel(s))\n",
+            a.stage,
+            a.hsd.max,
+            a.contended.len()
+        );
+        if !a.unroutable.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} flow(s) currently unroutable and excluded.\n",
+                a.unroutable.len()
+            );
+        }
+        for c in &a.contended {
+            let _ = writeln!(
+                out,
+                "- **{}** (channel {}, {} flows):",
+                c.label,
+                c.channel,
+                c.hsd()
+            );
+            for f in &c.flows {
+                let _ = writeln!(
+                    out,
+                    "  - {} -> {}",
+                    fmt_endpoint(f.src_port, f.src_rank),
+                    fmt_endpoint(f.dst_port, f.dst_rank)
+                );
+            }
+        }
+        out.push('\n');
+    }
+    if attributions.iter().all(|a| a.contended.is_empty()) {
+        let _ = writeln!(
+            out,
+            "All stages congestion-free: no channel carries more than one flow."
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree_core::{DModK, Router};
+    use ftree_topology::rlft::catalog;
+
+    /// The hand-built case: hosts 0 and 1 share leaf 0 and both send to
+    /// destinations with the same D-Mod-K up-port residue, so exactly one
+    /// up-going cable carries both flows.
+    #[test]
+    fn two_flows_one_channel_attributed_exactly() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let a = attribute_stage(&topo, &rt, None, 0, &[(0, 4), (1, 8)]).unwrap();
+        assert_eq!(a.hsd.max, 2);
+        assert_eq!(a.contended.len(), 1, "exactly one shared channel");
+        let c = &a.contended[0];
+        assert_eq!(c.hsd(), 2);
+        let pairs: Vec<(u32, u32)> = c.flows.iter().map(|f| (f.src_port, f.dst_port)).collect();
+        assert_eq!(pairs, vec![(0, 4), (1, 8)]);
+        assert!(c.label.contains("up"), "the shared hop climbs: {}", c.label);
+        assert!(a.unroutable.is_empty());
+        assert!(!a.is_congestion_free());
+    }
+
+    #[test]
+    fn congestion_free_stage_attributes_nothing() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let a = attribute_stage(&topo, &rt, None, 3, &[(0, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
+        assert!(a.is_congestion_free(), "{a:?}");
+        assert_eq!(a.stage, 3);
+        assert_eq!(a.hsd.max, 1);
+        let md = render_attribution_markdown(&[a]);
+        assert!(md.contains("congestion-free"));
+    }
+
+    #[test]
+    fn rank_positions_follow_the_node_order() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        // Reversed order: rank r sits on port n-1-r.
+        let n = topo.num_hosts() as u32;
+        let order = NodeOrder::from_map((0..n).rev().collect(), "reversed");
+        let a = attribute_stage(&topo, &rt, Some(&order), 0, &[(0, 4), (1, 8)]).unwrap();
+        let f = a.contended[0].flows[0];
+        assert_eq!(f.src_port, 0);
+        assert_eq!(f.src_rank, Some(n - 1));
+        assert_eq!(f.dst_rank, Some(n - 1 - 4));
+        let md = render_attribution_markdown(&[a]);
+        assert!(md.contains(&format!("H0000 (rank {})", n - 1)), "{md}");
+    }
+
+    #[test]
+    fn unroutable_flows_are_reported_not_fatal() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let mut rt = DModK.route_healthy(&topo);
+        for s in topo.switches() {
+            rt.clear(s, 5);
+        }
+        let a = attribute_stage(&topo, &rt, None, 0, &[(0, 5), (1, 8), (4, 5)]).unwrap();
+        assert_eq!(a.unroutable, vec![(0, 5), (4, 5)]);
+        assert_eq!(a.hsd.max, 1, "only the surviving flow is counted");
+    }
+
+    #[test]
+    fn sequence_attribution_indexes_stages() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let stages = vec![vec![(0u32, 4u32), (1, 8)], vec![(0, 1)]];
+        let attrs = attribute_sequence(&topo, &rt, None, &stages).unwrap();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].stage, 0);
+        assert!(!attrs[0].is_congestion_free());
+        assert!(attrs[1].is_congestion_free());
+        // Serialization round-trip (report ingestion path).
+        let json = serde_json::to_string(&attrs).unwrap();
+        let back: Vec<StageAttribution> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, attrs);
+    }
+}

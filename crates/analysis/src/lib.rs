@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod attribution;
 pub mod degraded;
 pub mod hsd;
 pub mod invariants;
@@ -33,6 +34,10 @@ pub mod sequence;
 pub mod svg;
 
 pub use arena::{PathArena, RouteCache, StageScratch, DEFAULT_ARENA_BUDGET_BYTES};
+pub use attribution::{
+    attribute_sequence, attribute_stage, render_attribution_markdown, ChannelContention, FlowRef,
+    StageAttribution,
+};
 pub use degraded::{
     degraded_sequence_hsd, degraded_stage_hsd, DegradedSequenceHsd, DegradedStageHsd,
 };
@@ -44,4 +49,4 @@ pub use sequence::{
     parallel_map, parallel_map_init, random_order_sweep, sampled_stages, sequence_hsd,
     sequence_hsd_cached, SequenceHsd, SequenceOptions, SweepResult,
 };
-pub use svg::{render_svg, SvgOptions};
+pub use svg::{render_heatmap_svg, render_svg, HeatmapOptions, SvgOptions};

@@ -9,7 +9,8 @@
 
 use std::fmt::Write as _;
 
-use ftree_topology::{Direction, Topology};
+use ftree_obs::ChannelTimeSeries;
+use ftree_topology::{ChannelId, Direction, Topology};
 
 use crate::hsd::LinkLoads;
 
@@ -156,6 +157,132 @@ pub fn render_svg(topo: &Topology, loads: Option<&LinkLoads>, opts: &SvgOptions)
     out
 }
 
+/// Heatmap rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapOptions {
+    /// Pixel width of one time-bucket cell.
+    pub cell_w: f64,
+    /// Pixel height of one channel row.
+    pub cell_h: f64,
+    /// Maximum channel rows rendered (busiest first). Channels beyond the
+    /// cap are summarized in the header line, never silently dropped.
+    pub max_channels: usize,
+}
+
+impl Default for HeatmapOptions {
+    fn default() -> Self {
+        Self {
+            cell_w: 6.0,
+            cell_h: 12.0,
+            max_channels: 64,
+        }
+    }
+}
+
+/// White → blue utilization ramp; any packet drop in the bucket turns the
+/// cell red regardless of utilization.
+fn heat_color(util: f64, drops: u32) -> String {
+    if drops > 0 {
+        return "#d62718".to_string();
+    }
+    let u = util.clamp(0.0, 1.0);
+    let r = (255.0 - 221.0 * u) as u32;
+    let g = (255.0 - 180.0 * u) as u32;
+    let b = (255.0 - 90.0 * u) as u32;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Renders a per-channel utilization heatmap from a [`ChannelTimeSeries`]:
+/// one row per channel (busiest first), one column per time bucket, cell
+/// color encoding utilization (drops in red). `topo` supplies row labels;
+/// without one, rows are labeled `ch N`.
+pub fn render_heatmap_svg(
+    topo: Option<&Topology>,
+    ts: &ChannelTimeSeries,
+    opts: &HeatmapOptions,
+) -> String {
+    let buckets = ts.num_buckets();
+    // Busiest channels first: total busy picoseconds across the window.
+    let mut order: Vec<(u32, u64)> = ts
+        .channels()
+        .map(|(ch, lane)| (ch, lane.busy_ps.iter().sum::<u64>()))
+        .collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total = order.len();
+    let shown: Vec<u32> = order
+        .iter()
+        .take(opts.max_channels)
+        .map(|&(ch, _)| ch)
+        .collect();
+
+    let label_w = 190.0;
+    let header_h = 34.0;
+    let width = label_w + buckets as f64 * opts.cell_w + 10.0;
+    let height = header_h + shown.len() as f64 * opts.cell_h + 26.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="monospace" font-size="9">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let bucket_us = ts.bucket_ps() as f64 / 1e6;
+    let _ = writeln!(
+        out,
+        r#"<text x="4" y="14" font-size="11">channel utilization — {} of {} active channels, {} buckets x {:.3} us{}</text>"#,
+        shown.len(),
+        total,
+        buckets,
+        bucket_us,
+        if total > shown.len() {
+            format!(" ({} quieter channels omitted)", total - shown.len())
+        } else {
+            String::new()
+        }
+    );
+
+    for (row, &ch) in shown.iter().enumerate() {
+        let y = header_h + row as f64 * opts.cell_h;
+        let label = match topo {
+            Some(t) => t.channel_label(ChannelId(ch)),
+            None => format!("ch {ch}"),
+        };
+        let _ = writeln!(
+            out,
+            r#"<text x="4" y="{:.1}" text-anchor="start">{}</text>"#,
+            y + opts.cell_h - 3.0,
+            label
+        );
+        let util = ts.utilization(ch);
+        let lane = ts.lane(ch).expect("channel listed by ts.channels()");
+        for b in 0..buckets {
+            let u = util.get(b).copied().unwrap_or(0.0);
+            let drops = lane.drops.get(b).copied().unwrap_or(0);
+            if u == 0.0 && drops == 0 {
+                continue; // keep the document small: idle cells stay white
+            }
+            let _ = writeln!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                label_w + b as f64 * opts.cell_w,
+                y,
+                opts.cell_w,
+                opts.cell_h,
+                heat_color(u, drops)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        r#"<text x="{label_w:.0}" y="{:.1}">t = 0</text><text x="{:.1}" y="{:.1}" text-anchor="end">t = {:.1} us</text>"#,
+        height - 8.0,
+        label_w + buckets as f64 * opts.cell_w,
+        height - 8.0,
+        buckets as f64 * bucket_us
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +314,61 @@ mod tests {
         let svg = render_svg(&topo, Some(&loads), &SvgOptions::default());
         assert!(svg.contains("#d62718"), "hot link must be colored red");
         assert!(svg.contains("#c8c8c8"), "idle links must be grey");
+    }
+
+    #[test]
+    fn heatmap_renders_busy_drop_and_idle_cells() {
+        use ftree_obs::TimeSeriesConfig;
+        let mut ts = ftree_obs::ChannelTimeSeries::new(TimeSeriesConfig {
+            bucket_ps: 1_000,
+            max_buckets: 64,
+        });
+        ts.record_busy(3, 0, 1_000); // bucket 0 fully busy
+        ts.record_busy(3, 2_500, 250); // bucket 2 quarter busy
+        ts.record_drop(7, 500);
+        let svg = render_heatmap_svg(None, &ts, &HeatmapOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("ch 3") && svg.contains("ch 7"));
+        assert!(svg.contains("#d62718"), "drop cell must be red");
+        // Fully-busy cell hits the deep end of the ramp.
+        assert!(svg.contains(&heat_color(1.0, 0)), "{svg}");
+        // Exactly three non-idle cells are drawn (plus the background rect).
+        assert_eq!(svg.matches("<rect").count(), 3 + 1);
+    }
+
+    #[test]
+    fn heatmap_caps_rows_but_reports_the_cap() {
+        use ftree_obs::TimeSeriesConfig;
+        let mut ts = ftree_obs::ChannelTimeSeries::new(TimeSeriesConfig::default());
+        for ch in 0..10u32 {
+            ts.record_busy(ch, 0, 100 * (ch as u64 + 1));
+        }
+        let svg = render_heatmap_svg(
+            None,
+            &ts,
+            &HeatmapOptions {
+                max_channels: 4,
+                ..HeatmapOptions::default()
+            },
+        );
+        assert!(svg.contains("4 of 10 active channels"), "{svg}");
+        assert!(svg.contains("6 quieter channels omitted"));
+        // Busiest channel (9) is shown; quietest (0) is not.
+        assert!(svg.contains("ch 9"));
+        assert!(!svg.contains(">ch 0<"));
+    }
+
+    #[test]
+    fn heatmap_labels_rows_from_topology() {
+        use ftree_obs::TimeSeriesConfig;
+        let topo = Topology::build(catalog::fig1_16());
+        let mut ts = ftree_obs::ChannelTimeSeries::new(TimeSeriesConfig::default());
+        ts.record_busy(0, 0, 64);
+        let svg = render_heatmap_svg(Some(&topo), &ts, &HeatmapOptions::default());
+        assert!(
+            svg.contains("H0000"),
+            "row labeled with channel ends: {svg}"
+        );
     }
 
     #[test]

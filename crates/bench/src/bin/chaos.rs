@@ -23,8 +23,17 @@
 //! Run: `cargo run --release -p ftree-bench --bin chaos
 //!       [--seed N] [--stages N] [--full] [--json-out PATH]`
 //! (default output: `results/BENCH_chaos.json`).
+//!
+//! `--deep-obs` runs a single deeply-instrumented cell (nodes_324,
+//! D-Mod-K, random link faults) instead of the campaign grid: recorder +
+//! per-channel telemetry attached, producing a Perfetto-loadable trace with
+//! nested sweep/repair/message spans, a per-channel utilization heatmap SVG
+//! and a contention-attribution report for the degraded fabric.
 
-use ftree_analysis::{check_invariants, degraded_sequence_hsd, parallel_map, SequenceOptions};
+use ftree_analysis::{
+    attribute_sequence, check_invariants, degraded_sequence_hsd, parallel_map,
+    render_attribution_markdown, render_heatmap_svg, HeatmapOptions, SequenceOptions,
+};
 use ftree_bench::{arg_num, arg_value, has_flag, TextTable};
 use ftree_collectives::Cps;
 use ftree_core::{NodeOrder, RoutingAlgo, SubnetManager};
@@ -175,9 +184,138 @@ fn run_cell(topos: &[Topology], cell: &Cell, max_stages: usize) -> CellResult {
     }
 }
 
+/// The `--deep-obs` cell: one instrumented incident on nodes_324. Writes
+/// `results/chaos_deep.trace.json` (Perfetto), `results/chaos_deep_heatmap.svg`
+/// and `results/chaos_deep_attribution.md`, plus a `chaos_deep` bench JSON.
+fn deep_obs(base_seed: u64) {
+    let rec = ftree_bench::init_obs();
+    let mut out = ftree_bench::BenchJson::new("chaos_deep");
+    out.topology("nodes_324");
+    out.param("seed", base_seed);
+
+    let topo = Topology::build(catalog::nodes_324());
+    let seed = mix64(base_seed);
+    let chaos = preset("random_links", seed, &topo);
+
+    // Data plane: recorder (message spans, SM sweep/repair spans via the
+    // installed global) plus bounded per-channel telemetry.
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = [1u32, n / 2 + 1]
+        .iter()
+        .map(|&s| (0..n).map(|i| (i, (i + s) % n)).collect())
+        .collect();
+    let plan = TrafficPlan::uniform(stages.clone(), 32_768, Progression::Asynchronous);
+    let mut lc = FabricLifecycle::from_chaos(&topo, &chaos)
+        .expect("preset fits the topology")
+        .with_algo(RoutingAlgo::DModK);
+    lc.sweep_delay = 2 * MICROSECOND;
+    lc.retransmit_timeout = 15 * MICROSECOND;
+    let res = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, lc)
+        .expect("schedule fits the topology")
+        .with_recorder(rec.clone())
+        .with_telemetry(ftree_obs::TimeSeriesConfig::default())
+        .run();
+
+    let write = |path: &str, body: &str, what: &str| {
+        let _ = std::fs::create_dir_all("results");
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {what} to {path}"),
+            Err(e) => eprintln!("warning: could not write {what} to {path}: {e}"),
+        }
+    };
+
+    // 1. Perfetto trace with nested sweep/repair/message spans.
+    let trace = ftree_sim::export_chrome_trace(&topo, &rec);
+    let spans = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ftree_obs::ObsEvent::SpanBegin { .. }))
+        .count();
+    write(
+        "results/chaos_deep.trace.json",
+        &(serde_json::to_string_pretty(&trace).expect("trace serializes") + "\n"),
+        "Perfetto trace",
+    );
+
+    // 2. Per-channel utilization heatmap.
+    let ts = res.telemetry.as_ref().expect("telemetry was attached");
+    write(
+        "results/chaos_deep_heatmap.svg",
+        &render_heatmap_svg(Some(&topo), ts, &HeatmapOptions::default()),
+        "utilization heatmap",
+    );
+
+    // 3. Contention attribution at the peak of the incident: rebuild the
+    // table as it stood with the most dead cables and name the flow pairs
+    // sharing every oversubscribed channel.
+    let lowered = chaos.lower(&topo).expect("preset fits the topology");
+    let mut sm =
+        SubnetManager::with_engine(&topo, lowered.faults.clone(), RoutingAlgo::DModK.engine())
+            .expect("schedule fits the topology");
+    let mut peak_time = None;
+    let mut peak_failed = 0usize;
+    while let Some(t) = sm.next_event_time() {
+        let r = sm.sweep(&topo, t);
+        if r.failed_links > peak_failed {
+            peak_failed = r.failed_links;
+            peak_time = Some(r.time);
+        }
+    }
+    let mut sm_peak =
+        SubnetManager::with_engine(&topo, lowered.faults, RoutingAlgo::DModK.engine())
+            .expect("schedule fits the topology");
+    if let Some(t) = peak_time {
+        sm_peak.sweep(&topo, t);
+    }
+    let order = NodeOrder::topology(&topo);
+    let attributions = attribute_sequence(&topo, sm_peak.table(), Some(&order), &stages)
+        .expect("degraded walks tolerate NoRoute");
+    let hot_stages = attributions
+        .iter()
+        .filter(|a| !a.is_congestion_free())
+        .count();
+    let hot_channels: usize = attributions.iter().map(|a| a.contended.len()).sum();
+    write(
+        "results/chaos_deep_attribution.md",
+        &render_attribution_markdown(&attributions),
+        "contention attribution",
+    );
+
+    println!(
+        "deep-obs cell (nodes_324/dmodk/random_links, seed {seed}): \
+         {} events ({spans} spans), {} telemetry buckets x {} channels, \
+         {hot_stages}/{} stages contended ({hot_channels} hot channels), \
+         {} messages delivered, {} lost",
+        rec.events().len(),
+        ts.num_buckets(),
+        ts.num_channels(),
+        stages.len(),
+        res.messages_delivered,
+        res.messages_lost,
+    );
+
+    out.param("preset", "random_links");
+    out.metric("events", rec.events().len() as u64);
+    out.metric("spans", spans as u64);
+    out.metric("events_dropped", rec.flight().dropped());
+    out.metric("telemetry_buckets", ts.num_buckets() as u64);
+    out.metric("telemetry_channels", ts.num_channels() as u64);
+    out.metric("telemetry_drops", ts.total_drops());
+    out.metric("peak_failed_links", peak_failed as u64);
+    out.metric("hot_stages", hot_stages as u64);
+    out.metric("hot_channels", hot_channels as u64);
+    out.metric("messages_delivered", res.messages_delivered);
+    out.metric("messages_lost", res.messages_lost);
+    out.write();
+}
+
 fn main() {
     let base_seed: u64 = arg_num("--seed", 42);
     let max_stages: usize = arg_num("--stages", 8);
+    if has_flag("--deep-obs") {
+        deep_obs(base_seed);
+        return;
+    }
     let mut out = ftree_bench::BenchJson::new("chaos");
     out.param("seed", base_seed);
     out.param("stages", max_stages as u64);

@@ -1,0 +1,115 @@
+//! `ftree-report` — results aggregator, regression ledger and gate.
+//!
+//! Ingests every bench JSON under `results/` (or `--results-dir`), stamps
+//! the runs with build provenance, appends one row per run to
+//! `results/LEDGER.ndjson`, renders `results/REPORT.md` with per-bench
+//! metric trajectories, and with `--check` exits nonzero when any fresh
+//! result regresses past its gate (perf speedup vs the committed
+//! `BENCH_perf.json` baseline, chaos invariants, routing-quality ordering).
+//!
+//! Flags:
+//!   --results-dir <dir>   where to ingest from (default `results`)
+//!   --baseline <path>     committed perf baseline (default
+//!                         `<results-dir>/BENCH_perf.json`)
+//!   --out <path>          Markdown report (default `<results-dir>/REPORT.md`)
+//!   --ledger <path>       NDJSON ledger (default `<results-dir>/LEDGER.ndjson`)
+//!   --no-ledger           render and check without appending to the ledger
+//!   --check               exit 1 when a regression gate fails
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftree_bench::report::{
+    append_ledger, check_regressions, ingest_dir, ledger_row, parse_ledger, render_report,
+    Provenance,
+};
+use ftree_bench::{arg_value, has_flag};
+use serde_json::Value;
+
+fn main() -> ExitCode {
+    let results_dir = PathBuf::from(arg_value("--results-dir").unwrap_or_else(|| "results".into()));
+    let baseline_path = arg_value("--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir.join("BENCH_perf.json"));
+    let out_path = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir.join("REPORT.md"));
+    let ledger_path = arg_value("--ledger")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir.join("LEDGER.ndjson"));
+
+    let (docs, skipped) = ingest_dir(&results_dir);
+    for note in &skipped {
+        eprintln!("note: {note}");
+    }
+    if docs.is_empty() {
+        eprintln!(
+            "no bench JSON documents found under {} — run an experiment binary first",
+            results_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "ingested {} run(s) from {}",
+        docs.len(),
+        results_dir.display()
+    );
+
+    let baseline: Option<Value> = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|body| serde_json::from_str(&body).ok());
+    if baseline.is_none() {
+        eprintln!(
+            "note: no committed baseline at {} — perf gate skipped",
+            baseline_path.display()
+        );
+    }
+    let failures = check_regressions(&docs, baseline.as_ref());
+
+    let prov = Provenance::capture();
+    if !has_flag("--no-ledger") {
+        let rows: Vec<Value> = docs.iter().map(|d| ledger_row(d, &prov)).collect();
+        match append_ledger(&ledger_path, &rows) {
+            Ok(()) => eprintln!(
+                "appended {} row(s) to {}",
+                rows.len(),
+                ledger_path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: could not append to {}: {e}",
+                ledger_path.display()
+            ),
+        }
+    }
+
+    let ledger_body = std::fs::read_to_string(&ledger_path).unwrap_or_default();
+    let (ledger, bad_lines) = parse_ledger(&ledger_body);
+    if bad_lines > 0 {
+        eprintln!("note: {bad_lines} unparseable ledger line(s) skipped");
+    }
+
+    let md = render_report(&docs, &ledger, &prov, &failures);
+    match std::fs::write(&out_path, &md) {
+        Ok(()) => eprintln!("wrote report to {}", out_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", out_path.display()),
+    }
+
+    if failures.is_empty() {
+        println!(
+            "OK: {} run(s), {} ledger row(s), no regressions",
+            docs.len(),
+            ledger.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            println!("FAIL: {f}");
+        }
+        if has_flag("--check") {
+            ExitCode::FAILURE
+        } else {
+            eprintln!("(regressions reported; rerun with --check to gate)");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -9,6 +9,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod report;
+
 use ftree_obs::Recorder;
 use ftree_topology::rlft::catalog;
 use ftree_topology::{PgftSpec, Topology};
@@ -178,6 +180,29 @@ pub fn export_observability(topo: &Topology, rec: &Recorder) {
     }
     if let Some(path) = arg_value("--events-out") {
         write_output(&path, &rec.events_ndjson(), "event NDJSON");
+        // Sidecar: whether the bounded ring evicted anything, so a consumer
+        // can tell a complete stream from a truncated one.
+        let dropped = rec.flight().dropped();
+        let complete = dropped == 0;
+        let meta = serde_json::json!({
+            "events": rec.flight().len(),
+            "capacity": rec.flight().capacity(),
+            "dropped": dropped,
+            "complete": complete,
+        });
+        let body = serde_json::to_string_pretty(&meta).expect("meta serializes");
+        write_output(
+            &format!("{path}.meta.json"),
+            &(body + "\n"),
+            "event-stream metadata",
+        );
+        if dropped > 0 {
+            eprintln!(
+                "warning: flight recorder dropped {dropped} events (capacity {}); \
+                 the NDJSON stream is incomplete — raise the capacity or narrow the run",
+                rec.flight().capacity()
+            );
+        }
     }
 }
 
@@ -255,13 +280,20 @@ impl BenchJson {
         self
     }
 
-    /// The JSON document (adds `wall_ms` measured since construction).
+    /// The JSON document (adds `wall_ms` measured since construction and,
+    /// when a global recorder is installed, its full metrics snapshot —
+    /// counters, gauges and histograms with p50/p95/p99 estimates — under
+    /// `obs_metrics`).
     pub fn render(&self) -> Value {
+        let obs_metrics = ftree_obs::global()
+            .map(|rec| serde_json::to_value(&rec.snapshot()).expect("snapshot serializes"))
+            .unwrap_or(Value::Null);
         serde_json::json!({
             "bench": self.bench,
             "topology": self.topology,
             "params": self.params,
             "metrics": self.metrics,
+            "obs_metrics": obs_metrics,
             "wall_ms": self.started.elapsed().as_secs_f64() * 1e3,
         })
     }

@@ -1,0 +1,507 @@
+//! Regression ledger and Markdown reporting behind the `ftree-report` bin.
+//!
+//! Every experiment binary writes a `{bench, topology, params, metrics,
+//! wall_ms}` JSON document (see [`crate::BenchJson`]). This module ingests
+//! everything under `results/`, stamps each run with build provenance (git
+//! sha, rustc version, thread count, topology-catalog hash), appends one
+//! row per run to `results/LEDGER.ndjson`, renders a Markdown report with
+//! per-bench metric trajectories, and — the CI gate — checks fresh results
+//! against the committed baseline, replacing the ad-hoc `jq`/`awk` checks
+//! that used to live in the workflow file.
+//!
+//! The gates are pure functions over parsed JSON so they are unit-testable
+//! with synthetic regressed inputs; the bin is a thin filesystem shell.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use ftree_topology::Topology;
+use serde_json::Value;
+
+/// Fraction of the committed baseline speedup a fresh perf run must reach.
+pub const PERF_MIN_RATIO: f64 = 0.85;
+
+/// Build/run provenance stamped onto every ledger row.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// Unix seconds at capture.
+    pub unix_ts: u64,
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
+    pub git_sha: String,
+    /// `rustc --version`, or `"unknown"` when rustc is not on PATH.
+    pub rustc: String,
+    /// Available parallelism of the machine that produced the results.
+    pub threads: u64,
+    /// Combined fingerprint of every paper-catalog topology, hex-formatted:
+    /// ties a ledger row to the exact fabrics the numbers were measured on.
+    pub catalog_hash: String,
+}
+
+fn cmd_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+/// FNV-style fold of the paper-catalog topology fingerprints.
+pub fn catalog_hash() -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (_, spec) in crate::paper_topologies() {
+        let fp = Topology::build(spec).fingerprint();
+        h = (h ^ fp).wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+impl Provenance {
+    /// Captures provenance from the current process/checkout. Never fails:
+    /// missing tools degrade to `"unknown"`.
+    pub fn capture() -> Self {
+        Self {
+            unix_ts: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            git_sha: cmd_line("git", &["rev-parse", "--short", "HEAD"])
+                .unwrap_or_else(|| "unknown".into()),
+            rustc: cmd_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".into()),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            catalog_hash: catalog_hash(),
+        }
+    }
+}
+
+/// One ingested results document.
+#[derive(Debug, Clone)]
+pub struct RunDoc {
+    /// Source file path.
+    pub path: PathBuf,
+    /// The parsed `{bench, ...}` document.
+    pub doc: Value,
+}
+
+impl RunDoc {
+    /// The document's `bench` name.
+    pub fn bench(&self) -> &str {
+        self.doc
+            .get("bench")
+            .and_then(|b| b.as_str())
+            .unwrap_or("?")
+    }
+}
+
+/// Reads every `*.json` under `dir` that parses as a bench document (has a
+/// string `"bench"` key). Returns the docs plus human-readable notes about
+/// files that were skipped — nothing is dropped silently.
+pub fn ingest_dir(dir: &Path) -> (Vec<RunDoc>, Vec<String>) {
+    let mut docs = Vec::new();
+    let mut skipped = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        skipped.push(format!("results dir {} not readable", dir.display()));
+        return (docs, skipped);
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(body) = std::fs::read_to_string(&path) else {
+            skipped.push(format!("{}: unreadable", path.display()));
+            continue;
+        };
+        match serde_json::from_str::<Value>(&body) {
+            Ok(doc) if doc.get("bench").and_then(|b| b.as_str()).is_some() => {
+                docs.push(RunDoc { path, doc });
+            }
+            Ok(_) => skipped.push(format!("{}: no \"bench\" key, skipped", path.display())),
+            Err(e) => skipped.push(format!("{}: parse error ({e:?}), skipped", path.display())),
+        }
+    }
+    (docs, skipped)
+}
+
+/// Builds the provenance-stamped ledger row for one run.
+pub fn ledger_row(run: &RunDoc, prov: &Provenance) -> Value {
+    serde_json::json!({
+        "ts": prov.unix_ts,
+        "git_sha": prov.git_sha,
+        "rustc": prov.rustc,
+        "threads": prov.threads,
+        "catalog_hash": prov.catalog_hash,
+        "source": run.path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+        "bench": run.bench(),
+        "topology": run.doc.get("topology").cloned().unwrap_or(Value::Null),
+        "metrics": run.doc.get("metrics").cloned().unwrap_or(Value::Null),
+        "wall_ms": run.doc.get("wall_ms").cloned().unwrap_or(Value::Null),
+    })
+}
+
+/// Appends one NDJSON line per run to the ledger at `path` (created on
+/// first use).
+pub fn append_ledger(path: &Path, rows: &[Value]) -> std::io::Result<()> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let mut body = String::new();
+    for row in rows {
+        body.push_str(&serde_json::to_string(row).expect("ledger row serializes"));
+        body.push('\n');
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(body.as_bytes())
+}
+
+/// Parses ledger NDJSON into rows (bad lines are skipped and counted).
+pub fn parse_ledger(body: &str) -> (Vec<Value>, usize) {
+    let mut rows = Vec::new();
+    let mut bad = 0usize;
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(line) {
+            Ok(v) => rows.push(v),
+            Err(_) => bad += 1,
+        }
+    }
+    (rows, bad)
+}
+
+/// Scalar metrics of a ledger row / bench doc, in object order.
+fn scalar_metrics(metrics: &Value) -> Vec<(String, f64)> {
+    let Some(obj) = metrics.as_object() else {
+        return Vec::new();
+    };
+    obj.iter()
+        .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+        .collect()
+}
+
+fn fmt_metric(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Renders the Markdown report: current results per bench, then per-bench
+/// metric trajectories across ledger history (oldest → newest).
+pub fn render_report(
+    docs: &[RunDoc],
+    ledger: &[Value],
+    prov: &Provenance,
+    check_failures: &[String],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ftree results report\n");
+    let _ = writeln!(
+        out,
+        "Generated at unix `{}` on `{}` ({} threads), commit `{}`, catalog `{}`.\n",
+        prov.unix_ts, prov.rustc, prov.threads, prov.git_sha, prov.catalog_hash
+    );
+
+    if check_failures.is_empty() {
+        let _ = writeln!(out, "**Gate status: PASS** — no regressions detected.\n");
+    } else {
+        let _ = writeln!(out, "**Gate status: FAIL**\n");
+        for f in check_failures {
+            let _ = writeln!(out, "- {f}");
+        }
+        out.push('\n');
+    }
+
+    let _ = writeln!(out, "## Current runs\n");
+    let _ = writeln!(out, "| bench | source | topology | key metrics | wall ms |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for run in docs {
+        let metrics = run.doc.get("metrics").cloned().unwrap_or(Value::Null);
+        let keys: Vec<String> = scalar_metrics(&metrics)
+            .into_iter()
+            .take(4)
+            .map(|(k, v)| format!("{k}={}", fmt_metric(v)))
+            .collect();
+        let topo = run
+            .doc
+            .get("topology")
+            .map(|t| match t.as_str() {
+                Some(s) => s.to_string(),
+                None => serde_json::to_string(t).unwrap_or_default(),
+            })
+            .unwrap_or_default();
+        let wall = run
+            .doc
+            .get("wall_ms")
+            .and_then(|w| w.as_f64())
+            .map(|w| format!("{w:.1}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            run.bench(),
+            run.path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            topo,
+            keys.join(", "),
+            wall
+        );
+    }
+    out.push('\n');
+
+    // Trajectories: rows grouped by bench, oldest first (ledger append order).
+    let mut benches: Vec<String> = Vec::new();
+    for row in ledger {
+        if let Some(b) = row.get("bench").and_then(|b| b.as_str()) {
+            if !benches.iter().any(|x| x == b) {
+                benches.push(b.to_string());
+            }
+        }
+    }
+    if !benches.is_empty() {
+        let _ = writeln!(out, "## Trajectories\n");
+    }
+    for bench in &benches {
+        let rows: Vec<&Value> = ledger
+            .iter()
+            .filter(|r| r.get("bench").and_then(|b| b.as_str()) == Some(bench.as_str()))
+            .collect();
+        let _ = writeln!(out, "### {bench} ({} run(s))\n", rows.len());
+        // Columns: union capped at the first 5 scalar metrics of the newest row.
+        let newest = rows.last().expect("non-empty group");
+        let cols: Vec<String> = scalar_metrics(newest.get("metrics").unwrap_or(&Value::Null))
+            .into_iter()
+            .take(5)
+            .map(|(k, _)| k)
+            .collect();
+        let _ = writeln!(out, "| ts | git | {} |", cols.join(" | "));
+        let _ = writeln!(out, "|---|---|{}", "---|".repeat(cols.len()));
+        for row in rows {
+            let metrics = row.get("metrics").cloned().unwrap_or(Value::Null);
+            let scalars = scalar_metrics(&metrics);
+            let cells: Vec<String> = cols
+                .iter()
+                .map(|c| {
+                    scalars
+                        .iter()
+                        .find(|(k, _)| k == c)
+                        .map(|(_, v)| fmt_metric(*v))
+                        .unwrap_or_else(|| "-".into())
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} |",
+                row.get("ts").and_then(|t| t.as_u64()).unwrap_or(0),
+                row.get("git_sha").and_then(|g| g.as_str()).unwrap_or("?"),
+                cells.join(" | ")
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs every regression gate over the ingested docs. Returns one message
+/// per failed gate; empty means PASS. `baseline` is the committed
+/// `BENCH_perf.json` document (when present, fresh perf runs are gated
+/// against it at [`PERF_MIN_RATIO`]).
+pub fn check_regressions(docs: &[RunDoc], baseline: Option<&Value>) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // Perf gate: any perf doc other than the baseline itself must reach
+    // PERF_MIN_RATIO of the committed speedup (same-machine ratio, so it
+    // ports across runner hardware).
+    if let Some(base) = baseline {
+        let base_speedup = base
+            .get("metrics")
+            .and_then(|m| m.get("speedup"))
+            .and_then(|s| s.as_f64());
+        match base_speedup {
+            None => failures.push("baseline BENCH_perf.json has no metrics.speedup".into()),
+            Some(b) => {
+                for run in docs.iter().filter(|r| r.bench() == "perf") {
+                    if run.doc.get("metrics") == base.get("metrics") {
+                        continue; // the committed baseline itself
+                    }
+                    let fresh = run
+                        .doc
+                        .get("metrics")
+                        .and_then(|m| m.get("speedup"))
+                        .and_then(|s| s.as_f64());
+                    match fresh {
+                        None => failures.push(format!(
+                            "{}: perf run has no metrics.speedup",
+                            run.path.display()
+                        )),
+                        Some(f) if f < PERF_MIN_RATIO * b => failures.push(format!(
+                            "perf regression: fresh speedup {f:.4} < {PERF_MIN_RATIO} x baseline {b:.4} ({})",
+                            run.path.display()
+                        )),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Chaos gate: every campaign must hold all routing invariants.
+    for run in docs.iter().filter(|r| r.bench() == "chaos") {
+        let ok = run
+            .doc
+            .get("metrics")
+            .and_then(|m| m.get("all_invariants_ok"))
+            .and_then(|v| v.as_bool());
+        if ok != Some(true) {
+            failures.push(format!(
+                "chaos invariant violation: all_invariants_ok != true ({})",
+                run.path.display()
+            ));
+        }
+    }
+
+    // Routing-quality gate: Dmodc must never lose to first-fit.
+    for run in docs.iter().filter(|r| r.bench() == "routing_quality") {
+        let never_worse = run
+            .doc
+            .get("metrics")
+            .and_then(|m| m.get("dmodc_never_worse_than_first_fit"))
+            .and_then(|v| v.as_bool());
+        if never_worse != Some(true) {
+            failures.push(format!(
+                "routing-quality regression: dmodc worse than first-fit ({})",
+                run.path.display()
+            ));
+        }
+    }
+
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf_doc(speedup: f64) -> Value {
+        serde_json::json!({
+            "bench": "perf",
+            "topology": "nodes_1728",
+            "params": {"seeds": 25},
+            "metrics": {"speedup": speedup, "wall_ms_before": 10.0, "wall_ms_after": 7.0},
+            "wall_ms": 100.0,
+        })
+    }
+
+    fn run(name: &str, doc: Value) -> RunDoc {
+        RunDoc {
+            path: PathBuf::from(name),
+            doc,
+        }
+    }
+
+    /// The acceptance-pinned case: a synthetic regressed fresh perf run
+    /// against the committed 1.4249 baseline must fail the gate.
+    #[test]
+    fn synthetic_perf_regression_fails_the_gate() {
+        let baseline = perf_doc(1.4249);
+        let regressed = run("results/BENCH_perf_fresh.json", perf_doc(1.0));
+        let failures = check_regressions(&[regressed], Some(&baseline));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("perf regression"), "{failures:?}");
+
+        // 0.85 x 1.4249 = 1.2112: a fresh 1.3 passes.
+        let ok = run("results/BENCH_perf_fresh.json", perf_doc(1.3));
+        assert!(check_regressions(&[ok], Some(&baseline)).is_empty());
+    }
+
+    #[test]
+    fn baseline_itself_is_not_compared_against_itself() {
+        let baseline = perf_doc(1.4249);
+        let same = run("results/BENCH_perf.json", perf_doc(1.4249));
+        assert!(check_regressions(&[same], Some(&baseline)).is_empty());
+    }
+
+    #[test]
+    fn chaos_and_quality_gates() {
+        let bad_chaos = run(
+            "results/BENCH_chaos.json",
+            serde_json::json!({"bench": "chaos", "metrics": {"all_invariants_ok": false}}),
+        );
+        let bad_quality = run(
+            "results/BENCH_routing_quality.json",
+            serde_json::json!({"bench": "routing_quality",
+                               "metrics": {"dmodc_never_worse_than_first_fit": false}}),
+        );
+        let failures = check_regressions(&[bad_chaos, bad_quality], None);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("chaos"));
+        assert!(failures[1].contains("routing-quality"));
+    }
+
+    #[test]
+    fn ledger_rows_carry_provenance() {
+        let prov = Provenance {
+            unix_ts: 1_754_700_000,
+            git_sha: "abc1234".into(),
+            rustc: "rustc 1.99.0".into(),
+            threads: 8,
+            catalog_hash: "00ff".into(),
+        };
+        let r = run("results/BENCH_perf.json", perf_doc(1.42));
+        let row = ledger_row(&r, &prov);
+        assert_eq!(row["bench"].as_str(), Some("perf"));
+        assert_eq!(row["git_sha"].as_str(), Some("abc1234"));
+        assert_eq!(row["threads"].as_u64(), Some(8));
+        assert_eq!(row["catalog_hash"].as_str(), Some("00ff"));
+        assert_eq!(row["source"].as_str(), Some("BENCH_perf.json"));
+        // NDJSON round trip.
+        let line = serde_json::to_string(&row).unwrap();
+        let (rows, bad) = parse_ledger(&format!("{line}\nnot json\n{line}\n"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(bad, 1);
+        assert_eq!(rows[0], row);
+    }
+
+    #[test]
+    fn report_renders_trajectories_and_gate_status() {
+        let prov = Provenance {
+            unix_ts: 1,
+            git_sha: "aaa".into(),
+            rustc: "rustc".into(),
+            threads: 4,
+            catalog_hash: "cc".into(),
+        };
+        let docs = vec![run("results/BENCH_perf.json", perf_doc(1.42))];
+        let ledger = vec![
+            ledger_row(&run("results/BENCH_perf.json", perf_doc(1.30)), &prov),
+            ledger_row(&run("results/BENCH_perf.json", perf_doc(1.42)), &prov),
+        ];
+        let md = render_report(&docs, &ledger, &prov, &[]);
+        assert!(md.contains("Gate status: PASS"));
+        assert!(md.contains("### perf (2 run(s))"));
+        assert!(md.contains("1.3000") && md.contains("1.4200"), "{md}");
+
+        let md_fail = render_report(&docs, &ledger, &prov, &["perf regression: x".into()]);
+        assert!(md_fail.contains("Gate status: FAIL"));
+        assert!(md_fail.contains("perf regression: x"));
+    }
+
+    #[test]
+    fn catalog_hash_is_stable_and_hex() {
+        let a = catalog_hash();
+        let b = catalog_hash();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

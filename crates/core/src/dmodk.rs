@@ -55,7 +55,7 @@ pub fn route_dmodk(topo: &Topology) -> RoutingTable {
 /// and [`crate::router::Dmodc`] engines (their healthy fast path) and the
 /// deprecated [`route_dmodk`] wrapper.
 pub(crate) fn dmodk_table(topo: &Topology) -> RoutingTable {
-    let _phase = ftree_obs::ObsPhase::global("core::route_dmodk");
+    let _span = ftree_obs::wall_span_global("core::route_dmodk");
     let mut rt = RoutingTable::empty(topo, "d-mod-k");
     let n = topo.num_hosts();
     let spec = topo.spec();

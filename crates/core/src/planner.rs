@@ -41,7 +41,11 @@ impl RoutingAlgo {
 
     /// Builds the forwarding tables on a healthy `topo`.
     pub fn route(self, topo: &Topology) -> RoutingTable {
-        let _phase = ftree_obs::ObsPhase::global("core::planner_route");
+        // Span doubles as the "core::planner_route" phase timer; the routing
+        // engine's own phase/span (e.g. core::route_dmodk) nests under it.
+        let mut span = ftree_obs::wall_span_global("core::planner_route");
+        span.attr("algo", format!("{self:?}"));
+        span.attr("hosts", topo.num_hosts() as u64);
         self.engine().route_healthy(topo)
     }
 }

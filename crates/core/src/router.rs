@@ -143,7 +143,7 @@ impl Router for Dmodc {
     }
 
     fn route(&self, topo: &Topology, failures: &LinkFailures) -> Result<RoutingTable, RouteError> {
-        let _phase = ftree_obs::ObsPhase::global("core::route_dmodc");
+        let _span = ftree_obs::wall_span_global("core::route_dmodc");
         failures.verify_for(topo)?;
         if failures.is_empty() {
             return Ok(dmodk_table(topo));

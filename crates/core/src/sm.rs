@@ -167,7 +167,11 @@ impl SubnetManager {
     /// repairs the routing table, and reports. A sweep with no due events
     /// still produces a (cheap) health report.
     pub fn sweep(&mut self, topo: &Topology, now: u64) -> SweepReport {
-        let _phase = ftree_obs::ObsPhase::global("sm::sweep");
+        // Wall-clock span (also feeds the "sm::sweep" phase aggregate on
+        // drop); any "sm::repair" child below nests under it via the
+        // thread-local span stack.
+        let mut sweep_span = ftree_obs::wall_span_global("sm::sweep");
+        sweep_span.attr("sim_time", now);
         self.failures
             .verify_for(topo)
             .expect("subnet manager swept with a different topology");
@@ -205,6 +209,8 @@ impl SubnetManager {
         let (entries_recomputed, entries_changed) = if changed_links.is_empty() {
             (0, 0)
         } else {
+            let mut repair_span = ftree_obs::wall_span_global("sm::repair");
+            repair_span.attr("links_changed", changed_links.len() as u64);
             let new_reach = Reachability::compute(topo, &self.failures);
             let counts = match self.engine.repair(
                 topo,
@@ -243,6 +249,8 @@ impl SubnetManager {
                 }
             };
             self.reach = new_reach;
+            repair_span.attr("entries_recomputed", counts.0 as u64);
+            repair_span.attr("entries_changed", counts.1 as u64);
             counts
         };
 
@@ -270,6 +278,9 @@ impl SubnetManager {
                 .add(entries_changed as u64);
             rec.gauge("sm.failed_links").set(report.failed_links as i64);
         }
+        sweep_span.attr("events_applied", events_applied as u64);
+        sweep_span.attr("links_changed", report.links_changed as u64);
+        sweep_span.attr("entries_changed", entries_changed as u64);
         self.reports.push(report.clone());
         if events_applied > 0 {
             if let Some(check) = &self.check {

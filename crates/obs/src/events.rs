@@ -5,10 +5,24 @@
 //! Wall-clock measurements (phase timers) deliberately live outside this
 //! ring — see `crate::phase`.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
+
+/// Clock domain of a span's timestamps.
+///
+/// Simulation-time spans are deterministic and safe for byte-stable golden
+/// streams; wall-clock spans (control-plane work like sweeps and repairs)
+/// carry nanoseconds since the owning recorder was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpanClock {
+    /// Simulation time, picoseconds.
+    Sim,
+    /// Wall time, nanoseconds since the recorder's creation.
+    Wall,
+}
 
 /// One structured observability event.
 ///
@@ -130,6 +144,38 @@ pub enum ObsEvent {
         /// Chosen egress port, e.g. `"Up(3)"`.
         port: String,
     },
+    /// A traced span opened (see [`crate::span`]). Paired with the
+    /// [`ObsEvent::SpanEnd`] carrying the same `span` id; `parent` links
+    /// nested spans (0 = root).
+    SpanBegin {
+        /// Start timestamp in the span's clock domain (ps for
+        /// [`SpanClock::Sim`], ns for [`SpanClock::Wall`]).
+        t: u64,
+        /// Unique span id within the recorder (ids start at 1).
+        span: u64,
+        /// Enclosing span's id, 0 when the span is a root.
+        #[serde(default)]
+        parent: u64,
+        /// Span name, e.g. `"sm::sweep"` or `"message"`.
+        name: String,
+        /// Which clock `t` (and the matching end's `t`) was read from.
+        clock: SpanClock,
+        /// Structured key-value attributes known at open time.
+        #[serde(default)]
+        attrs: BTreeMap<String, serde_json::Value>,
+    },
+    /// A traced span closed.
+    SpanEnd {
+        /// End timestamp in the clock domain declared by the matching
+        /// [`ObsEvent::SpanBegin`].
+        t: u64,
+        /// The span id being closed.
+        span: u64,
+        /// Attributes only known at close time (merged with the open
+        /// attributes by exporters; close wins on key collision).
+        #[serde(default)]
+        attrs: BTreeMap<String, serde_json::Value>,
+    },
     /// Free-form event for callers outside the fixed taxonomy.
     Custom {
         /// Simulation time, ps (0 when not applicable).
@@ -156,6 +202,8 @@ impl ObsEvent {
             | ObsEvent::SweepBegin { t, .. }
             | ObsEvent::SweepEnd { t, .. }
             | ObsEvent::RouteDecision { t, .. }
+            | ObsEvent::SpanBegin { t, .. }
+            | ObsEvent::SpanEnd { t, .. }
             | ObsEvent::Custom { t, .. } => *t,
         }
     }

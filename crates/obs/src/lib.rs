@@ -19,7 +19,18 @@
 //! * [`chrome_trace`] — renders recorded events as Chrome trace-event JSON
 //!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
 //!   one track per directed channel plus control-plane (subnet manager,
-//!   faults) and per-host transport tracks.
+//!   faults), per-host transport and nested span tracks.
+//!
+//! Two higher-level layers build on the ring:
+//!
+//! * [`span`] — `SpanId`-linked begin/end pairs with parent links and
+//!   structured attributes: explicit sim-time spans for overlapping
+//!   simulated lifetimes (message lifecycles) and RAII wall-clock
+//!   [`SpanGuard`]s for control-plane call trees (sweep → repair), stitched
+//!   into nested duration events by the trace exporter.
+//! * [`timeseries`] — [`ChannelTimeSeries`], a bounded per-channel
+//!   time-bucketed reservoir of utilization / queue-depth / drop signals
+//!   that coarsens its bucket width instead of growing without bound.
 //!
 //! [`Recorder`] bundles all three plus [`ObsPhase`] RAII wall-clock phase
 //! timers. Producers take an `Option<Arc<Recorder>>` (explicit plumbing,
@@ -54,10 +65,14 @@ pub mod events;
 pub mod metrics;
 pub mod phase;
 pub mod recorder;
+pub mod span;
+pub mod timeseries;
 pub mod trace;
 
-pub use events::{FlightRecorder, ObsEvent};
+pub use events::{FlightRecorder, ObsEvent, SpanClock};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use phase::{ObsPhase, PhaseSummary};
 pub use recorder::{global, install, uninstall, Recorder};
+pub use span::{wall_span_global, SpanAttrs, SpanGuard, SpanId};
+pub use timeseries::{ChannelLane, ChannelTimeSeries, TimeSeriesConfig};
 pub use trace::chrome_trace;

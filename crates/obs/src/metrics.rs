@@ -124,7 +124,7 @@ impl Histogram {
                 buckets.push((upper, c));
             }
         }
-        HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 {
@@ -133,8 +133,15 @@ impl Histogram {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
+            p50: 0,
+            p95: 0,
+            p99: 0,
             buckets,
-        }
+        };
+        snap.p50 = snap.quantile(0.50);
+        snap.p95 = snap.quantile(0.95);
+        snap.p99 = snap.quantile(0.99);
+        snap
     }
 }
 
@@ -149,6 +156,15 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    #[serde(default)]
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    #[serde(default)]
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    #[serde(default)]
+    pub p99: u64,
     /// Non-empty power-of-two buckets as `(inclusive upper bound, count)`.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -161,6 +177,26 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Quantile estimate for `q in [0, 1]`: the inclusive upper bound of
+    /// the bucket holding the `ceil(q·count)`-th smallest observation,
+    /// clamped into the exact `[min, max]` range. An upper-bound estimate
+    /// (never below the true quantile within the tracked resolution);
+    /// deterministic and integer so snapshots stay `Eq`-comparable.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -286,6 +322,34 @@ mod tests {
         assert_eq!(s.max, 0);
         assert!(s.buckets.is_empty());
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_and_clamp_to_range() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Median rank 50 → bucket upper 63; p95 rank 95 and p99 rank 99 →
+        // bucket upper 127, clamped to the exact max 100.
+        assert_eq!(s.p50, 63);
+        assert_eq!(s.p95, 100);
+        assert_eq!(s.p99, 100);
+        assert_eq!(s.quantile(0.0), 1); // clamped up to min
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_of_constant_distribution_are_exact() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (42, 42, 42));
+        let empty = Histogram::default().snapshot();
+        assert_eq!((empty.p50, empty.p95, empty.p99), (0, 0, 0));
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! phase aggregation, plus the optional process-global instance.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::events::{FlightRecorder, ObsEvent};
+use crate::events::{FlightRecorder, ObsEvent, SpanClock};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use crate::phase::{ObsPhase, PhaseSummary};
+use crate::span::{SpanAttrs, SpanGuard, SpanId};
 
 /// Default flight-recorder capacity (events).
 pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
@@ -27,6 +28,10 @@ pub struct Recorder {
     flight: FlightRecorder,
     phases: Mutex<BTreeMap<&'static str, PhaseStat>>,
     route_events: AtomicBool,
+    /// Next span id to hand out (span ids start at 1; 0 = "no span").
+    next_span: AtomicU64,
+    /// Wall-clock anchor: wall-span timestamps are ns since this instant.
+    anchor: Instant,
 }
 
 impl Default for Recorder {
@@ -48,6 +53,8 @@ impl Recorder {
             flight: FlightRecorder::new(capacity),
             phases: Mutex::new(BTreeMap::new()),
             route_events: AtomicBool::new(false),
+            next_span: AtomicU64::new(1),
+            anchor: Instant::now(),
         }
     }
 
@@ -110,6 +117,56 @@ impl Recorder {
     /// Starts an RAII phase span reporting into this recorder.
     pub fn phase(self: &Arc<Self>, name: &'static str) -> ObsPhase {
         ObsPhase::new(Some(self.clone()), name)
+    }
+
+    /// Allocates a fresh span id (unique within this recorder, starting
+    /// at 1).
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Nanoseconds of wall time since this recorder was created — the
+    /// timestamp domain of [`crate::SpanClock::Wall`] spans.
+    pub fn wall_now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a **sim-time** span at simulation time `t` (picoseconds).
+    /// Pass [`SpanId::NONE`] for a root span, or a parent id for explicit
+    /// nesting. The returned id must be closed with [`Recorder::span_end_at`].
+    pub fn span_begin_at(&self, t: u64, name: &str, parent: SpanId, attrs: SpanAttrs) -> SpanId {
+        let id = self.alloc_span_id();
+        self.record(ObsEvent::SpanBegin {
+            t,
+            span: id,
+            parent: parent.0,
+            name: name.to_string(),
+            clock: SpanClock::Sim,
+            attrs,
+        });
+        SpanId(id)
+    }
+
+    /// Closes a sim-time span at simulation time `t`.
+    pub fn span_end_at(&self, t: u64, span: SpanId) {
+        self.span_end_at_with(t, span, SpanAttrs::new());
+    }
+
+    /// Closes a sim-time span, attaching attributes discovered during its
+    /// lifetime (e.g. delivery outcome, attempt count).
+    pub fn span_end_at_with(&self, t: u64, span: SpanId, attrs: SpanAttrs) {
+        self.record(ObsEvent::SpanEnd {
+            t,
+            span: span.0,
+            attrs,
+        });
+    }
+
+    /// Opens an RAII **wall-clock** span: closes on drop, parents onto the
+    /// innermost open wall span of the current thread, and folds its
+    /// duration into the per-phase aggregate under `name`.
+    pub fn wall_span(self: &Arc<Self>, name: &'static str) -> SpanGuard {
+        SpanGuard::begin(Some(self.clone()), name)
     }
 
     /// Folds one completed span into the per-phase aggregate.

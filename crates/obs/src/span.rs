@@ -1,0 +1,276 @@
+//! Deterministic span tracing: `SpanId`s, parent links and RAII guards.
+//!
+//! Spans come in two clock domains (see [`SpanClock`]):
+//!
+//! * **Sim-time spans** are opened and closed explicitly with
+//!   [`Recorder::span_begin_at`] / [`Recorder::span_end_at`], because
+//!   simulated lifetimes (message lifecycles, stage windows) overlap freely
+//!   and do not nest lexically. Their timestamps are simulation picoseconds,
+//!   so a recorded stream stays byte-reproducible.
+//! * **Wall-clock spans** are RAII [`SpanGuard`]s from
+//!   [`Recorder::wall_span`] (or [`wall_span_global`]): the guard opens the
+//!   span on construction and closes it on drop, and a thread-local stack
+//!   supplies the parent link, so control-plane call trees (sweep → repair)
+//!   nest without any plumbing. Each completed guard also folds into the
+//!   recorder's per-phase wall-time aggregate, so `phase_report()` keeps
+//!   working unchanged.
+//!
+//! Both kinds emit [`ObsEvent::SpanBegin`] / [`ObsEvent::SpanEnd`] pairs
+//! into the flight recorder; [`crate::chrome_trace`] stitches them back
+//! into nested duration events.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::events::{ObsEvent, SpanClock};
+use crate::recorder::Recorder;
+
+/// Identifier of one span. Ids are unique per [`Recorder`] and start at 1;
+/// [`SpanId::NONE`] (0) means "no span" and is used for root parents.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (parent of root spans).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for [`SpanId::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Structured span attributes: deterministic key order (BTreeMap) so the
+/// serialized stream is stable.
+pub type SpanAttrs = BTreeMap<String, Value>;
+
+thread_local! {
+    /// Stack of currently open wall-clock span ids on this thread; the top
+    /// is the implicit parent for the next wall span.
+    static WALL_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small per-thread ordinal used as the trace track id for wall spans.
+    static WALL_TID: u64 = NEXT_WALL_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_WALL_TID: AtomicU64 = AtomicU64::new(0);
+
+fn wall_tid() -> u64 {
+    WALL_TID.with(|t| *t)
+}
+
+fn wall_parent() -> u64 {
+    WALL_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// RAII wall-clock span: opens on construction, closes on drop. Obtained
+/// from [`Recorder::wall_span`] or [`wall_span_global`]; a guard built
+/// against no recorder is a free no-op.
+#[must_use = "a SpanGuard traces until it is dropped; bind it to a variable"]
+pub struct SpanGuard {
+    rec: Option<Arc<Recorder>>,
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    attrs: SpanAttrs,
+}
+
+impl SpanGuard {
+    pub(crate) fn begin(rec: Option<Arc<Recorder>>, name: &'static str) -> Self {
+        let Some(rec) = rec else {
+            return Self::noop();
+        };
+        let id = rec.alloc_span_id();
+        let parent = wall_parent();
+        WALL_STACK.with(|s| s.borrow_mut().push(id));
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("tid".to_string(), Value::from(wall_tid()));
+        rec.record(ObsEvent::SpanBegin {
+            t: rec.wall_now_ns(),
+            span: id,
+            parent,
+            name: name.to_string(),
+            clock: SpanClock::Wall,
+            attrs,
+        });
+        Self {
+            rec: Some(rec),
+            id,
+            name,
+            start: Some(Instant::now()),
+            attrs: SpanAttrs::new(),
+        }
+    }
+
+    /// A guard that records nothing (used when no recorder is installed).
+    pub fn noop() -> Self {
+        Self {
+            rec: None,
+            id: 0,
+            name: "",
+            start: None,
+            attrs: SpanAttrs::new(),
+        }
+    }
+
+    /// This span's id (NONE for a no-op guard) — usable as an explicit
+    /// parent for sim-time spans.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+
+    /// Attaches a key-value attribute, emitted with the span's close event
+    /// (values discovered during the traced work, e.g. repair entry counts).
+    pub fn attr(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        if self.rec.is_some() {
+            self.attrs.insert(key.to_string(), value.into());
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        WALL_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order per thread, so the top is this span.
+            if s.last() == Some(&self.id) {
+                s.pop();
+            } else {
+                // Out-of-order drop (moved guard): remove wherever it is.
+                s.retain(|&x| x != self.id);
+            }
+        });
+        rec.record(ObsEvent::SpanEnd {
+            t: rec.wall_now_ns(),
+            span: self.id,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+        if let Some(start) = self.start {
+            rec.record_phase(self.name, start.elapsed());
+        }
+    }
+}
+
+/// Wall-clock span against the process-global recorder (no-op when none is
+/// installed) — the zero-plumbing entry point used inside `ftree-core`.
+pub fn wall_span_global(name: &'static str) -> SpanGuard {
+    SpanGuard::begin(crate::global(), name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_spans_nest_via_thread_stack() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let outer = rec.wall_span("outer");
+            let outer_id = outer.id();
+            {
+                let mut inner = rec.wall_span("inner");
+                inner.attr("k", 7);
+                assert_ne!(inner.id(), outer_id);
+            }
+            let _ = outer_id;
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 4);
+        let (outer_id, inner_parent) = match (&evs[0], &evs[1]) {
+            (
+                ObsEvent::SpanBegin { span, parent, .. },
+                ObsEvent::SpanBegin {
+                    parent: inner_parent,
+                    ..
+                },
+            ) => {
+                assert_eq!(*parent, 0);
+                (*span, *inner_parent)
+            }
+            other => panic!("unexpected head events: {other:?}"),
+        };
+        assert_eq!(inner_parent, outer_id, "inner span links to outer");
+        match &evs[2] {
+            ObsEvent::SpanEnd { attrs, .. } => {
+                assert_eq!(attrs["k"], Value::from(7));
+            }
+            other => panic!("expected inner end, got {other:?}"),
+        }
+        // Completed guards also feed the phase aggregate.
+        let phases = rec.phase_report();
+        assert!(phases.iter().any(|p| p.name == "outer" && p.calls == 1));
+        assert!(phases.iter().any(|p| p.name == "inner" && p.calls == 1));
+    }
+
+    #[test]
+    fn sim_spans_are_explicit_and_deterministic() {
+        let rec = Recorder::new();
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("src".into(), Value::from(3));
+        let id = rec.span_begin_at(100, "message", SpanId::NONE, attrs);
+        let child = rec.span_begin_at(150, "attempt", id, SpanAttrs::new());
+        rec.span_end_at(180, child);
+        rec.span_end_at(200, id);
+        let nd = rec.events_ndjson();
+        let lines: Vec<&str> = nd.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains("\"clock\":\"sim\""),
+            "sim clock tag: {}",
+            lines[0]
+        );
+        assert!(lines[1].contains(&format!("\"parent\":{}", id.0)));
+    }
+
+    #[test]
+    fn noop_guard_records_nothing() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let mut g = SpanGuard::noop();
+            g.attr("ignored", 1);
+            assert!(g.id().is_none());
+        }
+        assert!(rec.events().is_empty());
+        // Global not installed: the global helper is also a no-op.
+        crate::uninstall();
+        let g = wall_span_global("nothing");
+        assert!(g.id().is_none());
+    }
+
+    #[test]
+    fn span_attr_escaping_survives_ndjson() {
+        let rec = Recorder::new();
+        let mut attrs = SpanAttrs::new();
+        attrs.insert(
+            "note".into(),
+            Value::from("quote \" backslash \\ newline \n tab \t"),
+        );
+        attrs.insert("weird\"key".into(), Value::from(1));
+        let id = rec.span_begin_at(0, "esc \"name\"\n", SpanId::NONE, attrs);
+        rec.span_end_at(1, id);
+        let nd = rec.events_ndjson();
+        // Every event stays on exactly one line despite embedded newlines.
+        assert_eq!(nd.lines().count(), 2);
+        let back: ObsEvent = serde_json::from_str(nd.lines().next().unwrap()).unwrap();
+        match back {
+            ObsEvent::SpanBegin { name, attrs, .. } => {
+                assert_eq!(name, "esc \"name\"\n");
+                assert_eq!(
+                    attrs["note"],
+                    Value::from("quote \" backslash \\ newline \n tab \t")
+                );
+                assert_eq!(attrs["weird\"key"], Value::from(1));
+            }
+            other => panic!("expected SpanBegin, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Per-channel time-bucketed telemetry with a bounded-memory reservoir.
+//!
+//! [`ChannelTimeSeries`] accumulates, per directed channel and per
+//! fixed-width time bucket, three signals from the packet simulator:
+//!
+//! * **busy picoseconds** — how long the channel was serializing packets
+//!   inside the bucket (a busy span crossing a bucket edge is split by
+//!   exact overlap, so utilization never exceeds 1.0),
+//! * **drops** — packets lost at that channel in the bucket,
+//! * **queue peak** — the deepest input queue observed in the bucket.
+//!
+//! Memory is bounded: when an event lands beyond `max_buckets`, the bucket
+//! width doubles and every lane is folded in place (busy/drops add,
+//! queue peaks max), so an arbitrarily long run always fits in
+//! `active_channels × max_buckets` cells. Bucket indexing is
+//! `t / bucket_ps`, so an event exactly on a bucket edge `k·w` belongs to
+//! bucket `k`.
+//!
+//! Everything is deterministic (no clocks, no hashing — lanes live in a
+//! channel-sorted vector), so a telemetry-enabled run serializes
+//! identically across repeats.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`ChannelTimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeriesConfig {
+    /// Initial bucket width, picoseconds. Must be nonzero.
+    pub bucket_ps: u64,
+    /// Maximum buckets retained per channel; reaching the horizon doubles
+    /// `bucket_ps` instead of growing. Must be at least 2.
+    pub max_buckets: usize,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        Self {
+            // 1 µs buckets: fine enough to see per-stage structure on the
+            // paper's microsecond-scale collectives.
+            bucket_ps: 1_000_000,
+            max_buckets: 512,
+        }
+    }
+}
+
+/// One channel's bucketed signals. Lanes are resized lazily, so a channel
+/// that went quiet early stays short.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChannelLane {
+    /// Busy picoseconds per bucket.
+    pub busy_ps: Vec<u64>,
+    /// Packet drops per bucket.
+    pub drops: Vec<u32>,
+    /// Deepest input queue seen per bucket.
+    pub queue_peak: Vec<u32>,
+}
+
+impl ChannelLane {
+    fn fold_halve(&mut self) {
+        fold_add(&mut self.busy_ps);
+        fold_add(&mut self.drops);
+        fold_max(&mut self.queue_peak);
+    }
+}
+
+fn fold_add<T: Copy + std::ops::Add<Output = T> + Default>(v: &mut Vec<T>) {
+    let n = v.len().div_ceil(2);
+    for i in 0..n {
+        let a = v[2 * i];
+        let b = v.get(2 * i + 1).copied().unwrap_or_default();
+        v[i] = a + b;
+    }
+    v.truncate(n);
+}
+
+fn fold_max<T: Copy + Ord + Default>(v: &mut Vec<T>) {
+    let n = v.len().div_ceil(2);
+    for i in 0..n {
+        let a = v[2 * i];
+        let b = v.get(2 * i + 1).copied().unwrap_or_default();
+        v[i] = a.max(b);
+    }
+    v.truncate(n);
+}
+
+/// Bounded per-channel time-series reservoir (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelTimeSeries {
+    bucket_ps: u64,
+    max_buckets: usize,
+    /// Highest bucket index touched + 1 (shared across lanes).
+    used: usize,
+    /// Number of bucket-width doublings performed.
+    coarsenings: u32,
+    /// Active channels, sorted ascending by channel id.
+    lanes: Vec<(u32, ChannelLane)>,
+}
+
+impl ChannelTimeSeries {
+    /// Empty series with the given bucketing.
+    pub fn new(cfg: TimeSeriesConfig) -> Self {
+        Self {
+            bucket_ps: cfg.bucket_ps.max(1),
+            max_buckets: cfg.max_buckets.max(2),
+            used: 0,
+            coarsenings: 0,
+            lanes: Vec::new(),
+        }
+    }
+
+    /// The lane for `ch`, created in sorted position on first use.
+    fn lane_mut(&mut self, ch: u32) -> &mut ChannelLane {
+        let idx = match self.lanes.binary_search_by_key(&ch, |&(c, _)| c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.lanes.insert(i, (ch, ChannelLane::default()));
+                i
+            }
+        };
+        &mut self.lanes[idx].1
+    }
+
+    /// Current bucket width, picoseconds (grows when the reservoir
+    /// coarsens).
+    pub fn bucket_ps(&self) -> u64 {
+        self.bucket_ps
+    }
+
+    /// Number of buckets actually touched so far.
+    pub fn num_buckets(&self) -> usize {
+        self.used
+    }
+
+    /// How many times the bucket width has doubled to stay within the
+    /// memory bound.
+    pub fn coarsenings(&self) -> u32 {
+        self.coarsenings
+    }
+
+    /// Channels that recorded at least one event, ascending.
+    pub fn channels(&self) -> impl Iterator<Item = (u32, &ChannelLane)> {
+        self.lanes.iter().map(|(ch, lane)| (*ch, lane))
+    }
+
+    /// The lane for `ch`, if it ever recorded anything.
+    pub fn lane(&self, ch: u32) -> Option<&ChannelLane> {
+        self.lanes
+            .binary_search_by_key(&ch, |&(c, _)| c)
+            .ok()
+            .map(|i| &self.lanes[i].1)
+    }
+
+    /// Number of active channels.
+    pub fn num_channels(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Doubles the bucket width until bucket index `needed` fits.
+    fn coarsen_to_fit(&mut self, t_end: u64) {
+        while t_end.div_ceil(self.bucket_ps) as usize > self.max_buckets {
+            self.bucket_ps *= 2;
+            self.coarsenings += 1;
+            for (_, lane) in self.lanes.iter_mut() {
+                lane.fold_halve();
+            }
+            self.used = self.used.div_ceil(2);
+        }
+    }
+
+    fn touch(&mut self, bucket: usize) {
+        if bucket + 1 > self.used {
+            self.used = bucket + 1;
+        }
+    }
+
+    /// Records a busy span `[t, t + dur)` on channel `ch`, splitting it by
+    /// exact overlap across any bucket edges it crosses.
+    pub fn record_busy(&mut self, ch: u32, t: u64, dur: u64) {
+        if dur == 0 {
+            return;
+        }
+        let end = t + dur;
+        self.coarsen_to_fit(end);
+        let w = self.bucket_ps;
+        let first = (t / w) as usize;
+        let last = ((end - 1) / w) as usize;
+        self.touch(last);
+        let lane = self.lane_mut(ch);
+        if lane.busy_ps.len() < last + 1 {
+            lane.busy_ps.resize(last + 1, 0);
+        }
+        for b in first..=last {
+            let lo = t.max(b as u64 * w);
+            let hi = end.min((b as u64 + 1) * w);
+            lane.busy_ps[b] += hi - lo;
+        }
+    }
+
+    /// Records a packet drop at channel `ch` at time `t`.
+    pub fn record_drop(&mut self, ch: u32, t: u64) {
+        self.coarsen_to_fit(t + 1);
+        let b = (t / self.bucket_ps) as usize;
+        self.touch(b);
+        let lane = self.lane_mut(ch);
+        if lane.drops.len() < b + 1 {
+            lane.drops.resize(b + 1, 0);
+        }
+        lane.drops[b] += 1;
+    }
+
+    /// Records an input-queue depth observation for channel `ch` at `t`.
+    pub fn record_queue_depth(&mut self, ch: u32, t: u64, depth: u32) {
+        self.coarsen_to_fit(t + 1);
+        let b = (t / self.bucket_ps) as usize;
+        self.touch(b);
+        let lane = self.lane_mut(ch);
+        if lane.queue_peak.len() < b + 1 {
+            lane.queue_peak.resize(b + 1, 0);
+        }
+        lane.queue_peak[b] = lane.queue_peak[b].max(depth);
+    }
+
+    /// Channel utilization per bucket in `[0, 1]` (busy ps / bucket width).
+    pub fn utilization(&self, ch: u32) -> Vec<f64> {
+        let Some(lane) = self.lane(ch) else {
+            return Vec::new();
+        };
+        lane.busy_ps
+            .iter()
+            .map(|&b| (b as f64 / self.bucket_ps as f64).min(1.0))
+            .collect()
+    }
+
+    /// Total drops across all channels and buckets.
+    pub fn total_drops(&self) -> u64 {
+        self.lanes
+            .iter()
+            .flat_map(|(_, l)| l.drops.iter())
+            .map(|&d| d as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bucket_ps: u64, max_buckets: usize) -> TimeSeriesConfig {
+        TimeSeriesConfig {
+            bucket_ps,
+            max_buckets,
+        }
+    }
+
+    #[test]
+    fn busy_splits_exactly_across_bucket_edges() {
+        let mut ts = ChannelTimeSeries::new(cfg(100, 64));
+        // [50, 250): 50 ps in bucket 0, 100 in bucket 1, 50 in bucket 2.
+        ts.record_busy(7, 50, 200);
+        let lane = ts.lane(7).unwrap();
+        assert_eq!(lane.busy_ps, vec![50, 100, 50]);
+        assert_eq!(ts.num_buckets(), 3);
+        let u = ts.utilization(7);
+        assert_eq!(u, vec![0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn event_exactly_on_bucket_edge_belongs_to_that_bucket() {
+        let mut ts = ChannelTimeSeries::new(cfg(100, 64));
+        // A drop at t = 2·w lands in bucket 2, not bucket 1.
+        ts.record_drop(0, 200);
+        let lane = ts.lane(0).unwrap();
+        assert_eq!(lane.drops, vec![0, 0, 1]);
+        // A busy span starting exactly on the edge stays entirely in its
+        // bucket when it fits.
+        ts.record_busy(0, 200, 100);
+        assert_eq!(ts.lane(0).unwrap().busy_ps, vec![0, 0, 100]);
+        // A span ending exactly on an edge does not bleed into the next
+        // bucket: [100, 200) touches only bucket 1.
+        ts.record_busy(0, 100, 100);
+        assert_eq!(ts.lane(0).unwrap().busy_ps, vec![0, 100, 100]);
+        assert_eq!(ts.num_buckets(), 3);
+    }
+
+    #[test]
+    fn run_shorter_than_one_bucket_uses_bucket_zero_only() {
+        let mut ts = ChannelTimeSeries::new(cfg(1_000_000, 512));
+        ts.record_busy(1, 10, 500);
+        ts.record_drop(1, 900);
+        ts.record_queue_depth(1, 999, 4);
+        assert_eq!(ts.num_buckets(), 1);
+        let lane = ts.lane(1).unwrap();
+        assert_eq!(lane.busy_ps, vec![500]);
+        assert_eq!(lane.drops, vec![1]);
+        assert_eq!(lane.queue_peak, vec![4]);
+    }
+
+    #[test]
+    fn reservoir_coarsens_instead_of_growing() {
+        let mut ts = ChannelTimeSeries::new(cfg(10, 4));
+        for b in 0..4u64 {
+            ts.record_busy(0, b * 10, 10); // fills buckets 0..4 completely
+        }
+        ts.record_queue_depth(0, 5, 3);
+        ts.record_queue_depth(0, 15, 1);
+        assert_eq!(ts.bucket_ps(), 10);
+        // t = 70 needs bucket 7 → one doubling to w=20 (buckets 0..4).
+        ts.record_busy(0, 70, 10);
+        assert_eq!(ts.bucket_ps(), 20);
+        assert_eq!(ts.coarsenings(), 1);
+        let lane = ts.lane(0).unwrap();
+        // Folded: [10+10, 10+10, 0, 10(at bucket 3 = t 70)]
+        assert_eq!(lane.busy_ps, vec![20, 20, 0, 10]);
+        // Queue peaks fold by max: [3, 1] → [3].
+        assert_eq!(lane.queue_peak, vec![3]);
+        assert!(ts.num_buckets() <= 4);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_long_runs() {
+        let mut ts = ChannelTimeSeries::new(cfg(1, 8));
+        for i in 0..10_000u64 {
+            ts.record_busy(i as u32 % 3, i * 7, 5);
+        }
+        assert!(ts.num_buckets() <= 8);
+        for (_, lane) in ts.channels() {
+            assert!(lane.busy_ps.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut ts = ChannelTimeSeries::new(cfg(100, 16));
+        ts.record_busy(2, 0, 150);
+        ts.record_drop(5, 120);
+        ts.record_queue_depth(2, 10, 9);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: ChannelTimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+    }
+}

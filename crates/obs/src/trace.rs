@@ -11,22 +11,31 @@
 //!   `SweepReport` in `args`) and the fault track (link fail/recover
 //!   instants),
 //! * **pid 3 "hosts"** — per-host transport instants: message deliveries,
-//!   retransmissions, abandoned messages.
+//!   retransmissions, abandoned messages,
+//! * **pid 4 "spans (sim)"** — sim-time spans (message lifecycles), paired
+//!   from `SpanBegin`/`SpanEnd` into nested complete events; tracks keyed
+//!   by the span's `src` attribute when present,
+//! * **pid 5 "spans (wall)"** — wall-clock control-plane spans (SM sweep →
+//!   repair, planner phases), one track per recording thread.
 //!
 //! Timestamps convert from the simulator's picoseconds to the format's
 //! microseconds, so a 50 µs blackhole window reads as 50 µs on screen.
+//! Wall-clock span timestamps are nanoseconds since the recorder was
+//! created and convert to microseconds the same way.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use serde_json::{json, Value};
+use serde_json::{json, Map, Value};
 
-use crate::events::ObsEvent;
+use crate::events::{ObsEvent, SpanClock};
 
 const FABRIC_PID: u64 = 1;
 const CONTROL_PID: u64 = 2;
 const HOST_PID: u64 = 3;
+const SPAN_SIM_PID: u64 = 4;
+const SPAN_WALL_PID: u64 = 5;
 
 /// Subnet-manager track within the control-plane process.
 const SM_TID: u64 = 0;
@@ -36,6 +45,73 @@ const FAULT_TID: u64 = 1;
 /// Picoseconds → trace microseconds.
 fn us(ps: u64) -> f64 {
     ps as f64 / 1e6
+}
+
+/// Wall nanoseconds → trace microseconds.
+fn wall_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// A `SpanBegin` awaiting its matching `SpanEnd`.
+struct OpenSpan {
+    t: u64,
+    parent: u64,
+    name: String,
+    clock: SpanClock,
+    attrs: BTreeMap<String, Value>,
+}
+
+/// Renders one paired (or force-closed) span as a complete event and
+/// remembers its track for metadata.
+fn emit_span(
+    id: u64,
+    begin: OpenSpan,
+    end_t: u64,
+    end_attrs: BTreeMap<String, Value>,
+    sim_tracks: &mut BTreeSet<u64>,
+    wall_tracks: &mut BTreeSet<u64>,
+) -> Value {
+    let tid_key = match begin.clock {
+        SpanClock::Sim => "src",
+        SpanClock::Wall => "tid",
+    };
+    let tid = begin
+        .attrs
+        .get(tid_key)
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let (pid, ts, dur) = match begin.clock {
+        SpanClock::Sim => {
+            sim_tracks.insert(tid);
+            (SPAN_SIM_PID, us(begin.t), us(end_t.saturating_sub(begin.t)))
+        }
+        SpanClock::Wall => {
+            wall_tracks.insert(tid);
+            (
+                SPAN_WALL_PID,
+                wall_us(begin.t),
+                wall_us(end_t.saturating_sub(begin.t)),
+            )
+        }
+    };
+    let mut args = Map::new();
+    args.insert("span".to_string(), Value::from(id));
+    if begin.parent != 0 {
+        args.insert("parent".to_string(), Value::from(begin.parent));
+    }
+    for (k, v) in begin.attrs.into_iter().chain(end_attrs) {
+        args.insert(k, v);
+    }
+    json!({
+        "name": begin.name,
+        "cat": "span",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    })
 }
 
 /// Builds a Chrome trace-event JSON document from recorded events.
@@ -52,8 +128,30 @@ where
     let mut channels_seen: BTreeSet<u32> = BTreeSet::new();
     let mut hosts_seen: BTreeSet<u32> = BTreeSet::new();
     let mut control_seen = false;
+    let mut open_spans: BTreeMap<u64, OpenSpan> = BTreeMap::new();
+    let mut sim_tracks: BTreeSet<u64> = BTreeSet::new();
+    let mut wall_tracks: BTreeSet<u64> = BTreeSet::new();
+    // Latest timestamp seen per clock domain: unmatched SpanBegins (e.g. a
+    // truncated ring) are force-closed at the end of the recorded window.
+    let mut max_sim_t = 0u64;
+    let mut max_wall_t = 0u64;
 
     for ev in events {
+        // Track the furthest timestamp per clock domain so unmatched span
+        // begins can be force-closed at the window's end. All non-span
+        // events carry sim time.
+        match ev {
+            ObsEvent::SpanBegin {
+                t,
+                clock: SpanClock::Wall,
+                ..
+            } => max_wall_t = max_wall_t.max(*t),
+            ObsEvent::SpanEnd { t, span, .. } => match open_spans.get(span).map(|o| o.clock) {
+                Some(SpanClock::Wall) => max_wall_t = max_wall_t.max(*t),
+                _ => max_sim_t = max_sim_t.max(*t),
+            },
+            other => max_sim_t = max_sim_t.max(other.time()),
+        }
         match ev {
             ObsEvent::ChannelBusy { t, ch, dur, bytes } => {
                 channels_seen.insert(*ch);
@@ -222,6 +320,39 @@ where
                     "tid": SM_TID,
                 }));
             }
+            ObsEvent::SpanBegin {
+                t,
+                span,
+                parent,
+                name,
+                clock,
+                attrs,
+            } => {
+                open_spans.insert(
+                    *span,
+                    OpenSpan {
+                        t: *t,
+                        parent: *parent,
+                        name: name.clone(),
+                        clock: *clock,
+                        attrs: attrs.clone(),
+                    },
+                );
+            }
+            ObsEvent::SpanEnd { t, span, attrs } => {
+                // An end whose begin was evicted from the ring is dropped:
+                // without the begin there is no name, clock or start time.
+                if let Some(begin) = open_spans.remove(span) {
+                    out.push(emit_span(
+                        *span,
+                        begin,
+                        *t,
+                        attrs.clone(),
+                        &mut sim_tracks,
+                        &mut wall_tracks,
+                    ));
+                }
+            }
             ObsEvent::Custom { t, name, data } => {
                 control_seen = true;
                 out.push(json!({
@@ -236,6 +367,26 @@ where
                 }));
             }
         }
+    }
+
+    // Spans still open when the stream ends (in-flight messages, a
+    // truncated recording) are closed at the window's end so they stay
+    // visible instead of vanishing.
+    for (id, begin) in std::mem::take(&mut open_spans) {
+        let end_t = match begin.clock {
+            SpanClock::Sim => max_sim_t.max(begin.t),
+            SpanClock::Wall => max_wall_t.max(begin.t),
+        };
+        let mut end_attrs = BTreeMap::new();
+        end_attrs.insert("incomplete".to_string(), Value::from(true));
+        out.push(emit_span(
+            id,
+            begin,
+            end_t,
+            end_attrs,
+            &mut sim_tracks,
+            &mut wall_tracks,
+        ));
     }
 
     // Metadata: process and thread names for every track actually used.
@@ -261,6 +412,18 @@ where
         meta.push(process_name(HOST_PID, "hosts"));
         for &h in &hosts_seen {
             meta.push(thread_name(HOST_PID, h as u64, format!("host {h}")));
+        }
+    }
+    if !sim_tracks.is_empty() {
+        meta.push(process_name(SPAN_SIM_PID, "spans (sim)"));
+        for &tid in &sim_tracks {
+            meta.push(thread_name(SPAN_SIM_PID, tid, format!("host {tid}")));
+        }
+    }
+    if !wall_tracks.is_empty() {
+        meta.push(process_name(SPAN_WALL_PID, "spans (wall)"));
+        for &tid in &wall_tracks {
+            meta.push(thread_name(SPAN_WALL_PID, tid, format!("thread {tid}")));
         }
     }
     meta.extend(out);
@@ -349,6 +512,105 @@ mod tests {
         let trace = chrome_trace(&events, label("ch"), label("l"));
         let evs = trace["traceEvents"].as_array().unwrap();
         assert_eq!(evs.iter().filter(|e| e["cat"] == "sm").count(), 1);
+    }
+
+    #[test]
+    fn span_pairs_become_nested_duration_events() {
+        let mut begin_attrs = BTreeMap::new();
+        begin_attrs.insert("src".to_string(), Value::from(3u64));
+        let mut end_attrs = BTreeMap::new();
+        end_attrs.insert("outcome".to_string(), Value::from("delivered"));
+        let events = vec![
+            ObsEvent::SpanBegin {
+                t: 1_000_000,
+                span: 1,
+                parent: 0,
+                name: "message".into(),
+                clock: SpanClock::Sim,
+                attrs: begin_attrs,
+            },
+            ObsEvent::SpanBegin {
+                t: 500, // wall ns
+                span: 2,
+                parent: 1,
+                name: "sm::sweep".into(),
+                clock: SpanClock::Wall,
+                attrs: BTreeMap::new(),
+            },
+            ObsEvent::SpanEnd {
+                t: 2_500, // wall ns
+                span: 2,
+                attrs: BTreeMap::new(),
+            },
+            ObsEvent::SpanEnd {
+                t: 3_000_000,
+                span: 1,
+                attrs: end_attrs,
+            },
+        ];
+        let trace = chrome_trace(&events, label("ch"), label("l"));
+        let evs = trace["traceEvents"].as_array().unwrap();
+        let msg = evs
+            .iter()
+            .find(|e| e["name"] == "message")
+            .expect("sim span rendered");
+        assert_eq!(msg["ph"], "X");
+        assert_eq!(msg["pid"].as_u64().unwrap(), SPAN_SIM_PID);
+        assert_eq!(msg["tid"].as_u64().unwrap(), 3); // from the src attr
+        assert_eq!(msg["ts"].as_f64().unwrap(), 1.0); // 1e6 ps = 1 µs
+        assert_eq!(msg["dur"].as_f64().unwrap(), 2.0);
+        assert_eq!(msg["args"]["outcome"], "delivered");
+        let sweep = evs
+            .iter()
+            .find(|e| e["name"] == "sm::sweep")
+            .expect("wall span rendered");
+        assert_eq!(sweep["pid"].as_u64().unwrap(), SPAN_WALL_PID);
+        assert_eq!(sweep["ts"].as_f64().unwrap(), 0.5); // 500 ns = 0.5 µs
+        assert_eq!(sweep["dur"].as_f64().unwrap(), 2.0);
+        assert_eq!(sweep["args"]["parent"].as_u64().unwrap(), 1);
+        // Track metadata for both span processes.
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "spans (sim)"));
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "spans (wall)"));
+    }
+
+    #[test]
+    fn unmatched_span_begin_is_closed_at_window_end() {
+        let events = vec![
+            ObsEvent::SpanBegin {
+                t: 100,
+                span: 9,
+                parent: 0,
+                name: "in_flight".into(),
+                clock: SpanClock::Sim,
+                attrs: BTreeMap::new(),
+            },
+            ObsEvent::Delivery {
+                t: 5_000,
+                src: 0,
+                dst: 1,
+                msg: 0,
+                bytes: 64,
+            },
+        ];
+        let trace = chrome_trace(&events, label("ch"), label("l"));
+        let evs = trace["traceEvents"].as_array().unwrap();
+        let span = evs.iter().find(|e| e["name"] == "in_flight").unwrap();
+        assert_eq!(span["args"]["incomplete"], true);
+        // Closed at the last sim timestamp seen (5000 ps).
+        let end = span["ts"].as_f64().unwrap() + span["dur"].as_f64().unwrap();
+        assert!((end - 0.005).abs() < 1e-12, "end = {end}");
+        // An end without a begin is dropped, not rendered.
+        let orphan = vec![ObsEvent::SpanEnd {
+            t: 1,
+            span: 77,
+            attrs: BTreeMap::new(),
+        }];
+        let trace = chrome_trace(&orphan, label("ch"), label("l"));
+        assert_eq!(trace["traceEvents"].as_array().unwrap().len(), 0);
     }
 
     #[test]

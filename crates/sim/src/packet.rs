@@ -34,7 +34,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use ftree_core::{SubnetManager, SweepReport};
-use ftree_obs::{ObsEvent, Recorder};
+use ftree_obs::{ChannelTimeSeries, ObsEvent, Recorder, SpanAttrs, SpanId, TimeSeriesConfig};
 use ftree_topology::{
     LinkEventKind, LinkFailures, NextChannelTable, NodeId, RoutingTable, Topology, TopologyError,
 };
@@ -93,6 +93,10 @@ pub struct SimResult {
     pub duplicate_payload: u64,
     /// One report per subnet-manager sweep (lifecycle runs only).
     pub sweep_reports: Vec<SweepReport>,
+    /// Per-channel time-bucketed telemetry, when enabled with
+    /// [`PacketSim::with_telemetry`] (`None` otherwise — the default, and
+    /// always `None` in bit-identity-gated runs).
+    pub telemetry: Option<ChannelTimeSeries>,
 }
 
 impl SimResult {
@@ -285,6 +289,12 @@ pub struct PacketSim<'a> {
     /// Observability sink (`None` = zero-overhead run; see
     /// [`PacketSim::with_recorder`]).
     recorder: Option<Arc<Recorder>>,
+    /// Per-message sim-time span ids (allocated only with a recorder
+    /// attached; 0 = no span). Indexed like `msg_start`.
+    msg_span: Vec<Vec<u64>>,
+    /// Per-channel bucketed utilization/queue/drop telemetry (`None` =
+    /// disabled; see [`PacketSim::with_telemetry`]).
+    telemetry: Option<ChannelTimeSeries>,
     cfg: SimConfig,
     channels: Vec<ChannelState>,
     packets: Vec<Packet>,
@@ -415,6 +425,8 @@ impl<'a> PacketSim<'a> {
             drop_rolls: 0,
             msg_state,
             recorder: None,
+            msg_span: Vec::new(),
+            telemetry: None,
             cfg,
             channels: (0..topo.num_channels())
                 .map(|_| ChannelState::default())
@@ -455,7 +467,58 @@ impl<'a> PacketSim<'a> {
     /// with or without a recorder.
     pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
         self.recorder = Some(rec);
+        self.msg_span = self
+            .hosts
+            .iter()
+            .map(|h| vec![0u64; h.schedule.len()])
+            .collect();
         self
+    }
+
+    /// Enables per-channel time-bucketed telemetry (utilization, queue
+    /// depth, drops); the filled reservoir comes back in
+    /// [`SimResult::telemetry`]. Purely additive: the simulated outcome is
+    /// bit-identical with or without it.
+    pub fn with_telemetry(mut self, cfg: TimeSeriesConfig) -> Self {
+        self.telemetry = Some(ChannelTimeSeries::new(cfg));
+        self
+    }
+
+    /// Opens the sim-time span tracking message `msg` of host `h` (recorder
+    /// runs only).
+    fn begin_msg_span(&mut self, h: u32, msg: u32) {
+        let Some(rec) = &self.recorder else { return };
+        let (dst, bytes, stage) = self.hosts[h as usize].schedule[msg as usize];
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("src".to_string(), h.into());
+        attrs.insert("dst".to_string(), dst.into());
+        attrs.insert("msg".to_string(), msg.into());
+        attrs.insert("bytes".to_string(), bytes.into());
+        attrs.insert("stage".to_string(), stage.into());
+        let id = rec.span_begin_at(self.now, "message", SpanId::NONE, attrs);
+        self.msg_span[h as usize][msg as usize] = id.0;
+    }
+
+    /// Closes the message span with its outcome (no-op when none is open).
+    fn end_msg_span(&mut self, src: u32, msg: u32, outcome: &str) {
+        let Some(rec) = &self.recorder else { return };
+        let Some(&id) = self
+            .msg_span
+            .get(src as usize)
+            .and_then(|v| v.get(msg as usize))
+        else {
+            return;
+        };
+        if id == 0 {
+            return;
+        }
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("outcome".to_string(), outcome.into());
+        if !self.msg_state.is_empty() {
+            let attempts = self.msg_state[src as usize][msg as usize].attempt + 1;
+            attrs.insert("attempts".to_string(), attempts.into());
+        }
+        rec.span_end_at_with(self.now, SpanId(id), attrs);
     }
 
     /// Drops the precomputed next-channel cache so every hop routes through
@@ -569,6 +632,9 @@ impl<'a> PacketSim<'a> {
                 self.hosts[h as usize].current = Some((next as u32, self.cfg.packets_for(bytes)));
                 self.msg_start[h as usize][next] = self.now;
                 self.hosts[h as usize].next = next + 1;
+                if self.recorder.is_some() {
+                    self.begin_msg_span(h, next as u32);
+                }
             }
         }
         let (msg, _) = self.hosts[h as usize].current.expect("just selected");
@@ -658,6 +724,9 @@ impl<'a> PacketSim<'a> {
                 bytes: size,
             });
         }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
         if self.channel_buffer_capacity(e) != usize::MAX {
@@ -706,6 +775,9 @@ impl<'a> PacketSim<'a> {
                 bytes: size,
             });
         }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
         if self.channel_buffer_capacity(e) != usize::MAX {
@@ -734,6 +806,9 @@ impl<'a> PacketSim<'a> {
                 dur: serialize,
                 bytes: size,
             });
+        }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
         }
         self.channel_busy[e as usize] += serialize;
         self.channels[e as usize].busy = true;
@@ -807,6 +882,9 @@ impl<'a> PacketSim<'a> {
                     );
                     self.channels[i as usize].buffer.pop_front();
                     self.packets_dropped += 1;
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_drop(i, self.now);
+                    }
                     if let Some(rec) = &self.recorder {
                         let p = self.packets[pkt_id as usize];
                         rec.record(ObsEvent::PacketDrop {
@@ -830,6 +908,9 @@ impl<'a> PacketSim<'a> {
     /// that credit.
     fn drop_packet(&mut self, pkt_id: u32, ch: u32) {
         self.packets_dropped += 1;
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_drop(ch, self.now);
+        }
         if let Some(rec) = &self.recorder {
             let p = self.packets[pkt_id as usize];
             rec.record(ObsEvent::PacketDrop {
@@ -881,6 +962,7 @@ impl<'a> PacketSim<'a> {
                 bytes,
             });
         }
+        self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
         let start = self.msg_start[src][msg];
         let lat = self.now - start;
         self.latency_sum += lat as u128;
@@ -935,6 +1017,7 @@ impl<'a> PacketSim<'a> {
                             bytes,
                         });
                     }
+                    self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
                     let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
                     let lat = self.now - start;
                     self.latency_sum += lat as u128;
@@ -954,7 +1037,11 @@ impl<'a> PacketSim<'a> {
                     let st = &mut self.channels[ch as usize];
                     st.reserved = st.reserved.saturating_sub(1);
                     st.buffer.push_back(pkt_id);
-                    if st.buffer.len() == 1 {
+                    let depth = st.buffer.len();
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_queue_depth(ch, self.now, depth as u32);
+                    }
+                    if depth == 1 {
                         self.request_for_head(ch);
                     }
                 }
@@ -1138,6 +1225,7 @@ impl<'a> PacketSim<'a> {
                     msg,
                 });
             }
+            self.end_msg_span(host, msg, "lost");
             if self.mode == Progression::Synchronized {
                 self.stage_remaining -= 1;
                 if self.stage_remaining == 0 {
@@ -1292,6 +1380,7 @@ impl<'a> PacketSim<'a> {
             messages_lost_unreachable: self.messages_lost_unreachable,
             duplicate_payload: self.duplicate_payload,
             sweep_reports: self.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
+            telemetry: self.telemetry,
         }
     }
 }

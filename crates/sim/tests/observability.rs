@@ -213,6 +213,7 @@ fn efficiency_survives_tiny_messages() {
         messages_lost_unreachable: 0,
         duplicate_payload: 0,
         sweep_reports: Vec::new(),
+        telemetry: None,
     };
     // ideal = 3 * 1e6 / 4e6 = 0.75 ps; integer division gave 0.
     assert!((r.efficiency() - 0.75).abs() < 1e-12);

@@ -41,6 +41,13 @@ run perf
 run routing_quality
 run chaos
 
+# Deep-observability chaos cell: Perfetto trace with nested spans,
+# per-channel utilization heatmap, and the contention attribution report
+# (results/chaos_deep*). Runs outside run() — it takes its own flag.
+echo "== chaos --deep-obs =="
+./target/release/chaos --deep-obs 2>/dev/null | tee results/chaos_deep.txt
+echo
+
 # Aggregate the per-bench JSON results into one summary document.
 summary=results/BENCH_summary.json
 json_files=()
@@ -70,5 +77,11 @@ if ((${#json_files[@]})); then
     fi
     echo "bench summary written to $summary (${#json_files[@]} benches)"
 fi
+
+# Fold everything into the provenance-stamped regression ledger and
+# Markdown report (results/LEDGER.ndjson, results/REPORT.md); fails the
+# script if any regression gate trips.
+echo "== ftree-report =="
+./target/release/ftree-report --check
 
 echo "all experiment outputs written to results/"

@@ -1,0 +1,35 @@
+//! Rebuilt packet engine vs the preserved serial oracle on the gate
+//! workload (nodes_1728, random-order Shift) — the criterion twin of
+//! `perf --packet`, for statistically sound before/after numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftree_collectives::Cps;
+use ftree_core::{DModK, NodeOrder, Router};
+use ftree_sim::{OracleSim, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn bench_packet_engine(c: &mut Criterion) {
+    let topo = Topology::build(catalog::nodes_1728());
+    let rt = DModK.route_healthy(&topo);
+    let cfg = SimConfig::default();
+    let order = NodeOrder::random(&topo, 42);
+    // 8 stages (not the perf bin's 32) keeps a 10-sample criterion run
+    // tolerable; the per-event costs are identical.
+    let plan = TrafficPlan::from_cps(&order, &Cps::Shift, 2048, Progression::Asynchronous, 8);
+
+    let mut group = c.benchmark_group("packet_engine_1728");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("oracle"), &plan, |b, p| {
+        b.iter(|| black_box(OracleSim::new(&topo, &rt, cfg, p).run()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("rebuilt"), &plan, |b, p| {
+        b.iter(|| black_box(PacketSim::new(&topo, &rt, cfg, p).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_engine);
+criterion_main!(benches);

@@ -11,20 +11,32 @@
 //! wall_ms_after}, wall_ms}`) — assembled with `format!` so the document
 //! is a plain artifact of this binary, not of a serializer version.
 //!
+//! The run also times the rebuilt packet engine against the preserved
+//! serial oracle (`ftree_sim::OracleSim`) on a random-order Shift — the
+//! paper's randomized-placement case — asserting bit-identical `SimResult`s
+//! first, and records `events_per_sec` / `packet_speedup` in the same
+//! document, plus the flagship full 1943-stage Shift at 1944 hosts
+//! (the sub-minute packet-level target).
+//!
 //! Flags: `--topo <name>` (fig4_pgft_16 | nodes_128 | nodes_324 |
 //! nodes_1728 | nodes_1944), `--seeds N`, `--max-stages N` (0 = the full
 //! `n - 1`-stage sequence, the default — Figure 3 is computed over complete
 //! shift sequences, and the full sweep is also where the one-time arena
 //! build amortizes across every stage of every seed), `--json-out <path>`,
 //! `--breakdown` (skip the comparison; print where the fast engine's time
-//! goes: arena build, stage generation, accumulation).
+//! goes: arena build, stage generation, accumulation), `--packet`
+//! (packet-engine microbench only: writes a `bench: "packet"` document —
+//! default `results/BENCH_packet.json` — for the CI perf-smoke gate),
+//! `--reps N` (best-of-N for the packet timings, default 3),
+//! `--no-flagship` (skip the 1944-host full-Shift run).
 
 use std::time::Instant;
 
 use ftree_analysis::{random_order_sweep, reference, SequenceOptions, SweepResult};
 use ftree_bench::{arg_num, arg_value, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{DModK, Router};
+use ftree_core::{DModK, NodeOrder, Router};
+use ftree_sim::{OracleSim, PacketSim, Progression, SimConfig, TrafficPlan};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -49,6 +61,120 @@ fn assert_identical(slow: &SweepResult, fast: &SweepResult) {
     assert_eq!(slow.mean.to_bits(), fast.mean.to_bits());
 }
 
+/// Packet-engine throughput: rebuilt engine vs the preserved oracle.
+struct PacketBench {
+    events: u64,
+    wall_ms: f64,
+    wall_ms_oracle: f64,
+    identical: bool,
+    /// Full 1943-stage Shift at 1944 hosts, rebuilt engine (ms); `None`
+    /// with `--no-flagship`.
+    flagship_wall_ms: Option<f64>,
+    flagship_events: u64,
+}
+
+impl PacketBench {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    fn events_per_sec_oracle(&self) -> f64 {
+        self.events as f64 / (self.wall_ms_oracle / 1e3).max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.wall_ms_oracle / self.wall_ms.max(1e-9)
+    }
+}
+
+/// Times the two packet engines on a random-order (seed 42) 32-stage Shift
+/// at nodes_1728 — the paper's randomized-placement congestion case —
+/// best-of-`reps` on `run()` alone, after asserting the engines'
+/// `SimResult`s are bit-identical so the ratio can never come from a
+/// divergent computation.
+fn packet_bench(reps: usize, flagship: bool) -> PacketBench {
+    let topo = Topology::build(catalog::nodes_1728());
+    let rt = DModK.route_healthy(&topo);
+    let cfg = SimConfig::default();
+    let order = NodeOrder::random(&topo, 42);
+    let plan = TrafficPlan::from_cps(&order, &Cps::Shift, 2048, Progression::Asynchronous, 32);
+
+    let oracle_result = OracleSim::new(&topo, &rt, cfg, &plan).run();
+    let engine_result = PacketSim::new(&topo, &rt, cfg, &plan).run();
+    let identical = format!("{oracle_result:?}") == format!("{engine_result:?}");
+    let events = engine_result.events;
+
+    let mut wall_ms = f64::MAX;
+    for _ in 0..reps {
+        let sim = PacketSim::new(&topo, &rt, cfg, &plan);
+        let t = Instant::now();
+        let _ = sim.run();
+        wall_ms = wall_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut wall_ms_oracle = f64::MAX;
+    for _ in 0..reps {
+        let sim = OracleSim::new(&topo, &rt, cfg, &plan);
+        let t = Instant::now();
+        let _ = sim.run();
+        wall_ms_oracle = wall_ms_oracle.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let (flagship_wall_ms, flagship_events) = if flagship {
+        let topo = Topology::build(catalog::nodes_1944());
+        let rt = DModK.route_healthy(&topo);
+        let order = NodeOrder::topology(&topo);
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Shift,
+            2048,
+            Progression::Asynchronous,
+            usize::MAX,
+        );
+        let sim = PacketSim::new(&topo, &rt, cfg, &plan);
+        let t = Instant::now();
+        let r = sim.run();
+        (Some(t.elapsed().as_secs_f64() * 1e3), r.events)
+    } else {
+        (None, 0)
+    };
+
+    PacketBench {
+        events,
+        wall_ms,
+        wall_ms_oracle,
+        identical,
+        flagship_wall_ms,
+        flagship_events,
+    }
+}
+
+fn print_packet_table(pb: &PacketBench) {
+    let mut table = TextTable::new(vec!["packet engine", "wall ms", "M events/s"]);
+    table.row(vec![
+        "oracle (BinaryHeap + VecDeque)".to_string(),
+        format!("{:.1}", pb.wall_ms_oracle),
+        format!("{:.2}", pb.events_per_sec_oracle() / 1e6),
+    ]);
+    table.row(vec![
+        "rebuilt (calendar + SoA)".to_string(),
+        format!("{:.1}", pb.wall_ms),
+        format!("{:.2}", pb.events_per_sec() / 1e6),
+    ]);
+    table.print();
+    println!(
+        "\npacket speedup: {:.2}x (nodes_1728 random-order shift, identical: {})",
+        pb.speedup(),
+        pb.identical
+    );
+    if let Some(f) = pb.flagship_wall_ms {
+        println!(
+            "flagship: 1943-stage shift at 1944 hosts in {:.1} s ({:.2} M events/s)",
+            f / 1e3,
+            pb.flagship_events as f64 / (f / 1e3).max(1e-9) / 1e6
+        );
+    }
+}
+
 fn main() {
     let started = Instant::now();
     // Default: the paper's 3-level 1728-host tree, 25 seeds — the sweep the
@@ -65,6 +191,67 @@ fn main() {
             max_stages
         },
     };
+
+    let reps: usize = arg_num("--reps", 3);
+    let flagship = !ftree_bench::has_flag("--no-flagship");
+
+    if ftree_bench::has_flag("--packet") {
+        // Packet-engine smoke: cheap enough for CI, gated by ftree-report
+        // against the committed BENCH_perf.json packet metrics.
+        let pb = packet_bench(reps, flagship);
+        assert!(
+            pb.identical,
+            "packet engines diverged — throughput numbers would be meaningless"
+        );
+        print_packet_table(&pb);
+        let flagship_wall = pb
+            .flagship_wall_ms
+            .map(|f| format!("{f:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        let flagship_eps = pb
+            .flagship_wall_ms
+            .map(|f| format!("{:.3}", pb.flagship_events as f64 / (f / 1e3).max(1e-9)))
+            .unwrap_or_else(|| "null".to_string());
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"packet\",\n",
+                "  \"topology\": \"nodes_1728\",\n",
+                "  \"params\": {{\"order\": \"random\", \"seed\": 42, \"stages\": 32, ",
+                "\"bytes\": 2048, \"reps\": {reps}, \"cps\": \"shift\"}},\n",
+                "  \"metrics\": {{\"events_per_sec\": {eps:.3}, ",
+                "\"events_per_sec_oracle\": {epso:.3}, \"speedup\": {speedup:.4}, ",
+                "\"wall_ms\": {wall:.3}, \"wall_ms_oracle\": {owall:.3}, ",
+                "\"identical\": {identical}, \"flagship_wall_ms\": {fwall}, ",
+                "\"flagship_events_per_sec\": {feps}}},\n",
+                "  \"wall_ms\": {total:.3}\n",
+                "}}\n"
+            ),
+            reps = reps,
+            eps = pb.events_per_sec(),
+            epso = pb.events_per_sec_oracle(),
+            speedup = pb.speedup(),
+            wall = pb.wall_ms,
+            owall = pb.wall_ms_oracle,
+            identical = pb.identical,
+            fwall = flagship_wall,
+            feps = flagship_eps,
+            total = started.elapsed().as_secs_f64() * 1e3,
+        );
+        let path =
+            arg_value("--json-out").unwrap_or_else(|| "results/BENCH_packet.json".to_string());
+        if let Some(dir) = std::path::Path::new(&path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote packet results to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        return;
+    }
 
     let topo = Topology::build(spec_by_name(&topo_name));
     let rt = DModK.route_healthy(&topo);
@@ -147,23 +334,53 @@ fn main() {
     };
     println!("\nspeedup: {speedup:.2}x ({topo_name}, {num_seeds} seeds, {stages_label} stages)");
 
+    println!();
+    let pb = packet_bench(reps, flagship);
+    assert!(
+        pb.identical,
+        "packet engines diverged — throughput numbers would be meaningless"
+    );
+    print_packet_table(&pb);
+    let flagship_wall = pb
+        .flagship_wall_ms
+        .map(|f| format!("{f:.3}"))
+        .unwrap_or_else(|| "null".to_string());
+    let flagship_eps = pb
+        .flagship_wall_ms
+        .map(|f| format!("{:.3}", pb.flagship_events as f64 / (f / 1e3).max(1e-9)))
+        .unwrap_or_else(|| "null".to_string());
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"perf\",\n",
             "  \"topology\": \"{topo}\",\n",
-            "  \"params\": {{\"seeds\": {seeds}, \"max_stages\": \"{stages}\", \"cps\": \"shift\"}},\n",
+            "  \"params\": {{\"seeds\": {seeds}, \"max_stages\": \"{stages}\", \"cps\": \"shift\", ",
+            "\"packet_reps\": {reps}}},\n",
             "  \"metrics\": {{\"speedup\": {speedup:.4}, \"wall_ms_before\": {before:.3}, ",
-            "\"wall_ms_after\": {after:.3}}},\n",
+            "\"wall_ms_after\": {after:.3}, ",
+            "\"packet_events_per_sec\": {peps:.3}, ",
+            "\"packet_events_per_sec_oracle\": {pepso:.3}, ",
+            "\"packet_speedup\": {pspeedup:.4}, ",
+            "\"packet_identical\": {pidentical}, ",
+            "\"packet_flagship_wall_ms\": {pfwall}, ",
+            "\"packet_flagship_events_per_sec\": {pfeps}}},\n",
             "  \"wall_ms\": {wall:.3}\n",
             "}}\n"
         ),
         topo = topo_name,
         seeds = num_seeds,
         stages = stages_label,
+        reps = reps,
         speedup = speedup,
         before = wall_ms_before,
         after = wall_ms_after,
+        peps = pb.events_per_sec(),
+        pepso = pb.events_per_sec_oracle(),
+        pspeedup = pb.speedup(),
+        pidentical = pb.identical,
+        pfwall = flagship_wall,
+        pfeps = flagship_eps,
         wall = started.elapsed().as_secs_f64() * 1e3,
     );
     let path = arg_value("--json-out").unwrap_or_else(|| "results/BENCH_perf.json".to_string());

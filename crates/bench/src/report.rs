@@ -355,6 +355,73 @@ pub fn check_regressions(docs: &[RunDoc], baseline: Option<&Value>) -> Vec<Strin
         }
     }
 
+    // Packet-throughput gate: fresh perf runs carrying packet metrics, and
+    // any `bench: "packet"` smoke doc, must reach PERF_MIN_RATIO of the
+    // committed engine-vs-oracle packet speedup. Gating the *ratio* (both
+    // engines timed on the same machine in the same run) rather than raw
+    // events/sec keeps the gate portable across runner hardware and load,
+    // exactly like the HSD-sweep speedup gate above.
+    if let Some(base) = baseline {
+        let base_speedup = base
+            .get("metrics")
+            .and_then(|m| m.get("packet_speedup"))
+            .and_then(|s| s.as_f64());
+        if let Some(b) = base_speedup {
+            for run in docs.iter().filter(|r| r.bench() == "perf") {
+                if run.doc.get("metrics") == base.get("metrics") {
+                    continue; // the committed baseline itself
+                }
+                let fresh = run
+                    .doc
+                    .get("metrics")
+                    .and_then(|m| m.get("packet_speedup"))
+                    .and_then(|s| s.as_f64());
+                if let Some(f) = fresh {
+                    if f < PERF_MIN_RATIO * b {
+                        failures.push(format!(
+                            "packet-throughput regression: fresh packet speedup {f:.4} < {PERF_MIN_RATIO} x baseline {b:.4} ({})",
+                            run.path.display()
+                        ));
+                    }
+                }
+            }
+            for run in docs.iter().filter(|r| r.bench() == "packet") {
+                let fresh = run
+                    .doc
+                    .get("metrics")
+                    .and_then(|m| m.get("speedup"))
+                    .and_then(|s| s.as_f64());
+                match fresh {
+                    None => failures.push(format!(
+                        "{}: packet run has no metrics.speedup",
+                        run.path.display()
+                    )),
+                    Some(f) if f < PERF_MIN_RATIO * b => failures.push(format!(
+                        "packet-throughput regression: fresh packet speedup {f:.4} < {PERF_MIN_RATIO} x baseline {b:.4} ({})",
+                        run.path.display()
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Bit-identity gate: a packet doc that admits the engines diverged is a
+    // correctness failure regardless of throughput.
+    for run in docs.iter().filter(|r| r.bench() == "packet") {
+        let identical = run
+            .doc
+            .get("metrics")
+            .and_then(|m| m.get("identical"))
+            .and_then(|v| v.as_bool());
+        if identical != Some(true) {
+            failures.push(format!(
+                "packet bit-identity violation: identical != true ({})",
+                run.path.display()
+            ));
+        }
+    }
+
     // Chaos gate: every campaign must hold all routing invariants.
     for run in docs.iter().filter(|r| r.bench() == "chaos") {
         let ok = run
@@ -402,6 +469,28 @@ mod tests {
         })
     }
 
+    fn perf_doc_with_packet(speedup: f64, packet_speedup: f64) -> Value {
+        serde_json::json!({
+            "bench": "perf",
+            "topology": "nodes_1728",
+            "params": {"seeds": 25, "packet_reps": 3},
+            "metrics": {"speedup": speedup, "wall_ms_before": 10.0, "wall_ms_after": 7.0,
+                        "packet_events_per_sec": 9.4e6,
+                        "packet_speedup": packet_speedup, "packet_identical": true},
+            "wall_ms": 100.0,
+        })
+    }
+
+    fn packet_doc(speedup: f64, identical: bool) -> Value {
+        serde_json::json!({
+            "bench": "packet",
+            "topology": "nodes_1728",
+            "params": {"order": "random", "seed": 42, "stages": 32},
+            "metrics": {"events_per_sec": 9.4e6, "speedup": speedup, "identical": identical},
+            "wall_ms": 50.0,
+        })
+    }
+
     fn run(name: &str, doc: Value) -> RunDoc {
         RunDoc {
             path: PathBuf::from(name),
@@ -429,6 +518,54 @@ mod tests {
         let baseline = perf_doc(1.4249);
         let same = run("results/BENCH_perf.json", perf_doc(1.4249));
         assert!(check_regressions(&[same], Some(&baseline)).is_empty());
+    }
+
+    /// A regressed packet smoke and a regressed fresh-perf packet ratio
+    /// both fail against the committed engine-vs-oracle speedup; ratios
+    /// at or above 0.85x pass.
+    #[test]
+    fn packet_throughput_gate() {
+        let baseline = perf_doc_with_packet(2.04, 2.4);
+
+        // 0.85 x 2.4 = 2.04: 1.9 fails, 2.1 passes.
+        let slow_smoke = run("results/BENCH_packet.json", packet_doc(1.9, true));
+        let failures = check_regressions(&[slow_smoke], Some(&baseline));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("packet-throughput"), "{failures:?}");
+
+        let ok_smoke = run("results/BENCH_packet.json", packet_doc(2.1, true));
+        assert!(check_regressions(&[ok_smoke], Some(&baseline)).is_empty());
+
+        let slow_perf = run(
+            "results/BENCH_perf_fresh.json",
+            perf_doc_with_packet(2.04, 1.9),
+        );
+        let failures = check_regressions(&[slow_perf], Some(&baseline));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("packet-throughput"), "{failures:?}");
+    }
+
+    /// A packet doc that admits the engines diverged fails even when fast,
+    /// and even with no baseline to compare throughput against.
+    #[test]
+    fn packet_bit_identity_gate() {
+        let diverged = run("results/BENCH_packet.json", packet_doc(9.9, false));
+        let failures = check_regressions(&[diverged], None);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("bit-identity"), "{failures:?}");
+
+        let ok = run("results/BENCH_packet.json", packet_doc(9.9, true));
+        assert!(check_regressions(&[ok], None).is_empty());
+    }
+
+    /// A baseline without packet metrics (pre-rebuild) gates nothing new —
+    /// old committed baselines must not fail fresh packet-less runs.
+    #[test]
+    fn packet_gate_skipped_without_packet_baseline() {
+        let baseline = perf_doc(1.4249);
+        let smoke = run("results/BENCH_packet.json", packet_doc(0.01, true));
+        let fresh = run("results/BENCH_perf_fresh.json", perf_doc(1.4));
+        assert!(check_regressions(&[smoke, fresh], Some(&baseline)).is_empty());
     }
 
     #[test]

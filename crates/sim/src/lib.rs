@@ -32,16 +32,20 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod config;
 pub mod fluid;
 pub mod lifecycle;
 pub mod observe;
+pub mod oracle;
 pub mod packet;
+pub mod result;
 pub mod traffic;
 
 pub use config::{jitter_ps, Bandwidth, SimConfig, SwitchModel, Time, MICROSECOND, NANOSECOND};
 pub use fluid::{run_fluid, FluidResult};
 pub use lifecycle::FabricLifecycle;
 pub use observe::export_chrome_trace;
+pub use oracle::OracleSim;
 pub use packet::{PacketSim, SimResult};
 pub use traffic::{Progression, TrafficPlan};

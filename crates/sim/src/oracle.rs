@@ -1,0 +1,1296 @@
+//! Reference packet engine — the preserved oracle.
+//!
+//! This is the original `BinaryHeap` + `VecDeque` discrete-event simulator,
+//! kept verbatim (modulo the struct name) as the behavioral specification
+//! for the rebuilt production engine in [`crate::packet`]. It is
+//! deliberately NOT optimized: every optimization in the production engine
+//! is pinned against this one by the bit-identity suite in
+//! `tests/engine_oracle.rs` (SimResult fields including `channel_busy`,
+//! recorder NDJSON bytes, telemetry buckets) across catalog topologies,
+//! routing engines, switch models, and chaos schedules.
+//!
+//! The OMNeT++-model substitute (paper Sec. II): an input-buffered,
+//! credit-flow-controlled InfiniBand-like fabric in which hot spots cause
+//! head-of-line blocking that spreads backward through the tree — the
+//! mechanism behind the published bandwidth collapse for random node
+//! orders.
+//!
+//! Model summary:
+//!
+//! * messages are segmented into MTU packets; packets traverse the LFT
+//!   route hop by hop (virtual cut-through approximated at packet
+//!   granularity),
+//! * every directed channel serializes at link bandwidth; host-sourced
+//!   channels serialize at the PCIe bound,
+//! * each switch input port has a finite packet FIFO; a packet is granted
+//!   an egress channel only when the channel is idle **and** the next input
+//!   buffer has a free credit — a blocked head blocks everything behind it,
+//! * hosts progress through their destination sequence asynchronously
+//!   ("when the previous message has been sent to the wire", Sec. II) or
+//!   synchronously (global barrier per stage),
+//! * all state transitions are integer-time and FIFO-arbitered, so runs are
+//!   bit-reproducible.
+//!
+//! With a [`FabricLifecycle`] (see [`OracleSim::with_lifecycle`]) the run
+//! additionally plays a timed fault/recovery schedule: packets crossing a
+//! dead cable are dropped, a [`ftree_core::SubnetManager`] repairs the
+//! routing table incrementally `sweep_delay` after each event, and hosts
+//! retransmit timed-out messages with capped exponential backoff. Static
+//! runs (`OracleSim::new`) take none of these code paths and remain
+//! bit-identical to the pre-lifecycle simulator.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use ftree_core::SubnetManager;
+use ftree_obs::{ChannelTimeSeries, ObsEvent, Recorder, SpanAttrs, SpanId, TimeSeriesConfig};
+use ftree_topology::{
+    LinkEventKind, LinkFailures, NextChannelTable, NodeId, RoutingTable, Topology, TopologyError,
+};
+
+use crate::config::{SimConfig, SwitchModel, Time};
+use crate::lifecycle::FabricLifecycle;
+use crate::result::{drop_roll, SimResult};
+use crate::traffic::{Progression, TrafficPlan};
+
+const NO_PACKET: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: u32,
+    src_host: u32,
+    msg: u32,
+    size: u64,
+    is_last: bool,
+    /// Which send attempt of the message this packet belongs to (always 0
+    /// in static runs); stale-attempt arrivals are counted as duplicates.
+    attempt: u32,
+    next_free: u32,
+}
+
+/// Who is asking an egress channel for a grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Requester {
+    /// The host attached below this up-channel (injection).
+    Host(u32),
+    /// The head of the given input FIFO (InputFifo switch model).
+    Input(u32),
+    /// A specific resident packet (VirtualOutputQueues model: packets
+    /// contend independently, no HOL coupling).
+    Packet { pkt: u32, input: u32 },
+}
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    busy: bool,
+    waiting: VecDeque<Requester>,
+    /// Input FIFO at the channel's target (switch targets only).
+    buffer: VecDeque<u32>,
+    /// Slots reserved by granted-but-not-yet-arrived packets plus packets
+    /// draining out of this buffer.
+    reserved: usize,
+    /// True while this input's head packet has an outstanding request.
+    head_requested: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival {
+        pkt: u32,
+        ch: u32,
+    },
+    ChannelFree {
+        ch: u32,
+    },
+    DrainDone {
+        ch: u32,
+    },
+    /// Delayed host start (OS-jitter modeling).
+    HostKick {
+        host: u32,
+    },
+    /// Apply due fault-schedule events to the physical fabric (lifecycle).
+    FabricEvent,
+    /// Subnet-manager sweep: repair the routing table (lifecycle).
+    SmSweep,
+    /// Check whether a message attempt was delivered; retransmit if not.
+    RetransmitCheck {
+        host: u32,
+        msg: u32,
+        attempt: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reverse compare on (time, seq).
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct HostState {
+    /// (dst_host, bytes, stage) personal schedule.
+    schedule: Vec<(u32, u64, u32)>,
+    /// Next fresh (never-sent) schedule entry.
+    next: usize,
+    /// Message being sent right now: `(msg index, packets left)`.
+    current: Option<(u32, u64)>,
+    /// Messages queued for retransmission (served before fresh ones).
+    retx: VecDeque<u32>,
+    active: bool,
+}
+
+/// Per-message delivery tracking (lifecycle runs only).
+#[derive(Debug, Clone, Copy, Default)]
+struct MsgState {
+    /// Current send attempt (0 = first).
+    attempt: u32,
+    /// Packets of the current attempt received at the destination.
+    rx_pkts: u64,
+    /// Delivered (or abandoned — no further accounting either way).
+    delivered: bool,
+}
+
+/// The simulator.
+pub struct OracleSim<'a> {
+    topo: &'a Topology,
+    /// Static routing table (`None` in lifecycle runs, which route through
+    /// the subnet manager's continuously repaired table).
+    rt: Option<&'a RoutingTable>,
+    /// Dense `(node, dst) → channel` cache precomputed from the static
+    /// table; static runs only — lifecycle runs route through the SM's
+    /// live table, which changes under repair. Bypassed while route-decision
+    /// events are being recorded (the slow path emits them).
+    next_tbl: Option<NextChannelTable>,
+    /// Lifecycle parameters, when simulating a dynamic fabric.
+    lifecycle: Option<FabricLifecycle>,
+    /// The subnet manager owning the live routing table (lifecycle runs).
+    sm: Option<SubnetManager>,
+    /// Physical link liveness — follows the schedule instantly, while the
+    /// SM's failure view lags by `sweep_delay` (the blackhole window).
+    phys: LinkFailures,
+    /// Next unapplied schedule event (physical view).
+    phys_cursor: usize,
+    /// Next unapplied degradation event (lifecycle runs only).
+    degrade_cursor: usize,
+    /// Per-link serialization multiplier (empty = no degradations
+    /// configured; indexed by physical link id otherwise).
+    link_latency_mult: Vec<u32>,
+    /// Per-link drop probability in parts per million (parallel to
+    /// `link_latency_mult`).
+    link_drop_ppm: Vec<u32>,
+    /// Monotonic counter feeding the deterministic degraded-drop rolls.
+    drop_rolls: u64,
+    /// Per-host, per-message delivery state (lifecycle runs only).
+    msg_state: Vec<Vec<MsgState>>,
+    /// Observability sink (`None` = zero-overhead run; see
+    /// [`OracleSim::with_recorder`]).
+    recorder: Option<Arc<Recorder>>,
+    /// Per-message sim-time span ids (allocated only with a recorder
+    /// attached; 0 = no span). Indexed like `msg_start`.
+    msg_span: Vec<Vec<u64>>,
+    /// Per-channel bucketed utilization/queue/drop telemetry (`None` =
+    /// disabled; see [`OracleSim::with_telemetry`]).
+    telemetry: Option<ChannelTimeSeries>,
+    cfg: SimConfig,
+    channels: Vec<ChannelState>,
+    packets: Vec<Packet>,
+    free_packets: u32,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now: Time,
+    hosts: Vec<HostState>,
+    mode: Progression,
+    /// Remaining undelivered messages in the current stage (sync mode).
+    stage_remaining: u64,
+    current_stage: u32,
+    num_stages: u32,
+    /// Per-stage message counts (sync mode bookkeeping).
+    stage_message_counts: Vec<u64>,
+    // metrics
+    msg_start: Vec<Vec<Time>>,
+    delivered: u64,
+    total_payload: u64,
+    last_delivery: Time,
+    latency_sum: u128,
+    latency_max: Time,
+    events_processed: u64,
+    channel_busy: Vec<Time>,
+    packets_dropped: u64,
+    packets_dropped_degraded: u64,
+    retransmits: u64,
+    messages_lost: u64,
+    messages_lost_unreachable: u64,
+    duplicate_payload: u64,
+}
+
+impl<'a> OracleSim<'a> {
+    /// Prepares a simulation of `plan` over the statically routed topology.
+    pub fn new(
+        topo: &'a Topology,
+        rt: &'a RoutingTable,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+    ) -> Self {
+        Self::build(topo, Some(rt), cfg, plan, None)
+            .expect("static simulation construction cannot fail")
+    }
+
+    /// Prepares a dynamic-fabric simulation: routing comes from an embedded
+    /// [`SubnetManager`] that lives through `lifecycle.schedule`, repairing
+    /// the table incrementally while traffic is in flight.
+    pub fn with_lifecycle(
+        topo: &'a Topology,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+        lifecycle: FabricLifecycle,
+    ) -> Result<Self, TopologyError> {
+        Self::build(topo, None, cfg, plan, Some(lifecycle))
+    }
+
+    fn build(
+        topo: &'a Topology,
+        rt: Option<&'a RoutingTable>,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+        lifecycle: Option<FabricLifecycle>,
+    ) -> Result<Self, TopologyError> {
+        let n = topo.num_hosts();
+        let mut hosts: Vec<HostState> = (0..n)
+            .map(|_| HostState {
+                schedule: Vec::new(),
+                next: 0,
+                current: None,
+                retx: VecDeque::new(),
+                active: false,
+            })
+            .collect();
+        let mut stage_message_counts = vec![0u64; plan.stages().len()];
+        for (s, flows) in plan.stages().iter().enumerate() {
+            for (k, &(src, dst)) in flows.iter().enumerate() {
+                if src != dst {
+                    hosts[src as usize]
+                        .schedule
+                        .push((dst, plan.flow_bytes(s, k), s as u32));
+                    stage_message_counts[s] += 1;
+                }
+            }
+        }
+        let msg_start = hosts
+            .iter()
+            .map(|h| vec![0 as Time; h.schedule.len()])
+            .collect();
+        let sm = match &lifecycle {
+            Some(lc) => Some(SubnetManager::with_engine(
+                topo,
+                lc.schedule.clone(),
+                lc.algo.engine(),
+            )?),
+            None => None,
+        };
+        let msg_state = if lifecycle.is_some() {
+            hosts
+                .iter()
+                .map(|h| vec![MsgState::default(); h.schedule.len()])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let next_tbl = rt.map(|rt| NextChannelTable::build(topo, rt));
+        let has_degradations = lifecycle
+            .as_ref()
+            .is_some_and(|lc| !lc.degradations.is_empty());
+        Ok(Self {
+            topo,
+            rt,
+            next_tbl,
+            lifecycle,
+            sm,
+            phys: LinkFailures::none(topo),
+            phys_cursor: 0,
+            degrade_cursor: 0,
+            link_latency_mult: if has_degradations {
+                vec![1; topo.num_links()]
+            } else {
+                Vec::new()
+            },
+            link_drop_ppm: if has_degradations {
+                vec![0; topo.num_links()]
+            } else {
+                Vec::new()
+            },
+            drop_rolls: 0,
+            msg_state,
+            recorder: None,
+            msg_span: Vec::new(),
+            telemetry: None,
+            cfg,
+            channels: (0..topo.num_channels())
+                .map(|_| ChannelState::default())
+                .collect(),
+            packets: Vec::new(),
+            free_packets: NO_PACKET,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            hosts,
+            mode: plan.mode,
+            stage_remaining: 0,
+            current_stage: 0,
+            num_stages: plan.stages().len() as u32,
+            stage_message_counts,
+            msg_start,
+            delivered: 0,
+            total_payload: 0,
+            last_delivery: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            events_processed: 0,
+            channel_busy: vec![0; topo.num_channels()],
+            packets_dropped: 0,
+            packets_dropped_degraded: 0,
+            retransmits: 0,
+            messages_lost: 0,
+            messages_lost_unreachable: 0,
+            duplicate_payload: 0,
+        })
+    }
+
+    /// Attaches an observability recorder: structured events (channel
+    /// activity, drops, deliveries, fabric faults, SM sweeps) flow into its
+    /// flight recorder and run totals into its metrics registry. Event
+    /// timestamps are simulation time, so recorded streams are exactly as
+    /// reproducible as the run itself; the simulated outcome is bit-identical
+    /// with or without a recorder.
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self.msg_span = self
+            .hosts
+            .iter()
+            .map(|h| vec![0u64; h.schedule.len()])
+            .collect();
+        self
+    }
+
+    /// Enables per-channel time-bucketed telemetry (utilization, queue
+    /// depth, drops); the filled reservoir comes back in
+    /// [`SimResult::telemetry`]. Purely additive: the simulated outcome is
+    /// bit-identical with or without it.
+    pub fn with_telemetry(mut self, cfg: TimeSeriesConfig) -> Self {
+        self.telemetry = Some(ChannelTimeSeries::new(cfg));
+        self
+    }
+
+    /// Opens the sim-time span tracking message `msg` of host `h` (recorder
+    /// runs only).
+    fn begin_msg_span(&mut self, h: u32, msg: u32) {
+        let Some(rec) = &self.recorder else { return };
+        let (dst, bytes, stage) = self.hosts[h as usize].schedule[msg as usize];
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("src".to_string(), h.into());
+        attrs.insert("dst".to_string(), dst.into());
+        attrs.insert("msg".to_string(), msg.into());
+        attrs.insert("bytes".to_string(), bytes.into());
+        attrs.insert("stage".to_string(), stage.into());
+        let id = rec.span_begin_at(self.now, "message", SpanId::NONE, attrs);
+        self.msg_span[h as usize][msg as usize] = id.0;
+    }
+
+    /// Closes the message span with its outcome (no-op when none is open).
+    fn end_msg_span(&mut self, src: u32, msg: u32, outcome: &str) {
+        let Some(rec) = &self.recorder else { return };
+        let Some(&id) = self
+            .msg_span
+            .get(src as usize)
+            .and_then(|v| v.get(msg as usize))
+        else {
+            return;
+        };
+        if id == 0 {
+            return;
+        }
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("outcome".to_string(), outcome.into());
+        if !self.msg_state.is_empty() {
+            let attempts = self.msg_state[src as usize][msg as usize].attempt + 1;
+            attrs.insert("attempts".to_string(), attempts.into());
+        }
+        rec.span_end_at_with(self.now, SpanId(id), attrs);
+    }
+
+    /// Drops the precomputed next-channel cache so every hop routes through
+    /// [`RoutingTable::egress`] again. Diagnostic knob: the equivalence
+    /// tests (and `ci.yml`'s perf-smoke job) run static simulations both
+    /// ways and assert bit-identical results.
+    pub fn without_route_cache(mut self) -> Self {
+        self.next_tbl = None;
+        self
+    }
+
+    /// The routing table in force right now (the SM's live table in
+    /// lifecycle runs, the caller's static table otherwise).
+    fn route(&self) -> &RoutingTable {
+        match &self.sm {
+            Some(sm) => sm.table(),
+            None => self.rt.expect("static simulation always has a table"),
+        }
+    }
+
+    /// Serialization time for `size` bytes onto channel `e`, scaled by the
+    /// channel's link degradation multiplier (1 when no degradations are
+    /// configured or the link is healthy).
+    #[inline]
+    fn degraded_transfer(&self, e: u32, base: Time) -> Time {
+        if self.link_latency_mult.is_empty() {
+            return base;
+        }
+        let mult = self.link_latency_mult[ftree_topology::ChannelId(e).link() as usize];
+        base * mult as Time
+    }
+
+    fn schedule_event(&mut self, time: Time, kind: EventKind) {
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        if self.free_packets != NO_PACKET {
+            let id = self.free_packets;
+            self.free_packets = self.packets[id as usize].next_free;
+            self.packets[id as usize] = p;
+            id
+        } else {
+            self.packets.push(p);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn release_packet(&mut self, id: u32) {
+        self.packets[id as usize].next_free = self.free_packets;
+        self.free_packets = id;
+    }
+
+    /// Host `h`'s up-channel toward `dst` (RLFT hosts have a single cable;
+    /// `None` when a multi-cabled host currently has no route).
+    fn host_channel(&self, h: u32, dst: u32) -> Option<u32> {
+        let host = self.topo.host(h as usize);
+        if let Some(tbl) = &self.next_tbl {
+            return tbl.next_channel(host, dst as usize).map(|ch| ch.0);
+        }
+        let port = self.route().egress(host, dst as usize)?;
+        Some(self.topo.egress_channel(host, port).0)
+    }
+
+    /// Target of a channel is a switch (has an input buffer there)?
+    fn channel_buffer_capacity(&self, ch: u32) -> usize {
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if self.topo.node(target).is_host() {
+            usize::MAX
+        } else {
+            self.cfg.input_buffer_packets
+        }
+    }
+
+    fn has_credit(&self, ch: u32) -> bool {
+        let cap = self.channel_buffer_capacity(ch);
+        if cap == usize::MAX {
+            return true;
+        }
+        let st = &self.channels[ch as usize];
+        st.buffer.len() + st.reserved < cap
+    }
+
+    /// Kicks host `h`: if it has a startable message (a retransmission, a
+    /// mid-send message, or the next fresh one), request its up-channel.
+    fn host_request(&mut self, h: u32) {
+        if self.hosts[h as usize].active {
+            return;
+        }
+        if self.hosts[h as usize].current.is_none() {
+            // Select the next sending unit: retransmissions first (they
+            // bypass the stage barrier — their stage is already open), then
+            // the next fresh message.
+            if let Some(msg) = self.hosts[h as usize].retx.pop_front() {
+                let bytes = self.hosts[h as usize].schedule[msg as usize].1;
+                self.hosts[h as usize].current = Some((msg, self.cfg.packets_for(bytes)));
+            } else {
+                let next = self.hosts[h as usize].next;
+                if next >= self.hosts[h as usize].schedule.len() {
+                    return;
+                }
+                let (_, bytes, stage) = self.hosts[h as usize].schedule[next];
+                if self.mode == Progression::Synchronized && stage != self.current_stage {
+                    return;
+                }
+                self.hosts[h as usize].current = Some((next as u32, self.cfg.packets_for(bytes)));
+                self.msg_start[h as usize][next] = self.now;
+                self.hosts[h as usize].next = next + 1;
+                if self.recorder.is_some() {
+                    self.begin_msg_span(h, next as u32);
+                }
+            }
+        }
+        let (msg, _) = self.hosts[h as usize].current.expect("just selected");
+        let dst = self.hosts[h as usize].schedule[msg as usize].0;
+        match self.host_channel(h, dst) {
+            Some(ch) => {
+                self.hosts[h as usize].active = true;
+                self.channels[ch as usize]
+                    .waiting
+                    .push_back(Requester::Host(h));
+                self.try_grant(ch);
+            }
+            None => {
+                // No route right now (multi-cabled host cut off). The unit
+                // stays current; the post-sweep rekick retries it.
+                assert!(
+                    self.lifecycle.is_some(),
+                    "host must have a route in a static simulation"
+                );
+            }
+        }
+    }
+
+    /// Attempts to grant the egress channel `e` to its next requester.
+    fn try_grant(&mut self, e: u32) {
+        loop {
+            if self.channels[e as usize].busy {
+                return;
+            }
+            let Some(&req) = self.channels[e as usize].waiting.front() else {
+                return;
+            };
+            if !self.has_credit(e) {
+                return; // retried on DrainDone/Arrival at e's buffer
+            }
+            self.channels[e as usize].waiting.pop_front();
+            match req {
+                Requester::Host(h) => self.grant_host(e, h),
+                Requester::Input(i) => self.grant_input(e, i),
+                Requester::Packet { pkt, input } => self.grant_packet(e, pkt, input),
+            }
+        }
+    }
+
+    fn grant_host(&mut self, e: u32, h: u32) {
+        let hs = &mut self.hosts[h as usize];
+        let (msg, left) = hs.current.expect("granted host has a packet to send");
+        let (dst, bytes, _) = hs.schedule[msg as usize];
+        let total_pkts = self.cfg.packets_for(bytes);
+        let pkt_index = total_pkts - left;
+        let size = if left == 1 {
+            bytes - self.cfg.mtu * pkt_index.min(bytes / self.cfg.mtu)
+        } else {
+            self.cfg.mtu
+        }
+        .max(1)
+        .min(self.cfg.mtu);
+        let is_last = left == 1;
+        hs.active = false;
+        // "Sent to the wire": the unit completes with its last packet; the
+        // host then moves to the next unit (in sync mode a fresh message
+        // still waits for the stage barrier).
+        hs.current = if is_last { None } else { Some((msg, left - 1)) };
+        let attempt = if self.lifecycle.is_some() {
+            self.msg_state[h as usize][msg as usize].attempt
+        } else {
+            0
+        };
+        let pkt = self.alloc_packet(Packet {
+            dst,
+            src_host: h,
+            msg,
+            size,
+            is_last,
+            attempt,
+            next_free: NO_PACKET,
+        });
+        // Injection serializes at the PCIe-bound host bandwidth (scaled if
+        // the host cable itself is degraded).
+        let serialize = self.degraded_transfer(e, self.cfg.host_bw.transfer_time(size));
+        let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
+        }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt, ch: e },
+        );
+        if is_last {
+            // Arm the retransmission timer as the last packet hits the wire.
+            if let Some(lc) = &self.lifecycle {
+                let rto = lc.rto(attempt);
+                self.schedule_event(
+                    depart + rto,
+                    EventKind::RetransmitCheck {
+                        host: h,
+                        msg,
+                        attempt,
+                    },
+                );
+            }
+        }
+        // The host can line up its next packet (granted no earlier than the
+        // ChannelFree above).
+        self.host_request(h);
+    }
+
+    fn grant_input(&mut self, e: u32, i: u32) {
+        let pkt_id = self.channels[i as usize]
+            .buffer
+            .pop_front()
+            .expect("requesting input has a head packet");
+        self.channels[i as usize].head_requested = false;
+        // The packet keeps occupying a slot of buffer `i` while draining.
+        self.channels[i as usize].reserved += 1;
+        let size = self.packets[pkt_id as usize].size;
+        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
+        let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
+        }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(depart, EventKind::DrainDone { ch: i });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt: pkt_id, ch: e },
+        );
+        // New head of buffer `i` may request its own egress.
+        self.request_for_head(i);
+    }
+
+    /// VOQ grant: the packet was addressed directly; its input slot drains
+    /// when the tail leaves.
+    fn grant_packet(&mut self, e: u32, pkt_id: u32, input: u32) {
+        let size = self.packets[pkt_id as usize].size;
+        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
+        let depart = self.now + serialize;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: size,
+            });
+        }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
+        self.channel_busy[e as usize] += serialize;
+        self.channels[e as usize].busy = true;
+        if self.channel_buffer_capacity(e) != usize::MAX {
+            self.channels[e as usize].reserved += 1;
+        }
+        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
+        self.schedule_event(depart, EventKind::DrainDone { ch: input });
+        self.schedule_event(
+            depart + self.cfg.wire_latency + self.cfg.switch_latency,
+            EventKind::Arrival { pkt: pkt_id, ch: e },
+        );
+    }
+
+    /// Egress channel a resident packet needs at node `here` (`None` when
+    /// the LFT entry is currently cleared — a lifecycle blackhole).
+    fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> Option<u32> {
+        let dst = self.packets[pkt_id as usize].dst;
+        let route_events = self
+            .recorder
+            .as_ref()
+            .is_some_and(|rec| rec.route_events_enabled());
+        if !route_events {
+            // Static-run fast path: one table load replaces the LFT decode
+            // plus port→channel mapping. Taken only when no RouteDecision
+            // event would be emitted, so traces stay identical.
+            if let Some(tbl) = &self.next_tbl {
+                return tbl.next_channel(here, dst as usize).map(|ch| ch.0);
+            }
+        }
+        let port = self.route().egress(here, dst as usize)?;
+        if route_events {
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::RouteDecision {
+                    t: self.now,
+                    node: here.0,
+                    dst,
+                    port: format!("{port:?}"),
+                });
+            }
+        }
+        Some(self.topo.egress_channel(here, port).0)
+    }
+
+    /// Makes the head packet of input buffer `i` request its egress. Heads
+    /// with no current route (cleared LFT entry) are dropped on the spot —
+    /// the freed credit may unblock upstream senders — and the next head
+    /// tries in turn.
+    fn request_for_head(&mut self, i: u32) {
+        if self.channels[i as usize].head_requested {
+            return;
+        }
+        let here = self.topo.channel_target(ftree_topology::ChannelId(i));
+        loop {
+            let Some(&pkt_id) = self.channels[i as usize].buffer.front() else {
+                return;
+            };
+            match self.egress_for(here, pkt_id) {
+                Some(e) => {
+                    self.channels[i as usize].head_requested = true;
+                    self.channels[e as usize]
+                        .waiting
+                        .push_back(Requester::Input(i));
+                    self.try_grant(e);
+                    return;
+                }
+                None => {
+                    assert!(
+                        self.lifecycle.is_some(),
+                        "switch must route every destination in a static simulation"
+                    );
+                    self.channels[i as usize].buffer.pop_front();
+                    self.packets_dropped += 1;
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_drop(i, self.now);
+                    }
+                    if let Some(rec) = &self.recorder {
+                        let p = self.packets[pkt_id as usize];
+                        rec.record(ObsEvent::PacketDrop {
+                            t: self.now,
+                            ch: i,
+                            src: p.src_host,
+                            dst: p.dst,
+                            msg: p.msg,
+                            attempt: p.attempt,
+                        });
+                    }
+                    self.release_packet(pkt_id);
+                    self.try_grant(i);
+                }
+            }
+        }
+    }
+
+    /// Drops a packet at channel `ch`'s far end: frees the input-buffer slot
+    /// its transfer reserved (switch targets) and retries grants waiting on
+    /// that credit.
+    fn drop_packet(&mut self, pkt_id: u32, ch: u32) {
+        self.packets_dropped += 1;
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_drop(ch, self.now);
+        }
+        if let Some(rec) = &self.recorder {
+            let p = self.packets[pkt_id as usize];
+            rec.record(ObsEvent::PacketDrop {
+                t: self.now,
+                ch,
+                src: p.src_host,
+                dst: p.dst,
+                msg: p.msg,
+                attempt: p.attempt,
+            });
+        }
+        self.release_packet(pkt_id);
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if !self.topo.node(target).is_host() {
+            let st = &mut self.channels[ch as usize];
+            st.reserved = st.reserved.saturating_sub(1);
+            self.try_grant(ch);
+        }
+    }
+
+    /// Message-completion accounting for lifecycle runs: per-attempt packet
+    /// counting (robust to drops, reroute reordering and late duplicates).
+    fn lifecycle_deliver(&mut self, pkt: Packet) {
+        let (src, msg) = (pkt.src_host as usize, pkt.msg as usize);
+        let bytes = self.hosts[src].schedule[msg].1;
+        let total_pkts = self.cfg.packets_for(bytes);
+        let st = &mut self.msg_state[src][msg];
+        if st.delivered || pkt.attempt != st.attempt {
+            // A late original racing its own retransmission.
+            self.duplicate_payload += pkt.size;
+            return;
+        }
+        st.rx_pkts += 1;
+        if st.rx_pkts < total_pkts {
+            return;
+        }
+        // Goodput is credited once, at completion, so partial attempts that
+        // were cut short by drops never inflate it.
+        st.delivered = true;
+        self.total_payload += bytes;
+        self.delivered += 1;
+        self.last_delivery = self.now;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Delivery {
+                t: self.now,
+                src: pkt.src_host,
+                dst: pkt.dst,
+                msg: pkt.msg,
+                bytes,
+            });
+        }
+        self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
+        let start = self.msg_start[src][msg];
+        let lat = self.now - start;
+        self.latency_sum += lat as u128;
+        self.latency_max = self.latency_max.max(lat);
+        if self.mode == Progression::Synchronized {
+            self.stage_remaining -= 1;
+            if self.stage_remaining == 0 {
+                self.advance_stage();
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, pkt_id: u32, ch: u32) {
+        // A dead cable loses everything that was crossing it.
+        if self.lifecycle.is_some() && !self.phys.is_live(ftree_topology::ChannelId(ch).link()) {
+            self.drop_packet(pkt_id, ch);
+            return;
+        }
+        // A degraded cable loses packets probabilistically. The roll is a
+        // stateless hash of (jitter seed, roll ordinal), so a run is exactly
+        // reproducible under a fixed seed.
+        if !self.link_drop_ppm.is_empty() {
+            let ppm = self.link_drop_ppm[ftree_topology::ChannelId(ch).link() as usize];
+            if ppm > 0 {
+                let roll = drop_roll(self.cfg.jitter_seed, self.drop_rolls);
+                self.drop_rolls += 1;
+                if roll < ppm as u64 {
+                    self.packets_dropped_degraded += 1;
+                    self.drop_packet(pkt_id, ch);
+                    return;
+                }
+            }
+        }
+        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
+        if self.topo.node(target).is_host() {
+            let pkt = self.packets[pkt_id as usize];
+            debug_assert_eq!(NodeId(pkt.dst), target, "packet misrouted");
+            if self.lifecycle.is_some() {
+                self.lifecycle_deliver(pkt);
+            } else {
+                self.total_payload += pkt.size;
+                if pkt.is_last {
+                    self.delivered += 1;
+                    self.last_delivery = self.now;
+                    if let Some(rec) = &self.recorder {
+                        let bytes = self.hosts[pkt.src_host as usize].schedule[pkt.msg as usize].1;
+                        rec.record(ObsEvent::Delivery {
+                            t: self.now,
+                            src: pkt.src_host,
+                            dst: pkt.dst,
+                            msg: pkt.msg,
+                            bytes,
+                        });
+                    }
+                    self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
+                    let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
+                    let lat = self.now - start;
+                    self.latency_sum += lat as u128;
+                    self.latency_max = self.latency_max.max(lat);
+                    if self.mode == Progression::Synchronized {
+                        self.stage_remaining -= 1;
+                        if self.stage_remaining == 0 {
+                            self.advance_stage();
+                        }
+                    }
+                }
+            }
+            self.release_packet(pkt_id);
+        } else {
+            match self.cfg.switch_model {
+                SwitchModel::InputFifo => {
+                    let st = &mut self.channels[ch as usize];
+                    st.reserved = st.reserved.saturating_sub(1);
+                    st.buffer.push_back(pkt_id);
+                    let depth = st.buffer.len();
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_queue_depth(ch, self.now, depth as u32);
+                    }
+                    if depth == 1 {
+                        self.request_for_head(ch);
+                    }
+                }
+                SwitchModel::VirtualOutputQueues => {
+                    // The arrival reservation stays until DrainDone; the
+                    // packet immediately contends for its own egress.
+                    match self.egress_for(target, pkt_id) {
+                        Some(e) => {
+                            self.channels[e as usize]
+                                .waiting
+                                .push_back(Requester::Packet {
+                                    pkt: pkt_id,
+                                    input: ch,
+                                });
+                            self.try_grant(e);
+                        }
+                        None => {
+                            assert!(
+                                self.lifecycle.is_some(),
+                                "switch must route every destination in a static simulation"
+                            );
+                            self.drop_packet(pkt_id, ch);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kicks every host, applying per-host jitter when configured.
+    fn kick_all_hosts(&mut self) {
+        let stage = if self.mode == Progression::Synchronized {
+            self.current_stage
+        } else {
+            0
+        };
+        for h in 0..self.hosts.len() as u32 {
+            let delay = crate::config::jitter_ps(self.cfg.jitter_seed, h, stage, self.cfg.jitter);
+            if delay == 0 {
+                self.host_request(h);
+            } else {
+                self.schedule_event(self.now + delay, EventKind::HostKick { host: h });
+            }
+        }
+    }
+
+    /// Sync-mode barrier: release the next non-empty stage.
+    fn advance_stage(&mut self) {
+        loop {
+            self.current_stage += 1;
+            if self.current_stage >= self.num_stages {
+                return;
+            }
+            let count = self.stage_message_counts[self.current_stage as usize];
+            if count > 0 {
+                self.stage_remaining = count;
+                self.kick_all_hosts();
+                return;
+            }
+        }
+    }
+
+    /// Applies every due degradation event to the per-link slowdown/loss
+    /// state. Degradations are data-plane only: the SM is never notified.
+    fn apply_degrade_events(&mut self) {
+        loop {
+            let Some(lc) = self.lifecycle.as_ref() else {
+                return;
+            };
+            let Some(&ev) = lc.degradations.get(self.degrade_cursor) else {
+                return;
+            };
+            if ev.time > self.now {
+                return;
+            }
+            self.degrade_cursor += 1;
+            self.link_latency_mult[ev.link as usize] = ev.latency_mult.max(1);
+            self.link_drop_ppm[ev.link as usize] = ev.drop_ppm.min(1_000_000);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::LinkDegrade {
+                    t: self.now,
+                    link: ev.link,
+                    latency_mult: ev.latency_mult.max(1),
+                    drop_ppm: ev.drop_ppm.min(1_000_000),
+                });
+            }
+        }
+    }
+
+    /// Applies every due schedule event to the physical liveness view.
+    fn apply_fabric_events(&mut self) {
+        self.apply_degrade_events();
+        loop {
+            let Some(lc) = self.lifecycle.as_ref() else {
+                return;
+            };
+            let Some(&ev) = lc.schedule.events().get(self.phys_cursor) else {
+                return;
+            };
+            if ev.time > self.now {
+                return;
+            }
+            self.phys_cursor += 1;
+            let effective = match ev.kind {
+                LinkEventKind::Fail => self.phys.fail(ev.link),
+                LinkEventKind::Recover => self.phys.recover(ev.link),
+            }
+            .unwrap_or(false);
+            if effective {
+                if let Some(rec) = &self.recorder {
+                    rec.record(match ev.kind {
+                        LinkEventKind::Fail => ObsEvent::LinkFail {
+                            t: self.now,
+                            link: ev.link,
+                        },
+                        LinkEventKind::Recover => ObsEvent::LinkRecover {
+                            t: self.now,
+                            link: ev.link,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Subnet-manager sweep: repair the routing table, then re-kick every
+    /// idle host (routes that were missing may exist again).
+    fn handle_sm_sweep(&mut self) {
+        if let Some(sm) = self.sm.as_mut() {
+            if let Some(rec) = &self.recorder {
+                let sweep = sm.reports().len();
+                rec.record(ObsEvent::SweepBegin { t: self.now, sweep });
+            }
+            let report = sm.sweep(self.topo, self.now);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::SweepEnd {
+                    t: self.now,
+                    report: serde_json::to_value(&report).expect("SweepReport serializes"),
+                });
+            }
+        }
+        for h in 0..self.hosts.len() as u32 {
+            self.host_request(h);
+        }
+    }
+
+    /// Retransmission timer fired: if the guarded attempt is still the
+    /// current one and undelivered, queue a resend (or give up).
+    fn handle_retransmit_check(&mut self, host: u32, msg: u32, attempt: u32) {
+        let Some(lc) = self.lifecycle.as_ref() else {
+            return;
+        };
+        let max_retries = lc.max_retries;
+        // Partition-aware early exit: once the schedule is fully applied and
+        // the SM's reachability proves the destination unreachable, further
+        // retries cannot succeed — write the message off now instead of
+        // burning the rest of the retry budget against a partition.
+        let partitioned = self.sm.as_ref().is_some_and(|sm| {
+            sm.is_settled() && {
+                let dst = self.hosts[host as usize].schedule[msg as usize].0;
+                !sm.reachability()
+                    .ok(self.topo.host(host as usize), dst as usize)
+            }
+        });
+        let st = &mut self.msg_state[host as usize][msg as usize];
+        if st.delivered || st.attempt != attempt {
+            return; // delivered in time, or a newer attempt owns the timer
+        }
+        if partitioned || st.attempt >= max_retries {
+            // Abandon: mark closed so stale arrivals count as duplicates,
+            // and release the stage barrier in sync mode.
+            st.delivered = true;
+            self.messages_lost += 1;
+            if partitioned {
+                self.messages_lost_unreachable += 1;
+            }
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::MessageLost {
+                    t: self.now,
+                    host,
+                    msg,
+                });
+            }
+            self.end_msg_span(host, msg, "lost");
+            if self.mode == Progression::Synchronized {
+                self.stage_remaining -= 1;
+                if self.stage_remaining == 0 {
+                    self.advance_stage();
+                }
+            }
+            return;
+        }
+        st.attempt += 1;
+        st.rx_pkts = 0;
+        let attempt = st.attempt;
+        self.retransmits += 1;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Retransmit {
+                t: self.now,
+                host,
+                msg,
+                attempt,
+            });
+        }
+        self.hosts[host as usize].retx.push_back(msg);
+        self.host_request(host);
+    }
+
+    /// Runs to completion and returns the metrics.
+    pub fn run(mut self) -> SimResult {
+        let _phase = ftree_obs::ObsPhase::new(
+            self.recorder.clone().or_else(ftree_obs::global),
+            "sim::packet_run",
+        );
+        // Script the fabric lifecycle: physical link changes at each event
+        // time, an SM sweep one `sweep_delay` later. Scheduled before any
+        // traffic so same-instant fabric events order ahead of arrivals.
+        if self.lifecycle.is_some() {
+            let (times, degrade_times, sweep_delay) = {
+                let lc = self.lifecycle.as_ref().expect("checked above");
+                let mut ts: Vec<Time> = lc.schedule.events().iter().map(|e| e.time).collect();
+                ts.dedup();
+                let mut ds: Vec<Time> = lc.degradations.iter().map(|d| d.time).collect();
+                ds.dedup();
+                (ts, ds, lc.sweep_delay)
+            };
+            for t in times {
+                self.schedule_event(t, EventKind::FabricEvent);
+                self.schedule_event(t + sweep_delay, EventKind::SmSweep);
+            }
+            // Degradations change the data plane only — no SM sweep.
+            for t in degrade_times {
+                self.schedule_event(t, EventKind::FabricEvent);
+            }
+        }
+
+        // Prime the first non-empty stage (sync mode) / all hosts.
+        if self.mode == Progression::Synchronized {
+            match self.stage_message_counts.iter().position(|&c| c > 0) {
+                Some(s) => {
+                    self.current_stage = s as u32;
+                    self.stage_remaining = self.stage_message_counts[s];
+                }
+                None => return self.finish(),
+            }
+        }
+        self.kick_all_hosts();
+
+        while let Some(ev) = self.events.pop() {
+            debug_assert!(ev.time >= self.now, "time must be monotonic");
+            self.now = ev.time;
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Arrival { pkt, ch } => self.handle_arrival(pkt, ch),
+                EventKind::ChannelFree { ch } => {
+                    self.channels[ch as usize].busy = false;
+                    self.try_grant(ch);
+                }
+                EventKind::DrainDone { ch } => {
+                    let st = &mut self.channels[ch as usize];
+                    st.reserved = st.reserved.saturating_sub(1);
+                    // A slot freed at `ch`'s buffer may unblock grants of
+                    // channel `ch` itself (its grants need this credit).
+                    self.try_grant(ch);
+                }
+                EventKind::HostKick { host } => self.host_request(host),
+                EventKind::FabricEvent => self.apply_fabric_events(),
+                EventKind::SmSweep => self.handle_sm_sweep(),
+                EventKind::RetransmitCheck { host, msg, attempt } => {
+                    self.handle_retransmit_check(host, msg, attempt)
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimResult {
+        let max_host_bytes = self
+            .hosts
+            .iter()
+            .map(|h| h.schedule.iter().map(|&(_, b, _)| b).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let n_active = self
+            .hosts
+            .iter()
+            .filter(|h| !h.schedule.is_empty())
+            .count()
+            .max(1);
+        let makespan = self.last_delivery;
+        let normalized_bw = if makespan == 0 {
+            0.0
+        } else {
+            // bytes/ps -> MB/s: * 1e6
+            let agg_mbps = self.total_payload as f64 / makespan as f64 * 1_000_000.0;
+            agg_mbps / (n_active as f64 * self.cfg.host_bw.mbps as f64)
+        };
+        if let Some(rec) = &self.recorder {
+            rec.counter("sim.messages_delivered").add(self.delivered);
+            rec.counter("sim.packets_dropped").add(self.packets_dropped);
+            rec.counter("sim.retransmits").add(self.retransmits);
+            rec.counter("sim.messages_lost").add(self.messages_lost);
+            rec.counter("sim.messages_lost_unreachable")
+                .add(self.messages_lost_unreachable);
+            rec.counter("sim.packets_dropped_degraded")
+                .add(self.packets_dropped_degraded);
+            rec.counter("sim.events").add(self.events_processed);
+            rec.counter("sim.payload_bytes").add(self.total_payload);
+            rec.gauge("sim.makespan_ps").set(makespan as i64);
+            let busy = rec.histogram("sim.channel_busy_ps");
+            for &b in &self.channel_busy {
+                if b > 0 {
+                    busy.record(b);
+                }
+            }
+        }
+        SimResult {
+            makespan,
+            total_payload: self.total_payload,
+            messages_delivered: self.delivered,
+            normalized_bw,
+            mean_latency: if self.delivered == 0 {
+                0.0
+            } else {
+                self.latency_sum as f64 / self.delivered as f64
+            },
+            max_latency: self.latency_max,
+            max_host_bytes,
+            host_bw_mbps: self.cfg.host_bw.mbps,
+            events: self.events_processed,
+            channel_busy: self.channel_busy,
+            packets_dropped: self.packets_dropped,
+            packets_dropped_degraded: self.packets_dropped_degraded,
+            retransmits: self.retransmits,
+            messages_lost: self.messages_lost,
+            messages_lost_unreachable: self.messages_lost_unreachable,
+            duplicate_payload: self.duplicate_payload,
+            sweep_reports: self.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
+            telemetry: self.telemetry,
+        }
+    }
+}

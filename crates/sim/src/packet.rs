@@ -1,260 +1,1363 @@
-//! Packet-level discrete-event network simulator.
+//! Production packet engine: calendar-queue scheduler, SoA state, and an
+//! optional sharded-parallel mode.
 //!
-//! The OMNeT++-model substitute (paper Sec. II): an input-buffered,
-//! credit-flow-controlled InfiniBand-like fabric in which hot spots cause
-//! head-of-line blocking that spreads backward through the tree — the
-//! mechanism behind the published bandwidth collapse for random node
-//! orders.
+//! Behaviorally this is the same simulator as [`crate::OracleSim`] — an
+//! input-buffered, credit-flow-controlled InfiniBand-like fabric (paper
+//! Sec. II) — rebuilt for raw event throughput:
 //!
-//! Model summary:
+//! * the `BinaryHeap<Event>` scheduler is replaced by a
+//!   [`CalendarQueue`](crate::calendar::CalendarQueue) with amortized O(1)
+//!   push/pop (events cluster within a few serialization times of `now`),
+//! * per-channel state is one packed 32-byte cache-aligned record
+//!   (`ChState`: busy deadline, occupancy, intrusive wait-queue and
+//!   buffer-list heads, flag bits) in a flat `Vec` — one cache line per
+//!   event touch instead of a line per field; waiters are tag-packed
+//!   `u64`s in a free-list pool with parked VOQ packets in a side pool;
+//!   packets otherwise travel *by value* inside events and intrusive
+//!   buffer lists, eliminating the packet slab and its pointer chasing,
+//! * per-message serialization times are precomputed, removing the
+//!   byte→time division from the hot path,
+//! * the serial path fuses each grant's `ChannelFree` + `DrainDone` pair
+//!   (always co-scheduled at the departure instant with adjacent seqs)
+//!   into one calendar entry, and grants an idle uncontended channel
+//!   directly instead of round-tripping through its wait queue,
+//! * [`PacketSim::with_shards`] enables conservative-lookahead parallel
+//!   execution: nodes are sharded, and all shards advance independently
+//!   through windows of the minimum packet serialization time (the safe
+//!   horizon), merging newly scheduled events at a barrier in global
+//!   `(time, seq)` order so results stay bit-identical to the serial run.
 //!
-//! * messages are segmented into MTU packets; packets traverse the LFT
-//!   route hop by hop (virtual cut-through approximated at packet
-//!   granularity),
-//! * every directed channel serializes at link bandwidth; host-sourced
-//!   channels serialize at the PCIe bound,
-//! * each switch input port has a finite packet FIFO; a packet is granted
-//!   an egress channel only when the channel is idle **and** the next input
-//!   buffer has a free credit — a blocked head blocks everything behind it,
-//! * hosts progress through their destination sequence asynchronously
-//!   ("when the previous message has been sent to the wire", Sec. II) or
-//!   synchronously (global barrier per stage),
-//! * all state transitions are integer-time and FIFO-arbitered, so runs are
-//!   bit-reproducible.
+//! Every optimization is pinned by bit-identity suites against the
+//! preserved oracle (`tests/engine_oracle.rs`) and by the golden NDJSON /
+//! recorder-perturbation tests: `SimResult` (including `channel_busy` and
+//! the `f64` metrics compared via `to_bits`), recorder event streams, and
+//! telemetry buckets are exactly those of the original engine.
 //!
-//! With a [`FabricLifecycle`] (see [`PacketSim::with_lifecycle`]) the run
-//! additionally plays a timed fault/recovery schedule: packets crossing a
-//! dead cable are dropped, a [`ftree_core::SubnetManager`] repairs the
-//! routing table incrementally `sweep_delay` after each event, and hosts
-//! retransmit timed-out messages with capped exponential backoff. Static
-//! runs (`PacketSim::new`) take none of these code paths and remain
-//! bit-identical to the pre-lifecycle simulator.
+//! # Sharded mode and its safety argument (DESIGN 4.13)
+//!
+//! Every event handler's mutable footprint is local to one *anchor* node:
+//! `Arrival{ch}` touches only state of `target(ch)`, `ChannelFree{ch}` and
+//! `DrainDone{ch}` only state of `source(ch)`, `HostKick{h}` only host
+//! `h`'s node. This locality is achieved by replacing the oracle's
+//! target-side credit count (`buffer.len() + reserved`) with a
+//! source-side occupancy counter `occ[ch]` (incremented on grant,
+//! decremented on `DrainDone`, unchanged by arrivals), and by carrying
+//! the message start time inside each packet instead of reading the
+//! sender's `msg_start` at delivery. Within a lookahead window
+//! `[T, T + L)` (`L` = minimum serialization time over all packet sizes),
+//! shards only process events whose handlers commute across shards, and
+//! every newly scheduled event lands at `>= now + L >= T + L`, i.e. in a
+//! later window. The barrier merges each window's new events in global
+//! parent `(time, seq)` order and assigns sequence numbers exactly as the
+//! serial engine would, so the sharded run is event-for-event identical.
+//!
+//! Runs that need global state — lifecycle/chaos schedules, synchronized
+//! progression, an attached recorder, or telemetry — silently fall back
+//! to the (still calendar-queue-fast) serial path; VOQ switches and host
+//! jitter are parallel-safe.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use ftree_core::{SubnetManager, SweepReport};
+use ftree_core::SubnetManager;
 use ftree_obs::{ChannelTimeSeries, ObsEvent, Recorder, SpanAttrs, SpanId, TimeSeriesConfig};
 use ftree_topology::{
-    LinkEventKind, LinkFailures, NextChannelTable, NodeId, RoutingTable, Topology, TopologyError,
+    ChannelId, LinkEventKind, LinkFailures, NextChannelTable, NodeId, RoutingTable, Topology,
+    TopologyError,
 };
 
-use crate::config::{SimConfig, SwitchModel, Time};
+use crate::calendar::{CalEntry, CalendarQueue};
+use crate::config::{jitter_ps, SimConfig, SwitchModel, Time};
 use crate::lifecycle::FabricLifecycle;
+use crate::result::drop_roll;
+pub use crate::result::SimResult;
 use crate::traffic::{Progression, TrafficPlan};
 
-/// Final metrics of one simulation run.
-#[derive(Debug, Clone)]
-pub struct SimResult {
-    /// Time of the last delivery, ps.
-    pub makespan: Time,
-    /// Total payload bytes delivered.
-    pub total_payload: u64,
-    /// Number of messages delivered.
-    pub messages_delivered: u64,
-    /// Aggregate effective bandwidth divided by the aggregate host
-    /// injection capacity — the paper's "normalized BW" (1.0 = every active
-    /// host streams at full PCIe rate for the whole run).
-    pub normalized_bw: f64,
-    /// Mean message latency (first-bit-out to last-bit-in), ps.
-    pub mean_latency: f64,
-    /// Worst message latency, ps.
-    pub max_latency: Time,
-    /// Bytes injected by the busiest host — the injection-critical path.
-    /// With heterogeneous schedules (pre/post proxy stages) aggregate
-    /// normalized BW cannot reach 1.0 even without contention;
-    /// `efficiency()` compares the makespan against this critical path
-    /// instead.
-    pub max_host_bytes: u64,
-    /// Host injection bandwidth, for efficiency computation.
-    pub host_bw_mbps: u64,
-    /// Number of events processed (sanity/performance reporting).
-    pub events: u64,
-    /// Accumulated busy time per directed channel (serialization only),
-    /// for utilization analysis.
-    pub channel_busy: Vec<Time>,
-    /// Packets lost to dead cables or cleared routes (lifecycle runs only).
-    pub packets_dropped: u64,
-    /// Message retransmissions started (lifecycle runs only).
-    pub retransmits: u64,
-    /// Messages abandoned after exhausting retransmissions **or** written
-    /// off early because their destination is provably unreachable.
-    pub messages_lost: u64,
-    /// Subset of `messages_lost` abandoned by the partition-aware early
-    /// exit: the schedule was fully applied, the subnet manager's
-    /// reachability said the destination cannot be reached, so the sender
-    /// stopped burning its retry budget.
-    pub messages_lost_unreachable: u64,
-    /// Subset of `packets_dropped` lost to degraded (alive but lossy)
-    /// cables rather than dead ones.
-    pub packets_dropped_degraded: u64,
-    /// Bytes delivered more than once (late originals racing retransmits);
-    /// excluded from `total_payload` and `normalized_bw`.
-    pub duplicate_payload: u64,
-    /// One report per subnet-manager sweep (lifecycle runs only).
-    pub sweep_reports: Vec<SweepReport>,
-    /// Per-channel time-bucketed telemetry, when enabled with
-    /// [`PacketSim::with_telemetry`] (`None` otherwise — the default, and
-    /// always `None` in bit-identity-gated runs).
-    pub telemetry: Option<ChannelTimeSeries>,
-}
+const NONE: u32 = u32::MAX;
 
-impl SimResult {
-    /// Makespan relative to the critical host's pure injection time:
-    /// ~1.0 means the busiest host streamed at line rate with no
-    /// contention stalls.
-    pub fn efficiency(&self) -> f64 {
-        if self.makespan == 0 || self.host_bw_mbps == 0 {
-            return 0.0;
-        }
-        // Computed in f64: the integer form truncated `bytes * 1e6 / mbps`
-        // to 0 whenever `bytes * 1e6 < mbps` (e.g. tiny latency probes).
-        let ideal = self.max_host_bytes as f64 * 1_000_000.0 / self.host_bw_mbps as f64;
-        ideal / self.makespan as f64
-    }
+// Event kinds (same semantics as the oracle's `EventKind` variants).
+const K_ARRIVAL: u8 = 0;
+const K_CH_FREE: u8 = 1;
+const K_DRAIN: u8 = 2;
+const K_KICK: u8 = 3;
+const K_FABRIC: u8 = 4;
+const K_SWEEP: u8 = 5;
+const K_RETX: u8 = 6;
+/// Fused `ChannelFree` + `DrainDone` (serial engine only): a switch-hop
+/// grant emits both at the same departure instant with consecutive
+/// sequence numbers, so no other event can ever interleave between them.
+/// One queue entry carries both; its handler runs the two bodies in seq
+/// order and counts two processed events. Cuts calendar traffic on the
+/// dominant grant path by a third without touching observable order.
+const K_FREE_DRAIN: u8 = 7;
 
-    /// Fraction of the run a channel spent transmitting.
-    pub fn utilization(&self, channel: usize) -> f64 {
-        if self.makespan == 0 {
-            0.0
-        } else {
-            self.channel_busy[channel] as f64 / self.makespan as f64
-        }
-    }
-
-    /// The highest utilization over all channels.
-    pub fn peak_utilization(&self) -> f64 {
-        (0..self.channel_busy.len())
-            .map(|c| self.utilization(c))
-            .fold(0.0, f64::max)
-    }
-}
-
-const NO_PACKET: u32 = u32::MAX;
-
-/// Deterministic drop lottery for degraded links: a splitmix-style hash of
-/// the run's jitter seed and the roll ordinal, mapped to `[0, 1_000_000)`
-/// for comparison against a link's `drop_ppm`.
-fn drop_roll(seed: u64, ordinal: u64) -> u64 {
-    let mut z = seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(ordinal)
-        .wrapping_add(0x00d4_0990);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    (z ^ (z >> 31)) % 1_000_000
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Packet {
+/// A packet, carried by value through events and input buffers.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pkt {
     dst: u32,
-    src_host: u32,
+    src: u32,
+    /// Per-host message index (schedule position of the sender).
     msg: u32,
-    size: u64,
-    is_last: bool,
-    /// Which send attempt of the message this packet belongs to (always 0
-    /// in static runs); stale-attempt arrivals are counted as duplicates.
-    attempt: u32,
-    next_free: u32,
+    size: u32,
+    /// bit 0: is_last; bits 1..: send attempt.
+    meta: u32,
+    /// Message start time (first-bit-out), carried so delivery-side latency
+    /// accounting never reads sender-shard state.
+    start: Time,
 }
 
-/// Who is asking an egress channel for a grant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Requester {
-    /// The host attached below this up-channel (injection).
-    Host(u32),
-    /// The head of the given input FIFO (InputFifo switch model).
-    Input(u32),
-    /// A specific resident packet (VirtualOutputQueues model: packets
-    /// contend independently, no HOL coupling).
-    Packet { pkt: u32, input: u32 },
+impl Pkt {
+    #[inline]
+    fn is_last(self) -> bool {
+        self.meta & 1 != 0
+    }
+    #[inline]
+    fn attempt(self) -> u32 {
+        self.meta >> 1
+    }
 }
 
-#[derive(Debug, Default)]
-struct ChannelState {
-    busy: bool,
-    waiting: VecDeque<Requester>,
-    /// Input FIFO at the channel's target (switch targets only).
-    buffer: VecDeque<u32>,
-    /// Slots reserved by granted-but-not-yet-arrived packets plus packets
-    /// draining out of this buffer.
-    reserved: usize,
-    /// True while this input's head packet has an outstanding request.
-    head_requested: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    Arrival {
-        pkt: u32,
-        ch: u32,
-    },
-    ChannelFree {
-        ch: u32,
-    },
-    DrainDone {
-        ch: u32,
-    },
-    /// Delayed host start (OS-jitter modeling).
-    HostKick {
-        host: u32,
-    },
-    /// Apply due fault-schedule events to the physical fabric (lifecycle).
-    FabricEvent,
-    /// Subnet-manager sweep: repair the routing table (lifecycle).
-    SmSweep,
-    /// Check whether a message attempt was delivered; retransmit if not.
-    RetransmitCheck {
-        host: u32,
-        msg: u32,
-        attempt: u32,
-    },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
+/// A scheduled event. `a` is the channel (`Arrival`/`ChannelFree`/
+/// `DrainDone`) or host (`HostKick`/`RetransmitCheck`); retransmit checks
+/// reuse `pkt.msg` for the message and `pkt.size` for the attempt.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
     time: Time,
     seq: u64,
-    kind: EventKind,
+    a: u32,
+    kind: u8,
+    pkt: Pkt,
 }
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap via reverse compare on (time, seq).
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl CalEntry for Ev {
+    #[inline]
+    fn cal_key(&self) -> (u64, u64) {
+        (self.time, self.seq)
     }
 }
 
+/// An event emitted during a parallel window, before its global sequence
+/// number is known (assigned at the barrier).
+#[derive(Debug, Clone, Copy)]
+struct PendEv {
+    time: Time,
+    a: u32,
+    kind: u8,
+    pkt: Pkt,
+}
+
+/// Slab of intrusively linked list nodes: `.1` is the next index, reused
+/// as the free-list link when released.
 #[derive(Debug)]
-struct HostState {
-    /// (dst_host, bytes, stage) personal schedule.
-    schedule: Vec<(u32, u64, u32)>,
-    /// Next fresh (never-sent) schedule entry.
-    next: usize,
-    /// Message being sent right now: `(msg index, packets left)`.
-    current: Option<(u32, u64)>,
-    /// Messages queued for retransmission (served before fresh ones).
-    retx: VecDeque<u32>,
-    active: bool,
+struct Pool<T> {
+    slots: Vec<(T, u32)>,
+    free: u32,
 }
 
-/// Per-message delivery tracking (lifecycle runs only).
-#[derive(Debug, Clone, Copy, Default)]
-struct MsgState {
-    /// Current send attempt (0 = first).
-    attempt: u32,
-    /// Packets of the current attempt received at the destination.
-    rx_pkts: u64,
-    /// Delivered (or abandoned — no further accounting either way).
-    delivered: bool,
+impl<T: Copy> Pool<T> {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: NONE,
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, v: T) -> u32 {
+        if self.free != NONE {
+            let id = self.free;
+            self.free = self.slots[id as usize].1;
+            self.slots[id as usize] = (v, NONE);
+            id
+        } else {
+            self.slots.push((v, NONE));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, id: u32) {
+        self.slots[id as usize].1 = self.free;
+        self.free = id;
+    }
 }
 
-/// The simulator.
+/// `ChState.flags` bit: the egress channel is serializing a packet.
+const F_BUSY: u8 = 1;
+/// `ChState.flags` bit: the input FIFO's head has an outstanding request.
+const F_HEAD_REQ: u8 = 2;
+
+/// Hot mutable per-channel state. An event handler touches two or three
+/// channels (the arrival channel, its input buffer, the granted egress),
+/// and with one field per array that cost one cache line per *field* per
+/// channel. Packing every hot field into 32 aligned bytes makes it one
+/// line per *channel* — the difference between ~15 and ~4 potential
+/// misses per event once the fabric outgrows L2.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(32))]
+struct ChState {
+    /// Cumulative busy time (the `channel_busy` result column).
+    busy_ps: Time,
+    /// Source-side occupancy of the channel's target buffer
+    /// (== oracle's `buffer.len() + reserved`).
+    occ: u32,
+    /// Intrusive waiter-queue head/tail (`NONE` when empty).
+    wq_head: u32,
+    wq_tail: u32,
+    /// Ring position (0..cap) of the input FIFO's head packet.
+    buf_head: u32,
+    /// Input FIFO depth.
+    buf_len: u32,
+    /// [`F_BUSY`] | [`F_HEAD_REQ`].
+    flags: u8,
+}
+
+impl ChState {
+    const EMPTY: ChState = ChState {
+        busy_ps: 0,
+        occ: 0,
+        wq_head: NONE,
+        wq_tail: NONE,
+        buf_head: 0,
+        buf_len: 0,
+        flags: 0,
+    };
+
+    #[inline]
+    fn busy(&self) -> bool {
+        self.flags & F_BUSY != 0
+    }
+
+    #[inline]
+    fn head_req(&self) -> bool {
+        self.flags & F_HEAD_REQ != 0
+    }
+}
+
+/// A grant request queued at an egress channel, packed into a `u64` so a
+/// pool slot is 16 bytes (four per cache line) instead of a 48-byte
+/// struct: bits 0..32 the requester id `a`, bits 32..34 the tag
+/// (0 = host `a` injection, 1 = head of input FIFO `a`, 2 = VOQ resident
+/// packet from input `a`), bits 34..64 the side-slab slot of the carried
+/// packet (tag 2 only — the InputFifo hot path never allocates one).
+type Waiter = u64;
+
+const TAG_HOST: u8 = 0;
+const TAG_INPUT: u8 = 1;
+const TAG_PACKET: u8 = 2;
+
+#[inline]
+fn waiter_pack(tag: u8, a: u32, pkt_slot: u32) -> Waiter {
+    a as u64 | ((tag as u64) << 32) | ((pkt_slot as u64) << 34)
+}
+
+#[inline]
+fn waiter_unpack(w: Waiter) -> (u8, u32, u32) {
+    (((w >> 32) & 3) as u8, w as u32, (w >> 34) as u32)
+}
+
+/// Immutable per-run precomputation: flattened schedules, channel
+/// geometry, and serialization tables (all divisions done up front).
+#[derive(Debug)]
+struct Prep {
+    num_hosts: usize,
+    num_channels: usize,
+    /// Channel target node id.
+    ch_target: Vec<u32>,
+    /// Channel source node id (shard anchoring).
+    ch_src: Vec<u32>,
+    ch_link: Vec<u32>,
+    /// Target has a finite input buffer (i.e. is a switch).
+    ch_finite: Vec<bool>,
+    /// Host id → node id.
+    host_node: Vec<u32>,
+    /// Input-buffer credits per finite channel.
+    cap: u32,
+    mtu: u32,
+    /// wire + switch latency per hop.
+    hdr_lat: Time,
+    host_ser_mtu: Time,
+    link_ser_mtu: Time,
+    /// Conservative parallel lookahead: minimum serialization time of any
+    /// packet the plan can produce.
+    lookahead: Time,
+    /// Host h's messages are the global indices `msg_base[h]..msg_base[h+1]`.
+    msg_base: Vec<u32>,
+    msg_dst: Vec<u32>,
+    msg_bytes: Vec<u64>,
+    msg_stage: Vec<u32>,
+    msg_pkts: Vec<u64>,
+    msg_last_size: Vec<u32>,
+    msg_host_ser_last: Vec<Time>,
+    msg_link_ser_last: Vec<Time>,
+    stage_message_counts: Vec<u64>,
+    num_stages: u32,
+    max_host_bytes: u64,
+    n_active: usize,
+    has_degradations: bool,
+}
+
+/// Shared read-only view handed to every shard worker.
+#[derive(Clone, Copy)]
+struct Shared<'s> {
+    topo: &'s Topology,
+    rt: Option<&'s RoutingTable>,
+    tbl: Option<&'s NextChannelTable>,
+    cfg: &'s SimConfig,
+    mode: Progression,
+    prep: &'s Prep,
+}
+
+impl<'s> Shared<'s> {
+    #[inline]
+    fn gmsg(&self, host: u32, msg: u32) -> usize {
+        (self.prep.msg_base[host as usize] + msg) as usize
+    }
+}
+
+/// Per-shard mutable simulation state. The serial engine is exactly one
+/// `Core` owning every node; shard workers own disjoint entries of the
+/// same (full-sized) arrays, per the anchoring rules in the module doc.
+struct Core {
+    cal: CalendarQueue<Ev>,
+    now: Time,
+    /// Parallel-window emission mode: buffer children in `out` (sequenced
+    /// at the barrier) instead of pushing them with `seq` directly.
+    collect: bool,
+    out: Vec<PendEv>,
+    /// `(time, seq, children)` per event processed in the current window.
+    parents: Vec<(Time, u64, u32)>,
+    /// Serial-mode sequence counter (the driver owns it in parallel mode).
+    seq: u64,
+    // --- channels: hot state packed per channel ---
+    ch: Vec<ChState>,
+    /// Input-buffer ring capacity per channel (== credits).
+    cap: usize,
+    waiters: Pool<Waiter>,
+    /// Side slab for packets carried by VOQ waiters (tag 2).
+    voq_pkts: Pool<Pkt>,
+    /// Flat per-channel packet rings: channel `c` owns
+    /// `bufs[c * cap .. (c + 1) * cap]`. Credit flow control bounds each
+    /// FIFO at `cap`, so fixed rings replace a linked slab — contiguous,
+    /// no free-list walk, prefetchable.
+    bufs: Vec<Pkt>,
+    // --- hosts ---
+    h_next: Vec<u32>,
+    h_cur_msg: Vec<u32>,
+    h_cur_left: Vec<u64>,
+    h_active: Vec<bool>,
+    h_retx: Vec<VecDeque<u32>>,
+    /// Start time per global message index.
+    msg_start: Vec<Time>,
+    // --- metrics ---
+    events_processed: u64,
+    delivered: u64,
+    total_payload: u64,
+    last_delivery: Time,
+    latency_sum: u128,
+    latency_max: Time,
+    packets_dropped: u64,
+    packets_dropped_degraded: u64,
+    retransmits: u64,
+    messages_lost: u64,
+    messages_lost_unreachable: u64,
+    duplicate_payload: u64,
+    // --- serial-only features (None/empty on parallel workers) ---
+    lifecycle: Option<FabricLifecycle>,
+    sm: Option<SubnetManager>,
+    phys: LinkFailures,
+    phys_cursor: usize,
+    degrade_cursor: usize,
+    link_latency_mult: Vec<u32>,
+    link_drop_ppm: Vec<u32>,
+    drop_rolls: u64,
+    msg_attempt: Vec<u32>,
+    msg_rx: Vec<u64>,
+    msg_done: Vec<bool>,
+    recorder: Option<Arc<Recorder>>,
+    msg_span: Vec<u64>,
+    telemetry: Option<ChannelTimeSeries>,
+    // --- synchronized-mode bookkeeping ---
+    stage_remaining: u64,
+    current_stage: u32,
+}
+
+impl Core {
+    fn new(sh: &Shared) -> Self {
+        let nc = sh.prep.num_channels;
+        let nh = sh.prep.num_hosts;
+        // Calibrated on the paper-scale topologies (nodes_1728/nodes_1944,
+        // QDR timing): 2 ns days keep sorted runs around 10^2 entries even
+        // at 1944-host event density, and 2048 days span 4.2 us — several
+        // MTU serializations — so in-horizon events stay inside the year
+        // and only timers/jitter kicks ride the overflow list.
+        let cal = CalendarQueue::new(2048, 2048);
+        let cap = sh.prep.cap.max(1) as usize;
+        Core {
+            cal,
+            now: 0,
+            collect: false,
+            out: Vec::new(),
+            parents: Vec::new(),
+            seq: 0,
+            ch: vec![ChState::EMPTY; nc],
+            cap,
+            waiters: Pool::new(),
+            voq_pkts: Pool::new(),
+            bufs: vec![Pkt::default(); nc * cap],
+            h_next: vec![0; nh],
+            h_cur_msg: vec![NONE; nh],
+            h_cur_left: vec![0; nh],
+            h_active: vec![false; nh],
+            h_retx: (0..nh).map(|_| VecDeque::new()).collect(),
+            msg_start: vec![0; sh.prep.msg_dst.len()],
+            events_processed: 0,
+            delivered: 0,
+            total_payload: 0,
+            last_delivery: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            packets_dropped: 0,
+            packets_dropped_degraded: 0,
+            retransmits: 0,
+            messages_lost: 0,
+            messages_lost_unreachable: 0,
+            duplicate_payload: 0,
+            lifecycle: None,
+            sm: None,
+            phys: LinkFailures::none(sh.topo),
+            phys_cursor: 0,
+            degrade_cursor: 0,
+            link_latency_mult: Vec::new(),
+            link_drop_ppm: Vec::new(),
+            drop_rolls: 0,
+            msg_attempt: Vec::new(),
+            msg_rx: Vec::new(),
+            msg_done: Vec::new(),
+            recorder: None,
+            msg_span: Vec::new(),
+            telemetry: None,
+            stage_remaining: 0,
+            current_stage: 0,
+        }
+    }
+
+    /// Schedules an event: sequenced immediately in serial mode, buffered
+    /// for barrier sequencing during a parallel window.
+    #[inline]
+    fn emit(&mut self, time: Time, kind: u8, a: u32, pkt: Pkt) {
+        if self.collect {
+            self.out.push(PendEv { time, a, kind, pkt });
+        } else {
+            self.cal.push(Ev {
+                time,
+                seq: self.seq,
+                a,
+                kind,
+                pkt,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Emits the `ChannelFree(e)` / `DrainDone(i)` pair of a switch-hop
+    /// grant. Serial mode fuses them into one [`K_FREE_DRAIN`] entry
+    /// (consuming both sequence numbers); parallel windows keep them
+    /// separate because the two halves anchor to different shards.
+    #[inline]
+    fn emit_free_drain(&mut self, time: Time, e: u32, i: u32) {
+        if self.collect {
+            self.emit(time, K_CH_FREE, e, Pkt::default());
+            self.emit(time, K_DRAIN, i, Pkt::default());
+        } else {
+            self.cal.push(Ev {
+                time,
+                seq: self.seq,
+                a: e,
+                kind: K_FREE_DRAIN,
+                pkt: Pkt {
+                    msg: i,
+                    ..Pkt::default()
+                },
+            });
+            self.seq += 2;
+        }
+    }
+
+    // --- intrusive per-channel queues ---
+
+    #[inline]
+    fn wq_push(&mut self, ch: u32, w: Waiter) {
+        let id = self.waiters.alloc(w);
+        let t = self.ch[ch as usize].wq_tail;
+        if t == NONE {
+            self.ch[ch as usize].wq_head = id;
+        } else {
+            self.waiters.slots[t as usize].1 = id;
+        }
+        self.ch[ch as usize].wq_tail = id;
+    }
+
+    #[inline]
+    fn wq_pop(&mut self, ch: u32) -> Waiter {
+        let id = self.ch[ch as usize].wq_head;
+        let (w, next) = self.waiters.slots[id as usize];
+        self.ch[ch as usize].wq_head = next;
+        if next == NONE {
+            self.ch[ch as usize].wq_tail = NONE;
+        }
+        self.waiters.release(id);
+        w
+    }
+
+    #[inline]
+    fn buf_push(&mut self, ch: u32, pkt: Pkt) {
+        let c = ch as usize;
+        let st = &mut self.ch[c];
+        let len = st.buf_len;
+        debug_assert!(len < self.cap as u32, "credit flow control violated");
+        let mut pos = st.buf_head + len;
+        if pos >= self.cap as u32 {
+            pos -= self.cap as u32;
+        }
+        st.buf_len = len + 1;
+        self.bufs[c * self.cap + pos as usize] = pkt;
+    }
+
+    #[inline]
+    fn buf_front(&self, ch: u32) -> Option<Pkt> {
+        let c = ch as usize;
+        let st = &self.ch[c];
+        (st.buf_len > 0).then(|| self.bufs[c * self.cap + st.buf_head as usize])
+    }
+
+    #[inline]
+    fn buf_pop(&mut self, ch: u32) -> Pkt {
+        let c = ch as usize;
+        let st = &mut self.ch[c];
+        let head = st.buf_head;
+        st.buf_head = if head + 1 == self.cap as u32 {
+            0
+        } else {
+            head + 1
+        };
+        st.buf_len -= 1;
+        self.bufs[c * self.cap + head as usize]
+    }
+
+    // --- routing and timing ---
+
+    /// The routing table in force right now (the SM's live table in
+    /// lifecycle runs, the caller's static table otherwise).
+    #[inline]
+    fn route<'s>(&'s self, sh: &Shared<'s>) -> &'s RoutingTable {
+        match &self.sm {
+            Some(sm) => sm.table(),
+            None => sh.rt.expect("static simulation always has a table"),
+        }
+    }
+
+    /// Serialization time scaled by the link degradation multiplier (the
+    /// base time when no degradations are configured — the common case).
+    #[inline]
+    fn xfer(&self, sh: &Shared, e: u32, base: Time) -> Time {
+        if self.link_latency_mult.is_empty() {
+            return base;
+        }
+        base * self.link_latency_mult[sh.prep.ch_link[e as usize] as usize] as Time
+    }
+
+    #[inline]
+    fn has_credit(&self, sh: &Shared, ch: u32) -> bool {
+        !sh.prep.ch_finite[ch as usize] || self.ch[ch as usize].occ < sh.prep.cap
+    }
+
+    /// Host `h`'s up-channel toward `dst` (`None` when a multi-cabled host
+    /// currently has no route — lifecycle runs only).
+    fn host_channel(&self, sh: &Shared, h: u32, dst: u32) -> Option<u32> {
+        let node = NodeId(sh.prep.host_node[h as usize]);
+        if let Some(tbl) = sh.tbl {
+            return tbl.next_channel(node, dst as usize).map(|ch| ch.0);
+        }
+        let port = self.route(sh).egress(node, dst as usize)?;
+        Some(sh.topo.egress_channel(node, port).0)
+    }
+
+    /// Egress channel a resident packet needs at node `here` (`None` when
+    /// the LFT entry is currently cleared — a lifecycle blackhole). With
+    /// route-decision recording enabled the cache stays in force: the
+    /// `RouteDecision` event is synthesized from the cached channel's
+    /// source port, byte-identical to the slow path's.
+    fn egress_for(&mut self, sh: &Shared, here: u32, dst: u32) -> Option<u32> {
+        let route_events = self
+            .recorder
+            .as_ref()
+            .is_some_and(|rec| rec.route_events_enabled());
+        if let Some(tbl) = sh.tbl {
+            let ch = tbl.next_channel(NodeId(here), dst as usize)?;
+            if route_events {
+                let (_, port) = sh.topo.channel_source(ch);
+                if let Some(rec) = &self.recorder {
+                    rec.record(ObsEvent::RouteDecision {
+                        t: self.now,
+                        node: here,
+                        dst,
+                        port: format!("{port:?}"),
+                    });
+                }
+            }
+            return Some(ch.0);
+        }
+        let port = self.route(sh).egress(NodeId(here), dst as usize)?;
+        if route_events {
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::RouteDecision {
+                    t: self.now,
+                    node: here,
+                    dst,
+                    port: format!("{port:?}"),
+                });
+            }
+        }
+        Some(sh.topo.egress_channel(NodeId(here), port).0)
+    }
+
+    // --- message spans (recorder runs only) ---
+
+    fn begin_msg_span(&mut self, sh: &Shared, h: u32, msg: u32) {
+        let Some(rec) = &self.recorder else { return };
+        let g = sh.gmsg(h, msg);
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("src".to_string(), h.into());
+        attrs.insert("dst".to_string(), sh.prep.msg_dst[g].into());
+        attrs.insert("msg".to_string(), msg.into());
+        attrs.insert("bytes".to_string(), sh.prep.msg_bytes[g].into());
+        attrs.insert("stage".to_string(), sh.prep.msg_stage[g].into());
+        let id = rec.span_begin_at(self.now, "message", SpanId::NONE, attrs);
+        self.msg_span[g] = id.0;
+    }
+
+    fn end_msg_span(&mut self, sh: &Shared, src: u32, msg: u32, outcome: &str) {
+        let Some(rec) = &self.recorder else { return };
+        let Some(&id) = self.msg_span.get(sh.gmsg(src, msg)) else {
+            return;
+        };
+        if id == 0 {
+            return;
+        }
+        let mut attrs = SpanAttrs::new();
+        attrs.insert("outcome".to_string(), outcome.into());
+        if !self.msg_attempt.is_empty() {
+            let attempts = self.msg_attempt[sh.gmsg(src, msg)] + 1;
+            attrs.insert("attempts".to_string(), attempts.into());
+        }
+        rec.span_end_at_with(self.now, SpanId(id), attrs);
+    }
+
+    // --- host progression and arbitration ---
+
+    /// Kicks host `h`: if it has a startable message (a retransmission, a
+    /// mid-send message, or the next fresh one), request its up-channel.
+    fn host_request(&mut self, sh: &Shared, h: u32) {
+        let hi = h as usize;
+        if self.h_active[hi] {
+            return;
+        }
+        if self.h_cur_msg[hi] == NONE {
+            // Select the next sending unit: retransmissions first (they
+            // bypass the stage barrier — their stage is already open), then
+            // the next fresh message.
+            if let Some(msg) = self.h_retx[hi].pop_front() {
+                self.h_cur_msg[hi] = msg;
+                self.h_cur_left[hi] = sh.prep.msg_pkts[sh.gmsg(h, msg)];
+            } else {
+                let next = self.h_next[hi];
+                let g = sh.prep.msg_base[hi] + next;
+                if g >= sh.prep.msg_base[hi + 1] {
+                    return;
+                }
+                if sh.mode == Progression::Synchronized
+                    && sh.prep.msg_stage[g as usize] != self.current_stage
+                {
+                    return;
+                }
+                self.h_cur_msg[hi] = next;
+                self.h_cur_left[hi] = sh.prep.msg_pkts[g as usize];
+                self.msg_start[g as usize] = self.now;
+                self.h_next[hi] = next + 1;
+                if self.recorder.is_some() {
+                    self.begin_msg_span(sh, h, next);
+                }
+            }
+        }
+        let msg = self.h_cur_msg[hi];
+        let dst = sh.prep.msg_dst[sh.gmsg(h, msg)];
+        match self.host_channel(sh, h, dst) {
+            Some(ch) => {
+                self.h_active[hi] = true;
+                self.request_grant(sh, ch, TAG_HOST, h, Pkt::default());
+            }
+            None => {
+                // No route right now (multi-cabled host cut off). The unit
+                // stays current; the post-sweep rekick retries it.
+                assert!(
+                    self.lifecycle.is_some(),
+                    "host must have a route in a static simulation"
+                );
+            }
+        }
+    }
+
+    /// Queues a request at egress `e` and arbitrates. When `e` is idle
+    /// with credit and an empty waiter queue — the common case on an
+    /// uncongested fabric — the push/immediate-pop pair collapses into a
+    /// direct grant, skipping the waiter pool entirely. Observably
+    /// identical: `try_grant` would pop this exact request first.
+    #[inline]
+    fn request_grant(&mut self, sh: &Shared, e: u32, tag: u8, a: u32, pkt: Pkt) {
+        let st = &self.ch[e as usize];
+        if !st.busy() && st.wq_head == NONE && self.has_credit(sh, e) {
+            match tag {
+                TAG_HOST => self.grant_host(sh, e, a),
+                TAG_INPUT => self.grant_input(sh, e, a),
+                _ => self.grant_packet(sh, e, pkt, a),
+            }
+            // The grant made `e` busy; no further grant can follow now.
+        } else {
+            let slot = if tag == TAG_PACKET {
+                self.voq_pkts.alloc(pkt)
+            } else {
+                0
+            };
+            self.wq_push(e, waiter_pack(tag, a, slot));
+            self.try_grant(sh, e);
+        }
+    }
+
+    /// Attempts to grant the egress channel `e` to its next requester.
+    fn try_grant(&mut self, sh: &Shared, e: u32) {
+        loop {
+            let st = &self.ch[e as usize];
+            if st.busy() || st.wq_head == NONE {
+                return;
+            }
+            if !self.has_credit(sh, e) {
+                return; // retried on DrainDone at e
+            }
+            let (tag, a, slot) = waiter_unpack(self.wq_pop(e));
+            match tag {
+                TAG_HOST => self.grant_host(sh, e, a),
+                TAG_INPUT => self.grant_input(sh, e, a),
+                _ => {
+                    let pkt = self.voq_pkts.slots[slot as usize].0;
+                    self.voq_pkts.release(slot);
+                    self.grant_packet(sh, e, pkt, a);
+                }
+            }
+        }
+    }
+
+    /// Marks `e` busy for `serialize`, accounting utilization and the
+    /// target-buffer occupancy of the granted transfer.
+    #[inline]
+    fn seize(&mut self, sh: &Shared, e: u32, serialize: Time, bytes: u32) {
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::ChannelBusy {
+                t: self.now,
+                ch: e,
+                dur: serialize,
+                bytes: bytes as u64,
+            });
+        }
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_busy(e, self.now, serialize);
+        }
+        let st = &mut self.ch[e as usize];
+        st.busy_ps += serialize;
+        st.flags |= F_BUSY;
+        if sh.prep.ch_finite[e as usize] {
+            st.occ += 1;
+        }
+    }
+
+    fn grant_host(&mut self, sh: &Shared, e: u32, h: u32) {
+        let hi = h as usize;
+        let msg = self.h_cur_msg[hi];
+        let left = self.h_cur_left[hi];
+        let g = sh.gmsg(h, msg);
+        let is_last = left == 1;
+        let size = if is_last {
+            sh.prep.msg_last_size[g]
+        } else {
+            sh.prep.mtu
+        };
+        self.h_active[hi] = false;
+        // "Sent to the wire": the unit completes with its last packet; the
+        // host then moves to the next unit (in sync mode a fresh message
+        // still waits for the stage barrier).
+        if is_last {
+            self.h_cur_msg[hi] = NONE;
+        } else {
+            self.h_cur_left[hi] = left - 1;
+        }
+        let attempt = if self.lifecycle.is_some() {
+            self.msg_attempt[g]
+        } else {
+            0
+        };
+        let pkt = Pkt {
+            dst: sh.prep.msg_dst[g],
+            src: h,
+            msg,
+            size,
+            meta: (attempt << 1) | is_last as u32,
+            start: self.msg_start[g],
+        };
+        // Injection serializes at the PCIe-bound host bandwidth (scaled if
+        // the host cable itself is degraded).
+        let base = if is_last {
+            sh.prep.msg_host_ser_last[g]
+        } else {
+            sh.prep.host_ser_mtu
+        };
+        let serialize = self.xfer(sh, e, base);
+        let depart = self.now + serialize;
+        self.seize(sh, e, serialize, size);
+        self.emit(depart, K_CH_FREE, e, Pkt::default());
+        self.emit(depart + sh.prep.hdr_lat, K_ARRIVAL, e, pkt);
+        if is_last {
+            // Arm the retransmission timer as the last packet hits the wire.
+            let rto = self.lifecycle.as_ref().map(|lc| lc.rto(attempt));
+            if let Some(rto) = rto {
+                self.emit(
+                    depart + rto,
+                    K_RETX,
+                    h,
+                    Pkt {
+                        msg,
+                        size: attempt,
+                        ..Pkt::default()
+                    },
+                );
+            }
+        }
+        // The host can line up its next packet (granted no earlier than the
+        // ChannelFree above).
+        self.host_request(sh, h);
+    }
+
+    fn grant_input(&mut self, sh: &Shared, e: u32, i: u32) {
+        let pkt = self.buf_pop(i);
+        self.ch[i as usize].flags &= !F_HEAD_REQ;
+        // The packet keeps occupying a slot of buffer `i` while draining
+        // (popped from the FIFO but still reserved), so `occ[i]` is
+        // unchanged until the DrainDone below.
+        let g = sh.gmsg(pkt.src, pkt.msg);
+        let base = if pkt.is_last() {
+            sh.prep.msg_link_ser_last[g]
+        } else {
+            sh.prep.link_ser_mtu
+        };
+        let serialize = self.xfer(sh, e, base);
+        let depart = self.now + serialize;
+        self.seize(sh, e, serialize, pkt.size);
+        self.emit_free_drain(depart, e, i);
+        self.emit(depart + sh.prep.hdr_lat, K_ARRIVAL, e, pkt);
+        // New head of buffer `i` may request its own egress.
+        self.request_for_head(sh, i);
+    }
+
+    /// VOQ grant: the packet was addressed directly; its input slot drains
+    /// when the tail leaves.
+    fn grant_packet(&mut self, sh: &Shared, e: u32, pkt: Pkt, input: u32) {
+        let g = sh.gmsg(pkt.src, pkt.msg);
+        let base = if pkt.is_last() {
+            sh.prep.msg_link_ser_last[g]
+        } else {
+            sh.prep.link_ser_mtu
+        };
+        let serialize = self.xfer(sh, e, base);
+        let depart = self.now + serialize;
+        self.seize(sh, e, serialize, pkt.size);
+        self.emit_free_drain(depart, e, input);
+        self.emit(depart + sh.prep.hdr_lat, K_ARRIVAL, e, pkt);
+    }
+
+    /// Makes the head packet of input buffer `i` request its egress. Heads
+    /// with no current route (cleared LFT entry) are dropped on the spot —
+    /// the freed credit may unblock upstream senders — and the next head
+    /// tries in turn.
+    fn request_for_head(&mut self, sh: &Shared, i: u32) {
+        if self.ch[i as usize].head_req() {
+            return;
+        }
+        let here = sh.prep.ch_target[i as usize];
+        loop {
+            let Some(pkt) = self.buf_front(i) else { return };
+            match self.egress_for(sh, here, pkt.dst) {
+                Some(e) => {
+                    self.ch[i as usize].flags |= F_HEAD_REQ;
+                    self.request_grant(sh, e, TAG_INPUT, i, Pkt::default());
+                    return;
+                }
+                None => {
+                    assert!(
+                        self.lifecycle.is_some(),
+                        "switch must route every destination in a static simulation"
+                    );
+                    let p = self.buf_pop(i);
+                    self.ch[i as usize].occ -= 1;
+                    self.packets_dropped += 1;
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_drop(i, self.now);
+                    }
+                    if let Some(rec) = &self.recorder {
+                        rec.record(ObsEvent::PacketDrop {
+                            t: self.now,
+                            ch: i,
+                            src: p.src,
+                            dst: p.dst,
+                            msg: p.msg,
+                            attempt: p.attempt(),
+                        });
+                    }
+                    self.try_grant(sh, i);
+                }
+            }
+        }
+    }
+
+    /// Drops a packet at channel `ch`'s far end: frees the occupancy its
+    /// transfer reserved (switch targets) and retries grants waiting on
+    /// that credit.
+    fn drop_packet(&mut self, sh: &Shared, pkt: Pkt, ch: u32) {
+        self.packets_dropped += 1;
+        if let Some(ts) = &mut self.telemetry {
+            ts.record_drop(ch, self.now);
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::PacketDrop {
+                t: self.now,
+                ch,
+                src: pkt.src,
+                dst: pkt.dst,
+                msg: pkt.msg,
+                attempt: pkt.attempt(),
+            });
+        }
+        if sh.prep.ch_finite[ch as usize] {
+            self.ch[ch as usize].occ = self.ch[ch as usize].occ.saturating_sub(1);
+            self.try_grant(sh, ch);
+        }
+    }
+
+    /// Message-completion accounting for lifecycle runs: per-attempt packet
+    /// counting (robust to drops, reroute reordering and late duplicates).
+    fn lifecycle_deliver(&mut self, sh: &Shared, pkt: Pkt) {
+        let g = sh.gmsg(pkt.src, pkt.msg);
+        let bytes = sh.prep.msg_bytes[g];
+        if self.msg_done[g] || pkt.attempt() != self.msg_attempt[g] {
+            // A late original racing its own retransmission.
+            self.duplicate_payload += pkt.size as u64;
+            return;
+        }
+        self.msg_rx[g] += 1;
+        if self.msg_rx[g] < sh.prep.msg_pkts[g] {
+            return;
+        }
+        // Goodput is credited once, at completion, so partial attempts that
+        // were cut short by drops never inflate it.
+        self.msg_done[g] = true;
+        self.total_payload += bytes;
+        self.delivered += 1;
+        self.last_delivery = self.now;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Delivery {
+                t: self.now,
+                src: pkt.src,
+                dst: pkt.dst,
+                msg: pkt.msg,
+                bytes,
+            });
+        }
+        self.end_msg_span(sh, pkt.src, pkt.msg, "delivered");
+        let lat = self.now - self.msg_start[g];
+        self.latency_sum += lat as u128;
+        self.latency_max = self.latency_max.max(lat);
+        if sh.mode == Progression::Synchronized {
+            self.stage_remaining -= 1;
+            if self.stage_remaining == 0 {
+                self.advance_stage(sh);
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, sh: &Shared, pkt: Pkt, ch: u32) {
+        // A dead cable loses everything that was crossing it.
+        if self.lifecycle.is_some() && !self.phys.is_live(sh.prep.ch_link[ch as usize]) {
+            self.drop_packet(sh, pkt, ch);
+            return;
+        }
+        // A degraded cable loses packets probabilistically. The roll is a
+        // stateless hash of (jitter seed, roll ordinal), so a run is exactly
+        // reproducible under a fixed seed.
+        if !self.link_drop_ppm.is_empty() {
+            let ppm = self.link_drop_ppm[sh.prep.ch_link[ch as usize] as usize];
+            if ppm > 0 {
+                let roll = drop_roll(sh.cfg.jitter_seed, self.drop_rolls);
+                self.drop_rolls += 1;
+                if roll < ppm as u64 {
+                    self.packets_dropped_degraded += 1;
+                    self.drop_packet(sh, pkt, ch);
+                    return;
+                }
+            }
+        }
+        if !sh.prep.ch_finite[ch as usize] {
+            // Host target: delivery.
+            debug_assert_eq!(pkt.dst, sh.prep.ch_target[ch as usize], "packet misrouted");
+            if self.lifecycle.is_some() {
+                self.lifecycle_deliver(sh, pkt);
+            } else {
+                self.total_payload += pkt.size as u64;
+                if pkt.is_last() {
+                    self.delivered += 1;
+                    self.last_delivery = self.now;
+                    if let Some(rec) = &self.recorder {
+                        rec.record(ObsEvent::Delivery {
+                            t: self.now,
+                            src: pkt.src,
+                            dst: pkt.dst,
+                            msg: pkt.msg,
+                            bytes: sh.prep.msg_bytes[sh.gmsg(pkt.src, pkt.msg)],
+                        });
+                    }
+                    self.end_msg_span(sh, pkt.src, pkt.msg, "delivered");
+                    let lat = self.now - pkt.start;
+                    self.latency_sum += lat as u128;
+                    self.latency_max = self.latency_max.max(lat);
+                    if sh.mode == Progression::Synchronized {
+                        self.stage_remaining -= 1;
+                        if self.stage_remaining == 0 {
+                            self.advance_stage(sh);
+                        }
+                    }
+                }
+            }
+        } else {
+            match sh.cfg.switch_model {
+                SwitchModel::InputFifo => {
+                    // Occupancy-neutral: the arrival reservation converts
+                    // into a FIFO slot (`reserved - 1, len + 1`).
+                    self.buf_push(ch, pkt);
+                    let depth = self.ch[ch as usize].buf_len;
+                    if let Some(ts) = &mut self.telemetry {
+                        ts.record_queue_depth(ch, self.now, depth);
+                    }
+                    if depth == 1 {
+                        self.request_for_head(sh, ch);
+                    }
+                }
+                SwitchModel::VirtualOutputQueues => {
+                    // The arrival reservation stays until DrainDone; the
+                    // packet immediately contends for its own egress.
+                    match self.egress_for(sh, sh.prep.ch_target[ch as usize], pkt.dst) {
+                        Some(e) => {
+                            self.request_grant(sh, e, TAG_PACKET, ch, pkt);
+                        }
+                        None => {
+                            assert!(
+                                self.lifecycle.is_some(),
+                                "switch must route every destination in a static simulation"
+                            );
+                            self.drop_packet(sh, pkt, ch);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kicks every host, applying per-host jitter when configured
+    /// (serial engine only — the parallel driver primes hosts itself).
+    fn kick_all_hosts(&mut self, sh: &Shared) {
+        let stage = if sh.mode == Progression::Synchronized {
+            self.current_stage
+        } else {
+            0
+        };
+        for h in 0..sh.prep.num_hosts as u32 {
+            let delay = jitter_ps(sh.cfg.jitter_seed, h, stage, sh.cfg.jitter);
+            if delay == 0 {
+                self.host_request(sh, h);
+            } else {
+                let t = self.now + delay;
+                self.emit(t, K_KICK, h, Pkt::default());
+            }
+        }
+    }
+
+    /// Sync-mode barrier: release the next non-empty stage.
+    fn advance_stage(&mut self, sh: &Shared) {
+        loop {
+            self.current_stage += 1;
+            if self.current_stage >= sh.prep.num_stages {
+                return;
+            }
+            let count = sh.prep.stage_message_counts[self.current_stage as usize];
+            if count > 0 {
+                self.stage_remaining = count;
+                self.kick_all_hosts(sh);
+                return;
+            }
+        }
+    }
+
+    /// Applies every due degradation event to the per-link slowdown/loss
+    /// state. Degradations are data-plane only: the SM is never notified.
+    fn apply_degrade_events(&mut self) {
+        loop {
+            let ev = match self
+                .lifecycle
+                .as_ref()
+                .and_then(|lc| lc.degradations.get(self.degrade_cursor))
+            {
+                Some(&ev) if ev.time <= self.now => ev,
+                _ => return,
+            };
+            self.degrade_cursor += 1;
+            self.link_latency_mult[ev.link as usize] = ev.latency_mult.max(1);
+            self.link_drop_ppm[ev.link as usize] = ev.drop_ppm.min(1_000_000);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::LinkDegrade {
+                    t: self.now,
+                    link: ev.link,
+                    latency_mult: ev.latency_mult.max(1),
+                    drop_ppm: ev.drop_ppm.min(1_000_000),
+                });
+            }
+        }
+    }
+
+    /// Applies every due schedule event to the physical liveness view.
+    fn apply_fabric_events(&mut self) {
+        self.apply_degrade_events();
+        loop {
+            let ev = match self
+                .lifecycle
+                .as_ref()
+                .and_then(|lc| lc.schedule.events().get(self.phys_cursor))
+            {
+                Some(&ev) if ev.time <= self.now => ev,
+                _ => return,
+            };
+            self.phys_cursor += 1;
+            let effective = match ev.kind {
+                LinkEventKind::Fail => self.phys.fail(ev.link),
+                LinkEventKind::Recover => self.phys.recover(ev.link),
+            }
+            .unwrap_or(false);
+            if effective {
+                if let Some(rec) = &self.recorder {
+                    rec.record(match ev.kind {
+                        LinkEventKind::Fail => ObsEvent::LinkFail {
+                            t: self.now,
+                            link: ev.link,
+                        },
+                        LinkEventKind::Recover => ObsEvent::LinkRecover {
+                            t: self.now,
+                            link: ev.link,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Subnet-manager sweep: repair the routing table, then re-kick every
+    /// idle host (routes that were missing may exist again).
+    fn handle_sm_sweep(&mut self, sh: &Shared) {
+        if let Some(sm) = self.sm.as_mut() {
+            if let Some(rec) = &self.recorder {
+                let sweep = sm.reports().len();
+                rec.record(ObsEvent::SweepBegin { t: self.now, sweep });
+            }
+            let report = sm.sweep(sh.topo, self.now);
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::SweepEnd {
+                    t: self.now,
+                    report: serde_json::to_value(&report).expect("SweepReport serializes"),
+                });
+            }
+        }
+        for h in 0..sh.prep.num_hosts as u32 {
+            self.host_request(sh, h);
+        }
+    }
+
+    /// Retransmission timer fired: if the guarded attempt is still the
+    /// current one and undelivered, queue a resend (or give up).
+    fn handle_retransmit_check(&mut self, sh: &Shared, host: u32, msg: u32, attempt: u32) {
+        let Some(lc) = self.lifecycle.as_ref() else {
+            return;
+        };
+        let max_retries = lc.max_retries;
+        let g = sh.gmsg(host, msg);
+        // Partition-aware early exit: once the schedule is fully applied and
+        // the SM's reachability proves the destination unreachable, further
+        // retries cannot succeed — write the message off now instead of
+        // burning the rest of the retry budget against a partition.
+        let partitioned = self.sm.as_ref().is_some_and(|sm| {
+            sm.is_settled() && {
+                let dst = sh.prep.msg_dst[g];
+                !sm.reachability()
+                    .ok(sh.topo.host(host as usize), dst as usize)
+            }
+        });
+        if self.msg_done[g] || self.msg_attempt[g] != attempt {
+            return; // delivered in time, or a newer attempt owns the timer
+        }
+        if partitioned || self.msg_attempt[g] >= max_retries {
+            // Abandon: mark closed so stale arrivals count as duplicates,
+            // and release the stage barrier in sync mode.
+            self.msg_done[g] = true;
+            self.messages_lost += 1;
+            if partitioned {
+                self.messages_lost_unreachable += 1;
+            }
+            if let Some(rec) = &self.recorder {
+                rec.record(ObsEvent::MessageLost {
+                    t: self.now,
+                    host,
+                    msg,
+                });
+            }
+            self.end_msg_span(sh, host, msg, "lost");
+            if sh.mode == Progression::Synchronized {
+                self.stage_remaining -= 1;
+                if self.stage_remaining == 0 {
+                    self.advance_stage(sh);
+                }
+            }
+            return;
+        }
+        self.msg_attempt[g] += 1;
+        self.msg_rx[g] = 0;
+        let attempt = self.msg_attempt[g];
+        self.retransmits += 1;
+        if let Some(rec) = &self.recorder {
+            rec.record(ObsEvent::Retransmit {
+                t: self.now,
+                host,
+                msg,
+                attempt,
+            });
+        }
+        self.h_retx[host as usize].push_back(msg);
+        self.host_request(sh, host);
+    }
+
+    /// Issues cache prefetches for the state `ev`'s handler will touch.
+    /// Called for the next entries of the calendar's sorted run while the
+    /// current handler executes: the route-table row (tens of MB at fabric
+    /// scale — a guaranteed miss when cold) and the input-FIFO ring both
+    /// have one-event-ahead-predictable addresses. Purely a latency hint —
+    /// results are unaffected.
+    #[inline]
+    fn prefetch_for(&self, sh: &Shared, ev: &Ev) {
+        let a = ev.a as usize;
+        // Every handler lands on its channel's packed state line first.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                self.ch.as_ptr().add(a) as *const i8,
+                std::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+        if ev.kind != K_ARRIVAL {
+            return;
+        }
+        if !sh.prep.ch_finite[a] {
+            return; // host delivery touches no table and no ring
+        }
+        if let Some(tbl) = sh.tbl {
+            tbl.prefetch(NodeId(sh.prep.ch_target[a]), ev.pkt.dst as usize);
+        }
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                self.bufs.as_ptr().add(a * self.cap) as *const i8,
+                std::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+
+    /// Prefetches for the next few already-sorted events (the sorted run
+    /// makes upcoming work visible one step early — a luxury the old
+    /// binary heap could not offer).
+    #[inline]
+    fn prefetch_upcoming(&self, sh: &Shared) {
+        let up = self.cal.upcoming();
+        for ev in up.iter().take(2) {
+            self.prefetch_for(sh, ev);
+        }
+    }
+
+    fn dispatch(&mut self, sh: &Shared, ev: Ev) {
+        match ev.kind {
+            K_ARRIVAL => self.handle_arrival(sh, ev.pkt, ev.a),
+            K_CH_FREE => {
+                self.ch[ev.a as usize].flags &= !F_BUSY;
+                self.try_grant(sh, ev.a);
+            }
+            K_DRAIN => {
+                // A slot freed at `ch`'s buffer may unblock grants of
+                // channel `ch` itself (its grants need this credit).
+                let st = &mut self.ch[ev.a as usize];
+                st.occ = st.occ.saturating_sub(1);
+                self.try_grant(sh, ev.a);
+            }
+            K_FREE_DRAIN => {
+                // Both halves at one instant, seqs (s, s+1): nothing can
+                // interleave, so running them back-to-back is order-exact.
+                self.ch[ev.a as usize].flags &= !F_BUSY;
+                self.try_grant(sh, ev.a);
+                let st = &mut self.ch[ev.pkt.msg as usize];
+                st.occ = st.occ.saturating_sub(1);
+                self.try_grant(sh, ev.pkt.msg);
+                self.events_processed += 1; // the fused second half
+            }
+            K_KICK => self.host_request(sh, ev.a),
+            K_FABRIC => self.apply_fabric_events(),
+            K_SWEEP => self.handle_sm_sweep(sh),
+            K_RETX => self.handle_retransmit_check(sh, ev.a, ev.pkt.msg, ev.pkt.size),
+            _ => unreachable!("unknown event kind"),
+        }
+    }
+
+    /// Processes every queued event with `time < t_end`, logging each
+    /// parent's child count for barrier sequencing.
+    fn run_window(&mut self, sh: &Shared, t_end: Time) {
+        while let Some((t, _)) = self.cal.peek_key() {
+            if t >= t_end {
+                return;
+            }
+            let ev = self.cal.pop().expect("peeked entry exists");
+            debug_assert!(ev.time >= self.now, "time must be monotonic");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.prefetch_upcoming(sh);
+            let mark = self.out.len();
+            self.dispatch(sh, ev);
+            self.parents
+                .push((ev.time, ev.seq, (self.out.len() - mark) as u32));
+        }
+    }
+}
+
+/// The production packet-level simulator. Same model and bit-identical
+/// results as [`crate::OracleSim`]; see the module docs for what changed
+/// under the hood.
 pub struct PacketSim<'a> {
     topo: &'a Topology,
     /// Static routing table (`None` in lifecycle runs, which route through
@@ -262,69 +1365,16 @@ pub struct PacketSim<'a> {
     rt: Option<&'a RoutingTable>,
     /// Dense `(node, dst) → channel` cache precomputed from the static
     /// table; static runs only — lifecycle runs route through the SM's
-    /// live table, which changes under repair. Bypassed while route-decision
-    /// events are being recorded (the slow path emits them).
+    /// live table, which changes under repair.
     next_tbl: Option<NextChannelTable>,
-    /// Lifecycle parameters, when simulating a dynamic fabric.
     lifecycle: Option<FabricLifecycle>,
-    /// The subnet manager owning the live routing table (lifecycle runs).
     sm: Option<SubnetManager>,
-    /// Physical link liveness — follows the schedule instantly, while the
-    /// SM's failure view lags by `sweep_delay` (the blackhole window).
-    phys: LinkFailures,
-    /// Next unapplied schedule event (physical view).
-    phys_cursor: usize,
-    /// Next unapplied degradation event (lifecycle runs only).
-    degrade_cursor: usize,
-    /// Per-link serialization multiplier (empty = no degradations
-    /// configured; indexed by physical link id otherwise).
-    link_latency_mult: Vec<u32>,
-    /// Per-link drop probability in parts per million (parallel to
-    /// `link_latency_mult`).
-    link_drop_ppm: Vec<u32>,
-    /// Monotonic counter feeding the deterministic degraded-drop rolls.
-    drop_rolls: u64,
-    /// Per-host, per-message delivery state (lifecycle runs only).
-    msg_state: Vec<Vec<MsgState>>,
-    /// Observability sink (`None` = zero-overhead run; see
-    /// [`PacketSim::with_recorder`]).
     recorder: Option<Arc<Recorder>>,
-    /// Per-message sim-time span ids (allocated only with a recorder
-    /// attached; 0 = no span). Indexed like `msg_start`.
-    msg_span: Vec<Vec<u64>>,
-    /// Per-channel bucketed utilization/queue/drop telemetry (`None` =
-    /// disabled; see [`PacketSim::with_telemetry`]).
     telemetry: Option<ChannelTimeSeries>,
     cfg: SimConfig,
-    channels: Vec<ChannelState>,
-    packets: Vec<Packet>,
-    free_packets: u32,
-    events: BinaryHeap<Event>,
-    seq: u64,
-    now: Time,
-    hosts: Vec<HostState>,
     mode: Progression,
-    /// Remaining undelivered messages in the current stage (sync mode).
-    stage_remaining: u64,
-    current_stage: u32,
-    num_stages: u32,
-    /// Per-stage message counts (sync mode bookkeeping).
-    stage_message_counts: Vec<u64>,
-    // metrics
-    msg_start: Vec<Vec<Time>>,
-    delivered: u64,
-    total_payload: u64,
-    last_delivery: Time,
-    latency_sum: u128,
-    latency_max: Time,
-    events_processed: u64,
-    channel_busy: Vec<Time>,
-    packets_dropped: u64,
-    packets_dropped_degraded: u64,
-    retransmits: u64,
-    messages_lost: u64,
-    messages_lost_unreachable: u64,
-    duplicate_payload: u64,
+    shards: usize,
+    prep: Prep,
 }
 
 impl<'a> PacketSim<'a> {
@@ -358,31 +1408,83 @@ impl<'a> PacketSim<'a> {
         plan: &TrafficPlan,
         lifecycle: Option<FabricLifecycle>,
     ) -> Result<Self, TopologyError> {
+        assert!(
+            cfg.mtu > 0 && cfg.mtu <= u32::MAX as u64,
+            "mtu must fit u32"
+        );
         let n = topo.num_hosts();
-        let mut hosts: Vec<HostState> = (0..n)
-            .map(|_| HostState {
-                schedule: Vec::new(),
-                next: 0,
-                current: None,
-                retx: VecDeque::new(),
-                active: false,
-            })
-            .collect();
+        // Flatten the per-host schedules in (stage, flow) order, exactly as
+        // the oracle builds its `HostState::schedule` vectors.
+        let mut per_host: Vec<Vec<(u32, u64, u32)>> = vec![Vec::new(); n];
         let mut stage_message_counts = vec![0u64; plan.stages().len()];
         for (s, flows) in plan.stages().iter().enumerate() {
             for (k, &(src, dst)) in flows.iter().enumerate() {
                 if src != dst {
-                    hosts[src as usize]
-                        .schedule
-                        .push((dst, plan.flow_bytes(s, k), s as u32));
+                    per_host[src as usize].push((dst, plan.flow_bytes(s, k), s as u32));
                     stage_message_counts[s] += 1;
                 }
             }
         }
-        let msg_start = hosts
-            .iter()
-            .map(|h| vec![0 as Time; h.schedule.len()])
-            .collect();
+        let total_msgs: usize = per_host.iter().map(Vec::len).sum();
+        assert!(total_msgs < u32::MAX as usize, "message count must fit u32");
+        let mut msg_base = Vec::with_capacity(n + 1);
+        let mut msg_dst = Vec::with_capacity(total_msgs);
+        let mut msg_bytes = Vec::with_capacity(total_msgs);
+        let mut msg_stage = Vec::with_capacity(total_msgs);
+        let mut msg_pkts = Vec::with_capacity(total_msgs);
+        let mut msg_last_size = Vec::with_capacity(total_msgs);
+        let mut msg_host_ser_last = Vec::with_capacity(total_msgs);
+        let mut msg_link_ser_last = Vec::with_capacity(total_msgs);
+        let host_ser_mtu = cfg.host_bw.transfer_time(cfg.mtu);
+        let link_ser_mtu = cfg.link_bw.transfer_time(cfg.mtu);
+        let mut lookahead = Time::MAX;
+        let mut max_host_bytes = 0u64;
+        let mut n_active = 0usize;
+        for sched in &per_host {
+            msg_base.push(msg_dst.len() as u32);
+            if !sched.is_empty() {
+                n_active += 1;
+            }
+            max_host_bytes = max_host_bytes.max(sched.iter().map(|&(_, b, _)| b).sum());
+            for &(dst, bytes, stage) in sched {
+                let total = cfg.packets_for(bytes);
+                // Size of the final packet, as the oracle computes it at
+                // grant time: the remainder after `total - 1` full MTUs,
+                // clamped to `[1, mtu]`.
+                let idx = total - 1;
+                let last = (bytes - cfg.mtu * idx.min(bytes / cfg.mtu))
+                    .max(1)
+                    .min(cfg.mtu);
+                let h_last = cfg.host_bw.transfer_time(last);
+                let l_last = cfg.link_bw.transfer_time(last);
+                if total > 1 {
+                    lookahead = lookahead.min(host_ser_mtu).min(link_ser_mtu);
+                }
+                lookahead = lookahead.min(h_last).min(l_last);
+                msg_dst.push(dst);
+                msg_bytes.push(bytes);
+                msg_stage.push(stage);
+                msg_pkts.push(total);
+                msg_last_size.push(last as u32);
+                msg_host_ser_last.push(h_last);
+                msg_link_ser_last.push(l_last);
+            }
+        }
+        msg_base.push(msg_dst.len() as u32);
+        let nc = topo.num_channels();
+        let mut ch_target = Vec::with_capacity(nc);
+        let mut ch_src = Vec::with_capacity(nc);
+        let mut ch_link = Vec::with_capacity(nc);
+        let mut ch_finite = Vec::with_capacity(nc);
+        for c in 0..nc as u32 {
+            let ch = ChannelId(c);
+            let target = topo.channel_target(ch);
+            ch_target.push(target.0);
+            ch_src.push(topo.channel_source(ch).0 .0);
+            ch_link.push(ch.link());
+            ch_finite.push(!topo.node(target).is_host());
+        }
+        let host_node: Vec<u32> = (0..n).map(|h| topo.host(h).0).collect();
         let sm = match &lifecycle {
             Some(lc) => Some(SubnetManager::with_engine(
                 topo,
@@ -391,71 +1493,54 @@ impl<'a> PacketSim<'a> {
             )?),
             None => None,
         };
-        let msg_state = if lifecycle.is_some() {
-            hosts
-                .iter()
-                .map(|h| vec![MsgState::default(); h.schedule.len()])
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let next_tbl = rt.map(|rt| NextChannelTable::build(topo, rt));
         let has_degradations = lifecycle
             .as_ref()
             .is_some_and(|lc| !lc.degradations.is_empty());
+        let next_tbl = rt.map(|rt| NextChannelTable::build(topo, rt));
+        let prep = Prep {
+            num_hosts: n,
+            num_channels: nc,
+            ch_target,
+            ch_src,
+            ch_link,
+            ch_finite,
+            host_node,
+            cap: cfg.input_buffer_packets.min(u32::MAX as usize) as u32,
+            mtu: cfg.mtu as u32,
+            hdr_lat: cfg.wire_latency + cfg.switch_latency,
+            host_ser_mtu,
+            link_ser_mtu,
+            lookahead: if lookahead == Time::MAX {
+                1
+            } else {
+                lookahead.max(1)
+            },
+            msg_base,
+            msg_dst,
+            msg_bytes,
+            msg_stage,
+            msg_pkts,
+            msg_last_size,
+            msg_host_ser_last,
+            msg_link_ser_last,
+            stage_message_counts,
+            num_stages: plan.stages().len() as u32,
+            max_host_bytes,
+            n_active: n_active.max(1),
+            has_degradations,
+        };
         Ok(Self {
             topo,
             rt,
             next_tbl,
             lifecycle,
             sm,
-            phys: LinkFailures::none(topo),
-            phys_cursor: 0,
-            degrade_cursor: 0,
-            link_latency_mult: if has_degradations {
-                vec![1; topo.num_links()]
-            } else {
-                Vec::new()
-            },
-            link_drop_ppm: if has_degradations {
-                vec![0; topo.num_links()]
-            } else {
-                Vec::new()
-            },
-            drop_rolls: 0,
-            msg_state,
             recorder: None,
-            msg_span: Vec::new(),
             telemetry: None,
             cfg,
-            channels: (0..topo.num_channels())
-                .map(|_| ChannelState::default())
-                .collect(),
-            packets: Vec::new(),
-            free_packets: NO_PACKET,
-            events: BinaryHeap::new(),
-            seq: 0,
-            now: 0,
-            hosts,
             mode: plan.mode,
-            stage_remaining: 0,
-            current_stage: 0,
-            num_stages: plan.stages().len() as u32,
-            stage_message_counts,
-            msg_start,
-            delivered: 0,
-            total_payload: 0,
-            last_delivery: 0,
-            latency_sum: 0,
-            latency_max: 0,
-            events_processed: 0,
-            channel_busy: vec![0; topo.num_channels()],
-            packets_dropped: 0,
-            packets_dropped_degraded: 0,
-            retransmits: 0,
-            messages_lost: 0,
-            messages_lost_unreachable: 0,
-            duplicate_payload: 0,
+            shards: 1,
+            prep,
         })
     }
 
@@ -467,11 +1552,6 @@ impl<'a> PacketSim<'a> {
     /// with or without a recorder.
     pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
         self.recorder = Some(rec);
-        self.msg_span = self
-            .hosts
-            .iter()
-            .map(|h| vec![0u64; h.schedule.len()])
-            .collect();
         self
     }
 
@@ -484,43 +1564,6 @@ impl<'a> PacketSim<'a> {
         self
     }
 
-    /// Opens the sim-time span tracking message `msg` of host `h` (recorder
-    /// runs only).
-    fn begin_msg_span(&mut self, h: u32, msg: u32) {
-        let Some(rec) = &self.recorder else { return };
-        let (dst, bytes, stage) = self.hosts[h as usize].schedule[msg as usize];
-        let mut attrs = SpanAttrs::new();
-        attrs.insert("src".to_string(), h.into());
-        attrs.insert("dst".to_string(), dst.into());
-        attrs.insert("msg".to_string(), msg.into());
-        attrs.insert("bytes".to_string(), bytes.into());
-        attrs.insert("stage".to_string(), stage.into());
-        let id = rec.span_begin_at(self.now, "message", SpanId::NONE, attrs);
-        self.msg_span[h as usize][msg as usize] = id.0;
-    }
-
-    /// Closes the message span with its outcome (no-op when none is open).
-    fn end_msg_span(&mut self, src: u32, msg: u32, outcome: &str) {
-        let Some(rec) = &self.recorder else { return };
-        let Some(&id) = self
-            .msg_span
-            .get(src as usize)
-            .and_then(|v| v.get(msg as usize))
-        else {
-            return;
-        };
-        if id == 0 {
-            return;
-        }
-        let mut attrs = SpanAttrs::new();
-        attrs.insert("outcome".to_string(), outcome.into());
-        if !self.msg_state.is_empty() {
-            let attempts = self.msg_state[src as usize][msg as usize].attempt + 1;
-            attrs.insert("attempts".to_string(), attempts.into());
-        }
-        rec.span_end_at_with(self.now, SpanId(id), attrs);
-    }
-
     /// Drops the precomputed next-channel cache so every hop routes through
     /// [`RoutingTable::egress`] again. Diagnostic knob: the equivalence
     /// tests (and `ci.yml`'s perf-smoke job) run static simulations both
@@ -530,1114 +1573,297 @@ impl<'a> PacketSim<'a> {
         self
     }
 
-    /// The routing table in force right now (the SM's live table in
-    /// lifecycle runs, the caller's static table otherwise).
-    fn route(&self) -> &RoutingTable {
-        match &self.sm {
-            Some(sm) => sm.table(),
-            None => self.rt.expect("static simulation always has a table"),
-        }
-    }
-
-    /// Serialization time for `size` bytes onto channel `e`, scaled by the
-    /// channel's link degradation multiplier (1 when no degradations are
-    /// configured or the link is healthy).
-    #[inline]
-    fn degraded_transfer(&self, e: u32, base: Time) -> Time {
-        if self.link_latency_mult.is_empty() {
-            return base;
-        }
-        let mult = self.link_latency_mult[ftree_topology::ChannelId(e).link() as usize];
-        base * mult as Time
-    }
-
-    fn schedule_event(&mut self, time: Time, kind: EventKind) {
-        self.events.push(Event {
-            time,
-            seq: self.seq,
-            kind,
-        });
-        self.seq += 1;
-    }
-
-    fn alloc_packet(&mut self, p: Packet) -> u32 {
-        if self.free_packets != NO_PACKET {
-            let id = self.free_packets;
-            self.free_packets = self.packets[id as usize].next_free;
-            self.packets[id as usize] = p;
-            id
-        } else {
-            self.packets.push(p);
-            (self.packets.len() - 1) as u32
-        }
-    }
-
-    fn release_packet(&mut self, id: u32) {
-        self.packets[id as usize].next_free = self.free_packets;
-        self.free_packets = id;
-    }
-
-    /// Host `h`'s up-channel toward `dst` (RLFT hosts have a single cable;
-    /// `None` when a multi-cabled host currently has no route).
-    fn host_channel(&self, h: u32, dst: u32) -> Option<u32> {
-        let host = self.topo.host(h as usize);
-        if let Some(tbl) = &self.next_tbl {
-            return tbl.next_channel(host, dst as usize).map(|ch| ch.0);
-        }
-        let port = self.route().egress(host, dst as usize)?;
-        Some(self.topo.egress_channel(host, port).0)
-    }
-
-    /// Target of a channel is a switch (has an input buffer there)?
-    fn channel_buffer_capacity(&self, ch: u32) -> usize {
-        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
-        if self.topo.node(target).is_host() {
-            usize::MAX
-        } else {
-            self.cfg.input_buffer_packets
-        }
-    }
-
-    fn has_credit(&self, ch: u32) -> bool {
-        let cap = self.channel_buffer_capacity(ch);
-        if cap == usize::MAX {
-            return true;
-        }
-        let st = &self.channels[ch as usize];
-        st.buffer.len() + st.reserved < cap
-    }
-
-    /// Kicks host `h`: if it has a startable message (a retransmission, a
-    /// mid-send message, or the next fresh one), request its up-channel.
-    fn host_request(&mut self, h: u32) {
-        if self.hosts[h as usize].active {
-            return;
-        }
-        if self.hosts[h as usize].current.is_none() {
-            // Select the next sending unit: retransmissions first (they
-            // bypass the stage barrier — their stage is already open), then
-            // the next fresh message.
-            if let Some(msg) = self.hosts[h as usize].retx.pop_front() {
-                let bytes = self.hosts[h as usize].schedule[msg as usize].1;
-                self.hosts[h as usize].current = Some((msg, self.cfg.packets_for(bytes)));
-            } else {
-                let next = self.hosts[h as usize].next;
-                if next >= self.hosts[h as usize].schedule.len() {
-                    return;
-                }
-                let (_, bytes, stage) = self.hosts[h as usize].schedule[next];
-                if self.mode == Progression::Synchronized && stage != self.current_stage {
-                    return;
-                }
-                self.hosts[h as usize].current = Some((next as u32, self.cfg.packets_for(bytes)));
-                self.msg_start[h as usize][next] = self.now;
-                self.hosts[h as usize].next = next + 1;
-                if self.recorder.is_some() {
-                    self.begin_msg_span(h, next as u32);
-                }
-            }
-        }
-        let (msg, _) = self.hosts[h as usize].current.expect("just selected");
-        let dst = self.hosts[h as usize].schedule[msg as usize].0;
-        match self.host_channel(h, dst) {
-            Some(ch) => {
-                self.hosts[h as usize].active = true;
-                self.channels[ch as usize]
-                    .waiting
-                    .push_back(Requester::Host(h));
-                self.try_grant(ch);
-            }
-            None => {
-                // No route right now (multi-cabled host cut off). The unit
-                // stays current; the post-sweep rekick retries it.
-                assert!(
-                    self.lifecycle.is_some(),
-                    "host must have a route in a static simulation"
-                );
-            }
-        }
-    }
-
-    /// Attempts to grant the egress channel `e` to its next requester.
-    fn try_grant(&mut self, e: u32) {
-        loop {
-            if self.channels[e as usize].busy {
-                return;
-            }
-            let Some(&req) = self.channels[e as usize].waiting.front() else {
-                return;
-            };
-            if !self.has_credit(e) {
-                return; // retried on DrainDone/Arrival at e's buffer
-            }
-            self.channels[e as usize].waiting.pop_front();
-            match req {
-                Requester::Host(h) => self.grant_host(e, h),
-                Requester::Input(i) => self.grant_input(e, i),
-                Requester::Packet { pkt, input } => self.grant_packet(e, pkt, input),
-            }
-        }
-    }
-
-    fn grant_host(&mut self, e: u32, h: u32) {
-        let hs = &mut self.hosts[h as usize];
-        let (msg, left) = hs.current.expect("granted host has a packet to send");
-        let (dst, bytes, _) = hs.schedule[msg as usize];
-        let total_pkts = self.cfg.packets_for(bytes);
-        let pkt_index = total_pkts - left;
-        let size = if left == 1 {
-            bytes - self.cfg.mtu * pkt_index.min(bytes / self.cfg.mtu)
-        } else {
-            self.cfg.mtu
-        }
-        .max(1)
-        .min(self.cfg.mtu);
-        let is_last = left == 1;
-        hs.active = false;
-        // "Sent to the wire": the unit completes with its last packet; the
-        // host then moves to the next unit (in sync mode a fresh message
-        // still waits for the stage barrier).
-        hs.current = if is_last { None } else { Some((msg, left - 1)) };
-        let attempt = if self.lifecycle.is_some() {
-            self.msg_state[h as usize][msg as usize].attempt
-        } else {
-            0
-        };
-        let pkt = self.alloc_packet(Packet {
-            dst,
-            src_host: h,
-            msg,
-            size,
-            is_last,
-            attempt,
-            next_free: NO_PACKET,
-        });
-        // Injection serializes at the PCIe-bound host bandwidth (scaled if
-        // the host cable itself is degraded).
-        let serialize = self.degraded_transfer(e, self.cfg.host_bw.transfer_time(size));
-        let depart = self.now + serialize;
-        if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy {
-                t: self.now,
-                ch: e,
-                dur: serialize,
-                bytes: size,
-            });
-        }
-        if let Some(ts) = &mut self.telemetry {
-            ts.record_busy(e, self.now, serialize);
-        }
-        self.channel_busy[e as usize] += serialize;
-        self.channels[e as usize].busy = true;
-        if self.channel_buffer_capacity(e) != usize::MAX {
-            self.channels[e as usize].reserved += 1;
-        }
-        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
-        self.schedule_event(
-            depart + self.cfg.wire_latency + self.cfg.switch_latency,
-            EventKind::Arrival { pkt, ch: e },
-        );
-        if is_last {
-            // Arm the retransmission timer as the last packet hits the wire.
-            if let Some(lc) = &self.lifecycle {
-                let rto = lc.rto(attempt);
-                self.schedule_event(
-                    depart + rto,
-                    EventKind::RetransmitCheck {
-                        host: h,
-                        msg,
-                        attempt,
-                    },
-                );
-            }
-        }
-        // The host can line up its next packet (granted no earlier than the
-        // ChannelFree above).
-        self.host_request(h);
-    }
-
-    fn grant_input(&mut self, e: u32, i: u32) {
-        let pkt_id = self.channels[i as usize]
-            .buffer
-            .pop_front()
-            .expect("requesting input has a head packet");
-        self.channels[i as usize].head_requested = false;
-        // The packet keeps occupying a slot of buffer `i` while draining.
-        self.channels[i as usize].reserved += 1;
-        let size = self.packets[pkt_id as usize].size;
-        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
-        let depart = self.now + serialize;
-        if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy {
-                t: self.now,
-                ch: e,
-                dur: serialize,
-                bytes: size,
-            });
-        }
-        if let Some(ts) = &mut self.telemetry {
-            ts.record_busy(e, self.now, serialize);
-        }
-        self.channel_busy[e as usize] += serialize;
-        self.channels[e as usize].busy = true;
-        if self.channel_buffer_capacity(e) != usize::MAX {
-            self.channels[e as usize].reserved += 1;
-        }
-        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
-        self.schedule_event(depart, EventKind::DrainDone { ch: i });
-        self.schedule_event(
-            depart + self.cfg.wire_latency + self.cfg.switch_latency,
-            EventKind::Arrival { pkt: pkt_id, ch: e },
-        );
-        // New head of buffer `i` may request its own egress.
-        self.request_for_head(i);
-    }
-
-    /// VOQ grant: the packet was addressed directly; its input slot drains
-    /// when the tail leaves.
-    fn grant_packet(&mut self, e: u32, pkt_id: u32, input: u32) {
-        let size = self.packets[pkt_id as usize].size;
-        let serialize = self.degraded_transfer(e, self.cfg.link_bw.transfer_time(size));
-        let depart = self.now + serialize;
-        if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::ChannelBusy {
-                t: self.now,
-                ch: e,
-                dur: serialize,
-                bytes: size,
-            });
-        }
-        if let Some(ts) = &mut self.telemetry {
-            ts.record_busy(e, self.now, serialize);
-        }
-        self.channel_busy[e as usize] += serialize;
-        self.channels[e as usize].busy = true;
-        if self.channel_buffer_capacity(e) != usize::MAX {
-            self.channels[e as usize].reserved += 1;
-        }
-        self.schedule_event(depart, EventKind::ChannelFree { ch: e });
-        self.schedule_event(depart, EventKind::DrainDone { ch: input });
-        self.schedule_event(
-            depart + self.cfg.wire_latency + self.cfg.switch_latency,
-            EventKind::Arrival { pkt: pkt_id, ch: e },
-        );
-    }
-
-    /// Egress channel a resident packet needs at node `here` (`None` when
-    /// the LFT entry is currently cleared — a lifecycle blackhole).
-    fn egress_for(&self, here: ftree_topology::NodeId, pkt_id: u32) -> Option<u32> {
-        let dst = self.packets[pkt_id as usize].dst;
-        let route_events = self
-            .recorder
-            .as_ref()
-            .is_some_and(|rec| rec.route_events_enabled());
-        if !route_events {
-            // Static-run fast path: one table load replaces the LFT decode
-            // plus port→channel mapping. Taken only when no RouteDecision
-            // event would be emitted, so traces stay identical.
-            if let Some(tbl) = &self.next_tbl {
-                return tbl.next_channel(here, dst as usize).map(|ch| ch.0);
-            }
-        }
-        let port = self.route().egress(here, dst as usize)?;
-        if route_events {
-            if let Some(rec) = &self.recorder {
-                rec.record(ObsEvent::RouteDecision {
-                    t: self.now,
-                    node: here.0,
-                    dst,
-                    port: format!("{port:?}"),
-                });
-            }
-        }
-        Some(self.topo.egress_channel(here, port).0)
-    }
-
-    /// Makes the head packet of input buffer `i` request its egress. Heads
-    /// with no current route (cleared LFT entry) are dropped on the spot —
-    /// the freed credit may unblock upstream senders — and the next head
-    /// tries in turn.
-    fn request_for_head(&mut self, i: u32) {
-        if self.channels[i as usize].head_requested {
-            return;
-        }
-        let here = self.topo.channel_target(ftree_topology::ChannelId(i));
-        loop {
-            let Some(&pkt_id) = self.channels[i as usize].buffer.front() else {
-                return;
-            };
-            match self.egress_for(here, pkt_id) {
-                Some(e) => {
-                    self.channels[i as usize].head_requested = true;
-                    self.channels[e as usize]
-                        .waiting
-                        .push_back(Requester::Input(i));
-                    self.try_grant(e);
-                    return;
-                }
-                None => {
-                    assert!(
-                        self.lifecycle.is_some(),
-                        "switch must route every destination in a static simulation"
-                    );
-                    self.channels[i as usize].buffer.pop_front();
-                    self.packets_dropped += 1;
-                    if let Some(ts) = &mut self.telemetry {
-                        ts.record_drop(i, self.now);
-                    }
-                    if let Some(rec) = &self.recorder {
-                        let p = self.packets[pkt_id as usize];
-                        rec.record(ObsEvent::PacketDrop {
-                            t: self.now,
-                            ch: i,
-                            src: p.src_host,
-                            dst: p.dst,
-                            msg: p.msg,
-                            attempt: p.attempt,
-                        });
-                    }
-                    self.release_packet(pkt_id);
-                    self.try_grant(i);
-                }
-            }
-        }
-    }
-
-    /// Drops a packet at channel `ch`'s far end: frees the input-buffer slot
-    /// its transfer reserved (switch targets) and retries grants waiting on
-    /// that credit.
-    fn drop_packet(&mut self, pkt_id: u32, ch: u32) {
-        self.packets_dropped += 1;
-        if let Some(ts) = &mut self.telemetry {
-            ts.record_drop(ch, self.now);
-        }
-        if let Some(rec) = &self.recorder {
-            let p = self.packets[pkt_id as usize];
-            rec.record(ObsEvent::PacketDrop {
-                t: self.now,
-                ch,
-                src: p.src_host,
-                dst: p.dst,
-                msg: p.msg,
-                attempt: p.attempt,
-            });
-        }
-        self.release_packet(pkt_id);
-        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
-        if !self.topo.node(target).is_host() {
-            let st = &mut self.channels[ch as usize];
-            st.reserved = st.reserved.saturating_sub(1);
-            self.try_grant(ch);
-        }
-    }
-
-    /// Message-completion accounting for lifecycle runs: per-attempt packet
-    /// counting (robust to drops, reroute reordering and late duplicates).
-    fn lifecycle_deliver(&mut self, pkt: Packet) {
-        let (src, msg) = (pkt.src_host as usize, pkt.msg as usize);
-        let bytes = self.hosts[src].schedule[msg].1;
-        let total_pkts = self.cfg.packets_for(bytes);
-        let st = &mut self.msg_state[src][msg];
-        if st.delivered || pkt.attempt != st.attempt {
-            // A late original racing its own retransmission.
-            self.duplicate_payload += pkt.size;
-            return;
-        }
-        st.rx_pkts += 1;
-        if st.rx_pkts < total_pkts {
-            return;
-        }
-        // Goodput is credited once, at completion, so partial attempts that
-        // were cut short by drops never inflate it.
-        st.delivered = true;
-        self.total_payload += bytes;
-        self.delivered += 1;
-        self.last_delivery = self.now;
-        if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::Delivery {
-                t: self.now,
-                src: pkt.src_host,
-                dst: pkt.dst,
-                msg: pkt.msg,
-                bytes,
-            });
-        }
-        self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
-        let start = self.msg_start[src][msg];
-        let lat = self.now - start;
-        self.latency_sum += lat as u128;
-        self.latency_max = self.latency_max.max(lat);
-        if self.mode == Progression::Synchronized {
-            self.stage_remaining -= 1;
-            if self.stage_remaining == 0 {
-                self.advance_stage();
-            }
-        }
-    }
-
-    fn handle_arrival(&mut self, pkt_id: u32, ch: u32) {
-        // A dead cable loses everything that was crossing it.
-        if self.lifecycle.is_some() && !self.phys.is_live(ftree_topology::ChannelId(ch).link()) {
-            self.drop_packet(pkt_id, ch);
-            return;
-        }
-        // A degraded cable loses packets probabilistically. The roll is a
-        // stateless hash of (jitter seed, roll ordinal), so a run is exactly
-        // reproducible under a fixed seed.
-        if !self.link_drop_ppm.is_empty() {
-            let ppm = self.link_drop_ppm[ftree_topology::ChannelId(ch).link() as usize];
-            if ppm > 0 {
-                let roll = drop_roll(self.cfg.jitter_seed, self.drop_rolls);
-                self.drop_rolls += 1;
-                if roll < ppm as u64 {
-                    self.packets_dropped_degraded += 1;
-                    self.drop_packet(pkt_id, ch);
-                    return;
-                }
-            }
-        }
-        let target = self.topo.channel_target(ftree_topology::ChannelId(ch));
-        if self.topo.node(target).is_host() {
-            let pkt = self.packets[pkt_id as usize];
-            debug_assert_eq!(NodeId(pkt.dst), target, "packet misrouted");
-            if self.lifecycle.is_some() {
-                self.lifecycle_deliver(pkt);
-            } else {
-                self.total_payload += pkt.size;
-                if pkt.is_last {
-                    self.delivered += 1;
-                    self.last_delivery = self.now;
-                    if let Some(rec) = &self.recorder {
-                        let bytes = self.hosts[pkt.src_host as usize].schedule[pkt.msg as usize].1;
-                        rec.record(ObsEvent::Delivery {
-                            t: self.now,
-                            src: pkt.src_host,
-                            dst: pkt.dst,
-                            msg: pkt.msg,
-                            bytes,
-                        });
-                    }
-                    self.end_msg_span(pkt.src_host, pkt.msg, "delivered");
-                    let start = self.msg_start[pkt.src_host as usize][pkt.msg as usize];
-                    let lat = self.now - start;
-                    self.latency_sum += lat as u128;
-                    self.latency_max = self.latency_max.max(lat);
-                    if self.mode == Progression::Synchronized {
-                        self.stage_remaining -= 1;
-                        if self.stage_remaining == 0 {
-                            self.advance_stage();
-                        }
-                    }
-                }
-            }
-            self.release_packet(pkt_id);
-        } else {
-            match self.cfg.switch_model {
-                SwitchModel::InputFifo => {
-                    let st = &mut self.channels[ch as usize];
-                    st.reserved = st.reserved.saturating_sub(1);
-                    st.buffer.push_back(pkt_id);
-                    let depth = st.buffer.len();
-                    if let Some(ts) = &mut self.telemetry {
-                        ts.record_queue_depth(ch, self.now, depth as u32);
-                    }
-                    if depth == 1 {
-                        self.request_for_head(ch);
-                    }
-                }
-                SwitchModel::VirtualOutputQueues => {
-                    // The arrival reservation stays until DrainDone; the
-                    // packet immediately contends for its own egress.
-                    match self.egress_for(target, pkt_id) {
-                        Some(e) => {
-                            self.channels[e as usize]
-                                .waiting
-                                .push_back(Requester::Packet {
-                                    pkt: pkt_id,
-                                    input: ch,
-                                });
-                            self.try_grant(e);
-                        }
-                        None => {
-                            assert!(
-                                self.lifecycle.is_some(),
-                                "switch must route every destination in a static simulation"
-                            );
-                            self.drop_packet(pkt_id, ch);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Kicks every host, applying per-host jitter when configured.
-    fn kick_all_hosts(&mut self) {
-        let stage = if self.mode == Progression::Synchronized {
-            self.current_stage
-        } else {
-            0
-        };
-        for h in 0..self.hosts.len() as u32 {
-            let delay = crate::config::jitter_ps(self.cfg.jitter_seed, h, stage, self.cfg.jitter);
-            if delay == 0 {
-                self.host_request(h);
-            } else {
-                self.schedule_event(self.now + delay, EventKind::HostKick { host: h });
-            }
-        }
-    }
-
-    /// Sync-mode barrier: release the next non-empty stage.
-    fn advance_stage(&mut self) {
-        loop {
-            self.current_stage += 1;
-            if self.current_stage >= self.num_stages {
-                return;
-            }
-            let count = self.stage_message_counts[self.current_stage as usize];
-            if count > 0 {
-                self.stage_remaining = count;
-                self.kick_all_hosts();
-                return;
-            }
-        }
-    }
-
-    /// Applies every due degradation event to the per-link slowdown/loss
-    /// state. Degradations are data-plane only: the SM is never notified.
-    fn apply_degrade_events(&mut self) {
-        loop {
-            let Some(lc) = self.lifecycle.as_ref() else {
-                return;
-            };
-            let Some(&ev) = lc.degradations.get(self.degrade_cursor) else {
-                return;
-            };
-            if ev.time > self.now {
-                return;
-            }
-            self.degrade_cursor += 1;
-            self.link_latency_mult[ev.link as usize] = ev.latency_mult.max(1);
-            self.link_drop_ppm[ev.link as usize] = ev.drop_ppm.min(1_000_000);
-            if let Some(rec) = &self.recorder {
-                rec.record(ObsEvent::LinkDegrade {
-                    t: self.now,
-                    link: ev.link,
-                    latency_mult: ev.latency_mult.max(1),
-                    drop_ppm: ev.drop_ppm.min(1_000_000),
-                });
-            }
-        }
-    }
-
-    /// Applies every due schedule event to the physical liveness view.
-    fn apply_fabric_events(&mut self) {
-        self.apply_degrade_events();
-        loop {
-            let Some(lc) = self.lifecycle.as_ref() else {
-                return;
-            };
-            let Some(&ev) = lc.schedule.events().get(self.phys_cursor) else {
-                return;
-            };
-            if ev.time > self.now {
-                return;
-            }
-            self.phys_cursor += 1;
-            let effective = match ev.kind {
-                LinkEventKind::Fail => self.phys.fail(ev.link),
-                LinkEventKind::Recover => self.phys.recover(ev.link),
-            }
-            .unwrap_or(false);
-            if effective {
-                if let Some(rec) = &self.recorder {
-                    rec.record(match ev.kind {
-                        LinkEventKind::Fail => ObsEvent::LinkFail {
-                            t: self.now,
-                            link: ev.link,
-                        },
-                        LinkEventKind::Recover => ObsEvent::LinkRecover {
-                            t: self.now,
-                            link: ev.link,
-                        },
-                    });
-                }
-            }
-        }
-    }
-
-    /// Subnet-manager sweep: repair the routing table, then re-kick every
-    /// idle host (routes that were missing may exist again).
-    fn handle_sm_sweep(&mut self) {
-        if let Some(sm) = self.sm.as_mut() {
-            if let Some(rec) = &self.recorder {
-                let sweep = sm.reports().len();
-                rec.record(ObsEvent::SweepBegin { t: self.now, sweep });
-            }
-            let report = sm.sweep(self.topo, self.now);
-            if let Some(rec) = &self.recorder {
-                rec.record(ObsEvent::SweepEnd {
-                    t: self.now,
-                    report: serde_json::to_value(&report).expect("SweepReport serializes"),
-                });
-            }
-        }
-        for h in 0..self.hosts.len() as u32 {
-            self.host_request(h);
-        }
-    }
-
-    /// Retransmission timer fired: if the guarded attempt is still the
-    /// current one and undelivered, queue a resend (or give up).
-    fn handle_retransmit_check(&mut self, host: u32, msg: u32, attempt: u32) {
-        let Some(lc) = self.lifecycle.as_ref() else {
-            return;
-        };
-        let max_retries = lc.max_retries;
-        // Partition-aware early exit: once the schedule is fully applied and
-        // the SM's reachability proves the destination unreachable, further
-        // retries cannot succeed — write the message off now instead of
-        // burning the rest of the retry budget against a partition.
-        let partitioned = self.sm.as_ref().is_some_and(|sm| {
-            sm.is_settled() && {
-                let dst = self.hosts[host as usize].schedule[msg as usize].0;
-                !sm.reachability()
-                    .ok(self.topo.host(host as usize), dst as usize)
-            }
-        });
-        let st = &mut self.msg_state[host as usize][msg as usize];
-        if st.delivered || st.attempt != attempt {
-            return; // delivered in time, or a newer attempt owns the timer
-        }
-        if partitioned || st.attempt >= max_retries {
-            // Abandon: mark closed so stale arrivals count as duplicates,
-            // and release the stage barrier in sync mode.
-            st.delivered = true;
-            self.messages_lost += 1;
-            if partitioned {
-                self.messages_lost_unreachable += 1;
-            }
-            if let Some(rec) = &self.recorder {
-                rec.record(ObsEvent::MessageLost {
-                    t: self.now,
-                    host,
-                    msg,
-                });
-            }
-            self.end_msg_span(host, msg, "lost");
-            if self.mode == Progression::Synchronized {
-                self.stage_remaining -= 1;
-                if self.stage_remaining == 0 {
-                    self.advance_stage();
-                }
-            }
-            return;
-        }
-        st.attempt += 1;
-        st.rx_pkts = 0;
-        let attempt = st.attempt;
-        self.retransmits += 1;
-        if let Some(rec) = &self.recorder {
-            rec.record(ObsEvent::Retransmit {
-                t: self.now,
-                host,
-                msg,
-                attempt,
-            });
-        }
-        self.hosts[host as usize].retx.push_back(msg);
-        self.host_request(host);
+    /// Requests sharded-parallel execution over `k` worker shards
+    /// (conservative lookahead; results stay bit-identical). Takes effect
+    /// only for runs the parallel mode supports — static fabric,
+    /// asynchronous progression, no recorder or telemetry; anything else
+    /// silently runs the serial engine. `k <= 1` is the serial engine.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
     }
 
     /// Runs to completion and returns the metrics.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
         let _phase = ftree_obs::ObsPhase::new(
             self.recorder.clone().or_else(ftree_obs::global),
             "sim::packet_run",
         );
-        // Script the fabric lifecycle: physical link changes at each event
-        // time, an SM sweep one `sweep_delay` later. Scheduled before any
-        // traffic so same-instant fabric events order ahead of arrivals.
-        if self.lifecycle.is_some() {
-            let (times, degrade_times, sweep_delay) = {
-                let lc = self.lifecycle.as_ref().expect("checked above");
-                let mut ts: Vec<Time> = lc.schedule.events().iter().map(|e| e.time).collect();
-                ts.dedup();
-                let mut ds: Vec<Time> = lc.degradations.iter().map(|d| d.time).collect();
-                ds.dedup();
-                (ts, ds, lc.sweep_delay)
-            };
-            for t in times {
-                self.schedule_event(t, EventKind::FabricEvent);
-                self.schedule_event(t + sweep_delay, EventKind::SmSweep);
-            }
-            // Degradations change the data plane only — no SM sweep.
-            for t in degrade_times {
-                self.schedule_event(t, EventKind::FabricEvent);
-            }
-        }
-
-        // Prime the first non-empty stage (sync mode) / all hosts.
-        if self.mode == Progression::Synchronized {
-            match self.stage_message_counts.iter().position(|&c| c > 0) {
-                Some(s) => {
-                    self.current_stage = s as u32;
-                    self.stage_remaining = self.stage_message_counts[s];
-                }
-                None => return self.finish(),
-            }
-        }
-        self.kick_all_hosts();
-
-        while let Some(ev) = self.events.pop() {
-            debug_assert!(ev.time >= self.now, "time must be monotonic");
-            self.now = ev.time;
-            self.events_processed += 1;
-            match ev.kind {
-                EventKind::Arrival { pkt, ch } => self.handle_arrival(pkt, ch),
-                EventKind::ChannelFree { ch } => {
-                    self.channels[ch as usize].busy = false;
-                    self.try_grant(ch);
-                }
-                EventKind::DrainDone { ch } => {
-                    let st = &mut self.channels[ch as usize];
-                    st.reserved = st.reserved.saturating_sub(1);
-                    // A slot freed at `ch`'s buffer may unblock grants of
-                    // channel `ch` itself (its grants need this credit).
-                    self.try_grant(ch);
-                }
-                EventKind::HostKick { host } => self.host_request(host),
-                EventKind::FabricEvent => self.apply_fabric_events(),
-                EventKind::SmSweep => self.handle_sm_sweep(),
-                EventKind::RetransmitCheck { host, msg, attempt } => {
-                    self.handle_retransmit_check(host, msg, attempt)
-                }
-            }
-        }
-        self.finish()
-    }
-
-    fn finish(self) -> SimResult {
-        let max_host_bytes = self
-            .hosts
-            .iter()
-            .map(|h| h.schedule.iter().map(|&(_, b, _)| b).sum::<u64>())
-            .max()
-            .unwrap_or(0);
-        let n_active = self
-            .hosts
-            .iter()
-            .filter(|h| !h.schedule.is_empty())
-            .count()
-            .max(1);
-        let makespan = self.last_delivery;
-        let normalized_bw = if makespan == 0 {
-            0.0
-        } else {
-            // bytes/ps -> MB/s: * 1e6
-            let agg_mbps = self.total_payload as f64 / makespan as f64 * 1_000_000.0;
-            agg_mbps / (n_active as f64 * self.cfg.host_bw.mbps as f64)
+        let par = self.shards > 1
+            && self.lifecycle.is_none()
+            && self.recorder.is_none()
+            && self.telemetry.is_none()
+            && self.mode == Progression::Asynchronous;
+        let k = if par { self.shards } else { 1 };
+        let PacketSim {
+            topo,
+            rt,
+            next_tbl,
+            lifecycle,
+            sm,
+            recorder,
+            telemetry,
+            cfg,
+            mode,
+            shards: _,
+            prep,
+        } = self;
+        let sh = Shared {
+            topo,
+            rt,
+            tbl: next_tbl.as_ref(),
+            cfg: &cfg,
+            mode,
+            prep: &prep,
         };
-        if let Some(rec) = &self.recorder {
-            rec.counter("sim.messages_delivered").add(self.delivered);
-            rec.counter("sim.packets_dropped").add(self.packets_dropped);
-            rec.counter("sim.retransmits").add(self.retransmits);
-            rec.counter("sim.messages_lost").add(self.messages_lost);
-            rec.counter("sim.messages_lost_unreachable")
-                .add(self.messages_lost_unreachable);
-            rec.counter("sim.packets_dropped_degraded")
-                .add(self.packets_dropped_degraded);
-            rec.counter("sim.events").add(self.events_processed);
-            rec.counter("sim.payload_bytes").add(self.total_payload);
-            rec.gauge("sim.makespan_ps").set(makespan as i64);
-            let busy = rec.histogram("sim.channel_busy_ps");
-            for &b in &self.channel_busy {
-                if b > 0 {
-                    busy.record(b);
-                }
+        let mut cores: Vec<Core> = (0..k).map(|_| Core::new(&sh)).collect();
+        // Serial-only features live on the (single) core.
+        {
+            let c0 = &mut cores[0];
+            c0.lifecycle = lifecycle;
+            c0.sm = sm;
+            c0.recorder = recorder;
+            c0.telemetry = telemetry;
+            if c0.recorder.is_some() {
+                c0.msg_span = vec![0; prep.msg_dst.len()];
+            }
+            if c0.lifecycle.is_some() {
+                c0.msg_attempt = vec![0; prep.msg_dst.len()];
+                c0.msg_rx = vec![0; prep.msg_dst.len()];
+                c0.msg_done = vec![false; prep.msg_dst.len()];
+            }
+            if prep.has_degradations {
+                c0.link_latency_mult = vec![1; topo.num_links()];
+                c0.link_drop_ppm = vec![0; topo.num_links()];
             }
         }
-        SimResult {
-            makespan,
-            total_payload: self.total_payload,
-            messages_delivered: self.delivered,
-            normalized_bw,
-            mean_latency: if self.delivered == 0 {
-                0.0
-            } else {
-                self.latency_sum as f64 / self.delivered as f64
-            },
-            max_latency: self.latency_max,
-            max_host_bytes,
-            host_bw_mbps: self.cfg.host_bw.mbps,
-            events: self.events_processed,
-            channel_busy: self.channel_busy,
-            packets_dropped: self.packets_dropped,
-            packets_dropped_degraded: self.packets_dropped_degraded,
-            retransmits: self.retransmits,
-            messages_lost: self.messages_lost,
-            messages_lost_unreachable: self.messages_lost_unreachable,
-            duplicate_payload: self.duplicate_payload,
-            sweep_reports: self.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
-            telemetry: self.telemetry,
+        if par {
+            run_parallel(&sh, &mut cores);
+        } else {
+            run_serial(&sh, &mut cores[0]);
         }
+        finish(&sh, cores)
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::traffic::TrafficPlan;
-    use ftree_core::{DModK, Router};
-    use ftree_topology::rlft::catalog;
-    use ftree_topology::Topology;
-
-    fn sim_once(
-        topo: &Topology,
-        stages: Vec<Vec<(u32, u32)>>,
-        bytes: u64,
-        mode: Progression,
-    ) -> SimResult {
-        let rt = DModK.route_healthy(topo);
-        let plan = TrafficPlan::uniform(stages, bytes, mode);
-        PacketSim::new(topo, &rt, SimConfig::default(), &plan).run()
-    }
-
-    #[test]
-    fn route_cache_is_bit_identical_to_table_lookups() {
-        let topo = Topology::build(catalog::nodes_128());
-        let rt = DModK.route_healthy(&topo);
-        let n = topo.num_hosts() as u32;
-        // Congested random-ish pattern so arbitration order matters.
-        let stages: Vec<Vec<(u32, u32)>> = (0..4)
-            .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
-            .collect();
-        let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
-        let cached = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
-        let slow = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
-            .without_route_cache()
-            .run();
-        // Every field, including the full per-channel busy vector.
-        assert_eq!(format!("{cached:?}"), format!("{slow:?}"));
-        assert_eq!(cached.channel_busy, slow.channel_busy);
-    }
-
-    #[test]
-    fn single_message_delivers_all_bytes() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let r = sim_once(&topo, vec![vec![(0, 9)]], 10_000, Progression::Asynchronous);
-        assert_eq!(r.messages_delivered, 1);
-        assert_eq!(r.total_payload, 10_000);
-        assert!(r.makespan > 0);
-    }
-
-    #[test]
-    fn unloaded_latency_matches_cut_through_estimate() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let cfg = SimConfig::default();
-        let bytes = 2048u64; // single packet
-        let r = sim_once(&topo, vec![vec![(0, 9)]], bytes, Progression::Asynchronous);
-        // 4-hop path: host->leaf->spine->leaf->host.
-        let per_hop = cfg.switch_latency + cfg.wire_latency;
-        let expected =
-            cfg.host_bw.transfer_time(bytes) + 3 * cfg.link_bw.transfer_time(bytes) + 4 * per_hop;
-        assert_eq!(r.max_latency, expected);
-    }
-
-    #[test]
-    fn self_free_permutation_runs_at_full_bandwidth() {
-        // Shift stage on the contention-free configuration: every host
-        // streams at its PCIe rate, so normalized BW approaches 1.
-        let topo = Topology::build(catalog::nodes_128());
-        let n = topo.num_hosts() as u32;
-        let stages: Vec<Vec<(u32, u32)>> = (0..8)
-            .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
-            .collect();
-        let r = sim_once(&topo, stages, 65_536, Progression::Asynchronous);
-        assert_eq!(r.messages_delivered, 8 * 128);
-        assert!(
-            r.normalized_bw > 0.9,
-            "contention-free shift should be near line rate: {}",
-            r.normalized_bw
-        );
-    }
-
-    #[test]
-    fn hot_spot_degrades_bandwidth_to_half_link() {
-        // Two hosts of one leaf send to destinations sharing one up-port:
-        // the flows split one 4000 MB/s link (2000 MB/s each) instead of
-        // streaming at the 3250 MB/s PCIe bound — a 3250/2000 = 1.625x
-        // slowdown.
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let free = sim_once(
-            &topo,
-            vec![vec![(0, 4), (1, 5)]],
-            262_144,
-            Progression::Asynchronous,
-        );
-        let hot = sim_once(
-            &topo,
-            vec![vec![(0, 4), (1, 8)]], // both dsts ≡ 0 mod 4
-            262_144,
-            Progression::Asynchronous,
-        );
-        let ratio = hot.makespan as f64 / free.makespan as f64;
-        assert!(
-            (1.5..1.75).contains(&ratio),
-            "expected ~1.625x slowdown, got {ratio} (hot {} free {})",
-            hot.makespan,
-            free.makespan
-        );
-    }
-
-    #[test]
-    fn synchronized_mode_barriers_between_stages() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let stages: Vec<Vec<(u32, u32)>> = vec![vec![(0, 4)], vec![(4, 0)], vec![(0, 4)]];
-        let sync = sim_once(&topo, stages.clone(), 8192, Progression::Synchronized);
-        let asyn = sim_once(&topo, stages, 8192, Progression::Asynchronous);
-        assert_eq!(sync.messages_delivered, 3);
-        assert_eq!(asyn.messages_delivered, 3);
-        // Host 0's second message waits for stage 2 in sync mode.
-        assert!(sync.makespan >= asyn.makespan);
-    }
-
-    #[test]
-    fn empty_plan_is_a_noop() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let r = sim_once(&topo, vec![], 1024, Progression::Synchronized);
-        assert_eq!(r.messages_delivered, 0);
-        assert_eq!(r.makespan, 0);
-        let r2 = sim_once(&topo, vec![vec![]], 1024, Progression::Synchronized);
-        assert_eq!(r2.messages_delivered, 0);
-    }
-
-    #[test]
-    fn utilization_tracks_busy_channels() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let r = sim_once(
-            &topo,
-            vec![vec![(0, 9)]],
-            262_144,
-            Progression::Asynchronous,
-        );
-        // Host 0's up channel streams almost the entire run (PCIe-bound).
-        let host_up = topo
-            .channel(
-                topo.node(topo.host(0)).up[0].link,
-                ftree_topology::Direction::Up,
-            )
-            .index();
-        assert!(r.utilization(host_up) > 0.95, "{}", r.utilization(host_up));
-        // Links on the path are busy 3250/4000 of the time at most.
-        let peak_non_host = (0..r.channel_busy.len())
-            .filter(|&c| c != host_up)
-            .map(|c| r.utilization(c))
-            .fold(0.0f64, f64::max);
-        assert!((0.5..=0.85).contains(&peak_non_host), "{peak_non_host}");
-        // Channels off the path are idle.
-        assert!(r.channel_busy.iter().filter(|&&b| b > 0).count() <= 4);
-    }
-
-    #[test]
-    fn jitter_delays_starts_but_conserves_traffic() {
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = DModK.route_healthy(&topo);
-        let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
-        let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
-        let calm = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
-        let jittery_cfg = SimConfig {
-            jitter: 50 * crate::config::MICROSECOND,
-            jitter_seed: 7,
-            ..SimConfig::default()
+/// The classic event loop: one core owns everything, events are sequenced
+/// at schedule time and popped from the calendar in `(time, seq)` order.
+fn run_serial(sh: &Shared, core: &mut Core) {
+    // Script the fabric lifecycle: physical link changes at each event
+    // time, an SM sweep one `sweep_delay` later. Scheduled before any
+    // traffic so same-instant fabric events order ahead of arrivals.
+    if core.lifecycle.is_some() {
+        let (times, degrade_times, sweep_delay) = {
+            let lc = core.lifecycle.as_ref().expect("checked above");
+            let mut ts: Vec<Time> = lc.schedule.events().iter().map(|e| e.time).collect();
+            ts.dedup();
+            let mut ds: Vec<Time> = lc.degradations.iter().map(|d| d.time).collect();
+            ds.dedup();
+            (ts, ds, lc.sweep_delay)
         };
-        let jittery = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
-        assert_eq!(jittery.messages_delivered, calm.messages_delivered);
-        assert_eq!(jittery.total_payload, calm.total_payload);
-        assert!(
-            jittery.makespan > calm.makespan,
-            "50us skew must stretch a ~5us stage: {} vs {}",
-            jittery.makespan,
-            calm.makespan
-        );
-        // Jitter is deterministic too.
-        let again = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
-        assert_eq!(again.makespan, jittery.makespan);
+        for t in times {
+            core.emit(t, K_FABRIC, 0, Pkt::default());
+            core.emit(t + sweep_delay, K_SWEEP, 0, Pkt::default());
+        }
+        // Degradations change the data plane only — no SM sweep.
+        for t in degrade_times {
+            core.emit(t, K_FABRIC, 0, Pkt::default());
+        }
     }
-
-    #[test]
-    fn jitter_hash_is_bounded_and_spread() {
-        use crate::config::jitter_ps;
-        let max = 1_000_000;
-        let samples: Vec<u64> = (0..64).map(|h| jitter_ps(1, h, 0, max)).collect();
-        assert!(samples.iter().all(|&j| j <= max));
-        let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
-        assert!(
-            distinct.len() > 48,
-            "hash should spread: {} distinct",
-            distinct.len()
-        );
-        assert_eq!(jitter_ps(1, 3, 0, 0), 0, "jitter disabled when max = 0");
+    // Prime the first non-empty stage (sync mode) / all hosts.
+    if sh.mode == Progression::Synchronized {
+        match sh.prep.stage_message_counts.iter().position(|&c| c > 0) {
+            Some(s) => {
+                core.current_stage = s as u32;
+                core.stage_remaining = sh.prep.stage_message_counts[s];
+            }
+            None => return,
+        }
     }
-
-    #[test]
-    fn voq_conserves_and_removes_hol_blocking() {
-        use crate::config::SwitchModel;
-        // Workload with a deliberate HOL victim: hosts 0,1 both hammer
-        // dst-port residue 0 (hot), host 2 sends to an idle residue. With
-        // input FIFOs, host 2's later packets queue behind hot packets at
-        // shared buffers; with VOQs they never do.
-        let topo = Topology::build(catalog::nodes_128());
-        let rt = DModK.route_healthy(&topo);
-        let stages: Vec<Vec<(u32, u32)>> = (0..6)
-            .map(|_| vec![(0u32, 16u32), (1, 24), (2, 17)])
-            .collect();
-        let plan = TrafficPlan::uniform(stages, 262_144, Progression::Asynchronous);
-        let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
-        let voq_cfg = SimConfig {
-            switch_model: SwitchModel::VirtualOutputQueues,
-            ..SimConfig::default()
-        };
-        let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
-        assert_eq!(voq.messages_delivered, fifo.messages_delivered);
-        assert_eq!(voq.total_payload, fifo.total_payload);
-        assert!(
-            voq.makespan <= fifo.makespan,
-            "VOQ cannot be slower: voq {} fifo {}",
-            voq.makespan,
-            fifo.makespan
-        );
+    core.kick_all_hosts(sh);
+    while let Some(ev) = core.cal.pop() {
+        debug_assert!(ev.time >= core.now, "time must be monotonic");
+        core.now = ev.time;
+        core.events_processed += 1;
+        core.prefetch_upcoming(sh);
+        core.dispatch(sh, ev);
     }
+}
 
-    #[test]
-    fn voq_matches_fifo_on_contention_free_traffic() {
-        use crate::config::SwitchModel;
-        // Without contention there is nothing for VOQs to fix.
-        let topo = Topology::build(catalog::fig4_pgft_16());
-        let rt = DModK.route_healthy(&topo);
-        let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
-        let plan = TrafficPlan::uniform(stages, 65_536, Progression::Synchronized);
-        let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
-        let voq_cfg = SimConfig {
-            switch_model: SwitchModel::VirtualOutputQueues,
-            ..SimConfig::default()
-        };
-        let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
-        assert_eq!(voq.makespan, fifo.makespan);
+/// Assigns the next global sequence number to `pe` and pushes it onto its
+/// anchor shard's calendar (the shard whose state its handler mutates).
+fn push_seq(cores: &mut [Core], sh: &Shared, gseq: &mut u64, pe: PendEv) {
+    let k = cores.len();
+    let ev = Ev {
+        time: pe.time,
+        seq: *gseq,
+        a: pe.a,
+        kind: pe.kind,
+        pkt: pe.pkt,
+    };
+    *gseq += 1;
+    let node = match pe.kind {
+        K_ARRIVAL => sh.prep.ch_target[pe.a as usize],
+        K_CH_FREE | K_DRAIN => sh.prep.ch_src[pe.a as usize],
+        K_KICK => sh.prep.host_node[pe.a as usize],
+        _ => unreachable!("parallel windows never schedule lifecycle events"),
+    };
+    cores[node as usize % k].cal.push(ev);
+}
+
+/// Barrier: replay each shard's window log in global parent `(time, seq)`
+/// order, sequencing children exactly as the serial engine would have.
+fn merge_route(cores: &mut [Core], sh: &Shared, gseq: &mut u64) {
+    let k = cores.len();
+    let mut pi = vec![0usize; k];
+    let mut ci = vec![0usize; k];
+    let mut merged: Vec<PendEv> = Vec::new();
+    loop {
+        let mut best: Option<(Time, u64, usize)> = None;
+        for c in 0..k {
+            if let Some(&(t, s, _)) = cores[c].parents.get(pi[c]) {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, c));
+                }
+            }
+        }
+        let Some((_, _, c)) = best else { break };
+        let n = cores[c].parents[pi[c]].2 as usize;
+        pi[c] += 1;
+        merged.extend_from_slice(&cores[c].out[ci[c]..ci[c] + n]);
+        ci[c] += n;
     }
+    for c in cores.iter_mut() {
+        c.parents.clear();
+        c.out.clear();
+    }
+    for pe in merged {
+        push_seq(cores, sh, gseq, pe);
+    }
+}
 
-    #[test]
-    fn deterministic_replay() {
-        let topo = Topology::build(catalog::nodes_128());
-        let n = topo.num_hosts() as u32;
-        let stages: Vec<Vec<(u32, u32)>> = (0..4)
-            .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
-            .collect();
-        let a = sim_once(&topo, stages.clone(), 16_384, Progression::Asynchronous);
-        let b = sim_once(&topo, stages, 16_384, Progression::Asynchronous);
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.events, b.events);
-        assert_eq!(a.total_payload, b.total_payload);
+/// Conservative-lookahead driver: all shards advance through the same
+/// `[T, T + L)` window concurrently (disjoint state), then a barrier
+/// merges and routes the window's newly scheduled events.
+fn run_parallel(sh: &Shared, cores: &mut [Core]) {
+    let k = cores.len();
+    for c in cores.iter_mut() {
+        c.collect = true;
+    }
+    let mut gseq: u64 = 0;
+    // Prime hosts in id order, sequencing each host's emissions before the
+    // next host's — the exact serial kick order.
+    for h in 0..sh.prep.num_hosts as u32 {
+        let c = (sh.prep.host_node[h as usize] as usize) % k;
+        let delay = jitter_ps(sh.cfg.jitter_seed, h, 0, sh.cfg.jitter);
+        if delay == 0 {
+            cores[c].host_request(sh, h);
+        } else {
+            let t = cores[c].now + delay;
+            cores[c].emit(t, K_KICK, h, Pkt::default());
+        }
+        if !cores[c].out.is_empty() {
+            let mut pend = std::mem::take(&mut cores[c].out);
+            for &pe in &pend {
+                push_seq(cores, sh, &mut gseq, pe);
+            }
+            pend.clear();
+            cores[c].out = pend;
+        }
+    }
+    let la = sh.prep.lookahead;
+    loop {
+        let mut t0: Option<Time> = None;
+        for c in cores.iter_mut() {
+            if let Some((t, _)) = c.cal.peek_key() {
+                t0 = Some(t0.map_or(t, |x| x.min(t)));
+            }
+        }
+        let Some(t0) = t0 else { break };
+        let t_end = t0.saturating_add(la);
+        std::thread::scope(|s| {
+            for core in cores.iter_mut() {
+                if core.cal.peek_key().is_some_and(|(t, _)| t < t_end) {
+                    s.spawn(move || core.run_window(sh, t_end));
+                }
+            }
+        });
+        merge_route(cores, sh, &mut gseq);
+    }
+}
+
+/// Folds the per-shard metric accumulators together and assembles the
+/// result exactly as the oracle's `finish` does.
+fn finish(sh: &Shared, cores: Vec<Core>) -> SimResult {
+    let mut it = cores.into_iter();
+    let mut acc = it.next().expect("at least one core");
+    let mut channel_busy: Vec<Time> = acc.ch.iter().map(|s| s.busy_ps).collect();
+    for c in it {
+        acc.events_processed += c.events_processed;
+        acc.delivered += c.delivered;
+        acc.total_payload += c.total_payload;
+        acc.last_delivery = acc.last_delivery.max(c.last_delivery);
+        acc.latency_sum += c.latency_sum;
+        acc.latency_max = acc.latency_max.max(c.latency_max);
+        acc.packets_dropped += c.packets_dropped;
+        acc.packets_dropped_degraded += c.packets_dropped_degraded;
+        acc.retransmits += c.retransmits;
+        acc.messages_lost += c.messages_lost;
+        acc.messages_lost_unreachable += c.messages_lost_unreachable;
+        acc.duplicate_payload += c.duplicate_payload;
+        for (a, b) in channel_busy.iter_mut().zip(&c.ch) {
+            *a += b.busy_ps;
+        }
+    }
+    let makespan = acc.last_delivery;
+    let normalized_bw = if makespan == 0 {
+        0.0
+    } else {
+        // bytes/ps -> MB/s: * 1e6
+        let agg_mbps = acc.total_payload as f64 / makespan as f64 * 1_000_000.0;
+        agg_mbps / (sh.prep.n_active as f64 * sh.cfg.host_bw.mbps as f64)
+    };
+    if let Some(rec) = &acc.recorder {
+        rec.counter("sim.messages_delivered").add(acc.delivered);
+        rec.counter("sim.packets_dropped").add(acc.packets_dropped);
+        rec.counter("sim.retransmits").add(acc.retransmits);
+        rec.counter("sim.messages_lost").add(acc.messages_lost);
+        rec.counter("sim.messages_lost_unreachable")
+            .add(acc.messages_lost_unreachable);
+        rec.counter("sim.packets_dropped_degraded")
+            .add(acc.packets_dropped_degraded);
+        rec.counter("sim.events").add(acc.events_processed);
+        rec.counter("sim.payload_bytes").add(acc.total_payload);
+        rec.gauge("sim.makespan_ps").set(makespan as i64);
+        let busy = rec.histogram("sim.channel_busy_ps");
+        for &b in &channel_busy {
+            if b > 0 {
+                busy.record(b);
+            }
+        }
+    }
+    SimResult {
+        makespan,
+        total_payload: acc.total_payload,
+        messages_delivered: acc.delivered,
+        normalized_bw,
+        mean_latency: if acc.delivered == 0 {
+            0.0
+        } else {
+            acc.latency_sum as f64 / acc.delivered as f64
+        },
+        max_latency: acc.latency_max,
+        max_host_bytes: sh.prep.max_host_bytes,
+        host_bw_mbps: sh.cfg.host_bw.mbps,
+        events: acc.events_processed,
+        channel_busy,
+        packets_dropped: acc.packets_dropped,
+        packets_dropped_degraded: acc.packets_dropped_degraded,
+        retransmits: acc.retransmits,
+        messages_lost: acc.messages_lost,
+        messages_lost_unreachable: acc.messages_lost_unreachable,
+        duplicate_payload: acc.duplicate_payload,
+        sweep_reports: acc.sm.map(|sm| sm.reports().to_vec()).unwrap_or_default(),
+        telemetry: acc.telemetry,
     }
 }

@@ -1,0 +1,108 @@
+//! Final metrics of a packet-level simulation run, shared by the production
+//! engine ([`crate::PacketSim`]) and the preserved reference engine
+//! ([`crate::OracleSim`]) so bit-identity suites compare the same type.
+
+use ftree_core::SweepReport;
+use ftree_obs::ChannelTimeSeries;
+
+use crate::config::Time;
+
+/// Final metrics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time of the last delivery, ps.
+    pub makespan: Time,
+    /// Total payload bytes delivered.
+    pub total_payload: u64,
+    /// Number of messages delivered.
+    pub messages_delivered: u64,
+    /// Aggregate effective bandwidth divided by the aggregate host
+    /// injection capacity — the paper's "normalized BW" (1.0 = every active
+    /// host streams at full PCIe rate for the whole run).
+    pub normalized_bw: f64,
+    /// Mean message latency (first-bit-out to last-bit-in), ps.
+    pub mean_latency: f64,
+    /// Worst message latency, ps.
+    pub max_latency: Time,
+    /// Bytes injected by the busiest host — the injection-critical path.
+    /// With heterogeneous schedules (pre/post proxy stages) aggregate
+    /// normalized BW cannot reach 1.0 even without contention;
+    /// `efficiency()` compares the makespan against this critical path
+    /// instead.
+    pub max_host_bytes: u64,
+    /// Host injection bandwidth, for efficiency computation.
+    pub host_bw_mbps: u64,
+    /// Number of events processed (sanity/performance reporting).
+    pub events: u64,
+    /// Accumulated busy time per directed channel (serialization only),
+    /// for utilization analysis.
+    pub channel_busy: Vec<Time>,
+    /// Packets lost to dead cables or cleared routes (lifecycle runs only).
+    pub packets_dropped: u64,
+    /// Message retransmissions started (lifecycle runs only).
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting retransmissions **or** written
+    /// off early because their destination is provably unreachable.
+    pub messages_lost: u64,
+    /// Subset of `messages_lost` abandoned by the partition-aware early
+    /// exit: the schedule was fully applied, the subnet manager's
+    /// reachability said the destination cannot be reached, so the sender
+    /// stopped burning its retry budget.
+    pub messages_lost_unreachable: u64,
+    /// Subset of `packets_dropped` lost to degraded (alive but lossy)
+    /// cables rather than dead ones.
+    pub packets_dropped_degraded: u64,
+    /// Bytes delivered more than once (late originals racing retransmits);
+    /// excluded from `total_payload` and `normalized_bw`.
+    pub duplicate_payload: u64,
+    /// One report per subnet-manager sweep (lifecycle runs only).
+    pub sweep_reports: Vec<SweepReport>,
+    /// Per-channel time-bucketed telemetry, when enabled with
+    /// `with_telemetry` (`None` otherwise — the default, and always `None`
+    /// in bit-identity-gated runs).
+    pub telemetry: Option<ChannelTimeSeries>,
+}
+
+impl SimResult {
+    /// Makespan relative to the critical host's pure injection time:
+    /// ~1.0 means the busiest host streamed at line rate with no
+    /// contention stalls.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0 || self.host_bw_mbps == 0 {
+            return 0.0;
+        }
+        // Computed in f64: the integer form truncated `bytes * 1e6 / mbps`
+        // to 0 whenever `bytes * 1e6 < mbps` (e.g. tiny latency probes).
+        let ideal = self.max_host_bytes as f64 * 1_000_000.0 / self.host_bw_mbps as f64;
+        ideal / self.makespan as f64
+    }
+
+    /// Fraction of the run a channel spent transmitting.
+    pub fn utilization(&self, channel: usize) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.channel_busy[channel] as f64 / self.makespan as f64
+        }
+    }
+
+    /// The highest utilization over all channels.
+    pub fn peak_utilization(&self) -> f64 {
+        (0..self.channel_busy.len())
+            .map(|c| self.utilization(c))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Deterministic drop lottery for degraded links: a splitmix-style hash of
+/// the run's jitter seed and the roll ordinal, mapped to `[0, 1_000_000)`
+/// for comparison against a link's `drop_ppm`.
+pub(crate) fn drop_roll(seed: u64, ordinal: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(ordinal)
+        .wrapping_add(0x00d4_0990);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % 1_000_000
+}

@@ -143,16 +143,24 @@ impl TrafficPlan {
     }
 
     /// Bytes injected by the busiest host — the injection critical path.
+    /// Accumulated in a dense per-host vector (no hashing, deterministic
+    /// iteration).
     pub fn max_host_bytes(&self) -> u64 {
-        let mut per_host = std::collections::HashMap::new();
+        let n = self
+            .stages
+            .iter()
+            .flat_map(|st| st.iter().map(|&(src, _)| src))
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut per_host = vec![0u64; n];
         for (s, st) in self.stages.iter().enumerate() {
             for (k, &(src, dst)) in st.iter().enumerate() {
                 if src != dst {
-                    *per_host.entry(src).or_insert(0u64) += self.flow_bytes(s, k);
+                    per_host[src as usize] += self.flow_bytes(s, k);
                 }
             }
         }
-        per_host.values().copied().max().unwrap_or(0)
+        per_host.into_iter().max().unwrap_or(0)
     }
 }
 

@@ -1,0 +1,333 @@
+//! Cross-engine equivalence: the rebuilt calendar-queue [`PacketSim`]
+//! (serial and sharded) must be **bit-identical** to the preserved
+//! [`OracleSim`] reference engine — every `SimResult` field including the
+//! f64 bandwidth figures (compared via `to_bits`), the per-channel busy
+//! vector, flight-recorder NDJSON bytes, and telemetry bucket contents —
+//! across catalog topologies, all routing engines, switch models, jitter,
+//! both progression modes, and fault/chaos timelines.
+
+use std::sync::Arc;
+
+use ftree_core::{builtin_engines, DModK, Router};
+use ftree_obs::{Recorder, TimeSeriesConfig};
+use ftree_sim::{
+    FabricLifecycle, OracleSim, PacketSim, Progression, SimConfig, SimResult, SwitchModel,
+    TrafficPlan, MICROSECOND,
+};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{DegradeEvent, FaultSchedule, LinkEvent, LinkEventKind, PgftSpec, Topology};
+
+/// One full-permutation shift stage in port space: `i -> (i + s) % n`.
+fn shift_stage(n: u32, s: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i, (i + s) % n)).collect()
+}
+
+/// A congested pseudo-random pattern so arbitration order matters.
+fn scramble_stages(n: u32, stages: u32) -> Vec<Vec<(u32, u32)>> {
+    (0..stages)
+        .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+        .collect()
+}
+
+/// Full bit-level equality between two results: the Debug rendering pins
+/// every integer field and the f64s print shortest-round-trip, and the
+/// explicit `to_bits` checks close the (theoretical) gap where two
+/// different bit patterns render alike. Telemetry reservoirs are compared
+/// through their serde form.
+fn assert_identical(a: &SimResult, b: &SimResult, ctx: &str) {
+    assert_eq!(
+        a.normalized_bw.to_bits(),
+        b.normalized_bw.to_bits(),
+        "normalized_bw diverged: {ctx}"
+    );
+    assert_eq!(
+        a.channel_busy, b.channel_busy,
+        "channel_busy diverged: {ctx}"
+    );
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "results diverged: {ctx}"
+    );
+    let ts = |r: &SimResult| {
+        r.telemetry
+            .as_ref()
+            .map(|t| serde_json::to_string(t).unwrap())
+    };
+    assert_eq!(ts(a), ts(b), "telemetry buckets diverged: {ctx}");
+}
+
+/// Oracle vs serial vs sharded(2..=4) on a static fabric.
+fn check_static(
+    topo: &Topology,
+    router: &dyn Router,
+    cfg: SimConfig,
+    plan: &TrafficPlan,
+    ctx: &str,
+) {
+    let rt = router.route_healthy(topo);
+    let oracle = OracleSim::new(topo, &rt, cfg, plan).run();
+    let serial = PacketSim::new(topo, &rt, cfg, plan).run();
+    assert_identical(&oracle, &serial, &format!("{ctx} [serial]"));
+    for k in [2usize, 4] {
+        let sharded = PacketSim::new(topo, &rt, cfg, plan).with_shards(k).run();
+        assert_identical(&oracle, &sharded, &format!("{ctx} [shards={k}]"));
+    }
+}
+
+#[test]
+fn all_routing_engines_match_oracle_on_fig4() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 6), 24_576, Progression::Asynchronous);
+    for engine in builtin_engines(42) {
+        check_static(
+            &topo,
+            engine.as_ref(),
+            SimConfig::default(),
+            &plan,
+            &format!("fig4_pgft_16/{}", engine.name()),
+        );
+    }
+}
+
+#[test]
+fn all_routing_engines_match_oracle_on_nodes_128() {
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 3), 16_384, Progression::Asynchronous);
+    for engine in builtin_engines(7) {
+        check_static(
+            &topo,
+            engine.as_ref(),
+            SimConfig::default(),
+            &plan,
+            &format!("nodes_128/{}", engine.name()),
+        );
+    }
+}
+
+#[test]
+fn larger_catalog_topologies_match_oracle() {
+    // One engine at the bigger radixes keeps debug-mode runtime sane while
+    // still covering multi-spine arbitration at scale.
+    for (name, spec) in [
+        ("nodes_324", catalog::nodes_324()),
+        ("fig4_xgft_16", catalog::fig4_xgft_16()),
+        ("fig1_16", catalog::fig1_16()),
+    ] as [(&str, PgftSpec); 3]
+    {
+        let topo = Topology::build(spec);
+        let n = topo.num_hosts() as u32;
+        let plan = TrafficPlan::uniform(
+            vec![shift_stage(n, 1), shift_stage(n, n / 2)],
+            16_384,
+            Progression::Asynchronous,
+        );
+        check_static(&topo, &DModK, SimConfig::default(), &plan, name);
+    }
+}
+
+#[test]
+fn voq_and_jitter_match_oracle() {
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 3), 32_768, Progression::Asynchronous);
+    let voq = SimConfig {
+        switch_model: SwitchModel::VirtualOutputQueues,
+        ..SimConfig::default()
+    };
+    check_static(&topo, &DModK, voq, &plan, "nodes_128/voq");
+    let jittery = SimConfig {
+        jitter: 20 * MICROSECOND,
+        jitter_seed: 99,
+        ..SimConfig::default()
+    };
+    check_static(&topo, &DModK, jittery, &plan, "nodes_128/jitter");
+    let both = SimConfig {
+        switch_model: SwitchModel::VirtualOutputQueues,
+        jitter: 20 * MICROSECOND,
+        jitter_seed: 99,
+        ..SimConfig::default()
+    };
+    check_static(&topo, &DModK, both, &plan, "nodes_128/voq+jitter");
+}
+
+#[test]
+fn synchronized_mode_matches_oracle() {
+    // Sharded mode silently falls back to serial for synchronized plans —
+    // the fallback must still be bit-identical to the oracle.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 5), 16_384, Progression::Synchronized);
+    check_static(&topo, &DModK, SimConfig::default(), &plan, "fig4/sync");
+}
+
+#[test]
+fn mixed_size_plans_match_oracle() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let stages: Vec<Vec<(u32, u32, u64)>> = (0..4)
+        .map(|s| {
+            (0..16u32)
+                .map(|i| (i, (i + s + 1) % 16, 1024 * (1 + (i as u64 + s as u64) % 7)))
+                .collect()
+        })
+        .collect();
+    let plan = TrafficPlan::sized(stages, Progression::Asynchronous);
+    check_static(&topo, &DModK, SimConfig::default(), &plan, "fig4/sized");
+}
+
+/// The leaf-to-spine cable on the D-Mod-K path from `src` to `dst`.
+fn uplink_on_path(topo: &Topology, src: usize, dst: usize) -> u32 {
+    let rt = DModK.route_healthy(topo);
+    rt.trace(topo, src, dst).unwrap().channels[1].link()
+}
+
+#[test]
+fn lifecycle_fail_recover_matches_oracle() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 5)],
+        32_768,
+        Progression::Asynchronous,
+    );
+    let link = uplink_on_path(&topo, 0, 1);
+    let make_lc = || {
+        let mut lc = FabricLifecycle::new(FaultSchedule::new(vec![
+            LinkEvent {
+                time: 2 * MICROSECOND,
+                link,
+                kind: LinkEventKind::Fail,
+            },
+            LinkEvent {
+                time: 40 * MICROSECOND,
+                link,
+                kind: LinkEventKind::Recover,
+            },
+        ]));
+        lc.sweep_delay = MICROSECOND;
+        lc.retransmit_timeout = 20 * MICROSECOND;
+        lc
+    };
+    let oracle = OracleSim::with_lifecycle(&topo, SimConfig::default(), &plan, make_lc())
+        .unwrap()
+        .run();
+    let packet = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, make_lc())
+        .unwrap()
+        .run();
+    assert_identical(&oracle, &packet, "fig4/lifecycle");
+    // Lifecycle runs are serial-only; with_shards must fall back, not fork.
+    let fallback = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, make_lc())
+        .unwrap()
+        .with_shards(4)
+        .run();
+    assert_identical(&oracle, &fallback, "fig4/lifecycle [shards fallback]");
+    assert!(
+        oracle.retransmits > 0,
+        "scenario must actually drop packets"
+    );
+}
+
+#[test]
+fn chaos_degradations_match_oracle() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(
+        vec![shift_stage(n, 1), shift_stage(n, 9)],
+        32_768,
+        Progression::Asynchronous,
+    );
+    let link = uplink_on_path(&topo, 0, 1);
+    let make_lc = || {
+        let mut lc = FabricLifecycle::new(FaultSchedule::empty()).with_degradations(vec![
+            DegradeEvent {
+                time: 0,
+                link,
+                latency_mult: 3,
+                drop_ppm: 200_000,
+            },
+            DegradeEvent {
+                time: 30 * MICROSECOND,
+                link,
+                latency_mult: 1,
+                drop_ppm: 0,
+            },
+        ]);
+        lc.retransmit_timeout = 15 * MICROSECOND;
+        lc
+    };
+    let oracle = OracleSim::with_lifecycle(&topo, SimConfig::default(), &plan, make_lc())
+        .unwrap()
+        .run();
+    let packet = PacketSim::with_lifecycle(&topo, SimConfig::default(), &plan, make_lc())
+        .unwrap()
+        .run();
+    assert_identical(&oracle, &packet, "fig4/chaos-degrade");
+}
+
+#[test]
+fn recorder_ndjson_bytes_match_oracle() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 3), 16_384, Progression::Asynchronous);
+    let rt = DModK.route_healthy(&topo);
+    let run = |packet: bool| -> (SimResult, String) {
+        let rec = Arc::new(Recorder::new());
+        rec.set_route_events(true);
+        let r = if packet {
+            PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+                .with_recorder(Arc::clone(&rec))
+                .run()
+        } else {
+            OracleSim::new(&topo, &rt, SimConfig::default(), &plan)
+                .with_recorder(Arc::clone(&rec))
+                .run()
+        };
+        (r, rec.events_ndjson())
+    };
+    let (oracle, oracle_tape) = run(false);
+    let (packet, packet_tape) = run(true);
+    assert_identical(&oracle, &packet, "fig4/recorder");
+    assert_eq!(oracle_tape, packet_tape, "NDJSON tapes must be byte-equal");
+    assert!(
+        oracle_tape.contains("route_decision"),
+        "route events must flow even though the packet engine keeps its \
+         route cache enabled"
+    );
+}
+
+#[test]
+fn telemetry_buckets_match_oracle() {
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 2), 32_768, Progression::Asynchronous);
+    let rt = DModK.route_healthy(&topo);
+    let cfg = TimeSeriesConfig {
+        bucket_ps: MICROSECOND,
+        max_buckets: 128,
+    };
+    let oracle = OracleSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .with_telemetry(cfg)
+        .run();
+    let packet = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .with_telemetry(cfg)
+        .run();
+    assert!(oracle.telemetry.is_some() && packet.telemetry.is_some());
+    assert_identical(&oracle, &packet, "nodes_128/telemetry");
+}
+
+#[test]
+fn route_cache_off_matches_oracle_route_cache_off() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let plan = TrafficPlan::uniform(scramble_stages(n, 4), 16_384, Progression::Synchronized);
+    let rt = DModK.route_healthy(&topo);
+    let oracle = OracleSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .without_route_cache()
+        .run();
+    let packet = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .without_route_cache()
+        .run();
+    assert_identical(&oracle, &packet, "fig4/no-cache");
+}

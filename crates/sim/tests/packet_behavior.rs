@@ -1,0 +1,279 @@
+//! Behavioral pins for the production packet engine — the original
+//! `packet.rs` in-file suite, kept verbatim against the rebuilt engine
+//! (cross-engine bit-identity lives in `engine_oracle.rs`).
+
+use ftree_sim::{PacketSim, Progression, SimConfig, SimResult, TrafficPlan, MICROSECOND};
+
+use ftree_core::{DModK, Router};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+fn sim_once(
+    topo: &Topology,
+    stages: Vec<Vec<(u32, u32)>>,
+    bytes: u64,
+    mode: Progression,
+) -> SimResult {
+    let rt = DModK.route_healthy(topo);
+    let plan = TrafficPlan::uniform(stages, bytes, mode);
+    PacketSim::new(topo, &rt, SimConfig::default(), &plan).run()
+}
+
+#[test]
+fn route_cache_is_bit_identical_to_table_lookups() {
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = DModK.route_healthy(&topo);
+    let n = topo.num_hosts() as u32;
+    // Congested random-ish pattern so arbitration order matters.
+    let stages: Vec<Vec<(u32, u32)>> = (0..4)
+        .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+        .collect();
+    let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
+    let cached = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let slow = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+        .without_route_cache()
+        .run();
+    // Every field, including the full per-channel busy vector.
+    assert_eq!(format!("{cached:?}"), format!("{slow:?}"));
+    assert_eq!(cached.channel_busy, slow.channel_busy);
+}
+
+#[test]
+fn sharded_mode_is_bit_identical_to_serial() {
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = DModK.route_healthy(&topo);
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = (0..4)
+        .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+        .collect();
+    let plan = TrafficPlan::uniform(stages, 16_384, Progression::Asynchronous);
+    let serial = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    for k in [2, 3, 4] {
+        let sharded = PacketSim::new(&topo, &rt, SimConfig::default(), &plan)
+            .with_shards(k)
+            .run();
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{sharded:?}"),
+            "shards = {k}"
+        );
+    }
+}
+
+#[test]
+fn single_message_delivers_all_bytes() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let r = sim_once(&topo, vec![vec![(0, 9)]], 10_000, Progression::Asynchronous);
+    assert_eq!(r.messages_delivered, 1);
+    assert_eq!(r.total_payload, 10_000);
+    assert!(r.makespan > 0);
+}
+
+#[test]
+fn unloaded_latency_matches_cut_through_estimate() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let cfg = SimConfig::default();
+    let bytes = 2048u64; // single packet
+    let r = sim_once(&topo, vec![vec![(0, 9)]], bytes, Progression::Asynchronous);
+    // 4-hop path: host->leaf->spine->leaf->host.
+    let per_hop = cfg.switch_latency + cfg.wire_latency;
+    let expected =
+        cfg.host_bw.transfer_time(bytes) + 3 * cfg.link_bw.transfer_time(bytes) + 4 * per_hop;
+    assert_eq!(r.max_latency, expected);
+}
+
+#[test]
+fn self_free_permutation_runs_at_full_bandwidth() {
+    // Shift stage on the contention-free configuration: every host
+    // streams at its PCIe rate, so normalized BW approaches 1.
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = (0..8)
+        .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+        .collect();
+    let r = sim_once(&topo, stages, 65_536, Progression::Asynchronous);
+    assert_eq!(r.messages_delivered, 8 * 128);
+    assert!(
+        r.normalized_bw > 0.9,
+        "contention-free shift should be near line rate: {}",
+        r.normalized_bw
+    );
+}
+
+#[test]
+fn hot_spot_degrades_bandwidth_to_half_link() {
+    // Two hosts of one leaf send to destinations sharing one up-port:
+    // the flows split one 4000 MB/s link (2000 MB/s each) instead of
+    // streaming at the 3250 MB/s PCIe bound — a 3250/2000 = 1.625x
+    // slowdown.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let free = sim_once(
+        &topo,
+        vec![vec![(0, 4), (1, 5)]],
+        262_144,
+        Progression::Asynchronous,
+    );
+    let hot = sim_once(
+        &topo,
+        vec![vec![(0, 4), (1, 8)]], // both dsts ≡ 0 mod 4
+        262_144,
+        Progression::Asynchronous,
+    );
+    let ratio = hot.makespan as f64 / free.makespan as f64;
+    assert!(
+        (1.5..1.75).contains(&ratio),
+        "expected ~1.625x slowdown, got {ratio} (hot {} free {})",
+        hot.makespan,
+        free.makespan
+    );
+}
+
+#[test]
+fn synchronized_mode_barriers_between_stages() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let stages: Vec<Vec<(u32, u32)>> = vec![vec![(0, 4)], vec![(4, 0)], vec![(0, 4)]];
+    let sync = sim_once(&topo, stages.clone(), 8192, Progression::Synchronized);
+    let asyn = sim_once(&topo, stages, 8192, Progression::Asynchronous);
+    assert_eq!(sync.messages_delivered, 3);
+    assert_eq!(asyn.messages_delivered, 3);
+    // Host 0's second message waits for stage 2 in sync mode.
+    assert!(sync.makespan >= asyn.makespan);
+}
+
+#[test]
+fn empty_plan_is_a_noop() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let r = sim_once(&topo, vec![], 1024, Progression::Synchronized);
+    assert_eq!(r.messages_delivered, 0);
+    assert_eq!(r.makespan, 0);
+    let r2 = sim_once(&topo, vec![vec![]], 1024, Progression::Synchronized);
+    assert_eq!(r2.messages_delivered, 0);
+}
+
+#[test]
+fn utilization_tracks_busy_channels() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let r = sim_once(
+        &topo,
+        vec![vec![(0, 9)]],
+        262_144,
+        Progression::Asynchronous,
+    );
+    // Host 0's up channel streams almost the entire run (PCIe-bound).
+    let host_up = topo
+        .channel(
+            topo.node(topo.host(0)).up[0].link,
+            ftree_topology::Direction::Up,
+        )
+        .index();
+    assert!(r.utilization(host_up) > 0.95, "{}", r.utilization(host_up));
+    // Links on the path are busy 3250/4000 of the time at most.
+    let peak_non_host = (0..r.channel_busy.len())
+        .filter(|&c| c != host_up)
+        .map(|c| r.utilization(c))
+        .fold(0.0f64, f64::max);
+    assert!((0.5..=0.85).contains(&peak_non_host), "{peak_non_host}");
+    // Channels off the path are idle.
+    assert!(r.channel_busy.iter().filter(|&&b| b > 0).count() <= 4);
+}
+
+#[test]
+fn jitter_delays_starts_but_conserves_traffic() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let rt = DModK.route_healthy(&topo);
+    let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
+    let plan = TrafficPlan::uniform(stages, 16_384, Progression::Synchronized);
+    let calm = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let jittery_cfg = SimConfig {
+        jitter: 50 * MICROSECOND,
+        jitter_seed: 7,
+        ..SimConfig::default()
+    };
+    let jittery = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
+    assert_eq!(jittery.messages_delivered, calm.messages_delivered);
+    assert_eq!(jittery.total_payload, calm.total_payload);
+    assert!(
+        jittery.makespan > calm.makespan,
+        "50us skew must stretch a ~5us stage: {} vs {}",
+        jittery.makespan,
+        calm.makespan
+    );
+    // Jitter is deterministic too.
+    let again = PacketSim::new(&topo, &rt, jittery_cfg, &plan).run();
+    assert_eq!(again.makespan, jittery.makespan);
+}
+
+#[test]
+fn jitter_hash_is_bounded_and_spread() {
+    use ftree_sim::jitter_ps;
+    let max = 1_000_000;
+    let samples: Vec<u64> = (0..64).map(|h| jitter_ps(1, h, 0, max)).collect();
+    assert!(samples.iter().all(|&j| j <= max));
+    let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
+    assert!(
+        distinct.len() > 48,
+        "hash should spread: {} distinct",
+        distinct.len()
+    );
+    assert_eq!(jitter_ps(1, 3, 0, 0), 0, "jitter disabled when max = 0");
+}
+
+#[test]
+fn voq_conserves_and_removes_hol_blocking() {
+    use ftree_sim::SwitchModel;
+    // Workload with a deliberate HOL victim: hosts 0,1 both hammer
+    // dst-port residue 0 (hot), host 2 sends to an idle residue. With
+    // input FIFOs, host 2's later packets queue behind hot packets at
+    // shared buffers; with VOQs they never do.
+    let topo = Topology::build(catalog::nodes_128());
+    let rt = DModK.route_healthy(&topo);
+    let stages: Vec<Vec<(u32, u32)>> = (0..6)
+        .map(|_| vec![(0u32, 16u32), (1, 24), (2, 17)])
+        .collect();
+    let plan = TrafficPlan::uniform(stages, 262_144, Progression::Asynchronous);
+    let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let voq_cfg = SimConfig {
+        switch_model: SwitchModel::VirtualOutputQueues,
+        ..SimConfig::default()
+    };
+    let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
+    assert_eq!(voq.messages_delivered, fifo.messages_delivered);
+    assert_eq!(voq.total_payload, fifo.total_payload);
+    assert!(
+        voq.makespan <= fifo.makespan,
+        "VOQ cannot be slower: voq {} fifo {}",
+        voq.makespan,
+        fifo.makespan
+    );
+}
+
+#[test]
+fn voq_matches_fifo_on_contention_free_traffic() {
+    use ftree_sim::SwitchModel;
+    // Without contention there is nothing for VOQs to fix.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let rt = DModK.route_healthy(&topo);
+    let stages: Vec<Vec<(u32, u32)>> = vec![(0..16u32).map(|i| (i, (i + 5) % 16)).collect()];
+    let plan = TrafficPlan::uniform(stages, 65_536, Progression::Synchronized);
+    let fifo = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+    let voq_cfg = SimConfig {
+        switch_model: SwitchModel::VirtualOutputQueues,
+        ..SimConfig::default()
+    };
+    let voq = PacketSim::new(&topo, &rt, voq_cfg, &plan).run();
+    assert_eq!(voq.makespan, fifo.makespan);
+}
+
+#[test]
+fn deterministic_replay() {
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let stages: Vec<Vec<(u32, u32)>> = (0..4)
+        .map(|s| (0..n).map(|i| (i, (i * 7 + s + 1) % n)).collect())
+        .collect();
+    let a = sim_once(&topo, stages.clone(), 16_384, Progression::Asynchronous);
+    let b = sim_once(&topo, stages, 16_384, Progression::Asynchronous);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.total_payload, b.total_payload);
+}

@@ -41,6 +41,13 @@ run perf
 run routing_quality
 run chaos
 
+# Packet-engine smoke: rebuilt calendar engine vs the preserved serial
+# oracle on the random-order gate workload (results/BENCH_packet.json).
+# Runs outside run() — it takes its own flag.
+echo "== perf --packet =="
+./target/release/perf --packet 2>/dev/null | tee results/perf_packet.txt
+echo
+
 # Deep-observability chaos cell: Perfetto trace with nested spans,
 # per-channel utilization heatmap, and the contention attribution report
 # (results/chaos_deep*). Runs outside run() — it takes its own flag.
@@ -56,6 +63,7 @@ for name in "${BENCHES[@]}"; do
 done
 # perf, routing_quality and chaos write under BENCH_-prefixed names.
 [[ -f results/BENCH_perf.json ]] && json_files+=(results/BENCH_perf.json)
+[[ -f results/BENCH_packet.json ]] && json_files+=(results/BENCH_packet.json)
 [[ -f results/BENCH_routing_quality.json ]] &&
     json_files+=(results/BENCH_routing_quality.json)
 [[ -f results/BENCH_chaos.json ]] && json_files+=(results/BENCH_chaos.json)

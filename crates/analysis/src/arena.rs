@@ -19,6 +19,8 @@
 //! resetting between stages clears only the touched entries instead of
 //! zeroing `num_channels` slots.
 
+use std::sync::Arc;
+
 use ftree_topology::{RouteError, RoutingTable, Topology};
 
 use crate::hsd::{summarize_sparse, StageHsd};
@@ -187,7 +189,9 @@ impl PathArena {
 pub struct RouteCache<'a> {
     topo: &'a Topology,
     rt: &'a RoutingTable,
-    arena: Option<PathArena>,
+    /// `Arc` so an arena built once (e.g. by a [`SharedRouteCache`]) can be
+    /// viewed by many caches without copying the CSR buffers.
+    arena: Option<Arc<PathArena>>,
 }
 
 impl<'a> RouteCache<'a> {
@@ -204,11 +208,23 @@ impl<'a> RouteCache<'a> {
         budget_bytes: usize,
     ) -> Result<Self, RouteError> {
         let arena = if PathArena::estimate_bytes(topo, rt) <= budget_bytes {
-            Some(PathArena::build(topo, rt)?)
+            Some(Arc::new(PathArena::build(topo, rt)?))
         } else {
             None
         };
         Ok(Self { topo, rt, arena })
+    }
+
+    /// A cache viewing an arena built elsewhere (or `None` for the
+    /// walk-on-demand fallback). The caller vouches that `arena` was built
+    /// from exactly this `(topo, rt)` pair — [`SharedRouteCache`] is the
+    /// safe owner-tracked way to get one.
+    pub fn from_shared(
+        topo: &'a Topology,
+        rt: &'a RoutingTable,
+        arena: Option<Arc<PathArena>>,
+    ) -> Self {
+        Self { topo, rt, arena }
     }
 
     /// The topology this cache routes over.
@@ -231,7 +247,7 @@ impl<'a> RouteCache<'a> {
 
     /// The arena, when one was built.
     pub fn arena(&self) -> Option<&PathArena> {
-        self.arena.as_ref()
+        self.arena.as_deref()
     }
 
     /// Accumulates one flow into `scratch`. On `Err` nothing was added.
@@ -319,6 +335,67 @@ impl<'a> RouteCache<'a> {
         scratch.reset();
         self.accumulate(flows, scratch)?;
         Ok(scratch.summarize())
+    }
+}
+
+/// Owned, `Send + Sync` counterpart of [`RouteCache`]: the topology,
+/// routing table and (optional) path arena behind `Arc`s, so one expensive
+/// build can be shared read-only across threads and outlive any single
+/// borrow scope. The campaign runner builds one of these per
+/// (topology, engine, fault-set) group and every cell in the group borrows
+/// a [`RouteCache`] view via [`SharedRouteCache::cache`].
+#[derive(Clone)]
+pub struct SharedRouteCache {
+    topo: Arc<Topology>,
+    rt: Arc<RoutingTable>,
+    arena: Option<Arc<PathArena>>,
+}
+
+impl SharedRouteCache {
+    /// Builds a shared cache with the default 256 MiB arena budget.
+    pub fn new(topo: Arc<Topology>, rt: Arc<RoutingTable>) -> Result<Self, RouteError> {
+        Self::with_budget(topo, rt, DEFAULT_ARENA_BUDGET_BYTES)
+    }
+
+    /// Builds a shared cache under an explicit arena budget; above the
+    /// estimate cells fall back to on-demand tracing (still shared-safe).
+    pub fn with_budget(
+        topo: Arc<Topology>,
+        rt: Arc<RoutingTable>,
+        budget_bytes: usize,
+    ) -> Result<Self, RouteError> {
+        let arena = if PathArena::estimate_bytes(&topo, &rt) <= budget_bytes {
+            Some(Arc::new(PathArena::build(&topo, &rt)?))
+        } else {
+            None
+        };
+        Ok(Self { topo, rt, arena })
+    }
+
+    /// A borrowed [`RouteCache`] view over the shared buffers. Cheap (two
+    /// pointer copies + an `Arc` clone of the arena handle).
+    pub fn cache(&self) -> RouteCache<'_> {
+        RouteCache::from_shared(&self.topo, &self.rt, self.arena.clone())
+    }
+
+    /// The shared topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The shared routing table.
+    pub fn routing(&self) -> &Arc<RoutingTable> {
+        &self.rt
+    }
+
+    /// True when an arena was built (estimate fit the budget).
+    pub fn is_cached(&self) -> bool {
+        self.arena.is_some()
+    }
+
+    /// The shared arena, when one was built.
+    pub fn arena(&self) -> Option<&Arc<PathArena>> {
+        self.arena.as_ref()
     }
 }
 
@@ -466,6 +543,39 @@ mod tests {
         let fast = cache.stage_hsd(&flows, &mut scratch).unwrap();
         let slow = crate::hsd::stage_hsd(&topo, &rt, &flows).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn shared_cache_views_match_direct_build() {
+        let (topo, rt) = setup();
+        let direct = RouteCache::new(&topo, &rt).unwrap();
+        let mut s1 = StageScratch::for_cache(&direct);
+        let flows = [(0, 4), (1, 8), (2, 3), (0, 15)];
+        let want = direct.stage_hsd(&flows, &mut s1).unwrap();
+
+        let shared = SharedRouteCache::new(Arc::new(topo), Arc::new(rt)).unwrap();
+        assert!(shared.is_cached());
+        // Two views of the same arena, usable from different threads.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let shared = &shared;
+                let flows = &flows;
+                let want = &want;
+                scope.spawn(move || {
+                    let view = shared.cache();
+                    let mut scratch = StageScratch::for_cache(&view);
+                    assert_eq!(&view.stage_hsd(flows, &mut scratch).unwrap(), want);
+                });
+            }
+        });
+        // Budget gate applies to shared caches too.
+        let lazy =
+            SharedRouteCache::with_budget(shared.topology().clone(), shared.routing().clone(), 0)
+                .unwrap();
+        assert!(!lazy.is_cached());
+        let view = lazy.cache();
+        let mut scratch = StageScratch::for_cache(&view);
+        assert_eq!(view.stage_hsd(&flows, &mut scratch).unwrap(), want);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod report;
 pub mod sequence;
 pub mod svg;
 
-pub use arena::{PathArena, RouteCache, StageScratch, DEFAULT_ARENA_BUDGET_BYTES};
+pub use arena::{
+    PathArena, RouteCache, SharedRouteCache, StageScratch, DEFAULT_ARENA_BUDGET_BYTES,
+};
 pub use attribution::{
     attribute_sequence, attribute_stage, render_attribution_markdown, ChannelContention, FlowRef,
     StageAttribution,
@@ -47,6 +49,6 @@ pub use quality::{routing_quality, RoutingQuality};
 pub use report::{predicted_stage_time_ps, DetailedReport, WorstLink};
 pub use sequence::{
     parallel_map, parallel_map_init, random_order_sweep, sampled_stages, sequence_hsd,
-    sequence_hsd_cached, SequenceHsd, SequenceOptions, SweepResult,
+    sequence_hsd_cached, set_parallelism, SequenceHsd, SequenceOptions, SweepResult,
 };
 pub use svg::{render_heatmap_svg, render_svg, HeatmapOptions, SvgOptions};

@@ -185,6 +185,32 @@ std::thread_local! {
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Process-wide worker-count override for [`parallel_map`] /
+/// [`parallel_map_init`]: 0 = auto (`available_parallelism`).
+static WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides how many worker threads [`parallel_map`] uses (`0` restores
+/// the default of one per available core). `--threads N` on the bench CLI
+/// routes here; `1` forces fully serial execution, which is also what
+/// deterministic byte-identity tests use to eliminate scheduling noise in
+/// wall-clock-free outputs (results are bit-identical at any setting — this
+/// knob only trades wall time).
+pub fn set_parallelism(n: usize) {
+    WORKERS.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn worker_count(items: usize) -> usize {
+    let configured = WORKERS.load(std::sync::atomic::Ordering::Relaxed);
+    let cap = if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    cap.min(items.max(1))
+}
+
 /// Simple fork-join map over items using scoped threads (one chunk per
 /// available core).
 ///
@@ -204,10 +230,7 @@ pub fn parallel_map_init<T: Sync, R: Send, S>(
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let workers = worker_count(items.len());
     if workers <= 1 || IN_WORKER.with(|c| c.get()) {
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();

@@ -1,0 +1,284 @@
+//! `campaign` — one build, thousands of runs.
+//!
+//! Two modes:
+//!
+//! * **Grid mode** (default): expand a [`CampaignSpec`] into cells, build
+//!   every fabric once, run cells in parallel, stream NDJSON rows and
+//!   write the aggregate document. Resumes after a kill (`--fresh`
+//!   discards instead), and `--compare` re-runs the grid the expensive
+//!   standalone way to measure the sharing speed-up and prove the rows
+//!   are bit-identical.
+//!
+//!   ```text
+//!   campaign [--spec grid.json] [--topos a,b] [--engines dmodk,dmodc]
+//!            [--cps shift,recdbl] [--orders topology,random]
+//!            [--order-seeds N] [--stages N] [--faults 0,2] [--seed N]
+//!            [--name s] [--rows-out p] [--json-out p] [--threads N]
+//!            [--fresh] [--compare]
+//!   ```
+//!
+//! * **Batch mode** (`--cases fig1,table3,...` or `--cases all`): run the
+//!   registered [`BenchCase`]s in one process sharing a fabric cache, so
+//!   common topologies/routings build once across experiments. Each case
+//!   writes its usual JSON; `--text-dir results` also drops the
+//!   per-case text files `run_all_experiments.sh` used to tee.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use ftree_bench::campaign::{self, CampaignSpec};
+use ftree_bench::{find_case, registry, BenchArgs, BenchOutput, CaseCtx, FabricCache};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.apply_threads();
+    if args.value("--cases").is_some() {
+        run_cases(&args);
+    } else {
+        run_grid(&args);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("campaign: {msg}");
+    exit(2)
+}
+
+fn spec_from_args(args: &BenchArgs) -> CampaignSpec {
+    let mut spec = match args.value("--spec") {
+        Some(path) => {
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read spec {path}: {e}")));
+            CampaignSpec::from_json_str(&body)
+                .unwrap_or_else(|e| die(&format!("cannot parse spec {path}: {e}")))
+        }
+        None => CampaignSpec::default(),
+    };
+    if let Some(v) = args.value("--name") {
+        spec.name = v.to_string();
+    }
+    spec.seed = args.num("--seed", spec.seed);
+    if let Some(l) = args.list("--topos") {
+        spec.topologies = l;
+    }
+    if let Some(l) = args.list("--engines") {
+        spec.engines = l;
+    }
+    if let Some(l) = args.list("--cps") {
+        spec.cps = l;
+    }
+    if let Some(l) = args.list("--orders") {
+        spec.orders = l;
+    }
+    spec.seeds_per_order = args.num("--order-seeds", spec.seeds_per_order);
+    spec.max_stages = args.num("--stages", spec.max_stages);
+    if let Some(l) = args.list("--faults") {
+        spec.fault_cables = l
+            .iter()
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("bad --faults value {v}")))
+            })
+            .collect();
+    }
+    spec
+}
+
+fn run_grid(args: &BenchArgs) {
+    let spec = spec_from_args(args);
+    if let Err(e) = spec.validate() {
+        die(&format!("{e}"));
+    }
+    let fingerprint = spec.fingerprint();
+    let rows_path = PathBuf::from(
+        args.value("--rows-out")
+            .unwrap_or("results/BENCH_simcampaign.ndjson"),
+    );
+
+    let rec = ftree_bench::init_obs();
+    let mut out = BenchOutput::new(&spec.name);
+    out.default_out("results/BENCH_simcampaign.json");
+    out.topology(spec.topologies.join(","));
+    out.param("fingerprint", fingerprint.clone());
+    out.param(
+        "spec",
+        serde_json::to_value(&spec).expect("spec serializes"),
+    );
+    out.param("rows_file", rows_path.display().to_string());
+    let prov = ftree_bench::report::Provenance::capture();
+    out.param(
+        "provenance",
+        serde_json::json!({
+            "ts": prov.unix_ts,
+            "git_sha": prov.git_sha,
+            "rustc": prov.rustc,
+            "threads": prov.threads,
+            "catalog_hash": prov.catalog_hash,
+        }),
+    );
+
+    let cells = spec.cells();
+    println!(
+        "campaign {}: {} cells over {} topologies, fingerprint {fingerprint}",
+        spec.name,
+        cells.len(),
+        spec.topologies.len()
+    );
+    let t0 = Instant::now();
+    let outcome = campaign::run_campaign(&spec, &rows_path, args.flag("--fresh"))
+        .unwrap_or_else(|e| die(&format!("{e}")));
+    let wall_shared = t0.elapsed().as_secs_f64() * 1e3;
+    let rows = campaign::read_rows(&rows_path).unwrap_or_else(|e| die(&format!("{e}")));
+    println!(
+        "executed {} cells ({} resumed-skipped) in {:.1} ms — {} topology, {} routing, {} arena builds shared",
+        outcome.executed, outcome.skipped, wall_shared, outcome.topo_builds, outcome.rt_builds,
+        outcome.arena_builds
+    );
+
+    out.metric("cells", outcome.cells_total as u64);
+    out.metric("executed", outcome.executed as u64);
+    out.metric("skipped", outcome.skipped as u64);
+    out.metric("topo_builds", outcome.topo_builds as u64);
+    out.metric("rt_builds", outcome.rt_builds as u64);
+    out.metric("arena_builds", outcome.arena_builds as u64);
+    out.metric("rows_on_disk", rows.len() as u64);
+    out.metric("rows_hash", campaign::rows_hash(&rows));
+    out.metric("wall_ms_campaign", wall_shared);
+
+    if args.flag("--compare") {
+        if outcome.skipped > 0 {
+            eprintln!(
+                "warning: --compare on a resumed run ({} cells skipped) understates the \
+                 campaign wall time; use --fresh for a clean comparison",
+                outcome.skipped
+            );
+        }
+        println!(
+            "serial-rebuild baseline: {} cells, each rebuilding its own fabric...",
+            cells.len()
+        );
+        let t1 = Instant::now();
+        let serial = campaign::run_serial_rebuild(&spec).unwrap_or_else(|e| die(&format!("{e}")));
+        let wall_serial = t1.elapsed().as_secs_f64() * 1e3;
+        let identical = campaign::sorted_rows(&rows) == campaign::sorted_rows(&serial);
+        let speedup = wall_serial / wall_shared.max(1e-9);
+        println!(
+            "campaign {wall_shared:.1} ms vs serial rebuild {wall_serial:.1} ms -> \
+             {speedup:.2}x; rows bit-identical: {identical}"
+        );
+        out.metric("wall_ms_serial", wall_serial);
+        out.metric("speedup_vs_serial_rebuild", speedup);
+        out.metric("serial_rows_identical", identical);
+        if !identical {
+            out.fail_gate("serial-rebuild rows differ from shared-build rows");
+        }
+    }
+
+    ftree_bench::print_phase_report(&rec);
+    out.write_args(args);
+    if let Some(msg) = out.gate_failure() {
+        eprintln!("campaign: gate failed: {msg}");
+        exit(1);
+    }
+}
+
+/// Flags owned by the batch driver itself — stripped before forwarding so
+/// each case falls back to its own default output path.
+const BATCH_FLAGS: [(&str, bool); 3] = [
+    ("--cases", true),
+    ("--text-dir", true),
+    ("--json-out", true),
+];
+
+fn forwarded_args(args: &BenchArgs) -> BenchArgs {
+    let raw = args.raw();
+    let mut kept = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if let Some((_, takes_value)) = BATCH_FLAGS.iter().find(|(f, _)| *f == raw[i]) {
+            i += if *takes_value { 2 } else { 1 };
+            continue;
+        }
+        kept.push(raw[i].clone());
+        i += 1;
+    }
+    BenchArgs::from_slice(&kept)
+}
+
+fn run_cases(args: &BenchArgs) {
+    let listed = args.list("--cases").unwrap_or_default();
+    let names: Vec<String> = if listed == ["all"] {
+        registry().iter().map(|c| c.name().to_string()).collect()
+    } else {
+        listed
+    };
+    if names.is_empty() {
+        die("--cases needs a comma-separated list of case names or 'all'");
+    }
+    let known: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+    for name in &names {
+        if find_case(name).is_none() {
+            die(&format!(
+                "unknown case {name}; registered cases: {}",
+                known.join(", ")
+            ));
+        }
+    }
+
+    let case_args = forwarded_args(args);
+    let text_dir = args.value("--text-dir").map(PathBuf::from);
+    if let Some(dir) = &text_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("cannot create --text-dir {}: {e}", dir.display()));
+        }
+    }
+    let fabrics = FabricCache::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for name in &names {
+        let case = find_case(name).expect("validated above");
+        println!("== {name} ==");
+        // A fresh process-global recorder per case keeps each case's
+        // obs_metrics identical to a standalone run of its binary.
+        let rec = ftree_bench::init_obs();
+        let mut text: Vec<u8> = Vec::new();
+        let output = {
+            let mut ctx = CaseCtx {
+                args: &case_args,
+                rec: rec.clone(),
+                out: &mut text,
+                fabrics: &fabrics,
+                artifacts: args.flag("--artifacts"),
+            };
+            case.run(&mut ctx)
+        };
+        let _ = std::io::stdout().write_all(&text);
+        if let Some(dir) = &text_dir {
+            let path = dir.join(format!("{name}.txt"));
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        ftree_bench::print_phase_report(&rec);
+        output.write_args(&case_args);
+        if let Some(msg) = output.gate_failure() {
+            eprintln!("{name}: gate failed: {msg}");
+            gate_failures.push(format!("{name}: {msg}"));
+        }
+        println!();
+    }
+    let (topo_builds, rt_builds) = fabrics.build_counts();
+    println!(
+        "batch complete: {} cases, {topo_builds} topology builds and {rt_builds} routing \
+         builds shared across them",
+        names.len()
+    );
+    if !gate_failures.is_empty() {
+        eprintln!("{} case gate failure(s):", gate_failures.len());
+        for f in &gate_failures {
+            eprintln!("  {f}");
+        }
+        exit(1);
+    }
+}

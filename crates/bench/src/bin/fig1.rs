@@ -1,145 +1,4 @@
-//! Figure 1 — routing and MPI node order cause or prevent blocking.
-//!
-//! The paper's 16-node example: traffic pattern `dst = (src + 4) mod 16`
-//! (one stage of the Shift CPS). With a random MPI-node-order, several
-//! up-going links carry two flows (hot spots); with the routing-aware
-//! (topology) order every link carries exactly one flow.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin fig1`
-
-use ftree_analysis::LinkLoads;
-use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
-use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{DModK, NodeOrder, Router};
-use ftree_topology::rlft::catalog;
-use ftree_topology::{Direction, Topology};
-
-fn show_order(topo: &Topology, order: &NodeOrder, title: &str, label: &str) -> (usize, u32) {
-    let rt = DModK.route_healthy(topo);
-    let n = topo.num_hosts() as u32;
-    // Stage with displacement 4: Shift stage index 3.
-    let stage = Cps::Shift.stage(n, 3);
-    let flows = order.port_flows(&stage);
-    let loads = LinkLoads::compute(topo, &rt, &flows).expect("routable");
-
-    // For the figure we list, per leaf up-link, the MPI node numbers whose
-    // traffic crosses it.
-    let mut per_channel: Vec<Vec<u32>> = vec![Vec::new(); topo.num_channels()];
-    for &(src, dst) in &flows {
-        let path = rt.trace(topo, src as usize, dst as usize).unwrap();
-        // Translate the destination port back to its MPI rank for display.
-        let rank = order
-            .map()
-            .iter()
-            .position(|&p| p == dst)
-            .expect("dst is ranked") as u32;
-        for ch in path.channels {
-            if ch.direction() == Direction::Up && !topo.node(topo.channel_source(ch).0).is_host() {
-                per_channel[ch.index()].push(rank);
-            }
-        }
-    }
-
-    println!("\n=== {title} ===");
-    println!("MPI node order (rank -> end-port): {:?}", order.map());
-    let mut table = TextTable::new(vec!["leaf switch", "up-port", "MPI dst ranks", "flows"]);
-    let mut hot = 0usize;
-    for leaf in topo.level_nodes(1) {
-        for (q, pp) in topo.node(leaf).up.iter().enumerate() {
-            let ch = topo.channel(pp.link, Direction::Up);
-            let ranks = &per_channel[ch.index()];
-            let count = loads.count(ch.index());
-            if count > 1 {
-                hot += 1;
-            }
-            table.row(vec![
-                topo.node_name(leaf),
-                format!("{q}"),
-                format!("{ranks:?}"),
-                format!("{count}{}", if count > 1 { "  <-- HOT" } else { "" }),
-            ]);
-        }
-    }
-    table.print();
-    let summary = loads.summarize();
-    if let Some(rec) = ftree_obs::global() {
-        loads.observe(&rec, label);
-    }
-    println!(
-        "hot up-links: {hot}; max HSD = {} ({})",
-        summary.max,
-        if summary.is_congestion_free() {
-            "congestion-free"
-        } else {
-            "blocking"
-        }
-    );
-    (hot, summary.max)
-}
-
-fn write_svg(topo: &Topology, order: &NodeOrder, path: &str) {
-    let rt = DModK.route_healthy(topo);
-    let stage = Cps::Shift.stage(topo.num_hosts() as u32, 3);
-    let loads = LinkLoads::compute(topo, &rt, &order.port_flows(&stage)).unwrap();
-    let svg =
-        ftree_analysis::render_svg(topo, Some(&loads), &ftree_analysis::SvgOptions::default());
-    if std::fs::write(path, svg).is_ok() {
-        println!("(rendered {path})");
-    }
-}
-
+//! Figure 1 binary — see [`ftree_bench::cases::fig1`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let mut out = BenchJson::new("fig1");
-    let topo = Topology::build(catalog::fig1_16());
-    out.topology(topo.spec().to_string());
-    println!(
-        "Figure 1 reproduction: {} ({} hosts), pattern dst = (src + 4) mod 16",
-        topo.spec(),
-        topo.num_hosts()
-    );
-
-    // (a) a random order exhibiting hot spots (seed chosen to show >= 3 hot
-    // up-links, like the figure's example).
-    let mut chosen = None;
-    for seed in 1..100 {
-        let order = NodeOrder::random(&topo, seed);
-        let rt = DModK.route_healthy(&topo);
-        let stage = Cps::Shift.stage(16, 3);
-        let loads = LinkLoads::compute(&topo, &rt, &order.port_flows(&stage)).unwrap();
-        let hot = loads
-            .counts()
-            .iter()
-            .enumerate()
-            .filter(|&(i, &c)| {
-                c > 1 && ftree_topology::ChannelId(i as u32).direction() == Direction::Up
-            })
-            .count();
-        if hot >= 3 {
-            chosen = Some(order);
-            break;
-        }
-    }
-    let random = chosen.expect("some random order shows 3 hot spots");
-    let (rand_hot, rand_max) = show_order(&topo, &random, "(a) random MPI node order", "random");
-    write_svg(&topo, &random, "fig1a.svg");
-
-    // (b) routing-aware order: congestion-free.
-    let ordered = NodeOrder::topology(&topo);
-    let (ord_hot, ord_max) = show_order(
-        &topo,
-        &ordered,
-        "(b) routing-aware (topology) order",
-        "topology",
-    );
-    write_svg(&topo, &ordered, "fig1b.svg");
-
-    out.param("pattern", "dst = (src + 4) mod 16");
-    out.metric("random_hot_uplinks", rand_hot);
-    out.metric("random_max_hsd", rand_max);
-    out.metric("topology_hot_uplinks", ord_hot);
-    out.metric("topology_max_hsd", ord_max);
-    print_phase_report(&rec);
-    export_observability(&topo, &rec);
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::fig1::Fig1);
 }

@@ -1,107 +1,4 @@
-//! Figure 2 — normalized effective bandwidth vs message size for the Shift
-//! and Recursive-Doubling CPS under a *random* MPI node order.
-//!
-//! The paper simulates a 1944-node InfiniBand cluster in OMNeT++ and
-//! observes: (a) bandwidth falls as messages grow (head-of-line blocking
-//! persists longer), (b) Recursive-Doubling is worse than Shift even for
-//! small messages (its short stage sequence gives contention no chance to
-//! average out), (c) the proposed ordering restores full bandwidth.
-//!
-//! Default run: packet-level simulation on the 324-node RLFT with a sampled
-//! Shift sequence (the full 1944-node/1943-stage configuration is the
-//! paper's multi-hour OMNeT++ run; pass `--full` to attempt it).
-//!
-//! Run: `cargo run --release -p ftree-bench --bin fig2 [--full] [--seed N]`
-
-use ftree_bench::{
-    arg_num, export_observability, fmt_bytes, has_flag, init_obs, maybe_record, print_phase_report,
-    BenchJson, TextTable,
-};
-use ftree_collectives::{Cps, PermutationSequence};
-use ftree_core::{NodeOrder, RoutingAlgo};
-use ftree_sim::{PacketSim, Progression, SimConfig, TrafficPlan};
-use ftree_topology::rlft::catalog;
-use ftree_topology::Topology;
-
+//! Figure 2 binary — see [`ftree_bench::cases::fig2`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let full = has_flag("--full");
-    let seed: u64 = arg_num("--seed", 1);
-    let mut out = BenchJson::new("fig2");
-    let spec = if full {
-        catalog::nodes_1944()
-    } else {
-        catalog::nodes_324()
-    };
-    let topo = Topology::build(spec);
-    let rt = RoutingAlgo::DModK.route(&topo);
-    let cfg = SimConfig::default();
-    let shift_stages: usize = arg_num("--shift-stages", if full { 64 } else { 16 });
-
-    println!(
-        "Figure 2 reproduction: {} ({} hosts), D-Mod-K routing, packet-level sim",
-        topo.spec(),
-        topo.num_hosts()
-    );
-    println!(
-        "random node order seed {seed}; Shift sampled to {shift_stages} stages; \
-         normalized to PCIe {} MB/s\n",
-        cfg.host_bw.mbps
-    );
-
-    let sizes: &[u64] = if full {
-        &[4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
-    } else {
-        &[4 << 10, 16 << 10, 64 << 10, 256 << 10, 512 << 10]
-    };
-
-    let random = NodeOrder::random(&topo, seed);
-    let ordered = NodeOrder::topology(&topo);
-
-    let mut table = TextTable::new(vec![
-        "msg size",
-        "Shift (random order)",
-        "RecDbl (random order)",
-        "Shift (topology order)",
-    ]);
-
-    let mut rows: Vec<serde_json::Value> = Vec::new();
-    for &size in sizes {
-        let run = |order: &NodeOrder, cps: &dyn PermutationSequence, max: usize| -> f64 {
-            let plan = TrafficPlan::from_cps(order, cps, size, Progression::Asynchronous, max);
-            maybe_record(PacketSim::new(&topo, &rt, cfg, &plan), &rec)
-                .run()
-                .normalized_bw
-        };
-        let shift_rand = run(&random, &Cps::Shift, shift_stages);
-        let rd_rand = run(&random, &Cps::RecursiveDoubling, usize::MAX);
-        let shift_ord = run(&ordered, &Cps::Shift, shift_stages);
-        table.row(vec![
-            fmt_bytes(size),
-            format!("{shift_rand:.3}"),
-            format!("{rd_rand:.3}"),
-            format!("{shift_ord:.3}"),
-        ]);
-        rows.push(serde_json::json!({
-            "bytes": size,
-            "shift_random_bw": shift_rand,
-            "recdbl_random_bw": rd_rand,
-            "shift_topology_bw": shift_ord,
-        }));
-        eprintln!("  done {}", fmt_bytes(size));
-    }
-    table.print();
-    println!(
-        "\nPaper shape: random-order BW decreases with message size; \
-         Recursive-Doubling lies below Shift; topology order stays at line rate."
-    );
-
-    out.topology(topo.spec().to_string());
-    out.param("full", full);
-    out.param("seed", seed);
-    out.param("shift_stages", shift_stages as u64);
-    out.metric("bandwidth_by_size", rows);
-    print_phase_report(&rec);
-    export_observability(&topo, &rec);
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::fig2::Fig2);
 }

@@ -1,95 +1,4 @@
-//! Figure 3 — average maximal Hot-Spot Degree vs cluster size for six
-//! global collectives under random MPI node order.
-//!
-//! For each of the paper's four topologies (128, 324, 1728, 1944 nodes) and
-//! each CPS (Binomial, Butterfly≡Recursive-Doubling, Dissemination, Ring,
-//! Shift, Tournament), computes the mean-over-stages maximal HSD, averaged
-//! over 25 random node orders, with min/max error bars — the paper's
-//! analytic `ibdm` experiment.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin fig3 [--seeds N] [--stages N]`
-
-use ftree_analysis::{random_order_sweep, SequenceOptions};
-use ftree_bench::{
-    arg_num, export_observability, init_obs, paper_topologies, print_phase_report, BenchJson,
-    TextTable,
-};
-use ftree_collectives::Cps;
-use ftree_core::RoutingAlgo;
-use ftree_topology::Topology;
-
+//! Figure 3 binary — see [`ftree_bench::cases::fig3`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let n_seeds: u64 = arg_num("--seeds", 25);
-    let max_stages: usize = arg_num("--stages", 64);
-    let mut out = BenchJson::new("fig3");
-    out.param("seeds", n_seeds);
-    out.param("stages", max_stages as u64);
-    let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let opts = SequenceOptions { max_stages };
-
-    let cps_list = [
-        Cps::Binomial,
-        Cps::RecursiveDoubling, // the paper's "Butterfly"
-        Cps::Dissemination,
-        Cps::Ring,
-        Cps::Shift,
-        Cps::Tournament,
-    ];
-
-    println!(
-        "Figure 3 reproduction: avg max HSD, {} random orders, Shift sampled to {} stages",
-        seeds.len(),
-        max_stages
-    );
-    println!("cells: mean [min, max] over random node orders\n");
-
-    let mut table = TextTable::new(vec![
-        "topology".to_string(),
-        "Binomial".to_string(),
-        "Butterfly".to_string(),
-        "Dissemination".to_string(),
-        "Ring".to_string(),
-        "Shift".to_string(),
-        "Tournament".to_string(),
-    ]);
-
-    let mut rows: Vec<serde_json::Value> = Vec::new();
-    let mut last_topo = None;
-    for (name, spec) in paper_topologies() {
-        let topo = Topology::build(spec);
-        let rt = RoutingAlgo::DModK.route(&topo);
-        let mut cells = vec![name.to_string()];
-        let mut row = serde_json::Map::new();
-        row.insert("topology".into(), name.into());
-        for cps in cps_list {
-            let sweep =
-                random_order_sweep(&topo, &rt, &cps, &seeds, opts).expect("routable topology");
-            cells.push(format!(
-                "{:.2} [{:.2}, {:.2}]",
-                sweep.mean, sweep.min, sweep.max
-            ));
-            row.insert(
-                format!("{cps:?}"),
-                serde_json::json!({"mean": sweep.mean, "min": sweep.min, "max": sweep.max}),
-            );
-        }
-        table.row(cells);
-        rows.push(row.into());
-        last_topo = Some(topo);
-        eprintln!("  done {name}");
-    }
-    table.print();
-    println!(
-        "\nPaper shape: Ring, Shift and Butterfly grow steeply with cluster size; \
-         with topology order + D-Mod-K all of these drop to 1.00 (see table3)."
-    );
-
-    out.topology("paper roster: 128 / 324 / 1728 / 1944");
-    out.metric("avg_max_hsd", rows);
-    print_phase_report(&rec);
-    if let Some(topo) = &last_topo {
-        export_observability(topo, &rec);
-    }
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::fig3::Fig3);
 }

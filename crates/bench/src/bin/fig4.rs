@@ -1,69 +1,4 @@
-//! Figure 4 — why Parallel-Ports Generalized Fat-Trees are required.
-//!
-//! Building a 16-node constant-CBB cluster from 8-port switches: the XGFT
-//! formulation needs 4 spine switches with half their ports unused; the
-//! PGFT formulation keeps the CBB with 2 fully-used spines via parallel
-//! ports.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin fig4`
-
-use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
-use ftree_topology::rlft::{catalog, check_rlft};
-use ftree_topology::Topology;
-
-fn describe(name: &str, topo: &Topology, table: &mut TextTable) {
-    let spec = topo.spec();
-    let spines = spec.nodes_at_level(2);
-    let spine = topo.node_at(2, 0).unwrap();
-    let used = topo.node(spine).down.len();
-    let report = check_rlft(spec);
-    table.row(vec![
-        name.to_string(),
-        spec.canonical_name(),
-        format!("{}", spec.nodes_at_level(1)),
-        format!("{spines}"),
-        format!("{used}/8"),
-        format!("{}", topo.num_links()),
-        if report.is_rlft() {
-            "yes".into()
-        } else {
-            "no".to_string()
-        },
-    ]);
-}
-
+//! Figure 4 binary — see [`ftree_bench::cases::fig4`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let mut out = BenchJson::new("fig4");
-    println!("Figure 4 reproduction: 16 nodes from 8-port switches, constant CBB\n");
-    let mut table = TextTable::new(vec![
-        "formulation",
-        "spec",
-        "leaves",
-        "spines",
-        "spine ports used",
-        "links",
-        "strict RLFT",
-    ]);
-    let xgft = Topology::build(catalog::fig4_xgft_16());
-    let pgft = Topology::build(catalog::fig4_pgft_16());
-    describe("(a) XGFT", &xgft, &mut table);
-    describe("(b) PGFT", &pgft, &mut table);
-    table.print();
-    println!(
-        "\nPaper: the PGFT halves the spine count by using two parallel ports per \
-         leaf-spine pair, filling every switch port — the XGFT cannot express this."
-    );
-
-    out.topology(serde_json::json!({
-        "xgft": xgft.spec().canonical_name(),
-        "pgft": pgft.spec().canonical_name(),
-    }));
-    out.metric("xgft_spines", xgft.spec().nodes_at_level(2));
-    out.metric("pgft_spines", pgft.spec().nodes_at_level(2));
-    out.metric("xgft_links", xgft.num_links());
-    out.metric("pgft_links", pgft.num_links());
-    print_phase_report(&rec);
-    export_observability(&pgft, &rec);
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::fig4::Fig4);
 }

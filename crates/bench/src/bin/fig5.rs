@@ -1,64 +1,4 @@
-//! Figure 5 — PGFT nodes, ports and their connection rule.
-//!
-//! Demonstrates the paper's port-numbering rule on a small 3-level PGFT
-//! with parallel ports: two nodes whose digit vectors agree everywhere but
-//! at the connecting level are cabled by `p` parallel links; the `k`-th
-//! link joins up-port `b + k*w` to down-port `a + k*m`.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin fig5`
-
-use ftree_bench::{export_observability, init_obs, print_phase_report, BenchJson, TextTable};
-use ftree_topology::{io, PgftSpec, Topology};
-
+//! Figure 5 binary — see [`ftree_bench::cases::fig5`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let mut out = BenchJson::new("fig5");
-    // A small PGFT with non-trivial w and p at the top level.
-    let spec = PgftSpec::from_slices(&[2, 2, 2], &[1, 2, 2], &[1, 1, 2]).unwrap();
-    let topo = Topology::build(spec);
-    out.topology(topo.spec().to_string());
-
-    println!(
-        "Figure 5 reproduction: connection rule of {}\n",
-        topo.spec()
-    );
-
-    // Show the cabling between one level-2 node and its level-3 parents.
-    let child = topo.node_at(2, 0).unwrap();
-    let c = topo.node(child);
-    println!(
-        "level-2 node {} (digits {:?}) has {} up-going ports:",
-        topo.node_name(child),
-        c.digits,
-        c.up.len()
-    );
-    let mut table = TextTable::new(vec![
-        "up-port q",
-        "parent",
-        "parent digits",
-        "parent down-port r",
-        "parallel index k",
-    ]);
-    let w = topo.spec().w(2);
-    for (q, pp) in c.up.iter().enumerate() {
-        let parent = topo.node(pp.peer);
-        table.row(vec![
-            format!("{q}"),
-            topo.node_name(pp.peer),
-            format!("{:?}", parent.digits),
-            format!("{}", pp.peer_port),
-            format!("{}", q as u32 / w),
-        ]);
-    }
-    table.print();
-
-    println!("\nFull cable list ({} links):", topo.num_links());
-    print!("{}", io::write_text(&topo));
-
-    out.metric("hosts", topo.num_hosts());
-    out.metric("links", topo.num_links());
-    out.metric("level2_up_ports", topo.node(child).up.len());
-    print_phase_report(&rec);
-    export_observability(&topo, &rec);
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::fig5::Fig5);
 }

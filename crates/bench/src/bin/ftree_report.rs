@@ -11,6 +11,8 @@
 //!   --results-dir <dir>   where to ingest from (default `results`)
 //!   --baseline <path>     committed perf baseline (default
 //!                         `<results-dir>/BENCH_perf.json`)
+//!   --campaign-baseline <path>  committed campaign aggregate (default
+//!                         `<results-dir>/BENCH_simcampaign.json`)
 //!   --out <path>          Markdown report (default `<results-dir>/REPORT.md`)
 //!   --ledger <path>       NDJSON ledger (default `<results-dir>/LEDGER.ndjson`)
 //!   --no-ledger           render and check without appending to the ledger
@@ -21,7 +23,7 @@ use std::process::ExitCode;
 
 use ftree_bench::report::{
     append_ledger, check_regressions, ingest_dir, ledger_row, parse_ledger, render_report,
-    Provenance,
+    Baselines, Provenance,
 };
 use ftree_bench::{arg_value, has_flag};
 use serde_json::Value;
@@ -64,7 +66,23 @@ fn main() -> ExitCode {
             baseline_path.display()
         );
     }
-    let failures = check_regressions(&docs, baseline.as_ref());
+    let campaign_baseline_path = arg_value("--campaign-baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir.join("BENCH_simcampaign.json"));
+    let campaign_baseline: Option<Value> = std::fs::read_to_string(&campaign_baseline_path)
+        .ok()
+        .and_then(|body| serde_json::from_str(&body).ok());
+    if campaign_baseline.is_none() {
+        eprintln!(
+            "note: no committed campaign baseline at {} — campaign speedup gate skipped",
+            campaign_baseline_path.display()
+        );
+    }
+    let baselines = Baselines {
+        perf: baseline,
+        campaign: campaign_baseline,
+    };
+    let failures = check_regressions(&docs, &baselines);
 
     let prov = Provenance::capture();
     if !has_flag("--no-ledger") {

@@ -1,182 +1,6 @@
-//! Routing-quality sweep: fault rates × engines on the catalog fabrics.
-//!
-//! For every topology, every seeded failure pattern (a deterministic set of
-//! dead switch-to-switch cables) and every routing engine, this computes
-//! the [`RoutingQuality`] report — the per-channel distinct-destination
-//! load (max, p99, mean), the pairs displaced off their healthy D-Mod-K
-//! path, and the unreachable pairs — and prints one table per topology.
-//!
-//! The run doubles as the acceptance gate for the fault-resilient `Dmodc`
-//! engine: on **every** pattern its max per-link destination load must be
-//! ≤ the first-fit D-Mod-K repair's, and strictly lower on at least one
-//! pattern per topology. The binary exits non-zero otherwise.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin routing_quality
-//! [--topo fig4_pgft_16|nodes_128|nodes_324] [--rates 1,2,5]
-//! [--seeds 11,22,33] [--json-out results/BENCH_routing_quality.json]`.
-//! Without `--topo` all three catalog fabrics are swept.
-
-use ftree_analysis::routing_quality;
-use ftree_bench::{arg_value, BenchJson, TextTable};
-use ftree_core::{builtin_engines, DModK, Router};
-use ftree_topology::failures::LinkFailures;
-use ftree_topology::rlft::catalog;
-use ftree_topology::{PgftSpec, Topology};
-
-fn spec_by_name(name: &str) -> PgftSpec {
-    match name {
-        "fig4_pgft_16" => catalog::fig4_pgft_16(),
-        "nodes_128" => catalog::nodes_128(),
-        "nodes_324" => catalog::nodes_324(),
-        other => panic!("unknown --topo {other}"),
-    }
-}
-
-fn arg_list(key: &str, default: &[u64]) -> Vec<u64> {
-    match arg_value(key) {
-        Some(s) => s
-            .split(',')
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {key} value {v}")))
-            .collect(),
-        None => default.to_vec(),
-    }
-}
-
+//! Routing-quality sweep binary — see
+//! [`ftree_bench::cases::routing_quality`] for the experiment and its
+//! `dmodc` acceptance gate.
 fn main() {
-    let topos: Vec<String> = match arg_value("--topo") {
-        Some(name) => vec![name],
-        None => ["fig4_pgft_16", "nodes_128", "nodes_324"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
-    };
-    let rates = arg_list("--rates", &[1, 2, 5]);
-    let seeds = arg_list("--seeds", &[11, 22, 33]);
-
-    let mut out = BenchJson::new("routing_quality");
-    out.topology(topos.join(","));
-    out.param("rates", serde_json::json!(rates));
-    out.param("seeds", serde_json::json!(seeds));
-    out.param(
-        "engines",
-        serde_json::json!(["d-mod-k", "dmodc", "random", "minhop-greedy"]),
-    );
-
-    let mut rows: Vec<serde_json::Value> = Vec::new();
-    // The acceptance gate: Dmodc never worse than first-fit D-Mod-K on
-    // max destination load, strictly better somewhere on every topology.
-    let mut dmodc_never_worse = true;
-    let mut dmodc_strictly_better = 0u64;
-
-    for topo_name in &topos {
-        let topo = Topology::build(spec_by_name(topo_name));
-        let healthy = DModK.route_healthy(&topo);
-        println!(
-            "\n{} — {} ({} hosts): max/p99/mean destination load per inter-switch channel",
-            topo_name,
-            topo.spec(),
-            topo.num_hosts()
-        );
-        let mut table = TextTable::new(vec![
-            "failed cables",
-            "seed",
-            "engine",
-            "max",
-            "p99",
-            "mean",
-            "displaced pairs",
-            "unreachable pairs",
-        ]);
-        let mut topo_strictly_better = 0u64;
-        for &rate in &rates {
-            for &seed in &seeds {
-                // Switch-to-switch cables only: the sweep measures path
-                // degradation, not host amputation.
-                let failures = LinkFailures::seeded_where(&topo, seed, rate as usize, |t, l| {
-                    !t.node(t.link(l).child).is_host()
-                });
-                let mut firstfit_max = None;
-                let mut dmodc_max = None;
-                for engine in builtin_engines(seed) {
-                    let rt = engine.route(&topo, &failures).unwrap();
-                    let q = routing_quality(&topo, &rt, Some(&healthy)).unwrap();
-                    table.row(vec![
-                        format!("{}", failures.len()),
-                        format!("{seed}"),
-                        engine.name(),
-                        format!("{}", q.max_load),
-                        format!("{}", q.p99_load),
-                        format!("{:.2}", q.mean_load),
-                        format!("{}", q.displaced_pairs),
-                        format!("{}", q.unreachable_pairs),
-                    ]);
-                    let kind = if engine.name().starts_with("dmodc") {
-                        dmodc_max = Some(q.max_load);
-                        "dmodc"
-                    } else if engine.name().starts_with("random") {
-                        "random"
-                    } else if engine.name().starts_with("minhop") {
-                        "minhop-greedy"
-                    } else {
-                        firstfit_max = Some(q.max_load);
-                        "d-mod-k"
-                    };
-                    rows.push(serde_json::json!({
-                        "topology": topo_name,
-                        "failed_links": failures.len(),
-                        "seed": seed,
-                        "engine": kind,
-                        "max_load": q.max_load,
-                        "p99_load": q.p99_load,
-                        "mean_load": q.mean_load,
-                        "displaced_pairs": q.displaced_pairs,
-                        "unreachable_pairs": q.unreachable_pairs,
-                    }));
-                }
-                let (ff, dc) = (firstfit_max.unwrap(), dmodc_max.unwrap());
-                if dc > ff {
-                    dmodc_never_worse = false;
-                    eprintln!(
-                        "GATE VIOLATION: {topo_name} rate {rate} seed {seed}: \
-                         dmodc max {dc} > first-fit max {ff}"
-                    );
-                }
-                if dc < ff {
-                    topo_strictly_better += 1;
-                }
-            }
-        }
-        table.print();
-        if topo_strictly_better == 0 {
-            dmodc_never_worse = false;
-            eprintln!("GATE VIOLATION: {topo_name}: dmodc never strictly beat first-fit");
-        }
-        dmodc_strictly_better += topo_strictly_better;
-    }
-
-    out.metric("rows", rows);
-    out.metric("dmodc_never_worse_than_first_fit", dmodc_never_worse);
-    out.metric("dmodc_strictly_better_patterns", dmodc_strictly_better);
-    // Default to the BENCH_-prefixed name the experiment harness collects;
-    // written before the gate assert so a failing run still leaves data.
-    let path =
-        arg_value("--json-out").unwrap_or_else(|| "results/BENCH_routing_quality.json".to_string());
-    if let Some(dir) = std::path::Path::new(&path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let body = out.render().to_string();
-    if let Err(e) = std::fs::write(&path, body + "\n") {
-        eprintln!("warning: could not write {path}: {e}");
-    } else {
-        eprintln!("wrote {path}");
-    }
-
-    assert!(
-        dmodc_never_worse,
-        "dmodc routing-quality gate failed (see stderr)"
-    );
-    println!(
-        "\ndmodc gate: never worse than first-fit on any pattern, strictly \
-         better on {dmodc_strictly_better}."
-    );
+    ftree_bench::run_standalone(&ftree_bench::cases::routing_quality::RoutingQuality);
 }

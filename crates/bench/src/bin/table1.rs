@@ -1,108 +1,4 @@
-//! Table 1 — MPI collective algorithms and the permutation sequences they
-//! employ, validated by execution.
-//!
-//! Prints the survey (18 algorithm rows, 8 distinct CPS) and, for every
-//! algorithm implemented in `ftree-mpi`, runs it on live data, extracts the
-//! communication trace, and reports the identified CPS next to the declared
-//! one.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin table1 [--ranks N]`
-
-use ftree_bench::{arg_num, init_obs, print_phase_report, BenchJson, TextTable};
-use ftree_collectives::{table1, Cps, MessageClass, MpiLibrary};
-use ftree_mpi::{run_survey, verify_survey};
-
-fn lib_label(l: MpiLibrary) -> &'static str {
-    match l {
-        MpiLibrary::Mvapich => "MVAPICH",
-        MpiLibrary::OpenMpi => "OpenMPI",
-        MpiLibrary::Both => "both",
-    }
-}
-
-fn msg_label(m: MessageClass) -> &'static str {
-    match m {
-        MessageClass::Small => "small",
-        MessageClass::Large => "large",
-        MessageClass::Any => "any",
-    }
-}
-
+//! Table 1 binary — see [`ftree_bench::cases::table1`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let n: usize = arg_num("--ranks", 12);
-    let mut out = BenchJson::new("table1");
-    out.topology("rank-space only (no fabric)");
-    out.param("ranks", n as u64);
-
-    println!("Table 1 reproduction: the algorithm -> CPS survey\n");
-    let mut decl = TextTable::new(vec![
-        "collective",
-        "algorithm",
-        "library",
-        "msgs",
-        "CPS",
-        "pow2",
-    ]);
-    for e in table1() {
-        let cps: Vec<&str> = e.cps.iter().map(|c| c.label()).collect();
-        decl.row(vec![
-            e.collective.label().to_string(),
-            e.algorithm.to_string(),
-            lib_label(e.library).to_string(),
-            msg_label(e.message_class).to_string(),
-            cps.join(" + "),
-            if e.pow2_only { "2" } else { "" }.to_string(),
-        ]);
-    }
-    decl.print();
-
-    let distinct = ftree_collectives::table1::distinct_cps();
-    println!(
-        "\n{} algorithms use only {} distinct CPS: {}",
-        table1().len(),
-        distinct.len(),
-        distinct
-            .iter()
-            .map(|c| c.label())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-
-    println!("\nExecutable validation at {n} ranks (traced CPS vs declared):\n");
-    let runs = run_survey(n);
-    let mut exec = TextTable::new(vec![
-        "collective",
-        "algorithm",
-        "ranks",
-        "identified CPS",
-        "match",
-    ]);
-    for run in &runs {
-        let ids: Vec<String> = run
-            .identified
-            .iter()
-            .map(|c: &Option<Cps>| c.map_or("?".to_string(), |c| c.label().to_string()))
-            .collect();
-        exec.row(vec![
-            format!("{:?}", run.collective),
-            run.algorithm.to_string(),
-            format!("{}", run.n),
-            ids.join(" + "),
-            "OK".to_string(),
-        ]);
-    }
-    let verified = verify_survey(&runs);
-    exec.print();
-    println!(
-        "\n{verified}/{} executed algorithms match their declared CPS.",
-        runs.len()
-    );
-
-    out.metric("survey_rows", table1().len());
-    out.metric("distinct_cps", distinct.len());
-    out.metric("executed", runs.len());
-    out.metric("verified", verified);
-    print_phase_report(&rec);
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::table1::Table1);
 }

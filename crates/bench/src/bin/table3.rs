@@ -1,140 +1,4 @@
-//! Table 3 — proposed routing + node ordering gives HSD = 1 on fully and
-//! partially populated 2- and 3-level RLFTs; random ranking congests.
-//!
-//! Rows: (topology × population). "Cont.−X" = X randomly selected nodes
-//! excluded from the communication; the sequence stays defined over port
-//! positions (silent excluded ports), as the paper prescribes for partial
-//! trees. Columns: avg max HSD for the proposed configuration (Shift and
-//! the Sec. VI topology-aware recursive doubling), the random-ranking
-//! baseline, and the improvement factor.
-//!
-//! Run: `cargo run --release -p ftree-bench --bin table3 [--stages N] [--rand-seeds N]`
-
-use ftree_analysis::{sequence_hsd, SequenceOptions};
-use ftree_bench::{
-    arg_num, exclusion_set, export_observability, init_obs, paper_topologies, print_phase_report,
-    surviving_ports, BenchJson, TextTable,
-};
-use ftree_collectives::{Cps, PortSpace, TopoAwareRd};
-use ftree_core::{NodeOrder, RoutingAlgo};
-use ftree_topology::Topology;
-
+//! Table 3 binary — see [`ftree_bench::cases::table3`] for the experiment.
 fn main() {
-    let rec = init_obs();
-    let max_stages: usize = arg_num("--stages", 64);
-    let rand_seeds: u64 = arg_num("--rand-seeds", 5);
-    let mut out = BenchJson::new("table3");
-    out.param("stages", max_stages as u64);
-    out.param("rand_seeds", rand_seeds);
-    let opts = SequenceOptions { max_stages };
-
-    println!(
-        "Table 3 reproduction: avg max HSD (1.00 = congestion-free), Shift sampled to \
-         {max_stages} stages, random ranking averaged over {rand_seeds} seeds\n"
-    );
-
-    let mut table = TextTable::new(vec![
-        "topology",
-        "population",
-        "Shift HSD (proposed)",
-        "TopoAwareRD HSD",
-        "Random Ranking Avg HSD",
-        "improvement",
-    ]);
-
-    let mut rows: Vec<serde_json::Value> = Vec::new();
-    let mut last_topo = None;
-    for (name, spec) in paper_topologies() {
-        let topo = Topology::build(spec);
-        let rt = RoutingAlgo::DModK.route(&topo);
-        let n_total = topo.num_hosts() as u32;
-        let populations: Vec<(String, Vec<u32>)> = vec![
-            ("Full".to_string(), (0..n_total).collect()),
-            (
-                "Cont.-1".to_string(),
-                surviving_ports(&exclusion_set(11, 1, n_total), n_total),
-            ),
-            (
-                format!("Cont.-{}", n_total / 18),
-                surviving_ports(
-                    &exclusion_set(12, (n_total / 18) as usize, n_total),
-                    n_total,
-                ),
-            ),
-            (
-                format!("Cont.-{}", n_total / 9),
-                surviving_ports(&exclusion_set(13, (n_total / 9) as usize, n_total), n_total),
-            ),
-        ];
-
-        for (pop_name, ports) in populations {
-            let full = ports.len() == n_total as usize;
-            let proposed_order = NodeOrder::topology_subset(ports.clone());
-            let shift = PortSpace::new(Cps::Shift, n_total, ports.clone());
-            let n_ranks = shift.num_ranks();
-
-            let proposed = sequence_hsd(&topo, &rt, &proposed_order, &shift, opts)
-                .expect("routable")
-                .avg_max;
-
-            // Topology-aware recursive doubling is defined for the full
-            // machine; partial rows use the Shift column (paper Sec. VI
-            // notes the partial construction follows leaf occupancy).
-            let topo_rd = if full {
-                let seq = TopoAwareRd::new(topo.spec().ms().to_vec());
-                format!(
-                    "{:.2}",
-                    sequence_hsd(&topo, &rt, &proposed_order, &seq, opts)
-                        .expect("routable")
-                        .avg_max
-                )
-            } else {
-                "-".to_string()
-            };
-
-            // Random ranking: the realistic baseline — an n'-rank job placed
-            // randomly, running the ordinary rank-space Shift.
-            let mut acc = 0.0;
-            for seed in 1..=rand_seeds {
-                let order = NodeOrder::random_subset(ports.clone(), seed);
-                acc += sequence_hsd(&topo, &rt, &order, &Cps::Shift, opts)
-                    .expect("routable")
-                    .avg_max;
-            }
-            let random = acc / rand_seeds as f64;
-
-            table.row(vec![
-                name.to_string(),
-                format!("{pop_name} ({n_ranks} ranks)"),
-                format!("{proposed:.2}"),
-                topo_rd.clone(),
-                format!("{random:.2}"),
-                format!("x{:.1}", random / proposed),
-            ]);
-            rows.push(serde_json::json!({
-                "topology": name,
-                "population": pop_name,
-                "ranks": n_ranks,
-                "proposed_shift_hsd": proposed,
-                "topo_rd_hsd": topo_rd,
-                "random_avg_hsd": random,
-                "improvement": random / proposed,
-            }));
-        }
-        last_topo = Some(topo);
-        eprintln!("  done {name}");
-    }
-    table.print();
-    println!(
-        "\nPaper shape: proposed column = 1.00 everywhere (congestion-free); \
-         random ranking up to ~5x worse at 1944 nodes."
-    );
-
-    out.topology("paper roster: 128 / 324 / 1728 / 1944");
-    out.metric("hsd_rows", rows);
-    print_phase_report(&rec);
-    if let Some(topo) = &last_topo {
-        export_observability(topo, &rec);
-    }
-    out.write();
+    ftree_bench::run_standalone(&ftree_bench::cases::table3::Table3);
 }

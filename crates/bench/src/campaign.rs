@@ -1,0 +1,868 @@
+//! Campaign orchestrator: one build, thousands of runs.
+//!
+//! A [`CampaignSpec`] is a typed parameter grid — topologies × routing
+//! engines × fault budgets × CPS × node orders — expanded into a
+//! deterministic list of [`Cell`]s, each with its own SplitMix64-derived
+//! seed. [`run_campaign`] groups cells by fabric, builds each immutable
+//! `Topology`/`RoutingTable`/`PathArena` exactly once, shares them
+//! read-only across every cell of that fabric (via
+//! [`SharedRouteCache`]), runs the cells in parallel with the existing
+//! `parallel_map` pool, and streams one NDJSON row per completed cell.
+//!
+//! Three properties the tests pin:
+//!
+//! * **Determinism** — a row's bytes are a pure function of the spec:
+//!   no wall-clock, no thread ids, field order fixed by construction.
+//!   The same spec produces byte-identical rows whatever the worker
+//!   count or completion order.
+//! * **Resume after kill** — rows already on disk (matching the spec's
+//!   fingerprint) are skipped on rerun; a truncated trailing line from a
+//!   kill is repaired away; a fingerprint mismatch refuses to mix grids.
+//! * **Shared == serial** — [`run_serial_rebuild`] re-runs the grid the
+//!   way the standalone binaries would (rebuilding every fabric per
+//!   cell); its rows must be bit-identical to the shared-build rows,
+//!   which is the evidence that sharing is purely a speed-up.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use ftree_analysis::{
+    degraded_sequence_hsd, parallel_map, sequence_hsd_cached, RouteCache, SequenceOptions,
+    SharedRouteCache,
+};
+use ftree_collectives::Cps;
+use ftree_core::NodeOrder;
+use ftree_obs::Recorder;
+use ftree_topology::failures::LinkFailures;
+use ftree_topology::rlft::catalog;
+use ftree_topology::{PgftSpec, RouteError, RoutingTable, Topology};
+use serde::Serialize;
+use serde_json::{Map, Value};
+
+/// SplitMix64 finalizer — the repo's standard seed-derivation mixer.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over raw bytes — stable fingerprints for specs and row sets.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The typed parameter grid. Serialized form is the on-disk spec format
+/// (`campaign --spec grid.json`, parsed by [`CampaignSpec::from_json`]
+/// with absent fields defaulting and unknown fields rejected); the
+/// struct's canonical JSON is also what the fingerprint hashes, so any
+/// parameter change invalidates resume.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignSpec {
+    /// Campaign name — the `bench` field of the aggregate document.
+    pub name: String,
+    /// Master seed: every cell and fault-pattern seed derives from it.
+    pub seed: u64,
+    /// Catalog topologies (`nodes_324`, `fig4_pgft_16`, ...).
+    pub topologies: Vec<String>,
+    /// Routing engines: `dmodk`, `dmodc`, `minhop`.
+    pub engines: Vec<String>,
+    /// CPS names: `shift`, `ring`, `recdbl`, `rechalv`, `binomial`,
+    /// `dissemination`, `tournament`, `neighbor`.
+    pub cps: Vec<String>,
+    /// Node orders: `topology` (one instance) and/or `random`
+    /// (`seeds_per_order` instances, distinct derived seeds).
+    pub orders: Vec<String>,
+    /// Random-order instances per (topology, engine, faults, cps) combo.
+    pub seeds_per_order: u64,
+    /// Stage-sampling bound forwarded to `SequenceOptions`.
+    pub max_stages: usize,
+    /// Failed switch-to-switch cable budgets; `0` = healthy fabric.
+    pub fault_cables: Vec<usize>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            name: "simcampaign".to_string(),
+            seed: 42,
+            topologies: vec!["nodes_324".to_string()],
+            engines: vec!["dmodk".to_string(), "dmodc".to_string()],
+            cps: vec![
+                "shift".to_string(),
+                "recdbl".to_string(),
+                "ring".to_string(),
+                "binomial".to_string(),
+            ],
+            orders: vec!["topology".to_string(), "random".to_string()],
+            seeds_per_order: 5,
+            max_stages: 16,
+            fault_cables: vec![0, 2],
+        }
+    }
+}
+
+fn spec_str(key: &str, v: &Value) -> Result<String, CampaignError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| CampaignError::InvalidSpec(format!("{key} must be a string")))
+}
+
+fn spec_u64(key: &str, v: &Value) -> Result<u64, CampaignError> {
+    v.as_u64()
+        .ok_or_else(|| CampaignError::InvalidSpec(format!("{key} must be a non-negative integer")))
+}
+
+fn spec_str_list(key: &str, v: &Value) -> Result<Vec<String>, CampaignError> {
+    v.as_array()
+        .map(|items| {
+            items
+                .iter()
+                .map(|e| spec_str(key, e))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .unwrap_or_else(|| {
+            Err(CampaignError::InvalidSpec(format!(
+                "{key} must be an array of strings"
+            )))
+        })
+}
+
+fn spec_usize_list(key: &str, v: &Value) -> Result<Vec<usize>, CampaignError> {
+    v.as_array()
+        .map(|items| {
+            items
+                .iter()
+                .map(|e| spec_u64(key, e).map(|n| n as usize))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .unwrap_or_else(|| {
+            Err(CampaignError::InvalidSpec(format!(
+                "{key} must be an array of integers"
+            )))
+        })
+}
+
+impl CampaignSpec {
+    /// Parses a spec document: absent fields inherit the defaults, unknown
+    /// fields are rejected (a typo must not silently drop a grid axis).
+    pub fn from_json(v: &Value) -> Result<Self, CampaignError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| CampaignError::InvalidSpec("spec must be a JSON object".into()))?;
+        let mut spec = CampaignSpec::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "name" => spec.name = spec_str(key, val)?,
+                "seed" => spec.seed = spec_u64(key, val)?,
+                "topologies" => spec.topologies = spec_str_list(key, val)?,
+                "engines" => spec.engines = spec_str_list(key, val)?,
+                "cps" => spec.cps = spec_str_list(key, val)?,
+                "orders" => spec.orders = spec_str_list(key, val)?,
+                "seeds_per_order" => spec.seeds_per_order = spec_u64(key, val)?,
+                "max_stages" => spec.max_stages = spec_u64(key, val)? as usize,
+                "fault_cables" => spec.fault_cables = spec_usize_list(key, val)?,
+                other => return Err(CampaignError::UnknownName(format!("spec field {other}"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// [`CampaignSpec::from_json`] over raw text.
+    pub fn from_json_str(body: &str) -> Result<Self, CampaignError> {
+        let v: Value = serde_json::from_str(body)
+            .map_err(|e| CampaignError::InvalidSpec(format!("spec is not valid JSON: {e:?}")))?;
+        Self::from_json(&v)
+    }
+}
+
+/// Errors the orchestrator reports instead of panicking: they carry enough
+/// context to tell a spec typo from a mid-run I/O failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Rows on disk belong to a different spec.
+    FingerprintMismatch {
+        expected: String,
+        found: String,
+    },
+    /// An unresolvable topology/engine/cps/order name in the spec.
+    UnknownName(String),
+    /// A structurally empty or inconsistent grid.
+    InvalidSpec(String),
+    /// Routing failed while building a shared fabric.
+    Route(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "rows file belongs to a different spec (fingerprint {found}, \
+                 expected {expected}); pass --fresh to discard it"
+            ),
+            CampaignError::UnknownName(n) => write!(f, "unknown name in spec: {n}"),
+            CampaignError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+            CampaignError::Route(m) => write!(f, "routing failed: {m}"),
+            CampaignError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Resolves a catalog topology name.
+pub fn resolve_topology(name: &str) -> Result<PgftSpec, CampaignError> {
+    match name {
+        "fig4_pgft_16" => Ok(catalog::fig4_pgft_16()),
+        "nodes_128" => Ok(catalog::nodes_128()),
+        "nodes_324" => Ok(catalog::nodes_324()),
+        "nodes_648" => Ok(catalog::nodes_648()),
+        "nodes_1728" => Ok(catalog::nodes_1728()),
+        "nodes_1944" => Ok(catalog::nodes_1944()),
+        other => Err(CampaignError::UnknownName(format!("topology {other}"))),
+    }
+}
+
+/// Resolves a routing-engine name.
+pub fn resolve_engine(name: &str) -> Result<ftree_core::RoutingAlgo, CampaignError> {
+    match name {
+        "dmodk" => Ok(ftree_core::RoutingAlgo::DModK),
+        "dmodc" => Ok(ftree_core::RoutingAlgo::Dmodc),
+        "minhop" => Ok(ftree_core::RoutingAlgo::MinHopGreedy),
+        other => Err(CampaignError::UnknownName(format!("engine {other}"))),
+    }
+}
+
+/// Resolves a CPS name.
+pub fn resolve_cps(name: &str) -> Result<Cps, CampaignError> {
+    match name {
+        "shift" => Ok(Cps::Shift),
+        "ring" => Ok(Cps::Ring),
+        "recdbl" => Ok(Cps::RecursiveDoubling),
+        "rechalv" => Ok(Cps::RecursiveHalving),
+        "binomial" => Ok(Cps::Binomial),
+        "dissemination" => Ok(Cps::Dissemination),
+        "tournament" => Ok(Cps::Tournament),
+        "neighbor" => Ok(Cps::NeighborExchange),
+        other => Err(CampaignError::UnknownName(format!("cps {other}"))),
+    }
+}
+
+/// One grid point: a fully determined experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in the expanded grid — the resume key.
+    pub index: usize,
+    pub topology: String,
+    pub engine: String,
+    pub fault_cables: usize,
+    pub cps: String,
+    pub order: String,
+    /// Instance number within the order family (always 0 for `topology`).
+    pub order_idx: u64,
+    /// Derived seed: `mix64(spec.seed ^ fnv1a64(coords_key))`.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Human-readable coordinates; also the recorder label and the input
+    /// to the per-cell seed derivation.
+    pub fn coords_key(&self) -> String {
+        format!(
+            "{}/{}/f{}/{}/{}/{}",
+            self.topology, self.engine, self.fault_cables, self.cps, self.order, self.order_idx
+        )
+    }
+}
+
+impl CampaignSpec {
+    /// Checks every name resolves and the grid is non-degenerate, before
+    /// any fabric is built.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.topologies.is_empty()
+            || self.engines.is_empty()
+            || self.cps.is_empty()
+            || self.orders.is_empty()
+            || self.fault_cables.is_empty()
+        {
+            return Err(CampaignError::InvalidSpec(
+                "every grid axis needs at least one entry".into(),
+            ));
+        }
+        for t in &self.topologies {
+            resolve_topology(t)?;
+        }
+        for e in &self.engines {
+            resolve_engine(e)?;
+        }
+        for c in &self.cps {
+            resolve_cps(c)?;
+        }
+        for o in &self.orders {
+            if o != "topology" && o != "random" {
+                return Err(CampaignError::UnknownName(format!("order {o}")));
+            }
+        }
+        if self.orders.iter().any(|o| o == "random") && self.seeds_per_order == 0 {
+            return Err(CampaignError::InvalidSpec(
+                "seeds_per_order must be >= 1 when the random order is in the grid".into(),
+            ));
+        }
+        if self.max_stages == 0 {
+            return Err(CampaignError::InvalidSpec("max_stages must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The spec's identity: FNV-1a over its canonical JSON, hex-printed.
+    /// Stored in every row; resume refuses rows from a different grid.
+    pub fn fingerprint(&self) -> String {
+        let canon = serde_json::to_string(self).expect("spec serializes");
+        format!("{:016x}", fnv1a64(canon.as_bytes()))
+    }
+
+    /// Expands the grid in fixed axis order (topology, engine, faults,
+    /// cps, order, instance) — cell indices are stable for a given spec.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        for topology in &self.topologies {
+            for engine in &self.engines {
+                for &fault_cables in &self.fault_cables {
+                    for cps in &self.cps {
+                        for order in &self.orders {
+                            let instances = if order == "random" {
+                                self.seeds_per_order
+                            } else {
+                                1
+                            };
+                            for order_idx in 0..instances {
+                                let mut cell = Cell {
+                                    index: out.len(),
+                                    topology: topology.clone(),
+                                    engine: engine.clone(),
+                                    fault_cables,
+                                    cps: cps.clone(),
+                                    order: order.clone(),
+                                    order_idx,
+                                    seed: 0,
+                                };
+                                cell.seed =
+                                    mix64(self.seed ^ fnv1a64(cell.coords_key().as_bytes()));
+                                out.push(cell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The deterministic fault pattern shared by every cell of a
+    /// `(topology, cable-budget)` pair. Only switch-to-switch cables are
+    /// failed — the campaign measures path degradation, not amputation.
+    pub fn fault_pattern(&self, topo: &Topology, topo_name: &str, cables: usize) -> LinkFailures {
+        if cables == 0 {
+            return LinkFailures::none(topo);
+        }
+        let seed = mix64(self.seed ^ fnv1a64(format!("faults/{topo_name}/{cables}").as_bytes()));
+        LinkFailures::seeded_where(topo, seed, cables, |t, l| {
+            !t.node(t.link(l).child).is_host()
+        })
+    }
+}
+
+/// Runs one cell against an already-built fabric and returns its metrics.
+/// When `shared` is given (healthy fabric, shared arena) the cell borrows
+/// a zero-copy [`RouteCache`] view; otherwise healthy cells build their
+/// own cache — the serial-rebuild comparison path.
+fn evaluate_cell(
+    cell: &Cell,
+    topo: &Topology,
+    rt: &RoutingTable,
+    shared: Option<&SharedRouteCache>,
+    max_stages: usize,
+) -> Result<Map<String, Value>, CampaignError> {
+    let order = match cell.order.as_str() {
+        "topology" => NodeOrder::topology(topo),
+        "random" => NodeOrder::random(topo, cell.seed),
+        other => return Err(CampaignError::UnknownName(format!("order {other}"))),
+    };
+    let seq = resolve_cps(&cell.cps)?;
+    let opts = SequenceOptions { max_stages };
+    let fail = |e: RouteError| CampaignError::Route(format!("cell {}: {e:?}", cell.coords_key()));
+
+    let mut m = Map::new();
+    if cell.fault_cables == 0 {
+        let view;
+        let local;
+        let cache: &RouteCache<'_> = match shared {
+            Some(s) => {
+                view = s.cache();
+                &view
+            }
+            None => {
+                local = RouteCache::new(topo, rt).map_err(fail)?;
+                &local
+            }
+        };
+        let hsd = sequence_hsd_cached(cache, &order, &seq, opts).map_err(fail)?;
+        m.insert("stages".into(), hsd.per_stage_max.len().into());
+        m.insert("avg_max_hsd".into(), hsd.avg_max.into());
+        m.insert("worst_hsd".into(), hsd.worst.into());
+        m.insert("congestion_free".into(), hsd.congestion_free.into());
+    } else {
+        let hsd = degraded_sequence_hsd(topo, rt, &order, &seq, opts).map_err(fail)?;
+        m.insert("stages".into(), hsd.stages.into());
+        m.insert("avg_max_hsd".into(), hsd.avg_max.into());
+        m.insert("worst_hsd".into(), hsd.worst.into());
+        m.insert("fully_served_stages".into(), hsd.fully_served_stages.into());
+        m.insert("unroutable_flows".into(), hsd.unroutable_flows.into());
+    }
+    Ok(m)
+}
+
+/// The NDJSON row for one completed cell. Field order is fixed by
+/// construction, there is no wall-clock and no thread identity: the
+/// serialized bytes are a pure function of (spec, cell) — the determinism
+/// contract.
+pub fn cell_row(
+    spec: &CampaignSpec,
+    fingerprint: &str,
+    cell: &Cell,
+    metrics: Map<String, Value>,
+) -> Value {
+    serde_json::json!({
+        "campaign": spec.name,
+        "fingerprint": fingerprint,
+        "cell": cell.index,
+        "coords": {
+            "topology": cell.topology,
+            "engine": cell.engine,
+            "fault_cables": cell.fault_cables,
+            "cps": cell.cps,
+            "order": cell.order,
+            "order_idx": cell.order_idx,
+        },
+        "seed": cell.seed,
+        "metrics": metrics,
+    })
+}
+
+/// Evaluates `cell` under a fresh scoped [`Recorder`] labeled with its
+/// coordinates (per-cell observability attribution, worker-thread safe)
+/// and returns the serialized NDJSON line.
+fn run_cell(
+    spec: &CampaignSpec,
+    fingerprint: &str,
+    cell: &Cell,
+    topo: &Topology,
+    rt: &RoutingTable,
+    shared: Option<&SharedRouteCache>,
+) -> Result<String, CampaignError> {
+    let rec = Arc::new(Recorder::new().with_label(cell.coords_key()));
+    let metrics = ftree_obs::with_scoped(rec, || {
+        evaluate_cell(cell, topo, rt, shared, spec.max_stages)
+    })?;
+    let row = cell_row(spec, fingerprint, cell, metrics);
+    Ok(serde_json::to_string(&row).expect("row serializes"))
+}
+
+/// What `load_resume` found on disk.
+#[derive(Debug)]
+pub struct ResumeState {
+    /// Cell indices whose rows are already complete.
+    pub done: HashSet<usize>,
+    /// The valid row lines, in file order.
+    pub valid_lines: Vec<String>,
+    /// True when the file held garbage (truncated kill tail, duplicate
+    /// cells) that should be rewritten away before appending.
+    pub repaired: bool,
+}
+
+/// Scans an existing rows file. Unparseable lines (the half-written tail
+/// a kill leaves behind) are dropped; rows carrying a different spec
+/// fingerprint are a hard error — resuming would silently mix grids.
+pub fn load_resume(path: &Path, fingerprint: &str) -> Result<ResumeState, CampaignError> {
+    let mut state = ResumeState {
+        done: HashSet::new(),
+        valid_lines: Vec::new(),
+        repaired: false,
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(state),
+        Err(e) => return Err(e.into()),
+    };
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(_) => {
+                state.repaired = true;
+                continue;
+            }
+        };
+        let found = row["fingerprint"].as_str().unwrap_or("");
+        if found != fingerprint {
+            return Err(CampaignError::FingerprintMismatch {
+                expected: fingerprint.to_string(),
+                found: found.to_string(),
+            });
+        }
+        let Some(cell) = row["cell"].as_u64() else {
+            state.repaired = true;
+            continue;
+        };
+        if !state.done.insert(cell as usize) {
+            // Duplicate row (two appends of the same cell): keep the first.
+            state.repaired = true;
+            continue;
+        }
+        state.valid_lines.push(line);
+    }
+    Ok(state)
+}
+
+/// Raw valid row lines currently on disk (absent file = empty).
+pub fn read_rows(path: &Path) -> Result<Vec<String>, CampaignError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut out = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if !line.trim().is_empty() && serde_json::from_str::<Value>(&line).is_ok() {
+            out.push(line);
+        }
+    }
+    Ok(out)
+}
+
+/// Sorts row lines by cell index — completion order is nondeterministic
+/// under parallelism, so comparisons and hashes always go through this.
+pub fn sorted_rows(lines: &[String]) -> Vec<String> {
+    let mut keyed: Vec<(usize, &String)> = lines
+        .iter()
+        .map(|l| {
+            let idx = serde_json::from_str::<Value>(l)
+                .ok()
+                .and_then(|v| v["cell"].as_u64())
+                .unwrap_or(u64::MAX) as usize;
+            (idx, l)
+        })
+        .collect();
+    keyed.sort_by_key(|(idx, _)| *idx);
+    keyed.into_iter().map(|(_, l)| l.clone()).collect()
+}
+
+/// FNV-1a over the index-sorted row lines — the campaign's content hash,
+/// equal across reruns, kill/resume merges and serial rebuilds.
+pub fn rows_hash(lines: &[String]) -> String {
+    let joined = sorted_rows(lines).join("\n");
+    format!("{:016x}", fnv1a64(joined.as_bytes()))
+}
+
+/// What a campaign run did (build economics included — the aggregate
+/// reports how much work sharing absorbed).
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct CampaignOutcome {
+    pub cells_total: usize,
+    pub executed: usize,
+    pub skipped: usize,
+    pub topo_builds: usize,
+    pub rt_builds: usize,
+    pub arena_builds: usize,
+}
+
+/// Runs (or resumes) the campaign, streaming one NDJSON row per completed
+/// cell to `rows_path`. Each topology is built once; each
+/// `(engine, fault-budget)` routing once; each healthy routing gets one
+/// shared `PathArena` used concurrently by all its cells.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    rows_path: &Path,
+    fresh: bool,
+) -> Result<CampaignOutcome, CampaignError> {
+    spec.validate()?;
+    let fingerprint = spec.fingerprint();
+    if fresh && rows_path.exists() {
+        std::fs::remove_file(rows_path)?;
+    }
+    let resume = load_resume(rows_path, &fingerprint)?;
+    if let Some(dir) = rows_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    if resume.repaired {
+        // Rewrite without the kill-truncated tail so the merged file ends
+        // up exactly one clean line per cell.
+        let mut f = File::create(rows_path)?;
+        for line in &resume.valid_lines {
+            writeln!(f, "{line}")?;
+        }
+        f.sync_all()?;
+    }
+
+    let cells = spec.cells();
+    let todo: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| !resume.done.contains(&c.index))
+        .collect();
+    let mut outcome = CampaignOutcome {
+        cells_total: cells.len(),
+        executed: todo.len(),
+        skipped: cells.len() - todo.len(),
+        ..Default::default()
+    };
+    if todo.is_empty() {
+        return Ok(outcome);
+    }
+
+    let sink = Mutex::new(
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(rows_path)?,
+    );
+    for topo_name in &spec.topologies {
+        let topo_cells: Vec<&Cell> = todo
+            .iter()
+            .filter(|c| &c.topology == topo_name)
+            .copied()
+            .collect();
+        if topo_cells.is_empty() {
+            continue;
+        }
+        let topo = Arc::new(Topology::build(resolve_topology(topo_name)?));
+        outcome.topo_builds += 1;
+        for engine_name in &spec.engines {
+            for &cables in &spec.fault_cables {
+                let group: Vec<&Cell> = topo_cells
+                    .iter()
+                    .filter(|c| &c.engine == engine_name && c.fault_cables == cables)
+                    .copied()
+                    .collect();
+                if group.is_empty() {
+                    continue;
+                }
+                let failures = spec.fault_pattern(&topo, topo_name, cables);
+                let rt = Arc::new(
+                    resolve_engine(engine_name)?
+                        .engine()
+                        .route(&topo, &failures)
+                        .map_err(|e| {
+                            CampaignError::Route(format!(
+                                "{topo_name}/{engine_name}/f{cables}: {e:?}"
+                            ))
+                        })?,
+                );
+                outcome.rt_builds += 1;
+                let shared = if cables == 0 {
+                    let s = SharedRouteCache::new(topo.clone(), rt.clone()).map_err(|e| {
+                        CampaignError::Route(format!("{topo_name}/{engine_name}: {e:?}"))
+                    })?;
+                    if s.is_cached() {
+                        outcome.arena_builds += 1;
+                    }
+                    Some(s)
+                } else {
+                    None
+                };
+                let results: Vec<Result<(), CampaignError>> = parallel_map(&group, |cell| {
+                    let line = run_cell(spec, &fingerprint, cell, &topo, &rt, shared.as_ref())?;
+                    let mut f = sink.lock().unwrap();
+                    writeln!(f, "{line}")?;
+                    f.flush()?;
+                    Ok(())
+                });
+                for r in results {
+                    r?;
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// The standalone-equivalent baseline: every cell rebuilds its own
+/// topology, routing and (for healthy cells) path cache from scratch,
+/// serially — exactly what running one binary per cell would cost. Returns
+/// the rows in cell order; they must be bit-identical to the shared run's.
+pub fn run_serial_rebuild(spec: &CampaignSpec) -> Result<Vec<String>, CampaignError> {
+    spec.validate()?;
+    let fingerprint = spec.fingerprint();
+    let mut lines = Vec::new();
+    for cell in spec.cells() {
+        let topo = Topology::build(resolve_topology(&cell.topology)?);
+        let failures = spec.fault_pattern(&topo, &cell.topology, cell.fault_cables);
+        let rt = resolve_engine(&cell.engine)?
+            .engine()
+            .route(&topo, &failures)
+            .map_err(|e| CampaignError::Route(format!("cell {}: {e:?}", cell.coords_key())))?;
+        lines.push(run_cell(spec, &fingerprint, &cell, &topo, &rt, None)?);
+    }
+    Ok(lines)
+}
+
+/// Groups the grid by topology for progress reporting.
+pub fn cells_by_topology(cells: &[Cell]) -> HashMap<&str, usize> {
+    let mut m = HashMap::new();
+    for c in cells {
+        *m.entry(c.topology.as_str()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_shape_and_seeds() {
+        let spec = CampaignSpec::default();
+        let cells = spec.cells();
+        // 1 topo × 2 engines × 2 fault budgets × 4 cps × (1 + 5) orders.
+        assert_eq!(cells.len(), 96);
+        // Indices are positional and dense.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seeds are distinct (SplitMix64 over distinct coord keys).
+        let seeds: HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), cells.len());
+        // Expansion is deterministic.
+        assert_eq!(cells, spec.cells());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = CampaignSpec::default();
+        let fp = base.fingerprint();
+        assert_eq!(fp, base.fingerprint());
+        let mut changed = base.clone();
+        changed.seed += 1;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = base.clone();
+        changed.max_stages += 1;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = base;
+        changed.cps.pop();
+        assert_ne!(fp, changed.fingerprint());
+    }
+
+    #[test]
+    fn spec_round_trips_and_rejects_unknowns() {
+        let spec = CampaignSpec::default();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = CampaignSpec::from_json_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Partial specs inherit defaults.
+        let partial = CampaignSpec::from_json_str(r#"{"seed": 7}"#).unwrap();
+        assert_eq!(partial.seed, 7);
+        assert_eq!(partial.name, "simcampaign");
+        assert_eq!(partial.fingerprint().len(), 16);
+        // Typos are errors, not silently ignored axes.
+        assert!(matches!(
+            CampaignSpec::from_json_str(r#"{"sed": 7}"#),
+            Err(CampaignError::UnknownName(_))
+        ));
+        assert!(CampaignSpec::from_json_str(r#"{"seed": "x"}"#).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_names() {
+        let spec = CampaignSpec {
+            engines: vec!["updown".to_string()],
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::UnknownName(_))
+        ));
+        let spec = CampaignSpec {
+            orders: vec!["random".to_string()],
+            seeds_per_order: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidSpec(_))
+        ));
+        assert!(CampaignSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn row_bytes_are_deterministic_and_sorted() {
+        let spec = CampaignSpec::default();
+        let fp = spec.fingerprint();
+        let cell = &spec.cells()[0];
+        let mut m = Map::new();
+        m.insert("avg_max_hsd".into(), 1.0.into());
+        let a = serde_json::to_string(&cell_row(&spec, &fp, cell, m.clone())).unwrap();
+        let b = serde_json::to_string(&cell_row(&spec, &fp, cell, m)).unwrap();
+        assert_eq!(a, b);
+        // Field order is fixed by the json! literal — byte-stable layout.
+        assert!(a.find("\"campaign\"").unwrap() < a.find("\"cell\"").unwrap());
+        assert!(a.find("\"cell\"").unwrap() < a.find("\"coords\"").unwrap());
+        assert!(!a.contains("wall"), "rows must not embed wall-clock");
+    }
+
+    #[test]
+    fn sorted_rows_and_hash_ignore_completion_order() {
+        let mk = |i: usize| format!("{{\"cell\":{i},\"v\":{i}}}");
+        let fwd = vec![mk(0), mk(1), mk(2)];
+        let rev = vec![mk(2), mk(0), mk(1)];
+        assert_eq!(sorted_rows(&fwd), sorted_rows(&rev));
+        assert_eq!(rows_hash(&fwd), rows_hash(&rev));
+        assert_ne!(rows_hash(&fwd), rows_hash(&fwd[..2]));
+    }
+
+    #[test]
+    fn resume_skips_valid_drops_garbage_refuses_foreign() {
+        let dir =
+            std::env::temp_dir().join(format!("ftree_campaign_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.ndjson");
+        let fp = "aaaaaaaaaaaaaaaa";
+        let row =
+            |cell: usize| format!("{{\"cell\":{cell},\"fingerprint\":\"{fp}\",\"metrics\":{{}}}}");
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n{}\n{{\"cell\":3,\"fing", row(0), row(2), row(2)),
+        )
+        .unwrap();
+        let state = load_resume(&path, fp).unwrap();
+        assert_eq!(state.done, HashSet::from([0, 2]));
+        assert_eq!(state.valid_lines.len(), 2);
+        assert!(
+            state.repaired,
+            "duplicate + truncated tail must flag repair"
+        );
+        // A different fingerprint refuses instead of mixing grids.
+        let err = load_resume(&path, "bbbbbbbbbbbbbbbb").unwrap_err();
+        assert!(matches!(err, CampaignError::FingerprintMismatch { .. }));
+        std::fs::remove_file(&path).unwrap();
+        let empty = load_resume(&path, fp).unwrap();
+        assert!(empty.done.is_empty() && !empty.repaired);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 5 — PGFT nodes, ports and their connection rule.
+//!
+//! Demonstrates the paper's port-numbering rule on a small 3-level PGFT
+//! with parallel ports: two nodes whose digit vectors agree everywhere but
+//! at the connecting level are cabled by `p` parallel links; the `k`-th
+//! link joins up-port `b + k*w` to down-port `a + k*m`.
+
+use ftree_topology::{io, PgftSpec, Topology};
+
+use super::outln;
+use crate::{BenchCase, BenchOutput, CaseCtx, TextTable};
+
+/// The Figure 5 case.
+pub struct Fig5;
+
+impl BenchCase for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn run(&self, ctx: &mut CaseCtx<'_>) -> BenchOutput {
+        let mut out = BenchOutput::new("fig5");
+        // A small PGFT with non-trivial w and p at the top level.
+        let topo = ctx.fabrics.topology("fig5_pgft", || {
+            let spec = PgftSpec::from_slices(&[2, 2, 2], &[1, 2, 2], &[1, 1, 2]).unwrap();
+            Topology::build(spec)
+        });
+        out.topology(topo.spec().to_string());
+
+        outln!(
+            ctx,
+            "Figure 5 reproduction: connection rule of {}\n",
+            topo.spec()
+        );
+
+        // Show the cabling between one level-2 node and its level-3 parents.
+        let child = topo.node_at(2, 0).unwrap();
+        let c = topo.node(child);
+        outln!(
+            ctx,
+            "level-2 node {} (digits {:?}) has {} up-going ports:",
+            topo.node_name(child),
+            c.digits,
+            c.up.len()
+        );
+        let mut table = TextTable::new(vec![
+            "up-port q",
+            "parent",
+            "parent digits",
+            "parent down-port r",
+            "parallel index k",
+        ]);
+        let w = topo.spec().w(2);
+        for (q, pp) in c.up.iter().enumerate() {
+            let parent = topo.node(pp.peer);
+            table.row(vec![
+                format!("{q}"),
+                topo.node_name(pp.peer),
+                format!("{:?}", parent.digits),
+                format!("{}", pp.peer_port),
+                format!("{}", q as u32 / w),
+            ]);
+        }
+        ctx.print_table(&table);
+
+        outln!(ctx, "\nFull cable list ({} links):", topo.num_links());
+        let _ = std::io::Write::write_all(ctx.out, io::write_text(&topo).as_bytes());
+
+        out.metric("hosts", topo.num_hosts());
+        out.metric("links", topo.num_links());
+        out.metric("level2_up_ports", topo.node(child).up.len());
+        ctx.export_observability(&topo);
+        out
+    }
+}

@@ -1,0 +1,43 @@
+//! [`BenchCase`](crate::BenchCase) implementations of the paper experiments.
+//!
+//! Each module holds the logic that used to live in the binary of the same
+//! name; the binaries are now one-line shims over
+//! [`run_standalone`](crate::run_standalone) and the same cases run batched
+//! under `campaign --cases`, where a shared
+//! [`FabricCache`](crate::FabricCache) builds each topology and routing
+//! table exactly once across the whole batch.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod routing_quality;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// `writeln!` into a [`CaseCtx`](crate::CaseCtx)'s text sink, ignoring I/O
+/// errors (a closed pipe must not kill an experiment).
+macro_rules! outln {
+    ($ctx:expr) => {{
+        let _ = writeln!($ctx.out);
+    }};
+    ($ctx:expr, $($arg:tt)*) => {{
+        let _ = writeln!($ctx.out, $($arg)*);
+    }};
+}
+pub(crate) use outln;
+
+/// Fabric-cache key for a paper-roster topology (host count → the catalog
+/// constructor name, so batch mode shares builds with grid cells).
+pub(crate) fn catalog_key(hosts: usize) -> &'static str {
+    match hosts {
+        16 => "fig4_pgft_16",
+        128 => "nodes_128",
+        324 => "nodes_324",
+        1728 => "nodes_1728",
+        1944 => "nodes_1944",
+        _ => "custom",
+    }
+}

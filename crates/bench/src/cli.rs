@@ -1,0 +1,492 @@
+//! Unified bench CLI + case API.
+//!
+//! Every experiment in this repo used to be a standalone `main` with its own
+//! copy of flag scanning and JSON writing. This module replaces that with
+//! three pieces:
+//!
+//! * [`BenchArgs`] — typed view over an explicit argument vector (not the
+//!   process environment), so the same parsing serves a standalone binary
+//!   (`BenchArgs::from_env`) and a campaign cell (`BenchArgs::from_slice`).
+//!   The shared flags every bench honors: `--json-out`, `--trace-out`,
+//!   `--events-out`, `--csv`, `--threads`.
+//! * [`BenchOutput`] — the one JSON-schema emitter
+//!   (`{bench, topology, params, metrics, obs_metrics, wall_ms}`), plus a
+//!   write-before-fail gate mechanism so acceptance asserts never eat the
+//!   evidence they are judging.
+//! * [`BenchCase`] — experiment logic as a value: `run(&mut CaseCtx)`
+//!   instead of `fn main()`. A case runs identically as its own binary
+//!   (via [`run_standalone`]), as one entry of a `campaign --cases` batch
+//!   (sharing a [`FabricCache`] so topologies/routings build once), or as
+//!   material for future grid cells.
+//!
+//! The [`registry`] lists every migrated case; binaries are one-line shims
+//! over it.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ftree_obs::Recorder;
+use ftree_topology::{RoutingTable, Topology};
+use serde_json::{Map, Value};
+
+/// Typed view over an argument vector. Parsing is positional-free: flags
+/// (`--csv`) and `--key value` pairs, scanned left to right.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    argv: Vec<String>,
+}
+
+impl BenchArgs {
+    /// The process arguments (without `argv[0]`).
+    pub fn from_env() -> Self {
+        Self {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// An explicit argument vector — how campaign cells and tests invoke
+    /// cases without touching the process environment.
+    pub fn from_slice<S: AsRef<str>>(args: &[S]) -> Self {
+        Self {
+            argv: args.iter().map(|a| a.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// The raw argument vector.
+    pub fn raw(&self) -> &[String] {
+        &self.argv
+    }
+
+    /// True when bare `flag` (e.g. `--full`) is present.
+    pub fn flag(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    /// Value of `--key value`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            if a == key {
+                return it.next().map(String::as_str);
+            }
+        }
+        None
+    }
+
+    /// Parsed `--key value` with default on absence or parse failure.
+    pub fn num<T: FromStr>(&self, key: &str, default: T) -> T {
+        self.value(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Comma-separated `--key a,b,c` as a list.
+    pub fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.value(key).map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+    }
+
+    /// `--json-out <path>`: where the [`BenchOutput`] document goes.
+    pub fn json_out(&self) -> Option<&str> {
+        self.value("--json-out")
+    }
+
+    /// `--trace-out <path>`: Chrome trace-event JSON destination.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.value("--trace-out")
+    }
+
+    /// `--events-out <path>`: raw NDJSON event-stream destination.
+    pub fn events_out(&self) -> Option<&str> {
+        self.value("--events-out")
+    }
+
+    /// `--csv`: tables render as CSV instead of aligned text.
+    pub fn csv(&self) -> bool {
+        self.flag("--csv")
+    }
+
+    /// `--threads <n>`: worker-thread override (0/absent = one per core).
+    pub fn threads(&self) -> Option<usize> {
+        self.value("--threads").and_then(|v| v.parse().ok())
+    }
+
+    /// Applies `--threads` to the analysis-layer thread pool.
+    pub fn apply_threads(&self) {
+        if let Some(n) = self.threads() {
+            ftree_analysis::set_parallelism(n);
+        }
+    }
+
+    /// True when this invocation asked for event capture: benches attach
+    /// recorders to simulations only on demand, keeping default runs on the
+    /// zero-overhead path.
+    pub fn events_requested(&self) -> bool {
+        self.trace_out().is_some() || self.events_out().is_some()
+    }
+}
+
+/// Machine-readable result emitter: every experiment builds one of these
+/// alongside its text tables and writes it at the end.
+///
+/// Emitted schema: `{bench, topology, params, metrics, obs_metrics,
+/// wall_ms}` — the contract checked by CI, aggregated by
+/// `run_all_experiments.sh` and ingested by `ftree-report`.
+pub struct BenchOutput {
+    bench: String,
+    topology: Value,
+    params: Map<String, Value>,
+    metrics: Map<String, Value>,
+    started: Instant,
+    gate_failure: Option<String>,
+    default_path: Option<String>,
+}
+
+impl BenchOutput {
+    /// Starts the wall clock for experiment `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            topology: Value::Null,
+            params: Map::new(),
+            metrics: Map::new(),
+            started: Instant::now(),
+            gate_failure: None,
+            default_path: None,
+        }
+    }
+
+    /// Overrides the default output path used when `--json-out` is absent
+    /// (e.g. `routing_quality` historically writes
+    /// `results/BENCH_routing_quality.json`).
+    pub fn default_out(&mut self, path: impl Into<String>) -> &mut Self {
+        self.default_path = Some(path.into());
+        self
+    }
+
+    /// The experiment name (also the default output stem).
+    pub fn bench(&self) -> &str {
+        &self.bench
+    }
+
+    /// Describes the (primary) topology under test.
+    pub fn topology(&mut self, desc: impl Into<Value>) -> &mut Self {
+        self.topology = desc.into();
+        self
+    }
+
+    /// Records one input parameter (sizes, seeds, modes).
+    pub fn param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.params.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Records one result metric.
+    pub fn metric(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.metrics.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// The recorded metrics.
+    pub fn metrics(&self) -> &Map<String, Value> {
+        &self.metrics
+    }
+
+    /// Records an acceptance-gate failure *without* aborting: the JSON is
+    /// still written (evidence first), then the harness fails the run. This
+    /// preserves the historical write-then-assert ordering of gated benches
+    /// under both standalone and campaign execution.
+    pub fn fail_gate(&mut self, msg: impl Into<String>) -> &mut Self {
+        let msg = msg.into();
+        if self.gate_failure.is_none() {
+            self.gate_failure = Some(msg);
+        }
+        self
+    }
+
+    /// The first recorded gate failure, if any.
+    pub fn gate_failure(&self) -> Option<&str> {
+        self.gate_failure.as_deref()
+    }
+
+    /// The JSON document (adds `wall_ms` measured since construction and,
+    /// when a recorder is active — thread-scoped or process-global — its
+    /// full metrics snapshot: counters, gauges and histograms with
+    /// p50/p95/p99 estimates — under `obs_metrics`).
+    pub fn render(&self) -> Value {
+        let obs_metrics = ftree_obs::global()
+            .map(|rec| serde_json::to_value(&rec.snapshot()).expect("snapshot serializes"))
+            .unwrap_or(Value::Null);
+        serde_json::json!({
+            "bench": self.bench,
+            "topology": self.topology,
+            "params": self.params,
+            "metrics": self.metrics,
+            "obs_metrics": obs_metrics,
+            "wall_ms": self.started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Writes to `args`' `--json-out` when given, `results/<bench>.json`
+    /// otherwise. Failures warn instead of panicking so a read-only working
+    /// directory never kills an experiment.
+    pub fn write_args(&self, args: &BenchArgs) {
+        let path = args
+            .json_out()
+            .or(self.default_path.as_deref())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("results/{}.json", self.bench));
+        let body = serde_json::to_string_pretty(&self.render()).expect("bench json serializes");
+        crate::write_output(&path, &(body + "\n"), "results JSON");
+    }
+
+    /// [`BenchOutput::write_args`] against the process arguments — the
+    /// compatibility path for benches not yet migrated onto [`BenchCase`].
+    pub fn write(self) {
+        self.write_args(&BenchArgs::from_env());
+    }
+}
+
+/// Memoized fabric builds shared across the cases of one process: the first
+/// request for a key builds, every later request clones the `Arc`. This is
+/// where `campaign --cases` gets its setup amortization — fig2/fig4/table1
+/// all want `fig4_pgft_16` + D-Mod-K and build it exactly once.
+#[derive(Default)]
+pub struct FabricCache {
+    topos: Mutex<HashMap<String, Arc<Topology>>>,
+    routings: Mutex<HashMap<String, Arc<RoutingTable>>>,
+    topo_builds: Mutex<u64>,
+    routing_builds: Mutex<u64>,
+}
+
+impl FabricCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The topology stored under `key`, building it on first request.
+    pub fn topology(&self, key: &str, build: impl FnOnce() -> Topology) -> Arc<Topology> {
+        let mut map = self.topos.lock().unwrap();
+        if let Some(t) = map.get(key) {
+            return t.clone();
+        }
+        let t = Arc::new(build());
+        *self.topo_builds.lock().unwrap() += 1;
+        map.insert(key.to_string(), t.clone());
+        t
+    }
+
+    /// The routing table stored under `key` (conventionally
+    /// `"<topo>/<engine>"`), building it on first request.
+    pub fn routing(&self, key: &str, build: impl FnOnce() -> RoutingTable) -> Arc<RoutingTable> {
+        let mut map = self.routings.lock().unwrap();
+        if let Some(rt) = map.get(key) {
+            return rt.clone();
+        }
+        let rt = Arc::new(build());
+        *self.routing_builds.lock().unwrap() += 1;
+        map.insert(key.to_string(), rt.clone());
+        rt
+    }
+
+    /// `(topology, routing)` build counts — how much work the cache
+    /// actually absorbed, reported by the campaign aggregate.
+    pub fn build_counts(&self) -> (u64, u64) {
+        (
+            *self.topo_builds.lock().unwrap(),
+            *self.routing_builds.lock().unwrap(),
+        )
+    }
+}
+
+/// Everything a [`BenchCase`] may touch while running. No case reads the
+/// process environment: arguments, observability and fabric reuse all flow
+/// through here, which is what makes cases callable as campaign cells.
+pub struct CaseCtx<'a> {
+    /// Parsed arguments (standalone argv or a cell's synthetic vector).
+    pub args: &'a BenchArgs,
+    /// This run's recorder (also reachable via `ftree_obs::global()` while
+    /// the case runs).
+    pub rec: Arc<Recorder>,
+    /// Text output sink (stdout standalone; may be redirected in batches).
+    pub out: &'a mut dyn Write,
+    /// Shared fabric builds (see [`FabricCache`]).
+    pub fabrics: &'a FabricCache,
+    /// True when side artifacts (SVG plots) should be written. Campaign
+    /// batches disable it unless asked, keeping cells output-pure.
+    pub artifacts: bool,
+}
+
+impl CaseCtx<'_> {
+    /// Prints `table` to the text sink, honoring `--csv`.
+    pub fn print_table(&mut self, table: &crate::TextTable) {
+        let body = if self.args.csv() {
+            table.render_csv()
+        } else {
+            table.render()
+        };
+        let _ = self.out.write_all(body.as_bytes());
+    }
+
+    /// Attaches this run's recorder to `sim` when event capture was
+    /// requested (`--trace-out`/`--events-out`), passes it through
+    /// untouched otherwise.
+    pub fn maybe_record<'s>(&self, sim: ftree_sim::PacketSim<'s>) -> ftree_sim::PacketSim<'s> {
+        if self.args.events_requested() {
+            sim.with_recorder(self.rec.clone())
+        } else {
+            sim
+        }
+    }
+
+    /// Honors `--trace-out` / `--events-out` for this run (`topo` labels
+    /// the trace's channel and fault tracks).
+    pub fn export_observability(&self, topo: &Topology) {
+        crate::export_observability_args(topo, &self.rec, self.args);
+    }
+}
+
+/// One experiment, callable from a binary shim, a `campaign --cases`
+/// batch, or anywhere else that can supply a [`CaseCtx`].
+pub trait BenchCase: Sync {
+    /// Stable case name — the binary name, the registry key and the
+    /// default `results/<name>.json` stem.
+    fn name(&self) -> &'static str;
+    /// Runs the experiment and returns its result document. Gate failures
+    /// are recorded via [`BenchOutput::fail_gate`], not panics, so results
+    /// are always written before verdicts.
+    fn run(&self, ctx: &mut CaseCtx<'_>) -> BenchOutput;
+}
+
+/// Every case migrated onto this API, in catalog order.
+pub fn registry() -> &'static [&'static dyn BenchCase] {
+    &[
+        &crate::cases::fig1::Fig1,
+        &crate::cases::fig2::Fig2,
+        &crate::cases::fig3::Fig3,
+        &crate::cases::fig4::Fig4,
+        &crate::cases::fig5::Fig5,
+        &crate::cases::table1::Table1,
+        &crate::cases::table2::Table2,
+        &crate::cases::table3::Table3,
+        &crate::cases::routing_quality::RoutingQuality,
+    ]
+}
+
+/// Looks up a registered case by [`BenchCase::name`].
+pub fn find_case(name: &str) -> Option<&'static dyn BenchCase> {
+    registry().iter().copied().find(|c| c.name() == name)
+}
+
+/// Runs `case` exactly as the pre-redesign standalone binaries did:
+/// process argv, process-global recorder, phase report on stdout, JSON to
+/// `--json-out` or the default path, then any gate failure aborts (after
+/// the evidence is on disk).
+pub fn run_standalone(case: &dyn BenchCase) {
+    let args = BenchArgs::from_env();
+    args.apply_threads();
+    let rec = crate::init_obs();
+    let fabrics = FabricCache::new();
+    let mut stdout = std::io::stdout();
+    let output = {
+        let mut ctx = CaseCtx {
+            args: &args,
+            rec: rec.clone(),
+            out: &mut stdout,
+            fabrics: &fabrics,
+            artifacts: true,
+        };
+        case.run(&mut ctx)
+    };
+    crate::print_phase_report(&rec);
+    output.write_args(&args);
+    if let Some(msg) = output.gate_failure() {
+        panic!("{}: gate failed: {msg}", case.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_from_slice() {
+        let a = BenchArgs::from_slice(&[
+            "--csv",
+            "--seed",
+            "7",
+            "--json-out",
+            "/tmp/x.json",
+            "--threads",
+            "2",
+            "--engines",
+            "dmodk, dmodc",
+        ]);
+        assert!(a.csv());
+        assert!(a.flag("--csv"));
+        assert!(!a.flag("--full"));
+        assert_eq!(a.num("--seed", 0u64), 7);
+        assert_eq!(a.num("--missing", 42u32), 42);
+        assert_eq!(a.json_out(), Some("/tmp/x.json"));
+        assert_eq!(a.threads(), Some(2));
+        assert_eq!(a.list("--engines").unwrap(), vec!["dmodk", "dmodc"]);
+        assert!(!a.events_requested());
+        assert_eq!(a.value("--seed"), Some("7"));
+    }
+
+    #[test]
+    fn output_schema_and_gate() {
+        let mut b = BenchOutput::new("unit");
+        b.topology("fig4_pgft_16");
+        b.param("bytes", 4096);
+        b.metric("normalized_bw", 0.98);
+        assert!(b.gate_failure().is_none());
+        b.fail_gate("first");
+        b.fail_gate("second (ignored)");
+        assert_eq!(b.gate_failure(), Some("first"));
+        let doc = b.render();
+        assert_eq!(doc["bench"], "unit");
+        assert_eq!(doc["topology"], "fig4_pgft_16");
+        assert_eq!(doc["params"]["bytes"], 4096);
+        assert_eq!(doc["metrics"]["normalized_bw"], 0.98);
+        assert!(doc["wall_ms"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn fabric_cache_builds_once() {
+        use ftree_topology::rlft::catalog;
+        let cache = FabricCache::new();
+        let t1 = cache.topology("fig4", || Topology::build(catalog::fig4_pgft_16()));
+        let t2 = cache.topology("fig4", || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let rt1 = cache.routing("fig4/dmodk", || {
+            use ftree_core::Router;
+            ftree_core::DModK.route_healthy(&t1)
+        });
+        let rt2 = cache.routing("fig4/dmodk", || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&rt1, &rt2));
+        assert_eq!(cache.build_counts(), (1, 1));
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate case names");
+        for n in names {
+            assert!(find_case(n).is_some());
+        }
+        assert!(find_case("nope").is_none());
+    }
+}

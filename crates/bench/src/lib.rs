@@ -7,14 +7,23 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
+pub mod campaign;
+pub mod cases;
+pub mod cli;
 pub mod report;
+
+pub use cli::{
+    find_case, registry, run_standalone, BenchArgs, BenchCase, BenchOutput, CaseCtx, FabricCache,
+};
+
+/// Former name of [`BenchOutput`], kept so benches not yet migrated onto
+/// [`BenchCase`] compile unchanged.
+pub type BenchJson = BenchOutput;
 
 use ftree_obs::Recorder;
 use ftree_topology::rlft::catalog;
 use ftree_topology::{PgftSpec, Topology};
-use serde_json::{Map, Value};
 
 /// Paper evaluation topologies by host count.
 pub fn paper_topologies() -> Vec<(&'static str, PgftSpec)> {
@@ -173,13 +182,19 @@ pub fn print_phase_report(rec: &Recorder) {
 /// `--events-out <path>` the raw NDJSON event stream. `topo` labels the
 /// trace's channel and fault tracks.
 pub fn export_observability(topo: &Topology, rec: &Recorder) {
-    if let Some(path) = arg_value("--trace-out") {
+    export_observability_args(topo, rec, &BenchArgs::from_env());
+}
+
+/// [`export_observability`] against an explicit argument set (the
+/// [`BenchCase`] path — cases never read the process environment).
+pub fn export_observability_args(topo: &Topology, rec: &Recorder, args: &BenchArgs) {
+    if let Some(path) = args.trace_out() {
         let trace = ftree_sim::export_chrome_trace(topo, rec);
         let body = serde_json::to_string_pretty(&trace).expect("trace serializes");
-        write_output(&path, &body, "Chrome trace");
+        write_output(path, &body, "Chrome trace");
     }
-    if let Some(path) = arg_value("--events-out") {
-        write_output(&path, &rec.events_ndjson(), "event NDJSON");
+    if let Some(path) = args.events_out() {
+        write_output(path, &rec.events_ndjson(), "event NDJSON");
         // Sidecar: whether the bounded ring evicted anything, so a consumer
         // can tell a complete stream from a truncated one.
         let dropped = rec.flight().dropped();
@@ -226,7 +241,7 @@ pub fn maybe_record<'a>(
     }
 }
 
-fn write_output(path: &str, body: &str, what: &str) {
+pub(crate) fn write_output(path: &str, body: &str, what: &str) {
     let p = PathBuf::from(path);
     if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
         let _ = std::fs::create_dir_all(dir);
@@ -234,78 +249,6 @@ fn write_output(path: &str, body: &str, what: &str) {
     match std::fs::write(&p, body) {
         Ok(()) => eprintln!("wrote {what} to {path}"),
         Err(e) => eprintln!("warning: could not write {what} to {path}: {e}"),
-    }
-}
-
-/// Machine-readable result emitter: every experiment binary builds one of
-/// these alongside its text tables and [`BenchJson::write`]s it at the end.
-///
-/// Emitted schema: `{bench, topology, params, metrics, wall_ms}` — the
-/// contract checked by CI and aggregated by `run_all_experiments.sh`.
-pub struct BenchJson {
-    bench: String,
-    topology: Value,
-    params: Map<String, Value>,
-    metrics: Map<String, Value>,
-    started: Instant,
-}
-
-impl BenchJson {
-    /// Starts the wall clock for experiment `bench`.
-    pub fn new(bench: &str) -> Self {
-        Self {
-            bench: bench.to_string(),
-            topology: Value::Null,
-            params: Map::new(),
-            metrics: Map::new(),
-            started: Instant::now(),
-        }
-    }
-
-    /// Describes the (primary) topology under test.
-    pub fn topology(&mut self, desc: impl Into<Value>) -> &mut Self {
-        self.topology = desc.into();
-        self
-    }
-
-    /// Records one input parameter (sizes, seeds, modes).
-    pub fn param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
-        self.params.insert(key.to_string(), value.into());
-        self
-    }
-
-    /// Records one result metric.
-    pub fn metric(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
-        self.metrics.insert(key.to_string(), value.into());
-        self
-    }
-
-    /// The JSON document (adds `wall_ms` measured since construction and,
-    /// when a global recorder is installed, its full metrics snapshot —
-    /// counters, gauges and histograms with p50/p95/p99 estimates — under
-    /// `obs_metrics`).
-    pub fn render(&self) -> Value {
-        let obs_metrics = ftree_obs::global()
-            .map(|rec| serde_json::to_value(&rec.snapshot()).expect("snapshot serializes"))
-            .unwrap_or(Value::Null);
-        serde_json::json!({
-            "bench": self.bench,
-            "topology": self.topology,
-            "params": self.params,
-            "metrics": self.metrics,
-            "obs_metrics": obs_metrics,
-            "wall_ms": self.started.elapsed().as_secs_f64() * 1e3,
-        })
-    }
-
-    /// Writes to `--json-out <path>` when given, `results/<bench>.json`
-    /// otherwise. Failures warn instead of panicking so a read-only working
-    /// directory never kills an experiment.
-    pub fn write(self) {
-        let path =
-            arg_value("--json-out").unwrap_or_else(|| format!("results/{}.json", self.bench));
-        let body = serde_json::to_string_pretty(&self.render()).expect("bench json serializes");
-        write_output(&path, &(body + "\n"), "results JSON");
     }
 }
 

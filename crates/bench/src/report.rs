@@ -312,12 +312,34 @@ pub fn render_report(
     out
 }
 
+/// The committed baseline documents the gates compare fresh runs against.
+/// Either may be absent (its gates are then skipped with a note).
+#[derive(Debug, Default, Clone)]
+pub struct Baselines {
+    /// The committed `BENCH_perf.json` document.
+    pub perf: Option<Value>,
+    /// The committed `BENCH_simcampaign.json` campaign aggregate.
+    pub campaign: Option<Value>,
+}
+
+impl Baselines {
+    /// Perf-only baselines — the pre-campaign call shape, used by tests
+    /// that exercise a single gate.
+    pub fn perf_only(doc: Option<Value>) -> Self {
+        Self {
+            perf: doc,
+            campaign: None,
+        }
+    }
+}
+
 /// Runs every regression gate over the ingested docs. Returns one message
-/// per failed gate; empty means PASS. `baseline` is the committed
-/// `BENCH_perf.json` document (when present, fresh perf runs are gated
-/// against it at [`PERF_MIN_RATIO`]).
-pub fn check_regressions(docs: &[RunDoc], baseline: Option<&Value>) -> Vec<String> {
+/// per failed gate; empty means PASS. `baselines` carries the committed
+/// `BENCH_perf.json` / `BENCH_simcampaign.json` documents (when present,
+/// fresh runs are gated against them at [`PERF_MIN_RATIO`]).
+pub fn check_regressions(docs: &[RunDoc], baselines: &Baselines) -> Vec<String> {
     let mut failures = Vec::new();
+    let baseline = baselines.perf.as_ref();
 
     // Perf gate: any perf doc other than the baseline itself must reach
     // PERF_MIN_RATIO of the committed speedup (same-machine ratio, so it
@@ -452,6 +474,60 @@ pub fn check_regressions(docs: &[RunDoc], baseline: Option<&Value>) -> Vec<Strin
         }
     }
 
+    // Campaign orchestration gate: fresh `simcampaign` aggregates carrying
+    // a `--compare` measurement must keep the shared-build speedup within
+    // PERF_MIN_RATIO of the committed baseline (a ratio of two wall times
+    // from the same machine, so it ports across runner hardware). Resumed
+    // or compare-less runs carry no speedup and are not speed-gated.
+    if let Some(base) = baselines.campaign.as_ref() {
+        let base_speedup = base
+            .get("metrics")
+            .and_then(|m| m.get("speedup_vs_serial_rebuild"))
+            .and_then(|s| s.as_f64());
+        match base_speedup {
+            None => failures.push(
+                "baseline BENCH_simcampaign.json has no metrics.speedup_vs_serial_rebuild".into(),
+            ),
+            Some(b) => {
+                for run in docs.iter().filter(|r| r.bench() == "simcampaign") {
+                    if run.doc.get("metrics") == base.get("metrics") {
+                        continue; // the committed baseline itself
+                    }
+                    let fresh = run
+                        .doc
+                        .get("metrics")
+                        .and_then(|m| m.get("speedup_vs_serial_rebuild"))
+                        .and_then(|s| s.as_f64());
+                    if let Some(f) = fresh {
+                        if f < PERF_MIN_RATIO * b {
+                            failures.push(format!(
+                                "campaign regression: fresh speedup {f:.4} < {PERF_MIN_RATIO} x baseline {b:.4} ({})",
+                                run.path.display()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Campaign determinism gate: a compare run whose shared-build rows
+    // diverged from the serial rebuild is a correctness failure regardless
+    // of throughput (same shape as the packet bit-identity gate).
+    for run in docs.iter().filter(|r| r.bench() == "simcampaign") {
+        let identical = run
+            .doc
+            .get("metrics")
+            .and_then(|m| m.get("serial_rows_identical"))
+            .and_then(|v| v.as_bool());
+        if identical == Some(false) {
+            failures.push(format!(
+                "campaign determinism violation: serial_rows_identical == false ({})",
+                run.path.display()
+            ));
+        }
+    }
+
     failures
 }
 
@@ -504,20 +580,21 @@ mod tests {
     fn synthetic_perf_regression_fails_the_gate() {
         let baseline = perf_doc(1.4249);
         let regressed = run("results/BENCH_perf_fresh.json", perf_doc(1.0));
-        let failures = check_regressions(&[regressed], Some(&baseline));
+        let failures =
+            check_regressions(&[regressed], &Baselines::perf_only(Some(baseline.clone())));
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("perf regression"), "{failures:?}");
 
         // 0.85 x 1.4249 = 1.2112: a fresh 1.3 passes.
         let ok = run("results/BENCH_perf_fresh.json", perf_doc(1.3));
-        assert!(check_regressions(&[ok], Some(&baseline)).is_empty());
+        assert!(check_regressions(&[ok], &Baselines::perf_only(Some(baseline))).is_empty());
     }
 
     #[test]
     fn baseline_itself_is_not_compared_against_itself() {
         let baseline = perf_doc(1.4249);
         let same = run("results/BENCH_perf.json", perf_doc(1.4249));
-        assert!(check_regressions(&[same], Some(&baseline)).is_empty());
+        assert!(check_regressions(&[same], &Baselines::perf_only(Some(baseline))).is_empty());
     }
 
     /// A regressed packet smoke and a regressed fresh-perf packet ratio
@@ -529,18 +606,22 @@ mod tests {
 
         // 0.85 x 2.4 = 2.04: 1.9 fails, 2.1 passes.
         let slow_smoke = run("results/BENCH_packet.json", packet_doc(1.9, true));
-        let failures = check_regressions(&[slow_smoke], Some(&baseline));
+        let failures =
+            check_regressions(&[slow_smoke], &Baselines::perf_only(Some(baseline.clone())));
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("packet-throughput"), "{failures:?}");
 
         let ok_smoke = run("results/BENCH_packet.json", packet_doc(2.1, true));
-        assert!(check_regressions(&[ok_smoke], Some(&baseline)).is_empty());
+        assert!(
+            check_regressions(&[ok_smoke], &Baselines::perf_only(Some(baseline.clone())))
+                .is_empty()
+        );
 
         let slow_perf = run(
             "results/BENCH_perf_fresh.json",
             perf_doc_with_packet(2.04, 1.9),
         );
-        let failures = check_regressions(&[slow_perf], Some(&baseline));
+        let failures = check_regressions(&[slow_perf], &Baselines::perf_only(Some(baseline)));
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("packet-throughput"), "{failures:?}");
     }
@@ -550,12 +631,12 @@ mod tests {
     #[test]
     fn packet_bit_identity_gate() {
         let diverged = run("results/BENCH_packet.json", packet_doc(9.9, false));
-        let failures = check_regressions(&[diverged], None);
+        let failures = check_regressions(&[diverged], &Baselines::default());
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("bit-identity"), "{failures:?}");
 
         let ok = run("results/BENCH_packet.json", packet_doc(9.9, true));
-        assert!(check_regressions(&[ok], None).is_empty());
+        assert!(check_regressions(&[ok], &Baselines::default()).is_empty());
     }
 
     /// A baseline without packet metrics (pre-rebuild) gates nothing new —
@@ -565,7 +646,9 @@ mod tests {
         let baseline = perf_doc(1.4249);
         let smoke = run("results/BENCH_packet.json", packet_doc(0.01, true));
         let fresh = run("results/BENCH_perf_fresh.json", perf_doc(1.4));
-        assert!(check_regressions(&[smoke, fresh], Some(&baseline)).is_empty());
+        assert!(
+            check_regressions(&[smoke, fresh], &Baselines::perf_only(Some(baseline))).is_empty()
+        );
     }
 
     #[test]
@@ -579,10 +662,92 @@ mod tests {
             serde_json::json!({"bench": "routing_quality",
                                "metrics": {"dmodc_never_worse_than_first_fit": false}}),
         );
-        let failures = check_regressions(&[bad_chaos, bad_quality], None);
+        let failures = check_regressions(&[bad_chaos, bad_quality], &Baselines::default());
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures[0].contains("chaos"));
         assert!(failures[1].contains("routing-quality"));
+    }
+
+    fn campaign_doc(speedup: Option<f64>, identical: Option<bool>) -> Value {
+        let mut metrics: serde_json::Map<String, Value> = serde_json::Map::new();
+        metrics.insert("cells".into(), 96.into());
+        metrics.insert("executed".into(), 96.into());
+        metrics.insert("skipped".into(), 0.into());
+        metrics.insert("rows_hash".into(), "a20efa1ac44f6ee1".into());
+        metrics.insert("wall_ms_campaign".into(), 120.0.into());
+        if let Some(s) = speedup {
+            metrics.insert("speedup_vs_serial_rebuild".into(), s.into());
+            metrics.insert("wall_ms_serial".into(), (120.0 * s).into());
+        }
+        if let Some(i) = identical {
+            metrics.insert("serial_rows_identical".into(), i.into());
+        }
+        serde_json::json!({
+            "bench": "simcampaign",
+            "topology": "nodes_324",
+            "params": {"fingerprint": "4f6243bca75570d5"},
+            "metrics": metrics,
+            "wall_ms": 130.0,
+        })
+    }
+
+    fn campaign_baselines(doc: Value) -> Baselines {
+        Baselines {
+            perf: None,
+            campaign: Some(doc),
+        }
+    }
+
+    /// A fresh campaign run below 0.85x of the committed sharing speedup
+    /// fails; at or above it passes; the baseline never gates itself.
+    #[test]
+    fn campaign_speedup_gate() {
+        let baselines = campaign_baselines(campaign_doc(Some(2.0), Some(true)));
+
+        // 0.85 x 2.0 = 1.70: 1.5 fails, 1.8 passes.
+        let slow = run(
+            "results/BENCH_simcampaign_fresh.json",
+            campaign_doc(Some(1.5), Some(true)),
+        );
+        let failures = check_regressions(&[slow], &baselines);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("campaign regression"), "{failures:?}");
+
+        let ok = run(
+            "results/BENCH_simcampaign_fresh.json",
+            campaign_doc(Some(1.8), Some(true)),
+        );
+        assert!(check_regressions(&[ok], &baselines).is_empty());
+
+        let itself = run(
+            "results/BENCH_simcampaign.json",
+            campaign_doc(Some(2.0), Some(true)),
+        );
+        assert!(check_regressions(&[itself], &baselines).is_empty());
+    }
+
+    /// Resumed / compare-less campaign runs (no speedup metric) are not
+    /// speed-gated, but a diverged serial comparison always fails — even
+    /// with no baseline at all.
+    #[test]
+    fn campaign_identity_gate_and_compare_less_runs() {
+        let baselines = campaign_baselines(campaign_doc(Some(2.0), Some(true)));
+        let resumed = run(
+            "results/BENCH_simcampaign_fresh.json",
+            campaign_doc(None, None),
+        );
+        assert!(check_regressions(&[resumed], &baselines).is_empty());
+
+        let diverged = run(
+            "results/BENCH_simcampaign_fresh.json",
+            campaign_doc(Some(3.0), Some(false)),
+        );
+        let failures = check_regressions(&[diverged], &Baselines::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("determinism violation"),
+            "{failures:?}"
+        );
     }
 
     #[test]

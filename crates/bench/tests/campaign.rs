@@ -1,0 +1,214 @@
+//! Campaign orchestrator integration tests: full tiny-grid runs against
+//! real files, kill/resume semantics, and the bit-identity guarantees the
+//! aggregate document advertises (`rows_hash`, `serial_rows_identical`).
+
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ftree_bench::campaign::{
+    load_resume, read_rows, rows_hash, run_campaign, run_serial_rebuild, sorted_rows,
+    CampaignError, CampaignSpec,
+};
+use serde_json::Value;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ftree-campaign-it-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+/// 24 cells on the 16-host paper fabric: 1 topo x 2 engines x 2 fault
+/// budgets x 2 cps x (1 topology-order + 2 random-order) instances.
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "it-tiny".to_string(),
+        seed: 7,
+        topologies: vec!["fig4_pgft_16".to_string()],
+        engines: vec!["dmodk".to_string(), "dmodc".to_string()],
+        cps: vec!["shift".to_string(), "ring".to_string()],
+        orders: vec!["topology".to_string(), "random".to_string()],
+        seeds_per_order: 2,
+        max_stages: 4,
+        fault_cables: vec![0, 1],
+    }
+}
+
+#[test]
+fn full_run_then_rerun_skips_everything() {
+    let dir = tempdir();
+    let rows_path = dir.join("rows.ndjson");
+    let spec = tiny_spec();
+
+    let first = run_campaign(&spec, &rows_path, false).expect("first run");
+    assert_eq!(first.cells_total, 24);
+    assert_eq!(first.executed, 24);
+    assert_eq!(first.skipped, 0);
+    assert_eq!(first.topo_builds, 1, "one topology shared across all cells");
+    assert_eq!(first.rt_builds, 4, "one routing per (engine, fault budget)");
+    assert_eq!(first.arena_builds, 2, "one arena per healthy routing");
+
+    let rows = read_rows(&rows_path).expect("read rows");
+    assert_eq!(rows.len(), 24);
+    let fp = spec.fingerprint();
+    let mut indices: Vec<u64> = rows
+        .iter()
+        .map(|l| {
+            let v: Value = serde_json::from_str(l).expect("row parses");
+            assert_eq!(v["fingerprint"].as_str(), Some(fp.as_str()));
+            assert_eq!(v["campaign"].as_str(), Some("it-tiny"));
+            assert!(v["metrics"].as_object().is_some(), "row has metrics");
+            v["cell"].as_u64().expect("cell index")
+        })
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..24).collect::<Vec<u64>>(), "dense, no dups");
+
+    let bytes_before = std::fs::read(&rows_path).expect("raw bytes");
+    let second = run_campaign(&spec, &rows_path, false).expect("rerun");
+    assert_eq!(second.executed, 0, "resume skips completed cells");
+    assert_eq!(second.skipped, 24);
+    assert_eq!(
+        std::fs::read(&rows_path).expect("raw bytes"),
+        bytes_before,
+        "a fully-resumed run must not rewrite the file"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_resume_merge_is_bit_identical() {
+    let dir = tempdir();
+    let full_path = dir.join("full.ndjson");
+    let hurt_path = dir.join("killed.ndjson");
+    let spec = tiny_spec();
+
+    run_campaign(&spec, &full_path, false).expect("reference run");
+    let reference = sorted_rows(&read_rows(&full_path).expect("rows"));
+    assert_eq!(reference.len(), 24);
+
+    // Simulate a kill: keep ~8 complete rows, then a half-written tail.
+    let body = std::fs::read_to_string(&full_path).expect("body");
+    let keep: Vec<&str> = body.lines().take(8).collect();
+    {
+        let mut f = std::fs::File::create(&hurt_path).expect("create");
+        for line in &keep {
+            writeln!(f, "{line}").expect("write");
+        }
+        let tail = body.lines().nth(8).expect("ninth row");
+        write!(f, "{}", &tail[..tail.len() / 2]).expect("truncated tail");
+    }
+
+    let resumed = run_campaign(&spec, &hurt_path, false).expect("resume");
+    assert_eq!(resumed.skipped, 8, "the 8 intact rows survive");
+    assert_eq!(resumed.executed, 16, "the rest re-run");
+
+    let merged = sorted_rows(&read_rows(&hurt_path).expect("rows"));
+    assert_eq!(merged, reference, "kill/resume merge is bit-identical");
+    assert_eq!(rows_hash(&merged), rows_hash(&reference));
+
+    // The rewrite dropped the garbage tail: every line on disk parses.
+    let mut raw = String::new();
+    std::fs::File::open(&hurt_path)
+        .expect("open")
+        .read_to_string(&mut raw)
+        .expect("read");
+    assert_eq!(raw.lines().count(), 24);
+    for line in raw.lines() {
+        serde_json::from_str::<Value>(line).expect("every line valid JSON");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_fingerprint_refuses_without_fresh() {
+    let dir = tempdir();
+    let rows_path = dir.join("rows.ndjson");
+    let spec = tiny_spec();
+    run_campaign(&spec, &rows_path, false).expect("seed the file");
+
+    let mut other = tiny_spec();
+    other.seeds_per_order = 3; // any parameter change rotates the fingerprint
+    let err = run_campaign(&other, &rows_path, false).expect_err("must refuse");
+    match err {
+        CampaignError::FingerprintMismatch { expected, found } => {
+            assert_eq!(expected, other.fingerprint());
+            assert_eq!(found, spec.fingerprint());
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    let msg = format!("{}", run_campaign(&other, &rows_path, false).unwrap_err());
+    assert!(
+        msg.contains("--fresh"),
+        "error must point at --fresh: {msg}"
+    );
+
+    // --fresh discards the foreign file and runs the new grid.
+    let outcome = run_campaign(&other, &rows_path, true).expect("fresh run");
+    assert_eq!(outcome.executed, outcome.cells_total);
+    let rows = read_rows(&rows_path).expect("rows");
+    let fp = other.fingerprint();
+    for line in &rows {
+        let v: Value = serde_json::from_str(line).expect("parses");
+        assert_eq!(v["fingerprint"].as_str(), Some(fp.as_str()));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shared_build_serial_rebuild_and_fresh_rerun_agree() {
+    let dir = tempdir();
+    let path_a = dir.join("a.ndjson");
+    let path_b = dir.join("b.ndjson");
+    let spec = tiny_spec();
+
+    run_campaign(&spec, &path_a, false).expect("shared run");
+    let shared = sorted_rows(&read_rows(&path_a).expect("rows"));
+
+    let serial = sorted_rows(&run_serial_rebuild(&spec).expect("serial rebuild"));
+    assert_eq!(
+        shared, serial,
+        "per-cell fabric rebuilds must reproduce the shared-build rows byte for byte"
+    );
+
+    run_campaign(&spec, &path_b, false).expect("independent rerun");
+    let rerun = sorted_rows(&read_rows(&path_b).expect("rows"));
+    assert_eq!(shared, rerun, "same spec, same rows, any path");
+    assert_eq!(rows_hash(&shared), rows_hash(&rerun));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_resume_reports_duplicates_as_repair() {
+    let dir = tempdir();
+    let rows_path = dir.join("rows.ndjson");
+    let spec = tiny_spec();
+    run_campaign(&spec, &rows_path, false).expect("seed the file");
+
+    // Append a duplicate of the first row — e.g. two racing appends.
+    let first_line = read_rows(&rows_path).expect("rows")[0].clone();
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(&rows_path)
+        .expect("open append");
+    writeln!(f, "{first_line}").expect("append dup");
+    drop(f);
+
+    let state = load_resume(&rows_path, &spec.fingerprint()).expect("load");
+    assert!(state.repaired, "duplicate row must flag a repair");
+    assert_eq!(state.done.len(), 24);
+    assert_eq!(state.valid_lines.len(), 24, "duplicate dropped, first kept");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

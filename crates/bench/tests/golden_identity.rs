@@ -1,0 +1,145 @@
+//! Migration pinning: every case moved onto the `BenchCase` API must
+//! produce the same result document its pre-redesign standalone binary
+//! did for a fixed seed.
+//!
+//! The goldens under `tests/golden/` were captured from the original
+//! binaries (before the cli/cases refactor) as
+//! `jq -S 'del(.wall_ms, .obs_metrics)'` of their `--json-out` files —
+//! i.e. the full deterministic payload with only the wall clock and
+//! recorder snapshot stripped. Each test replays the exact argument
+//! vector the golden was captured with and compares the structural JSON
+//! (map equality is key-order independent, so jq's re-sorting is
+//! irrelevant).
+//!
+//! Heavy cases (full paper roster in debug builds) are `#[ignore]`d
+//! under `debug_assertions`; CI's release test job runs
+//! `--include-ignored`.
+
+use std::sync::Arc;
+
+use ftree_bench::{find_case, BenchArgs, CaseCtx, FabricCache};
+use ftree_obs::Recorder;
+use serde_json::Value;
+
+fn run_case(name: &str, argv: &[&str]) -> Value {
+    let case = find_case(name).unwrap_or_else(|| panic!("case {name} not registered"));
+    let args = BenchArgs::from_slice(argv);
+    let fabrics = FabricCache::new();
+    let mut sink: Vec<u8> = Vec::new();
+    let output = {
+        let mut ctx = CaseCtx {
+            args: &args,
+            rec: Arc::new(Recorder::new()),
+            out: &mut sink,
+            fabrics: &fabrics,
+            artifacts: false,
+        };
+        case.run(&mut ctx)
+    };
+    assert!(
+        output.gate_failure().is_none(),
+        "{name}: unexpected gate failure: {:?}",
+        output.gate_failure()
+    );
+    assert!(!sink.is_empty(), "{name}: case produced no text output");
+    output.render()
+}
+
+fn golden(name: &str) -> Value {
+    let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("parse {path}: {e:?}"))
+}
+
+/// Structural equivalence, numerically tolerant: jq's `-S` pass rewrote
+/// whole floats (`2.0` → `2`) when the goldens were captured, so numbers
+/// compare by value, not by JSON token type. Maps compare key-set-wise,
+/// arrays positionally.
+fn equiv(a: &Value, b: &Value) -> bool {
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        return x == y;
+    }
+    if let (Some(ao), Some(bo)) = (a.as_object(), b.as_object()) {
+        return ao.len() == bo.len()
+            && ao
+                .iter()
+                .all(|(k, v)| bo.get(k).is_some_and(|w| equiv(v, w)));
+    }
+    if let (Some(aa), Some(ba)) = (a.as_array(), b.as_array()) {
+        return aa.len() == ba.len() && aa.iter().zip(ba.iter()).all(|(x, y)| equiv(x, y));
+    }
+    a == b
+}
+
+/// Compares the deterministic fields — everything the golden kept.
+fn assert_matches_golden(name: &str, fresh: &Value, gold: &Value) {
+    for key in ["bench", "topology", "params", "metrics"] {
+        let (f, g) = (fresh.get(key), gold.get(key));
+        assert!(
+            match (f, g) {
+                (Some(fv), Some(gv)) => equiv(fv, gv),
+                (None, None) => true,
+                _ => false,
+            },
+            "{name}: field `{key}` diverged from the pre-refactor binary\n fresh: {f:?}\n  gold: {g:?}"
+        );
+    }
+}
+
+macro_rules! golden_case {
+    ($(#[$attr:meta])* $test:ident, $name:literal, $argv:expr) => {
+        $(#[$attr])*
+        #[test]
+        fn $test() {
+            let fresh = run_case($name, &$argv);
+            assert_matches_golden($name, &fresh, &golden($name));
+        }
+    };
+}
+
+golden_case!(fig1_matches_golden, "fig1", [] as [&str; 0]);
+golden_case!(
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "packet sim too slow in debug; release CI covers it"
+    )]
+    fig2_matches_golden,
+    "fig2",
+    ["--seed", "1", "--shift-stages", "4"]
+);
+golden_case!(
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full paper roster too slow in debug; release CI covers it"
+    )]
+    fig3_matches_golden,
+    "fig3",
+    ["--seeds", "2", "--stages", "4"]
+);
+golden_case!(fig4_matches_golden, "fig4", [] as [&str; 0]);
+golden_case!(fig5_matches_golden, "fig5", [] as [&str; 0]);
+golden_case!(table1_matches_golden, "table1", ["--ranks", "12"]);
+golden_case!(table2_matches_golden, "table2", ["--ranks", "24"]);
+golden_case!(
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full paper roster too slow in debug; release CI covers it"
+    )]
+    table3_matches_golden,
+    "table3",
+    ["--stages", "4", "--rand-seeds", "2"]
+);
+golden_case!(
+    routing_quality_matches_golden,
+    "routing_quality",
+    ["--topo", "fig4_pgft_16"]
+);
+
+/// The same case run twice through the API produces identical documents —
+/// the determinism the campaign runner builds on.
+#[test]
+fn case_reruns_are_deterministic() {
+    let a = run_case("fig4", &[]);
+    let b = run_case("fig4", &[]);
+    assert_matches_golden("fig4-rerun", &a, &b);
+}

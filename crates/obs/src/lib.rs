@@ -72,7 +72,7 @@ pub mod trace;
 pub use events::{FlightRecorder, ObsEvent, SpanClock};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use phase::{ObsPhase, PhaseSummary};
-pub use recorder::{global, install, uninstall, Recorder};
+pub use recorder::{global, install, uninstall, with_scoped, Recorder};
 pub use span::{wall_span_global, SpanAttrs, SpanGuard, SpanId};
 pub use timeseries::{ChannelLane, ChannelTimeSeries, TimeSeriesConfig};
 pub use trace::chrome_trace;

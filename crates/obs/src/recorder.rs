@@ -32,6 +32,9 @@ pub struct Recorder {
     next_span: AtomicU64,
     /// Wall-clock anchor: wall-span timestamps are ns since this instant.
     anchor: Instant,
+    /// Provenance label naming what this recorder observed (a campaign
+    /// cell, a bench run). Empty for anonymous recorders.
+    label: String,
 }
 
 impl Default for Recorder {
@@ -55,7 +58,21 @@ impl Recorder {
             route_events: AtomicBool::new(false),
             next_span: AtomicU64::new(1),
             anchor: Instant::now(),
+            label: String::new(),
         }
+    }
+
+    /// Tags this recorder with a provenance label (builder-style). Campaign
+    /// cells use it so metrics captured in parallel runs stay attributable
+    /// to the exact cell that produced them.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The provenance label, when one was set.
+    pub fn label(&self) -> Option<&str> {
+        (!self.label.is_empty()).then_some(self.label.as_str())
     }
 
     /// The metrics registry.
@@ -194,6 +211,16 @@ impl Recorder {
 
 static GLOBAL: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
 
+std::thread_local! {
+    /// Stack of recorders scoped to the current thread (innermost last).
+    /// [`global`] consults this before the process-global install, so work
+    /// running inside [`with_scoped`] — e.g. one campaign cell among many
+    /// executing in parallel — reports into its own recorder instead of a
+    /// shared one.
+    static SCOPED: std::cell::RefCell<Vec<Arc<Recorder>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Installs `rec` as the process-global recorder consulted by
 /// [`ObsPhase::global`] and the library-internal counters (subnet-manager
 /// sweeps, routing-table builds). Replaces any previous global.
@@ -206,8 +233,33 @@ pub fn uninstall() {
     *GLOBAL.write().unwrap() = None;
 }
 
-/// The process-global recorder, if one is installed.
+/// Runs `f` with `rec` as the *thread-scoped* recorder: within the closure
+/// (on this thread) [`global`] resolves to `rec`, shadowing both the
+/// process-global install and any outer scope. Scopes nest; the override is
+/// popped even when `f` panics. This is the per-cell provenance mechanism
+/// of the campaign runner: cells execute concurrently in one process, yet
+/// each cell's phase timers and counters land in that cell's own labeled
+/// recorder.
+pub fn with_scoped<R>(rec: Arc<Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            SCOPED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(rec));
+    let _pop = Pop;
+    f()
+}
+
+/// The recorder active on this thread: the innermost [`with_scoped`]
+/// override when one is in effect, the process-global install otherwise.
 pub fn global() -> Option<Arc<Recorder>> {
+    if let Some(rec) = SCOPED.with(|s| s.borrow().last().cloned()) {
+        return Some(rec);
+    }
     GLOBAL.read().unwrap().clone()
 }
 
@@ -229,6 +281,31 @@ mod tests {
         assert!(!rec.route_events_enabled());
         rec.set_route_events(true);
         assert!(rec.route_events_enabled());
+    }
+
+    #[test]
+    fn scoped_recorder_shadows_global_and_nests() {
+        let outer = Arc::new(Recorder::new().with_label("outer"));
+        let inner = Arc::new(Recorder::new().with_label("inner"));
+        assert_eq!(inner.label(), Some("inner"));
+        assert_eq!(Arc::new(Recorder::new()).label(), None);
+        with_scoped(outer.clone(), || {
+            global().unwrap().counter("scoped.hits").inc();
+            with_scoped(inner.clone(), || {
+                global().unwrap().counter("scoped.hits").inc();
+            });
+            global().unwrap().counter("scoped.hits").inc();
+        });
+        assert_eq!(outer.snapshot().counters["scoped.hits"], 2);
+        assert_eq!(inner.snapshot().counters["scoped.hits"], 1);
+        // Worker threads spawned inside a scope do not inherit it.
+        with_scoped(outer, || {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert!(global().is_none() || global().unwrap().label() != Some("outer"))
+                });
+            });
+        });
     }
 
     #[test]

@@ -23,14 +23,18 @@ run() {
     echo
 }
 
-run fig1
-run fig2
-run fig3
-run fig4
-run fig5
-run table1
-run table2
-run table3
+# The paper roster (figures, tables, routing quality) runs through the
+# campaign batch driver: one process sharing a fabric cache across cases,
+# per-case text dropped in results/<name>.txt exactly where the old
+# per-binary tee put it, per-case JSON at its usual path.
+PAPER_CASES=(fig1 fig2 fig3 fig4 fig5 table1 table2 table3 routing_quality)
+echo "== campaign --cases (paper roster) =="
+./target/release/campaign \
+    --cases "$(IFS=,; echo "${PAPER_CASES[*]}")" \
+    --text-dir results --artifacts "${EXTRA_ARGS[@]}" 2>/dev/null
+BENCHES+=("${PAPER_CASES[@]}")
+echo
+
 run ring_adversarial
 run validate_full_bw
 run ablations
@@ -38,8 +42,17 @@ run failures
 run jitter
 run collective_time
 run perf
-run routing_quality
 run chaos
+
+# Parameter-grid campaign: the default nodes_324 spec, every fabric built
+# once and shared across cells, NDJSON rows streamed to
+# results/BENCH_simcampaign.ndjson. --compare re-runs the grid with
+# per-cell rebuilds to prove the rows are bit-identical and record the
+# sharing speedup ftree-report gates against the committed baseline.
+echo "== campaign (grid) =="
+./target/release/campaign --fresh --compare 2>/dev/null |
+    tee results/campaign.txt
+echo
 
 # Packet-engine smoke: rebuilt calendar engine vs the preserved serial
 # oracle on the random-order gate workload (results/BENCH_packet.json).
@@ -67,6 +80,8 @@ done
 [[ -f results/BENCH_routing_quality.json ]] &&
     json_files+=(results/BENCH_routing_quality.json)
 [[ -f results/BENCH_chaos.json ]] && json_files+=(results/BENCH_chaos.json)
+[[ -f results/BENCH_simcampaign.json ]] &&
+    json_files+=(results/BENCH_simcampaign.json)
 if ((${#json_files[@]})); then
     if command -v jq >/dev/null 2>&1; then
         jq -s '{generated_by: "run_all_experiments.sh", benches: .}' \

@@ -178,6 +178,17 @@ impl PathArena {
     }
 }
 
+/// The fluid simulator sources its flow paths from the same arena the HSD
+/// sweeps share, so campaign fluid cells pay zero per-flow table walks.
+/// Unroutable pairs return `None` and the solver falls back to the walk,
+/// which re-surfaces the `NoRoute` and is skip-counted there.
+impl ftree_sim::PathSource for PathArena {
+    #[inline]
+    fn channels(&self, src: usize, dst: usize) -> Option<&[u32]> {
+        PathArena::channels(self, src, dst)
+    }
+}
+
 /// A routed-path source for HSD accumulation: an immutable
 /// `(topology, routing)` pair plus — when it fits the memory budget — a
 /// [`PathArena`] of every pre-traced path.

@@ -13,8 +13,8 @@
 //!   campaign [--spec grid.json] [--topos a,b] [--engines dmodk,dmodc]
 //!            [--cps shift,recdbl] [--orders topology,random]
 //!            [--order-seeds N] [--stages N] [--faults 0,2] [--seed N]
-//!            [--name s] [--rows-out p] [--json-out p] [--threads N]
-//!            [--fresh] [--compare]
+//!            [--sims hsd,fluid] [--name s] [--rows-out p] [--json-out p]
+//!            [--threads N] [--fresh] [--compare]
 //!   ```
 //!
 //! * **Batch mode** (`--cases fig1,table3,...` or `--cases all`): run the
@@ -74,6 +74,9 @@ fn spec_from_args(args: &BenchArgs) -> CampaignSpec {
     }
     spec.seeds_per_order = args.num("--order-seeds", spec.seeds_per_order);
     spec.max_stages = args.num("--stages", spec.max_stages);
+    if let Some(l) = args.list("--sims") {
+        spec.sims = l;
+    }
     if let Some(l) = args.list("--faults") {
         spec.fault_cables = l
             .iter()

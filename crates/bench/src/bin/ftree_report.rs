@@ -13,6 +13,8 @@
 //!                         `<results-dir>/BENCH_perf.json`)
 //!   --campaign-baseline <path>  committed campaign aggregate (default
 //!                         `<results-dir>/BENCH_simcampaign.json`)
+//!   --fluid-baseline <path>  committed fluid-solver baseline (default
+//!                         `<results-dir>/BENCH_fluid.json`)
 //!   --out <path>          Markdown report (default `<results-dir>/REPORT.md`)
 //!   --ledger <path>       NDJSON ledger (default `<results-dir>/LEDGER.ndjson`)
 //!   --no-ledger           render and check without appending to the ledger
@@ -78,9 +80,22 @@ fn main() -> ExitCode {
             campaign_baseline_path.display()
         );
     }
+    let fluid_baseline_path = arg_value("--fluid-baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir.join("BENCH_fluid.json"));
+    let fluid_baseline: Option<Value> = std::fs::read_to_string(&fluid_baseline_path)
+        .ok()
+        .and_then(|body| serde_json::from_str(&body).ok());
+    if fluid_baseline.is_none() {
+        eprintln!(
+            "note: no committed fluid baseline at {} — fluid speedup gate skipped",
+            fluid_baseline_path.display()
+        );
+    }
     let baselines = Baselines {
         perf: baseline,
         campaign: campaign_baseline,
+        fluid: fluid_baseline,
     };
     let failures = check_regressions(&docs, &baselines);
 

@@ -28,7 +28,12 @@
 //! (packet-engine microbench only: writes a `bench: "packet"` document —
 //! default `results/BENCH_packet.json` — for the CI perf-smoke gate),
 //! `--reps N` (best-of-N for the packet timings, default 3),
-//! `--no-flagship` (skip the 1944-host full-Shift run).
+//! `--no-flagship` (skip the 1944-host full-Shift run), `--fluid`
+//! (fluid-engine microbench only: rebuilt incremental max-min solver vs
+//! the preserved `OracleFluid` on nodes_1728 — bit-identical results
+//! asserted first — plus the flagship 323-stage Shift sweep at the
+//! 11664-host maximal tree; writes a `bench: "fluid"` document, default
+//! `results/BENCH_fluid.json`, gated by ftree-report).
 
 use std::time::Instant;
 
@@ -36,7 +41,9 @@ use ftree_analysis::{random_order_sweep, reference, SequenceOptions, SweepResult
 use ftree_bench::{arg_num, arg_value, TextTable};
 use ftree_collectives::{Cps, PermutationSequence};
 use ftree_core::{DModK, NodeOrder, Router};
-use ftree_sim::{OracleSim, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_sim::{
+    run_fluid, FluidResult, OracleFluid, OracleSim, PacketSim, Progression, SimConfig, TrafficPlan,
+};
 use ftree_topology::rlft::catalog;
 use ftree_topology::Topology;
 
@@ -47,6 +54,7 @@ fn spec_by_name(name: &str) -> ftree_topology::PgftSpec {
         "nodes_324" => catalog::nodes_324(),
         "nodes_1728" => catalog::nodes_1728(),
         "nodes_1944" => catalog::nodes_1944(),
+        "nodes_11664" => catalog::nodes_11664(),
         other => panic!("unknown --topo {other}"),
     }
 }
@@ -148,6 +156,149 @@ fn packet_bench(reps: usize, flagship: bool) -> PacketBench {
     }
 }
 
+/// Fluid-engine throughput: rebuilt incremental solver vs the preserved
+/// dense oracle.
+struct FluidBench {
+    wall_ms: f64,
+    wall_ms_oracle: f64,
+    identical: bool,
+    solves: u64,
+    makespan_ps: u64,
+    /// 323-stage Shift sweep at nodes_11664, rebuilt solver only (the
+    /// oracle is out of budget at that scale); `None` with
+    /// `--no-flagship`.
+    flagship_wall_ms: Option<f64>,
+    flagship_stages: u64,
+    flagship_makespan_ps: u64,
+    flagship_solves: u64,
+}
+
+impl FluidBench {
+    fn speedup(&self) -> f64 {
+        self.wall_ms_oracle / self.wall_ms.max(1e-9)
+    }
+}
+
+/// Bit-identity check mirroring the `fluid_oracle` test suite: every
+/// integer field exact, every f64 field by `to_bits`.
+fn fluid_identical(a: &FluidResult, b: &FluidResult) -> bool {
+    a.makespan == b.makespan
+        && a.total_payload == b.total_payload
+        && a.messages_completed == b.messages_completed
+        && a.solves == b.solves
+        && a.normalized_bw.to_bits() == b.normalized_bw.to_bits()
+        && a.efficiency.to_bits() == b.efficiency.to_bits()
+        && a.flows_unroutable == b.flows_unroutable
+        && a.stalled == b.stalled
+}
+
+/// Payload per fluid-bench message (1 MiB — steady-state rates dominate).
+const FLUID_BYTES: u64 = 1 << 20;
+/// Stage sample of the nodes_1728 comparison run.
+const FLUID_STAGES: usize = 8;
+/// Stage sample of the flagship nodes_11664 sweep.
+const FLUID_FLAGSHIP_STAGES: usize = 323;
+
+/// Times the two fluid solvers on a random-order (seed 42) 8-stage
+/// synchronized Shift at nodes_1728, best-of-`reps`, after asserting the
+/// results are bit-identical; with `flagship`, also runs the rebuilt
+/// solver over a 323-stage Shift sample at the 11664-host maximal tree.
+fn fluid_bench(reps: usize, flagship: bool) -> FluidBench {
+    let topo = Topology::build(catalog::nodes_1728());
+    let rt = DModK.route_healthy(&topo);
+    let cfg = SimConfig::default();
+    let order = NodeOrder::random(&topo, 42);
+    let plan = TrafficPlan::from_cps(
+        &order,
+        &Cps::Shift,
+        FLUID_BYTES,
+        Progression::Synchronized,
+        FLUID_STAGES,
+    );
+
+    let oracle_result = OracleFluid::run(&topo, &rt, cfg, &plan);
+    let engine_result = run_fluid(&topo, &rt, cfg, &plan);
+    let identical = fluid_identical(&oracle_result, &engine_result);
+
+    let mut wall_ms = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = run_fluid(&topo, &rt, cfg, &plan);
+        wall_ms = wall_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut wall_ms_oracle = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = OracleFluid::run(&topo, &rt, cfg, &plan);
+        wall_ms_oracle = wall_ms_oracle.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let (flagship_wall_ms, flagship_stages, flagship_makespan_ps, flagship_solves) = if flagship {
+        let topo = Topology::build(catalog::nodes_11664());
+        let rt = DModK.route_healthy(&topo);
+        let order = NodeOrder::topology(&topo);
+        let plan = TrafficPlan::from_cps(
+            &order,
+            &Cps::Shift,
+            FLUID_BYTES,
+            Progression::Synchronized,
+            FLUID_FLAGSHIP_STAGES,
+        );
+        let t = Instant::now();
+        let r = run_fluid(&topo, &rt, cfg, &plan);
+        assert!(!r.stalled, "flagship sweep stalled");
+        (
+            Some(t.elapsed().as_secs_f64() * 1e3),
+            plan.stages().len() as u64,
+            r.makespan,
+            r.solves,
+        )
+    } else {
+        (None, 0, 0, 0)
+    };
+
+    FluidBench {
+        wall_ms,
+        wall_ms_oracle,
+        identical,
+        solves: engine_result.solves,
+        makespan_ps: engine_result.makespan,
+        flagship_wall_ms,
+        flagship_stages,
+        flagship_makespan_ps,
+        flagship_solves,
+    }
+}
+
+fn print_fluid_table(fb: &FluidBench) {
+    let mut table = TextTable::new(vec!["fluid engine", "wall ms", "solves"]);
+    table.row(vec![
+        "oracle (dense rescan)".to_string(),
+        format!("{:.1}", fb.wall_ms_oracle),
+        format!("{}", fb.solves),
+    ]);
+    table.row(vec![
+        "rebuilt (CSR + heap)".to_string(),
+        format!("{:.1}", fb.wall_ms),
+        format!("{}", fb.solves),
+    ]);
+    table.print();
+    println!(
+        "\nfluid speedup: {:.2}x (nodes_1728 random-order shift, identical: {})",
+        fb.speedup(),
+        fb.identical
+    );
+    if let Some(f) = fb.flagship_wall_ms {
+        println!(
+            "flagship: {}-stage shift at 11664 hosts in {:.1} s ({} solves, makespan {:.3} ms)",
+            fb.flagship_stages,
+            f / 1e3,
+            fb.flagship_solves,
+            fb.flagship_makespan_ps as f64 / 1e9
+        );
+    }
+}
+
 fn print_packet_table(pb: &PacketBench) {
     let mut table = TextTable::new(vec!["packet engine", "wall ms", "M events/s"]);
     table.row(vec![
@@ -194,6 +345,67 @@ fn main() {
 
     let reps: usize = arg_num("--reps", 3);
     let flagship = !ftree_bench::has_flag("--no-flagship");
+
+    if ftree_bench::has_flag("--fluid") {
+        // Fluid-engine microbench: cheap enough for CI (with
+        // --no-flagship), gated by ftree-report against the committed
+        // BENCH_fluid.json speedup baseline.
+        let fb = fluid_bench(reps, flagship);
+        assert!(
+            fb.identical,
+            "fluid engines diverged — speedup numbers would be meaningless"
+        );
+        print_fluid_table(&fb);
+        let flagship_wall = fb
+            .flagship_wall_ms
+            .map(|f| format!("{f:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"fluid\",\n",
+                "  \"topology\": \"nodes_1728\",\n",
+                "  \"params\": {{\"order\": \"random\", \"seed\": 42, \"stages\": {stages}, ",
+                "\"bytes\": {bytes}, \"reps\": {reps}, \"cps\": \"shift\", ",
+                "\"mode\": \"synchronized\"}},\n",
+                "  \"metrics\": {{\"speedup\": {speedup:.4}, \"wall_ms\": {wall:.3}, ",
+                "\"wall_ms_oracle\": {owall:.3}, \"identical\": {identical}, ",
+                "\"solves\": {solves}, \"makespan_ps\": {makespan}, ",
+                "\"flagship_wall_ms\": {fwall}, \"flagship_stages\": {fstages}, ",
+                "\"flagship_hosts\": 11664, \"flagship_makespan_ps\": {fmakespan}, ",
+                "\"flagship_solves\": {fsolves}}},\n",
+                "  \"wall_ms\": {total:.3}\n",
+                "}}\n"
+            ),
+            stages = FLUID_STAGES,
+            bytes = FLUID_BYTES,
+            reps = reps,
+            speedup = fb.speedup(),
+            wall = fb.wall_ms,
+            owall = fb.wall_ms_oracle,
+            identical = fb.identical,
+            solves = fb.solves,
+            makespan = fb.makespan_ps,
+            fwall = flagship_wall,
+            fstages = fb.flagship_stages,
+            fmakespan = fb.flagship_makespan_ps,
+            fsolves = fb.flagship_solves,
+            total = started.elapsed().as_secs_f64() * 1e3,
+        );
+        let path =
+            arg_value("--json-out").unwrap_or_else(|| "results/BENCH_fluid.json".to_string());
+        if let Some(dir) = std::path::Path::new(&path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote fluid results to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        return;
+    }
 
     if ftree_bench::has_flag("--packet") {
         // Packet-engine smoke: cheap enough for CI, gated by ftree-report

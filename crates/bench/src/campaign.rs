@@ -86,6 +86,9 @@ pub struct CampaignSpec {
     pub max_stages: usize,
     /// Failed switch-to-switch cable budgets; `0` = healthy fabric.
     pub fault_cables: Vec<usize>,
+    /// Evaluation engines per cell: `hsd` (analytic hot-spot degree)
+    /// and/or `fluid` (max-min fair flow simulation).
+    pub sims: Vec<String>,
 }
 
 impl Default for CampaignSpec {
@@ -105,6 +108,7 @@ impl Default for CampaignSpec {
             seeds_per_order: 5,
             max_stages: 16,
             fault_cables: vec![0, 2],
+            sims: vec!["hsd".to_string()],
         }
     }
 }
@@ -169,6 +173,7 @@ impl CampaignSpec {
                 "seeds_per_order" => spec.seeds_per_order = spec_u64(key, val)?,
                 "max_stages" => spec.max_stages = spec_u64(key, val)? as usize,
                 "fault_cables" => spec.fault_cables = spec_usize_list(key, val)?,
+                "sims" => spec.sims = spec_str_list(key, val)?,
                 other => return Err(CampaignError::UnknownName(format!("spec field {other}"))),
             }
         }
@@ -275,6 +280,8 @@ pub struct Cell {
     pub order: String,
     /// Instance number within the order family (always 0 for `topology`).
     pub order_idx: u64,
+    /// Evaluation engine: `hsd` or `fluid`.
+    pub sim: String,
     /// Derived seed: `mix64(spec.seed ^ fnv1a64(coords_key))`.
     pub seed: u64,
 }
@@ -284,8 +291,14 @@ impl Cell {
     /// to the per-cell seed derivation.
     pub fn coords_key(&self) -> String {
         format!(
-            "{}/{}/f{}/{}/{}/{}",
-            self.topology, self.engine, self.fault_cables, self.cps, self.order, self.order_idx
+            "{}/{}/f{}/{}/{}/{}/{}",
+            self.topology,
+            self.engine,
+            self.fault_cables,
+            self.cps,
+            self.order,
+            self.order_idx,
+            self.sim
         )
     }
 }
@@ -299,6 +312,7 @@ impl CampaignSpec {
             || self.cps.is_empty()
             || self.orders.is_empty()
             || self.fault_cables.is_empty()
+            || self.sims.is_empty()
         {
             return Err(CampaignError::InvalidSpec(
                 "every grid axis needs at least one entry".into(),
@@ -316,6 +330,11 @@ impl CampaignSpec {
         for o in &self.orders {
             if o != "topology" && o != "random" {
                 return Err(CampaignError::UnknownName(format!("order {o}")));
+            }
+        }
+        for s in &self.sims {
+            if s != "hsd" && s != "fluid" {
+                return Err(CampaignError::UnknownName(format!("sim {s}")));
             }
         }
         if self.orders.iter().any(|o| o == "random") && self.seeds_per_order == 0 {
@@ -337,7 +356,8 @@ impl CampaignSpec {
     }
 
     /// Expands the grid in fixed axis order (topology, engine, faults,
-    /// cps, order, instance) — cell indices are stable for a given spec.
+    /// cps, order, instance, sim) — cell indices are stable for a given
+    /// spec.
     pub fn cells(&self) -> Vec<Cell> {
         let mut out = Vec::new();
         for topology in &self.topologies {
@@ -351,19 +371,22 @@ impl CampaignSpec {
                                 1
                             };
                             for order_idx in 0..instances {
-                                let mut cell = Cell {
-                                    index: out.len(),
-                                    topology: topology.clone(),
-                                    engine: engine.clone(),
-                                    fault_cables,
-                                    cps: cps.clone(),
-                                    order: order.clone(),
-                                    order_idx,
-                                    seed: 0,
-                                };
-                                cell.seed =
-                                    mix64(self.seed ^ fnv1a64(cell.coords_key().as_bytes()));
-                                out.push(cell);
+                                for sim in &self.sims {
+                                    let mut cell = Cell {
+                                        index: out.len(),
+                                        topology: topology.clone(),
+                                        engine: engine.clone(),
+                                        fault_cables,
+                                        cps: cps.clone(),
+                                        order: order.clone(),
+                                        order_idx,
+                                        sim: sim.clone(),
+                                        seed: 0,
+                                    };
+                                    cell.seed =
+                                        mix64(self.seed ^ fnv1a64(cell.coords_key().as_bytes()));
+                                    out.push(cell);
+                                }
                             }
                         }
                     }
@@ -407,6 +430,9 @@ fn evaluate_cell(
     let opts = SequenceOptions { max_stages };
     let fail = |e: RouteError| CampaignError::Route(format!("cell {}: {e:?}", cell.coords_key()));
 
+    if cell.sim == "fluid" {
+        return evaluate_fluid_cell(cell, topo, rt, shared, max_stages, &order);
+    }
     let mut m = Map::new();
     if cell.fault_cables == 0 {
         let view;
@@ -437,6 +463,53 @@ fn evaluate_cell(
     Ok(m)
 }
 
+/// Uniform payload for campaign fluid cells: 1 MiB per message — large
+/// enough that rate ratios dominate, small enough that cell cost stays
+/// proportional to the grid.
+pub const FLUID_CELL_BYTES: u64 = 1 << 20;
+
+/// Runs a `sim == "fluid"` cell: a barrier-synchronized max-min flow
+/// simulation of the same (order, CPS, stage-sample) the HSD cells
+/// analyze. Healthy cells reuse the shared `PathArena` as the solver's
+/// [`ftree_sim::PathSource`]; degraded cells walk the degraded table and
+/// skip-count unroutable flows, mirroring `degraded_sequence_hsd`.
+fn evaluate_fluid_cell(
+    cell: &Cell,
+    topo: &Topology,
+    rt: &RoutingTable,
+    shared: Option<&SharedRouteCache>,
+    max_stages: usize,
+    order: &NodeOrder,
+) -> Result<Map<String, Value>, CampaignError> {
+    let seq = resolve_cps(&cell.cps)?;
+    let plan = ftree_sim::TrafficPlan::from_cps(
+        order,
+        &seq,
+        FLUID_CELL_BYTES,
+        ftree_sim::Progression::Synchronized,
+        max_stages,
+    );
+    let sim = ftree_sim::FluidSim::new(topo, rt, ftree_sim::SimConfig::default());
+    let arena = shared.and_then(|s| s.arena());
+    let result = match arena {
+        Some(a) => sim.with_paths(a.as_ref()).run(&plan),
+        None => sim.run(&plan),
+    };
+    let mut m = Map::new();
+    m.insert("stages".into(), plan.stages().len().into());
+    m.insert("makespan_ps".into(), result.makespan.into());
+    m.insert("normalized_bw".into(), result.normalized_bw.into());
+    m.insert("efficiency".into(), result.efficiency.into());
+    m.insert(
+        "messages_completed".into(),
+        result.messages_completed.into(),
+    );
+    m.insert("solves".into(), result.solves.into());
+    m.insert("flows_unroutable".into(), result.flows_unroutable.into());
+    m.insert("stalled".into(), result.stalled.into());
+    Ok(m)
+}
+
 /// The NDJSON row for one completed cell. Field order is fixed by
 /// construction, there is no wall-clock and no thread identity: the
 /// serialized bytes are a pure function of (spec, cell) — the determinism
@@ -458,6 +531,7 @@ pub fn cell_row(
             "cps": cell.cps,
             "order": cell.order,
             "order_idx": cell.order_idx,
+            "sim": cell.sim,
         },
         "seed": cell.seed,
         "metrics": metrics,
@@ -741,7 +815,8 @@ mod tests {
     fn default_grid_shape_and_seeds() {
         let spec = CampaignSpec::default();
         let cells = spec.cells();
-        // 1 topo × 2 engines × 2 fault budgets × 4 cps × (1 + 5) orders.
+        // 1 topo × 2 engines × 2 fault budgets × 4 cps × (1 + 5) orders
+        // × 1 sim.
         assert_eq!(cells.len(), 96);
         // Indices are positional and dense.
         for (i, c) in cells.iter().enumerate() {
@@ -765,9 +840,41 @@ mod tests {
         let mut changed = base.clone();
         changed.max_stages += 1;
         assert_ne!(fp, changed.fingerprint());
-        let mut changed = base;
+        let mut changed = base.clone();
         changed.cps.pop();
         assert_ne!(fp, changed.fingerprint());
+        let mut changed = base;
+        changed.sims.push("fluid".to_string());
+        assert_ne!(fp, changed.fingerprint());
+    }
+
+    #[test]
+    fn sims_axis_expands_and_validates() {
+        let spec = CampaignSpec {
+            sims: vec!["hsd".to_string(), "fluid".to_string()],
+            ..Default::default()
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 192, "fluid axis doubles the default grid");
+        assert!(cells.iter().any(|c| c.sim == "fluid"));
+        assert!(cells.iter().any(|c| c.sim == "hsd"));
+        // hsd and fluid variants of the same coordinates get distinct seeds.
+        let seeds: HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), cells.len());
+        assert!(spec.validate().is_ok());
+        let bad = CampaignSpec {
+            sims: vec!["packet".to_string()],
+            ..Default::default()
+        };
+        assert!(matches!(bad.validate(), Err(CampaignError::UnknownName(_))));
+        let empty = CampaignSpec {
+            sims: vec![],
+            ..Default::default()
+        };
+        assert!(matches!(
+            empty.validate(),
+            Err(CampaignError::InvalidSpec(_))
+        ));
     }
 
     #[test]

@@ -320,6 +320,8 @@ pub struct Baselines {
     pub perf: Option<Value>,
     /// The committed `BENCH_simcampaign.json` campaign aggregate.
     pub campaign: Option<Value>,
+    /// The committed `BENCH_fluid.json` fluid-solver document.
+    pub fluid: Option<Value>,
 }
 
 impl Baselines {
@@ -329,6 +331,7 @@ impl Baselines {
         Self {
             perf: doc,
             campaign: None,
+            fluid: None,
         }
     }
 }
@@ -508,6 +511,59 @@ pub fn check_regressions(docs: &[RunDoc], baselines: &Baselines) -> Vec<String> 
                     }
                 }
             }
+        }
+    }
+
+    // Fluid-solver gate: fresh `fluid` docs must keep the rebuilt-vs-oracle
+    // max-min speedup within PERF_MIN_RATIO of the committed baseline —
+    // again a same-machine ratio, so it ports across runner hardware.
+    if let Some(base) = baselines.fluid.as_ref() {
+        let base_speedup = base
+            .get("metrics")
+            .and_then(|m| m.get("speedup"))
+            .and_then(|s| s.as_f64());
+        match base_speedup {
+            None => failures.push("baseline BENCH_fluid.json has no metrics.speedup".into()),
+            Some(b) => {
+                for run in docs.iter().filter(|r| r.bench() == "fluid") {
+                    if run.doc.get("metrics") == base.get("metrics") {
+                        continue; // the committed baseline itself
+                    }
+                    let fresh = run
+                        .doc
+                        .get("metrics")
+                        .and_then(|m| m.get("speedup"))
+                        .and_then(|s| s.as_f64());
+                    match fresh {
+                        None => failures.push(format!(
+                            "{}: fluid run has no metrics.speedup",
+                            run.path.display()
+                        )),
+                        Some(f) if f < PERF_MIN_RATIO * b => failures.push(format!(
+                            "fluid regression: fresh speedup {f:.4} < {PERF_MIN_RATIO} x baseline {b:.4} ({})",
+                            run.path.display()
+                        )),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Fluid equivalence gate: a fluid doc that admits the rebuilt solver
+    // diverged from the oracle is a correctness failure regardless of
+    // throughput, baseline or not (same shape as the packet gate).
+    for run in docs.iter().filter(|r| r.bench() == "fluid") {
+        let identical = run
+            .doc
+            .get("metrics")
+            .and_then(|m| m.get("identical"))
+            .and_then(|v| v.as_bool());
+        if identical != Some(true) {
+            failures.push(format!(
+                "fluid equivalence violation: identical != true ({})",
+                run.path.display()
+            ));
         }
     }
 
@@ -693,9 +749,66 @@ mod tests {
 
     fn campaign_baselines(doc: Value) -> Baselines {
         Baselines {
-            perf: None,
             campaign: Some(doc),
+            ..Baselines::default()
         }
+    }
+
+    fn fluid_doc(speedup: f64, identical: bool) -> Value {
+        serde_json::json!({
+            "bench": "fluid",
+            "topology": "nodes_1728",
+            "params": {"order": "random", "seed": 42, "stages": 8, "cps": "shift"},
+            "metrics": {"speedup": speedup, "wall_ms": 40.0,
+                        "wall_ms_oracle": 40.0 * speedup, "identical": identical,
+                        "solves": 135, "makespan_ps": 11796480000u64,
+                        "flagship_wall_ms": 5000.0, "flagship_stages": 323,
+                        "flagship_hosts": 11664},
+            "wall_ms": 1400.0,
+        })
+    }
+
+    fn fluid_baselines(doc: Value) -> Baselines {
+        Baselines {
+            fluid: Some(doc),
+            ..Baselines::default()
+        }
+    }
+
+    /// A fresh fluid run below 0.85x of the committed rebuilt-vs-oracle
+    /// speedup fails; at or above it passes; the baseline never gates
+    /// itself.
+    #[test]
+    fn fluid_speedup_gate() {
+        let baselines = fluid_baselines(fluid_doc(20.0, true));
+
+        // 0.85 x 20.0 = 17.0: 15.0 fails, 18.0 passes.
+        let slow = run("results/BENCH_fluid_fresh.json", fluid_doc(15.0, true));
+        let failures = check_regressions(&[slow], &baselines);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("fluid regression"), "{failures:?}");
+
+        let ok = run("results/BENCH_fluid_fresh.json", fluid_doc(18.0, true));
+        assert!(check_regressions(&[ok], &baselines).is_empty());
+
+        let itself = run("results/BENCH_fluid.json", fluid_doc(20.0, true));
+        assert!(check_regressions(&[itself], &baselines).is_empty());
+    }
+
+    /// A fluid doc that admits the rebuilt solver diverged from the oracle
+    /// fails even when fast, and even with no baseline at all.
+    #[test]
+    fn fluid_equivalence_gate() {
+        let diverged = run("results/BENCH_fluid.json", fluid_doc(99.0, false));
+        let failures = check_regressions(&[diverged], &Baselines::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("equivalence violation"),
+            "{failures:?}"
+        );
+
+        let ok = run("results/BENCH_fluid.json", fluid_doc(99.0, true));
+        assert!(check_regressions(&[ok], &Baselines::default()).is_empty());
     }
 
     /// A fresh campaign run below 0.85x of the committed sharing speedup

@@ -25,8 +25,9 @@ fn tempdir() -> PathBuf {
     dir
 }
 
-/// 24 cells on the 16-host paper fabric: 1 topo x 2 engines x 2 fault
-/// budgets x 2 cps x (1 topology-order + 2 random-order) instances.
+/// 48 cells on the 16-host paper fabric: 1 topo x 2 engines x 2 fault
+/// budgets x 2 cps x (1 topology-order + 2 random-order) instances x 2
+/// sims (analytic HSD + fluid).
 fn tiny_spec() -> CampaignSpec {
     CampaignSpec {
         name: "it-tiny".to_string(),
@@ -38,6 +39,7 @@ fn tiny_spec() -> CampaignSpec {
         seeds_per_order: 2,
         max_stages: 4,
         fault_cables: vec![0, 1],
+        sims: vec!["hsd".to_string(), "fluid".to_string()],
     }
 }
 
@@ -48,15 +50,15 @@ fn full_run_then_rerun_skips_everything() {
     let spec = tiny_spec();
 
     let first = run_campaign(&spec, &rows_path, false).expect("first run");
-    assert_eq!(first.cells_total, 24);
-    assert_eq!(first.executed, 24);
+    assert_eq!(first.cells_total, 48);
+    assert_eq!(first.executed, 48);
     assert_eq!(first.skipped, 0);
     assert_eq!(first.topo_builds, 1, "one topology shared across all cells");
     assert_eq!(first.rt_builds, 4, "one routing per (engine, fault budget)");
     assert_eq!(first.arena_builds, 2, "one arena per healthy routing");
 
     let rows = read_rows(&rows_path).expect("read rows");
-    assert_eq!(rows.len(), 24);
+    assert_eq!(rows.len(), 48);
     let fp = spec.fingerprint();
     let mut indices: Vec<u64> = rows
         .iter()
@@ -69,12 +71,12 @@ fn full_run_then_rerun_skips_everything() {
         })
         .collect();
     indices.sort_unstable();
-    assert_eq!(indices, (0..24).collect::<Vec<u64>>(), "dense, no dups");
+    assert_eq!(indices, (0..48).collect::<Vec<u64>>(), "dense, no dups");
 
     let bytes_before = std::fs::read(&rows_path).expect("raw bytes");
     let second = run_campaign(&spec, &rows_path, false).expect("rerun");
     assert_eq!(second.executed, 0, "resume skips completed cells");
-    assert_eq!(second.skipped, 24);
+    assert_eq!(second.skipped, 48);
     assert_eq!(
         std::fs::read(&rows_path).expect("raw bytes"),
         bytes_before,
@@ -93,7 +95,7 @@ fn kill_resume_merge_is_bit_identical() {
 
     run_campaign(&spec, &full_path, false).expect("reference run");
     let reference = sorted_rows(&read_rows(&full_path).expect("rows"));
-    assert_eq!(reference.len(), 24);
+    assert_eq!(reference.len(), 48);
 
     // Simulate a kill: keep ~8 complete rows, then a half-written tail.
     let body = std::fs::read_to_string(&full_path).expect("body");
@@ -109,7 +111,7 @@ fn kill_resume_merge_is_bit_identical() {
 
     let resumed = run_campaign(&spec, &hurt_path, false).expect("resume");
     assert_eq!(resumed.skipped, 8, "the 8 intact rows survive");
-    assert_eq!(resumed.executed, 16, "the rest re-run");
+    assert_eq!(resumed.executed, 40, "the rest re-run");
 
     let merged = sorted_rows(&read_rows(&hurt_path).expect("rows"));
     assert_eq!(merged, reference, "kill/resume merge is bit-identical");
@@ -121,7 +123,7 @@ fn kill_resume_merge_is_bit_identical() {
         .expect("open")
         .read_to_string(&mut raw)
         .expect("read");
-    assert_eq!(raw.lines().count(), 24);
+    assert_eq!(raw.lines().count(), 48);
     for line in raw.lines() {
         serde_json::from_str::<Value>(line).expect("every line valid JSON");
     }
@@ -190,6 +192,42 @@ fn shared_build_serial_rebuild_and_fresh_rerun_agree() {
 }
 
 #[test]
+fn fluid_cells_report_flow_metrics() {
+    let dir = tempdir();
+    let rows_path = dir.join("rows.ndjson");
+    let spec = tiny_spec();
+    run_campaign(&spec, &rows_path, false).expect("run");
+    let rows = read_rows(&rows_path).expect("rows");
+    let mut fluid_rows = 0;
+    for line in &rows {
+        let v: Value = serde_json::from_str(line).expect("parses");
+        let sim = v["coords"]["sim"]
+            .as_str()
+            .expect("sim coord present")
+            .to_string();
+        let m = v["metrics"].clone();
+        match sim.as_str() {
+            "fluid" => {
+                fluid_rows += 1;
+                assert!(m["makespan_ps"].as_u64().expect("makespan") > 0);
+                let nbw = m["normalized_bw"].as_f64().expect("normalized_bw");
+                assert!(nbw > 0.0 && nbw <= 1.01, "normalized_bw {nbw}");
+                assert!(m["solves"].as_u64().expect("solves") > 0);
+                assert!(m["messages_completed"].as_u64().expect("completed") > 0);
+                assert_eq!(m["stalled"].as_bool(), Some(false));
+                if v["coords"]["fault_cables"].as_u64() == Some(0) {
+                    assert_eq!(m["flows_unroutable"].as_u64(), Some(0), "healthy");
+                }
+            }
+            "hsd" => assert!(m["avg_max_hsd"].as_f64().is_some()),
+            other => panic!("unexpected sim {other}"),
+        }
+    }
+    assert_eq!(fluid_rows, 24, "half the grid is fluid cells");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn load_resume_reports_duplicates_as_repair() {
     let dir = tempdir();
     let rows_path = dir.join("rows.ndjson");
@@ -207,8 +245,8 @@ fn load_resume_reports_duplicates_as_repair() {
 
     let state = load_resume(&rows_path, &spec.fingerprint()).expect("load");
     assert!(state.repaired, "duplicate row must flag a repair");
-    assert_eq!(state.done.len(), 24);
-    assert_eq!(state.valid_lines.len(), 24, "duplicate dropped, first kept");
+    assert_eq!(state.done.len(), 48);
+    assert_eq!(state.valid_lines.len(), 48, "duplicate dropped, first kept");
 
     std::fs::remove_dir_all(&dir).ok();
 }

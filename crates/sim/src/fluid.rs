@@ -14,8 +14,29 @@
 //! deliberately does not model buffer-occupancy effects such as the
 //! message-size dependence of Figure 2 — that is the packet simulator's
 //! job.
+//!
+//! Two implementations share this module:
+//!
+//! * [`FluidSim`] — the production solver. Flow↔channel incidence lives in
+//!   a CSR built once per stage (paths come from a [`PathSource`] such as
+//!   the analysis layer's `PathArena`, falling back to allocation-free
+//!   [`RoutingTable::walk`]); bottleneck selection pops a lazy min-heap
+//!   keyed `(share_bits, channel)` instead of scanning every channel; all
+//!   scratch is reused across solves with touched-only reset. Freeze order
+//!   and f64 operation order match the oracle exactly, so results are
+//!   bit-identical on any input the oracle can handle (see DESIGN 4.15).
+//! * [`OracleFluid`] — the original dense solver preserved verbatim as the
+//!   equivalence oracle, following the repo's `OracleSim` pattern.
+//!
+//! The production solver additionally survives two inputs that break the
+//! oracle: it skips (and counts) unroutable flows instead of panicking,
+//! and it stops with [`FluidResult::stalled`] when every active flow is
+//! clamped to rate zero instead of spinning forever.
 
-use ftree_topology::{RoutingTable, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ftree_topology::{RouteError, RoutingTable, Topology};
 
 use crate::config::{SimConfig, Time};
 use crate::traffic::{Progression, TrafficPlan};
@@ -36,7 +57,544 @@ pub struct FluidResult {
     pub efficiency: f64,
     /// Number of max-min re-solves performed.
     pub solves: u64,
+    /// Messages skipped because the routing table had no route for them
+    /// (degraded fabrics); always 0 from [`OracleFluid`], which panics
+    /// instead.
+    pub flows_unroutable: u64,
+    /// True when the run ended early because every active flow froze at
+    /// rate 0 (all its residual capacity clamped to zero — e.g. a
+    /// zero-bandwidth fabric). The oracle's `debug_assert` vanishes in
+    /// release builds and it spins forever on such inputs.
+    pub stalled: bool,
 }
+
+/// Pre-resolved source→destination channel paths, letting [`FluidSim`]
+/// skip routing-table walks entirely. The analysis layer's `PathArena`
+/// implements this.
+pub trait PathSource: Sync {
+    /// Channel indices of the `src`→`dst` path, or `None` when the pair is
+    /// not cached or was unroutable at build time. `None` is never wrong,
+    /// only slower: the solver falls back to walking the routing table.
+    fn channels(&self, src: usize, dst: usize) -> Option<&[u32]>;
+}
+
+/// Production fluid solver. Construct once per (topology, routing, config)
+/// and [`FluidSim::run`] any number of plans against it; attach a
+/// [`PathSource`] with [`FluidSim::with_paths`] to skip table walks.
+pub struct FluidSim<'a> {
+    topo: &'a Topology,
+    rt: &'a RoutingTable,
+    cfg: SimConfig,
+    paths: Option<&'a dyn PathSource>,
+}
+
+impl<'a> FluidSim<'a> {
+    /// Creates a solver over a fabric.
+    pub fn new(topo: &'a Topology, rt: &'a RoutingTable, cfg: SimConfig) -> Self {
+        Self {
+            topo,
+            rt,
+            cfg,
+            paths: None,
+        }
+    }
+
+    /// Sources flow paths from `paths` instead of walking `rt` (pairs the
+    /// source does not cover still fall back to the walk).
+    pub fn with_paths(mut self, paths: &'a dyn PathSource) -> Self {
+        self.paths = Some(paths);
+        self
+    }
+
+    /// Runs the fluid model over a traffic plan.
+    pub fn run(&self, plan: &TrafficPlan) -> FluidResult {
+        let mut e = Engine::new(self.topo, self.rt, &self.cfg, self.paths, plan.mode);
+        e.ingest(plan);
+        e.open_first();
+        while !e.alive.is_empty() {
+            e.solve();
+            if !e.advance_and_retire() {
+                break;
+            }
+            e.progress();
+        }
+        e.finish(&self.cfg)
+    }
+}
+
+/// Runs the fluid model over a traffic plan (production solver).
+pub fn run_fluid(
+    topo: &Topology,
+    rt: &RoutingTable,
+    cfg: SimConfig,
+    plan: &TrafficPlan,
+) -> FluidResult {
+    FluidSim::new(topo, rt, cfg).run(plan)
+}
+
+/// Channel capacities in bytes/ps. Host-adjacent channels are PCIe-bound
+/// in both directions.
+fn build_capacities(topo: &Topology, cfg: &SimConfig) -> Vec<f64> {
+    let mut capacity = vec![cfg.link_bw.mbps as f64 / 1e6; topo.num_channels()];
+    for h in 0..topo.num_hosts() {
+        let host = topo.host(h);
+        for pp in &topo.node(host).up {
+            let up = topo.channel(pp.link, ftree_topology::Direction::Up);
+            let down = topo.channel(pp.link, ftree_topology::Direction::Down);
+            capacity[up.index()] = cfg.host_bw.mbps as f64 / 1e6;
+            capacity[down.index()] = cfg.host_bw.mbps as f64 / 1e6;
+        }
+    }
+    capacity
+}
+
+/// All mutable solver state. Flows are stored SoA with paths in one shared
+/// CSR buffer; channels keep insertion-ordered member lists so the freeze
+/// sweep visits flows in exactly the oracle's scan order.
+struct Engine<'a> {
+    topo: &'a Topology,
+    rt: &'a RoutingTable,
+    lookup: Option<&'a dyn PathSource>,
+    mode: Progression,
+
+    // Host schedules: per-host (dst, stage, bytes) lists with a cursor.
+    msgs: Vec<Vec<(u32, u32, u64)>>,
+    next_msg: Vec<usize>,
+    stage_counts: Vec<u64>,
+    current_stage: u32,
+    stage_remaining: u64,
+
+    // Flow SoA (reset per sync stage; grows monotonically in async mode).
+    paths: Vec<u32>,
+    path_off: Vec<u32>,
+    path_len: Vec<u32>,
+    remaining: Vec<f64>,
+    rate: Vec<f64>,
+    fbytes: Vec<u64>,
+    fsrc: Vec<u32>,
+    frozen_at: Vec<u64>,
+    done: Vec<bool>,
+    /// Unfinished flow ids in insertion order (stable compaction).
+    alive: Vec<u32>,
+
+    // Per-channel state, all sized num_channels and reset touched-only.
+    capacity: Vec<f64>,
+    residual: Vec<f64>,
+    cnt: Vec<u32>,
+    /// Unfinished flows crossing the channel (maintained across solves).
+    live: Vec<u32>,
+    share_bits: Vec<u64>,
+    touch_gen: Vec<u64>,
+    gen: u64,
+    /// Member flows per channel, appended in flow-id order.
+    ch_flows: Vec<Vec<u32>>,
+    /// Channels with live flows (pruned lazily at solve start).
+    active_ch: Vec<u32>,
+    in_active: Vec<bool>,
+    /// Channels whose `ch_flows` list is non-empty since the last stage
+    /// reset — the only ones a reset must clear.
+    listed_ch: Vec<u32>,
+    in_listed: Vec<bool>,
+
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    touched: Vec<u32>,
+    finished_hosts: Vec<u32>,
+
+    now: f64,
+    total_payload: u64,
+    completed: u64,
+    solves: u64,
+    skipped: u64,
+    stalled: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        topo: &'a Topology,
+        rt: &'a RoutingTable,
+        cfg: &SimConfig,
+        lookup: Option<&'a dyn PathSource>,
+        mode: Progression,
+    ) -> Self {
+        let nc = topo.num_channels();
+        let n = topo.num_hosts();
+        Self {
+            topo,
+            rt,
+            lookup,
+            mode,
+            msgs: vec![Vec::new(); n],
+            next_msg: vec![0; n],
+            stage_counts: Vec::new(),
+            current_stage: 0,
+            stage_remaining: 0,
+            paths: Vec::new(),
+            path_off: Vec::new(),
+            path_len: Vec::new(),
+            remaining: Vec::new(),
+            rate: Vec::new(),
+            fbytes: Vec::new(),
+            fsrc: Vec::new(),
+            frozen_at: Vec::new(),
+            done: Vec::new(),
+            alive: Vec::new(),
+            capacity: build_capacities(topo, cfg),
+            residual: vec![0.0; nc],
+            cnt: vec![0; nc],
+            live: vec![0; nc],
+            share_bits: vec![0; nc],
+            touch_gen: vec![0; nc],
+            gen: 0,
+            ch_flows: vec![Vec::new(); nc],
+            active_ch: Vec::new(),
+            in_active: vec![false; nc],
+            listed_ch: Vec::new(),
+            in_listed: vec![false; nc],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+            finished_hosts: Vec::new(),
+            now: 0.0,
+            total_payload: 0,
+            completed: 0,
+            solves: 0,
+            skipped: 0,
+            stalled: false,
+        }
+    }
+
+    fn ingest(&mut self, plan: &TrafficPlan) {
+        self.stage_counts = vec![0u64; plan.stages().len()];
+        for (s, flows) in plan.stages().iter().enumerate() {
+            for (k, &(src, dst)) in flows.iter().enumerate() {
+                if src != dst {
+                    self.msgs[src as usize].push((dst, s as u32, plan.flow_bytes(s, k)));
+                    self.stage_counts[s] += 1;
+                }
+            }
+        }
+    }
+
+    /// Starts the host's next eligible message; skips (and counts)
+    /// unroutable ones, trying the next message in its place.
+    fn start_host(&mut self, h: usize) {
+        while self.next_msg[h] < self.msgs[h].len() {
+            let (dst, stage, bytes) = self.msgs[h][self.next_msg[h]];
+            if self.mode == Progression::Synchronized && stage != self.current_stage {
+                return;
+            }
+            self.next_msg[h] += 1;
+            let off = self.paths.len();
+            let routed = match self.lookup.and_then(|lk| lk.channels(h, dst as usize)) {
+                Some(chs) => {
+                    self.paths.extend_from_slice(chs);
+                    Ok(())
+                }
+                None => {
+                    let (rt, topo, buf) = (self.rt, self.topo, &mut self.paths);
+                    rt.walk(topo, h, dst as usize, |c| buf.push(c.0))
+                }
+            };
+            match routed {
+                Ok(()) => {
+                    self.register_flow(off, h, bytes);
+                    return;
+                }
+                Err(RouteError::NoRoute { .. }) => {
+                    // Same tolerance as `degraded_stage_hsd`: a missing
+                    // entry on a degraded fabric skips the flow.
+                    self.paths.truncate(off);
+                    self.skipped += 1;
+                    if self.mode == Progression::Synchronized {
+                        self.stage_remaining -= 1;
+                    }
+                }
+                Err(e) => panic!("fluid: structural routing error {h}->{dst}: {e}"),
+            }
+        }
+    }
+
+    fn register_flow(&mut self, off: usize, src: usize, bytes: u64) {
+        let fi = self.path_off.len() as u32;
+        self.path_off.push(off as u32);
+        self.path_len.push((self.paths.len() - off) as u32);
+        self.remaining.push(bytes as f64);
+        self.rate.push(0.0);
+        self.fbytes.push(bytes);
+        self.fsrc.push(src as u32);
+        self.frozen_at.push(0);
+        self.done.push(false);
+        self.alive.push(fi);
+        for k in off..self.paths.len() {
+            let c = self.paths[k] as usize;
+            self.live[c] += 1;
+            if !self.in_active[c] {
+                self.in_active[c] = true;
+                self.active_ch.push(c as u32);
+            }
+            if !self.in_listed[c] {
+                self.in_listed[c] = true;
+                self.listed_ch.push(c as u32);
+            }
+            self.ch_flows[c].push(fi);
+        }
+    }
+
+    fn start_wave(&mut self) {
+        for h in 0..self.msgs.len() {
+            self.start_host(h);
+        }
+    }
+
+    fn open_first(&mut self) {
+        self.current_stage = match self.mode {
+            Progression::Synchronized => {
+                self.stage_counts.iter().position(|&c| c > 0).unwrap_or(0) as u32
+            }
+            Progression::Asynchronous => 0,
+        };
+        self.stage_remaining = self
+            .stage_counts
+            .get(self.current_stage as usize)
+            .copied()
+            .unwrap_or(0);
+        self.start_wave();
+        if self.mode == Progression::Synchronized && self.alive.is_empty() {
+            // Every flow of the opening stage was unroutable.
+            self.advance_sync_stage();
+        }
+    }
+
+    /// Opens the next non-empty stage, skipping over stages whose flows
+    /// are all unroutable. Called with no flows in flight, so the flow CSR
+    /// and channel lists from the finished stage can be reclaimed.
+    fn advance_sync_stage(&mut self) {
+        loop {
+            let next = self
+                .stage_counts
+                .iter()
+                .enumerate()
+                .find(|&(s, &c)| s as u32 > self.current_stage && c > 0);
+            let Some((s, &c)) = next else { return };
+            self.reset_stage();
+            self.current_stage = s as u32;
+            self.stage_remaining = c;
+            self.start_wave();
+            if !self.alive.is_empty() || self.stage_remaining > 0 {
+                return;
+            }
+        }
+    }
+
+    /// Touched-only reclaim of per-stage flow state (sync mode only; async
+    /// flows span the whole run).
+    fn reset_stage(&mut self) {
+        debug_assert!(self.alive.is_empty());
+        self.paths.clear();
+        self.path_off.clear();
+        self.path_len.clear();
+        self.remaining.clear();
+        self.rate.clear();
+        self.fbytes.clear();
+        self.fsrc.clear();
+        self.frozen_at.clear();
+        self.done.clear();
+        for i in 0..self.listed_ch.len() {
+            let c = self.listed_ch[i] as usize;
+            debug_assert_eq!(self.live[c], 0);
+            self.ch_flows[c].clear();
+            self.in_listed[c] = false;
+        }
+        self.listed_ch.clear();
+        for i in 0..self.active_ch.len() {
+            self.in_active[self.active_ch[i] as usize] = false;
+        }
+        self.active_ch.clear();
+    }
+
+    /// One max-min water-filling pass. Identical arithmetic and freeze
+    /// order to the oracle: the heap pops the minimal `(share, channel)`
+    /// pair — `f64::to_bits` is order-preserving for the non-negative
+    /// finite shares produced here, and ties break toward the lower
+    /// channel index exactly like the oracle's strict-`<` ascending scan.
+    fn solve(&mut self) {
+        self.solves += 1;
+        let epoch = self.solves;
+        self.heap.clear();
+        let mut i = 0;
+        while i < self.active_ch.len() {
+            let c = self.active_ch[i] as usize;
+            if self.live[c] == 0 {
+                self.in_active[c] = false;
+                self.active_ch.swap_remove(i);
+                continue;
+            }
+            self.residual[c] = self.capacity[c];
+            self.cnt[c] = self.live[c];
+            let bits = (self.residual[c] / self.cnt[c] as f64).to_bits();
+            self.share_bits[c] = bits;
+            self.heap.push(Reverse((bits, c as u32)));
+            i += 1;
+        }
+        let mut unfrozen = self.alive.len();
+        while unfrozen > 0 {
+            // Lazy deletion: entries whose channel was already exhausted
+            // (cnt 0) or re-shared since the push are stale — skip them.
+            let (bits, best_ch) = loop {
+                let Reverse((b, c)) = self
+                    .heap
+                    .pop()
+                    .expect("some channel carries every unfrozen flow");
+                if self.cnt[c as usize] > 0 && self.share_bits[c as usize] == b {
+                    break (b, c);
+                }
+            };
+            let best_share = f64::from_bits(bits);
+            self.gen += 1;
+            let g = self.gen;
+            self.touched.clear();
+            // Freeze the bottleneck's members in flow-id order (== the
+            // oracle's active-vector scan order), compacting out retired
+            // flows as we go.
+            let mut list = std::mem::take(&mut self.ch_flows[best_ch as usize]);
+            let mut w = 0;
+            for r in 0..list.len() {
+                let fi = list[r] as usize;
+                if self.done[fi] {
+                    continue;
+                }
+                list[w] = fi as u32;
+                w += 1;
+                if self.frozen_at[fi] == epoch {
+                    continue;
+                }
+                self.frozen_at[fi] = epoch;
+                unfrozen -= 1;
+                self.rate[fi] = best_share;
+                let off = self.path_off[fi] as usize;
+                let end = off + self.path_len[fi] as usize;
+                for k in off..end {
+                    let c = self.paths[k] as usize;
+                    self.residual[c] = (self.residual[c] - best_share).max(0.0);
+                    self.cnt[c] -= 1;
+                    if self.touch_gen[c] != g {
+                        self.touch_gen[c] = g;
+                        self.touched.push(c as u32);
+                    }
+                }
+            }
+            list.truncate(w);
+            self.ch_flows[best_ch as usize] = list;
+            for t in 0..self.touched.len() {
+                let c = self.touched[t] as usize;
+                if self.cnt[c] > 0 {
+                    let b = (self.residual[c] / self.cnt[c] as f64).to_bits();
+                    self.share_bits[c] = b;
+                    self.heap.push(Reverse((b, c as u32)));
+                }
+            }
+        }
+    }
+
+    /// Advances to the earliest completion and retires every flow
+    /// finishing at that instant in one pass. Returns false on a
+    /// zero-rate stall.
+    fn advance_and_retire(&mut self) -> bool {
+        let mut dt = f64::INFINITY;
+        for i in 0..self.alive.len() {
+            let fi = self.alive[i] as usize;
+            if self.rate[fi] > 0.0 {
+                dt = dt.min(self.remaining[fi] / self.rate[fi]);
+            }
+        }
+        if !dt.is_finite() {
+            // Every active flow froze at rate 0 (capacity clamped to
+            // zero along all paths). The oracle's debug_assert compiles
+            // out in release and it spins forever; stop the clock.
+            self.stalled = true;
+            return false;
+        }
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+        self.finished_hosts.clear();
+        let mut w = 0;
+        for r in 0..self.alive.len() {
+            let fi = self.alive[r] as usize;
+            self.remaining[fi] -= self.rate[fi] * dt;
+            if self.remaining[fi] <= 1e-6 * (self.fbytes[fi] as f64).max(1.0) {
+                self.total_payload += self.fbytes[fi];
+                self.completed += 1;
+                self.finished_hosts.push(self.fsrc[fi]);
+                self.done[fi] = true;
+                let off = self.path_off[fi] as usize;
+                let end = off + self.path_len[fi] as usize;
+                for k in off..end {
+                    self.live[self.paths[k] as usize] -= 1;
+                }
+            } else {
+                self.alive[w] = fi as u32;
+                w += 1;
+            }
+        }
+        self.alive.truncate(w);
+        true
+    }
+
+    fn progress(&mut self) {
+        match self.mode {
+            Progression::Asynchronous => {
+                for i in 0..self.finished_hosts.len() {
+                    let h = self.finished_hosts[i] as usize;
+                    self.start_host(h);
+                }
+            }
+            Progression::Synchronized => {
+                self.stage_remaining -= self.finished_hosts.len() as u64;
+                if self.stage_remaining == 0 && self.alive.is_empty() {
+                    self.advance_sync_stage();
+                }
+            }
+        }
+    }
+
+    fn finish(self, cfg: &SimConfig) -> FluidResult {
+        let active_hosts = self.msgs.iter().filter(|m| !m.is_empty()).count().max(1);
+        let max_host_bytes = self
+            .msgs
+            .iter()
+            .map(|m| m.iter().map(|&(_, _, b)| b).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let now = self.now;
+        let makespan = now as Time;
+        let efficiency = if now <= 0.0 {
+            0.0
+        } else {
+            (max_host_bytes * 1_000_000 / cfg.host_bw.mbps.max(1)) as f64 / now
+        };
+        let normalized_bw = if now <= 0.0 {
+            0.0
+        } else {
+            (self.total_payload as f64 / now)
+                / (active_hosts as f64 * cfg.host_bw.mbps as f64 / 1e6)
+        };
+        FluidResult {
+            makespan,
+            total_payload: self.total_payload,
+            messages_completed: self.completed,
+            normalized_bw,
+            efficiency,
+            solves: self.solves,
+            flows_unroutable: self.skipped,
+            stalled: self.stalled,
+        }
+    }
+}
+
+/// The original dense fluid solver, preserved verbatim as the equivalence
+/// oracle for [`FluidSim`] (the repo's `OracleSim` pattern). O(channels)
+/// per bottleneck pick and O(flows × path) per freeze sweep — run it only
+/// at test scale.
+pub struct OracleFluid;
 
 struct Flow {
     /// Channels traversed.
@@ -57,209 +615,215 @@ struct HostSched {
     next: usize,
 }
 
-/// Runs the fluid model over a traffic plan.
-pub fn run_fluid(
-    topo: &Topology,
-    rt: &RoutingTable,
-    cfg: SimConfig,
-    plan: &TrafficPlan,
-) -> FluidResult {
-    let n = topo.num_hosts();
-    // Channel capacities in bytes/ps. Host-adjacent channels are PCIe-bound
-    // in both directions.
-    let mut capacity = vec![cfg.link_bw.mbps as f64 / 1e6; topo.num_channels()];
-    for h in 0..n {
-        let host = topo.host(h);
-        for pp in &topo.node(host).up {
-            let up = topo.channel(pp.link, ftree_topology::Direction::Up);
-            let down = topo.channel(pp.link, ftree_topology::Direction::Down);
-            capacity[up.index()] = cfg.host_bw.mbps as f64 / 1e6;
-            capacity[down.index()] = cfg.host_bw.mbps as f64 / 1e6;
-        }
-    }
-
-    let mut hosts: Vec<HostSched> = (0..n)
-        .map(|_| HostSched {
-            msgs: Vec::new(),
-            next: 0,
-        })
-        .collect();
-    let mut stage_counts = vec![0u64; plan.stages().len()];
-    for (s, flows) in plan.stages().iter().enumerate() {
-        for (k, &(src, dst)) in flows.iter().enumerate() {
-            if src != dst {
-                hosts[src as usize]
-                    .msgs
-                    .push((dst, s as u32, plan.flow_bytes(s, k)));
-                stage_counts[s] += 1;
+impl OracleFluid {
+    /// Runs the fluid model over a traffic plan (reference implementation).
+    pub fn run(
+        topo: &Topology,
+        rt: &RoutingTable,
+        cfg: SimConfig,
+        plan: &TrafficPlan,
+    ) -> FluidResult {
+        let n = topo.num_hosts();
+        // Channel capacities in bytes/ps. Host-adjacent channels are
+        // PCIe-bound in both directions.
+        let mut capacity = vec![cfg.link_bw.mbps as f64 / 1e6; topo.num_channels()];
+        for h in 0..n {
+            let host = topo.host(h);
+            for pp in &topo.node(host).up {
+                let up = topo.channel(pp.link, ftree_topology::Direction::Up);
+                let down = topo.channel(pp.link, ftree_topology::Direction::Down);
+                capacity[up.index()] = cfg.host_bw.mbps as f64 / 1e6;
+                capacity[down.index()] = cfg.host_bw.mbps as f64 / 1e6;
             }
         }
-    }
 
-    let mut active: Vec<Flow> = Vec::new();
-    let mut now: f64 = 0.0;
-    let mut total_payload = 0u64;
-    let mut completed = 0u64;
-    let mut solves = 0u64;
-    let mut current_stage = match plan.mode {
-        Progression::Synchronized => stage_counts.iter().position(|&c| c > 0).unwrap_or(0) as u32,
-        Progression::Asynchronous => 0,
-    };
-    let mut stage_remaining = stage_counts
-        .get(current_stage as usize)
-        .copied()
-        .unwrap_or(0);
-
-    // Start a host's next eligible message.
-    let start_host = |hosts: &mut Vec<HostSched>,
-                      active: &mut Vec<Flow>,
-                      h: usize,
-                      current_stage: u32,
-                      mode: Progression| {
-        let hs = &mut hosts[h];
-        if hs.next >= hs.msgs.len() {
-            return;
-        }
-        let (dst, stage, bytes) = hs.msgs[hs.next];
-        if mode == Progression::Synchronized && stage != current_stage {
-            return;
-        }
-        hs.next += 1;
-        let path = rt
-            .trace(topo, h, dst as usize)
-            .expect("routable flow")
-            .channels
-            .iter()
-            .map(|c| c.0)
+        let mut hosts: Vec<HostSched> = (0..n)
+            .map(|_| HostSched {
+                msgs: Vec::new(),
+                next: 0,
+            })
             .collect();
-        active.push(Flow {
-            path,
-            remaining: bytes as f64,
-            bytes,
-            src: h as u32,
-            rate: 0.0,
-        });
-    };
-
-    for h in 0..n {
-        start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
-    }
-
-    while !active.is_empty() {
-        // Max-min fair allocation (water-filling).
-        solves += 1;
-        let mut residual = capacity.clone();
-        let mut flows_on: Vec<u32> = vec![0; topo.num_channels()];
-        for f in &active {
-            for &ch in &f.path {
-                flows_on[ch as usize] += 1;
-            }
-        }
-        let mut frozen = vec![false; active.len()];
-        let mut remaining_flows = active.len();
-        while remaining_flows > 0 {
-            // Bottleneck: channel with the smallest fair share.
-            let mut best_share = f64::INFINITY;
-            let mut best_ch = usize::MAX;
-            for (ch, &cnt) in flows_on.iter().enumerate() {
-                if cnt > 0 {
-                    let share = residual[ch] / cnt as f64;
-                    if share < best_share {
-                        best_share = share;
-                        best_ch = ch;
-                    }
-                }
-            }
-            debug_assert!(best_ch != usize::MAX);
-            // Freeze all unfrozen flows crossing the bottleneck.
-            for (fi, f) in active.iter_mut().enumerate() {
-                if !frozen[fi] && f.path.contains(&(best_ch as u32)) {
-                    frozen[fi] = true;
-                    remaining_flows -= 1;
-                    f.rate = best_share;
-                    for &ch in &f.path {
-                        residual[ch as usize] = (residual[ch as usize] - best_share).max(0.0);
-                        flows_on[ch as usize] -= 1;
-                    }
+        let mut stage_counts = vec![0u64; plan.stages().len()];
+        for (s, flows) in plan.stages().iter().enumerate() {
+            for (k, &(src, dst)) in flows.iter().enumerate() {
+                if src != dst {
+                    hosts[src as usize]
+                        .msgs
+                        .push((dst, s as u32, plan.flow_bytes(s, k)));
+                    stage_counts[s] += 1;
                 }
             }
         }
 
-        // Advance to the earliest completion.
-        let dt = active
-            .iter()
-            .map(|f| f.remaining / f.rate)
-            .fold(f64::INFINITY, f64::min);
-        debug_assert!(dt.is_finite() && dt >= 0.0);
-        now += dt;
-        let mut finished_hosts = Vec::new();
-        active.retain_mut(|f| {
-            f.remaining -= f.rate * dt;
-            if f.remaining <= 1e-6 * (f.bytes as f64).max(1.0) {
-                total_payload += f.bytes;
-                completed += 1;
-                finished_hosts.push(f.src);
-                false
-            } else {
-                true
-            }
-        });
-        match plan.mode {
-            Progression::Asynchronous => {
-                for h in finished_hosts {
-                    start_host(
-                        &mut hosts,
-                        &mut active,
-                        h as usize,
-                        current_stage,
-                        plan.mode,
-                    );
-                }
-            }
+        let mut active: Vec<Flow> = Vec::new();
+        let mut now: f64 = 0.0;
+        let mut total_payload = 0u64;
+        let mut completed = 0u64;
+        let mut solves = 0u64;
+        let mut current_stage = match plan.mode {
             Progression::Synchronized => {
-                stage_remaining -= finished_hosts.len() as u64;
-                if stage_remaining == 0 {
-                    // Advance to the next non-empty stage.
-                    let next = stage_counts
-                        .iter()
-                        .enumerate()
-                        .find(|&(s, &c)| s as u32 > current_stage && c > 0);
-                    if let Some((s, &c)) = next {
-                        current_stage = s as u32;
-                        stage_remaining = c;
-                        for h in 0..n {
-                            start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
+                stage_counts.iter().position(|&c| c > 0).unwrap_or(0) as u32
+            }
+            Progression::Asynchronous => 0,
+        };
+        let mut stage_remaining = stage_counts
+            .get(current_stage as usize)
+            .copied()
+            .unwrap_or(0);
+
+        // Start a host's next eligible message.
+        let start_host = |hosts: &mut Vec<HostSched>,
+                          active: &mut Vec<Flow>,
+                          h: usize,
+                          current_stage: u32,
+                          mode: Progression| {
+            let hs = &mut hosts[h];
+            if hs.next >= hs.msgs.len() {
+                return;
+            }
+            let (dst, stage, bytes) = hs.msgs[hs.next];
+            if mode == Progression::Synchronized && stage != current_stage {
+                return;
+            }
+            hs.next += 1;
+            let path = rt
+                .trace(topo, h, dst as usize)
+                .expect("routable flow")
+                .channels
+                .iter()
+                .map(|c| c.0)
+                .collect();
+            active.push(Flow {
+                path,
+                remaining: bytes as f64,
+                bytes,
+                src: h as u32,
+                rate: 0.0,
+            });
+        };
+
+        for h in 0..n {
+            start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
+        }
+
+        while !active.is_empty() {
+            // Max-min fair allocation (water-filling).
+            solves += 1;
+            let mut residual = capacity.clone();
+            let mut flows_on: Vec<u32> = vec![0; topo.num_channels()];
+            for f in &active {
+                for &ch in &f.path {
+                    flows_on[ch as usize] += 1;
+                }
+            }
+            let mut frozen = vec![false; active.len()];
+            let mut remaining_flows = active.len();
+            while remaining_flows > 0 {
+                // Bottleneck: channel with the smallest fair share.
+                let mut best_share = f64::INFINITY;
+                let mut best_ch = usize::MAX;
+                for (ch, &cnt) in flows_on.iter().enumerate() {
+                    if cnt > 0 {
+                        let share = residual[ch] / cnt as f64;
+                        if share < best_share {
+                            best_share = share;
+                            best_ch = ch;
+                        }
+                    }
+                }
+                debug_assert!(best_ch != usize::MAX);
+                // Freeze all unfrozen flows crossing the bottleneck.
+                for (fi, f) in active.iter_mut().enumerate() {
+                    if !frozen[fi] && f.path.contains(&(best_ch as u32)) {
+                        frozen[fi] = true;
+                        remaining_flows -= 1;
+                        f.rate = best_share;
+                        for &ch in &f.path {
+                            residual[ch as usize] = (residual[ch as usize] - best_share).max(0.0);
+                            flows_on[ch as usize] -= 1;
+                        }
+                    }
+                }
+            }
+
+            // Advance to the earliest completion.
+            let dt = active
+                .iter()
+                .map(|f| f.remaining / f.rate)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(dt.is_finite() && dt >= 0.0);
+            now += dt;
+            let mut finished_hosts = Vec::new();
+            active.retain_mut(|f| {
+                f.remaining -= f.rate * dt;
+                if f.remaining <= 1e-6 * (f.bytes as f64).max(1.0) {
+                    total_payload += f.bytes;
+                    completed += 1;
+                    finished_hosts.push(f.src);
+                    false
+                } else {
+                    true
+                }
+            });
+            match plan.mode {
+                Progression::Asynchronous => {
+                    for h in finished_hosts {
+                        start_host(
+                            &mut hosts,
+                            &mut active,
+                            h as usize,
+                            current_stage,
+                            plan.mode,
+                        );
+                    }
+                }
+                Progression::Synchronized => {
+                    stage_remaining -= finished_hosts.len() as u64;
+                    if stage_remaining == 0 {
+                        // Advance to the next non-empty stage.
+                        let next = stage_counts
+                            .iter()
+                            .enumerate()
+                            .find(|&(s, &c)| s as u32 > current_stage && c > 0);
+                        if let Some((s, &c)) = next {
+                            current_stage = s as u32;
+                            stage_remaining = c;
+                            for h in 0..n {
+                                start_host(&mut hosts, &mut active, h, current_stage, plan.mode);
+                            }
                         }
                     }
                 }
             }
         }
-    }
 
-    let active_hosts = hosts.iter().filter(|h| !h.msgs.is_empty()).count().max(1);
-    let max_host_bytes = hosts
-        .iter()
-        .map(|h| h.msgs.iter().map(|&(_, _, b)| b).sum::<u64>())
-        .max()
-        .unwrap_or(0);
-    let makespan = now as Time;
-    let efficiency = if now <= 0.0 {
-        0.0
-    } else {
-        (max_host_bytes * 1_000_000 / cfg.host_bw.mbps.max(1)) as f64 / now
-    };
-    let normalized_bw = if now <= 0.0 {
-        0.0
-    } else {
-        (total_payload as f64 / now) / (active_hosts as f64 * cfg.host_bw.mbps as f64 / 1e6)
-    };
-    FluidResult {
-        makespan,
-        total_payload,
-        messages_completed: completed,
-        normalized_bw,
-        efficiency,
-        solves,
+        let active_hosts = hosts.iter().filter(|h| !h.msgs.is_empty()).count().max(1);
+        let max_host_bytes = hosts
+            .iter()
+            .map(|h| h.msgs.iter().map(|&(_, _, b)| b).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let makespan = now as Time;
+        let efficiency = if now <= 0.0 {
+            0.0
+        } else {
+            (max_host_bytes * 1_000_000 / cfg.host_bw.mbps.max(1)) as f64 / now
+        };
+        let normalized_bw = if now <= 0.0 {
+            0.0
+        } else {
+            (total_payload as f64 / now) / (active_hosts as f64 * cfg.host_bw.mbps as f64 / 1e6)
+        };
+        FluidResult {
+            makespan,
+            total_payload,
+            messages_completed: completed,
+            normalized_bw,
+            efficiency,
+            solves,
+            flows_unroutable: 0,
+            stalled: false,
+        }
     }
 }
 
@@ -357,5 +921,100 @@ mod tests {
         let r = fluid(&topo, vec![], 1024, Progression::Synchronized);
         assert_eq!(r.messages_completed, 0);
         assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn production_matches_oracle_bitwise_smoke() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let n = topo.num_hosts() as u32;
+        for mode in [Progression::Synchronized, Progression::Asynchronous] {
+            let stages: Vec<Vec<(u32, u32)>> = (0..3)
+                .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+                .collect();
+            let plan = TrafficPlan::uniform(stages, 1 << 18, mode);
+            let a = OracleFluid::run(&topo, &rt, SimConfig::default(), &plan);
+            let b = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.total_payload, b.total_payload);
+            assert_eq!(a.messages_completed, b.messages_completed);
+            assert_eq!(a.solves, b.solves);
+            assert_eq!(a.normalized_bw.to_bits(), b.normalized_bw.to_bits());
+            assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_fabric_stalls_instead_of_hanging() {
+        use crate::config::Bandwidth;
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let cfg = SimConfig {
+            link_bw: Bandwidth { mbps: 0 },
+            host_bw: Bandwidth { mbps: 0 },
+            ..SimConfig::default()
+        };
+        let plan = TrafficPlan::uniform(
+            vec![vec![(0, 4), (1, 5)]],
+            1 << 16,
+            Progression::Synchronized,
+        );
+        // The oracle spins forever on this input in release builds.
+        let r = run_fluid(&topo, &rt, cfg, &plan);
+        assert!(r.stalled);
+        assert_eq!(r.messages_completed, 0);
+    }
+
+    #[test]
+    fn unroutable_flows_are_skipped_and_counted() {
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let empty = RoutingTable::empty(&topo, "none");
+        let n = topo.num_hosts() as u32;
+        for mode in [Progression::Synchronized, Progression::Asynchronous] {
+            let stages: Vec<Vec<(u32, u32)>> = (0..2)
+                .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+                .collect();
+            let plan = TrafficPlan::uniform(stages, 1 << 16, mode);
+            let r = run_fluid(&topo, &empty, SimConfig::default(), &plan);
+            assert_eq!(r.messages_completed, 0);
+            assert_eq!(r.flows_unroutable, 2 * n as u64);
+            assert_eq!(r.makespan, 0);
+            assert!(!r.stalled);
+        }
+    }
+
+    #[test]
+    fn path_source_injection_is_bit_identical_to_walk() {
+        use std::collections::HashMap;
+        struct MapPaths(HashMap<(usize, usize), Vec<u32>>);
+        impl PathSource for MapPaths {
+            fn channels(&self, src: usize, dst: usize) -> Option<&[u32]> {
+                self.0.get(&(src, dst)).map(|v| v.as_slice())
+            }
+        }
+        let topo = Topology::build(catalog::fig4_pgft_16());
+        let rt = DModK.route_healthy(&topo);
+        let n = topo.num_hosts();
+        let mut map = HashMap::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let p = rt.trace(&topo, s, d).unwrap();
+                    map.insert((s, d), p.channels.iter().map(|c| c.0).collect());
+                }
+            }
+        }
+        let src = MapPaths(map);
+        let stages: Vec<Vec<(u32, u32)>> = (0..3)
+            .map(|s| (0..n as u32).map(|i| (i, (i + s + 1) % n as u32)).collect())
+            .collect();
+        let plan = TrafficPlan::uniform(stages, 1 << 18, Progression::Synchronized);
+        let walk = FluidSim::new(&topo, &rt, SimConfig::default()).run(&plan);
+        let cached = FluidSim::new(&topo, &rt, SimConfig::default())
+            .with_paths(&src)
+            .run(&plan);
+        assert_eq!(walk.makespan, cached.makespan);
+        assert_eq!(walk.solves, cached.solves);
+        assert_eq!(walk.normalized_bw.to_bits(), cached.normalized_bw.to_bits());
     }
 }

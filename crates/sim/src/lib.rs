@@ -43,7 +43,7 @@ pub mod result;
 pub mod traffic;
 
 pub use config::{jitter_ps, Bandwidth, SimConfig, SwitchModel, Time, MICROSECOND, NANOSECOND};
-pub use fluid::{run_fluid, FluidResult};
+pub use fluid::{run_fluid, FluidResult, FluidSim, OracleFluid, PathSource};
 pub use lifecycle::FabricLifecycle;
 pub use observe::export_chrome_trace;
 pub use oracle::OracleSim;

@@ -56,7 +56,6 @@
 //! to the (still calendar-queue-fast) serial path; VOQ switches and host
 //! jitter are parallel-safe.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use ftree_core::SubnetManager;
@@ -179,6 +178,14 @@ impl<T: Copy> Pool<T> {
     fn release(&mut self, id: u32) {
         self.slots[id as usize].1 = self.free;
         self.free = id;
+    }
+
+    /// Pops node `id`, returning its value and next link.
+    #[inline]
+    fn take(&mut self, id: u32) -> (T, u32) {
+        let (v, next) = self.slots[id as usize];
+        self.release(id);
+        (v, next)
     }
 }
 
@@ -346,7 +353,12 @@ struct Core {
     h_cur_msg: Vec<u32>,
     h_cur_left: Vec<u64>,
     h_active: Vec<bool>,
-    h_retx: Vec<VecDeque<u32>>,
+    /// Per-host retransmit FIFO heads/tails into `retx_pool` — a free-list
+    /// slab instead of a `VecDeque` per host, so retransmissions under
+    /// drop storms reuse nodes instead of allocating per queue.
+    h_retx_head: Vec<u32>,
+    h_retx_tail: Vec<u32>,
+    retx_pool: Pool<u32>,
     /// Start time per global message index.
     msg_start: Vec<Time>,
     // --- metrics ---
@@ -409,7 +421,9 @@ impl Core {
             h_cur_msg: vec![NONE; nh],
             h_cur_left: vec![0; nh],
             h_active: vec![false; nh],
-            h_retx: (0..nh).map(|_| VecDeque::new()).collect(),
+            h_retx_head: vec![NONE; nh],
+            h_retx_tail: vec![NONE; nh],
+            retx_pool: Pool::new(),
             msg_start: vec![0; sh.prep.msg_dst.len()],
             events_processed: 0,
             delivered: 0,
@@ -667,7 +681,12 @@ impl Core {
             // Select the next sending unit: retransmissions first (they
             // bypass the stage barrier — their stage is already open), then
             // the next fresh message.
-            if let Some(msg) = self.h_retx[hi].pop_front() {
+            if self.h_retx_head[hi] != NONE {
+                let (msg, next) = self.retx_pool.take(self.h_retx_head[hi]);
+                self.h_retx_head[hi] = next;
+                if next == NONE {
+                    self.h_retx_tail[hi] = NONE;
+                }
                 self.h_cur_msg[hi] = msg;
                 self.h_cur_left[hi] = sh.prep.msg_pkts[sh.gmsg(h, msg)];
             } else {
@@ -1253,7 +1272,14 @@ impl Core {
                 attempt,
             });
         }
-        self.h_retx[host as usize].push_back(msg);
+        let id = self.retx_pool.alloc(msg);
+        let hi = host as usize;
+        if self.h_retx_tail[hi] != NONE {
+            self.retx_pool.slots[self.h_retx_tail[hi] as usize].1 = id;
+        } else {
+            self.h_retx_head[hi] = id;
+        }
+        self.h_retx_tail[hi] = id;
         self.host_request(sh, host);
     }
 

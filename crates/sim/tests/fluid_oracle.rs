@@ -1,0 +1,182 @@
+//! Pins the rebuilt production fluid solver ([`FluidSim`]) against the
+//! preserved reference implementation ([`OracleFluid`]) across catalog
+//! topologies × all four routing engines × sync/async progression, plus
+//! the two behaviors the production solver adds on inputs the oracle
+//! cannot handle (zero-rate stalls, unroutable flows).
+//!
+//! Equivalence mode (DESIGN 4.15): the production solver preserves the
+//! oracle's freeze order and f64 operation order exactly, so every field
+//! is required to be **bit-identical** — integer fields with `==`, f64
+//! fields via `to_bits`.
+
+use ftree_collectives::Cps;
+use ftree_core::{NodeOrder, RoutingAlgo};
+use ftree_sim::{run_fluid, FluidResult, OracleFluid, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::{PgftSpec, Topology};
+
+const ENGINES: [RoutingAlgo; 4] = [
+    RoutingAlgo::DModK,
+    RoutingAlgo::Dmodc,
+    RoutingAlgo::Random(7),
+    RoutingAlgo::MinHopGreedy,
+];
+
+fn assert_equiv(a: &FluidResult, b: &FluidResult, what: &str) {
+    assert_eq!(
+        a.messages_completed, b.messages_completed,
+        "{what}: completed"
+    );
+    assert_eq!(a.total_payload, b.total_payload, "{what}: payload");
+    assert_eq!(a.solves, b.solves, "{what}: solves");
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(
+        a.normalized_bw.to_bits(),
+        b.normalized_bw.to_bits(),
+        "{what}: normalized_bw {} vs {}",
+        a.normalized_bw,
+        b.normalized_bw
+    );
+    assert_eq!(
+        a.efficiency.to_bits(),
+        b.efficiency.to_bits(),
+        "{what}: efficiency {} vs {}",
+        a.efficiency,
+        b.efficiency
+    );
+    assert_eq!(b.flows_unroutable, 0, "{what}: healthy fabric");
+    assert!(!b.stalled, "{what}: no stall expected");
+}
+
+fn check_topo(name: &str, spec: PgftSpec, bytes: u64, max_stages: usize) {
+    let topo = Topology::build(spec);
+    let order = NodeOrder::topology(&topo);
+    for algo in ENGINES {
+        let rt = algo.route(&topo);
+        for mode in [Progression::Synchronized, Progression::Asynchronous] {
+            let plan = TrafficPlan::from_cps(&order, &Cps::Shift, bytes, mode, max_stages);
+            let a = OracleFluid::run(&topo, &rt, SimConfig::default(), &plan);
+            let b = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+            assert_equiv(&a, &b, &format!("{name}/{algo:?}/{mode:?}/shift"));
+        }
+    }
+}
+
+#[test]
+fn fig4_all_engines_both_modes() {
+    check_topo("fig4_pgft_16", catalog::fig4_pgft_16(), 1 << 18, 6);
+}
+
+#[test]
+fn nodes_128_all_engines_both_modes() {
+    check_topo("nodes_128", catalog::nodes_128(), 1 << 16, 4);
+}
+
+#[test]
+fn nodes_324_dmodk_both_modes() {
+    let topo = Topology::build(catalog::nodes_324());
+    let order = NodeOrder::random(&topo, 42);
+    let rt = RoutingAlgo::DModK.route(&topo);
+    for mode in [Progression::Synchronized, Progression::Asynchronous] {
+        let plan = TrafficPlan::from_cps(&order, &Cps::Shift, 1 << 16, mode, 3);
+        let a = OracleFluid::run(&topo, &rt, SimConfig::default(), &plan);
+        let b = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        assert_equiv(&a, &b, &format!("nodes_324/DModK/{mode:?}"));
+    }
+}
+
+#[test]
+fn mixed_sizes_and_partial_stages_match() {
+    // Mixed per-flow sizes exercise the batched same-instant retirement
+    // path (several equal-size flows complete together) and unequal
+    // completion orders; partial stages (hosts without a message) exercise
+    // stage accounting.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    for algo in ENGINES {
+        let rt = algo.route(&topo);
+        for mode in [Progression::Synchronized, Progression::Asynchronous] {
+            let stages: Vec<Vec<(u32, u32, u64)>> = (0..3u32)
+                .map(|s| {
+                    (0..n)
+                        .filter(|i| (i + s) % 3 != 0)
+                        .map(|i| {
+                            let bytes = 1u64 << (14 + ((i + s) % 4));
+                            (i, (i + s + 1) % n, bytes)
+                        })
+                        .collect()
+                })
+                .collect();
+            let plan = TrafficPlan::sized(stages, mode);
+            let a = OracleFluid::run(&topo, &rt, SimConfig::default(), &plan);
+            let b = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+            assert_equiv(&a, &b, &format!("mixed/{algo:?}/{mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn same_instant_batch_retirement_matches() {
+    // Every flow is identical and contention-free: all complete at the
+    // same instant and must retire in one solve, same as the oracle.
+    let topo = Topology::build(catalog::nodes_128());
+    let n = topo.num_hosts() as u32;
+    let rt = RoutingAlgo::DModK.route(&topo);
+    let stages: Vec<Vec<(u32, u32)>> = (0..3)
+        .map(|s| (0..n).map(|i| (i, (i + s + 1) % n)).collect())
+        .collect();
+    for mode in [Progression::Synchronized, Progression::Asynchronous] {
+        let plan = TrafficPlan::uniform(stages.clone(), 1 << 20, mode);
+        let a = OracleFluid::run(&topo, &rt, SimConfig::default(), &plan);
+        let b = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        assert_equiv(&a, &b, &format!("batch/{mode:?}"));
+    }
+}
+
+#[test]
+fn partially_degraded_table_skips_only_dead_pairs() {
+    // Clear one leaf switch's entry toward one destination: flows through
+    // it are skipped and counted, everything else completes.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let n = topo.num_hosts() as u32;
+    let mut rt = RoutingAlgo::DModK.route(&topo);
+    // Host 0's leaf switch loses its route toward host 9.
+    let leaf = topo.node(topo.host(0)).up[0].peer;
+    rt.clear(leaf, 9);
+    for mode in [Progression::Synchronized, Progression::Asynchronous] {
+        let stage: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 9) % n)).collect();
+        let plan = TrafficPlan::uniform(vec![stage], 1 << 16, mode);
+        let r = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        assert!(r.flows_unroutable >= 1, "at least 0->9 must be skipped");
+        assert_eq!(
+            r.messages_completed + r.flows_unroutable,
+            n as u64,
+            "every flow either completes or is skip-counted"
+        );
+        assert!(!r.stalled);
+        assert!(r.makespan > 0);
+    }
+}
+
+#[test]
+fn sync_run_with_fully_unroutable_middle_stage_advances() {
+    // Stage 1 routes only dead pairs; the solver must skip past it to
+    // stage 2 instead of deadlocking at the barrier.
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let mut rt = RoutingAlgo::DModK.route(&topo);
+    for h in [0u32, 1] {
+        let leaf = topo.node(topo.host(h as usize)).up[0].peer;
+        for dst in 0..topo.num_hosts() {
+            rt.clear(leaf, dst);
+        }
+    }
+    let stages = vec![
+        vec![(4u32, 8u32), (5, 9)],
+        vec![(0, 4), (1, 5)], // hosts 0/1 have no routes at all
+        vec![(8, 12), (9, 13)],
+    ];
+    let plan = TrafficPlan::uniform(stages, 1 << 16, Progression::Synchronized);
+    let r = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+    assert_eq!(r.messages_completed, 4);
+    assert_eq!(r.flows_unroutable, 2);
+}

@@ -1,0 +1,75 @@
+//! Fluid-vs-packet agreement: the DESIGN 4.x claim that the fluid model
+//! reproduces the packet simulator's steady-state bandwidth ratios —
+//! `normalized_bw = 1.0` for contention-free permutations and `1/k` when
+//! `k` flows share one up-link — tested rather than asserted.
+
+use proptest::prelude::*;
+
+use ftree_core::{DModK, Router};
+use ftree_sim::{run_fluid, PacketSim, Progression, SimConfig, TrafficPlan};
+use ftree_topology::rlft::catalog;
+use ftree_topology::Topology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any cyclic shift of a full RLFT under D-Mod-K is contention-free:
+    /// the fluid model must give line rate (= 1.0), and the packet model —
+    /// which additionally pays buffer/serialization effects — must agree
+    /// within its steady-state tolerance.
+    #[test]
+    fn contention_free_shift_agrees(offset in 1u32..128) {
+        let topo = Topology::build(catalog::nodes_128());
+        let rt = DModK.route_healthy(&topo);
+        let n = topo.num_hosts() as u32;
+        let stage: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + offset) % n)).collect();
+        let plan = TrafficPlan::uniform(vec![stage], 1 << 18, Progression::Synchronized);
+        let fluid = run_fluid(&topo, &rt, SimConfig::default(), &plan);
+        let packet = PacketSim::new(&topo, &rt, SimConfig::default(), &plan).run();
+        prop_assert!(fluid.normalized_bw > 0.99, "fluid {}", fluid.normalized_bw);
+        prop_assert!(packet.normalized_bw > 0.90, "packet {}", packet.normalized_bw);
+        prop_assert!(
+            (fluid.normalized_bw - packet.normalized_bw).abs() < 0.1,
+            "fluid {} vs packet {}",
+            fluid.normalized_bw,
+            packet.normalized_bw
+        );
+    }
+}
+
+/// `k` flows forced through one leaf up-link each get `link_bw / k`; both
+/// models must show the same per-flow rate, i.e. the same normalized BW
+/// `min(link/k, host) / host`, within packet-model tolerance.
+#[test]
+fn shared_uplink_ratio_agrees_for_k_2_and_3() {
+    let topo = Topology::build(catalog::fig4_pgft_16());
+    let rt = DModK.route_healthy(&topo);
+    let cfg = SimConfig::default();
+    let host = cfg.host_bw.mbps as f64;
+    let link = cfg.link_bw.mbps as f64;
+    // dsts ≡ 0 (mod 4) all leave leaf 0 through the same up-port under
+    // D-Mod-K: k flows share one 4000 MB/s channel.
+    for k in [2usize, 3] {
+        let stage: Vec<(u32, u32)> = (0..k as u32).map(|i| (i, 4 * (i + 1))).collect();
+        let plan = TrafficPlan::uniform(vec![stage], 1 << 20, Progression::Synchronized);
+        let fluid = run_fluid(&topo, &rt, cfg, &plan);
+        let packet = PacketSim::new(&topo, &rt, cfg, &plan).run();
+        let expected = (link / k as f64).min(host) / host;
+        assert!(
+            (fluid.normalized_bw - expected).abs() < 0.01,
+            "k={k}: fluid {} vs expected {expected}",
+            fluid.normalized_bw
+        );
+        assert!(
+            (packet.normalized_bw - expected).abs() < 0.1 * expected,
+            "k={k}: packet {} vs expected {expected}",
+            packet.normalized_bw
+        );
+        assert!(
+            (fluid.normalized_bw - packet.normalized_bw).abs() < 0.1 * expected,
+            "k={k}: fluid {} vs packet {}",
+            fluid.normalized_bw,
+            packet.normalized_bw
+        );
+    }
+}

@@ -176,6 +176,13 @@ pub mod catalog {
         PgftSpec::from_slices(&[18, 18, 6], &[1, 18, 3], &[1, 1, 6]).expect("valid catalog spec")
     }
 
+    /// The 11664-node maximal 3-level tree from 36-port switches
+    /// (`K = 18`) of paper Sec. V.A — the largest catalog fabric, used by
+    /// the fluid-engine scale sweeps (`perf --fluid` flagship).
+    pub fn nodes_11664() -> PgftSpec {
+        rlft3_full(18)
+    }
+
     /// Figure 4(a): 16 hosts on 8-port switches expressed as an XGFT —
     /// four spines, each using only 4 of its 8 ports.
     pub fn fig4_xgft_16() -> PgftSpec {

@@ -61,6 +61,14 @@ echo "== perf --packet =="
 ./target/release/perf --packet 2>/dev/null | tee results/perf_packet.txt
 echo
 
+# Fluid-solver benchmark: rebuilt incremental max-min solver vs the
+# preserved dense-rescan oracle on nodes_1728, plus the 323-stage shift
+# flagship at 11664 hosts (results/BENCH_fluid.json). Runs outside
+# run() — it takes its own flag.
+echo "== perf --fluid =="
+./target/release/perf --fluid 2>/dev/null | tee results/perf_fluid.txt
+echo
+
 # Deep-observability chaos cell: Perfetto trace with nested spans,
 # per-channel utilization heatmap, and the contention attribution report
 # (results/chaos_deep*). Runs outside run() — it takes its own flag.
@@ -77,6 +85,7 @@ done
 # perf, routing_quality and chaos write under BENCH_-prefixed names.
 [[ -f results/BENCH_perf.json ]] && json_files+=(results/BENCH_perf.json)
 [[ -f results/BENCH_packet.json ]] && json_files+=(results/BENCH_packet.json)
+[[ -f results/BENCH_fluid.json ]] && json_files+=(results/BENCH_fluid.json)
 [[ -f results/BENCH_routing_quality.json ]] &&
     json_files+=(results/BENCH_routing_quality.json)
 [[ -f results/BENCH_chaos.json ]] && json_files+=(results/BENCH_chaos.json)
